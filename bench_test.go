@@ -1,0 +1,234 @@
+package classpack
+
+import (
+	"testing"
+
+	"classpack/internal/bench"
+	"classpack/internal/classfile"
+	"classpack/internal/core"
+	"classpack/internal/refs"
+	"classpack/internal/strip"
+	"classpack/internal/synth"
+)
+
+// benchScale keeps `go test -bench=.` tractable; cmd/benchtables runs the
+// full paper-scale corpora (-scale 1.0).
+const benchScale = 0.05
+
+// Tables 1–8 and Figure 2: one benchmark per experiment. Each regenerates
+// the complete table over all 19 corpora (corpora are cached per process,
+// so iterations time the measurement itself).
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table1(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table2(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table3(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table4(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table5(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table6(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table7(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table8(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Figure2(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchCorpus loads the stripped javac-like corpus once.
+func benchCorpus(b *testing.B) []*classfile.ClassFile {
+	b.Helper()
+	c, err := bench.Load("213_javac", benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c.Stripped
+}
+
+// Throughput benchmarks for the compressor and decompressor (Table 7's
+// underlying measurement, reported per byte of wire format).
+
+func BenchmarkPack(b *testing.B) {
+	cfs := benchCorpus(b)
+	packed, err := core.Pack(cfs, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(packed)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Pack(cfs, core.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnpack(b *testing.B) {
+	cfs := benchCorpus(b)
+	packed, err := core.Pack(cfs, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(packed)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Unpack(packed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benchmarks for the design decisions DESIGN.md calls out: each
+// reports the packed size through the custom "bytes" metric so the cost
+// of turning a feature off is visible next to its speed.
+
+func benchPackOption(b *testing.B, opts core.Options) {
+	cfs := benchCorpus(b)
+	packed, err := core.Pack(cfs, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Pack(cfs, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Reported after the loop: ResetTimer clears metrics recorded earlier.
+	b.ReportMetric(float64(len(packed)), "packed-bytes")
+}
+
+func BenchmarkAblationDefault(b *testing.B) {
+	benchPackOption(b, core.DefaultOptions())
+}
+
+func BenchmarkAblationNoStackState(b *testing.B) {
+	benchPackOption(b, core.Options{Scheme: refs.MTFFull, StackState: false, Compress: true})
+}
+
+func BenchmarkAblationNoTransients(b *testing.B) {
+	benchPackOption(b, core.Options{Scheme: refs.MTFContext, StackState: true, Compress: true})
+}
+
+func BenchmarkAblationNoContext(b *testing.B) {
+	benchPackOption(b, core.Options{Scheme: refs.MTFTransients, StackState: true, Compress: true})
+}
+
+func BenchmarkAblationBasicScheme(b *testing.B) {
+	benchPackOption(b, core.Options{Scheme: refs.Basic, StackState: true, Compress: true})
+}
+
+func BenchmarkAblationNoCompress(b *testing.B) {
+	benchPackOption(b, core.Options{Scheme: refs.MTFFull, StackState: true, Compress: false})
+}
+
+// BenchmarkArithVsFlate reproduces the §5 coder comparison on virtual
+// method reference indices.
+func BenchmarkArithVsFlate(b *testing.B) {
+	fl, ar, err := bench.ArithVsFlate(benchScale, "213_javac")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(fl), "flate-bytes")
+	b.ReportMetric(float64(ar), "arith-bytes")
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.ArithVsFlate(benchScale, "213_javac"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStrip measures the §2 canonicalization alone.
+func BenchmarkStrip(b *testing.B) {
+	p, err := synth.ProfileByName("213_javac")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfs, err := synth.Generate(p, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw := make([][]byte, len(cfs))
+	total := 0
+	for i, cf := range cfs {
+		if raw[i], err = classfile.Write(cf); err != nil {
+			b.Fatal(err)
+		}
+		total += len(raw[i])
+	}
+	b.SetBytes(int64(total))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, data := range raw {
+			cf, err := classfile.Parse(data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := strip.Apply(cf, strip.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkAblationPreload(b *testing.B) {
+	opts := core.DefaultOptions()
+	opts.Preload = true
+	benchPackOption(b, opts)
+}

@@ -1,0 +1,309 @@
+// Package classpack compresses collections of Java class files into the
+// packed wire format of William Pugh's "Compressing Java Class Files"
+// (PLDI 1999), and decompresses such archives back into byte-identical
+// class files.
+//
+// The format typically reaches 1/2 to 1/5 of the size of a compressed jar
+// file by restructuring classfile information (factoring package names out
+// of class names and class names out of type signatures), sharing
+// constants across all files in the archive, encoding references through
+// per-kind move-to-front queues keyed by an approximate stack state, and
+// separating dissimilar data into independently DEFLATE-compressed
+// streams.
+//
+// Basic usage:
+//
+//	packed, err := classpack.Pack(classfileBytes, nil)
+//	...
+//	files, err := classpack.Unpack(packed)
+//
+// As in the paper (§2), packing canonicalizes its input: debugging
+// attributes (SourceFile, LineNumberTable, LocalVariableTable) and
+// unrecognized attributes are removed, and the constant pool is
+// garbage-collected and sorted. Unpack reproduces exactly those
+// canonicalized files; Strip applies the same canonicalization alone, so
+// Unpack(Pack(x)) == Strip(x) byte for byte.
+package classpack
+
+import (
+	"fmt"
+	"sort"
+
+	"classpack/internal/archive"
+	"classpack/internal/classfile"
+	"classpack/internal/core"
+	"classpack/internal/refs"
+	"classpack/internal/strip"
+	"classpack/internal/verifier"
+)
+
+// Scheme selects a reference-encoding scheme (§5.1 of the paper).
+type Scheme = refs.Scheme
+
+// Reference-encoding schemes usable in Options. MTFFull — move-to-front
+// with transients and use context — is the paper's shipping configuration.
+const (
+	SchemeSimple        = refs.Simple
+	SchemeBasic         = refs.Basic
+	SchemeMTFBasic      = refs.MTFBasic
+	SchemeMTFTransients = refs.MTFTransients
+	SchemeMTFContext    = refs.MTFContext
+	SchemeMTFFull       = refs.MTFFull
+)
+
+// Options control the packed format. The zero value is not valid; start
+// from DefaultOptions.
+type Options struct {
+	// Scheme is the reference coding; it must be decodable
+	// (SchemeSimple/Basic/MTF*).
+	Scheme Scheme
+	// StackState enables §7.1 typed-opcode collapsing and stack-context
+	// method-reference pools.
+	StackState bool
+	// Compress enables per-stream DEFLATE compression.
+	Compress bool
+	// Preload seeds the reference pools with a standard table of common
+	// JDK names (§14 of the paper); helpful mainly for small archives.
+	Preload bool
+}
+
+// DefaultOptions returns the paper's evaluated configuration.
+func DefaultOptions() Options {
+	o := core.DefaultOptions()
+	return Options{Scheme: o.Scheme, StackState: o.StackState, Compress: o.Compress}
+}
+
+func (o *Options) core() core.Options {
+	if o == nil {
+		return core.DefaultOptions()
+	}
+	return core.Options{Scheme: o.Scheme, StackState: o.StackState,
+		Compress: o.Compress, Preload: o.Preload}
+}
+
+// File is one class file by name. Names follow the jar convention:
+// the class's binary name plus ".class".
+type File struct {
+	Name string
+	Data []byte
+}
+
+// Pack parses, canonicalizes (Strip), and packs a collection of class
+// files into a single archive. A nil opts uses DefaultOptions.
+func Pack(files [][]byte, opts *Options) ([]byte, error) {
+	cfs := make([]*classfile.ClassFile, len(files))
+	for i, data := range files {
+		cf, err := classfile.Parse(data)
+		if err != nil {
+			return nil, fmt.Errorf("classpack: file %d: %w", i, err)
+		}
+		if err := strip.Apply(cf, strip.Options{}); err != nil {
+			return nil, fmt.Errorf("classpack: file %d: %w", i, err)
+		}
+		cfs[i] = cf
+	}
+	return core.Pack(cfs, opts.core())
+}
+
+// Unpack decompresses a packed archive into class files. Decompression is
+// deterministic: it reproduces Strip of each input file byte for byte.
+func Unpack(data []byte) ([]File, error) {
+	cfs, err := core.Unpack(data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]File, len(cfs))
+	for i, cf := range cfs {
+		raw, err := classfile.Write(cf)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = File{Name: cf.ThisClassName() + ".class", Data: raw}
+	}
+	return out, nil
+}
+
+// UnpackEach decodes a packed archive sequentially, calling visit with
+// each class file as soon as it is complete. The archive format is
+// sequential, so an eager class loader (§11 of the paper) can define each
+// class the moment it arrives instead of caching the whole archive; order
+// the input superclass-first (see OrderForEagerLoading) so no definition
+// blocks. A visit error aborts decoding.
+func UnpackEach(data []byte, visit func(File) error) error {
+	return core.UnpackStream(data, func(cf *classfile.ClassFile) error {
+		raw, err := classfile.Write(cf)
+		if err != nil {
+			return err
+		}
+		return visit(File{Name: cf.ThisClassName() + ".class", Data: raw})
+	})
+}
+
+// OrderForEagerLoading reorders class files so that every superclass
+// precedes its subclasses (classes whose superclass is outside the set
+// come first, then by inheritance depth). Packing in this order lets an
+// eager loader define each decoded class immediately (§11: "we should
+// make sure that the superclass of X ... appears in the archive before
+// X"). The sort is stable within a depth.
+func OrderForEagerLoading(files [][]byte) ([][]byte, error) {
+	type entry struct {
+		data  []byte
+		name  string
+		super string
+	}
+	entries := make([]entry, len(files))
+	byName := make(map[string]int, len(files))
+	for i, data := range files {
+		cf, err := classfile.Parse(data)
+		if err != nil {
+			return nil, fmt.Errorf("classpack: file %d: %w", i, err)
+		}
+		entries[i] = entry{data: data, name: cf.ThisClassName(), super: cf.SuperClassName()}
+		byName[entries[i].name] = i
+	}
+	depth := make([]int, len(entries))
+	var depthOf func(i int, guard int) int
+	depthOf = func(i, guard int) int {
+		if guard > len(entries) {
+			return 0 // inheritance cycle in input; treat as root
+		}
+		if depth[i] != 0 {
+			return depth[i]
+		}
+		d := 1
+		if j, ok := byName[entries[i].super]; ok {
+			d = 1 + depthOf(j, guard+1)
+		}
+		depth[i] = d
+		return d
+	}
+	for i := range entries {
+		depthOf(i, 0)
+	}
+	idx := make([]int, len(entries))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return depth[idx[a]] < depth[idx[b]] })
+	out := make([][]byte, len(entries))
+	for i, j := range idx {
+		out[i] = entries[j].data
+	}
+	return out, nil
+}
+
+// Strip canonicalizes a single class file per §2 of the paper: debugging
+// and unrecognized attributes are removed, and the constant pool is
+// garbage-collected, deduplicated, and sorted.
+func Strip(data []byte) ([]byte, error) {
+	cf, err := classfile.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := strip.Apply(cf, strip.Options{}); err != nil {
+		return nil, err
+	}
+	return classfile.Write(cf)
+}
+
+// Verify structurally validates a class file (constant-pool cross
+// references and member descriptors).
+func Verify(data []byte) error {
+	cf, err := classfile.Parse(data)
+	if err != nil {
+		return err
+	}
+	return classfile.Verify(cf)
+}
+
+// VerifyDeep additionally runs a dataflow bytecode verifier over every
+// method (pre-Java-6-style type inference: stack discipline, operand
+// types, frame merges, definite assignment of locals). Reference types
+// are checked typelessly — subtype relationships would require the full
+// class hierarchy, which a single file does not carry.
+func VerifyDeep(data []byte) error {
+	cf, err := classfile.Parse(data)
+	if err != nil {
+		return err
+	}
+	if err := classfile.Verify(cf); err != nil {
+		return err
+	}
+	return verifier.Class(cf)
+}
+
+// PackJar packs every ".class" member of a jar (zip) archive, skipping
+// other members, whose names are returned (§12: non-class files travel in
+// a conventional jar alongside the packed archive).
+func PackJar(jarData []byte, opts *Options) (packed []byte, skipped []string, err error) {
+	members, err := archive.ReadJar(jarData)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files [][]byte
+	for _, m := range members {
+		if len(m.Name) > 6 && m.Name[len(m.Name)-6:] == ".class" {
+			files = append(files, m.Data)
+		} else {
+			skipped = append(skipped, m.Name)
+		}
+	}
+	packed, err = Pack(files, opts)
+	return packed, skipped, err
+}
+
+// UnpackToJar decompresses a packed archive and rebuilds a conventional
+// jar file (per-file DEFLATE) from the classes, usable by any JVM.
+func UnpackToJar(data []byte) ([]byte, error) {
+	files, err := Unpack(data)
+	if err != nil {
+		return nil, err
+	}
+	members := make([]archive.File, len(files))
+	for i, f := range files {
+		members[i] = archive.File{Name: f.Name, Data: f.Data}
+	}
+	return archive.WriteJar(members)
+}
+
+// Stats describes a packed archive's composition by stream category
+// (the Table 6 breakdown): compressed bytes attributed to strings,
+// opcodes, integers, references, and miscellaneous streams.
+type Stats struct {
+	Strings, Opcodes, Ints, Refs, Misc int
+}
+
+// PackStats packs the files and reports where the bytes went.
+func PackStats(files [][]byte, opts *Options) (Stats, error) {
+	cfs := make([]*classfile.ClassFile, len(files))
+	for i, data := range files {
+		cf, err := classfile.Parse(data)
+		if err != nil {
+			return Stats{}, err
+		}
+		if err := strip.Apply(cf, strip.Options{}); err != nil {
+			return Stats{}, err
+		}
+		cfs[i] = cf
+	}
+	sizes, err := core.PackStats(cfs, opts.core())
+	if err != nil {
+		return Stats{}, err
+	}
+	var s Stats
+	for key, sz := range sizes {
+		switch key[:3] {
+		case "str":
+			s.Strings += sz[1]
+		case "ops":
+			s.Opcodes += sz[1]
+		case "int":
+			s.Ints += sz[1]
+		case "ref":
+			s.Refs += sz[1]
+		default:
+			s.Misc += sz[1]
+		}
+	}
+	return s, nil
+}

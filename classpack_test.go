@@ -1,0 +1,293 @@
+package classpack
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"classpack/internal/archive"
+	"classpack/internal/classfile"
+	"classpack/internal/minijava"
+	"classpack/internal/synth"
+)
+
+// sample returns raw (unstripped) classfile bytes from a generated corpus.
+func sample(t testing.TB) [][]byte {
+	t.Helper()
+	p, err := synth.ProfileByName("Hanoi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfs, err := synth.Generate(p, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := make([][]byte, len(cfs))
+	for i, cf := range cfs {
+		if files[i], err = classfile.Write(cf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return files
+}
+
+func TestPackUnpackEqualsStrip(t *testing.T) {
+	files := sample(t)
+	packed, err := Pack(files, nil)
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	out, err := Unpack(packed)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	if len(out) != len(files) {
+		t.Fatalf("got %d files, want %d", len(out), len(files))
+	}
+	for i, f := range out {
+		want, err := Strip(files[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(f.Data, want) {
+			t.Fatalf("file %d (%s): Unpack(Pack(x)) != Strip(x)", i, f.Name)
+		}
+		if err := Verify(f.Data); err != nil {
+			t.Fatalf("file %d: %v", i, err)
+		}
+		if len(f.Name) < 7 || f.Name[len(f.Name)-6:] != ".class" {
+			t.Fatalf("file %d: bad name %q", i, f.Name)
+		}
+	}
+}
+
+func TestPackCompresses(t *testing.T) {
+	files := sample(t)
+	packed, err := Pack(files, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, f := range files {
+		total += len(f)
+	}
+	if len(packed)*2 >= total {
+		t.Fatalf("packed %d bytes of %d raw: less than 2x", len(packed), total)
+	}
+}
+
+func TestCustomOptions(t *testing.T) {
+	files := sample(t)
+	opts := Options{Scheme: SchemeBasic, StackState: false, Compress: true}
+	packed, err := Pack(files, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unpack(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(files) {
+		t.Fatal("class count mismatch")
+	}
+}
+
+func TestJarRoundTrip(t *testing.T) {
+	files := sample(t)
+	var members []archive.File
+	for i, data := range files {
+		cf, err := classfile.Parse(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = i
+		members = append(members, archive.File{Name: cf.ThisClassName() + ".class", Data: data})
+	}
+	members = append(members, archive.File{Name: "logo.png", Data: []byte{1, 2, 3}})
+	jar, err := archive.WriteJar(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, skipped, err := PackJar(jar, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 1 || skipped[0] != "logo.png" {
+		t.Fatalf("skipped = %v", skipped)
+	}
+	outJar, err := UnpackToJar(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outMembers, err := archive.ReadJar(outJar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outMembers) != len(files) {
+		t.Fatalf("jar has %d members, want %d", len(outMembers), len(files))
+	}
+	for _, m := range outMembers {
+		if err := Verify(m.Data); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestPackStats(t *testing.T) {
+	files := sample(t)
+	s, err := PackStats(files, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Strings <= 0 || s.Opcodes <= 0 || s.Ints <= 0 || s.Refs <= 0 {
+		t.Fatalf("empty stat categories: %+v", s)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Pack([][]byte{{1, 2, 3}}, nil); err == nil {
+		t.Error("Pack of junk succeeded")
+	}
+	if _, err := Unpack([]byte("not an archive")); err == nil {
+		t.Error("Unpack of junk succeeded")
+	}
+	if _, err := Strip([]byte("junk")); err == nil {
+		t.Error("Strip of junk succeeded")
+	}
+	if err := Verify([]byte("junk")); err == nil {
+		t.Error("Verify of junk succeeded")
+	}
+	bad := Options{Scheme: 2 /* Freq: not decodable */, StackState: true, Compress: true}
+	if _, err := Pack(sample(t), &bad); err == nil {
+		t.Error("Pack with undecodable scheme succeeded")
+	}
+}
+
+func TestStripIdempotent(t *testing.T) {
+	files := sample(t)
+	once, err := Strip(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := Strip(once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(once, twice) {
+		t.Fatal("Strip not idempotent")
+	}
+	if len(once) >= len(files[0]) {
+		t.Fatalf("Strip did not shrink: %d -> %d", len(files[0]), len(once))
+	}
+}
+
+func TestUnpackEachStreamsInOrder(t *testing.T) {
+	files := sample(t)
+	packed, err := Pack(files, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := Unpack(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []string
+	err = UnpackEach(packed, func(f File) error {
+		seen = append(seen, f.Name)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(all) {
+		t.Fatalf("streamed %d classes, want %d", len(seen), len(all))
+	}
+	for i := range all {
+		if seen[i] != all[i].Name {
+			t.Fatalf("order diverged at %d: %s vs %s", i, seen[i], all[i].Name)
+		}
+	}
+	// An aborting visitor stops the stream.
+	calls := 0
+	sentinel := fmt.Errorf("stop")
+	err = UnpackEach(packed, func(File) error {
+		calls++
+		return sentinel
+	})
+	if err != sentinel || calls != 1 {
+		t.Fatalf("abort: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestOrderForEagerLoading(t *testing.T) {
+	cfs, err := minijava.Compile(`
+class Main { public static void main(String[] a) { System.out.println(1); } }
+class C extends B { public int f() { return 3; } }
+class B extends A { public int f() { return 2; } }
+class A { public int f() { return 1; } }
+`, minijava.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files [][]byte
+	for _, cf := range cfs {
+		data, werr := classfile.Write(cf)
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		files = append(files, data)
+	}
+	ordered, err := OrderForEagerLoading(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, data := range ordered {
+		cf, perr := classfile.Parse(data)
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		pos[cf.ThisClassName()] = i
+	}
+	if !(pos["A"] < pos["B"] && pos["B"] < pos["C"]) {
+		t.Fatalf("order violates superclass-first: %v", pos)
+	}
+	// Packing the ordered set still round-trips.
+	packed, err := Pack(ordered, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unpack(packed); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyDeep(t *testing.T) {
+	files := sample(t)
+	for _, data := range files {
+		if err := VerifyDeep(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A class with broken bytecode passes Verify but not VerifyDeep.
+	cf, err := classfile.Parse(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mi := range cf.Methods {
+		if code := classfile.CodeOf(&cf.Methods[mi]); code != nil && len(code.Code) > 0 {
+			code.Code = []byte{0x60, 0xb1} // iadd on an empty stack; return
+			break
+		}
+	}
+	bad, err := classfile.Write(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(bad); err != nil {
+		t.Fatalf("structural verify rejected: %v", err)
+	}
+	if err := VerifyDeep(bad); err == nil {
+		t.Fatal("VerifyDeep accepted stack underflow")
+	}
+}

@@ -1,0 +1,120 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation section over the synthetic corpora.
+//
+// Usage:
+//
+//	benchtables [-scale 1.0] [-table N | -figure2 | -all]
+//
+// Tables 1–8 correspond to the paper's numbering; -figure2 emits the CSV
+// series behind Figure 2 (compression ratio vs jar size).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"classpack/internal/bench"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "corpus scale factor (1.0 = the paper's sizes)")
+	table := flag.Int("table", 0, "print one table (1-8)")
+	fig2 := flag.Bool("figure2", false, "emit the Figure 2 CSV series")
+	all := flag.Bool("all", false, "print every table and the figure")
+	flag.Parse()
+
+	if *scale <= 0 || *scale > 4 {
+		fmt.Fprintln(os.Stderr, "benchtables: -scale must be in (0, 4]")
+		os.Exit(2)
+	}
+	if !*fig2 && *table == 0 {
+		*all = true
+	}
+	run := func(n int) error {
+		switch n {
+		case 1:
+			rows, err := bench.Table1(*scale)
+			if err != nil {
+				return err
+			}
+			bench.RenderTable1(os.Stdout, rows)
+		case 2:
+			t, err := bench.Table2(*scale)
+			if err != nil {
+				return err
+			}
+			bench.RenderTable2(os.Stdout, t)
+		case 3:
+			rows, err := bench.Table3(*scale)
+			if err != nil {
+				return err
+			}
+			bench.RenderTable3(os.Stdout, rows)
+		case 4:
+			t, err := bench.Table4(*scale)
+			if err != nil {
+				return err
+			}
+			bench.RenderTable4(os.Stdout, t)
+		case 5:
+			t, err := bench.Table5(*scale)
+			if err != nil {
+				return err
+			}
+			bench.RenderTable5(os.Stdout, t)
+		case 6:
+			rows, err := bench.Table6(*scale)
+			if err != nil {
+				return err
+			}
+			bench.RenderTable6(os.Stdout, rows)
+		case 7:
+			rows, err := bench.Table7(*scale)
+			if err != nil {
+				return err
+			}
+			bench.RenderTable7(os.Stdout, rows)
+		case 8:
+			rows, err := bench.Table8(*scale)
+			if err != nil {
+				return err
+			}
+			bench.RenderTable8(os.Stdout, rows)
+		default:
+			return fmt.Errorf("no table %d", n)
+		}
+		return nil
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+	if *all {
+		for n := 1; n <= 8; n++ {
+			if err := run(n); err != nil {
+				fail(err)
+			}
+			fmt.Println()
+		}
+		rows, err := bench.Figure2(*scale)
+		if err != nil {
+			fail(err)
+		}
+		bench.RenderFigure2(os.Stdout, rows)
+		return
+	}
+	if *table != 0 {
+		if err := run(*table); err != nil {
+			fail(err)
+		}
+	}
+	if *fig2 {
+		rows, err := bench.Figure2(*scale)
+		if err != nil {
+			fail(err)
+		}
+		bench.RenderFigure2(os.Stdout, rows)
+	}
+}

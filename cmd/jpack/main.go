@@ -1,0 +1,362 @@
+// Command jpack packs and unpacks collections of Java class files using
+// the wire format of "Compressing Java Class Files" (Pugh, PLDI 1999).
+//
+// Usage:
+//
+//	jpack pack   [-o out.cjp] [-scheme mtf-full] [-no-stackstate] [-no-gzip] file.class... | app.jar
+//	jpack unpack [-d outdir] [-jar out.jar] archive.cjp
+//	jpack strip  [-o out.class] file.class
+//	jpack stats  archive-inputs...
+//	jpack verify file.class...
+package main
+
+import (
+	"archive/zip"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"classpack"
+	"classpack/internal/classfile"
+	"classpack/internal/dump"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "pack":
+		err = cmdPack(os.Args[2:])
+	case "unpack":
+		err = cmdUnpack(os.Args[2:])
+	case "strip":
+		err = cmdStrip(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "dump":
+		err = cmdDump(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "jpack: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jpack:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  jpack pack   [-o out.cjp] [-scheme NAME] [-no-stackstate] [-no-gzip] <file.class ... | app.jar>
+  jpack unpack [-d outdir] [-jar out.jar] <archive.cjp>
+  jpack strip  [-o out.class] <file.class>
+  jpack stats  <file.class ... | app.jar>
+  jpack verify [-deep] <file.class ...>
+  jpack dump   [-pool] [-code] <file.class ... | app.jar>
+
+schemes: simple, basic, mtf, mtf-transients, mtf-context, mtf-full (default)
+`)
+}
+
+func schemeByName(name string) (classpack.Scheme, error) {
+	switch name {
+	case "simple":
+		return classpack.SchemeSimple, nil
+	case "basic":
+		return classpack.SchemeBasic, nil
+	case "mtf":
+		return classpack.SchemeMTFBasic, nil
+	case "mtf-transients":
+		return classpack.SchemeMTFTransients, nil
+	case "mtf-context":
+		return classpack.SchemeMTFContext, nil
+	case "mtf-full", "":
+		return classpack.SchemeMTFFull, nil
+	default:
+		return 0, fmt.Errorf("unknown scheme %q", name)
+	}
+}
+
+// parseFlags splits leading -flag arguments from file operands.
+func parseFlags(args []string, flags map[string]*string, bools map[string]*bool) ([]string, error) {
+	i := 0
+	for i < len(args) {
+		arg := args[i]
+		if !strings.HasPrefix(arg, "-") {
+			break
+		}
+		if b, ok := bools[arg]; ok {
+			*b = true
+			i++
+			continue
+		}
+		if f, ok := flags[arg]; ok {
+			if i+1 >= len(args) {
+				return nil, fmt.Errorf("flag %s needs a value", arg)
+			}
+			*f = args[i+1]
+			i += 2
+			continue
+		}
+		return nil, fmt.Errorf("unknown flag %s", arg)
+	}
+	return args[i:], nil
+}
+
+// loadClassInputs reads the operands: .class files directly, .jar files as
+// containers of classes. It returns class bytes and skipped member names.
+func loadClassInputs(paths []string) ([][]byte, []string, error) {
+	var classes [][]byte
+	var skipped []string
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		if strings.HasSuffix(path, ".jar") || strings.HasSuffix(path, ".zip") {
+			packedClasses, skip, err := jarClasses(data)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", path, err)
+			}
+			classes = append(classes, packedClasses...)
+			skipped = append(skipped, skip...)
+			continue
+		}
+		classes = append(classes, data)
+	}
+	return classes, skipped, nil
+}
+
+func jarClasses(jar []byte) ([][]byte, []string, error) {
+	zr, err := zip.NewReader(bytes.NewReader(jar), int64(len(jar)))
+	if err != nil {
+		return nil, nil, err
+	}
+	var classes [][]byte
+	var skipped []string
+	for _, zf := range zr.File {
+		if !strings.HasSuffix(zf.Name, ".class") {
+			if !strings.HasSuffix(zf.Name, "/") {
+				skipped = append(skipped, zf.Name)
+			}
+			continue
+		}
+		r, err := zf.Open()
+		if err != nil {
+			return nil, nil, err
+		}
+		data, err := io.ReadAll(r)
+		r.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		classes = append(classes, data)
+	}
+	return classes, skipped, nil
+}
+
+func cmdPack(args []string) error {
+	out := "out.cjp"
+	scheme := "mtf-full"
+	noSS, noGz, preload := false, false, false
+	files, err := parseFlags(args,
+		map[string]*string{"-o": &out, "-scheme": &scheme},
+		map[string]*bool{"-no-stackstate": &noSS, "-no-gzip": &noGz, "-preload": &preload})
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no input files")
+	}
+	s, err := schemeByName(scheme)
+	if err != nil {
+		return err
+	}
+	opts := classpack.DefaultOptions()
+	opts.Scheme = s
+	opts.StackState = !noSS
+	opts.Compress = !noGz
+	opts.Preload = preload
+	classes, skipped, err := loadClassInputs(files)
+	if err != nil {
+		return err
+	}
+	for _, s := range skipped {
+		fmt.Fprintf(os.Stderr, "jpack: skipping non-class member %s\n", s)
+	}
+	raw := 0
+	for _, c := range classes {
+		raw += len(c)
+	}
+	packed, err := classpack.Pack(classes, &opts)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, packed, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("packed %d classes: %d -> %d bytes (%.1f%%)\n",
+		len(classes), raw, len(packed), 100*float64(len(packed))/float64(raw))
+	return nil
+}
+
+func cmdUnpack(args []string) error {
+	dir := "."
+	jarOut := ""
+	files, err := parseFlags(args,
+		map[string]*string{"-d": &dir, "-jar": &jarOut}, nil)
+	if err != nil {
+		return err
+	}
+	if len(files) != 1 {
+		return fmt.Errorf("unpack takes exactly one archive")
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		return err
+	}
+	if jarOut != "" {
+		jar, err := classpack.UnpackToJar(data)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jarOut, jar, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", jarOut, len(jar))
+		return nil
+	}
+	out, err := classpack.Unpack(data)
+	if err != nil {
+		return err
+	}
+	for _, f := range out {
+		path := filepath.Join(dir, filepath.FromSlash(f.Name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, f.Data, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("unpacked %d classes into %s\n", len(out), dir)
+	return nil
+}
+
+func cmdStrip(args []string) error {
+	out := ""
+	files, err := parseFlags(args, map[string]*string{"-o": &out}, nil)
+	if err != nil {
+		return err
+	}
+	if len(files) != 1 {
+		return fmt.Errorf("strip takes exactly one class file")
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		return err
+	}
+	stripped, err := classpack.Strip(data)
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		out = files[0]
+	}
+	if err := os.WriteFile(out, stripped, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("stripped %s: %d -> %d bytes\n", files[0], len(data), len(stripped))
+	return nil
+}
+
+func cmdStats(args []string) error {
+	files, err := parseFlags(args, nil, nil)
+	if err != nil {
+		return err
+	}
+	classes, _, err := loadClassInputs(files)
+	if err != nil {
+		return err
+	}
+	stats, err := classpack.PackStats(classes, nil)
+	if err != nil {
+		return err
+	}
+	total := stats.Strings + stats.Opcodes + stats.Ints + stats.Refs + stats.Misc
+	fmt.Printf("packed archive composition (%d classes, %d bytes):\n", len(classes), total)
+	show := func(label string, v int) {
+		fmt.Printf("  %-8s %8d bytes  %5.1f%%\n", label, v, 100*float64(v)/float64(total))
+	}
+	show("strings", stats.Strings)
+	show("opcodes", stats.Opcodes)
+	show("ints", stats.Ints)
+	show("refs", stats.Refs)
+	show("misc", stats.Misc)
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	deep := false
+	files, err := parseFlags(args, nil, map[string]*bool{"-deep": &deep})
+	if err != nil {
+		return err
+	}
+	check := classpack.Verify
+	if deep {
+		check = classpack.VerifyDeep
+	}
+	bad := 0
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := check(data); err != nil {
+			fmt.Printf("%s: INVALID: %v\n", path, err)
+			bad++
+		} else {
+			fmt.Printf("%s: ok\n", path)
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d invalid files", bad)
+	}
+	return nil
+}
+
+func cmdDump(args []string) error {
+	pool, code := false, false
+	files, err := parseFlags(args, nil, map[string]*bool{"-pool": &pool, "-code": &code})
+	if err != nil {
+		return err
+	}
+	if !pool && !code {
+		code = true
+	}
+	classes, _, err := loadClassInputs(files)
+	if err != nil {
+		return err
+	}
+	for _, data := range classes {
+		cf, err := classfile.Parse(data)
+		if err != nil {
+			return err
+		}
+		if err := dump.Class(os.Stdout, cf, dump.Options{Pool: pool, Code: code}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

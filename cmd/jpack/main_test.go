@@ -1,0 +1,147 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"classpack/internal/archive"
+	"classpack/internal/classfile"
+	"classpack/internal/minijava"
+)
+
+// writeClasses compiles a small program into a temp dir and returns the
+// .class paths plus a jar containing them and one non-class member.
+func writeClasses(t *testing.T) (classPaths []string, jarPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	cfs, err := minijava.Compile(`
+class Main { public static void main(String[] a) { System.out.println(new W().twice(21)); } }
+class W { public int twice(int x) { return x + x; } }
+`, minijava.CompileOptions{SourceFile: "W.java"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var members []archive.File
+	for _, cf := range cfs {
+		data, err := classfile.Write(cf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, cf.ThisClassName()+".class")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		classPaths = append(classPaths, path)
+		members = append(members, archive.File{Name: cf.ThisClassName() + ".class", Data: data})
+	}
+	members = append(members, archive.File{Name: "res/logo.png", Data: []byte{9, 9}})
+	jar, err := archive.WriteJar(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jarPath = filepath.Join(dir, "app.jar")
+	if err := os.WriteFile(jarPath, jar, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return classPaths, jarPath
+}
+
+func TestPackUnpackVerifyFlow(t *testing.T) {
+	classes, _ := writeClasses(t)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "app.cjp")
+
+	if err := cmdPack(append([]string{"-o", out}, classes...)); err != nil {
+		t.Fatalf("pack: %v", err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+	unDir := filepath.Join(dir, "un")
+	if err := cmdUnpack([]string{"-d", unDir, out}); err != nil {
+		t.Fatalf("unpack: %v", err)
+	}
+	mainClass := filepath.Join(unDir, "Main.class")
+	if err := cmdVerify([]string{mainClass, filepath.Join(unDir, "W.class")}); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if err := cmdDump([]string{"-pool", "-code", mainClass}); err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	if err := cmdStats(classes); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+}
+
+func TestPackFromJarAndUnpackToJar(t *testing.T) {
+	_, jar := writeClasses(t)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "app.cjp")
+	if err := cmdPack([]string{"-o", out, "-preload", jar}); err != nil {
+		t.Fatalf("pack jar: %v", err)
+	}
+	outJar := filepath.Join(dir, "rebuilt.jar")
+	if err := cmdUnpack([]string{"-jar", outJar, out}); err != nil {
+		t.Fatalf("unpack to jar: %v", err)
+	}
+	data, err := os.ReadFile(outJar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members, err := archive.ReadJar(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 2 {
+		t.Fatalf("rebuilt jar has %d members, want 2", len(members))
+	}
+}
+
+func TestStripCommand(t *testing.T) {
+	classes, _ := writeClasses(t)
+	out := filepath.Join(t.TempDir(), "stripped.class")
+	if err := cmdStrip([]string{"-o", out, classes[0]}); err != nil {
+		t.Fatalf("strip: %v", err)
+	}
+	orig, _ := os.ReadFile(classes[0])
+	stripped, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stripped) >= len(orig) {
+		t.Fatalf("strip did not shrink: %d -> %d", len(orig), len(stripped))
+	}
+}
+
+func TestSchemeFlags(t *testing.T) {
+	classes, _ := writeClasses(t)
+	dir := t.TempDir()
+	for _, scheme := range []string{"simple", "basic", "mtf", "mtf-transients", "mtf-context", "mtf-full"} {
+		out := filepath.Join(dir, scheme+".cjp")
+		if err := cmdPack(append([]string{"-o", out, "-scheme", scheme, "-no-stackstate"}, classes...)); err != nil {
+			t.Fatalf("scheme %s: %v", scheme, err)
+		}
+	}
+	if err := cmdPack(append([]string{"-scheme", "bogus"}, classes...)); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	if err := cmdPack([]string{"-o"}); err == nil {
+		t.Error("dangling flag accepted")
+	}
+	if err := cmdPack([]string{"-wat", "x"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := cmdPack(nil); err == nil {
+		t.Error("pack with no inputs accepted")
+	}
+	if err := cmdUnpack([]string{"a", "b"}); err == nil {
+		t.Error("unpack with two archives accepted")
+	}
+	if err := cmdVerify([]string{filepath.Join(t.TempDir(), "missing.class")}); err == nil {
+		t.Error("verify of missing file accepted")
+	}
+}

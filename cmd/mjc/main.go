@@ -1,0 +1,87 @@
+// Command mjc compiles MiniJava source to Java class files, optionally
+// runs the program on the built-in interpreter, and optionally packs the
+// result with the classpack wire format.
+//
+// Usage:
+//
+//	mjc [-d outdir] [-pkg com/example] [-run] [-pack out.cjp] program.java
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"classpack"
+	"classpack/internal/classfile"
+	"classpack/internal/minijava"
+)
+
+func main() {
+	dir := flag.String("d", ".", "output directory for .class files")
+	pkg := flag.String("pkg", "", "place generated classes into this package")
+	run := flag.Bool("run", false, "run the program on the built-in interpreter")
+	packOut := flag.String("pack", "", "also pack the classes into this archive")
+	noEmit := flag.Bool("noemit", false, "do not write .class files")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mjc [-d dir] [-pkg p] [-run] [-pack out.cjp] program.java")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	cfs, err := minijava.Compile(string(src), minijava.CompileOptions{
+		Package:    *pkg,
+		SourceFile: filepath.Base(flag.Arg(0)),
+	})
+	if err != nil {
+		fail(err)
+	}
+	var raw [][]byte
+	for _, cf := range cfs {
+		data, err := classfile.Write(cf)
+		if err != nil {
+			fail(err)
+		}
+		raw = append(raw, data)
+		if *noEmit {
+			continue
+		}
+		path := filepath.Join(*dir, filepath.FromSlash(cf.ThisClassName())+".class")
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", path, len(data))
+	}
+	if *packOut != "" {
+		packed, err := classpack.Pack(raw, nil)
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*packOut, packed, 0o644); err != nil {
+			fail(err)
+		}
+		total := 0
+		for _, d := range raw {
+			total += len(d)
+		}
+		fmt.Fprintf(os.Stderr, "packed %d classes: %d -> %d bytes\n", len(raw), total, len(packed))
+	}
+	if *run {
+		interp := minijava.NewInterp(os.Stdout, cfs)
+		if err := interp.RunMain(cfs[0].ThisClassName()); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mjc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Reference-encoding schemes: an interactive version of the paper's
+// Table 3/Table 4 ablations. The same application is packed under each
+// decodable §5.1 scheme, with and without the §7.1 stack-state
+// optimization, showing how each design decision earns its bytes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"classpack"
+	"classpack/internal/classfile"
+	"classpack/internal/synth"
+)
+
+func main() {
+	profile, err := synth.ProfileByName("213_javac")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfs, err := synth.Generate(profile, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var files [][]byte
+	raw := 0
+	for _, cf := range cfs {
+		data, err := classfile.Write(cf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		files = append(files, data)
+		raw += len(data)
+	}
+	fmt.Printf("corpus: %d classes, %d bytes (javac-like workload)\n\n", len(cfs), raw)
+
+	schemes := []struct {
+		name   string
+		scheme classpack.Scheme
+	}{
+		{"Simple (fixed 2-byte ids)", classpack.SchemeSimple},
+		{"Basic (compact fixed ids)", classpack.SchemeBasic},
+		{"Move-to-front", classpack.SchemeMTFBasic},
+		{"MTF + transients", classpack.SchemeMTFTransients},
+		{"MTF + use context", classpack.SchemeMTFContext},
+		{"MTF + transients + context", classpack.SchemeMTFFull},
+	}
+	fmt.Printf("%-28s %12s %12s\n", "reference scheme", "no stack st.", "stack state")
+	var base int
+	for _, s := range schemes {
+		var sizes [2]int
+		for i, ss := range []bool{false, true} {
+			opts := classpack.Options{Scheme: s.scheme, StackState: ss, Compress: true}
+			packed, err := classpack.Pack(files, &opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sizes[i] = len(packed)
+		}
+		if base == 0 {
+			base = sizes[0]
+		}
+		fmt.Printf("%-28s %8d B    %8d B   (%.1f%% vs Simple)\n",
+			s.name, sizes[0], sizes[1], 100*float64(sizes[1])/float64(base))
+	}
+
+	// Every variant decodes back to the identical canonical classes.
+	opts := classpack.DefaultOptions()
+	packed, err := classpack.Pack(files, &opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := classpack.Unpack(packed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndefault configuration decodes %d classes, %d -> %d bytes (%.0f%%)\n",
+		len(out), raw, len(packed), 100*float64(len(packed))/float64(raw))
+}

@@ -1,0 +1,3 @@
+module classpack
+
+go 1.22

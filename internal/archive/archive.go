@@ -1,0 +1,158 @@
+// Package archive implements the baseline container formats the paper
+// compares against (§2): jar files (zip archives with per-file DEFLATE
+// compression), uncompressed "j0r" archives (zip with stored entries), and
+// j0r.gz archives (a stored zip compressed with gzip as a whole, §2.1).
+// Output is deterministic: entries carry no timestamps.
+package archive
+
+import (
+	"archive/zip"
+	"bytes"
+	"compress/flate"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// File is one archive member.
+type File struct {
+	Name string
+	Data []byte
+}
+
+func writeZip(files []File, method uint16) ([]byte, error) {
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	// Maximum compression, matching the paper's gzip usage.
+	zw.RegisterCompressor(zip.Deflate, func(w io.Writer) (io.WriteCloser, error) {
+		return flate.NewWriter(w, flate.BestCompression)
+	})
+	for _, f := range files {
+		w, err := zw.CreateHeader(&zip.FileHeader{Name: f.Name, Method: method})
+		if err != nil {
+			return nil, fmt.Errorf("archive: %s: %w", f.Name, err)
+		}
+		if _, err := w.Write(f.Data); err != nil {
+			return nil, fmt.Errorf("archive: %s: %w", f.Name, err)
+		}
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteJar builds a jar (zip, per-file DEFLATE).
+func WriteJar(files []File) ([]byte, error) { return writeZip(files, zip.Deflate) }
+
+// WriteStored builds a "j0r": a jar whose entries are stored uncompressed.
+func WriteStored(files []File) ([]byte, error) { return writeZip(files, zip.Store) }
+
+// GzipWhole compresses data as one gzip stream at maximum compression.
+func GzipWhole(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	gw, err := gzip.NewWriterLevel(&buf, gzip.BestCompression)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := gw.Write(data); err != nil {
+		return nil, err
+	}
+	if err := gw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GunzipWhole decompresses a single gzip stream.
+func GunzipWhole(data []byte) ([]byte, error) {
+	gr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	defer gr.Close()
+	return io.ReadAll(gr)
+}
+
+// WriteJ0rGz builds a j0r.gz: individual files stored uncompressed in a
+// jar, the jar gzip'd as a whole (§2.1).
+func WriteJ0rGz(files []File) ([]byte, error) {
+	stored, err := WriteStored(files)
+	if err != nil {
+		return nil, err
+	}
+	return GzipWhole(stored)
+}
+
+// ReadJar lists the members of a jar or j0r produced by this package (or
+// any zip archive).
+func ReadJar(data []byte) ([]File, error) {
+	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, err
+	}
+	var out []File
+	for _, zf := range zr.File {
+		r, err := zf.Open()
+		if err != nil {
+			return nil, fmt.Errorf("archive: %s: %w", zf.Name, err)
+		}
+		payload, err := io.ReadAll(r)
+		r.Close()
+		if err != nil {
+			return nil, fmt.Errorf("archive: %s: %w", zf.Name, err)
+		}
+		out = append(out, File{Name: zf.Name, Data: payload})
+	}
+	return out, nil
+}
+
+// ReadJ0rGz is the inverse of WriteJ0rGz.
+func ReadJ0rGz(data []byte) ([]File, error) {
+	stored, err := GunzipWhole(data)
+	if err != nil {
+		return nil, err
+	}
+	return ReadJar(stored)
+}
+
+// FlateSize returns the DEFLATE-compressed size of data at maximum
+// compression, without gzip framing — the measurement the paper uses when
+// it reports zlib sizes excluding header bytes.
+func FlateSize(data []byte) int {
+	var buf bytes.Buffer
+	fw, err := flate.NewWriter(&buf, flate.BestCompression)
+	if err != nil {
+		return 0
+	}
+	if _, err := fw.Write(data); err != nil {
+		return 0
+	}
+	if err := fw.Close(); err != nil {
+		return 0
+	}
+	return buf.Len()
+}
+
+// Flate compresses data with raw DEFLATE at maximum compression.
+func Flate(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	fw, err := flate.NewWriter(&buf, flate.BestCompression)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(data); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Inflate decompresses raw DEFLATE data.
+func Inflate(data []byte) ([]byte, error) {
+	fr := flate.NewReader(bytes.NewReader(data))
+	defer fr.Close()
+	return io.ReadAll(fr)
+}

@@ -1,0 +1,177 @@
+// Package bench builds the benchmark corpora and computes every
+// measurement behind the paper's Tables 1–8 and Figure 2. The cmd/benchtables
+// binary and the repository's bench_test.go both drive this package.
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"classpack/internal/archive"
+	"classpack/internal/classfile"
+	"classpack/internal/core"
+	"classpack/internal/jazz"
+	"classpack/internal/strip"
+	"classpack/internal/synth"
+)
+
+// Corpus is one generated benchmark with its as-distributed (debug-bearing)
+// and stripped forms.
+type Corpus struct {
+	Name  string
+	Scale float64
+
+	// Unstripped holds the files as a compiler would distribute them.
+	Unstripped []archive.File
+	// Stripped holds the §2-canonicalized classfiles and their bytes.
+	Stripped      []*classfile.ClassFile
+	StrippedFiles []archive.File
+
+	mu    sync.Mutex
+	sizes map[string]int
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*Corpus{}
+)
+
+// Names lists the benchmark corpora in the paper's Table 1 order.
+func Names() []string {
+	var out []string
+	for _, p := range synth.Profiles() {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// Load builds (or returns the cached) corpus for a profile at a scale.
+func Load(name string, scale float64) (*Corpus, error) {
+	key := fmt.Sprintf("%s@%g", name, scale)
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if c, ok := cache[key]; ok {
+		return c, nil
+	}
+	p, err := synth.ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	cfs, err := synth.Generate(p, scale)
+	if err != nil {
+		return nil, err
+	}
+	c := &Corpus{Name: name, Scale: scale, sizes: map[string]int{}}
+	for _, cf := range cfs {
+		data, err := classfile.Write(cf)
+		if err != nil {
+			return nil, err
+		}
+		fname := cf.ThisClassName() + ".class"
+		c.Unstripped = append(c.Unstripped, archive.File{Name: fname, Data: data})
+	}
+	if err := strip.ApplyAll(cfs, strip.Options{}); err != nil {
+		return nil, err
+	}
+	c.Stripped = cfs
+	for _, cf := range cfs {
+		data, err := classfile.Write(cf)
+		if err != nil {
+			return nil, err
+		}
+		c.StrippedFiles = append(c.StrippedFiles, archive.File{Name: cf.ThisClassName() + ".class", Data: data})
+	}
+	cache[key] = c
+	return c, nil
+}
+
+// memo caches a size measurement under a key.
+func (c *Corpus) memo(key string, f func() (int, error)) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, ok := c.sizes[key]; ok {
+		return v, nil
+	}
+	v, err := f()
+	if err != nil {
+		return 0, err
+	}
+	c.sizes[key] = v
+	return v, nil
+}
+
+// SJ0R is the stored (uncompressed) jar of stripped classfiles.
+func (c *Corpus) SJ0R() (int, error) {
+	return c.memo("sj0r", func() (int, error) {
+		data, err := archive.WriteStored(c.StrippedFiles)
+		return len(data), err
+	})
+}
+
+// Jar is the per-file-deflate jar of the files as distributed (debug
+// information not stripped) — Table 1's "jar" column.
+func (c *Corpus) Jar() (int, error) {
+	return c.memo("jar", func() (int, error) {
+		data, err := archive.WriteJar(c.Unstripped)
+		return len(data), err
+	})
+}
+
+// SJar is the per-file-deflate jar of stripped classfiles.
+func (c *Corpus) SJar() (int, error) {
+	return c.memo("sjar", func() (int, error) {
+		data, err := archive.WriteJar(c.StrippedFiles)
+		return len(data), err
+	})
+}
+
+// SJ0RGz is the whole-archive-gzip of the stored stripped jar (§2.1).
+func (c *Corpus) SJ0RGz() (int, error) {
+	return c.memo("sj0rgz", func() (int, error) {
+		data, err := archive.WriteJ0rGz(c.StrippedFiles)
+		return len(data), err
+	})
+}
+
+// JazzSize is the Jazz-format archive size (§13.1 baseline).
+func (c *Corpus) JazzSize() (int, error) {
+	return c.memo("jazz", func() (int, error) {
+		data, err := jazz.Pack(c.Stripped)
+		return len(data), err
+	})
+}
+
+// PackedSize is the archive size under this paper's format.
+func (c *Corpus) PackedSize(opts core.Options) (int, error) {
+	key := fmt.Sprintf("packed:%+v", opts)
+	return c.memo(key, func() (int, error) {
+		data, err := core.Pack(c.Stripped, opts)
+		return len(data), err
+	})
+}
+
+// PackedSeparately packs each classfile as its own archive and sums the
+// sizes (the Table 5 ablation).
+func (c *Corpus) PackedSeparately(opts core.Options) (int, error) {
+	key := fmt.Sprintf("packedsep:%+v", opts)
+	return c.memo(key, func() (int, error) {
+		total := 0
+		for _, cf := range c.Stripped {
+			data, err := core.Pack([]*classfile.ClassFile{cf}, opts)
+			if err != nil {
+				return 0, err
+			}
+			total += len(data)
+		}
+		return total, nil
+	})
+}
+
+// RawStrippedTotal is the total stripped classfile bytes (no container).
+func (c *Corpus) RawStrippedTotal() int {
+	total := 0
+	for _, f := range c.StrippedFiles {
+		total += len(f.Data)
+	}
+	return total
+}

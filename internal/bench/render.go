@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+func kb(bytes int) string { return fmt.Sprintf("%.0f", float64(bytes)/1024) }
+
+// RenderTable1 prints Table 1 in the paper's layout.
+func RenderTable1(w io.Writer, rows []T1Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "Table 1: Benchmark programs (sizes in KBytes)")
+	fmt.Fprintln(tw, "Benchmark\tsj0r\tjar\tsjar\tsj0r.gz\tsjar/sj0r\tsjar/jar\tsj0r.gz/sjar\tDescription\t")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t\n",
+			r.Name, kb(r.SJ0R), kb(r.Jar), kb(r.SJar), kb(r.SJ0RGz),
+			fmtPct(pct(r.SJar, r.SJ0R)), fmtPct(pct(r.SJar, r.Jar)),
+			fmtPct(pct(r.SJ0RGz, r.SJar)), r.Description)
+	}
+	tw.Flush()
+}
+
+// RenderTable2 prints the classfile breakdown.
+func RenderTable2(w io.Writer, t *T2) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "Table 2: Classfile breakdown (uncompressed size, KBytes)")
+	header := "Component"
+	for _, b := range t.Benchmarks {
+		header += "\t" + b
+	}
+	fmt.Fprintln(tw, header+"\t")
+	for _, row := range t.Rows {
+		line := row.Label
+		for _, v := range row.Bytes {
+			line += "\t" + kb(v)
+		}
+		fmt.Fprintln(tw, line+"\t")
+	}
+	tw.Flush()
+}
+
+// RenderTable3 prints the reference-scheme comparison.
+func RenderTable3(w io.Writer, rows []T3Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "Table 3: Size (in bytes) of compressed references")
+	header := "Benchmark"
+	for _, s := range T3Schemes() {
+		header += "\t" + s.String()
+	}
+	fmt.Fprintln(tw, header+"\t")
+	for _, r := range rows {
+		line := r.Name
+		for _, v := range r.Sizes {
+			line += "\t" + fmt.Sprint(v)
+		}
+		fmt.Fprintln(tw, line+"\t")
+	}
+	tw.Flush()
+}
+
+// RenderTable4 prints the bytecode-component compression factors.
+func RenderTable4(w io.Writer, t *T4) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "Table 4: Compression for bytecode components")
+	header := "Component"
+	for _, b := range t.Benchmarks {
+		header += "\t" + b
+	}
+	fmt.Fprintln(tw, header+"\t")
+	for _, row := range t.Rows {
+		line := row.Label
+		for _, v := range row.Pct {
+			line += "\t" + fmtPct(v)
+		}
+		fmt.Fprintln(tw, line+"\t")
+	}
+	tw.Flush()
+}
+
+// RenderTable5 prints the packing ablations.
+func RenderTable5(w io.Writer, t *T5) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "Table 5: Effects of separate packing and not gzipping")
+	fmt.Fprintln(w, "(% of size of jar file of gzip'd classfiles)")
+	header := "Option"
+	for _, b := range t.Benchmarks {
+		header += "\t" + b
+	}
+	fmt.Fprintln(tw, header+"\t")
+	for _, row := range t.Rows {
+		line := row.Label
+		for _, v := range row.Pct {
+			line += "\t" + fmtPct(v)
+		}
+		fmt.Fprintln(tw, line+"\t")
+	}
+	tw.Flush()
+}
+
+// RenderTable6 prints the main compression-ratio table.
+func RenderTable6(w io.Writer, rows []T6Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "Table 6: Compression ratios")
+	fmt.Fprintln(tw, "Benchmark\tjar\tj0r.gz\tJazz\tPacked\tj0r.gz%\tJazz%\tPacked%\tStrings\tOpcodes\tInts\tRefs\tMisc\t")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t\n",
+			r.Name, kb(r.Jar), kb(r.J0RGz), kb(r.Jazz), kb(r.Packed),
+			fmtPct(pct(r.J0RGz, r.Jar)), fmtPct(pct(r.Jazz, r.Jar)), fmtPct(pct(r.Packed, r.Jar)),
+			fmtPct(r.Strings), fmtPct(r.Opcodes), fmtPct(r.Ints), fmtPct(r.Refs), fmtPct(r.Misc))
+	}
+	tw.Flush()
+}
+
+// RenderTable7 prints execution times.
+func RenderTable7(w io.Writer, rows []T7Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "Table 7: Execution times")
+	fmt.Fprintln(tw, "File\tCompress (s)\tDecompress (s)\tKB/s\t")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.0f\t\n", r.Name, r.CompressSecs, r.DecompressSecs, r.KBPerSec)
+	}
+	tw.Flush()
+}
+
+// RenderTable8 prints the related-work comparison.
+func RenderTable8(w io.Writer, rows []T8Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Table 8: Results on wire-code program compression in related work")
+	fmt.Fprintln(tw, "System\t% of gzip'd classfiles\tSource\t")
+	for _, r := range rows {
+		src := "quoted from the paper"
+		if r.Measured {
+			src = "measured here"
+		}
+		rangeStr := fmt.Sprintf("%.0f", r.Lo)
+		if r.Hi != r.Lo {
+			rangeStr = fmt.Sprintf("%.0f – %.0f", r.Lo, r.Hi)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t\n", r.System, rangeStr, src)
+	}
+	tw.Flush()
+}
+
+// RenderFigure2 emits the Figure 2 series as CSV (jar KB on a log axis,
+// three percent-of-jar series).
+func RenderFigure2(w io.Writer, rows []Fig2Row) {
+	fmt.Fprintln(w, "# Figure 2: compression ratios vs jar size")
+	fmt.Fprintln(w, "benchmark,jar_kb,j0rgz_pct,jazz_pct,packed_pct")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s,%.1f,%.1f,%.1f,%.1f\n", r.Name, r.JarKB, r.J0RGz, r.Jazz, r.Packed)
+	}
+}

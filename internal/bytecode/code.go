@@ -1,0 +1,427 @@
+package bytecode
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Instruction is one decoded JVM instruction. Branch targets (A for
+// branches, Default and Targets for switches) are absolute byte offsets
+// within the code array.
+type Instruction struct {
+	Offset int // byte offset of the opcode in the code array
+	Op     Op
+	Wide   bool // instruction was prefixed by wide
+
+	// A holds the primary operand: local slot (FmtLocal, FmtIinc), pushed
+	// constant (FmtSByte, FmtSShort), constant-pool index (FmtCP1, FmtCP2,
+	// FmtInvokeInterface, FmtMultiANewArray), primitive array type
+	// (FmtNewArray) or absolute branch target (FmtBranch2, FmtBranch4).
+	A int
+	// B holds the secondary operand: iinc delta, invokeinterface count, or
+	// multianewarray dimension count.
+	B int
+
+	// Switch payload.
+	Default int   // absolute target
+	Low     int32 // tableswitch bounds
+	High    int32
+	Keys    []int32 // lookupswitch match keys
+	Targets []int   // absolute targets, one per key / table slot
+}
+
+// Size returns the encoded byte size of the instruction at its offset.
+func (in *Instruction) Size() int {
+	switch FormatOf(in.Op) {
+	case FmtNone:
+		return 1
+	case FmtLocal:
+		if in.Wide {
+			return 4
+		}
+		return 2
+	case FmtIinc:
+		if in.Wide {
+			return 6
+		}
+		return 3
+	case FmtSByte, FmtCP1, FmtNewArray:
+		return 2
+	case FmtSShort, FmtCP2, FmtBranch2:
+		return 3
+	case FmtBranch4:
+		return 5
+	case FmtInvokeInterface, FmtMultiANewArray:
+		switch FormatOf(in.Op) {
+		case FmtInvokeInterface:
+			return 5
+		default:
+			return 4
+		}
+	case FmtTableSwitch:
+		pad := 3 - in.Offset%4
+		return 1 + pad + 12 + 4*len(in.Targets)
+	case FmtLookupSwitch:
+		pad := 3 - in.Offset%4
+		return 1 + pad + 8 + 8*len(in.Keys)
+	default:
+		return 1
+	}
+}
+
+// Decode decodes a complete code array into instructions.
+func Decode(code []byte) ([]Instruction, error) {
+	var out []Instruction
+	pos := 0
+	for pos < len(code) {
+		in, next, err := DecodeOne(code, pos)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+		pos = next
+	}
+	return out, nil
+}
+
+func u2at(code []byte, pos int) (int, error) {
+	if pos+2 > len(code) {
+		return 0, fmt.Errorf("bytecode: truncated at %d", pos)
+	}
+	return int(binary.BigEndian.Uint16(code[pos:])), nil
+}
+
+func s2at(code []byte, pos int) (int, error) {
+	v, err := u2at(code, pos)
+	return int(int16(v)), err
+}
+
+func s4at(code []byte, pos int) (int, error) {
+	if pos+4 > len(code) {
+		return 0, fmt.Errorf("bytecode: truncated at %d", pos)
+	}
+	return int(int32(binary.BigEndian.Uint32(code[pos:]))), nil
+}
+
+// DecodeOne decodes the instruction at pos, returning it and the offset of
+// the next instruction.
+func DecodeOne(code []byte, pos int) (Instruction, int, error) {
+	in := Instruction{Offset: pos}
+	if pos >= len(code) {
+		return in, 0, fmt.Errorf("bytecode: decode past end at %d", pos)
+	}
+	op := Op(code[pos])
+	if op == Wide {
+		if pos+1 >= len(code) {
+			return in, 0, fmt.Errorf("bytecode: truncated wide at %d", pos)
+		}
+		in.Wide = true
+		in.Op = Op(code[pos+1])
+		switch FormatOf(in.Op) {
+		case FmtLocal:
+			v, err := u2at(code, pos+2)
+			if err != nil {
+				return in, 0, err
+			}
+			in.A = v
+			return in, pos + 4, nil
+		case FmtIinc:
+			v, err := u2at(code, pos+2)
+			if err != nil {
+				return in, 0, err
+			}
+			d, err := s2at(code, pos+4)
+			if err != nil {
+				return in, 0, err
+			}
+			in.A, in.B = v, d
+			return in, pos + 6, nil
+		default:
+			return in, 0, fmt.Errorf("bytecode: wide prefix on %s at %d", in.Op, pos)
+		}
+	}
+	in.Op = op
+	switch FormatOf(op) {
+	case FmtInvalid:
+		return in, 0, fmt.Errorf("bytecode: invalid opcode 0x%02x at %d", byte(op), pos)
+	case FmtNone:
+		return in, pos + 1, nil
+	case FmtLocal, FmtCP1, FmtNewArray:
+		if pos+1 >= len(code) {
+			return in, 0, fmt.Errorf("bytecode: truncated %s at %d", op, pos)
+		}
+		in.A = int(code[pos+1])
+		return in, pos + 2, nil
+	case FmtSByte:
+		if pos+1 >= len(code) {
+			return in, 0, fmt.Errorf("bytecode: truncated %s at %d", op, pos)
+		}
+		in.A = int(int8(code[pos+1]))
+		return in, pos + 2, nil
+	case FmtSShort:
+		v, err := s2at(code, pos+1)
+		if err != nil {
+			return in, 0, err
+		}
+		in.A = v
+		return in, pos + 3, nil
+	case FmtCP2:
+		v, err := u2at(code, pos+1)
+		if err != nil {
+			return in, 0, err
+		}
+		in.A = v
+		return in, pos + 3, nil
+	case FmtIinc:
+		if pos+2 >= len(code) {
+			return in, 0, fmt.Errorf("bytecode: truncated iinc at %d", pos)
+		}
+		in.A = int(code[pos+1])
+		in.B = int(int8(code[pos+2]))
+		return in, pos + 3, nil
+	case FmtBranch2:
+		v, err := s2at(code, pos+1)
+		if err != nil {
+			return in, 0, err
+		}
+		in.A = pos + v
+		return in, pos + 3, nil
+	case FmtBranch4:
+		v, err := s4at(code, pos+1)
+		if err != nil {
+			return in, 0, err
+		}
+		in.A = pos + v
+		return in, pos + 5, nil
+	case FmtInvokeInterface:
+		v, err := u2at(code, pos+1)
+		if err != nil {
+			return in, 0, err
+		}
+		if pos+4 >= len(code) {
+			return in, 0, fmt.Errorf("bytecode: truncated invokeinterface at %d", pos)
+		}
+		in.A = v
+		in.B = int(code[pos+3])
+		if code[pos+4] != 0 {
+			return in, 0, fmt.Errorf("bytecode: invokeinterface pad byte %d at %d", code[pos+4], pos)
+		}
+		return in, pos + 5, nil
+	case FmtMultiANewArray:
+		v, err := u2at(code, pos+1)
+		if err != nil {
+			return in, 0, err
+		}
+		if pos+3 >= len(code) {
+			return in, 0, fmt.Errorf("bytecode: truncated multianewarray at %d", pos)
+		}
+		in.A = v
+		in.B = int(code[pos+3])
+		return in, pos + 4, nil
+	case FmtTableSwitch:
+		p := pos + 1 + (3 - pos%4)
+		def, err := s4at(code, p)
+		if err != nil {
+			return in, 0, err
+		}
+		lo, err := s4at(code, p+4)
+		if err != nil {
+			return in, 0, err
+		}
+		hi, err := s4at(code, p+8)
+		if err != nil {
+			return in, 0, err
+		}
+		if int64(hi) < int64(lo) {
+			return in, 0, fmt.Errorf("bytecode: tableswitch high %d < low %d at %d", hi, lo, pos)
+		}
+		n := int(int64(hi) - int64(lo) + 1)
+		if n > (len(code)-p)/4 {
+			return in, 0, fmt.Errorf("bytecode: tableswitch with %d entries overruns code at %d", n, pos)
+		}
+		in.Default = pos + def
+		in.Low, in.High = int32(lo), int32(hi)
+		in.Targets = make([]int, n)
+		p += 12
+		for i := range in.Targets {
+			t, err := s4at(code, p)
+			if err != nil {
+				return in, 0, err
+			}
+			in.Targets[i] = pos + t
+			p += 4
+		}
+		return in, p, nil
+	case FmtLookupSwitch:
+		p := pos + 1 + (3 - pos%4)
+		def, err := s4at(code, p)
+		if err != nil {
+			return in, 0, err
+		}
+		n, err := s4at(code, p+4)
+		if err != nil {
+			return in, 0, err
+		}
+		if n < 0 || n > (len(code)-p)/8 {
+			return in, 0, fmt.Errorf("bytecode: lookupswitch with %d pairs overruns code at %d", n, pos)
+		}
+		in.Default = pos + def
+		in.Keys = make([]int32, n)
+		in.Targets = make([]int, n)
+		p += 8
+		for i := 0; i < n; i++ {
+			k, err := s4at(code, p)
+			if err != nil {
+				return in, 0, err
+			}
+			t, err := s4at(code, p+4)
+			if err != nil {
+				return in, 0, err
+			}
+			in.Keys[i] = int32(k)
+			in.Targets[i] = pos + t
+			p += 8
+		}
+		return in, p, nil
+	default:
+		return in, 0, fmt.Errorf("bytecode: unhandled format for %s", op)
+	}
+}
+
+// Encode re-serializes instructions previously produced by Decode (their
+// Offset fields must describe a contiguous layout). The output is
+// byte-identical to the original array when operands are unchanged.
+func Encode(insns []Instruction) ([]byte, error) {
+	size := 0
+	if n := len(insns); n > 0 {
+		size = insns[n-1].Offset + insns[n-1].Size()
+	}
+	out := make([]byte, 0, size)
+	for i := range insns {
+		in := &insns[i]
+		if in.Offset != len(out) {
+			return nil, fmt.Errorf("bytecode: instruction %d offset %d does not match stream position %d",
+				i, in.Offset, len(out))
+		}
+		var err error
+		out, err = appendInstruction(out, in)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func appendInstruction(out []byte, in *Instruction) ([]byte, error) {
+	pos := in.Offset
+	switch FormatOf(in.Op) {
+	case FmtNone:
+		return append(out, byte(in.Op)), nil
+	case FmtLocal:
+		if in.Wide {
+			out = append(out, byte(Wide), byte(in.Op))
+			return binary.BigEndian.AppendUint16(out, uint16(in.A)), nil
+		}
+		if in.A > 0xff {
+			return nil, fmt.Errorf("bytecode: %s local %d needs wide", in.Op, in.A)
+		}
+		return append(out, byte(in.Op), byte(in.A)), nil
+	case FmtIinc:
+		if in.Wide {
+			out = append(out, byte(Wide), byte(in.Op))
+			out = binary.BigEndian.AppendUint16(out, uint16(in.A))
+			return binary.BigEndian.AppendUint16(out, uint16(int16(in.B))), nil
+		}
+		if in.A > 0xff || in.B < -128 || in.B > 127 {
+			return nil, fmt.Errorf("bytecode: iinc %d %d needs wide", in.A, in.B)
+		}
+		return append(out, byte(in.Op), byte(in.A), byte(int8(in.B))), nil
+	case FmtSByte, FmtCP1, FmtNewArray:
+		return append(out, byte(in.Op), byte(in.A)), nil
+	case FmtSShort, FmtCP2:
+		out = append(out, byte(in.Op))
+		return binary.BigEndian.AppendUint16(out, uint16(in.A)), nil
+	case FmtBranch2:
+		rel := in.A - pos
+		if rel < -32768 || rel > 32767 {
+			return nil, fmt.Errorf("bytecode: branch offset %d out of s2 range at %d", rel, pos)
+		}
+		out = append(out, byte(in.Op))
+		return binary.BigEndian.AppendUint16(out, uint16(int16(rel))), nil
+	case FmtBranch4:
+		out = append(out, byte(in.Op))
+		return binary.BigEndian.AppendUint32(out, uint32(int32(in.A-pos))), nil
+	case FmtInvokeInterface:
+		out = append(out, byte(in.Op))
+		out = binary.BigEndian.AppendUint16(out, uint16(in.A))
+		return append(out, byte(in.B), 0), nil
+	case FmtMultiANewArray:
+		out = append(out, byte(in.Op))
+		out = binary.BigEndian.AppendUint16(out, uint16(in.A))
+		return append(out, byte(in.B)), nil
+	case FmtTableSwitch:
+		out = append(out, byte(in.Op))
+		for i := 0; i < 3-pos%4; i++ {
+			out = append(out, 0)
+		}
+		out = binary.BigEndian.AppendUint32(out, uint32(int32(in.Default-pos)))
+		out = binary.BigEndian.AppendUint32(out, uint32(in.Low))
+		out = binary.BigEndian.AppendUint32(out, uint32(in.High))
+		for _, t := range in.Targets {
+			out = binary.BigEndian.AppendUint32(out, uint32(int32(t-pos)))
+		}
+		return out, nil
+	case FmtLookupSwitch:
+		out = append(out, byte(in.Op))
+		for i := 0; i < 3-pos%4; i++ {
+			out = append(out, 0)
+		}
+		out = binary.BigEndian.AppendUint32(out, uint32(int32(in.Default-pos)))
+		out = binary.BigEndian.AppendUint32(out, uint32(int32(len(in.Keys))))
+		for i, k := range in.Keys {
+			out = binary.BigEndian.AppendUint32(out, uint32(k))
+			out = binary.BigEndian.AppendUint32(out, uint32(int32(in.Targets[i]-pos)))
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("bytecode: cannot encode %s", in.Op)
+	}
+}
+
+// Check decodes code and validates that every branch and switch target
+// lands on an instruction boundary.
+func Check(code []byte) error {
+	insns, err := Decode(code)
+	if err != nil {
+		return err
+	}
+	starts := make(map[int]bool, len(insns))
+	for i := range insns {
+		starts[insns[i].Offset] = true
+	}
+	ck := func(t int) error {
+		if !starts[t] {
+			return fmt.Errorf("bytecode: branch target %d is not an instruction boundary", t)
+		}
+		return nil
+	}
+	for i := range insns {
+		in := &insns[i]
+		switch FormatOf(in.Op) {
+		case FmtBranch2, FmtBranch4:
+			if err := ck(in.A); err != nil {
+				return err
+			}
+		case FmtTableSwitch, FmtLookupSwitch:
+			if err := ck(in.Default); err != nil {
+				return err
+			}
+			for _, t := range in.Targets {
+				if err := ck(t); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

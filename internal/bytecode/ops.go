@@ -1,0 +1,385 @@
+// Package bytecode decodes and encodes JVM method bytecode. It covers the
+// full JDK 1.2-era instruction set including the wide prefix and both
+// switch instructions, and provides an assembler with label resolution for
+// code generators.
+package bytecode
+
+// Op is a JVM opcode.
+type Op byte
+
+// The complete JVM 1.2 instruction set.
+const (
+	Nop             Op = 0x00
+	AconstNull      Op = 0x01
+	IconstM1        Op = 0x02
+	Iconst0         Op = 0x03
+	Iconst1         Op = 0x04
+	Iconst2         Op = 0x05
+	Iconst3         Op = 0x06
+	Iconst4         Op = 0x07
+	Iconst5         Op = 0x08
+	Lconst0         Op = 0x09
+	Lconst1         Op = 0x0a
+	Fconst0         Op = 0x0b
+	Fconst1         Op = 0x0c
+	Fconst2         Op = 0x0d
+	Dconst0         Op = 0x0e
+	Dconst1         Op = 0x0f
+	Bipush          Op = 0x10
+	Sipush          Op = 0x11
+	Ldc             Op = 0x12
+	LdcW            Op = 0x13
+	Ldc2W           Op = 0x14
+	Iload           Op = 0x15
+	Lload           Op = 0x16
+	Fload           Op = 0x17
+	Dload           Op = 0x18
+	Aload           Op = 0x19
+	Iload0          Op = 0x1a
+	Iload1          Op = 0x1b
+	Iload2          Op = 0x1c
+	Iload3          Op = 0x1d
+	Lload0          Op = 0x1e
+	Lload1          Op = 0x1f
+	Lload2          Op = 0x20
+	Lload3          Op = 0x21
+	Fload0          Op = 0x22
+	Fload1          Op = 0x23
+	Fload2          Op = 0x24
+	Fload3          Op = 0x25
+	Dload0          Op = 0x26
+	Dload1          Op = 0x27
+	Dload2          Op = 0x28
+	Dload3          Op = 0x29
+	Aload0          Op = 0x2a
+	Aload1          Op = 0x2b
+	Aload2          Op = 0x2c
+	Aload3          Op = 0x2d
+	Iaload          Op = 0x2e
+	Laload          Op = 0x2f
+	Faload          Op = 0x30
+	Daload          Op = 0x31
+	Aaload          Op = 0x32
+	Baload          Op = 0x33
+	Caload          Op = 0x34
+	Saload          Op = 0x35
+	Istore          Op = 0x36
+	Lstore          Op = 0x37
+	Fstore          Op = 0x38
+	Dstore          Op = 0x39
+	Astore          Op = 0x3a
+	Istore0         Op = 0x3b
+	Istore1         Op = 0x3c
+	Istore2         Op = 0x3d
+	Istore3         Op = 0x3e
+	Lstore0         Op = 0x3f
+	Lstore1         Op = 0x40
+	Lstore2         Op = 0x41
+	Lstore3         Op = 0x42
+	Fstore0         Op = 0x43
+	Fstore1         Op = 0x44
+	Fstore2         Op = 0x45
+	Fstore3         Op = 0x46
+	Dstore0         Op = 0x47
+	Dstore1         Op = 0x48
+	Dstore2         Op = 0x49
+	Dstore3         Op = 0x4a
+	Astore0         Op = 0x4b
+	Astore1         Op = 0x4c
+	Astore2         Op = 0x4d
+	Astore3         Op = 0x4e
+	Iastore         Op = 0x4f
+	Lastore         Op = 0x50
+	Fastore         Op = 0x51
+	Dastore         Op = 0x52
+	Aastore         Op = 0x53
+	Bastore         Op = 0x54
+	Castore         Op = 0x55
+	Sastore         Op = 0x56
+	Pop             Op = 0x57
+	Pop2            Op = 0x58
+	Dup             Op = 0x59
+	DupX1           Op = 0x5a
+	DupX2           Op = 0x5b
+	Dup2            Op = 0x5c
+	Dup2X1          Op = 0x5d
+	Dup2X2          Op = 0x5e
+	Swap            Op = 0x5f
+	Iadd            Op = 0x60
+	Ladd            Op = 0x61
+	Fadd            Op = 0x62
+	Dadd            Op = 0x63
+	Isub            Op = 0x64
+	Lsub            Op = 0x65
+	Fsub            Op = 0x66
+	Dsub            Op = 0x67
+	Imul            Op = 0x68
+	Lmul            Op = 0x69
+	Fmul            Op = 0x6a
+	Dmul            Op = 0x6b
+	Idiv            Op = 0x6c
+	Ldiv            Op = 0x6d
+	Fdiv            Op = 0x6e
+	Ddiv            Op = 0x6f
+	Irem            Op = 0x70
+	Lrem            Op = 0x71
+	Frem            Op = 0x72
+	Drem            Op = 0x73
+	Ineg            Op = 0x74
+	Lneg            Op = 0x75
+	Fneg            Op = 0x76
+	Dneg            Op = 0x77
+	Ishl            Op = 0x78
+	Lshl            Op = 0x79
+	Ishr            Op = 0x7a
+	Lshr            Op = 0x7b
+	Iushr           Op = 0x7c
+	Lushr           Op = 0x7d
+	Iand            Op = 0x7e
+	Land            Op = 0x7f
+	Ior             Op = 0x80
+	Lor             Op = 0x81
+	Ixor            Op = 0x82
+	Lxor            Op = 0x83
+	Iinc            Op = 0x84
+	I2l             Op = 0x85
+	I2f             Op = 0x86
+	I2d             Op = 0x87
+	L2i             Op = 0x88
+	L2f             Op = 0x89
+	L2d             Op = 0x8a
+	F2i             Op = 0x8b
+	F2l             Op = 0x8c
+	F2d             Op = 0x8d
+	D2i             Op = 0x8e
+	D2l             Op = 0x8f
+	D2f             Op = 0x90
+	I2b             Op = 0x91
+	I2c             Op = 0x92
+	I2s             Op = 0x93
+	Lcmp            Op = 0x94
+	Fcmpl           Op = 0x95
+	Fcmpg           Op = 0x96
+	Dcmpl           Op = 0x97
+	Dcmpg           Op = 0x98
+	Ifeq            Op = 0x99
+	Ifne            Op = 0x9a
+	Iflt            Op = 0x9b
+	Ifge            Op = 0x9c
+	Ifgt            Op = 0x9d
+	Ifle            Op = 0x9e
+	IfIcmpeq        Op = 0x9f
+	IfIcmpne        Op = 0xa0
+	IfIcmplt        Op = 0xa1
+	IfIcmpge        Op = 0xa2
+	IfIcmpgt        Op = 0xa3
+	IfIcmple        Op = 0xa4
+	IfAcmpeq        Op = 0xa5
+	IfAcmpne        Op = 0xa6
+	Goto            Op = 0xa7
+	Jsr             Op = 0xa8
+	Ret             Op = 0xa9
+	Tableswitch     Op = 0xaa
+	Lookupswitch    Op = 0xab
+	Ireturn         Op = 0xac
+	Lreturn         Op = 0xad
+	Freturn         Op = 0xae
+	Dreturn         Op = 0xaf
+	Areturn         Op = 0xb0
+	Return          Op = 0xb1
+	Getstatic       Op = 0xb2
+	Putstatic       Op = 0xb3
+	Getfield        Op = 0xb4
+	Putfield        Op = 0xb5
+	Invokevirtual   Op = 0xb6
+	Invokespecial   Op = 0xb7
+	Invokestatic    Op = 0xb8
+	Invokeinterface Op = 0xb9
+	New             Op = 0xbb
+	Newarray        Op = 0xbc
+	Anewarray       Op = 0xbd
+	Arraylength     Op = 0xbe
+	Athrow          Op = 0xbf
+	Checkcast       Op = 0xc0
+	Instanceof      Op = 0xc1
+	Monitorenter    Op = 0xc2
+	Monitorexit     Op = 0xc3
+	Wide            Op = 0xc4
+	Multianewarray  Op = 0xc5
+	Ifnull          Op = 0xc6
+	Ifnonnull       Op = 0xc7
+	GotoW           Op = 0xc8
+	JsrW            Op = 0xc9
+)
+
+// NumOpcodes is the size of the base opcode alphabet (0x00–0xc9).
+const NumOpcodes = 0xca
+
+// Format describes an opcode's operand layout.
+type Format uint8
+
+// Operand formats.
+const (
+	FmtNone            Format = iota
+	FmtLocal                  // u1 local slot; u2 under wide
+	FmtIinc                   // u1 local, s1 delta; u2, s2 under wide
+	FmtSByte                  // bipush
+	FmtSShort                 // sipush
+	FmtCP1                    // ldc
+	FmtCP2                    // two-byte constant-pool index
+	FmtInvokeInterface        // u2 cp, u1 count, u1 zero
+	FmtMultiANewArray         // u2 cp, u1 dimensions
+	FmtNewArray               // u1 primitive array type
+	FmtBranch2                // s2 relative branch
+	FmtBranch4                // s4 relative branch
+	FmtTableSwitch
+	FmtLookupSwitch
+	FmtWidePrefix
+	FmtInvalid
+)
+
+type opInfo struct {
+	name   string
+	format Format
+}
+
+var opTable = [NumOpcodes]opInfo{
+	Nop: {"nop", FmtNone}, AconstNull: {"aconst_null", FmtNone},
+	IconstM1: {"iconst_m1", FmtNone}, Iconst0: {"iconst_0", FmtNone},
+	Iconst1: {"iconst_1", FmtNone}, Iconst2: {"iconst_2", FmtNone},
+	Iconst3: {"iconst_3", FmtNone}, Iconst4: {"iconst_4", FmtNone},
+	Iconst5: {"iconst_5", FmtNone}, Lconst0: {"lconst_0", FmtNone},
+	Lconst1: {"lconst_1", FmtNone}, Fconst0: {"fconst_0", FmtNone},
+	Fconst1: {"fconst_1", FmtNone}, Fconst2: {"fconst_2", FmtNone},
+	Dconst0: {"dconst_0", FmtNone}, Dconst1: {"dconst_1", FmtNone},
+	Bipush: {"bipush", FmtSByte}, Sipush: {"sipush", FmtSShort},
+	Ldc: {"ldc", FmtCP1}, LdcW: {"ldc_w", FmtCP2}, Ldc2W: {"ldc2_w", FmtCP2},
+	Iload: {"iload", FmtLocal}, Lload: {"lload", FmtLocal},
+	Fload: {"fload", FmtLocal}, Dload: {"dload", FmtLocal},
+	Aload:  {"aload", FmtLocal},
+	Iload0: {"iload_0", FmtNone}, Iload1: {"iload_1", FmtNone},
+	Iload2: {"iload_2", FmtNone}, Iload3: {"iload_3", FmtNone},
+	Lload0: {"lload_0", FmtNone}, Lload1: {"lload_1", FmtNone},
+	Lload2: {"lload_2", FmtNone}, Lload3: {"lload_3", FmtNone},
+	Fload0: {"fload_0", FmtNone}, Fload1: {"fload_1", FmtNone},
+	Fload2: {"fload_2", FmtNone}, Fload3: {"fload_3", FmtNone},
+	Dload0: {"dload_0", FmtNone}, Dload1: {"dload_1", FmtNone},
+	Dload2: {"dload_2", FmtNone}, Dload3: {"dload_3", FmtNone},
+	Aload0: {"aload_0", FmtNone}, Aload1: {"aload_1", FmtNone},
+	Aload2: {"aload_2", FmtNone}, Aload3: {"aload_3", FmtNone},
+	Iaload: {"iaload", FmtNone}, Laload: {"laload", FmtNone},
+	Faload: {"faload", FmtNone}, Daload: {"daload", FmtNone},
+	Aaload: {"aaload", FmtNone}, Baload: {"baload", FmtNone},
+	Caload: {"caload", FmtNone}, Saload: {"saload", FmtNone},
+	Istore: {"istore", FmtLocal}, Lstore: {"lstore", FmtLocal},
+	Fstore: {"fstore", FmtLocal}, Dstore: {"dstore", FmtLocal},
+	Astore:  {"astore", FmtLocal},
+	Istore0: {"istore_0", FmtNone}, Istore1: {"istore_1", FmtNone},
+	Istore2: {"istore_2", FmtNone}, Istore3: {"istore_3", FmtNone},
+	Lstore0: {"lstore_0", FmtNone}, Lstore1: {"lstore_1", FmtNone},
+	Lstore2: {"lstore_2", FmtNone}, Lstore3: {"lstore_3", FmtNone},
+	Fstore0: {"fstore_0", FmtNone}, Fstore1: {"fstore_1", FmtNone},
+	Fstore2: {"fstore_2", FmtNone}, Fstore3: {"fstore_3", FmtNone},
+	Dstore0: {"dstore_0", FmtNone}, Dstore1: {"dstore_1", FmtNone},
+	Dstore2: {"dstore_2", FmtNone}, Dstore3: {"dstore_3", FmtNone},
+	Astore0: {"astore_0", FmtNone}, Astore1: {"astore_1", FmtNone},
+	Astore2: {"astore_2", FmtNone}, Astore3: {"astore_3", FmtNone},
+	Iastore: {"iastore", FmtNone}, Lastore: {"lastore", FmtNone},
+	Fastore: {"fastore", FmtNone}, Dastore: {"dastore", FmtNone},
+	Aastore: {"aastore", FmtNone}, Bastore: {"bastore", FmtNone},
+	Castore: {"castore", FmtNone}, Sastore: {"sastore", FmtNone},
+	Pop: {"pop", FmtNone}, Pop2: {"pop2", FmtNone}, Dup: {"dup", FmtNone},
+	DupX1: {"dup_x1", FmtNone}, DupX2: {"dup_x2", FmtNone},
+	Dup2: {"dup2", FmtNone}, Dup2X1: {"dup2_x1", FmtNone},
+	Dup2X2: {"dup2_x2", FmtNone}, Swap: {"swap", FmtNone},
+	Iadd: {"iadd", FmtNone}, Ladd: {"ladd", FmtNone},
+	Fadd: {"fadd", FmtNone}, Dadd: {"dadd", FmtNone},
+	Isub: {"isub", FmtNone}, Lsub: {"lsub", FmtNone},
+	Fsub: {"fsub", FmtNone}, Dsub: {"dsub", FmtNone},
+	Imul: {"imul", FmtNone}, Lmul: {"lmul", FmtNone},
+	Fmul: {"fmul", FmtNone}, Dmul: {"dmul", FmtNone},
+	Idiv: {"idiv", FmtNone}, Ldiv: {"ldiv", FmtNone},
+	Fdiv: {"fdiv", FmtNone}, Ddiv: {"ddiv", FmtNone},
+	Irem: {"irem", FmtNone}, Lrem: {"lrem", FmtNone},
+	Frem: {"frem", FmtNone}, Drem: {"drem", FmtNone},
+	Ineg: {"ineg", FmtNone}, Lneg: {"lneg", FmtNone},
+	Fneg: {"fneg", FmtNone}, Dneg: {"dneg", FmtNone},
+	Ishl: {"ishl", FmtNone}, Lshl: {"lshl", FmtNone},
+	Ishr: {"ishr", FmtNone}, Lshr: {"lshr", FmtNone},
+	Iushr: {"iushr", FmtNone}, Lushr: {"lushr", FmtNone},
+	Iand: {"iand", FmtNone}, Land: {"land", FmtNone},
+	Ior: {"ior", FmtNone}, Lor: {"lor", FmtNone},
+	Ixor: {"ixor", FmtNone}, Lxor: {"lxor", FmtNone},
+	Iinc: {"iinc", FmtIinc},
+	I2l:  {"i2l", FmtNone}, I2f: {"i2f", FmtNone}, I2d: {"i2d", FmtNone},
+	L2i: {"l2i", FmtNone}, L2f: {"l2f", FmtNone}, L2d: {"l2d", FmtNone},
+	F2i: {"f2i", FmtNone}, F2l: {"f2l", FmtNone}, F2d: {"f2d", FmtNone},
+	D2i: {"d2i", FmtNone}, D2l: {"d2l", FmtNone}, D2f: {"d2f", FmtNone},
+	I2b: {"i2b", FmtNone}, I2c: {"i2c", FmtNone}, I2s: {"i2s", FmtNone},
+	Lcmp: {"lcmp", FmtNone}, Fcmpl: {"fcmpl", FmtNone},
+	Fcmpg: {"fcmpg", FmtNone}, Dcmpl: {"dcmpl", FmtNone},
+	Dcmpg: {"dcmpg", FmtNone},
+	Ifeq:  {"ifeq", FmtBranch2}, Ifne: {"ifne", FmtBranch2},
+	Iflt: {"iflt", FmtBranch2}, Ifge: {"ifge", FmtBranch2},
+	Ifgt: {"ifgt", FmtBranch2}, Ifle: {"ifle", FmtBranch2},
+	IfIcmpeq: {"if_icmpeq", FmtBranch2}, IfIcmpne: {"if_icmpne", FmtBranch2},
+	IfIcmplt: {"if_icmplt", FmtBranch2}, IfIcmpge: {"if_icmpge", FmtBranch2},
+	IfIcmpgt: {"if_icmpgt", FmtBranch2}, IfIcmple: {"if_icmple", FmtBranch2},
+	IfAcmpeq: {"if_acmpeq", FmtBranch2}, IfAcmpne: {"if_acmpne", FmtBranch2},
+	Goto: {"goto", FmtBranch2}, Jsr: {"jsr", FmtBranch2},
+	Ret:          {"ret", FmtLocal},
+	Tableswitch:  {"tableswitch", FmtTableSwitch},
+	Lookupswitch: {"lookupswitch", FmtLookupSwitch},
+	Ireturn:      {"ireturn", FmtNone}, Lreturn: {"lreturn", FmtNone},
+	Freturn: {"freturn", FmtNone}, Dreturn: {"dreturn", FmtNone},
+	Areturn: {"areturn", FmtNone}, Return: {"return", FmtNone},
+	Getstatic: {"getstatic", FmtCP2}, Putstatic: {"putstatic", FmtCP2},
+	Getfield: {"getfield", FmtCP2}, Putfield: {"putfield", FmtCP2},
+	Invokevirtual:   {"invokevirtual", FmtCP2},
+	Invokespecial:   {"invokespecial", FmtCP2},
+	Invokestatic:    {"invokestatic", FmtCP2},
+	Invokeinterface: {"invokeinterface", FmtInvokeInterface},
+	0xba:            {"invokedynamic", FmtInvalid}, // not in the 1.2 instruction set
+	New:             {"new", FmtCP2},
+	Newarray:        {"newarray", FmtNewArray},
+	Anewarray:       {"anewarray", FmtCP2},
+	Arraylength:     {"arraylength", FmtNone}, Athrow: {"athrow", FmtNone},
+	Checkcast: {"checkcast", FmtCP2}, Instanceof: {"instanceof", FmtCP2},
+	Monitorenter: {"monitorenter", FmtNone}, Monitorexit: {"monitorexit", FmtNone},
+	Wide:           {"wide", FmtWidePrefix},
+	Multianewarray: {"multianewarray", FmtMultiANewArray},
+	Ifnull:         {"ifnull", FmtBranch2}, Ifnonnull: {"ifnonnull", FmtBranch2},
+	GotoW: {"goto_w", FmtBranch4}, JsrW: {"jsr_w", FmtBranch4},
+}
+
+// String returns the JVM mnemonic of the opcode.
+func (o Op) String() string {
+	if int(o) < len(opTable) && opTable[o].name != "" {
+		return opTable[o].name
+	}
+	return "invalid"
+}
+
+// FormatOf returns the operand format of o, or FmtInvalid for opcodes
+// outside the supported set.
+func FormatOf(o Op) Format {
+	if int(o) >= len(opTable) || opTable[o].name == "" {
+		return FmtInvalid
+	}
+	return opTable[o].format
+}
+
+// IsCPRef reports whether o carries a constant-pool index operand.
+func IsCPRef(o Op) bool {
+	switch FormatOf(o) {
+	case FmtCP1, FmtCP2, FmtInvokeInterface, FmtMultiANewArray:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether o carries a branch target (excluding switches).
+func IsBranch(o Op) bool {
+	f := FormatOf(o)
+	return f == FmtBranch2 || f == FmtBranch4
+}

@@ -1,0 +1,398 @@
+package classfile
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ParseError describes a malformed classfile.
+type ParseError struct {
+	Offset int
+	Msg    string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("classfile: offset %d: %s", e.Offset, e.Msg)
+}
+
+type reader struct {
+	buf []byte
+	pos int
+}
+
+func (r *reader) fail(format string, args ...any) error {
+	return &ParseError{Offset: r.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (r *reader) need(n int) error {
+	if r.pos+n > len(r.buf) {
+		return r.fail("need %d bytes, have %d", n, len(r.buf)-r.pos)
+	}
+	return nil
+}
+
+func (r *reader) u1() (byte, error) {
+	if err := r.need(1); err != nil {
+		return 0, err
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *reader) u2() (uint16, error) {
+	if err := r.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.pos:])
+	r.pos += 2
+	return v, nil
+}
+
+func (r *reader) u4() (uint32, error) {
+	if err := r.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.pos:])
+	r.pos += 4
+	return v, nil
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if err := r.need(n); err != nil {
+		return nil, err
+	}
+	b := r.buf[r.pos : r.pos+n : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+// Parse decodes a classfile from data.
+func Parse(data []byte) (*ClassFile, error) {
+	r := &reader{buf: data}
+	magic, err := r.u4()
+	if err != nil {
+		return nil, err
+	}
+	if magic != Magic {
+		return nil, r.fail("bad magic 0x%08x", magic)
+	}
+	cf := &ClassFile{}
+	if cf.MinorVersion, err = r.u2(); err != nil {
+		return nil, err
+	}
+	if cf.MajorVersion, err = r.u2(); err != nil {
+		return nil, err
+	}
+	if err := parsePool(r, cf); err != nil {
+		return nil, err
+	}
+	if cf.AccessFlags, err = r.u2(); err != nil {
+		return nil, err
+	}
+	if cf.ThisClass, err = r.u2(); err != nil {
+		return nil, err
+	}
+	if cf.SuperClass, err = r.u2(); err != nil {
+		return nil, err
+	}
+	nIfaces, err := r.u2()
+	if err != nil {
+		return nil, err
+	}
+	cf.Interfaces = make([]uint16, nIfaces)
+	for i := range cf.Interfaces {
+		if cf.Interfaces[i], err = r.u2(); err != nil {
+			return nil, err
+		}
+	}
+	if cf.Fields, err = parseMembers(r, cf); err != nil {
+		return nil, err
+	}
+	if cf.Methods, err = parseMembers(r, cf); err != nil {
+		return nil, err
+	}
+	if cf.Attrs, err = parseAttrs(r, cf); err != nil {
+		return nil, err
+	}
+	if r.pos != len(data) {
+		return nil, r.fail("%d trailing bytes", len(data)-r.pos)
+	}
+	return cf, nil
+}
+
+func parsePool(r *reader, cf *ClassFile) error {
+	count, err := r.u2()
+	if err != nil {
+		return err
+	}
+	if count == 0 {
+		return r.fail("constant pool count 0")
+	}
+	cf.Pool = make([]Constant, count)
+	for i := 1; i < int(count); i++ {
+		tag, err := r.u1()
+		if err != nil {
+			return err
+		}
+		c := &cf.Pool[i]
+		c.Kind = ConstKind(tag)
+		switch c.Kind {
+		case KindUtf8:
+			n, err := r.u2()
+			if err != nil {
+				return err
+			}
+			raw, err := r.bytes(int(n))
+			if err != nil {
+				return err
+			}
+			s, err := DecodeModifiedUTF8(raw)
+			if err != nil {
+				return r.fail("entry %d: %v", i, err)
+			}
+			c.Utf8 = s
+		case KindInteger:
+			v, err := r.u4()
+			if err != nil {
+				return err
+			}
+			c.Int = int32(v)
+		case KindFloat:
+			v, err := r.u4()
+			if err != nil {
+				return err
+			}
+			c.Float = float32FromBits(v)
+		case KindLong:
+			hi, err := r.u4()
+			if err != nil {
+				return err
+			}
+			lo, err := r.u4()
+			if err != nil {
+				return err
+			}
+			c.Long = int64(uint64(hi)<<32 | uint64(lo))
+			i++ // phantom slot
+		case KindDouble:
+			hi, err := r.u4()
+			if err != nil {
+				return err
+			}
+			lo, err := r.u4()
+			if err != nil {
+				return err
+			}
+			c.Double = float64FromBits(uint64(hi)<<32 | uint64(lo))
+			i++ // phantom slot
+		case KindClass:
+			if c.Name, err = r.u2(); err != nil {
+				return err
+			}
+		case KindString:
+			if c.Str, err = r.u2(); err != nil {
+				return err
+			}
+		case KindFieldref, KindMethodref, KindInterfaceMethodref:
+			if c.Class, err = r.u2(); err != nil {
+				return err
+			}
+			if c.NameAndType, err = r.u2(); err != nil {
+				return err
+			}
+		case KindNameAndType:
+			if c.Name, err = r.u2(); err != nil {
+				return err
+			}
+			if c.Desc, err = r.u2(); err != nil {
+				return err
+			}
+		default:
+			return r.fail("entry %d: unsupported constant tag %d", i, tag)
+		}
+	}
+	return nil
+}
+
+func parseMembers(r *reader, cf *ClassFile) ([]Member, error) {
+	count, err := r.u2()
+	if err != nil {
+		return nil, err
+	}
+	members := make([]Member, count)
+	for i := range members {
+		m := &members[i]
+		if m.AccessFlags, err = r.u2(); err != nil {
+			return nil, err
+		}
+		if m.Name, err = r.u2(); err != nil {
+			return nil, err
+		}
+		if m.Desc, err = r.u2(); err != nil {
+			return nil, err
+		}
+		if m.Attrs, err = parseAttrs(r, cf); err != nil {
+			return nil, err
+		}
+	}
+	return members, nil
+}
+
+func parseAttrs(r *reader, cf *ClassFile) ([]Attribute, error) {
+	count, err := r.u2()
+	if err != nil {
+		return nil, err
+	}
+	attrs := make([]Attribute, 0, count)
+	for i := 0; i < int(count); i++ {
+		a, err := parseAttr(r, cf)
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, a)
+	}
+	return attrs, nil
+}
+
+func parseAttr(r *reader, cf *ClassFile) (Attribute, error) {
+	nameIdx, err := r.u2()
+	if err != nil {
+		return nil, err
+	}
+	length, err := r.u4()
+	if err != nil {
+		return nil, err
+	}
+	body, err := r.bytes(int(length))
+	if err != nil {
+		return nil, err
+	}
+	name := cf.Utf8At(nameIdx)
+	br := &reader{buf: body}
+	base := attrBase{NameIndex: nameIdx}
+	var a Attribute
+	switch name {
+	case "Code":
+		a, err = parseCode(br, cf, base)
+	case "ConstantValue":
+		cv := &ConstantValueAttr{attrBase: base}
+		cv.Index, err = br.u2()
+		a = cv
+	case "Exceptions":
+		ex := &ExceptionsAttr{attrBase: base}
+		var n uint16
+		if n, err = br.u2(); err == nil {
+			ex.Classes = make([]uint16, n)
+			for i := range ex.Classes {
+				if ex.Classes[i], err = br.u2(); err != nil {
+					break
+				}
+			}
+		}
+		a = ex
+	case "SourceFile":
+		sf := &SourceFileAttr{attrBase: base}
+		sf.Index, err = br.u2()
+		a = sf
+	case "LineNumberTable":
+		ln := &LineNumberTableAttr{attrBase: base}
+		var n uint16
+		if n, err = br.u2(); err == nil {
+			ln.Entries = make([]LineNumber, n)
+			for i := range ln.Entries {
+				if ln.Entries[i].StartPC, err = br.u2(); err != nil {
+					break
+				}
+				if ln.Entries[i].Line, err = br.u2(); err != nil {
+					break
+				}
+			}
+		}
+		a = ln
+	case "LocalVariableTable":
+		lv := &LocalVariableTableAttr{attrBase: base}
+		var n uint16
+		if n, err = br.u2(); err == nil {
+			lv.Entries = make([]LocalVariable, n)
+			for i := range lv.Entries {
+				e := &lv.Entries[i]
+				for _, p := range []*uint16{&e.StartPC, &e.Length, &e.Name, &e.Desc, &e.Slot} {
+					if *p, err = br.u2(); err != nil {
+						break
+					}
+				}
+				if err != nil {
+					break
+				}
+			}
+		}
+		a = lv
+	case "Synthetic":
+		a = &SyntheticAttr{attrBase: base}
+	case "Deprecated":
+		a = &DeprecatedAttr{attrBase: base}
+	case "InnerClasses":
+		ic := &InnerClassesAttr{attrBase: base}
+		var n uint16
+		if n, err = br.u2(); err == nil {
+			ic.Entries = make([]InnerClass, n)
+			for i := range ic.Entries {
+				e := &ic.Entries[i]
+				for _, p := range []*uint16{&e.Inner, &e.Outer, &e.InnerName, &e.AccessFlags} {
+					if *p, err = br.u2(); err != nil {
+						break
+					}
+				}
+				if err != nil {
+					break
+				}
+			}
+		}
+		a = ic
+	default:
+		return &UnknownAttr{attrBase: base, Name: name, Data: body}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("classfile: attribute %q: %w", name, err)
+	}
+	if _, ok := a.(*UnknownAttr); !ok && br.pos != len(body) {
+		return nil, fmt.Errorf("classfile: attribute %q: %d trailing bytes", name, len(body)-br.pos)
+	}
+	return a, nil
+}
+
+func parseCode(r *reader, cf *ClassFile, base attrBase) (*CodeAttr, error) {
+	c := &CodeAttr{attrBase: base}
+	var err error
+	if c.MaxStack, err = r.u2(); err != nil {
+		return nil, err
+	}
+	if c.MaxLocals, err = r.u2(); err != nil {
+		return nil, err
+	}
+	codeLen, err := r.u4()
+	if err != nil {
+		return nil, err
+	}
+	if c.Code, err = r.bytes(int(codeLen)); err != nil {
+		return nil, err
+	}
+	nHandlers, err := r.u2()
+	if err != nil {
+		return nil, err
+	}
+	c.Handlers = make([]ExceptionHandler, nHandlers)
+	for i := range c.Handlers {
+		h := &c.Handlers[i]
+		for _, p := range []*uint16{&h.StartPC, &h.EndPC, &h.HandlerPC, &h.CatchType} {
+			if *p, err = r.u2(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if c.Attrs, err = parseAttrs(r, cf); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

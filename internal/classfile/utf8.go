@@ -1,0 +1,63 @@
+package classfile
+
+import (
+	"fmt"
+	"unicode/utf16"
+)
+
+// EncodeModifiedUTF8 converts a Go string (standard UTF-8) to the JVM's
+// modified UTF-8: U+0000 becomes the two-byte sequence C0 80, and code
+// points above U+FFFF are written as surrogate pairs (two three-byte
+// sequences) rather than four-byte UTF-8.
+func EncodeModifiedUTF8(s string) []byte {
+	out := make([]byte, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r == 0:
+			out = append(out, 0xC0, 0x80)
+		case r < 0x80:
+			out = append(out, byte(r))
+		case r < 0x800:
+			out = append(out, 0xC0|byte(r>>6), 0x80|byte(r&0x3F))
+		case r < 0x10000:
+			out = append(out, 0xE0|byte(r>>12), 0x80|byte(r>>6&0x3F), 0x80|byte(r&0x3F))
+		default:
+			hi, lo := utf16.EncodeRune(r)
+			for _, u := range []rune{hi, lo} {
+				out = append(out, 0xE0|byte(u>>12), 0x80|byte(u>>6&0x3F), 0x80|byte(u&0x3F))
+			}
+		}
+	}
+	return out
+}
+
+// DecodeModifiedUTF8 converts JVM modified UTF-8 bytes to a Go string.
+func DecodeModifiedUTF8(b []byte) (string, error) {
+	var units []uint16
+	for i := 0; i < len(b); {
+		c := b[i]
+		switch {
+		case c&0x80 == 0:
+			if c == 0 {
+				return "", fmt.Errorf("classfile: NUL byte in modified UTF-8")
+			}
+			units = append(units, uint16(c))
+			i++
+		case c&0xE0 == 0xC0:
+			if i+1 >= len(b) || b[i+1]&0xC0 != 0x80 {
+				return "", fmt.Errorf("classfile: truncated 2-byte sequence at %d", i)
+			}
+			units = append(units, uint16(c&0x1F)<<6|uint16(b[i+1]&0x3F))
+			i += 2
+		case c&0xF0 == 0xE0:
+			if i+2 >= len(b) || b[i+1]&0xC0 != 0x80 || b[i+2]&0xC0 != 0x80 {
+				return "", fmt.Errorf("classfile: truncated 3-byte sequence at %d", i)
+			}
+			units = append(units, uint16(c&0x0F)<<12|uint16(b[i+1]&0x3F)<<6|uint16(b[i+2]&0x3F))
+			i += 3
+		default:
+			return "", fmt.Errorf("classfile: invalid modified UTF-8 byte 0x%02x at %d", c, i)
+		}
+	}
+	return string(utf16.Decode(units)), nil
+}

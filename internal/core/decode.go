@@ -1,0 +1,275 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"classpack/internal/classfile"
+	"classpack/internal/ir"
+	"classpack/internal/refs"
+	"classpack/internal/streams"
+)
+
+// Unpack decodes a packed archive back into classfiles. Decompression is
+// deterministic: the result is byte-for-byte the stripped input of Pack.
+func Unpack(data []byte) ([]*classfile.ClassFile, error) {
+	var out []*classfile.ClassFile
+	err := UnpackStream(data, func(cf *classfile.ClassFile) error {
+		out = append(out, cf)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// UnpackStream decodes the archive sequentially, invoking visit as each
+// class becomes complete — the wire format is sequential (§2), so an eager
+// class loader (§11) can define classes as they arrive instead of caching
+// the archive. A visit error aborts decoding and is returned verbatim.
+func UnpackStream(data []byte, visit func(*classfile.ClassFile) error) error {
+	if len(data) < 6 || !bytes.Equal(data[:4], Magic[:]) {
+		return fmt.Errorf("core: not a packed archive")
+	}
+	if data[4] != version {
+		return fmt.Errorf("core: unsupported version %d", data[4])
+	}
+	opts := decodeOptions(data[5])
+	if !opts.Scheme.Decodable() {
+		return fmt.Errorf("core: archive uses undecodable scheme %v", opts.Scheme)
+	}
+	r, err := streams.NewReader(data[6:])
+	if err != nil {
+		return err
+	}
+	u := newUnpacker(opts, r)
+	if opts.Preload {
+		preloadUnpacker(u)
+	}
+	count, err := u.meta.Uint()
+	if err != nil {
+		return fmt.Errorf("core: class count: %w", err)
+	}
+	if count > 1<<20 {
+		return fmt.Errorf("core: implausible class count %d", count)
+	}
+	for i := uint64(0); i < count; i++ {
+		cf, err := u.class()
+		if err != nil {
+			return fmt.Errorf("core: unpack class %d: %w", i, err)
+		}
+		if err := visit(cf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type unpacker struct {
+	opts Options
+	r    *streams.Reader
+	meta *streams.RStream
+	decs [numPools]refs.Decoder
+
+	classKeys map[string]ir.ClassKey
+	sigs      map[string]ir.Signature
+	members   [numPools]map[string]ir.MemberRef
+}
+
+func newUnpacker(opts Options, r *streams.Reader) *unpacker {
+	u := &unpacker{
+		opts:      opts,
+		r:         r,
+		meta:      r.Stream(sMeta),
+		classKeys: make(map[string]ir.ClassKey),
+		sigs:      make(map[string]ir.Signature),
+	}
+	for i := range u.decs {
+		u.decs[i], _ = refs.NewDecoder(opts.Scheme)
+		u.members[i] = make(map[string]ir.MemberRef)
+	}
+	return u
+}
+
+// strRef decodes a reference in a pool whose objects are plain strings.
+func (u *unpacker) strRef(pool poolID, cat string) (string, error) {
+	key, isNew, transient, err := u.decs[pool].Decode(u.r.Stream(refStream(pool)), 0)
+	if err != nil {
+		return "", err
+	}
+	if !isNew {
+		return key, nil
+	}
+	n, err := u.r.Stream("str." + cat + ".len").Uint()
+	if err != nil {
+		return "", err
+	}
+	raw, err := u.r.Stream("str." + cat + ".chr").Raw(int(n))
+	if err != nil {
+		return "", err
+	}
+	s := string(raw)
+	u.decs[pool].Define(0, s, transient)
+	return s, nil
+}
+
+func (u *unpacker) pkgRef() (string, error)    { return u.strRef(poolPackage, "pkg") }
+func (u *unpacker) simpleRef() (string, error) { return u.strRef(poolSimple, "cls") }
+func (u *unpacker) methodNameRef() (string, error) {
+	return u.strRef(poolMethodName, "mname")
+}
+func (u *unpacker) fieldNameRef() (string, error) { return u.strRef(poolFieldName, "fname") }
+func (u *unpacker) stringConstRef() (string, error) {
+	return u.strRef(poolString, "str")
+}
+
+// classRef decodes a class/primitive/array type reference.
+func (u *unpacker) classRef() (ir.ClassKey, error) {
+	key, isNew, transient, err := u.decs[poolClass].Decode(u.r.Stream(refStream(poolClass)), 0)
+	if err != nil {
+		return ir.ClassKey{}, err
+	}
+	if !isNew {
+		k, ok := u.classKeys[key]
+		if !ok {
+			return ir.ClassKey{}, fmt.Errorf("core: unknown class key %q", key)
+		}
+		return k, nil
+	}
+	d := u.r.Stream(sClassDef)
+	dims, err := d.Uint()
+	if err != nil {
+		return ir.ClassKey{}, err
+	}
+	prim, err := d.ReadByte()
+	if err != nil {
+		return ir.ClassKey{}, err
+	}
+	k := ir.ClassKey{Dims: int(dims), Prim: prim}
+	if prim == 0 {
+		if k.Pkg, err = u.pkgRef(); err != nil {
+			return ir.ClassKey{}, err
+		}
+		if k.Simple, err = u.simpleRef(); err != nil {
+			return ir.ClassKey{}, err
+		}
+	}
+	ck := classKeyStr(k)
+	u.classKeys[ck] = k
+	u.decs[poolClass].Define(0, ck, transient)
+	return k, nil
+}
+
+// sigRef decodes a signature reference.
+func (u *unpacker) sigRef() (ir.Signature, error) {
+	key, isNew, transient, err := u.decs[poolSig].Decode(u.r.Stream(refStream(poolSig)), 0)
+	if err != nil {
+		return nil, err
+	}
+	if !isNew {
+		sig, ok := u.sigs[key]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown signature key %q", key)
+		}
+		return sig, nil
+	}
+	n, err := u.meta.Uint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || n > 1<<16 {
+		return nil, fmt.Errorf("core: signature with %d entries", n)
+	}
+	sig := make(ir.Signature, n)
+	for i := range sig {
+		if sig[i], err = u.classRef(); err != nil {
+			return nil, err
+		}
+	}
+	sk := sig.SigString()
+	u.sigs[sk] = sig
+	u.decs[poolSig].Define(0, sk, transient)
+	return sig, nil
+}
+
+// memberRef decodes a field or method reference from the pool implied by
+// the instruction's use.
+func (u *unpacker) memberRef(use opUse, ctx int) (ir.MemberRef, error) {
+	var pool poolID
+	var kind classfile.ConstKind
+	switch use {
+	case useGetfield:
+		pool, kind = poolFieldInstance, classfile.KindFieldref
+	case useGetstatic:
+		pool, kind = poolFieldStatic, classfile.KindFieldref
+	case useVirtual:
+		pool, kind = poolMethodVirtual, classfile.KindMethodref
+	case useSpecial:
+		pool, kind = poolMethodSpecial, classfile.KindMethodref
+	case useStatic:
+		pool, kind = poolMethodStatic, classfile.KindMethodref
+	case useInterface:
+		pool, kind = poolMethodInterface, classfile.KindInterfaceMethodref
+	}
+	key, isNew, transient, err := u.decs[pool].Decode(u.r.Stream(refStream(pool)), ctx)
+	if err != nil {
+		return ir.MemberRef{}, err
+	}
+	if !isNew {
+		m, ok := u.members[pool][key]
+		if !ok {
+			return ir.MemberRef{}, fmt.Errorf("core: unknown member key %q", key)
+		}
+		return m, nil
+	}
+	m := ir.MemberRef{Kind: kind}
+	if m.Owner, err = u.classRef(); err != nil {
+		return ir.MemberRef{}, err
+	}
+	if kind == classfile.KindFieldref {
+		if m.Name, err = u.fieldNameRef(); err != nil {
+			return ir.MemberRef{}, err
+		}
+		t, err := u.classRef()
+		if err != nil {
+			return ir.MemberRef{}, err
+		}
+		m.Desc = ir.KeyToType(t).String()
+	} else {
+		if m.Name, err = u.methodNameRef(); err != nil {
+			return ir.MemberRef{}, err
+		}
+		sig, err := u.sigRef()
+		if err != nil {
+			return ir.MemberRef{}, err
+		}
+		m.Desc = ir.SignatureToDescriptor(sig)
+	}
+	mk := memberKeyStr(m)
+	u.members[pool][mk] = m
+	u.decs[pool].Define(ctx, mk, transient)
+	return m, nil
+}
+
+func (u *unpacker) readF32() (float32, error) {
+	raw, err := u.r.Stream(sFloat).Raw(4)
+	if err != nil {
+		return 0, err
+	}
+	bits := uint32(raw[0])<<24 | uint32(raw[1])<<16 | uint32(raw[2])<<8 | uint32(raw[3])
+	return math.Float32frombits(bits), nil
+}
+
+func (u *unpacker) readF64() (float64, error) {
+	raw, err := u.r.Stream(sDouble).Raw(8)
+	if err != nil {
+		return 0, err
+	}
+	var bits uint64
+	for _, b := range raw {
+		bits = bits<<8 | uint64(b)
+	}
+	return math.Float64frombits(bits), nil
+}

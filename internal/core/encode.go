@@ -1,0 +1,608 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"classpack/internal/bytecode"
+	"classpack/internal/classfile"
+	"classpack/internal/ir"
+	"classpack/internal/refs"
+	"classpack/internal/stackstate"
+)
+
+// Pack encodes a collection of classfiles into a packed archive. The
+// classfiles must already be canonicalized with strip.Apply (debugging and
+// unrecognized attributes removed); Unpack reproduces them byte-for-byte.
+func Pack(cfs []*classfile.ClassFile, opts Options) ([]byte, error) {
+	if !opts.Scheme.Decodable() {
+		return nil, fmt.Errorf("core: scheme %v has no decoder", opts.Scheme)
+	}
+	// Pass 1 counts occurrences per pool so transient objects (§5.1.5)
+	// are known in advance; pass 2 emits.
+	counter := newCountingPacker(opts)
+	if opts.Preload {
+		preloadPacker(counter)
+	}
+	if err := counter.archive(cfs); err != nil {
+		return nil, err
+	}
+	emitter := newEmittingPacker(opts, counter.counts)
+	if opts.Preload {
+		preloadPacker(emitter)
+	}
+	if err := emitter.archive(cfs); err != nil {
+		return nil, err
+	}
+	body, err := emitter.w.Finish(opts.Compress)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(body)+6)
+	out = append(out, Magic[:]...)
+	out = append(out, version, encodeOptions(opts))
+	return append(out, body...), nil
+}
+
+// PackStats reports per-stream sizes for the archive that Pack would
+// produce; the Table 6 breakdown derives from it.
+func PackStats(cfs []*classfile.ClassFile, opts Options) (map[string][2]int, error) {
+	counter := newCountingPacker(opts)
+	if opts.Preload {
+		preloadPacker(counter)
+	}
+	if err := counter.archive(cfs); err != nil {
+		return nil, err
+	}
+	emitter := newEmittingPacker(opts, counter.counts)
+	if opts.Preload {
+		preloadPacker(emitter)
+	}
+	if err := emitter.archive(cfs); err != nil {
+		return nil, err
+	}
+	return emitter.w.Sizes(opts.Compress), nil
+}
+
+// Traces records the reference event stream of every pool in encode order
+// (contexts included), for the Table 3 scheme-comparison experiments.
+// Keys of the returned map are the pool names used in the "ref.*" streams.
+func Traces(cfs []*classfile.ClassFile, opts Options) (map[string][]refs.Event, error) {
+	p := newCountingPacker(opts)
+	p.traces = make(map[string][]refs.Event)
+	if err := p.archive(cfs); err != nil {
+		return nil, err
+	}
+	return p.traces, nil
+}
+
+func encodeOptions(opts Options) byte {
+	b := byte(opts.Scheme) & 0x07
+	if opts.StackState {
+		b |= 1 << 4
+	}
+	if opts.Compress {
+		b |= 1 << 5
+	}
+	if opts.Preload {
+		b |= 1 << 6
+	}
+	return b
+}
+
+func decodeOptions(b byte) Options {
+	return Options{
+		Scheme:     refsScheme(b & 0x07),
+		StackState: b&(1<<4) != 0,
+		Compress:   b&(1<<5) != 0,
+		Preload:    b&(1<<6) != 0,
+	}
+}
+
+func (p *packer) archive(cfs []*classfile.ClassFile) error {
+	p.st(sMeta).Uint(uint64(len(cfs)))
+	for _, cf := range cfs {
+		if err := p.class(cf); err != nil {
+			return fmt.Errorf("core: pack %s: %w", cf.ThisClassName(), err)
+		}
+	}
+	return nil
+}
+
+// memberFlags folds the attribute-presence bits of §4 into the flags word.
+func memberFlags(access uint16, attrs []classfile.Attribute) uint64 {
+	f := uint64(access)
+	for _, a := range attrs {
+		switch a.(type) {
+		case *classfile.SyntheticAttr:
+			f |= flagSynthetic
+		case *classfile.DeprecatedAttr:
+			f |= flagDeprecated
+		}
+	}
+	return f
+}
+
+func (p *packer) class(cf *classfile.ClassFile) error {
+	thisKey, err := ir.ResolveClass(cf, cf.ThisClass)
+	if err != nil {
+		return err
+	}
+	var superKey ir.ClassKey
+	flags := memberFlags(cf.AccessFlags, cf.Attrs)
+	if cf.SuperClass != 0 {
+		flags |= flagHasSuper
+		if superKey, err = ir.ResolveClass(cf, cf.SuperClass); err != nil {
+			return err
+		}
+	}
+	var inner *classfile.InnerClassesAttr
+	for _, a := range cf.Attrs {
+		switch a := a.(type) {
+		case *classfile.InnerClassesAttr:
+			inner = a
+			flags |= flagHasInner
+		case *classfile.SyntheticAttr, *classfile.DeprecatedAttr:
+			// folded into flags above
+		default:
+			return fmt.Errorf("unsupported class attribute %s (strip first)", a.AttrName())
+		}
+	}
+	meta := p.st(sMeta)
+	meta.Uint(uint64(cf.MinorVersion))
+	meta.Uint(uint64(cf.MajorVersion))
+	meta.Uint(flags)
+	p.classRef(thisKey)
+	if cf.SuperClass != 0 {
+		p.classRef(superKey)
+	}
+	meta.Uint(uint64(len(cf.Interfaces)))
+	for _, i := range cf.Interfaces {
+		k, err := ir.ResolveClass(cf, i)
+		if err != nil {
+			return err
+		}
+		p.classRef(k)
+	}
+	if inner != nil {
+		meta.Uint(uint64(len(inner.Entries)))
+		for _, e := range inner.Entries {
+			if err := p.innerEntry(cf, e); err != nil {
+				return err
+			}
+		}
+	}
+	meta.Uint(uint64(len(cf.Fields)))
+	for i := range cf.Fields {
+		if err := p.field(cf, &cf.Fields[i]); err != nil {
+			return fmt.Errorf("field %s: %w", cf.MemberName(&cf.Fields[i]), err)
+		}
+	}
+	meta.Uint(uint64(len(cf.Methods)))
+	for i := range cf.Methods {
+		if err := p.method(cf, &cf.Methods[i]); err != nil {
+			return fmt.Errorf("method %s%s: %w",
+				cf.MemberName(&cf.Methods[i]), cf.MemberDesc(&cf.Methods[i]), err)
+		}
+	}
+	return nil
+}
+
+func (p *packer) innerEntry(cf *classfile.ClassFile, e classfile.InnerClass) error {
+	flags := uint64(e.AccessFlags)
+	if e.Outer != 0 {
+		flags |= flagInnerHasOuter
+	}
+	if e.InnerName != 0 {
+		flags |= flagInnerHasName
+	}
+	p.st(sMeta).Uint(flags)
+	k, err := ir.ResolveClass(cf, e.Inner)
+	if err != nil {
+		return err
+	}
+	p.classRef(k)
+	if e.Outer != 0 {
+		if k, err = ir.ResolveClass(cf, e.Outer); err != nil {
+			return err
+		}
+		p.classRef(k)
+	}
+	if e.InnerName != 0 {
+		p.simpleRef(cf.Utf8At(e.InnerName))
+	}
+	return nil
+}
+
+func (p *packer) field(cf *classfile.ClassFile, m *classfile.Member) error {
+	desc := cf.MemberDesc(m)
+	t, err := classfile.ParseFieldDescriptor(desc)
+	if err != nil {
+		return err
+	}
+	var cv *classfile.ConstantValueAttr
+	flags := memberFlags(m.AccessFlags, m.Attrs)
+	for _, a := range m.Attrs {
+		switch a := a.(type) {
+		case *classfile.ConstantValueAttr:
+			cv = a
+			flags |= flagHasConst
+		case *classfile.SyntheticAttr, *classfile.DeprecatedAttr:
+		default:
+			return fmt.Errorf("unsupported field attribute %s", a.AttrName())
+		}
+	}
+	p.st(sMeta).Uint(flags)
+	p.fieldNameRef(cf.MemberName(m))
+	p.classRef(ir.TypeToKey(t))
+	if cv != nil {
+		if err := p.constValue(cf, t, cv.Index); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// constValue encodes a field's ConstantValue; its kind is derived from the
+// field type on both sides, so no tag is transmitted (§4).
+func (p *packer) constValue(cf *classfile.ClassFile, t classfile.Type, idx uint16) error {
+	if int(idx) >= len(cf.Pool) {
+		return fmt.Errorf("ConstantValue index %d out of range", idx)
+	}
+	c := &cf.Pool[idx]
+	want := constKindForType(t)
+	if c.Kind != want {
+		return fmt.Errorf("ConstantValue kind %v does not match field type %s", c.Kind, t)
+	}
+	switch c.Kind {
+	case classfile.KindInteger:
+		p.st(sIntCV).Int(int64(c.Int))
+	case classfile.KindFloat:
+		p.writeF32(c.Float)
+	case classfile.KindLong:
+		p.st(sLong).Int(c.Long)
+	case classfile.KindDouble:
+		p.writeF64(c.Double)
+	case classfile.KindString:
+		p.stringConstRef(cf.Utf8At(c.Str))
+	}
+	return nil
+}
+
+// constKindForType maps a field type to its ConstantValue pool kind.
+func constKindForType(t classfile.Type) classfile.ConstKind {
+	if t.Dims > 0 {
+		return classfile.KindInvalid
+	}
+	switch t.Base {
+	case 'B', 'C', 'S', 'Z', 'I':
+		return classfile.KindInteger
+	case 'F':
+		return classfile.KindFloat
+	case 'J':
+		return classfile.KindLong
+	case 'D':
+		return classfile.KindDouble
+	case 'L':
+		return classfile.KindString
+	}
+	return classfile.KindInvalid
+}
+
+func (p *packer) writeF32(v float32) {
+	bits := math.Float32bits(v)
+	s := p.st(sFloat)
+	for shift := 24; shift >= 0; shift -= 8 {
+		if err := s.WriteByte(byte(bits >> shift)); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func (p *packer) writeF64(v float64) {
+	bits := math.Float64bits(v)
+	s := p.st(sDouble)
+	for shift := 56; shift >= 0; shift -= 8 {
+		if err := s.WriteByte(byte(bits >> shift)); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func (p *packer) method(cf *classfile.ClassFile, m *classfile.Member) error {
+	sig, err := ir.DescriptorToSignature(cf.MemberDesc(m))
+	if err != nil {
+		return err
+	}
+	var code *classfile.CodeAttr
+	var exc *classfile.ExceptionsAttr
+	flags := memberFlags(m.AccessFlags, m.Attrs)
+	for _, a := range m.Attrs {
+		switch a := a.(type) {
+		case *classfile.CodeAttr:
+			code = a
+			flags |= flagHasCode
+		case *classfile.ExceptionsAttr:
+			exc = a
+		case *classfile.SyntheticAttr, *classfile.DeprecatedAttr:
+		default:
+			return fmt.Errorf("unsupported method attribute %s", a.AttrName())
+		}
+	}
+	meta := p.st(sMeta)
+	meta.Uint(flags)
+	p.methodNameRef(cf.MemberName(m))
+	p.sigRef(sig)
+	if exc != nil {
+		meta.Uint(uint64(len(exc.Classes)))
+		for _, c := range exc.Classes {
+			k, err := ir.ResolveClass(cf, c)
+			if err != nil {
+				return err
+			}
+			p.classRef(k)
+		}
+	} else {
+		meta.Uint(0)
+	}
+	if code != nil {
+		return p.code(cf, code)
+	}
+	return nil
+}
+
+func (p *packer) code(cf *classfile.ClassFile, code *classfile.CodeAttr) error {
+	maxes := p.st(sMaxes)
+	maxes.Uint(uint64(code.MaxStack))
+	maxes.Uint(uint64(code.MaxLocals))
+	p.st(sMeta).Uint(uint64(len(code.Handlers)))
+	handlerOffsets := make([]int, 0, len(code.Handlers))
+	hs := p.st(sHandler)
+	for _, h := range code.Handlers {
+		hs.Uint(uint64(h.StartPC))
+		hs.Uint(uint64(h.EndPC))
+		hs.Uint(uint64(h.HandlerPC))
+		if h.CatchType != 0 {
+			if err := hs.WriteByte(1); err != nil {
+				panic(err)
+			}
+			k, err := ir.ResolveClass(cf, h.CatchType)
+			if err != nil {
+				return err
+			}
+			p.classRef(k)
+		} else if err := hs.WriteByte(0); err != nil {
+			panic(err)
+		}
+		handlerOffsets = append(handlerOffsets, int(h.HandlerPC))
+	}
+	p.st(sMeta).Uint(uint64(len(code.Code)))
+
+	insns, err := bytecode.Decode(code.Code)
+	if err != nil {
+		return err
+	}
+	res := stackstate.NewClassFileResolver(cf)
+	var sim *stackstate.Sim
+	if p.opts.StackState {
+		sim = stackstate.New(res, handlerOffsets)
+	}
+	for i := range insns {
+		if err := p.insn(cf, &insns[i], sim, res); err != nil {
+			return fmt.Errorf("at offset %d (%s): %w", insns[i].Offset, insns[i].Op, err)
+		}
+	}
+	return nil
+}
+
+// ldcPseudo maps a constant-loading instruction to its typed wire opcode.
+func ldcPseudo(op bytecode.Op, kind classfile.ConstKind) (bytecode.Op, error) {
+	switch op {
+	case bytecode.Ldc, bytecode.LdcW:
+		base := opLdcInt
+		if op == bytecode.LdcW {
+			base = opLdcWInt
+		}
+		switch kind {
+		case classfile.KindInteger:
+			return base, nil
+		case classfile.KindFloat:
+			return base + 1, nil
+		case classfile.KindString:
+			return base + 2, nil
+		}
+	case bytecode.Ldc2W:
+		switch kind {
+		case classfile.KindLong:
+			return opLdc2Long, nil
+		case classfile.KindDouble:
+			return opLdc2Double, nil
+		}
+	}
+	return 0, fmt.Errorf("%s of constant kind %v is not loadable", op, kind)
+}
+
+func (p *packer) insn(cf *classfile.ClassFile, in *bytecode.Instruction, sim *stackstate.Sim, res stackstate.Resolver) error {
+	if sim != nil {
+		sim.Begin(in.Offset)
+	}
+	ops := p.st(sOpcodes)
+	isLdc := in.Op == bytecode.Ldc || in.Op == bytecode.LdcW || in.Op == bytecode.Ldc2W
+	wire := in.Op
+	if isLdc {
+		if int(in.A) >= len(cf.Pool) {
+			return fmt.Errorf("constant index %d out of range", in.A)
+		}
+		var err error
+		if wire, err = ldcPseudo(in.Op, cf.Pool[in.A].Kind); err != nil {
+			return err
+		}
+	} else if sim != nil {
+		wire = sim.WireOp(in.Op)
+	}
+	if err := ops.WriteByte(byte(wire)); err != nil {
+		panic(err)
+	}
+
+	ctx := 0
+	if sim != nil {
+		ctx = sim.ContextID()
+	}
+	switch bytecode.FormatOf(in.Op) {
+	case bytecode.FmtNone:
+		// no operands
+	case bytecode.FmtLocal:
+		p.writeReg(in.A, in.Wide && in.A <= 0xff)
+	case bytecode.FmtIinc:
+		redundant := in.Wide && in.A <= 0xff && in.B >= -128 && in.B <= 127
+		p.writeReg(in.A, redundant)
+		p.st(sIntImm).Int(int64(in.B))
+	case bytecode.FmtSByte, bytecode.FmtSShort:
+		p.st(sIntImm).Int(int64(in.A))
+	case bytecode.FmtCP1, bytecode.FmtCP2:
+		if isLdc {
+			if err := p.ldcValue(cf, in.A); err != nil {
+				return err
+			}
+			break
+		}
+		if err := p.cpOperand(cf, in, ctx); err != nil {
+			return err
+		}
+	case bytecode.FmtInvokeInterface:
+		m, err := ir.ResolveMember(cf, uint16(in.A))
+		if err != nil {
+			return err
+		}
+		sig, err := m.MethodSignature()
+		if err != nil {
+			return err
+		}
+		if want := sig.ArgSlots() + 1; in.B != want {
+			return fmt.Errorf("invokeinterface count %d, descriptor implies %d", in.B, want)
+		}
+		if err := p.memberRef(m, useInterface, ctx); err != nil {
+			return err
+		}
+	case bytecode.FmtMultiANewArray:
+		k, err := ir.ResolveClass(cf, uint16(in.A))
+		if err != nil {
+			return err
+		}
+		p.classRef(k)
+		if err := p.st(sMiscOp).WriteByte(byte(in.B)); err != nil {
+			panic(err)
+		}
+	case bytecode.FmtNewArray:
+		if err := p.st(sMiscOp).WriteByte(byte(in.A)); err != nil {
+			panic(err)
+		}
+	case bytecode.FmtBranch2, bytecode.FmtBranch4:
+		p.st(sBranch).Int(int64(in.A - in.Offset))
+	case bytecode.FmtTableSwitch:
+		sw := p.st(sSwitch)
+		sw.Int(int64(in.Default - in.Offset))
+		sw.Int(int64(in.Low))
+		sw.Uint(uint64(len(in.Targets)))
+		for _, t := range in.Targets {
+			sw.Int(int64(t - in.Offset))
+		}
+	case bytecode.FmtLookupSwitch:
+		sw := p.st(sSwitch)
+		sw.Int(int64(in.Default - in.Offset))
+		sw.Uint(uint64(len(in.Keys)))
+		for i, k := range in.Keys {
+			if i == 0 {
+				sw.Int(int64(k))
+			} else {
+				diff := int64(k) - int64(in.Keys[i-1])
+				if diff <= 0 {
+					return fmt.Errorf("lookupswitch keys not ascending")
+				}
+				sw.Uint(uint64(diff))
+			}
+		}
+		for _, t := range in.Targets {
+			sw.Int(int64(t - in.Offset))
+		}
+	default:
+		return fmt.Errorf("cannot pack opcode %s", in.Op)
+	}
+
+	if sim != nil {
+		sim.StepInfo(in, stackstate.InfoFor(res, in))
+	}
+	return nil
+}
+
+// writeReg encodes a register operand together with a redundant-wide flag
+// so that a wide prefix on a small operand survives the round trip.
+func (p *packer) writeReg(reg int, redundantWide bool) {
+	v := uint64(reg) << 1
+	if redundantWide {
+		v |= 1
+	}
+	p.st(sRegs).Uint(v)
+}
+
+// ldcValue encodes the constant loaded by an ldc-family instruction into
+// its typed value stream; the wire opcode already names the type.
+func (p *packer) ldcValue(cf *classfile.ClassFile, idx int) error {
+	c := &cf.Pool[idx]
+	switch c.Kind {
+	case classfile.KindInteger:
+		p.st(sIntLdc).Int(int64(c.Int))
+	case classfile.KindFloat:
+		p.writeF32(c.Float)
+	case classfile.KindString:
+		p.stringConstRef(cf.Utf8At(c.Str))
+	case classfile.KindLong:
+		p.st(sLong).Int(c.Long)
+	case classfile.KindDouble:
+		p.writeF64(c.Double)
+	default:
+		return fmt.Errorf("ldc of %v", c.Kind)
+	}
+	return nil
+}
+
+// cpOperand encodes the constant-pool operand of a non-ldc instruction.
+func (p *packer) cpOperand(cf *classfile.ClassFile, in *bytecode.Instruction, ctx int) error {
+	switch in.Op {
+	case bytecode.Getfield, bytecode.Putfield:
+		m, err := ir.ResolveMember(cf, uint16(in.A))
+		if err != nil {
+			return err
+		}
+		return p.memberRef(m, useGetfield, ctx)
+	case bytecode.Getstatic, bytecode.Putstatic:
+		m, err := ir.ResolveMember(cf, uint16(in.A))
+		if err != nil {
+			return err
+		}
+		return p.memberRef(m, useGetstatic, ctx)
+	case bytecode.Invokevirtual:
+		return p.resolveAndRef(cf, in, useVirtual, ctx)
+	case bytecode.Invokespecial:
+		return p.resolveAndRef(cf, in, useSpecial, ctx)
+	case bytecode.Invokestatic:
+		return p.resolveAndRef(cf, in, useStatic, ctx)
+	case bytecode.New, bytecode.Anewarray, bytecode.Checkcast, bytecode.Instanceof:
+		k, err := ir.ResolveClass(cf, uint16(in.A))
+		if err != nil {
+			return err
+		}
+		p.classRef(k)
+		return nil
+	default:
+		return fmt.Errorf("unexpected constant-pool instruction %s", in.Op)
+	}
+}
+
+func (p *packer) resolveAndRef(cf *classfile.ClassFile, in *bytecode.Instruction, use opUse, ctx int) error {
+	m, err := ir.ResolveMember(cf, uint16(in.A))
+	if err != nil {
+		return err
+	}
+	return p.memberRef(m, use, ctx)
+}

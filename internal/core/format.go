@@ -1,0 +1,145 @@
+// Package core implements the paper's packed wire format for collections
+// of Java class files: a symmetric preorder traversal of the restructured
+// representation (§4) that encodes references through per-kind (and, for
+// method references, per-stack-context) move-to-front pools (§5),
+// separates dissimilar data into independently compressed streams (§7, §8),
+// and collapses typed opcodes using the approximate stack state (§7.1).
+//
+// Decoding is deterministic: Unpack(Pack(files)) reproduces the stripped
+// classfiles byte-for-byte.
+package core
+
+import (
+	"classpack/internal/bytecode"
+	"classpack/internal/refs"
+)
+
+// Magic identifies a packed archive.
+var Magic = [4]byte{'C', 'J', 'P', '1'}
+
+// version of the wire format.
+const version = 1
+
+// Options control the encoder. The decoder reads the choices from the
+// archive header, so any combination round-trips.
+type Options struct {
+	// Scheme selects the reference coding (must be Decodable). The paper's
+	// shipping configuration is MTFFull (move-to-front with transients and
+	// use context, §10).
+	Scheme refs.Scheme
+	// StackState enables the §7.1 opcode collapsing and the §5.1.6
+	// stack-state contexts for method references.
+	StackState bool
+	// Compress enables per-stream DEFLATE (disable for the Table 5
+	// "not gzip'd" ablation).
+	Compress bool
+	// Preload seeds every reference pool with a standard table of common
+	// JDK names and references (the §14 extension). The flag travels in
+	// the archive header; both sides must know the same table.
+	Preload bool
+}
+
+// DefaultOptions is the paper's evaluated configuration (§10).
+func DefaultOptions() Options {
+	return Options{Scheme: refs.MTFFull, StackState: true, Compress: true}
+}
+
+// Stream names. The first path segment is the Table 6 category:
+// str (Strings), ops (Opcodes), int (Ints), ref (Refs), msc (Misc).
+const (
+	sMeta     = "int.meta"   // counts, flags, lengths
+	sMaxes    = "int.code"   // max_stack, max_locals
+	sIntCV    = "int.cv"     // integer constant values (fields)
+	sIntLdc   = "int.ldc"    // integer constants loaded by ldc
+	sIntImm   = "int.imm"    // bipush/sipush/iinc immediates
+	sOpcodes  = "ops.code"   // one byte per instruction
+	sRegs     = "msc.reg"    // register numbers
+	sBranch   = "msc.branch" // relative branch offsets
+	sSwitch   = "msc.switch" // switch defaults, bounds, keys, targets
+	sHandler  = "msc.handler"
+	sFloat    = "msc.float"  // float bit patterns
+	sDouble   = "msc.double" // double bit patterns
+	sLong     = "msc.long"   // long values
+	sClassDef = "msc.classdef"
+	sMiscOp   = "msc.op" // newarray atype, multianewarray dims
+)
+
+// refsScheme narrows a header byte to a scheme value.
+func refsScheme(b byte) refs.Scheme { return refs.Scheme(b) }
+
+// refStream returns the index stream for a pool.
+func refStream(p poolID) string { return "ref." + poolName[p] }
+
+// strStreams returns the length and character streams for a string
+// category (§8: lengths separate from characters, one pair per category).
+func strStreams(cat string) (lens, chars string) {
+	return "str." + cat + ".len", "str." + cat + ".chr"
+}
+
+// poolID identifies a reference pool. Separate pools are kept for virtual,
+// interface, static and special method references and for static and
+// instance field references (§5.1).
+type poolID int
+
+const (
+	poolPackage poolID = iota
+	poolSimple
+	poolClass
+	poolSig
+	poolMethodName
+	poolFieldName
+	poolFieldInstance
+	poolFieldStatic
+	poolMethodVirtual
+	poolMethodSpecial
+	poolMethodStatic
+	poolMethodInterface
+	poolString
+	numPools
+)
+
+var poolName = [numPools]string{
+	"pkg", "cls", "class", "sig", "mname", "fname",
+	"field.i", "field.s", "meth.v", "meth.sp", "meth.st", "meth.if", "strc",
+}
+
+// contextual reports whether the pool's references use stack-state
+// contexts (§5.1.6: method references only).
+func (p poolID) contextual() bool {
+	switch p {
+	case poolMethodVirtual, poolMethodSpecial, poolMethodStatic, poolMethodInterface:
+		return true
+	}
+	return false
+}
+
+// Pseudo-opcodes replacing the constant-loading instructions in the wire
+// opcode stream; they name the constant's type so the decoder knows which
+// value stream to read (§3 footnote 1) and preserve the ldc/ldc_w width.
+const (
+	opLdcInt     bytecode.Op = 0xca + iota // ldc of an Integer
+	opLdcFloat                             // ldc of a Float
+	opLdcString                            // ldc of a String
+	opLdcWInt                              // ldc_w of an Integer
+	opLdcWFloat                            // ldc_w of a Float
+	opLdcWString                           // ldc_w of a String
+	opLdc2Long                             // ldc2_w of a Long
+	opLdc2Double                           // ldc2_w of a Double
+
+	// numWireOps is the wire opcode alphabet size.
+	numWireOps = int(opLdc2Double) + 1
+)
+
+// Extended flag bits layered above the 16 JVM access-flag bits in the
+// varint-coded flags word; generic attributes become flags (§4).
+const (
+	flagHasSuper   = 1 << 16 // class: has a superclass
+	flagHasInner   = 1 << 17 // class: InnerClasses attribute present
+	flagHasConst   = 1 << 16 // field: ConstantValue present
+	flagHasCode    = 1 << 16 // method: Code attribute present
+	flagSynthetic  = 1 << 18
+	flagDeprecated = 1 << 19
+	// Inner-class entry flags (above the entry's access bits).
+	flagInnerHasOuter = 1 << 16
+	flagInnerHasName  = 1 << 17
+)

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+
+	"classpack/internal/classfile"
+	"classpack/internal/ir"
+	"classpack/internal/refs"
+	"classpack/internal/streams"
+)
+
+// Canonical pool keys. Keys only need to be unique within their pool and
+// identical between passes and directions.
+
+func classKeyStr(k ir.ClassKey) string {
+	return fmt.Sprintf("%d\x00%c\x00%s\x00%s", k.Dims, rune(k.Prim)+1, k.Pkg, k.Simple)
+}
+
+func memberKeyStr(m ir.MemberRef) string {
+	return classKeyStr(m.Owner) + "\x01" + m.Name + "\x01" + m.Desc
+}
+
+// memberPool maps a member reference and its use site to its pool:
+// instance vs static fields, and virtual/special/static/interface methods
+// are kept apart (§5.1).
+func memberPool(m ir.MemberRef, op opUse) poolID {
+	switch op {
+	case useGetfield:
+		return poolFieldInstance
+	case useGetstatic:
+		return poolFieldStatic
+	case useVirtual:
+		return poolMethodVirtual
+	case useSpecial:
+		return poolMethodSpecial
+	case useStatic:
+		return poolMethodStatic
+	case useInterface:
+		return poolMethodInterface
+	}
+	panic("core: bad member use")
+}
+
+type opUse int
+
+const (
+	useGetfield opUse = iota
+	useGetstatic
+	useVirtual
+	useSpecial
+	useStatic
+	useInterface
+)
+
+// sink is the subset of streams.Stream the walkers write through; the
+// counting pass swaps in a discard implementation.
+type sink interface {
+	WriteByte(byte) error
+	Write([]byte) (int, error)
+	Uint(uint64)
+	Int(int64)
+}
+
+type discard struct{}
+
+func (discard) WriteByte(byte) error        { return nil }
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+func (discard) Uint(uint64)                 {}
+func (discard) Int(int64)                   {}
+
+// packer holds the encoder state for one pass (counting or emitting).
+type packer struct {
+	opts     Options
+	w        *streams.Writer
+	counting bool
+	counts   [numPools]map[string]int
+	seen     [numPools]map[string]bool
+	encs     [numPools]refs.Encoder
+	scratch  []byte
+	traces   map[string][]refs.Event // non-nil: record events per pool name
+}
+
+func newCountingPacker(opts Options) *packer {
+	p := &packer{opts: opts, counting: true}
+	for i := range p.counts {
+		p.counts[i] = make(map[string]int)
+		p.seen[i] = make(map[string]bool)
+	}
+	return p
+}
+
+func newEmittingPacker(opts Options, counts [numPools]map[string]int) *packer {
+	p := &packer{opts: opts, w: streams.NewWriter(), counts: counts}
+	for i := range p.encs {
+		p.encs[i] = refs.NewEncoder(opts.Scheme, counts[i])
+	}
+	return p
+}
+
+// st returns the sink for a named stream.
+func (p *packer) st(name string) sink {
+	if p.counting {
+		return discard{}
+	}
+	return p.w.Stream(name)
+}
+
+// ref encodes one reference event; def is invoked exactly when the
+// object's definition must follow (first occurrence).
+func (p *packer) ref(pool poolID, ctx int, key string, def func()) {
+	if p.counting {
+		if p.traces != nil {
+			p.traces[poolName[pool]] = append(p.traces[poolName[pool]], refs.Event{Ctx: ctx, Key: key})
+		}
+		p.counts[pool][key]++
+		if !p.seen[pool][key] {
+			p.seen[pool][key] = true
+			def()
+		}
+		return
+	}
+	var isNew bool
+	p.scratch, isNew = p.encs[pool].Encode(p.scratch[:0], refs.Event{Ctx: ctx, Key: key})
+	if _, err := p.w.Stream(refStream(pool)).Write(p.scratch); err != nil {
+		panic(err) // bytes.Buffer writes cannot fail
+	}
+	if isNew {
+		def()
+	}
+}
+
+// strDef emits a string definition into the category's length and
+// character streams (§8).
+func (p *packer) strDef(cat, s string) {
+	lens, chars := strStreams(cat)
+	p.st(lens).Uint(uint64(len(s)))
+	if _, err := p.st(chars).Write([]byte(s)); err != nil {
+		panic(err)
+	}
+}
+
+// pkgRef encodes a reference to a package name.
+func (p *packer) pkgRef(s string) {
+	p.ref(poolPackage, 0, s, func() { p.strDef("pkg", s) })
+}
+
+// simpleRef encodes a reference to a simple class name.
+func (p *packer) simpleRef(s string) {
+	p.ref(poolSimple, 0, s, func() { p.strDef("cls", s) })
+}
+
+// methodNameRef encodes a reference to a method name; a single pool is
+// shared across all method kinds (§5.1.6).
+func (p *packer) methodNameRef(s string) {
+	p.ref(poolMethodName, 0, s, func() { p.strDef("mname", s) })
+}
+
+// fieldNameRef encodes a reference to a field name.
+func (p *packer) fieldNameRef(s string) {
+	p.ref(poolFieldName, 0, s, func() { p.strDef("fname", s) })
+}
+
+// stringConstRef encodes a reference to a string constant.
+func (p *packer) stringConstRef(s string) {
+	p.ref(poolString, 0, s, func() { p.strDef("str", s) })
+}
+
+// classRef encodes a reference to a class/primitive/array type; new types
+// define their dims/primitive shape and factored name (§4).
+func (p *packer) classRef(k ir.ClassKey) {
+	p.ref(poolClass, 0, classKeyStr(k), func() {
+		d := p.st(sClassDef)
+		d.Uint(uint64(k.Dims))
+		if err := d.WriteByte(k.Prim); err != nil {
+			panic(err)
+		}
+		if k.IsClass() {
+			p.pkgRef(k.Pkg)
+			p.simpleRef(k.Simple)
+		}
+	})
+}
+
+// sigRef encodes a reference to a method signature; new signatures define
+// their return and parameter types as class references (§4).
+func (p *packer) sigRef(sig ir.Signature) {
+	p.ref(poolSig, 0, sig.SigString(), func() {
+		p.st(sMeta).Uint(uint64(len(sig)))
+		for _, k := range sig {
+			p.classRef(k)
+		}
+	})
+}
+
+// memberRef encodes a field or method reference in the pool selected by
+// its use; new members define owner, name, and type.
+func (p *packer) memberRef(m ir.MemberRef, use opUse, ctx int) error {
+	pool := memberPool(m, use)
+	var defErr error
+	p.ref(pool, ctx, memberKeyStr(m), func() {
+		p.classRef(m.Owner)
+		if m.Kind == classfile.KindFieldref {
+			p.fieldNameRef(m.Name)
+			t, err := m.FieldTypeKey()
+			if err != nil {
+				defErr = err
+				return
+			}
+			p.classRef(t)
+			return
+		}
+		p.methodNameRef(m.Name)
+		sig, err := m.MethodSignature()
+		if err != nil {
+			defErr = err
+			return
+		}
+		p.sigRef(sig)
+	})
+	return defErr
+}

@@ -1,0 +1,293 @@
+// Package dump renders classfiles in a javap-like textual form: header,
+// constant pool, members, and disassembled bytecode. It drives the
+// `jpack dump` subcommand and doubles as a debugging aid for every other
+// package in the repository.
+package dump
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"classpack/internal/bytecode"
+	"classpack/internal/classfile"
+)
+
+// Options control the rendering.
+type Options struct {
+	// Pool prints the constant pool table.
+	Pool bool
+	// Code disassembles method bodies.
+	Code bool
+}
+
+// Class writes a textual rendering of cf.
+func Class(w io.Writer, cf *classfile.ClassFile, opts Options) error {
+	fmt.Fprintf(w, "class %s", cf.ThisClassName())
+	if super := cf.SuperClassName(); super != "" {
+		fmt.Fprintf(w, " extends %s", super)
+	}
+	if len(cf.Interfaces) > 0 {
+		names := make([]string, len(cf.Interfaces))
+		for i, idx := range cf.Interfaces {
+			names[i] = cf.ClassNameAt(idx)
+		}
+		fmt.Fprintf(w, " implements %s", strings.Join(names, ", "))
+	}
+	fmt.Fprintf(w, "\n  version %d.%d, flags 0x%04x\n",
+		cf.MajorVersion, cf.MinorVersion, cf.AccessFlags)
+
+	if opts.Pool {
+		fmt.Fprintln(w, "  constant pool:")
+		for i := 1; i < len(cf.Pool); i++ {
+			c := &cf.Pool[i]
+			if c.Kind == classfile.KindInvalid {
+				continue
+			}
+			fmt.Fprintf(w, "    #%-4d %-18s %s\n", i, c.Kind, constText(cf, uint16(i)))
+			if c.Kind.Wide() {
+				i++
+			}
+		}
+	}
+
+	for i := range cf.Fields {
+		f := &cf.Fields[i]
+		fmt.Fprintf(w, "  field %s %s %s%s\n", flagsText(f.AccessFlags, false),
+			cf.MemberDesc(f), cf.MemberName(f), attrSuffix(cf, f.Attrs))
+	}
+	for i := range cf.Methods {
+		m := &cf.Methods[i]
+		fmt.Fprintf(w, "  method %s %s%s%s\n", flagsText(m.AccessFlags, true),
+			cf.MemberName(m), cf.MemberDesc(m), attrSuffix(cf, m.Attrs))
+		if !opts.Code {
+			continue
+		}
+		code := classfile.CodeOf(m)
+		if code == nil {
+			continue
+		}
+		fmt.Fprintf(w, "    code: stack=%d locals=%d length=%d\n",
+			code.MaxStack, code.MaxLocals, len(code.Code))
+		if err := Code(w, cf, code); err != nil {
+			return fmt.Errorf("dump: %s.%s: %w", cf.ThisClassName(), cf.MemberName(m), err)
+		}
+	}
+	return nil
+}
+
+// attrSuffix summarizes non-code attributes.
+func attrSuffix(cf *classfile.ClassFile, attrs []classfile.Attribute) string {
+	var parts []string
+	for _, a := range attrs {
+		switch a := a.(type) {
+		case *classfile.ConstantValueAttr:
+			parts = append(parts, "= "+constText(cf, a.Index))
+		case *classfile.ExceptionsAttr:
+			names := make([]string, len(a.Classes))
+			for i, c := range a.Classes {
+				names[i] = cf.ClassNameAt(c)
+			}
+			parts = append(parts, "throws "+strings.Join(names, ", "))
+		case *classfile.SyntheticAttr:
+			parts = append(parts, "synthetic")
+		case *classfile.DeprecatedAttr:
+			parts = append(parts, "deprecated")
+		}
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "  (" + strings.Join(parts, "; ") + ")"
+}
+
+var flagNames = []struct {
+	bit  uint16
+	name string
+	// methodOnly disambiguates the 0x0020 bit.
+	methodMeaning string
+}{
+	{classfile.AccPublic, "public", "public"},
+	{classfile.AccPrivate, "private", "private"},
+	{classfile.AccProtected, "protected", "protected"},
+	{classfile.AccStatic, "static", "static"},
+	{classfile.AccFinal, "final", "final"},
+	{classfile.AccSuper, "", "synchronized"},
+	{classfile.AccVolatile, "volatile", ""},
+	{classfile.AccTransient, "transient", ""},
+	{classfile.AccNative, "", "native"},
+	{classfile.AccAbstract, "abstract", "abstract"},
+}
+
+func flagsText(flags uint16, method bool) string {
+	var out []string
+	for _, f := range flagNames {
+		if flags&f.bit == 0 {
+			continue
+		}
+		name := f.name
+		if method {
+			name = f.methodMeaning
+		}
+		if name != "" {
+			out = append(out, name)
+		}
+	}
+	if len(out) == 0 {
+		return "package-private"
+	}
+	return strings.Join(out, " ")
+}
+
+// constText renders a constant-pool entry's value.
+func constText(cf *classfile.ClassFile, idx uint16) string {
+	if int(idx) >= len(cf.Pool) {
+		return fmt.Sprintf("<bad index %d>", idx)
+	}
+	c := &cf.Pool[idx]
+	switch c.Kind {
+	case classfile.KindUtf8:
+		return fmt.Sprintf("%q", c.Utf8)
+	case classfile.KindInteger:
+		return fmt.Sprint(c.Int)
+	case classfile.KindFloat:
+		return fmt.Sprintf("%gf", c.Float)
+	case classfile.KindLong:
+		return fmt.Sprintf("%dL", c.Long)
+	case classfile.KindDouble:
+		return fmt.Sprintf("%gd", c.Double)
+	case classfile.KindClass:
+		return cf.ClassNameAt(idx)
+	case classfile.KindString:
+		return fmt.Sprintf("%q", cf.Utf8At(c.Str))
+	case classfile.KindNameAndType:
+		return cf.Utf8At(c.Name) + ":" + cf.Utf8At(c.Desc)
+	case classfile.KindFieldref, classfile.KindMethodref, classfile.KindInterfaceMethodref:
+		nat := cf.Pool[c.NameAndType]
+		return fmt.Sprintf("%s.%s:%s", cf.ClassNameAt(c.Class),
+			cf.Utf8At(nat.Name), cf.Utf8At(nat.Desc))
+	default:
+		return "<invalid>"
+	}
+}
+
+// Code disassembles one Code attribute.
+func Code(w io.Writer, cf *classfile.ClassFile, code *classfile.CodeAttr) error {
+	insns, err := bytecode.Decode(code.Code)
+	if err != nil {
+		return err
+	}
+	for i := range insns {
+		fmt.Fprintf(w, "      %4d: %s\n", insns[i].Offset, Insn(cf, &insns[i]))
+	}
+	if len(code.Handlers) > 0 {
+		fmt.Fprintln(w, "      exception table:")
+		for _, h := range code.Handlers {
+			catch := "any"
+			if h.CatchType != 0 {
+				catch = cf.ClassNameAt(h.CatchType)
+			}
+			fmt.Fprintf(w, "        [%d, %d) -> %d  catch %s\n",
+				h.StartPC, h.EndPC, h.HandlerPC, catch)
+		}
+	}
+	return nil
+}
+
+// Insn renders one instruction with symbolic operands.
+func Insn(cf *classfile.ClassFile, in *bytecode.Instruction) string {
+	name := in.Op.String()
+	if in.Wide {
+		name = "wide " + name
+	}
+	switch bytecode.FormatOf(in.Op) {
+	case bytecode.FmtNone:
+		return name
+	case bytecode.FmtLocal:
+		return fmt.Sprintf("%-15s %d", name, in.A)
+	case bytecode.FmtIinc:
+		return fmt.Sprintf("%-15s %d, %+d", name, in.A, in.B)
+	case bytecode.FmtSByte, bytecode.FmtSShort:
+		return fmt.Sprintf("%-15s %d", name, in.A)
+	case bytecode.FmtNewArray:
+		return fmt.Sprintf("%-15s %s", name, atypeName(in.A))
+	case bytecode.FmtCP1, bytecode.FmtCP2:
+		return fmt.Sprintf("%-15s #%d  // %s", name, in.A, constText(cf, uint16(in.A)))
+	case bytecode.FmtInvokeInterface:
+		return fmt.Sprintf("%-15s #%d, %d  // %s", name, in.A, in.B, constText(cf, uint16(in.A)))
+	case bytecode.FmtMultiANewArray:
+		return fmt.Sprintf("%-15s #%d, dims=%d  // %s", name, in.A, in.B, constText(cf, uint16(in.A)))
+	case bytecode.FmtBranch2, bytecode.FmtBranch4:
+		return fmt.Sprintf("%-15s -> %d", name, in.A)
+	case bytecode.FmtTableSwitch:
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%s { // %d..%d, default -> %d\n", name, in.Low, in.High, in.Default)
+		for i, t := range in.Targets {
+			fmt.Fprintf(&sb, "              %6d: -> %d\n", in.Low+int32(i), t)
+		}
+		sb.WriteString("            }")
+		return sb.String()
+	case bytecode.FmtLookupSwitch:
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%s { // %d pairs, default -> %d\n", name, len(in.Keys), in.Default)
+		for i, k := range in.Keys {
+			fmt.Fprintf(&sb, "              %6d: -> %d\n", k, in.Targets[i])
+		}
+		sb.WriteString("            }")
+		return sb.String()
+	default:
+		return name
+	}
+}
+
+func atypeName(atype int) string {
+	names := map[int]string{4: "boolean", 5: "char", 6: "float", 7: "double",
+		8: "byte", 9: "short", 10: "int", 11: "long"}
+	if n, ok := names[atype]; ok {
+		return n
+	}
+	return fmt.Sprintf("atype=%d", atype)
+}
+
+// OpcodeHistogram tallies opcode frequencies over a set of classfiles,
+// most frequent first — handy when inspecting corpus realism.
+func OpcodeHistogram(cfs []*classfile.ClassFile) ([]string, []int, error) {
+	counts := map[bytecode.Op]int{}
+	for _, cf := range cfs {
+		for mi := range cf.Methods {
+			code := classfile.CodeOf(&cf.Methods[mi])
+			if code == nil {
+				continue
+			}
+			insns, err := bytecode.Decode(code.Code)
+			if err != nil {
+				return nil, nil, err
+			}
+			for i := range insns {
+				counts[insns[i].Op]++
+			}
+		}
+	}
+	type oc struct {
+		op bytecode.Op
+		n  int
+	}
+	var all []oc
+	for op, n := range counts {
+		all = append(all, oc{op, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].op < all[j].op
+	})
+	names := make([]string, len(all))
+	ns := make([]int, len(all))
+	for i, e := range all {
+		names[i] = e.op.String()
+		ns[i] = e.n
+	}
+	return names, ns, nil
+}

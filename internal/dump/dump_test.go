@@ -1,0 +1,124 @@
+package dump
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"classpack/internal/classfile"
+	"classpack/internal/minijava"
+	"classpack/internal/synth"
+)
+
+func compiled(t *testing.T) []*classfile.ClassFile {
+	t.Helper()
+	cfs, err := minijava.Compile(`
+class Main { public static void main(String[] a) {
+    System.out.println(new Box().grow(3));
+} }
+class Box {
+    int size;
+    public int grow(int by) {
+        int i;
+        i = 0;
+        while (i < by) { size = size + 2; i = i + 1; }
+        return size;
+    }
+}
+`, minijava.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfs
+}
+
+func TestClassDump(t *testing.T) {
+	var buf bytes.Buffer
+	for _, cf := range compiled(t) {
+		if err := Class(&buf, cf, Options{Pool: true, Code: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"class Main extends java/lang/Object",
+		"class Box extends java/lang/Object",
+		"method public static main([Ljava/lang/String;)V",
+		"method public grow(I)I",
+		"field protected I size",
+		"constant pool:",
+		"Methodref",
+		"getfield",
+		"putfield",
+		"iload",
+		"ifeq",
+		"goto",
+		"ireturn",
+		"java/io/PrintStream.println:(I)V",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q", want)
+		}
+	}
+}
+
+func TestDumpEveryFormat(t *testing.T) {
+	// A corpus class exercises switches, handlers, wide ops, and every
+	// constant kind; Class must render them all without error.
+	p, err := synth.ProfileByName("jmark20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfs, err := synth.GenerateStripped(p, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, cf := range cfs {
+		if err := Class(&buf, cf, Options{Pool: true, Code: true}); err != nil {
+			t.Fatalf("%s: %v", cf.ThisClassName(), err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"tableswitch", "lookupswitch", "exception table:", "catch"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("corpus dump missing %q", want)
+		}
+	}
+}
+
+func TestOpcodeHistogram(t *testing.T) {
+	names, counts, err := OpcodeHistogram(compiled(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 || len(names) != len(counts) {
+		t.Fatalf("histogram sizes %d/%d", len(names), len(counts))
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] > counts[i-1] {
+			t.Fatal("histogram not sorted by count")
+		}
+	}
+	found := false
+	for _, n := range names {
+		if n == "aload_0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("histogram missing aload_0")
+	}
+}
+
+func TestFlagsText(t *testing.T) {
+	if got := flagsText(classfile.AccPublic|classfile.AccStatic, true); got != "public static" {
+		t.Errorf("flagsText = %q", got)
+	}
+	if got := flagsText(0, false); got != "package-private" {
+		t.Errorf("flagsText(0) = %q", got)
+	}
+	if got := flagsText(classfile.AccSynchronized, true); got != "synchronized" {
+		t.Errorf("flagsText(sync) = %q", got)
+	}
+}

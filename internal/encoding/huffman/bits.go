@@ -1,0 +1,76 @@
+package huffman
+
+import "io"
+
+// BitWriter writes MSB-first bit strings into a byte slice.
+type BitWriter struct {
+	buf  []byte
+	cur  uint64
+	nCur uint // bits held in cur
+}
+
+// WriteBits appends the low n bits of v, most significant bit first.
+func (w *BitWriter) WriteBits(v uint64, n uint) {
+	for n > 0 {
+		take := 8 - w.nCur%8
+		if take > n {
+			take = n
+		}
+		bits := (v >> (n - take)) & (1<<take - 1)
+		w.cur = w.cur<<take | bits
+		w.nCur += take
+		n -= take
+		if w.nCur%8 == 0 {
+			w.buf = append(w.buf, byte(w.cur))
+			w.cur = 0
+		}
+	}
+}
+
+// Bytes flushes any partial byte (zero-padded) and returns the buffer.
+func (w *BitWriter) Bytes() []byte {
+	if rem := w.nCur % 8; rem != 0 {
+		w.buf = append(w.buf, byte(w.cur<<(8-rem)))
+		w.cur = 0
+		w.nCur += 8 - rem
+	}
+	return w.buf
+}
+
+// BitLen reports the number of bits written so far (before padding).
+func (w *BitWriter) BitLen() int { return int(w.nCur) }
+
+// BitReader reads MSB-first bit strings from a byte slice. Reads past the
+// end return io.ErrUnexpectedEOF.
+type BitReader struct {
+	buf []byte
+	pos uint // bit position
+}
+
+// NewBitReader returns a reader over b.
+func NewBitReader(b []byte) *BitReader { return &BitReader{buf: b} }
+
+// ReadBits reads n bits MSB-first.
+func (r *BitReader) ReadBits(n uint) (uint64, error) {
+	if r.pos+n > uint(len(r.buf))*8 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	var v uint64
+	for n > 0 {
+		byteIdx := r.pos / 8
+		bitOff := r.pos % 8
+		avail := 8 - bitOff
+		take := avail
+		if take > n {
+			take = n
+		}
+		chunk := uint64(r.buf[byteIdx]>>(avail-take)) & (1<<take - 1)
+		v = v<<take | chunk
+		r.pos += take
+		n -= take
+	}
+	return v, nil
+}
+
+// ReadBit reads a single bit.
+func (r *BitReader) ReadBit() (uint64, error) { return r.ReadBits(1) }

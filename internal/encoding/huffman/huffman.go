@@ -1,0 +1,268 @@
+// Package huffman implements canonical Huffman coding over small symbol
+// alphabets. The Jazz baseline (§13.1) uses a fixed Huffman code per kind
+// of constant-pool index, and the custom-opcode competitor (§7.2) uses
+// Huffman code lengths as its entropy estimate.
+package huffman
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// maxCodeLen bounds code lengths so decode tables stay small; codes longer
+// than this are flattened by repeatedly halving large counts.
+const maxCodeLen = 24
+
+// Code is a canonical Huffman code for symbols 0..n-1.
+type Code struct {
+	lengths []uint8  // bit length per symbol; 0 = symbol absent
+	codes   []uint32 // canonical code bits per symbol
+	// decode tables: firstCode[l] is the first canonical code of length l,
+	// offset[l] indexes into symbolsByLen.
+	firstCode    [maxCodeLen + 2]uint32
+	offset       [maxCodeLen + 2]int
+	symbolsByLen []int
+	maxLen       uint
+}
+
+// New builds a canonical code from per-symbol frequency counts.
+// Symbols with zero count get no code. At least one symbol must have a
+// nonzero count.
+func New(counts []int) (*Code, error) {
+	n := 0
+	for _, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("huffman: negative count %d", c)
+		}
+		if c > 0 {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("huffman: no symbols with nonzero count")
+	}
+	lengths := buildLengths(counts)
+	return FromLengths(lengths)
+}
+
+// FromLengths builds the canonical code for the given code lengths
+// (0 = absent). Lengths must satisfy the Kraft equality or inequality.
+func FromLengths(lengths []uint8) (*Code, error) {
+	c := &Code{
+		lengths: append([]uint8(nil), lengths...),
+		codes:   make([]uint32, len(lengths)),
+	}
+	var lenCount [maxCodeLen + 2]int
+	for s, l := range lengths {
+		if l > maxCodeLen {
+			return nil, fmt.Errorf("huffman: symbol %d length %d exceeds max %d", s, l, maxCodeLen)
+		}
+		if l > 0 {
+			lenCount[l]++
+			if uint(l) > c.maxLen {
+				c.maxLen = uint(l)
+			}
+		}
+	}
+	// Kraft check.
+	kraft := uint64(0)
+	for l := 1; l <= maxCodeLen; l++ {
+		kraft += uint64(lenCount[l]) << (maxCodeLen - l)
+	}
+	if kraft > 1<<maxCodeLen {
+		return nil, fmt.Errorf("huffman: code lengths oversubscribed")
+	}
+	// Canonical first codes.
+	code := uint32(0)
+	total := 0
+	for l := 1; l <= int(c.maxLen); l++ {
+		code = (code + uint32(lenCount[l-1])) << 1
+		c.firstCode[l] = code
+		c.offset[l] = total
+		total += lenCount[l]
+		code += 0 // codes of this length begin at firstCode[l]
+	}
+	// Assign codes symbol-major (symbols in increasing order share lengths
+	// in canonical order).
+	next := make([]uint32, maxCodeLen+2)
+	fill := make([]int, maxCodeLen+2)
+	for l := 1; l <= int(c.maxLen); l++ {
+		next[l] = c.firstCode[l]
+	}
+	c.symbolsByLen = make([]int, total)
+	for s, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		c.codes[s] = next[l]
+		next[l]++
+		c.symbolsByLen[c.offset[l]+fill[l]] = s
+		fill[l]++
+	}
+	return c, nil
+}
+
+// Lengths returns the per-symbol code lengths (for serializing the code).
+func (c *Code) Lengths() []uint8 { return append([]uint8(nil), c.lengths...) }
+
+// SymbolLen returns the code length in bits for symbol s (0 if absent).
+func (c *Code) SymbolLen(s int) int { return int(c.lengths[s]) }
+
+// Encode appends symbol s to w. It panics if s has no code, which is an
+// encoder bug (the counts passed to New missed a symbol).
+func (c *Code) Encode(w *BitWriter, s int) {
+	l := c.lengths[s]
+	if l == 0 {
+		panic(fmt.Sprintf("huffman: symbol %d has no code", s))
+	}
+	w.WriteBits(uint64(c.codes[s]), uint(l))
+}
+
+// Decode reads one symbol from r.
+func (c *Code) Decode(r *BitReader) (int, error) {
+	code := uint32(0)
+	for l := uint(1); l <= c.maxLen; l++ {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | uint32(bit)
+		// Codes of length l occupy [firstCode[l], firstCode[l]+count).
+		idx := int(code) - int(c.firstCode[l])
+		if idx >= 0 {
+			end := c.offset[l+1]
+			if int(l) == int(c.maxLen) {
+				end = len(c.symbolsByLen)
+			}
+			if c.offset[l]+idx < end {
+				return c.symbolsByLen[c.offset[l]+idx], nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("huffman: invalid code")
+}
+
+// buildLengths computes code lengths via a pairing heap over (count,
+// symbol-set) nodes. Counts are flattened until the deepest code fits
+// maxCodeLen.
+func buildLengths(counts []int) []uint8 {
+	scaled := append([]int(nil), counts...)
+	for {
+		lengths, deepest := treeLengths(scaled)
+		if deepest <= maxCodeLen {
+			return lengths
+		}
+		// Halve (rounding up to 1) and retry: flattens the distribution.
+		for i, c := range scaled {
+			if c > 0 {
+				scaled[i] = (c + 1) / 2
+			}
+		}
+	}
+}
+
+type hNode struct {
+	count       int
+	order       int // tiebreak for determinism
+	left, right *hNode
+	symbol      int
+}
+
+type hHeap []*hNode
+
+func (h hHeap) Len() int { return len(h) }
+func (h hHeap) Less(i, j int) bool {
+	if h[i].count != h[j].count {
+		return h[i].count < h[j].count
+	}
+	return h[i].order < h[j].order
+}
+func (h hHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *hHeap) Push(x any)        { *h = append(*h, x.(*hNode)) }
+func (h *hHeap) Pop() any          { old := *h; n := old[len(old)-1]; *h = old[:len(old)-1]; return n }
+func (h hHeap) Peek() *hNode       { return h[0] }
+func (h *hHeap) PopNode() *hNode   { return heap.Pop(h).(*hNode) }
+func (h *hHeap) PushNode(n *hNode) { heap.Push(h, n) }
+
+func treeLengths(counts []int) (lengths []uint8, deepest int) {
+	lengths = make([]uint8, len(counts))
+	var leaves []*hNode
+	for s, c := range counts {
+		if c > 0 {
+			leaves = append(leaves, &hNode{count: c, order: s, symbol: s})
+		}
+	}
+	if len(leaves) == 1 {
+		lengths[leaves[0].symbol] = 1
+		return lengths, 1
+	}
+	h := hHeap(append([]*hNode(nil), leaves...))
+	heap.Init(&h)
+	order := len(counts)
+	for h.Len() > 1 {
+		a, b := h.PopNode(), h.PopNode()
+		h.PushNode(&hNode{count: a.count + b.count, order: order, left: a, right: b})
+		order++
+	}
+	root := h.Peek()
+	var walk func(n *hNode, depth int)
+	walk = func(n *hNode, depth int) {
+		if n.left == nil {
+			lengths[n.symbol] = uint8(depth)
+			if depth > deepest {
+				deepest = depth
+			}
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	return lengths, deepest
+}
+
+// EstimateBits returns the total Huffman-coded size in bits of a stream
+// with the given symbol counts; it is the log2(1/p) entropy proxy used by
+// the custom-opcode search (§7.2).
+func EstimateBits(counts []int) int {
+	nonzero := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		return 0
+	}
+	code, err := New(counts)
+	if err != nil {
+		return 0
+	}
+	bits := 0
+	for s, c := range counts {
+		if c > 0 {
+			bits += c * code.SymbolLen(s)
+		}
+	}
+	return bits
+}
+
+// SortedSymbols returns the symbols with nonzero counts in decreasing
+// count order (ties by symbol); used to assign small ids to frequent
+// objects in the Freq reference scheme.
+func SortedSymbols(counts []int) []int {
+	var syms []int
+	for s, c := range counts {
+		if c > 0 {
+			syms = append(syms, s)
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if counts[syms[i]] != counts[syms[j]] {
+			return counts[syms[i]] > counts[syms[j]]
+		}
+		return syms[i] < syms[j]
+	})
+	return syms
+}

@@ -1,0 +1,173 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBitRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var w BitWriter
+	type item struct {
+		v uint64
+		n uint
+	}
+	var items []item
+	for i := 0; i < 2000; i++ {
+		n := uint(1 + rng.Intn(63))
+		v := rng.Uint64() & (1<<n - 1)
+		items = append(items, item{v, n})
+		w.WriteBits(v, n)
+	}
+	r := NewBitReader(w.Bytes())
+	for i, it := range items {
+		v, err := r.ReadBits(it.n)
+		if err != nil || v != it.v {
+			t.Fatalf("item %d: got %d err=%v, want %d", i, v, err, it.v)
+		}
+	}
+}
+
+func TestBitReaderEOF(t *testing.T) {
+	r := NewBitReader([]byte{0xff})
+	if _, err := r.ReadBits(9); err == nil {
+		t.Fatal("ReadBits(9) of 1 byte succeeded")
+	}
+	if v, err := r.ReadBits(8); err != nil || v != 0xff {
+		t.Fatalf("ReadBits(8) = %d, %v", v, err)
+	}
+	if _, err := r.ReadBit(); err == nil {
+		t.Fatal("read past end succeeded")
+	}
+}
+
+func roundTrip(t *testing.T, counts []int, stream []int) {
+	t.Helper()
+	c, err := New(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w BitWriter
+	for _, s := range stream {
+		c.Encode(&w, s)
+	}
+	// Rebuild from serialized lengths, as the Jazz decoder does.
+	c2, err := FromLengths(c.Lengths())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewBitReader(w.Bytes())
+	for i, want := range stream {
+		got, err := c2.Decode(r)
+		if err != nil || got != want {
+			t.Fatalf("symbol %d: got %d err=%v, want %d", i, got, err, want)
+		}
+	}
+}
+
+func TestRoundTripUniform(t *testing.T) {
+	counts := make([]int, 16)
+	var stream []int
+	for s := range counts {
+		counts[s] = 1
+		stream = append(stream, s)
+	}
+	roundTrip(t, counts, stream)
+}
+
+func TestRoundTripSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	counts := make([]int, 300)
+	var stream []int
+	for i := 0; i < 20000; i++ {
+		s := int(rng.ExpFloat64() * 20)
+		if s >= len(counts) {
+			s = len(counts) - 1
+		}
+		counts[s]++
+		stream = append(stream, s)
+	}
+	roundTrip(t, counts, stream)
+}
+
+func TestSingleSymbol(t *testing.T) {
+	roundTrip(t, []int{0, 5, 0}, []int{1, 1, 1})
+}
+
+func TestSkewedBeatsFixedWidth(t *testing.T) {
+	// A heavily skewed distribution must code in fewer bits than fixed width.
+	counts := make([]int, 256)
+	counts[0] = 10000
+	for s := 1; s < 256; s++ {
+		counts[s] = 1
+	}
+	bits := EstimateBits(counts)
+	total := 10000 + 255
+	if bits >= total*8 {
+		t.Fatalf("Huffman %d bits not better than fixed %d", bits, total*8)
+	}
+}
+
+func TestExtremeSkewCapsLength(t *testing.T) {
+	// Fibonacci-like counts force deep trees; lengths must stay capped.
+	counts := make([]int, 40)
+	a, b := 1, 1
+	for i := range counts {
+		counts[i] = a
+		a, b = b, a+b
+		if a > 1<<40 {
+			a = 1 << 40
+		}
+	}
+	c, err := New(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range counts {
+		if l := c.SymbolLen(s); l == 0 || l > maxCodeLen {
+			t.Fatalf("symbol %d length %d out of (0,%d]", s, l, maxCodeLen)
+		}
+	}
+	// And it must still round-trip.
+	stream := []int{0, 39, 20, 5, 39, 0}
+	roundTrip(t, counts, stream)
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := New([]int{0, 0}); err == nil {
+		t.Error("New with all-zero counts succeeded")
+	}
+	if _, err := New([]int{-1, 2}); err == nil {
+		t.Error("New with negative count succeeded")
+	}
+	if _, err := FromLengths([]uint8{1, 1, 1}); err == nil {
+		t.Error("oversubscribed lengths accepted")
+	}
+	if _, err := FromLengths([]uint8{maxCodeLen + 1}); err == nil {
+		t.Error("overlong length accepted")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	c, err := New([]int{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewBitReader(nil)
+	if _, err := c.Decode(r); err == nil {
+		t.Fatal("Decode of empty input succeeded")
+	}
+}
+
+func TestSortedSymbols(t *testing.T) {
+	got := SortedSymbols([]int{3, 0, 9, 3, 1})
+	want := []int{2, 0, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package varint implements the integer byte codings of §6 of the paper:
+// a 7-bit little-endian-group unsigned varint, a zigzag mapping for signed
+// values, and a bounded-range coding that uses the known range [0, n) to
+// emit one byte for small values and exactly two bytes otherwise.
+package varint
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrOverflow is returned when a varint is longer than the maximum width
+// for a 64-bit value.
+var ErrOverflow = errors.New("varint: value overflows 64 bits")
+
+// MaxLen64 is the maximum byte length of a varint-encoded uint64.
+const MaxLen64 = 10
+
+// AppendUint appends the unsigned varint encoding of v to dst.
+// The low seven bits of each byte carry payload; the high bit is set when
+// more bytes follow. Values below 128 use a single byte.
+func AppendUint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// Uint decodes an unsigned varint from b, returning the value and the
+// number of bytes consumed. It returns n == 0 on truncated input and an
+// error for encodings longer than MaxLen64.
+func Uint(b []byte) (v uint64, n int, err error) {
+	var shift uint
+	for i, c := range b {
+		if i >= MaxLen64 {
+			return 0, 0, ErrOverflow
+		}
+		if c < 0x80 {
+			if i == MaxLen64-1 && c > 1 {
+				return 0, 0, ErrOverflow
+			}
+			return v | uint64(c)<<shift, i + 1, nil
+		}
+		v |= uint64(c&0x7f) << shift
+		shift += 7
+	}
+	return 0, 0, io.ErrUnexpectedEOF
+}
+
+// Zigzag maps a signed value onto the unsigned coding so that values of
+// small magnitude get short encodings: x ≥ 0 ? 2x : −2x−1.
+// Thus {−3,−2,−1,0,1,2,3} maps to {5,3,1,0,2,4,6} as in §6 of the paper.
+func Zigzag(x int64) uint64 {
+	return uint64(x<<1) ^ uint64(x>>63)
+}
+
+// Unzigzag inverts Zigzag.
+func Unzigzag(v uint64) int64 {
+	return int64(v>>1) ^ -int64(v&1)
+}
+
+// AppendInt appends the zigzag varint encoding of x to dst.
+func AppendInt(dst []byte, x int64) []byte {
+	return AppendUint(dst, Zigzag(x))
+}
+
+// Int decodes a zigzag varint from b.
+func Int(b []byte) (x int64, n int, err error) {
+	v, n, err := Uint(b)
+	return Unzigzag(v), n, err
+}
+
+// Bounded encodes values drawn from a known range [0, n) with n ≤ 65536.
+// Following §6: the highest r = ⌊(n−256)/255⌋ one-byte patterns (when
+// n > 256) are reserved to introduce a second byte, so every value fits in
+// at most two bytes while values below the reservation threshold keep a
+// one-byte coding with a skewed byte distribution.
+type Bounded struct {
+	n int // exclusive upper bound of the value range
+	r int // number of reserved first-byte patterns
+}
+
+// NewBounded returns the coding for values in [0, n). It panics if
+// n < 1 or n > 65536; a bound that small or large has no two-byte coding.
+func NewBounded(n int) Bounded {
+	if n < 1 || n > 1<<16 {
+		panic(fmt.Sprintf("varint: bounded range %d out of (0, 65536]", n))
+	}
+	r := 0
+	if n > 256 {
+		// r reserved lead bytes must cover the n-256+r values that do not
+		// fit in the 256-r unreserved single bytes: r*256 >= n-256+r.
+		r = (n - 256 + 254) / 255
+	}
+	return Bounded{n: n, r: r}
+}
+
+// N returns the exclusive upper bound of the coding's range.
+func (c Bounded) N() int { return c.n }
+
+// MaxSize returns the maximum encoded size in bytes (1 or 2).
+func (c Bounded) MaxSize() int {
+	if c.r == 0 {
+		return 1
+	}
+	return 2
+}
+
+// Append appends the encoding of x to dst. It panics if x is outside
+// [0, n): range errors here are always encoder bugs, not data errors.
+func (c Bounded) Append(dst []byte, x int) []byte {
+	if x < 0 || x >= c.n {
+		panic(fmt.Sprintf("varint: bounded value %d out of [0, %d)", x, c.n))
+	}
+	lim := 256 - c.r
+	if x < lim {
+		return append(dst, byte(x))
+	}
+	// Two-byte form from §6: [((x−lim) mod r) + lim, ⌊(x−lim)/r⌋].
+	return append(dst, byte((x-lim)%c.r+lim), byte((x-lim)/c.r))
+}
+
+// Decode reads one value from b, returning it and the bytes consumed.
+func (c Bounded) Decode(b []byte) (x, n int, err error) {
+	if len(b) == 0 {
+		return 0, 0, io.ErrUnexpectedEOF
+	}
+	lim := 256 - c.r
+	first := int(b[0])
+	if first < lim {
+		return first, 1, nil
+	}
+	if len(b) < 2 {
+		return 0, 0, io.ErrUnexpectedEOF
+	}
+	x = lim + (first - lim) + int(b[1])*c.r
+	if x >= c.n {
+		return 0, 0, fmt.Errorf("varint: bounded decode %d out of [0, %d)", x, c.n)
+	}
+	return x, 2, nil
+}
+
+// ByteReader is the subset of io.Reader needed by the stream decoders.
+type ByteReader interface {
+	ReadByte() (byte, error)
+}
+
+// ReadUint decodes an unsigned varint from r.
+func ReadUint(r ByteReader) (uint64, error) {
+	var v uint64
+	var shift uint
+	for i := 0; ; i++ {
+		c, err := r.ReadByte()
+		if err != nil {
+			if err == io.EOF && i > 0 {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, err
+		}
+		if i >= MaxLen64 || (i == MaxLen64-1 && c > 1) {
+			return 0, ErrOverflow
+		}
+		if c < 0x80 {
+			return v | uint64(c)<<shift, nil
+		}
+		v |= uint64(c&0x7f) << shift
+		shift += 7
+	}
+}
+
+// ReadInt decodes a zigzag varint from r.
+func ReadInt(r ByteReader) (int64, error) {
+	v, err := ReadUint(r)
+	return Unzigzag(v), err
+}
+
+// ByteWriter is the subset of io.Writer needed by the stream encoders.
+type ByteWriter interface {
+	WriteByte(byte) error
+}
+
+// WriteUint writes the unsigned varint encoding of v to w.
+func WriteUint(w ByteWriter, v uint64) error {
+	for v >= 0x80 {
+		if err := w.WriteByte(byte(v) | 0x80); err != nil {
+			return err
+		}
+		v >>= 7
+	}
+	return w.WriteByte(byte(v))
+}
+
+// WriteInt writes the zigzag varint encoding of x to w.
+func WriteInt(w ByteWriter, x int64) error {
+	return WriteUint(w, Zigzag(x))
+}

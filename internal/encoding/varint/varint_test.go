@@ -1,0 +1,217 @@
+package varint
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUintRoundTripSmall(t *testing.T) {
+	for v := uint64(0); v < 1<<16; v++ {
+		b := AppendUint(nil, v)
+		got, n, err := Uint(b)
+		if err != nil {
+			t.Fatalf("Uint(%d): %v", v, err)
+		}
+		if got != v || n != len(b) {
+			t.Fatalf("Uint(%d) = %d (n=%d, len=%d)", v, got, n, len(b))
+		}
+	}
+}
+
+func TestUintRoundTripQuick(t *testing.T) {
+	f := func(v uint64) bool {
+		b := AppendUint(nil, v)
+		got, n, err := Uint(b)
+		return err == nil && got == v && n == len(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUintBoundaries(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 1}, {127, 1}, {128, 2}, {16383, 2}, {16384, 3},
+		{math.MaxUint32, 5}, {math.MaxUint64, 10},
+	}
+	for _, c := range cases {
+		b := AppendUint(nil, c.v)
+		if len(b) != c.want {
+			t.Errorf("len(AppendUint(%d)) = %d, want %d", c.v, len(b), c.want)
+		}
+	}
+}
+
+func TestUintTruncated(t *testing.T) {
+	b := AppendUint(nil, math.MaxUint64)
+	for i := 0; i < len(b); i++ {
+		if _, _, err := Uint(b[:i]); err != io.ErrUnexpectedEOF {
+			t.Errorf("Uint(truncated %d): err = %v, want ErrUnexpectedEOF", i, err)
+		}
+	}
+}
+
+func TestUintOverflow(t *testing.T) {
+	// Eleven continuation bytes can never be a valid 64-bit varint.
+	b := bytes.Repeat([]byte{0xff}, 11)
+	if _, _, err := Uint(b); err != ErrOverflow {
+		t.Errorf("Uint(11 x 0xff): err = %v, want ErrOverflow", err)
+	}
+	// Ten bytes whose last byte sets bits beyond 64 also overflow.
+	b = append(bytes.Repeat([]byte{0x80}, 9), 0x02)
+	if _, _, err := Uint(b); err != ErrOverflow {
+		t.Errorf("Uint(shift overflow): err = %v, want ErrOverflow", err)
+	}
+}
+
+func TestZigzagPaperExample(t *testing.T) {
+	// §6: {−3,−2,−1,0,1,2,3} is encoded as {5,3,1,0,2,4,6}.
+	in := []int64{-3, -2, -1, 0, 1, 2, 3}
+	want := []uint64{5, 3, 1, 0, 2, 4, 6}
+	for i, x := range in {
+		if got := Zigzag(x); got != want[i] {
+			t.Errorf("Zigzag(%d) = %d, want %d", x, got, want[i])
+		}
+		if back := Unzigzag(want[i]); back != x {
+			t.Errorf("Unzigzag(%d) = %d, want %d", want[i], back, x)
+		}
+	}
+}
+
+func TestZigzagRoundTripQuick(t *testing.T) {
+	f := func(x int64) bool { return Unzigzag(Zigzag(x)) == x }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntRoundTrip(t *testing.T) {
+	for _, x := range []int64{0, -1, 1, math.MinInt64, math.MaxInt64, -128, 127, 1 << 40} {
+		b := AppendInt(nil, x)
+		got, n, err := Int(b)
+		if err != nil || got != x || n != len(b) {
+			t.Errorf("Int round trip %d: got %d n=%d err=%v", x, got, n, err)
+		}
+	}
+}
+
+func TestBoundedExhaustive(t *testing.T) {
+	for _, n := range []int{1, 2, 255, 256, 257, 300, 511, 512, 1000, 4243, 1 << 16} {
+		c := NewBounded(n)
+		for x := 0; x < n; x++ {
+			b := c.Append(nil, x)
+			if len(b) > c.MaxSize() {
+				t.Fatalf("n=%d x=%d: len %d > MaxSize %d", n, x, len(b), c.MaxSize())
+			}
+			got, used, err := c.Decode(b)
+			if err != nil || got != x || used != len(b) {
+				t.Fatalf("n=%d x=%d: got %d used=%d err=%v", n, x, got, used, err)
+			}
+		}
+	}
+}
+
+func TestBoundedTwoByteMax(t *testing.T) {
+	// §6 promises at most two bytes for any n ≤ 2^16.
+	c := NewBounded(1 << 16)
+	if c.MaxSize() != 2 {
+		t.Fatalf("MaxSize = %d, want 2", c.MaxSize())
+	}
+	if got := len(c.Append(nil, 1<<16-1)); got != 2 {
+		t.Fatalf("max value encodes in %d bytes, want 2", got)
+	}
+}
+
+func TestBoundedSmallRangesSingleByte(t *testing.T) {
+	c := NewBounded(256)
+	for x := 0; x < 256; x++ {
+		if got := len(c.Append(nil, x)); got != 1 {
+			t.Fatalf("n=256 x=%d encodes in %d bytes, want 1", x, got)
+		}
+	}
+}
+
+func TestBoundedPanics(t *testing.T) {
+	for _, n := range []int{0, -1, 1<<16 + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBounded(%d) did not panic", n)
+				}
+			}()
+			NewBounded(n)
+		}()
+	}
+	c := NewBounded(10)
+	for _, x := range []int{-1, 10} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Append(%d) did not panic", x)
+				}
+			}()
+			c.Append(nil, x)
+		}()
+	}
+}
+
+func TestBoundedDecodeErrors(t *testing.T) {
+	c := NewBounded(300)
+	if _, _, err := c.Decode(nil); err != io.ErrUnexpectedEOF {
+		t.Errorf("Decode(nil): %v", err)
+	}
+	if _, _, err := c.Decode([]byte{0xff}); err != io.ErrUnexpectedEOF {
+		t.Errorf("Decode(short two-byte): %v", err)
+	}
+	// A second byte pushing the value past n must error.
+	if _, _, err := c.Decode([]byte{0xff, 0xff}); err == nil {
+		t.Errorf("Decode(out-of-range) succeeded")
+	}
+}
+
+func TestStreamReadWrite(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var buf bytes.Buffer
+	var vals []uint64
+	var ints []int64
+	for i := 0; i < 1000; i++ {
+		v := rng.Uint64() >> uint(rng.Intn(64))
+		vals = append(vals, v)
+		if err := WriteUint(&buf, v); err != nil {
+			t.Fatal(err)
+		}
+		x := int64(rng.Uint64()) >> uint(rng.Intn(63))
+		ints = append(ints, x)
+		if err := WriteInt(&buf, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i := range vals {
+		v, err := ReadUint(r)
+		if err != nil || v != vals[i] {
+			t.Fatalf("ReadUint[%d] = %d, %v; want %d", i, v, err, vals[i])
+		}
+		x, err := ReadInt(r)
+		if err != nil || x != ints[i] {
+			t.Fatalf("ReadInt[%d] = %d, %v; want %d", i, x, err, ints[i])
+		}
+	}
+	if _, err := ReadUint(r); err != io.EOF {
+		t.Fatalf("ReadUint at end: %v, want EOF", err)
+	}
+}
+
+func TestReadUintTruncatedStream(t *testing.T) {
+	r := bytes.NewReader([]byte{0x80})
+	if _, err := ReadUint(r); err != io.ErrUnexpectedEOF {
+		t.Fatalf("ReadUint truncated: %v", err)
+	}
+}

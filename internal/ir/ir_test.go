@@ -1,0 +1,172 @@
+package ir
+
+import (
+	"testing"
+
+	"classpack/internal/classfile"
+)
+
+func TestClassKeyRoundTrip(t *testing.T) {
+	cases := []string{
+		"java/lang/String",
+		"Main",
+		"[I",
+		"[[Ljava/util/List;",
+		"[[[D",
+		"a/b/c/D$E",
+	}
+	for _, name := range cases {
+		k, err := ClassNameToKey(name)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if got := KeyToClassName(k); got != name {
+			t.Errorf("roundtrip %q -> %+v -> %q", name, k, got)
+		}
+	}
+	if _, err := ClassNameToKey(""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := ClassNameToKey("[bogus"); err == nil {
+		t.Error("bad array name accepted")
+	}
+}
+
+func TestFactoring(t *testing.T) {
+	k, err := ClassNameToKey("java/lang/String")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Pkg != "java/lang" || k.Simple != "String" {
+		t.Fatalf("key = %+v", k)
+	}
+	k2, _ := ClassNameToKey("java/lang/Object")
+	if k.Pkg != k2.Pkg {
+		t.Fatal("same-package classes have different Pkg strings")
+	}
+}
+
+func TestSignatureRoundTrip(t *testing.T) {
+	cases := []string{
+		"()V",
+		"(Ljava/lang/String;)Ljava/lang/String;",
+		"(IJ[B[[Ljava/util/Map;DF)Z",
+		"()[I",
+	}
+	for _, desc := range cases {
+		sig, err := DescriptorToSignature(desc)
+		if err != nil {
+			t.Fatalf("%q: %v", desc, err)
+		}
+		if got := SignatureToDescriptor(sig); got != desc {
+			t.Errorf("roundtrip %q -> %q", desc, got)
+		}
+	}
+}
+
+func TestSignatureReturnFirst(t *testing.T) {
+	sig, err := DescriptorToSignature("(I)Ljava/lang/String;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sig) != 2 {
+		t.Fatalf("len = %d", len(sig))
+	}
+	if sig[0].Simple != "String" || sig[1].Prim != 'I' {
+		t.Fatalf("sig = %v", sig)
+	}
+}
+
+func TestArgSlots(t *testing.T) {
+	cases := map[string]int{
+		"()V":      0,
+		"(I)V":     1,
+		"(IJ)V":    3,
+		"(DD[I)V":  5,
+		"(JDLx;)V": 5,
+	}
+	for desc, want := range cases {
+		sig, err := DescriptorToSignature(desc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sig.ArgSlots(); got != want {
+			t.Errorf("%q: ArgSlots = %d, want %d", desc, got, want)
+		}
+	}
+}
+
+func TestSigStringDistinguishes(t *testing.T) {
+	a, _ := DescriptorToSignature("(I)V")
+	b, _ := DescriptorToSignature("(J)V")
+	c, _ := DescriptorToSignature("([I)V")
+	d, _ := DescriptorToSignature("(I)I")
+	seen := map[string]bool{}
+	for _, sig := range []Signature{a, b, c, d} {
+		s := sig.SigString()
+		if seen[s] {
+			t.Fatalf("SigString collision: %q", s)
+		}
+		seen[s] = true
+	}
+	a2, _ := DescriptorToSignature("(I)V")
+	if a.SigString() != a2.SigString() {
+		t.Fatal("equal signatures produce different SigStrings")
+	}
+}
+
+func TestResolvers(t *testing.T) {
+	b := classfile.NewBuilder("p/q/C", "java/lang/Object", classfile.AccPublic)
+	mIdx := b.Methodref("java/util/List", "get", "(I)Ljava/lang/Object;")
+	fIdx := b.Fieldref("p/q/C", "count", "I")
+	aIdx := b.Class("[Ljava/lang/String;")
+	cf, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := ResolveMember(cf, mIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Owner.Simple != "List" || m.Name != "get" {
+		t.Fatalf("member = %+v", m)
+	}
+	sig, err := m.MethodSignature()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig[0].Simple != "Object" {
+		t.Fatalf("sig = %v", sig)
+	}
+
+	f, err := ResolveMember(cf, fIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := f.FieldTypeKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Prim != 'I' {
+		t.Fatalf("field type = %+v", ft)
+	}
+
+	ak, err := ResolveClass(cf, aIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ak.Dims != 1 || ak.Simple != "String" {
+		t.Fatalf("array class = %+v", ak)
+	}
+
+	if _, err := ResolveClass(cf, mIdx); err == nil {
+		t.Error("ResolveClass accepted a Methodref")
+	}
+	if _, err := ResolveMember(cf, aIdx); err == nil {
+		t.Error("ResolveMember accepted a Class")
+	}
+	if _, err := ResolveMember(cf, 9999); err == nil {
+		t.Error("ResolveMember accepted out-of-range index")
+	}
+}

@@ -1,0 +1,351 @@
+package jazz
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"classpack/internal/archive"
+	"classpack/internal/classfile"
+	"classpack/internal/encoding/huffman"
+	"classpack/internal/encoding/varint"
+)
+
+type jzReader struct {
+	g     *globalPool
+	codes [numAlphabets]*huffman.Code
+	br    *huffman.BitReader
+}
+
+func (r *jzReader) ref(a alphabet) (int, error) {
+	if r.codes[a] == nil {
+		return 0, fmt.Errorf("jazz: reference in empty alphabet %d", a)
+	}
+	return r.codes[a].Decode(r.br)
+}
+
+func (r *jzReader) bits(n uint) (uint64, error) { return r.br.ReadBits(n) }
+
+func (r *jzReader) bit() (bool, error) {
+	v, err := r.br.ReadBits(1)
+	return v == 1, err
+}
+
+// Unpack decodes a Jazz archive back into classfiles.
+func Unpack(data []byte) ([]*classfile.ClassFile, error) {
+	if len(data) < 4 || !bytes.Equal(data[:4], magic[:]) {
+		return nil, fmt.Errorf("jazz: bad magic")
+	}
+	pos := 4
+	next := func() (int, error) {
+		if pos >= len(data) {
+			return 0, fmt.Errorf("jazz: truncated archive")
+		}
+		v, n, err := varint.Uint(data[pos:])
+		pos += n
+		if err != nil {
+			return 0, err
+		}
+		if v > uint64(len(data))*64+1<<20 {
+			return 0, fmt.Errorf("jazz: implausible length %d", v)
+		}
+		return int(v), nil
+	}
+	compLen, err := next()
+	if err != nil {
+		return nil, err
+	}
+	rawLen, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if pos+compLen > len(data) {
+		return nil, fmt.Errorf("jazz: truncated header")
+	}
+	header, err := archive.Inflate(data[pos : pos+compLen])
+	if err != nil {
+		return nil, err
+	}
+	if len(header) != rawLen {
+		return nil, fmt.Errorf("jazz: header length %d, want %d", len(header), rawLen)
+	}
+	pos += compLen
+	bsLen, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if pos+bsLen > len(data) {
+		return nil, fmt.Errorf("jazz: truncated bitstream")
+	}
+	bitstream := data[pos : pos+bsLen]
+
+	g, rest, classCount, codes, err := parseHeader(header)
+	if err != nil {
+		return nil, err
+	}
+	_ = rest
+	r := &jzReader{g: g, codes: codes, br: huffman.NewBitReader(bitstream)}
+	out := make([]*classfile.ClassFile, 0, classCount)
+	for i := 0; i < classCount; i++ {
+		cf, err := r.class()
+		if err != nil {
+			return nil, fmt.Errorf("jazz: class %d: %w", i, err)
+		}
+		out = append(out, cf)
+	}
+	return out, nil
+}
+
+func parseHeader(header []byte) (*globalPool, []byte, int, [numAlphabets]*huffman.Code, error) {
+	var codes [numAlphabets]*huffman.Code
+	g := newGlobalPool()
+	pos := 0
+	next := func() (int, error) {
+		if pos >= len(header) {
+			return 0, fmt.Errorf("jazz: truncated header")
+		}
+		v, n, err := varint.Uint(header[pos:])
+		pos += n
+		if err != nil {
+			return 0, err
+		}
+		if v > uint64(len(header))+1<<20 {
+			return 0, fmt.Errorf("jazz: implausible value %d", v)
+		}
+		return int(v), nil
+	}
+	fail := func(err error) (*globalPool, []byte, int, [numAlphabets]*huffman.Code, error) {
+		return nil, nil, 0, codes, err
+	}
+	n, err := next()
+	if err != nil {
+		return fail(err)
+	}
+	if n < 0 || n > len(header) {
+		return fail(fmt.Errorf("jazz: implausible utf8 count %d", n))
+	}
+	for i := 0; i < n; i++ {
+		l, err := next()
+		if err != nil {
+			return fail(err)
+		}
+		if l < 0 || pos+l > len(header) {
+			return fail(fmt.Errorf("jazz: truncated utf8 table"))
+		}
+		g.internUtf8(string(header[pos : pos+l]))
+		pos += l
+	}
+	if n, err = next(); err != nil {
+		return fail(err)
+	}
+	for i := 0; i < n; i++ {
+		if pos >= len(header) {
+			return fail(fmt.Errorf("jazz: truncated int table"))
+		}
+		v, used, verr := varint.Int(header[pos:])
+		pos += used
+		if verr != nil {
+			return fail(verr)
+		}
+		g.internInt(int32(v))
+	}
+	if n, err = next(); err != nil {
+		return fail(err)
+	}
+	for i := 0; i < n; i++ {
+		if pos+4 > len(header) {
+			return fail(fmt.Errorf("jazz: truncated float table"))
+		}
+		g.internFloat(math.Float32frombits(binary.BigEndian.Uint32(header[pos:])))
+		pos += 4
+	}
+	if n, err = next(); err != nil {
+		return fail(err)
+	}
+	for i := 0; i < n; i++ {
+		if pos >= len(header) {
+			return fail(fmt.Errorf("jazz: truncated long table"))
+		}
+		v, used, verr := varint.Int(header[pos:])
+		pos += used
+		if verr != nil {
+			return fail(verr)
+		}
+		g.internLong(v)
+	}
+	if n, err = next(); err != nil {
+		return fail(err)
+	}
+	for i := 0; i < n; i++ {
+		if pos+8 > len(header) {
+			return fail(fmt.Errorf("jazz: truncated double table"))
+		}
+		g.internDouble(math.Float64frombits(binary.BigEndian.Uint64(header[pos:])))
+		pos += 8
+	}
+	readRefList := func() ([]int, error) {
+		n, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 || n > len(header) {
+			return nil, fmt.Errorf("jazz: implausible list length %d", n)
+		}
+		out := make([]int, n)
+		for i := range out {
+			if out[i], err = next(); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	classes, err := readRefList()
+	if err != nil {
+		return fail(err)
+	}
+	for _, u := range classes {
+		if u >= len(g.utf8) {
+			return fail(fmt.Errorf("jazz: class utf8 %d out of range", u))
+		}
+		g.internClass(g.utf8[u])
+	}
+	strs, err := readRefList()
+	if err != nil {
+		return fail(err)
+	}
+	for _, u := range strs {
+		if u >= len(g.utf8) {
+			return fail(fmt.Errorf("jazz: string utf8 %d out of range", u))
+		}
+		g.internString(g.utf8[u])
+	}
+	readPairList := func() ([][2]int, error) {
+		n, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 || n > len(header) {
+			return nil, fmt.Errorf("jazz: implausible list length %d", n)
+		}
+		out := make([][2]int, n)
+		for i := range out {
+			if out[i][0], err = next(); err != nil {
+				return nil, err
+			}
+			if out[i][1], err = next(); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	nats, err := readPairList()
+	if err != nil {
+		return fail(err)
+	}
+	for _, p := range nats {
+		if p[0] >= len(g.utf8) || p[1] >= len(g.utf8) {
+			return fail(fmt.Errorf("jazz: NAT utf8 out of range"))
+		}
+		g.internNAT(g.utf8[p[0]], g.utf8[p[1]])
+	}
+	for _, dst := range []struct {
+		kind classfile.ConstKind
+	}{{classfile.KindFieldref}, {classfile.KindMethodref}, {classfile.KindInterfaceMethodref}} {
+		pairs, err := readPairList()
+		if err != nil {
+			return fail(err)
+		}
+		for _, p := range pairs {
+			if p[0] >= len(g.classes) || p[1] >= len(g.nats) {
+				return fail(fmt.Errorf("jazz: member subindex out of range"))
+			}
+			nat := g.nats[p[1]]
+			g.internMember(dst.kind, g.utf8[g.classes[p[0]]], g.utf8[nat[0]], g.utf8[nat[1]])
+		}
+	}
+	for a := alphabet(0); a < numAlphabets; a++ {
+		n, err := next()
+		if err != nil {
+			return fail(err)
+		}
+		if n != g.size(a) {
+			return fail(fmt.Errorf("jazz: alphabet %d size %d, pool says %d", a, n, g.size(a)))
+		}
+		if pos+n > len(header) {
+			return fail(fmt.Errorf("jazz: truncated codebook"))
+		}
+		lengths := make([]uint8, n)
+		copy(lengths, header[pos:pos+n])
+		pos += n
+		allZero := true
+		for _, l := range lengths {
+			if l != 0 {
+				allZero = false
+				break
+			}
+		}
+		if !allZero {
+			code, err := huffman.FromLengths(lengths)
+			if err != nil {
+				return fail(err)
+			}
+			codes[a] = code
+		}
+	}
+	classCount, err := next()
+	if err != nil {
+		return fail(err)
+	}
+	return g, header[pos:], classCount, codes, nil
+}
+
+// memberContent resolves a member subpool entry to (class, name, desc).
+func (g *globalPool) memberContent(a alphabet, sub int) (owner, name, desc string, err error) {
+	var pair [2]int
+	switch a {
+	case aField:
+		if sub >= len(g.fields) {
+			return "", "", "", fmt.Errorf("jazz: field %d out of range", sub)
+		}
+		pair = g.fields[sub]
+	case aMethod:
+		if sub >= len(g.methods) {
+			return "", "", "", fmt.Errorf("jazz: method %d out of range", sub)
+		}
+		pair = g.methods[sub]
+	default:
+		if sub >= len(g.imeths) {
+			return "", "", "", fmt.Errorf("jazz: interface method %d out of range", sub)
+		}
+		pair = g.imeths[sub]
+	}
+	nat := g.nats[pair[1]]
+	return g.utf8[g.classes[pair[0]]], g.utf8[nat[0]], g.utf8[nat[1]], nil
+}
+
+func (r *jzReader) className(sub int) (string, error) {
+	if sub >= len(r.g.classes) {
+		return "", fmt.Errorf("jazz: class %d out of range", sub)
+	}
+	return r.g.utf8[r.g.classes[sub]], nil
+}
+
+func (r *jzReader) classRef() (string, error) {
+	sub, err := r.ref(aClass)
+	if err != nil {
+		return "", err
+	}
+	return r.className(sub)
+}
+
+func (r *jzReader) utf8Ref() (string, error) {
+	sub, err := r.ref(aUtf8)
+	if err != nil {
+		return "", err
+	}
+	if sub >= len(r.g.utf8) {
+		return "", fmt.Errorf("jazz: utf8 %d out of range", sub)
+	}
+	return r.g.utf8[sub], nil
+}

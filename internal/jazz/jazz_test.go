@@ -1,0 +1,158 @@
+package jazz
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"classpack/internal/archive"
+	"classpack/internal/classfile"
+	"classpack/internal/core"
+	"classpack/internal/synth"
+)
+
+func corpus(t testing.TB, name string) ([]*classfile.ClassFile, [][]byte) {
+	t.Helper()
+	p, err := synth.ProfileByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfs, err := synth.GenerateStripped(p, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([][]byte, len(cfs))
+	for i, cf := range cfs {
+		if raw[i], err = classfile.Write(cf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cfs, raw
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, name := range []string{"Hanoi", "222_mpegaudio", "213_javac"} {
+		t.Run(name, func(t *testing.T) {
+			cfs, want := corpus(t, name)
+			packed, err := Pack(cfs)
+			if err != nil {
+				t.Fatalf("Pack: %v", err)
+			}
+			back, err := Unpack(packed)
+			if err != nil {
+				t.Fatalf("Unpack: %v", err)
+			}
+			if len(back) != len(cfs) {
+				t.Fatalf("got %d classes, want %d", len(back), len(cfs))
+			}
+			for i, cf := range back {
+				if err := classfile.Verify(cf); err != nil {
+					t.Fatalf("class %d: %v", i, err)
+				}
+				got, err := classfile.Write(cf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want[i]) {
+					t.Fatalf("class %d (%s) differs after Jazz round trip", i, cf.ThisClassName())
+				}
+			}
+		})
+	}
+}
+
+func TestJazzBetweenJ0rGzAndPacked(t *testing.T) {
+	// The paper's Table 6 shape: Packed < Jazz, and Jazz typically under
+	// the j0r.gz baseline thanks to the shared global pool.
+	cfs, raw := corpus(t, "202_jess")
+	jazzData, err := Pack(cfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := core.Pack(cfs, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []archive.File
+	for i, d := range raw {
+		files = append(files, archive.File{Name: cfs[i].ThisClassName() + ".class", Data: d})
+	}
+	j0rgz, err := archive.WriteJ0rGz(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(len(packed) < len(jazzData)) {
+		t.Errorf("packed %d not smaller than jazz %d", len(packed), len(jazzData))
+	}
+	if !(len(jazzData) < len(j0rgz)*13/10) {
+		t.Errorf("jazz %d far above j0r.gz %d", len(jazzData), len(j0rgz))
+	}
+}
+
+func TestUnpackErrors(t *testing.T) {
+	cfs, _ := corpus(t, "Hanoi")
+	packed, err := Pack(cfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unpack([]byte("bogus!")); err == nil {
+		t.Error("junk accepted")
+	}
+	if _, err := Unpack(packed[:len(packed)/3]); err == nil {
+		t.Error("truncated archive accepted")
+	}
+}
+
+func TestPackDeterministic(t *testing.T) {
+	cfs, _ := corpus(t, "Hanoi")
+	a, err := Pack(cfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Pack(cfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("Jazz Pack is not deterministic")
+	}
+}
+
+func TestUnpackNeverPanicsOnCorruptInput(t *testing.T) {
+	cfs, _ := corpus(t, "Hanoi")
+	packed, err := Pack(cfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	try := func(data []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("jazz.Unpack panicked: %v", r)
+			}
+		}()
+		_, _ = Unpack(data)
+	}
+	for trial := 0; trial < 2000; trial++ {
+		mut := append([]byte(nil), packed...)
+		mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		try(mut)
+	}
+	for cut := 0; cut < len(packed); cut += 11 {
+		try(packed[:cut])
+	}
+}
+
+func TestEmptyArchive(t *testing.T) {
+	packed, err := Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unpack(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("empty archive decoded %d classes", len(out))
+	}
+}

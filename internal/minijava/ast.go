@@ -1,0 +1,240 @@
+package minijava
+
+// AST node definitions. Every node carries the source position of its
+// first token for diagnostics.
+
+type pos struct{ line, col int }
+
+// Program is a parsed compilation unit: a main class plus class
+// declarations.
+type Program struct {
+	Main    *MainClass
+	Classes []*ClassDecl
+}
+
+// MainClass is `class Id { public static void main(String[] a) { stmts } }`.
+type MainClass struct {
+	pos
+	Name    string
+	ArgName string
+	Vars    []*VarDecl
+	Body    []Stmt
+}
+
+// ClassDecl is an ordinary class with optional superclass.
+type ClassDecl struct {
+	pos
+	Name    string
+	Extends string // "" for none
+	Fields  []*VarDecl
+	Methods []*MethodDecl
+}
+
+// VarDecl declares a field or local.
+type VarDecl struct {
+	pos
+	Type TypeExpr
+	Name string
+}
+
+// MethodDecl is `public Type name(params) { vars stmts return expr; }`.
+type MethodDecl struct {
+	pos
+	Ret    TypeExpr
+	Name   string
+	Params []*VarDecl
+	Vars   []*VarDecl
+	Body   []Stmt
+	Result Expr
+}
+
+// TypeExpr is a surface type.
+type TypeExpr struct {
+	pos
+	Kind  typeKind
+	Class string // for object types
+}
+
+type typeKind int
+
+const (
+	tyInt typeKind = iota
+	tyBool
+	tyIntArray
+	tyClass
+	tyString // internal: string literals only
+	tyVoid   // internal: statement-expression results
+)
+
+func (t TypeExpr) String() string {
+	switch t.Kind {
+	case tyInt:
+		return "int"
+	case tyBool:
+		return "boolean"
+	case tyIntArray:
+		return "int[]"
+	case tyClass:
+		return t.Class
+	case tyString:
+		return "String"
+	default:
+		return "void"
+	}
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtPos() pos }
+
+// BlockStmt is `{ stmts }`.
+type BlockStmt struct {
+	pos
+	Stmts []Stmt
+}
+
+// IfStmt is `if (cond) then [else els]`.
+type IfStmt struct {
+	pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // nil when absent
+}
+
+// WhileStmt is `while (cond) body`.
+type WhileStmt struct {
+	pos
+	Cond Expr
+	Body Stmt
+}
+
+// PrintStmt is `System.out.println(expr);`.
+type PrintStmt struct {
+	pos
+	Arg Expr
+}
+
+// VarRef is a resolved variable target, filled in by the typechecker.
+type VarRef struct {
+	Type       TypeExpr
+	IsField    bool
+	FieldClass string // declaring class when IsField
+	Slot       int    // local slot otherwise
+}
+
+// AssignStmt is `name = expr;`.
+type AssignStmt struct {
+	pos
+	Name   string
+	Target VarRef
+	Value  Expr
+}
+
+// ArrayAssignStmt is `name[index] = expr;`.
+type ArrayAssignStmt struct {
+	pos
+	Name   string
+	Target VarRef
+	Index  Expr
+	Value  Expr
+}
+
+func (s *BlockStmt) stmtPos() pos       { return s.pos }
+func (s *IfStmt) stmtPos() pos          { return s.pos }
+func (s *WhileStmt) stmtPos() pos       { return s.pos }
+func (s *PrintStmt) stmtPos() pos       { return s.pos }
+func (s *AssignStmt) stmtPos() pos      { return s.pos }
+func (s *ArrayAssignStmt) stmtPos() pos { return s.pos }
+
+// Expr is an expression node; the typechecker records each node's type.
+type Expr interface {
+	exprPos() pos
+	exprType() TypeExpr
+	setType(TypeExpr)
+}
+
+type exprBase struct {
+	pos
+	typ TypeExpr
+}
+
+func (e *exprBase) exprPos() pos       { return e.pos }
+func (e *exprBase) exprType() TypeExpr { return e.typ }
+func (e *exprBase) setType(t TypeExpr) { e.typ = t }
+
+// BinaryExpr covers && || < <= > >= == != + - * / %.
+type BinaryExpr struct {
+	exprBase
+	Op          string
+	Left, Right Expr
+}
+
+// NotExpr is `!expr`.
+type NotExpr struct {
+	exprBase
+	Operand Expr
+}
+
+// IndexExpr is `arr[i]`.
+type IndexExpr struct {
+	exprBase
+	Array, Index Expr
+}
+
+// LengthExpr is `arr.length`.
+type LengthExpr struct {
+	exprBase
+	Array Expr
+}
+
+// CallExpr is `recv.name(args)`.
+type CallExpr struct {
+	exprBase
+	Recv Expr
+	Name string
+	Args []Expr
+	// Static resolution recorded by the typechecker.
+	DeclClass string // class whose declaration defines the method
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Value int32
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	exprBase
+	Value bool
+}
+
+// StringLit is a string literal (println only).
+type StringLit struct {
+	exprBase
+	Value string
+}
+
+// IdentExpr is a variable reference (local, parameter, or field).
+type IdentExpr struct {
+	exprBase
+	Name string
+	// Resolution recorded by the typechecker.
+	IsField    bool
+	FieldClass string // declaring class when IsField
+	Slot       int    // local slot otherwise
+}
+
+// ThisExpr is `this`.
+type ThisExpr struct{ exprBase }
+
+// NewArrayExpr is `new int[len]`.
+type NewArrayExpr struct {
+	exprBase
+	Len Expr
+}
+
+// NewObjectExpr is `new Class()`.
+type NewObjectExpr struct {
+	exprBase
+	Class string
+}

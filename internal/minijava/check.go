@@ -1,0 +1,494 @@
+package minijava
+
+import "fmt"
+
+// classInfo is the symbol-table entry for one declared class.
+type classInfo struct {
+	decl    *ClassDecl
+	super   *classInfo
+	fields  map[string]*VarDecl
+	methods map[string]*MethodDecl
+}
+
+// checker resolves names and types over a program.
+type checker struct {
+	classes map[string]*classInfo
+	order   []string // declaration order
+}
+
+// Check typechecks the program, annotating expression types and name
+// resolutions in place, and returns the class table.
+func Check(prog *Program) (*checker, error) {
+	c := &checker{classes: map[string]*classInfo{}}
+	if _, ok := c.classes[prog.Main.Name]; ok {
+		return nil, errf(prog.Main.line, prog.Main.col, "duplicate class %s", prog.Main.Name)
+	}
+	for _, cd := range prog.Classes {
+		if cd.Name == prog.Main.Name {
+			return nil, errf(cd.line, cd.col, "class %s conflicts with the main class", cd.Name)
+		}
+		if _, ok := c.classes[cd.Name]; ok {
+			return nil, errf(cd.line, cd.col, "duplicate class %s", cd.Name)
+		}
+		info := &classInfo{decl: cd, fields: map[string]*VarDecl{}, methods: map[string]*MethodDecl{}}
+		for _, f := range cd.Fields {
+			if _, ok := info.fields[f.Name]; ok {
+				return nil, errf(f.line, f.col, "duplicate field %s in %s", f.Name, cd.Name)
+			}
+			info.fields[f.Name] = f
+		}
+		for _, m := range cd.Methods {
+			if _, ok := info.methods[m.Name]; ok {
+				return nil, errf(m.line, m.col, "duplicate method %s in %s (no overloading in MiniJava)", m.Name, cd.Name)
+			}
+			info.methods[m.Name] = m
+		}
+		c.classes[cd.Name] = info
+		c.order = append(c.order, cd.Name)
+	}
+	// Link superclasses and reject cycles.
+	for _, name := range c.order {
+		info := c.classes[name]
+		if info.decl.Extends == "" {
+			continue
+		}
+		super, ok := c.classes[info.decl.Extends]
+		if !ok {
+			return nil, errf(info.decl.line, info.decl.col,
+				"class %s extends unknown class %s", name, info.decl.Extends)
+		}
+		info.super = super
+	}
+	for _, name := range c.order {
+		seen := map[*classInfo]bool{}
+		for info := c.classes[name]; info != nil; info = info.super {
+			if seen[info] {
+				return nil, errf(info.decl.line, info.decl.col,
+					"inheritance cycle through %s", info.decl.Name)
+			}
+			seen[info] = true
+		}
+	}
+	// Check class types mentioned in declarations.
+	for _, name := range c.order {
+		info := c.classes[name]
+		for _, f := range info.decl.Fields {
+			if err := c.checkType(f.Type); err != nil {
+				return nil, err
+			}
+		}
+		for _, m := range info.decl.Methods {
+			if err := c.checkType(m.Ret); err != nil {
+				return nil, err
+			}
+			for _, p := range m.Params {
+				if err := c.checkType(p.Type); err != nil {
+					return nil, err
+				}
+			}
+			for _, v := range m.Vars {
+				if err := c.checkType(v.Type); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Overriding methods must keep the exact signature.
+	for _, name := range c.order {
+		info := c.classes[name]
+		if info.super == nil {
+			continue
+		}
+		for mname, m := range info.methods {
+			base, baseClass := c.lookupMethod(info.super, mname)
+			if base == nil {
+				continue
+			}
+			if !sameSignature(m, base) {
+				return nil, errf(m.line, m.col,
+					"method %s.%s overrides %s.%s with a different signature",
+					name, mname, baseClass, mname)
+			}
+		}
+	}
+	// Check bodies.
+	for _, name := range c.order {
+		info := c.classes[name]
+		for _, m := range info.decl.Methods {
+			if err := c.checkMethod(info, m); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Main body: statics only — no this, no fields.
+	sc := &scope{checker: c, class: nil, slots: map[string]scopeVar{}}
+	sc.slots[prog.Main.ArgName] = scopeVar{typ: TypeExpr{Kind: tyString}, slot: 0}
+	next := 1
+	for _, v := range prog.Main.Vars {
+		if err := c.checkType(v.Type); err != nil {
+			return nil, err
+		}
+		if _, ok := sc.slots[v.Name]; ok {
+			return nil, errf(v.line, v.col, "duplicate local %s", v.Name)
+		}
+		sc.slots[v.Name] = scopeVar{typ: v.Type, slot: next}
+		next++
+	}
+	for _, s := range prog.Main.Body {
+		if err := sc.checkStmt(s); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// typeEq compares surface types ignoring source positions.
+func typeEq(a, b TypeExpr) bool { return a.Kind == b.Kind && a.Class == b.Class }
+
+func sameSignature(a, b *MethodDecl) bool {
+	if len(a.Params) != len(b.Params) || !typeEq(a.Ret, b.Ret) {
+		return false
+	}
+	for i := range a.Params {
+		if !typeEq(a.Params[i].Type, b.Params[i].Type) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *checker) checkType(t TypeExpr) error {
+	if t.Kind == tyClass {
+		if _, ok := c.classes[t.Class]; !ok {
+			return errf(t.line, t.col, "unknown type %s", t.Class)
+		}
+	}
+	return nil
+}
+
+// lookupMethod walks the superclass chain.
+func (c *checker) lookupMethod(info *classInfo, name string) (*MethodDecl, string) {
+	for ; info != nil; info = info.super {
+		if m, ok := info.methods[name]; ok {
+			return m, info.decl.Name
+		}
+	}
+	return nil, ""
+}
+
+// lookupField walks the superclass chain.
+func (c *checker) lookupField(info *classInfo, name string) (*VarDecl, string) {
+	for ; info != nil; info = info.super {
+		if f, ok := info.fields[name]; ok {
+			return f, info.decl.Name
+		}
+	}
+	return nil, ""
+}
+
+// assignable reports whether a value of type src can flow into dst.
+func (c *checker) assignable(src, dst TypeExpr) bool {
+	if src.Kind != tyClass || dst.Kind != tyClass {
+		return src.Kind == dst.Kind
+	}
+	for info := c.classes[src.Class]; info != nil; info = info.super {
+		if info.decl.Name == dst.Class {
+			return true
+		}
+	}
+	return false
+}
+
+// scopeVar is a parameter or local with its frame slot.
+type scopeVar struct {
+	typ  TypeExpr
+	slot int
+}
+
+// scope is the method-body checking context.
+type scope struct {
+	checker *checker
+	class   *classInfo // nil inside main (no this)
+	slots   map[string]scopeVar
+}
+
+func (c *checker) checkMethod(info *classInfo, m *MethodDecl) error {
+	sc := &scope{checker: c, class: info, slots: map[string]scopeVar{}}
+	next := 1 // slot 0 is this
+	for _, p := range m.Params {
+		if _, ok := sc.slots[p.Name]; ok {
+			return errf(p.line, p.col, "duplicate parameter %s", p.Name)
+		}
+		sc.slots[p.Name] = scopeVar{typ: p.Type, slot: next}
+		next++
+	}
+	for _, v := range m.Vars {
+		if _, ok := sc.slots[v.Name]; ok {
+			return errf(v.line, v.col, "duplicate local %s", v.Name)
+		}
+		sc.slots[v.Name] = scopeVar{typ: v.Type, slot: next}
+		next++
+	}
+	for _, s := range m.Body {
+		if err := sc.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	rt, err := sc.checkExpr(m.Result)
+	if err != nil {
+		return err
+	}
+	if !c.assignable(rt, m.Ret) {
+		return errf(m.Result.exprPos().line, m.Result.exprPos().col,
+			"cannot return %s from method returning %s", rt, m.Ret)
+	}
+	return nil
+}
+
+func (sc *scope) checkStmt(s Stmt) error {
+	switch s := s.(type) {
+	case *BlockStmt:
+		for _, inner := range s.Stmts {
+			if err := sc.checkStmt(inner); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *IfStmt:
+		t, err := sc.checkExpr(s.Cond)
+		if err != nil {
+			return err
+		}
+		if t.Kind != tyBool {
+			return errf(s.line, s.col, "if condition is %s, want boolean", t)
+		}
+		if err := sc.checkStmt(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return sc.checkStmt(s.Else)
+		}
+		return nil
+	case *WhileStmt:
+		t, err := sc.checkExpr(s.Cond)
+		if err != nil {
+			return err
+		}
+		if t.Kind != tyBool {
+			return errf(s.line, s.col, "while condition is %s, want boolean", t)
+		}
+		return sc.checkStmt(s.Body)
+	case *PrintStmt:
+		t, err := sc.checkExpr(s.Arg)
+		if err != nil {
+			return err
+		}
+		switch t.Kind {
+		case tyInt, tyBool, tyString:
+			return nil
+		default:
+			return errf(s.line, s.col, "cannot println a %s", t)
+		}
+	case *AssignStmt:
+		vt, err := sc.resolveVar(s.pos, s.Name, &s.Target)
+		if err != nil {
+			return err
+		}
+		et, err := sc.checkExpr(s.Value)
+		if err != nil {
+			return err
+		}
+		if !sc.checker.assignable(et, vt) {
+			return errf(s.line, s.col, "cannot assign %s to %s %s", et, vt, s.Name)
+		}
+		return nil
+	case *ArrayAssignStmt:
+		vt, err := sc.resolveVar(s.pos, s.Name, &s.Target)
+		if err != nil {
+			return err
+		}
+		if vt.Kind != tyIntArray {
+			return errf(s.line, s.col, "%s is %s, not int[]", s.Name, vt)
+		}
+		it, err := sc.checkExpr(s.Index)
+		if err != nil {
+			return err
+		}
+		if it.Kind != tyInt {
+			return errf(s.line, s.col, "array index is %s, want int", it)
+		}
+		et, err := sc.checkExpr(s.Value)
+		if err != nil {
+			return err
+		}
+		if et.Kind != tyInt {
+			return errf(s.line, s.col, "array element is %s, want int", et)
+		}
+		return nil
+	default:
+		return fmt.Errorf("minijava: unknown statement %T", s)
+	}
+}
+
+// resolveVar resolves an assignment target name, recording the resolution
+// in ref for the code generator.
+func (sc *scope) resolveVar(p pos, name string, ref *VarRef) (TypeExpr, error) {
+	ident := &IdentExpr{exprBase: exprBase{pos: p}, Name: name}
+	t, err := sc.resolveIdent(ident)
+	if err != nil {
+		return TypeExpr{}, err
+	}
+	*ref = VarRef{Type: t, IsField: ident.IsField, FieldClass: ident.FieldClass, Slot: ident.Slot}
+	return t, nil
+}
+
+func (sc *scope) resolveIdent(e *IdentExpr) (TypeExpr, error) {
+	if v, ok := sc.slots[e.Name]; ok {
+		e.IsField = false
+		e.Slot = v.slot
+		e.setType(v.typ)
+		return v.typ, nil
+	}
+	if sc.class != nil {
+		if f, declClass := sc.checker.lookupField(sc.class, e.Name); f != nil {
+			e.IsField = true
+			e.FieldClass = declClass
+			e.setType(f.Type)
+			return f.Type, nil
+		}
+	}
+	return TypeExpr{}, errf(e.line, e.col, "undefined variable %s", e.Name)
+}
+
+func (sc *scope) checkExpr(e Expr) (TypeExpr, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		e.setType(TypeExpr{Kind: tyInt})
+	case *BoolLit:
+		e.setType(TypeExpr{Kind: tyBool})
+	case *StringLit:
+		e.setType(TypeExpr{Kind: tyString})
+	case *ThisExpr:
+		if sc.class == nil {
+			return TypeExpr{}, errf(e.line, e.col, "this is not available in main")
+		}
+		e.setType(TypeExpr{Kind: tyClass, Class: sc.class.decl.Name})
+	case *IdentExpr:
+		return sc.resolveIdent(e)
+	case *NotExpr:
+		t, err := sc.checkExpr(e.Operand)
+		if err != nil {
+			return TypeExpr{}, err
+		}
+		if t.Kind != tyBool {
+			return TypeExpr{}, errf(e.line, e.col, "! applied to %s", t)
+		}
+		e.setType(TypeExpr{Kind: tyBool})
+	case *BinaryExpr:
+		lt, err := sc.checkExpr(e.Left)
+		if err != nil {
+			return TypeExpr{}, err
+		}
+		rt, err := sc.checkExpr(e.Right)
+		if err != nil {
+			return TypeExpr{}, err
+		}
+		switch e.Op {
+		case "&&", "||":
+			if lt.Kind != tyBool || rt.Kind != tyBool {
+				return TypeExpr{}, errf(e.line, e.col, "%s applied to %s and %s", e.Op, lt, rt)
+			}
+			e.setType(TypeExpr{Kind: tyBool})
+		case "<", "<=", ">", ">=":
+			if lt.Kind != tyInt || rt.Kind != tyInt {
+				return TypeExpr{}, errf(e.line, e.col, "%s applied to %s and %s", e.Op, lt, rt)
+			}
+			e.setType(TypeExpr{Kind: tyBool})
+		case "==", "!=":
+			if !sc.checker.assignable(lt, rt) && !sc.checker.assignable(rt, lt) {
+				return TypeExpr{}, errf(e.line, e.col, "%s compares %s and %s", e.Op, lt, rt)
+			}
+			if lt.Kind == tyString || rt.Kind == tyString {
+				return TypeExpr{}, errf(e.line, e.col, "cannot compare strings")
+			}
+			e.setType(TypeExpr{Kind: tyBool})
+		case "+", "-", "*", "/", "%":
+			if lt.Kind != tyInt || rt.Kind != tyInt {
+				return TypeExpr{}, errf(e.line, e.col, "%s applied to %s and %s", e.Op, lt, rt)
+			}
+			e.setType(TypeExpr{Kind: tyInt})
+		default:
+			return TypeExpr{}, errf(e.line, e.col, "unknown operator %s", e.Op)
+		}
+	case *IndexExpr:
+		at, err := sc.checkExpr(e.Array)
+		if err != nil {
+			return TypeExpr{}, err
+		}
+		if at.Kind != tyIntArray {
+			return TypeExpr{}, errf(e.line, e.col, "indexing a %s", at)
+		}
+		it, err := sc.checkExpr(e.Index)
+		if err != nil {
+			return TypeExpr{}, err
+		}
+		if it.Kind != tyInt {
+			return TypeExpr{}, errf(e.line, e.col, "array index is %s, want int", it)
+		}
+		e.setType(TypeExpr{Kind: tyInt})
+	case *LengthExpr:
+		at, err := sc.checkExpr(e.Array)
+		if err != nil {
+			return TypeExpr{}, err
+		}
+		if at.Kind != tyIntArray {
+			return TypeExpr{}, errf(e.line, e.col, ".length of a %s", at)
+		}
+		e.setType(TypeExpr{Kind: tyInt})
+	case *CallExpr:
+		rt, err := sc.checkExpr(e.Recv)
+		if err != nil {
+			return TypeExpr{}, err
+		}
+		if rt.Kind != tyClass {
+			return TypeExpr{}, errf(e.line, e.col, "calling a method on %s", rt)
+		}
+		m, declClass := sc.checker.lookupMethod(sc.checker.classes[rt.Class], e.Name)
+		if m == nil {
+			return TypeExpr{}, errf(e.line, e.col, "class %s has no method %s", rt.Class, e.Name)
+		}
+		if len(e.Args) != len(m.Params) {
+			return TypeExpr{}, errf(e.line, e.col, "%s.%s takes %d arguments, got %d",
+				rt.Class, e.Name, len(m.Params), len(e.Args))
+		}
+		for i, arg := range e.Args {
+			at, err := sc.checkExpr(arg)
+			if err != nil {
+				return TypeExpr{}, err
+			}
+			if !sc.checker.assignable(at, m.Params[i].Type) {
+				return TypeExpr{}, errf(e.line, e.col, "argument %d of %s.%s is %s, want %s",
+					i+1, rt.Class, e.Name, at, m.Params[i].Type)
+			}
+		}
+		e.DeclClass = declClass
+		e.setType(m.Ret)
+	case *NewArrayExpr:
+		lt, err := sc.checkExpr(e.Len)
+		if err != nil {
+			return TypeExpr{}, err
+		}
+		if lt.Kind != tyInt {
+			return TypeExpr{}, errf(e.line, e.col, "array length is %s, want int", lt)
+		}
+		e.setType(TypeExpr{Kind: tyIntArray})
+	case *NewObjectExpr:
+		if _, ok := sc.checker.classes[e.Class]; !ok {
+			return TypeExpr{}, errf(e.line, e.col, "unknown class %s", e.Class)
+		}
+		e.setType(TypeExpr{Kind: tyClass, Class: e.Class})
+	default:
+		return TypeExpr{}, fmt.Errorf("minijava: unknown expression %T", e)
+	}
+	return e.exprType(), nil
+}

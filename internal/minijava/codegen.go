@@ -1,0 +1,514 @@
+package minijava
+
+import (
+	"fmt"
+
+	"classpack/internal/bytecode"
+	"classpack/internal/classfile"
+)
+
+// CompileOptions adjust code generation.
+type CompileOptions struct {
+	// Package places all generated classes into a package
+	// ("com/example" -> com/example/Main).
+	Package string
+	// SourceFile attaches SourceFile attributes naming this file.
+	SourceFile string
+}
+
+// gen is the per-program code generator.
+type gen struct {
+	checker *checker
+	opts    CompileOptions
+}
+
+func (g *gen) qualify(class string) string {
+	if g.opts.Package == "" {
+		return class
+	}
+	return g.opts.Package + "/" + class
+}
+
+// descOf maps a surface type to a JVM descriptor.
+func (g *gen) descOf(t TypeExpr) string {
+	switch t.Kind {
+	case tyInt:
+		return "I"
+	case tyBool:
+		return "Z"
+	case tyIntArray:
+		return "[I"
+	case tyString:
+		return "Ljava/lang/String;"
+	case tyClass:
+		return "L" + g.qualify(t.Class) + ";"
+	default:
+		return "V"
+	}
+}
+
+func (g *gen) methodDesc(m *MethodDecl) string {
+	desc := "("
+	for _, p := range m.Params {
+		desc += g.descOf(p.Type)
+	}
+	return desc + ")" + g.descOf(m.Ret)
+}
+
+// Compile parses, typechecks, and compiles MiniJava source into class
+// files (the main class first).
+func Compile(src string, opts CompileOptions) ([]*classfile.ClassFile, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c, err := Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	g := &gen{checker: c, opts: opts}
+	var out []*classfile.ClassFile
+	mainCF, err := g.mainClass(prog.Main)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, mainCF)
+	for _, name := range c.order {
+		cf, err := g.classDecl(c.classes[name])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cf)
+	}
+	return out, nil
+}
+
+func (g *gen) newBuilder(name, super string) *classfile.Builder {
+	b := classfile.NewBuilder(g.qualify(name), super,
+		classfile.AccPublic|classfile.AccSuper)
+	if g.opts.SourceFile != "" {
+		b.AttachSourceFile(g.opts.SourceFile)
+	}
+	return b
+}
+
+// emitDefaultCtor emits `<init>()V` calling the superclass constructor.
+func (g *gen) emitDefaultCtor(b *classfile.Builder, super string) error {
+	m := b.AddMethod(classfile.AccPublic, "<init>", "()V")
+	a := bytecode.NewAssembler()
+	a.Local(bytecode.Aload, 0)
+	a.CP(bytecode.Invokespecial, b.Methodref(super, "<init>", "()V"))
+	a.Op(bytecode.Return)
+	code, err := a.Assemble()
+	if err != nil {
+		return err
+	}
+	b.AttachCode(m, &classfile.CodeAttr{MaxStack: 1, MaxLocals: 1, Code: code})
+	return nil
+}
+
+func (g *gen) mainClass(mc *MainClass) (*classfile.ClassFile, error) {
+	b := g.newBuilder(mc.Name, "java/lang/Object")
+	if err := g.emitDefaultCtor(b, "java/lang/Object"); err != nil {
+		return nil, err
+	}
+	m := b.AddMethod(classfile.AccPublic|classfile.AccStatic, "main", "([Ljava/lang/String;)V")
+	mg := &methodGen{gen: g, b: b, a: bytecode.NewAssembler(), maxLocals: 1 + len(mc.Vars)}
+	for _, s := range mc.Body {
+		if err := mg.stmt(s); err != nil {
+			return nil, err
+		}
+	}
+	mg.a.Op(bytecode.Return)
+	code, err := mg.a.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	b.AttachCode(m, &classfile.CodeAttr{
+		MaxStack: uint16(mg.maxDepth + 1), MaxLocals: uint16(mg.maxLocals), Code: code,
+	})
+	cf, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return cf, classfile.Verify(cf)
+}
+
+func (g *gen) classDecl(info *classInfo) (*classfile.ClassFile, error) {
+	super := "java/lang/Object"
+	if info.super != nil {
+		super = g.qualify(info.super.decl.Name)
+	}
+	b := g.newBuilder(info.decl.Name, super)
+	for _, f := range info.decl.Fields {
+		b.AddField(classfile.AccProtected, f.Name, g.descOf(f.Type))
+	}
+	if err := g.emitDefaultCtor(b, super); err != nil {
+		return nil, err
+	}
+	for _, m := range info.decl.Methods {
+		if err := g.method(b, info, m); err != nil {
+			return nil, fmt.Errorf("minijava: %s.%s: %w", info.decl.Name, m.Name, err)
+		}
+	}
+	cf, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return cf, classfile.Verify(cf)
+}
+
+func (g *gen) method(b *classfile.Builder, info *classInfo, m *MethodDecl) error {
+	member := b.AddMethod(classfile.AccPublic, m.Name, g.methodDesc(m))
+	mg := &methodGen{gen: g, b: b, a: bytecode.NewAssembler(),
+		maxLocals: 1 + len(m.Params) + len(m.Vars)}
+	for _, s := range m.Body {
+		if err := mg.stmt(s); err != nil {
+			return err
+		}
+	}
+	if err := mg.expr(m.Result); err != nil {
+		return err
+	}
+	switch m.Ret.Kind {
+	case tyInt, tyBool:
+		mg.a.Op(bytecode.Ireturn)
+	default:
+		mg.a.Op(bytecode.Areturn)
+	}
+	code, err := mg.a.Assemble()
+	if err != nil {
+		return err
+	}
+	b.AttachCode(member, &classfile.CodeAttr{
+		MaxStack: uint16(mg.maxDepth + 1), MaxLocals: uint16(mg.maxLocals), Code: code,
+	})
+	return nil
+}
+
+// methodGen emits one method body, tracking operand-stack depth for
+// max_stack.
+type methodGen struct {
+	gen       *gen
+	b         *classfile.Builder
+	a         *bytecode.Assembler
+	depth     int
+	maxDepth  int
+	maxLocals int
+}
+
+func (mg *methodGen) push(n int) {
+	mg.depth += n
+	if mg.depth > mg.maxDepth {
+		mg.maxDepth = mg.depth
+	}
+}
+
+func (mg *methodGen) pop(n int) { mg.depth -= n }
+
+func (mg *methodGen) constInt(v int32) {
+	switch {
+	case v >= -1 && v <= 5:
+		mg.a.Op(bytecode.Iconst0 + bytecode.Op(v))
+	case v >= -128 && v <= 127:
+		mg.a.SByte(int(v))
+	case v >= -32768 && v <= 32767:
+		mg.a.SShort(int(v))
+	default:
+		mg.a.Ldc(mg.b.Int(v))
+	}
+	mg.push(1)
+}
+
+func isRefType(t TypeExpr) bool {
+	return t.Kind == tyClass || t.Kind == tyIntArray || t.Kind == tyString
+}
+
+func (mg *methodGen) loadVar(ref VarRef, name string) {
+	if ref.IsField {
+		mg.a.Local(bytecode.Aload, 0)
+		mg.push(1)
+		mg.a.CP(bytecode.Getfield, mg.b.Fieldref(
+			mg.gen.qualify(ref.FieldClass), name, mg.gen.descOf(ref.Type)))
+		return
+	}
+	if isRefType(ref.Type) {
+		mg.a.Local(bytecode.Aload, ref.Slot)
+	} else {
+		mg.a.Local(bytecode.Iload, ref.Slot)
+	}
+	mg.push(1)
+}
+
+func (mg *methodGen) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *BlockStmt:
+		for _, inner := range s.Stmts {
+			if err := mg.stmt(inner); err != nil {
+				return err
+			}
+		}
+	case *IfStmt:
+		if err := mg.expr(s.Cond); err != nil {
+			return err
+		}
+		elseL := mg.a.NewLabel()
+		endL := mg.a.NewLabel()
+		mg.a.Branch(bytecode.Ifeq, elseL)
+		mg.pop(1)
+		if err := mg.stmt(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			mg.a.Branch(bytecode.Goto, endL)
+			mg.a.Bind(elseL)
+			if err := mg.stmt(s.Else); err != nil {
+				return err
+			}
+		} else {
+			mg.a.Bind(elseL)
+		}
+		mg.a.Bind(endL)
+	case *WhileStmt:
+		loop := mg.a.NewLabel()
+		end := mg.a.NewLabel()
+		mg.a.Bind(loop)
+		if err := mg.expr(s.Cond); err != nil {
+			return err
+		}
+		mg.a.Branch(bytecode.Ifeq, end)
+		mg.pop(1)
+		if err := mg.stmt(s.Body); err != nil {
+			return err
+		}
+		mg.a.Branch(bytecode.Goto, loop)
+		mg.a.Bind(end)
+	case *PrintStmt:
+		mg.a.CP(bytecode.Getstatic, mg.b.Fieldref(
+			"java/lang/System", "out", "Ljava/io/PrintStream;"))
+		mg.push(1)
+		if err := mg.expr(s.Arg); err != nil {
+			return err
+		}
+		var desc string
+		switch s.Arg.exprType().Kind {
+		case tyInt:
+			desc = "(I)V"
+		case tyBool:
+			desc = "(Z)V"
+		default:
+			desc = "(Ljava/lang/String;)V"
+		}
+		mg.a.CP(bytecode.Invokevirtual, mg.b.Methodref("java/io/PrintStream", "println", desc))
+		mg.pop(2)
+	case *AssignStmt:
+		if s.Target.IsField {
+			mg.a.Local(bytecode.Aload, 0)
+			mg.push(1)
+			if err := mg.expr(s.Value); err != nil {
+				return err
+			}
+			mg.a.CP(bytecode.Putfield, mg.b.Fieldref(
+				mg.gen.qualify(s.Target.FieldClass), s.Name, mg.gen.descOf(s.Target.Type)))
+			mg.pop(2)
+			return nil
+		}
+		if err := mg.expr(s.Value); err != nil {
+			return err
+		}
+		if isRefType(s.Target.Type) {
+			mg.a.Local(bytecode.Astore, s.Target.Slot)
+		} else {
+			mg.a.Local(bytecode.Istore, s.Target.Slot)
+		}
+		mg.pop(1)
+	case *ArrayAssignStmt:
+		mg.loadVar(s.Target, s.Name)
+		if err := mg.expr(s.Index); err != nil {
+			return err
+		}
+		if err := mg.expr(s.Value); err != nil {
+			return err
+		}
+		mg.a.Op(bytecode.Iastore)
+		mg.pop(3)
+	default:
+		return fmt.Errorf("unknown statement %T", s)
+	}
+	return nil
+}
+
+func (mg *methodGen) expr(e Expr) error {
+	switch e := e.(type) {
+	case *IntLit:
+		mg.constInt(e.Value)
+	case *BoolLit:
+		if e.Value {
+			mg.a.Op(bytecode.Iconst1)
+		} else {
+			mg.a.Op(bytecode.Iconst0)
+		}
+		mg.push(1)
+	case *StringLit:
+		mg.a.Ldc(mg.b.String(e.Value))
+		mg.push(1)
+	case *ThisExpr:
+		mg.a.Local(bytecode.Aload, 0)
+		mg.push(1)
+	case *IdentExpr:
+		mg.loadVar(VarRef{Type: e.exprType(), IsField: e.IsField,
+			FieldClass: e.FieldClass, Slot: e.Slot}, e.Name)
+	case *NotExpr:
+		if err := mg.expr(e.Operand); err != nil {
+			return err
+		}
+		mg.a.Op(bytecode.Iconst1)
+		mg.push(1)
+		mg.a.Op(bytecode.Ixor)
+		mg.pop(1)
+	case *BinaryExpr:
+		return mg.binary(e)
+	case *IndexExpr:
+		if err := mg.expr(e.Array); err != nil {
+			return err
+		}
+		if err := mg.expr(e.Index); err != nil {
+			return err
+		}
+		mg.a.Op(bytecode.Iaload)
+		mg.pop(1)
+	case *LengthExpr:
+		if err := mg.expr(e.Array); err != nil {
+			return err
+		}
+		mg.a.Op(bytecode.Arraylength)
+	case *CallExpr:
+		if err := mg.expr(e.Recv); err != nil {
+			return err
+		}
+		for _, arg := range e.Args {
+			if err := mg.expr(arg); err != nil {
+				return err
+			}
+		}
+		m := mg.gen.checker.classes[e.DeclClass].methods[e.Name]
+		mg.a.CP(bytecode.Invokevirtual, mg.b.Methodref(
+			mg.gen.qualify(e.DeclClass), e.Name, mg.gen.methodDesc(m)))
+		mg.pop(len(e.Args) + 1)
+		mg.push(1) // every MiniJava method returns a value
+	case *NewArrayExpr:
+		if err := mg.expr(e.Len); err != nil {
+			return err
+		}
+		mg.a.NewArray(10) // T_INT
+	case *NewObjectExpr:
+		name := mg.gen.qualify(e.Class)
+		mg.a.CP(bytecode.New, mg.b.Class(name))
+		mg.push(1)
+		mg.a.Op(bytecode.Dup)
+		mg.push(1)
+		mg.a.CP(bytecode.Invokespecial, mg.b.Methodref(name, "<init>", "()V"))
+		mg.pop(1)
+	default:
+		return fmt.Errorf("unknown expression %T", e)
+	}
+	return nil
+}
+
+// binary emits &&/|| with short-circuiting, comparisons as 0/1 values,
+// and arithmetic directly.
+func (mg *methodGen) binary(e *BinaryExpr) error {
+	switch e.Op {
+	case "&&", "||":
+		shortL := mg.a.NewLabel()
+		endL := mg.a.NewLabel()
+		if err := mg.expr(e.Left); err != nil {
+			return err
+		}
+		if e.Op == "&&" {
+			mg.a.Branch(bytecode.Ifeq, shortL)
+		} else {
+			mg.a.Branch(bytecode.Ifne, shortL)
+		}
+		mg.pop(1)
+		if err := mg.expr(e.Right); err != nil {
+			return err
+		}
+		mg.a.Branch(bytecode.Goto, endL)
+		mg.pop(1)
+		mg.a.Bind(shortL)
+		if e.Op == "&&" {
+			mg.a.Op(bytecode.Iconst0)
+		} else {
+			mg.a.Op(bytecode.Iconst1)
+		}
+		mg.a.Bind(endL)
+		mg.push(1)
+		return nil
+	case "<", "<=", ">", ">=", "==", "!=":
+		if err := mg.expr(e.Left); err != nil {
+			return err
+		}
+		if err := mg.expr(e.Right); err != nil {
+			return err
+		}
+		isRef := isRefType(e.Left.exprType())
+		var op bytecode.Op
+		switch e.Op {
+		case "<":
+			op = bytecode.IfIcmplt
+		case "<=":
+			op = bytecode.IfIcmple
+		case ">":
+			op = bytecode.IfIcmpgt
+		case ">=":
+			op = bytecode.IfIcmpge
+		case "==":
+			op = bytecode.IfIcmpeq
+			if isRef {
+				op = bytecode.IfAcmpeq
+			}
+		case "!=":
+			op = bytecode.IfIcmpne
+			if isRef {
+				op = bytecode.IfAcmpne
+			}
+		}
+		trueL := mg.a.NewLabel()
+		endL := mg.a.NewLabel()
+		mg.a.Branch(op, trueL)
+		mg.pop(2)
+		mg.a.Op(bytecode.Iconst0)
+		mg.a.Branch(bytecode.Goto, endL)
+		mg.a.Bind(trueL)
+		mg.a.Op(bytecode.Iconst1)
+		mg.a.Bind(endL)
+		mg.push(1)
+		return nil
+	default:
+		if err := mg.expr(e.Left); err != nil {
+			return err
+		}
+		if err := mg.expr(e.Right); err != nil {
+			return err
+		}
+		var op bytecode.Op
+		switch e.Op {
+		case "+":
+			op = bytecode.Iadd
+		case "-":
+			op = bytecode.Isub
+		case "*":
+			op = bytecode.Imul
+		case "/":
+			op = bytecode.Idiv
+		case "%":
+			op = bytecode.Irem
+		default:
+			return fmt.Errorf("unknown operator %s", e.Op)
+		}
+		mg.a.Op(op)
+		mg.pop(1)
+		return nil
+	}
+}

@@ -1,0 +1,504 @@
+package minijava
+
+import (
+	"fmt"
+	"io"
+
+	"classpack/internal/bytecode"
+	"classpack/internal/classfile"
+)
+
+// Interp executes the subset of JVM bytecode the MiniJava compiler emits,
+// over a set of classfiles. It verifies compiled programs end to end (and
+// re-verifies them after a pack/unpack round trip).
+type Interp struct {
+	out     io.Writer
+	classes map[string]*classfile.ClassFile
+	methods map[string][]bytecode.Instruction // "Class.name(desc)" -> insns
+	steps   int
+	maxStep int
+}
+
+// value is a JVM value: int32, *object, *intArray, or string.
+type value any
+
+type object struct {
+	class  string
+	fields map[string]value // keyed "DeclClass.name"
+}
+
+type intArray struct {
+	elems []int32
+}
+
+// NewInterp builds an interpreter over the classfiles.
+func NewInterp(out io.Writer, cfs []*classfile.ClassFile) *Interp {
+	in := &Interp{
+		out:     out,
+		classes: map[string]*classfile.ClassFile{},
+		methods: map[string][]bytecode.Instruction{},
+		maxStep: 50_000_000,
+	}
+	for _, cf := range cfs {
+		in.classes[cf.ThisClassName()] = cf
+	}
+	return in
+}
+
+// RunMain executes className.main(String[]).
+func (in *Interp) RunMain(className string) error {
+	cf, ok := in.classes[className]
+	if !ok {
+		return fmt.Errorf("interp: no class %s", className)
+	}
+	m := in.findMethod(cf, "main", "([Ljava/lang/String;)V")
+	if m == nil {
+		return fmt.Errorf("interp: %s has no main", className)
+	}
+	_, err := in.invoke(cf, m, []value{nil})
+	return err
+}
+
+func (in *Interp) findMethod(cf *classfile.ClassFile, name, desc string) *classfile.Member {
+	for i := range cf.Methods {
+		m := &cf.Methods[i]
+		if cf.MemberName(m) == name && cf.MemberDesc(m) == desc {
+			return m
+		}
+	}
+	return nil
+}
+
+// resolveVirtual walks the dynamic class chain to the implementing class.
+func (in *Interp) resolveVirtual(dynClass, name, desc string) (*classfile.ClassFile, *classfile.Member, error) {
+	for cls := dynClass; cls != ""; {
+		cf, ok := in.classes[cls]
+		if !ok {
+			break
+		}
+		if m := in.findMethod(cf, name, desc); m != nil {
+			return cf, m, nil
+		}
+		cls = cf.SuperClassName()
+	}
+	return nil, nil, fmt.Errorf("interp: no method %s.%s%s", dynClass, name, desc)
+}
+
+func (in *Interp) insnsOf(cf *classfile.ClassFile, m *classfile.Member) ([]bytecode.Instruction, error) {
+	key := cf.ThisClassName() + "." + cf.MemberName(m) + cf.MemberDesc(m)
+	if insns, ok := in.methods[key]; ok {
+		return insns, nil
+	}
+	code := classfile.CodeOf(m)
+	if code == nil {
+		return nil, fmt.Errorf("interp: %s is abstract", key)
+	}
+	insns, err := bytecode.Decode(code.Code)
+	if err != nil {
+		return nil, err
+	}
+	in.methods[key] = insns
+	return insns, nil
+}
+
+func asInt(v value) (int32, error) {
+	if i, ok := v.(int32); ok {
+		return i, nil
+	}
+	return 0, fmt.Errorf("interp: expected int, got %T", v)
+}
+
+// invoke runs one method frame and returns its result (nil for void).
+func (in *Interp) invoke(cf *classfile.ClassFile, m *classfile.Member, args []value) (value, error) {
+	insns, err := in.insnsOf(cf, m)
+	if err != nil {
+		return nil, err
+	}
+	byOffset := make(map[int]int, len(insns))
+	for i := range insns {
+		byOffset[insns[i].Offset] = i
+	}
+	code := classfile.CodeOf(m)
+	locals := make([]value, int(code.MaxLocals)+1)
+	copy(locals, args)
+	var stack []value
+	push := func(v value) { stack = append(stack, v) }
+	popv := func() value {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+	popInt := func() (int32, error) { return asInt(popv()) }
+
+	ip := 0
+	for {
+		in.steps++
+		if in.steps > in.maxStep {
+			return nil, fmt.Errorf("interp: step budget exhausted (infinite loop?)")
+		}
+		if ip >= len(insns) {
+			return nil, fmt.Errorf("interp: fell off the end of %s", cf.MemberName(m))
+		}
+		insn := &insns[ip]
+		op := insn.Op
+		switch {
+		case op >= bytecode.Iconst0 && op <= bytecode.Iconst5:
+			push(int32(op - bytecode.Iconst0))
+		case op == bytecode.IconstM1:
+			push(int32(-1))
+		case op == bytecode.Bipush || op == bytecode.Sipush:
+			push(int32(insn.A))
+		case op == bytecode.Ldc || op == bytecode.LdcW:
+			c := &cf.Pool[insn.A]
+			switch c.Kind {
+			case classfile.KindInteger:
+				push(c.Int)
+			case classfile.KindString:
+				push(cf.Utf8At(c.Str))
+			default:
+				return nil, fmt.Errorf("interp: ldc of %v", c.Kind)
+			}
+		case op == bytecode.AconstNull:
+			push(nil)
+		case op == bytecode.Iload || op >= bytecode.Iload0 && op <= bytecode.Iload3:
+			push(locals[localSlot(insn, bytecode.Iload0)])
+		case op == bytecode.Aload || op >= bytecode.Aload0 && op <= bytecode.Aload3:
+			push(locals[localSlot(insn, bytecode.Aload0)])
+		case op == bytecode.Istore || op >= bytecode.Istore0 && op <= bytecode.Istore3:
+			locals[localSlot(insn, bytecode.Istore0)] = popv()
+		case op == bytecode.Astore || op >= bytecode.Astore0 && op <= bytecode.Astore3:
+			locals[localSlot(insn, bytecode.Astore0)] = popv()
+		case op == bytecode.Dup:
+			push(stack[len(stack)-1])
+		case op == bytecode.Pop:
+			popv()
+		case op == bytecode.Ineg:
+			a, err := popInt()
+			if err != nil {
+				return nil, err
+			}
+			push(-a)
+		case op >= bytecode.Iadd && op <= bytecode.Ixor:
+			b, err := popInt()
+			if err != nil {
+				return nil, err
+			}
+			a, err := popInt()
+			if err != nil {
+				return nil, err
+			}
+			r, err := intArith(op, a, b)
+			if err != nil {
+				return nil, err
+			}
+			push(r)
+		case op == bytecode.Iinc:
+			cur, err := asInt(locals[insn.A])
+			if err != nil {
+				return nil, err
+			}
+			locals[insn.A] = cur + int32(insn.B)
+		case op >= bytecode.Ifeq && op <= bytecode.Ifle:
+			a, err := popInt()
+			if err != nil {
+				return nil, err
+			}
+			if intCond1(op, a) {
+				ip = byOffset[insn.A]
+				continue
+			}
+		case op >= bytecode.IfIcmpeq && op <= bytecode.IfIcmple:
+			b, err := popInt()
+			if err != nil {
+				return nil, err
+			}
+			a, err := popInt()
+			if err != nil {
+				return nil, err
+			}
+			if intCond2(op, a, b) {
+				ip = byOffset[insn.A]
+				continue
+			}
+		case op == bytecode.IfAcmpeq || op == bytecode.IfAcmpne:
+			b := popv()
+			a := popv()
+			eq := a == b
+			if (op == bytecode.IfAcmpeq) == eq {
+				ip = byOffset[insn.A]
+				continue
+			}
+		case op == bytecode.Goto || op == bytecode.GotoW:
+			ip = byOffset[insn.A]
+			continue
+		case op == bytecode.Newarray:
+			n, err := popInt()
+			if err != nil {
+				return nil, err
+			}
+			if n < 0 {
+				return nil, fmt.Errorf("interp: negative array size %d", n)
+			}
+			push(&intArray{elems: make([]int32, n)})
+		case op == bytecode.Iaload:
+			idx, err := popInt()
+			if err != nil {
+				return nil, err
+			}
+			arr, ok := popv().(*intArray)
+			if !ok {
+				return nil, fmt.Errorf("interp: iaload on non-array")
+			}
+			if int(idx) < 0 || int(idx) >= len(arr.elems) {
+				return nil, fmt.Errorf("interp: index %d out of bounds %d", idx, len(arr.elems))
+			}
+			push(arr.elems[idx])
+		case op == bytecode.Iastore:
+			v, err := popInt()
+			if err != nil {
+				return nil, err
+			}
+			idx, err := popInt()
+			if err != nil {
+				return nil, err
+			}
+			arr, ok := popv().(*intArray)
+			if !ok {
+				return nil, fmt.Errorf("interp: iastore on non-array")
+			}
+			if int(idx) < 0 || int(idx) >= len(arr.elems) {
+				return nil, fmt.Errorf("interp: index %d out of bounds %d", idx, len(arr.elems))
+			}
+			arr.elems[idx] = v
+		case op == bytecode.Arraylength:
+			arr, ok := popv().(*intArray)
+			if !ok {
+				return nil, fmt.Errorf("interp: arraylength on non-array")
+			}
+			push(int32(len(arr.elems)))
+		case op == bytecode.New:
+			push(&object{class: cf.ClassNameAt(uint16(insn.A)), fields: map[string]value{}})
+		case op == bytecode.Getfield:
+			owner, name, _, err := in.fieldRef(cf, insn.A)
+			if err != nil {
+				return nil, err
+			}
+			obj, ok := popv().(*object)
+			if !ok {
+				return nil, fmt.Errorf("interp: getfield on non-object")
+			}
+			v, ok := obj.fields[owner+"."+name]
+			if !ok {
+				v = defaultFieldValue(cf, insn.A)
+			}
+			push(v)
+		case op == bytecode.Putfield:
+			owner, name, _, err := in.fieldRef(cf, insn.A)
+			if err != nil {
+				return nil, err
+			}
+			v := popv()
+			obj, ok := popv().(*object)
+			if !ok {
+				return nil, fmt.Errorf("interp: putfield on non-object")
+			}
+			obj.fields[owner+"."+name] = v
+		case op == bytecode.Getstatic:
+			owner, name, _, err := in.fieldRef(cf, insn.A)
+			if err != nil {
+				return nil, err
+			}
+			if owner != "java/lang/System" || name != "out" {
+				return nil, fmt.Errorf("interp: getstatic %s.%s unsupported", owner, name)
+			}
+			push("java/lang/System.out")
+		case op == bytecode.Invokevirtual:
+			ret, err := in.callVirtual(cf, insn.A, &stack)
+			if err != nil {
+				return nil, err
+			}
+			if ret != nil {
+				push(*ret)
+			}
+		case op == bytecode.Invokespecial:
+			owner, name, desc, err := in.methodRef(cf, insn.A)
+			if err != nil {
+				return nil, err
+			}
+			if name != "<init>" {
+				return nil, fmt.Errorf("interp: invokespecial %s unsupported", name)
+			}
+			// Constructors in this subset only chain to super and return;
+			// pop the receiver (and there are never arguments).
+			if desc != "()V" {
+				return nil, fmt.Errorf("interp: constructor %s%s unsupported", name, desc)
+			}
+			_ = owner
+			popv()
+		case op == bytecode.Ireturn || op == bytecode.Areturn:
+			return popv(), nil
+		case op == bytecode.Return:
+			return nil, nil
+		default:
+			return nil, fmt.Errorf("interp: unsupported opcode %s at %d in %s.%s",
+				op, insn.Offset, cf.ThisClassName(), cf.MemberName(m))
+		}
+		ip++
+	}
+}
+
+func localSlot(insn *bytecode.Instruction, base bytecode.Op) int {
+	if insn.Op >= base && insn.Op <= base+3 {
+		return int(insn.Op - base)
+	}
+	return insn.A
+}
+
+func intArith(op bytecode.Op, a, b int32) (int32, error) {
+	switch op {
+	case bytecode.Iadd:
+		return a + b, nil
+	case bytecode.Isub:
+		return a - b, nil
+	case bytecode.Imul:
+		return a * b, nil
+	case bytecode.Idiv:
+		if b == 0 {
+			return 0, fmt.Errorf("interp: division by zero")
+		}
+		return a / b, nil
+	case bytecode.Irem:
+		if b == 0 {
+			return 0, fmt.Errorf("interp: division by zero")
+		}
+		return a % b, nil
+	case bytecode.Iand:
+		return a & b, nil
+	case bytecode.Ior:
+		return a | b, nil
+	case bytecode.Ixor:
+		return a ^ b, nil
+	case bytecode.Ishl:
+		return a << (uint32(b) & 31), nil
+	case bytecode.Ishr:
+		return a >> (uint32(b) & 31), nil
+	case bytecode.Iushr:
+		return int32(uint32(a) >> (uint32(b) & 31)), nil
+	default:
+		return 0, fmt.Errorf("interp: %s is not an int op", op)
+	}
+}
+
+func intCond1(op bytecode.Op, a int32) bool {
+	switch op {
+	case bytecode.Ifeq:
+		return a == 0
+	case bytecode.Ifne:
+		return a != 0
+	case bytecode.Iflt:
+		return a < 0
+	case bytecode.Ifge:
+		return a >= 0
+	case bytecode.Ifgt:
+		return a > 0
+	default: // Ifle
+		return a <= 0
+	}
+}
+
+func intCond2(op bytecode.Op, a, b int32) bool {
+	switch op {
+	case bytecode.IfIcmpeq:
+		return a == b
+	case bytecode.IfIcmpne:
+		return a != b
+	case bytecode.IfIcmplt:
+		return a < b
+	case bytecode.IfIcmpge:
+		return a >= b
+	case bytecode.IfIcmpgt:
+		return a > b
+	default: // IfIcmple
+		return a <= b
+	}
+}
+
+func (in *Interp) fieldRef(cf *classfile.ClassFile, idx int) (owner, name, desc string, err error) {
+	c := &cf.Pool[idx]
+	if c.Kind != classfile.KindFieldref {
+		return "", "", "", fmt.Errorf("interp: index %d is not a field", idx)
+	}
+	nat := &cf.Pool[c.NameAndType]
+	return cf.ClassNameAt(c.Class), cf.Utf8At(nat.Name), cf.Utf8At(nat.Desc), nil
+}
+
+func (in *Interp) methodRef(cf *classfile.ClassFile, idx int) (owner, name, desc string, err error) {
+	c := &cf.Pool[idx]
+	if c.Kind != classfile.KindMethodref {
+		return "", "", "", fmt.Errorf("interp: index %d is not a method", idx)
+	}
+	nat := &cf.Pool[c.NameAndType]
+	return cf.ClassNameAt(c.Class), cf.Utf8At(nat.Name), cf.Utf8At(nat.Desc), nil
+}
+
+// defaultFieldValue returns the JVM default for an unset field.
+func defaultFieldValue(cf *classfile.ClassFile, idx int) value {
+	c := &cf.Pool[idx]
+	nat := &cf.Pool[c.NameAndType]
+	desc := cf.Utf8At(nat.Desc)
+	if desc == "I" || desc == "Z" {
+		return int32(0)
+	}
+	return nil
+}
+
+// callVirtual dispatches an invokevirtual, including the println builtins.
+func (in *Interp) callVirtual(cf *classfile.ClassFile, idx int, stack *[]value) (*value, error) {
+	owner, name, desc, err := in.methodRef(cf, idx)
+	if err != nil {
+		return nil, err
+	}
+	params, ret, err := classfile.ParseMethodDescriptor(desc)
+	if err != nil {
+		return nil, err
+	}
+	nargs := len(params)
+	s := *stack
+	args := make([]value, nargs+1)
+	copy(args, s[len(s)-nargs-1:])
+	*stack = s[:len(s)-nargs-1]
+
+	if owner == "java/io/PrintStream" && name == "println" {
+		switch desc {
+		case "(I)V":
+			fmt.Fprintln(in.out, args[1])
+		case "(Z)V":
+			v, err := asInt(args[1])
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintln(in.out, v != 0)
+		case "(Ljava/lang/String;)V":
+			fmt.Fprintln(in.out, args[1])
+		default:
+			return nil, fmt.Errorf("interp: println%s unsupported", desc)
+		}
+		return nil, nil
+	}
+	obj, ok := args[0].(*object)
+	if !ok {
+		return nil, fmt.Errorf("interp: virtual call %s.%s on %T", owner, name, args[0])
+	}
+	implCF, implM, err := in.resolveVirtual(obj.class, name, desc)
+	if err != nil {
+		return nil, err
+	}
+	result, err := in.invoke(implCF, implM, args)
+	if err != nil {
+		return nil, err
+	}
+	if ret.Slots() == 0 {
+		return nil, nil
+	}
+	return &result, nil
+}

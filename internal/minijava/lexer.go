@@ -1,0 +1,224 @@
+// Package minijava implements a small compiler for MiniJava — the classic
+// teaching subset of Java (classes with single inheritance, int / boolean /
+// int[] / object types, virtual methods) extended with string literals in
+// println, full comparison operators, division and modulo, and else-less
+// if. It compiles straight to Java class files through the classfile and
+// bytecode packages, providing real compiler output for the examples and
+// a seed of verifiably-valid classfiles for the corpus generator.
+package minijava
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokString
+	tokKeyword
+	tokPunct
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+var keywords = map[string]bool{
+	"class": true, "extends": true, "public": true, "static": true,
+	"void": true, "main": true, "int": true, "boolean": true, "String": true,
+	"if": true, "else": true, "while": true, "return": true, "this": true,
+	"new": true, "true": true, "false": true, "length": true,
+}
+
+// Error is a positioned compile error.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("minijava: line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			for {
+				if l.pos+1 >= len(l.src) {
+					return errf(startLine, startCol, "unterminated block comment")
+				}
+				if l.peekByte() == '*' && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// twoCharPuncts are matched before single characters.
+var twoCharPuncts = []string{"&&", "||", "<=", ">=", "==", "!="}
+
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line, col: l.col}, nil
+	}
+	line, col := l.line, l.col
+	c := l.peekByte()
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		start := l.pos
+		for l.pos < len(l.src) {
+			c := l.peekByte()
+			if !unicode.IsLetter(rune(c)) && !unicode.IsDigit(rune(c)) && c != '_' {
+				break
+			}
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: line, col: col}, nil
+	case unicode.IsDigit(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.peekByte())) {
+			l.advance()
+		}
+		return token{kind: tokInt, text: l.src[start:l.pos], line: line, col: col}, nil
+	case c == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, errf(line, col, "unterminated string literal")
+			}
+			c := l.advance()
+			if c == '"' {
+				break
+			}
+			if c == '\n' {
+				return token{}, errf(line, col, "newline in string literal")
+			}
+			if c == '\\' {
+				if l.pos >= len(l.src) {
+					return token{}, errf(line, col, "unterminated escape")
+				}
+				switch e := l.advance(); e {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '"':
+					sb.WriteByte('"')
+				case '\\':
+					sb.WriteByte('\\')
+				default:
+					return token{}, errf(line, col, "bad escape \\%c", e)
+				}
+				continue
+			}
+			sb.WriteByte(c)
+		}
+		return token{kind: tokString, text: sb.String(), line: line, col: col}, nil
+	default:
+		for _, p := range twoCharPuncts {
+			if strings.HasPrefix(l.src[l.pos:], p) {
+				l.advance()
+				l.advance()
+				return token{kind: tokPunct, text: p, line: line, col: col}, nil
+			}
+		}
+		switch c {
+		case '{', '}', '(', ')', '[', ']', ';', ',', '.', '=', '<', '>',
+			'+', '-', '*', '/', '%', '!', '&':
+			l.advance()
+			return token{kind: tokPunct, text: string(c), line: line, col: col}, nil
+		}
+		return token{}, errf(line, col, "unexpected character %q", c)
+	}
+}
+
+// lexAll tokenizes the whole source.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

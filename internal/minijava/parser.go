@@ -1,0 +1,626 @@
+package minijava
+
+import "strconv"
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) peek() token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) atKw(kw string) bool   { return p.at(tokKeyword, kw) }
+func (p *parser) atPunct(s string) bool { return p.at(tokPunct, s) }
+
+func (p *parser) take() token {
+	t := p.cur()
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expectPunct(s string) (token, error) {
+	if !p.atPunct(s) {
+		return token{}, errf(p.cur().line, p.cur().col, "expected %q, found %s", s, p.cur())
+	}
+	return p.take(), nil
+}
+
+func (p *parser) expectKw(kw string) (token, error) {
+	if !p.atKw(kw) {
+		return token{}, errf(p.cur().line, p.cur().col, "expected %q, found %s", kw, p.cur())
+	}
+	return p.take(), nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	if p.cur().kind != tokIdent {
+		return token{}, errf(p.cur().line, p.cur().col, "expected identifier, found %s", p.cur())
+	}
+	return p.take(), nil
+}
+
+// Parse parses a MiniJava compilation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	if prog.Main, err = p.mainClass(); err != nil {
+		return nil, err
+	}
+	for !p.at(tokEOF, "") {
+		cd, err := p.classDecl()
+		if err != nil {
+			return nil, err
+		}
+		prog.Classes = append(prog.Classes, cd)
+	}
+	return prog, nil
+}
+
+func (p *parser) mainClass() (*MainClass, error) {
+	start, err := p.expectKw("class")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for _, kw := range []string{"public", "static", "void", "main"} {
+		if _, err := p.expectKw(kw); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKw("String"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct("["); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct("]"); err != nil {
+		return nil, err
+	}
+	arg, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var vars []*VarDecl
+	for p.atKw("int") || p.atKw("boolean") ||
+		(p.cur().kind == tokIdent && p.cur().text != "System" && p.peek().kind == tokIdent) {
+		v, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		vars = append(vars, v)
+	}
+	var body []Stmt
+	for !p.atPunct("}") {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, s)
+	}
+	if _, err := p.expectPunct("}"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct("}"); err != nil {
+		return nil, err
+	}
+	return &MainClass{pos: pos{start.line, start.col}, Name: name.text,
+		ArgName: arg.text, Vars: vars, Body: body}, nil
+}
+
+func (p *parser) classDecl() (*ClassDecl, error) {
+	start, err := p.expectKw("class")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	cd := &ClassDecl{pos: pos{start.line, start.col}, Name: name.text}
+	if p.atKw("extends") {
+		p.take()
+		super, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		cd.Extends = super.text
+	}
+	if _, err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	// Fields until the first `public`.
+	for !p.atPunct("}") && !p.atKw("public") {
+		v, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		cd.Fields = append(cd.Fields, v)
+	}
+	for p.atKw("public") {
+		m, err := p.methodDecl()
+		if err != nil {
+			return nil, err
+		}
+		cd.Methods = append(cd.Methods, m)
+	}
+	if _, err := p.expectPunct("}"); err != nil {
+		return nil, err
+	}
+	return cd, nil
+}
+
+func (p *parser) typeExpr() (TypeExpr, error) {
+	t := p.cur()
+	switch {
+	case p.atKw("int"):
+		p.take()
+		if p.atPunct("[") {
+			p.take()
+			if _, err := p.expectPunct("]"); err != nil {
+				return TypeExpr{}, err
+			}
+			return TypeExpr{pos: pos{t.line, t.col}, Kind: tyIntArray}, nil
+		}
+		return TypeExpr{pos: pos{t.line, t.col}, Kind: tyInt}, nil
+	case p.atKw("boolean"):
+		p.take()
+		return TypeExpr{pos: pos{t.line, t.col}, Kind: tyBool}, nil
+	case t.kind == tokIdent:
+		p.take()
+		return TypeExpr{pos: pos{t.line, t.col}, Kind: tyClass, Class: t.text}, nil
+	default:
+		return TypeExpr{}, errf(t.line, t.col, "expected a type, found %s", t)
+	}
+}
+
+func (p *parser) varDecl() (*VarDecl, error) {
+	ty, err := p.typeExpr()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &VarDecl{pos: ty.pos, Type: ty, Name: name.text}, nil
+}
+
+func (p *parser) methodDecl() (*MethodDecl, error) {
+	start, err := p.expectKw("public")
+	if err != nil {
+		return nil, err
+	}
+	ret, err := p.typeExpr()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	m := &MethodDecl{pos: pos{start.line, start.col}, Ret: ret, Name: name.text}
+	if _, err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for !p.atPunct(")") {
+		if len(m.Params) > 0 {
+			if _, err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		ty, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		pn, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		m.Params = append(m.Params, &VarDecl{pos: ty.pos, Type: ty, Name: pn.text})
+	}
+	p.take() // ')'
+	if _, err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	// Local declarations: `Type id ;` — distinguished from statements by
+	// lookahead (type keyword, or ident ident).
+	for {
+		if p.atKw("int") || p.atKw("boolean") ||
+			(p.cur().kind == tokIdent && p.peek().kind == tokIdent) {
+			v, err := p.varDecl()
+			if err != nil {
+				return nil, err
+			}
+			m.Vars = append(m.Vars, v)
+			continue
+		}
+		break
+	}
+	for !p.atKw("return") {
+		if p.at(tokEOF, "") || p.atPunct("}") {
+			return nil, errf(p.cur().line, p.cur().col, "method %s must end with a return statement", m.Name)
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		m.Body = append(m.Body, s)
+	}
+	p.take() // return
+	if m.Result, err = p.expression(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct("}"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.atPunct("{"):
+		p.take()
+		blk := &BlockStmt{pos: pos{t.line, t.col}}
+		for !p.atPunct("}") {
+			if p.at(tokEOF, "") {
+				return nil, errf(t.line, t.col, "unterminated block")
+			}
+			s, err := p.statement()
+			if err != nil {
+				return nil, err
+			}
+			blk.Stmts = append(blk.Stmts, s)
+		}
+		p.take()
+		return blk, nil
+	case p.atKw("if"):
+		p.take()
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{pos: pos{t.line, t.col}, Cond: cond, Then: then}
+		if p.atKw("else") {
+			p.take()
+			if st.Else, err = p.statement(); err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+	case p.atKw("while"):
+		p.take()
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{pos: pos{t.line, t.col}, Cond: cond, Body: body}, nil
+	case t.kind == tokIdent && t.text == "System":
+		// System.out.println(expr);
+		p.take()
+		if _, err := p.expectPunct("."); err != nil {
+			return nil, err
+		}
+		out, err := p.expectIdent()
+		if err != nil || out.text != "out" {
+			return nil, errf(t.line, t.col, "expected System.out.println")
+		}
+		if _, err := p.expectPunct("."); err != nil {
+			return nil, err
+		}
+		pr, err := p.expectIdent()
+		if err != nil || pr.text != "println" {
+			return nil, errf(t.line, t.col, "expected System.out.println")
+		}
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		arg, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &PrintStmt{pos: pos{t.line, t.col}, Arg: arg}, nil
+	case t.kind == tokIdent && p.peek().kind == tokPunct && p.peek().text == "=":
+		p.take()
+		p.take()
+		val, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{pos: pos{t.line, t.col}, Name: t.text, Value: val}, nil
+	case t.kind == tokIdent && p.peek().kind == tokPunct && p.peek().text == "[":
+		p.take()
+		p.take()
+		idx, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		val, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &ArrayAssignStmt{pos: pos{t.line, t.col}, Name: t.text, Index: idx, Value: val}, nil
+	default:
+		return nil, errf(t.line, t.col, "expected a statement, found %s", t)
+	}
+}
+
+// Expression precedence (low to high): && ||, comparisons, + -, * / %,
+// unary !, postfix ([] .length .call), primary.
+
+func (p *parser) expression() (Expr, error) { return p.andOr() }
+
+func (p *parser) andOr() (Expr, error) {
+	left, err := p.comparison()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("&&") || p.atPunct("||") {
+		op := p.take()
+		right, err := p.comparison()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{exprBase: exprBase{pos: pos{op.line, op.col}},
+			Op: op.text, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) comparison() (Expr, error) {
+	left, err := p.additive()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("<") || p.atPunct("<=") || p.atPunct(">") || p.atPunct(">=") ||
+		p.atPunct("==") || p.atPunct("!=") {
+		op := p.take()
+		right, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{exprBase: exprBase{pos: pos{op.line, op.col}},
+			Op: op.text, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) additive() (Expr, error) {
+	left, err := p.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("+") || p.atPunct("-") {
+		op := p.take()
+		right, err := p.multiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{exprBase: exprBase{pos: pos{op.line, op.col}},
+			Op: op.text, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) multiplicative() (Expr, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("*") || p.atPunct("/") || p.atPunct("%") {
+		op := p.take()
+		right, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{exprBase: exprBase{pos: pos{op.line, op.col}},
+			Op: op.text, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.atPunct("!") {
+		t := p.take()
+		operand, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{exprBase: exprBase{pos: pos{t.line, t.col}}, Operand: operand}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.atPunct("["):
+			t := p.take()
+			idx, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{exprBase: exprBase{pos: pos{t.line, t.col}}, Array: e, Index: idx}
+		case p.atPunct("."):
+			t := p.take()
+			if p.atKw("length") {
+				p.take()
+				e = &LengthExpr{exprBase: exprBase{pos: pos{t.line, t.col}}, Array: e}
+				continue
+			}
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			call := &CallExpr{exprBase: exprBase{pos: pos{t.line, t.col}}, Recv: e, Name: name.text}
+			for !p.atPunct(")") {
+				if len(call.Args) > 0 {
+					if _, err := p.expectPunct(","); err != nil {
+						return nil, err
+					}
+				}
+				arg, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+			}
+			p.take()
+			e = call
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.take()
+		v, err := strconv.ParseInt(t.text, 10, 32)
+		if err != nil {
+			return nil, errf(t.line, t.col, "integer %s out of range", t.text)
+		}
+		return &IntLit{exprBase: exprBase{pos: pos{t.line, t.col}}, Value: int32(v)}, nil
+	case t.kind == tokString:
+		p.take()
+		return &StringLit{exprBase: exprBase{pos: pos{t.line, t.col}}, Value: t.text}, nil
+	case p.atKw("true"), p.atKw("false"):
+		p.take()
+		return &BoolLit{exprBase: exprBase{pos: pos{t.line, t.col}}, Value: t.text == "true"}, nil
+	case p.atKw("this"):
+		p.take()
+		return &ThisExpr{exprBase: exprBase{pos: pos{t.line, t.col}}}, nil
+	case p.atKw("new"):
+		p.take()
+		if p.atKw("int") {
+			p.take()
+			if _, err := p.expectPunct("["); err != nil {
+				return nil, err
+			}
+			length, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			return &NewArrayExpr{exprBase: exprBase{pos: pos{t.line, t.col}}, Len: length}, nil
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &NewObjectExpr{exprBase: exprBase{pos: pos{t.line, t.col}}, Class: name.text}, nil
+	case t.kind == tokIdent:
+		p.take()
+		return &IdentExpr{exprBase: exprBase{pos: pos{t.line, t.col}}, Name: t.text}, nil
+	case p.atPunct("("):
+		p.take()
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, errf(t.line, t.col, "expected an expression, found %s", t)
+	}
+}

@@ -1,0 +1,305 @@
+// Package mtf implements the move-to-front queues used to encode references
+// (§5 of the paper). The queue is backed by an indexed skiplist [Pug90]
+// whose links record the distance they travel forward in the list, giving
+// expected O(log n) cost for every operation:
+//
+//   - the decompressor fetches the element at position k and moves it to
+//     the front (Take);
+//   - the compressor finds a previously seen element via a hashtable from
+//     elements to skiplist nodes, walks forward to the end of the list
+//     summing link distances to recover its position, and moves it to the
+//     front (Use).
+package mtf
+
+import "fmt"
+
+const (
+	maxLevel = 32
+	// pBits controls the level distribution: a node is promoted one level
+	// with probability 1/4 (two random bits both zero).
+	pBits = 2
+)
+
+type node[K comparable] struct {
+	key  K
+	next []link[K]
+}
+
+// link is a forward pointer annotated with the number of list positions it
+// skips (1 for a pointer to the immediate successor).
+type link[K comparable] struct {
+	to   *node[K]
+	span int
+}
+
+// Queue is a move-to-front queue over keys of type K.
+// The zero value is not ready for use; call New.
+type Queue[K comparable] struct {
+	head  *node[K] // sentinel before position 1
+	tail  *node[K] // sentinel after the last position
+	index map[K]*node[K]
+	size  int
+	level int // highest level in use (≥ 1)
+	rng   uint64
+}
+
+// New returns an empty move-to-front queue.
+func New[K comparable]() *Queue[K] {
+	q := &Queue[K]{
+		head:  &node[K]{next: make([]link[K], maxLevel)},
+		tail:  &node[K]{next: make([]link[K], maxLevel)},
+		index: make(map[K]*node[K]),
+		level: 1,
+		rng:   0x9e3779b97f4a7c15,
+	}
+	for i := range q.head.next {
+		q.head.next[i] = link[K]{to: q.tail, span: 1}
+	}
+	return q
+}
+
+// Len reports the number of elements in the queue.
+func (q *Queue[K]) Len() int { return q.size }
+
+// Contains reports whether k is in the queue.
+func (q *Queue[K]) Contains(k K) bool {
+	_, ok := q.index[k]
+	return ok
+}
+
+// Use looks up k. If present it returns k's 1-based position measured from
+// the front and moves k to the front; ok is false (and the queue unchanged)
+// otherwise.
+func (q *Queue[K]) Use(k K) (pos int, ok bool) {
+	n, ok := q.index[k]
+	if !ok {
+		return 0, false
+	}
+	pos = q.rankOf(n)
+	if pos > 1 {
+		q.removeAt(pos)
+		q.insertNodeFront(n)
+	}
+	return pos, true
+}
+
+// Position returns k's 1-based position without modifying the queue.
+func (q *Queue[K]) Position(k K) (pos int, ok bool) {
+	n, ok := q.index[k]
+	if !ok {
+		return 0, false
+	}
+	return q.rankOf(n), true
+}
+
+// PushFront inserts a key not currently in the queue at position 1.
+// It panics if k is already present: the reference encoders guarantee
+// each key is inserted exactly once.
+func (q *Queue[K]) PushFront(k K) {
+	if _, ok := q.index[k]; ok {
+		panic(fmt.Sprintf("mtf: PushFront of present key %v", k))
+	}
+	n := &node[K]{key: k, next: make([]link[K], q.randLevel())}
+	q.index[k] = n
+	q.insertNodeFront(n)
+}
+
+// Encode performs the compressor's one-step coding of k: it returns k's
+// 1-based position and moves it to the front if k was seen before, or
+// returns 0 and inserts k at the front otherwise.
+func (q *Queue[K]) Encode(k K) int {
+	if pos, ok := q.Use(k); ok {
+		return pos
+	}
+	q.PushFront(k)
+	return 0
+}
+
+// Take returns the element at 1-based position pos and moves it to the
+// front; it is the decompressor's counterpart to Use. It panics when pos
+// is out of range, which indicates a corrupt stream caught by the caller.
+func (q *Queue[K]) Take(pos int) K {
+	if pos < 1 || pos > q.size {
+		panic(fmt.Sprintf("mtf: Take(%d) with %d elements", pos, q.size))
+	}
+	n := q.nodeAt(pos)
+	if pos > 1 {
+		q.removeAt(pos)
+		q.insertNodeFront(n)
+	}
+	return n.key
+}
+
+// Keys returns the queue contents from front to back; it is O(n) and
+// intended for tests.
+func (q *Queue[K]) Keys() []K {
+	out := make([]K, 0, q.size)
+	for n := q.head.next[0].to; n != q.tail; n = n.next[0].to {
+		out = append(out, n.key)
+	}
+	return out
+}
+
+// rankOf returns the 1-based position of n by walking forward to the tail
+// sentinel along each node's highest link, summing the recorded distances
+// (§5 of the paper): position = size + 1 − distance to tail.
+func (q *Queue[K]) rankOf(n *node[K]) int {
+	dist := 0
+	cur := n
+	for cur != q.tail {
+		l := cur.next[len(cur.next)-1]
+		dist += l.span
+		cur = l.to
+	}
+	return q.size + 1 - dist
+}
+
+// nodeAt returns the node at 1-based position pos by descending from the
+// head, using spans to skip ahead.
+func (q *Queue[K]) nodeAt(pos int) *node[K] {
+	cur := q.head
+	remaining := pos
+	for lvl := q.level - 1; lvl >= 0; lvl-- {
+		for cur.next[lvl].span <= remaining && cur.next[lvl].to != q.tail {
+			remaining -= cur.next[lvl].span
+			cur = cur.next[lvl].to
+		}
+		if remaining == 0 {
+			return cur
+		}
+	}
+	return cur
+}
+
+// removeAt unlinks the node at 1-based position pos.
+func (q *Queue[K]) removeAt(pos int) {
+	cur := q.head
+	remaining := pos
+	var target *node[K]
+	for lvl := q.level - 1; lvl >= 0; lvl-- {
+		for cur.next[lvl].span < remaining {
+			remaining -= cur.next[lvl].span
+			cur = cur.next[lvl].to
+		}
+		// cur.next[lvl] either lands exactly on the target (span ==
+		// remaining) or jumps past it.
+		if cur.next[lvl].span == remaining {
+			target = cur.next[lvl].to
+			cur.next[lvl] = link[K]{
+				to:   target.next[lvl].to,
+				span: remaining + target.next[lvl].span - 1,
+			}
+			// Continue from cur at the next level down; remaining unchanged.
+		} else {
+			cur.next[lvl].span--
+		}
+	}
+	if target == nil {
+		panic("mtf: removeAt did not find target")
+	}
+	// Levels above q.level hold only the head→tail link, whose span still
+	// counts every position and must shrink with the list.
+	for lvl := q.level; lvl < maxLevel; lvl++ {
+		q.head.next[lvl].span--
+	}
+	q.size--
+	q.shrinkLevel()
+}
+
+// insertNodeFront links n (with its levels already allocated) at position 1.
+func (q *Queue[K]) insertNodeFront(n *node[K]) {
+	// Inserting at the front means the predecessor at every level is the
+	// head sentinel, so all maxLevel spans can be maintained directly.
+	h := len(n.next)
+	if h > q.level {
+		q.level = h
+	}
+	for lvl := 0; lvl < maxLevel; lvl++ {
+		if lvl < h {
+			n.next[lvl] = link[K]{to: q.head.next[lvl].to, span: q.head.next[lvl].span}
+			q.head.next[lvl] = link[K]{to: n, span: 1}
+		} else {
+			q.head.next[lvl].span++
+		}
+	}
+	q.size++
+}
+
+func (q *Queue[K]) shrinkLevel() {
+	for q.level > 1 && q.head.next[q.level-1].to == q.tail {
+		q.level--
+	}
+}
+
+// randLevel draws a level from the geometric distribution with p = 1/4
+// using a splitmix64 step, so queue shape is deterministic for a given
+// operation sequence.
+func (q *Queue[K]) randLevel() int {
+	q.rng += 0x9e3779b97f4a7c15
+	z := q.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	lvl := 1
+	for lvl < maxLevel && z&(1<<pBits-1) == 0 {
+		lvl++
+		z >>= pBits
+	}
+	return lvl
+}
+
+// Naive is a reference move-to-front queue backed by a slice. It has the
+// same semantics as Queue with O(n) operations; it exists to property-test
+// Queue and to quantify the skiplist's benefit in benchmarks.
+type Naive[K comparable] struct {
+	keys []K
+}
+
+// NewNaive returns an empty reference queue.
+func NewNaive[K comparable]() *Naive[K] { return &Naive[K]{} }
+
+// Len reports the number of elements in the queue.
+func (q *Naive[K]) Len() int { return len(q.keys) }
+
+// Use mirrors Queue.Use.
+func (q *Naive[K]) Use(k K) (pos int, ok bool) {
+	for i, key := range q.keys {
+		if key == k {
+			copy(q.keys[1:], q.keys[:i])
+			q.keys[0] = k
+			return i + 1, true
+		}
+	}
+	return 0, false
+}
+
+// PushFront mirrors Queue.PushFront.
+func (q *Naive[K]) PushFront(k K) {
+	q.keys = append(q.keys, k)
+	copy(q.keys[1:], q.keys[:len(q.keys)-1])
+	q.keys[0] = k
+}
+
+// Encode mirrors Queue.Encode.
+func (q *Naive[K]) Encode(k K) int {
+	if pos, ok := q.Use(k); ok {
+		return pos
+	}
+	q.PushFront(k)
+	return 0
+}
+
+// Take mirrors Queue.Take.
+func (q *Naive[K]) Take(pos int) K {
+	k := q.keys[pos-1]
+	copy(q.keys[1:], q.keys[:pos-1])
+	q.keys[0] = k
+	return k
+}
+
+// Keys returns the queue contents from front to back.
+func (q *Naive[K]) Keys() []K {
+	out := make([]K, len(q.keys))
+	copy(out, q.keys)
+	return out
+}

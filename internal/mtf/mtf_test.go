@@ -1,0 +1,207 @@
+package mtf
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestEncodeBasics(t *testing.T) {
+	q := New[string]()
+	// First sightings encode as 0.
+	for _, k := range []string{"a", "b", "c"} {
+		if got := q.Encode(k); got != 0 {
+			t.Fatalf("Encode(%q) = %d, want 0", k, got)
+		}
+	}
+	// List is now c, b, a (most recent first).
+	if got := q.Encode("a"); got != 3 {
+		t.Fatalf("Encode(a) = %d, want 3", got)
+	}
+	// List is a, c, b.
+	if got := q.Encode("a"); got != 1 {
+		t.Fatalf("Encode(a again) = %d, want 1", got)
+	}
+	if got := q.Encode("c"); got != 2 {
+		t.Fatalf("Encode(c) = %d, want 2", got)
+	}
+	if want := []string{"c", "a", "b"}; !reflect.DeepEqual(q.Keys(), want) {
+		t.Fatalf("Keys = %v, want %v", q.Keys(), want)
+	}
+}
+
+func TestTakeMirrorsEncode(t *testing.T) {
+	// Decoding the compressor's output must reproduce the key sequence.
+	rng := rand.New(rand.NewSource(7))
+	enc := New[int]()
+	var keys []int
+	var codes []int
+	for i := 0; i < 5000; i++ {
+		k := rng.Intn(300)
+		keys = append(keys, k)
+		codes = append(codes, enc.Encode(k))
+	}
+	dec := New[int]()
+	for i, c := range codes {
+		var got int
+		if c == 0 {
+			// A new object: the wire carries its value out of band.
+			got = keys[i]
+			dec.PushFront(got)
+		} else {
+			got = dec.Take(c)
+		}
+		if got != keys[i] {
+			t.Fatalf("step %d: decoded %d, want %d", i, got, keys[i])
+		}
+	}
+	if !reflect.DeepEqual(enc.Keys(), dec.Keys()) {
+		t.Fatal("encoder and decoder queues diverged")
+	}
+}
+
+func TestAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	q := New[int]()
+	ref := NewNaive[int]()
+	for i := 0; i < 20000; i++ {
+		switch op := rng.Intn(10); {
+		case op < 6: // Encode
+			k := rng.Intn(500)
+			got, want := q.Encode(k), ref.Encode(k)
+			if got != want {
+				t.Fatalf("step %d: Encode(%d) = %d, want %d", i, k, got, want)
+			}
+		case op < 8: // Use (may miss)
+			k := rng.Intn(800)
+			gp, gok := q.Use(k)
+			wp, wok := ref.Use(k)
+			if gp != wp || gok != wok {
+				t.Fatalf("step %d: Use(%d) = (%d,%v), want (%d,%v)", i, k, gp, gok, wp, wok)
+			}
+		case op < 9: // Take
+			if q.Len() == 0 {
+				continue
+			}
+			pos := 1 + rng.Intn(q.Len())
+			got, want := q.Take(pos), ref.Take(pos)
+			if got != want {
+				t.Fatalf("step %d: Take(%d) = %d, want %d", i, pos, got, want)
+			}
+		default: // Position
+			k := rng.Intn(800)
+			gp, gok := q.Position(k)
+			wp, wok := func() (int, bool) {
+				for j, key := range ref.Keys() {
+					if key == k {
+						return j + 1, true
+					}
+				}
+				return 0, false
+			}()
+			if gp != wp || gok != wok {
+				t.Fatalf("step %d: Position(%d) = (%d,%v), want (%d,%v)", i, k, gp, gok, wp, wok)
+			}
+		}
+		if q.Len() != ref.Len() {
+			t.Fatalf("step %d: Len %d != %d", i, q.Len(), ref.Len())
+		}
+	}
+	if !reflect.DeepEqual(q.Keys(), ref.Keys()) {
+		t.Fatal("final queue contents diverged from reference")
+	}
+}
+
+func TestContains(t *testing.T) {
+	q := New[string]()
+	if q.Contains("x") {
+		t.Fatal("empty queue contains x")
+	}
+	q.PushFront("x")
+	if !q.Contains("x") || q.Contains("y") {
+		t.Fatal("Contains wrong after PushFront")
+	}
+}
+
+func TestPushFrontDuplicatePanics(t *testing.T) {
+	q := New[int]()
+	q.PushFront(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate PushFront did not panic")
+		}
+	}()
+	q.PushFront(1)
+}
+
+func TestTakeOutOfRangePanics(t *testing.T) {
+	q := New[int]()
+	q.PushFront(1)
+	for _, pos := range []int{0, 2, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Take(%d) did not panic", pos)
+				}
+			}()
+			q.Take(pos)
+		}()
+	}
+}
+
+func TestLargeSequentialScan(t *testing.T) {
+	// Repeatedly taking the last element exercises deep positions.
+	q := New[int]()
+	const n = 4000
+	for i := 0; i < n; i++ {
+		q.PushFront(i)
+	}
+	// Front is n-1 ... back is 0. Taking position n each time cycles the
+	// oldest element to the front.
+	for i := 0; i < n; i++ {
+		if got := q.Take(n); got != i {
+			t.Fatalf("Take(%d) #%d = %d, want %d", n, i, got, i)
+		}
+	}
+	if q.Len() != n {
+		t.Fatalf("Len = %d, want %d", q.Len(), n)
+	}
+}
+
+func TestPositionStable(t *testing.T) {
+	q := New[int]()
+	for i := 0; i < 100; i++ {
+		q.PushFront(i)
+	}
+	// Position must not mutate the queue.
+	before := q.Keys()
+	for i := 0; i < 100; i++ {
+		if pos, ok := q.Position(i); !ok || pos != 100-i {
+			t.Fatalf("Position(%d) = %d, want %d", i, pos, 100-i)
+		}
+	}
+	if !reflect.DeepEqual(before, q.Keys()) {
+		t.Fatal("Position mutated the queue")
+	}
+}
+
+func BenchmarkSkiplistEncode(b *testing.B) {
+	benchEncode(b, func() interface{ Encode(int) int } { return New[int]() })
+}
+
+func BenchmarkNaiveEncode(b *testing.B) {
+	benchEncode(b, func() interface{ Encode(int) int } { return NewNaive[int]() })
+}
+
+func benchEncode(b *testing.B, mk func() interface{ Encode(int) int }) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]int, 1<<16)
+	for i := range keys {
+		keys[i] = int(rng.ExpFloat64() * 400) // skewed like reference traces
+	}
+	b.ResetTimer()
+	q := mk()
+	for i := 0; i < b.N; i++ {
+		q.Encode(keys[i&(1<<16-1)])
+	}
+}

@@ -1,0 +1,563 @@
+// Package refs implements the reference-encoding schemes of §5.1 of the
+// paper. Every scheme turns a sequence of reference events (object keys,
+// optionally with a stack-state context) into a byte stream that the
+// caller compresses with DEFLATE.
+//
+// Schemes marked decodable drive the real pack format; Freq and Cache
+// assign ids from global frequencies and are measurement-only competitors,
+// exactly as in the paper, where the cost of transmitting their dictionary
+// is likewise ignored (§5).
+package refs
+
+import (
+	"fmt"
+	"sort"
+
+	"classpack/internal/encoding/varint"
+	"classpack/internal/mtf"
+)
+
+// Scheme selects one of the §5.1 variants.
+type Scheme int
+
+// The §5.1 scheme family, in the paper's order (Table 3 columns).
+const (
+	// Simple: fixed sequential ids, two bytes each, merged pools.
+	Simple Scheme = iota
+	// Basic: fixed sequential ids, compact encoding.
+	Basic
+	// Freq: ids by global frequency; singletons share one id.
+	Freq
+	// Cache: Freq behind a 16-element move-to-front cache per context.
+	Cache
+	// MTFBasic: plain move-to-front queue per pool.
+	MTFBasic
+	// MTFTransients: move-to-front, singletons bypass the queue.
+	MTFTransients
+	// MTFContext: move-to-front with per-context queues.
+	MTFContext
+	// MTFFull: transients and context combined (the shipping scheme).
+	MTFFull
+)
+
+// String returns the scheme's Table 3 column label.
+func (s Scheme) String() string {
+	switch s {
+	case Simple:
+		return "Simple"
+	case Basic:
+		return "Basic"
+	case Freq:
+		return "Freq"
+	case Cache:
+		return "Cache"
+	case MTFBasic:
+		return "MTF Basic"
+	case MTFTransients:
+		return "MTF Transients"
+	case MTFContext:
+		return "MTF Context"
+	case MTFFull:
+		return "MTF Trans+Ctx"
+	}
+	return "unknown"
+}
+
+// Decodable reports whether the scheme has a decoder (Freq and Cache are
+// measurement-only).
+func (s Scheme) Decodable() bool { return s != Freq && s != Cache }
+
+// Event is one reference occurrence.
+type Event struct {
+	Ctx int    // stack-state context (used by Cache, MTFContext, MTFFull)
+	Key string // canonical identity of the referenced object
+}
+
+// Encoder encodes a stream of events for one pool.
+type Encoder interface {
+	// Encode appends the coding of ev to buf and reports whether this is
+	// the object's first (definition-carrying) occurrence.
+	Encode(buf []byte, ev Event) (out []byte, isNew bool)
+}
+
+// Decoder mirrors an Encoder. After Decode reports isNew, the caller
+// reconstructs the key from the definition stream and calls Define with
+// the same transient flag.
+type Decoder interface {
+	Decode(r varint.ByteReader, ctx int) (key string, isNew, transient bool, err error)
+	Define(ctx int, key string, transient bool)
+}
+
+// Preloadable is implemented by every decodable codec: Preload seeds the
+// pool with an object treated as already seen, implementing the paper's
+// §14 "standard set of preloaded references" extension. Encoder and
+// decoder must preload identical keys in identical order.
+type Preloadable interface {
+	Preload(key string)
+}
+
+// NewEncoder builds an encoder. counts must map every key to its total
+// occurrence count for Freq, Cache, MTFTransients and MTFFull; other
+// schemes ignore it.
+func NewEncoder(s Scheme, counts map[string]int) Encoder {
+	switch s {
+	case Simple:
+		return &simpleEnc{ids: map[string]int{}}
+	case Basic:
+		return &basicEnc{ids: map[string]int{}}
+	case Freq:
+		return newFreqEnc(counts)
+	case Cache:
+		return &cacheEnc{freq: newFreqEnc(counts), caches: map[int]*mtf.Naive[string]{}}
+	case MTFBasic:
+		return &mtfEnc{q: mtf.New[string]()}
+	case MTFTransients:
+		return &mtfEnc{q: mtf.New[string](), counts: counts, transients: true}
+	case MTFContext:
+		return &ctxCodec{counts: nil, queues: map[int]*mtf.Queue[string]{}, seen: map[string]bool{}}
+	case MTFFull:
+		return &ctxCodec{counts: counts, queues: map[int]*mtf.Queue[string]{}, seen: map[string]bool{}}
+	}
+	panic(fmt.Sprintf("refs: unknown scheme %d", s))
+}
+
+// NewDecoder builds the decoder for a decodable scheme; ok is false
+// otherwise.
+func NewDecoder(s Scheme) (Decoder, bool) {
+	switch s {
+	case Simple:
+		return &simpleDec{}, true
+	case Basic:
+		return &basicDec{}, true
+	case MTFBasic:
+		return &mtfDec{q: mtf.New[string]()}, true
+	case MTFTransients:
+		return &mtfDec{q: mtf.New[string](), transients: true}, true
+	case MTFContext:
+		return &ctxCodec{queues: map[int]*mtf.Queue[string]{}, seen: map[string]bool{}}, true
+	case MTFFull:
+		return &ctxCodec{counts: map[string]int{}, transientDec: true, queues: map[int]*mtf.Queue[string]{}, seen: map[string]bool{}}, true
+	default:
+		return nil, false
+	}
+}
+
+// ---- Simple ----
+
+type simpleEnc struct {
+	ids map[string]int
+}
+
+func appendU16Escape(buf []byte, id int) []byte {
+	// Two bytes as the paper prescribes; ids past 0xfffe take an escape so
+	// huge pools stay encodable.
+	if id < 0xffff {
+		return append(buf, byte(id>>8), byte(id))
+	}
+	buf = append(buf, 0xff, 0xff)
+	return varint.AppendUint(buf, uint64(id-0xffff))
+}
+
+func readU16Escape(r varint.ByteReader) (int, error) {
+	hi, err := r.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	lo, err := r.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	id := int(hi)<<8 | int(lo)
+	if id == 0xffff {
+		extra, err := varint.ReadUint(r)
+		if err != nil {
+			return 0, err
+		}
+		id += int(extra)
+	}
+	return id, nil
+}
+
+func (e *simpleEnc) Encode(buf []byte, ev Event) ([]byte, bool) {
+	if id, ok := e.ids[ev.Key]; ok {
+		return appendU16Escape(buf, id), false
+	}
+	id := len(e.ids)
+	e.ids[ev.Key] = id
+	return appendU16Escape(buf, id), true
+}
+
+type simpleDec struct {
+	keys []string
+}
+
+func (d *simpleDec) Decode(r varint.ByteReader, ctx int) (string, bool, bool, error) {
+	id, err := readU16Escape(r)
+	if err != nil {
+		return "", false, false, err
+	}
+	if id == len(d.keys) {
+		return "", true, false, nil
+	}
+	if id > len(d.keys) {
+		return "", false, false, fmt.Errorf("refs: simple id %d ahead of pool size %d", id, len(d.keys))
+	}
+	return d.keys[id], false, false, nil
+}
+
+func (d *simpleDec) Define(ctx int, key string, transient bool) {
+	d.keys = append(d.keys, key)
+}
+
+// ---- Basic ----
+
+type basicEnc struct {
+	ids map[string]int
+}
+
+// appendBounded writes v drawn from [0, n) with the §6 range coding when
+// the range is small enough, or a varint otherwise.
+func appendBounded(buf []byte, v, n int) []byte {
+	if n <= 1<<16 {
+		return varint.NewBounded(n).Append(buf, v)
+	}
+	return varint.AppendUint(buf, uint64(v))
+}
+
+func readBounded(r varint.ByteReader, n int) (int, error) {
+	if n <= 1<<16 {
+		c := varint.NewBounded(n)
+		b0, err := r.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		// A second byte follows only when the lead byte is reserved; probe
+		// with a zero continuation to learn the width.
+		if v, used, err := c.Decode([]byte{b0, 0}); err == nil && used == 1 {
+			return v, nil
+		}
+		b1, err := r.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		v, _, err := c.Decode([]byte{b0, b1})
+		return v, err
+	}
+	v, err := varint.ReadUint(r)
+	return int(v), err
+}
+
+func (e *basicEnc) Encode(buf []byte, ev Event) ([]byte, bool) {
+	n := len(e.ids) + 1 // ids 0..len-1, len means "new"
+	if id, ok := e.ids[ev.Key]; ok {
+		return appendBounded(buf, id, n), false
+	}
+	e.ids[ev.Key] = len(e.ids)
+	return appendBounded(buf, n-1, n), true
+}
+
+type basicDec struct {
+	keys []string
+}
+
+func (d *basicDec) Decode(r varint.ByteReader, ctx int) (string, bool, bool, error) {
+	n := len(d.keys) + 1
+	id, err := readBounded(r, n)
+	if err != nil {
+		return "", false, false, err
+	}
+	if id == len(d.keys) {
+		return "", true, false, nil
+	}
+	if id > len(d.keys) {
+		return "", false, false, fmt.Errorf("refs: basic id %d out of range", id)
+	}
+	return d.keys[id], false, false, nil
+}
+
+func (d *basicDec) Define(ctx int, key string, transient bool) {
+	d.keys = append(d.keys, key)
+}
+
+// ---- Freq ----
+
+type freqEnc struct {
+	rank map[string]int // 0 = shared singleton id, else 1-based rank
+}
+
+func newFreqEnc(counts map[string]int) *freqEnc {
+	type kc struct {
+		key   string
+		count int
+	}
+	var all []kc
+	for k, c := range counts {
+		if c > 1 {
+			all = append(all, kc{k, c})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
+		}
+		return all[i].key < all[j].key
+	})
+	rank := make(map[string]int, len(all))
+	for i, e := range all {
+		rank[e.key] = i + 1
+	}
+	return &freqEnc{rank: rank}
+}
+
+func (e *freqEnc) Encode(buf []byte, ev Event) ([]byte, bool) {
+	// First-occurrence tracking still matters for the definition stream,
+	// but the index itself is the fixed frequency rank (0 for singletons).
+	return varint.AppendUint(buf, uint64(e.rank[ev.Key])), false
+}
+
+// ---- Cache ----
+
+type cacheEnc struct {
+	freq   *freqEnc
+	caches map[int]*mtf.Naive[string]
+}
+
+const cacheSize = 16
+
+func (e *cacheEnc) Encode(buf []byte, ev Event) ([]byte, bool) {
+	c := e.caches[ev.Ctx]
+	if c == nil {
+		c = mtf.NewNaive[string]()
+		e.caches[ev.Ctx] = c
+	}
+	if pos, ok := c.Use(ev.Key); ok {
+		if pos <= cacheSize {
+			return varint.AppendUint(buf, uint64(pos)), false
+		}
+	} else {
+		c.PushFront(ev.Key)
+	}
+	return varint.AppendUint(buf, uint64(cacheSize+1+e.freq.rank[ev.Key])), false
+}
+
+// ---- MTF Basic / Transients ----
+
+type mtfEnc struct {
+	q          *mtf.Queue[string]
+	counts     map[string]int
+	transients bool
+	seen       map[string]bool
+}
+
+func (e *mtfEnc) Encode(buf []byte, ev Event) ([]byte, bool) {
+	if e.transients {
+		if pos, ok := e.q.Use(ev.Key); ok {
+			return varint.AppendUint(buf, uint64(pos)+1), false
+		}
+		if e.seen == nil {
+			e.seen = map[string]bool{}
+		}
+		if e.seen[ev.Key] {
+			// A transient repeated: should not happen when counts are
+			// accurate; re-emit as a fresh transient to stay decodable.
+			return append(buf, 0), true
+		}
+		e.seen[ev.Key] = true
+		if e.counts[ev.Key] == 1 {
+			return append(buf, 0), true // transient, bypasses the queue
+		}
+		e.q.PushFront(ev.Key)
+		return append(buf, 1), true
+	}
+	if pos, ok := e.q.Use(ev.Key); ok {
+		return varint.AppendUint(buf, uint64(pos)), false
+	}
+	e.q.PushFront(ev.Key)
+	return append(buf, 0), true
+}
+
+type mtfDec struct {
+	q          *mtf.Queue[string]
+	transients bool
+}
+
+func (d *mtfDec) Decode(r varint.ByteReader, ctx int) (string, bool, bool, error) {
+	v, err := varint.ReadUint(r)
+	if err != nil {
+		return "", false, false, err
+	}
+	if d.transients {
+		switch v {
+		case 0:
+			return "", true, true, nil
+		case 1:
+			return "", true, false, nil
+		default:
+			pos := int(v) - 1
+			if pos > d.q.Len() {
+				return "", false, false, fmt.Errorf("refs: mtf position %d beyond %d", pos, d.q.Len())
+			}
+			return d.q.Take(pos), false, false, nil
+		}
+	}
+	if v == 0 {
+		return "", true, false, nil
+	}
+	if int(v) > d.q.Len() {
+		return "", false, false, fmt.Errorf("refs: mtf position %d beyond %d", v, d.q.Len())
+	}
+	return d.q.Take(int(v)), false, false, nil
+}
+
+func (d *mtfDec) Define(ctx int, key string, transient bool) {
+	if transient && d.transients {
+		return
+	}
+	if d.q.Contains(key) {
+		return // corrupt stream re-defining an object; tolerated, not fatal
+	}
+	d.q.PushFront(key)
+}
+
+// ---- MTF Context / Full ----
+
+// ctxCodec implements both the encoder and decoder for the per-context
+// schemes: it keeps one queue per context and, per §5.1.6, inserts every
+// newly seen object into all queues (existing queues immediately, later
+// queues at creation, seeded with the first-seen order).
+type ctxCodec struct {
+	counts       map[string]int // nil for plain MTFContext encoding
+	transientDec bool           // decoder-side flag for MTFFull
+	queues       map[int]*mtf.Queue[string]
+	seen         map[string]bool
+	order        []string // persistent keys in first-seen order
+}
+
+func (c *ctxCodec) transientsEnabled() bool { return c.counts != nil || c.transientDec }
+
+func (c *ctxCodec) queue(ctx int) *mtf.Queue[string] {
+	q := c.queues[ctx]
+	if q == nil {
+		q = mtf.New[string]()
+		// Seed with every persistent object seen so far, oldest first, so
+		// the most recently defined object ends up nearest the front.
+		for _, k := range c.order {
+			q.PushFront(k)
+		}
+		c.queues[ctx] = q
+	}
+	return q
+}
+
+func (c *ctxCodec) insertEverywhere(key string) {
+	if c.seen[key] {
+		return // duplicate definition (corrupt stream); tolerated
+	}
+	c.seen[key] = true
+	c.order = append(c.order, key)
+	for _, q := range c.queues {
+		q.PushFront(key)
+	}
+}
+
+// Encode implements Encoder.
+func (c *ctxCodec) Encode(buf []byte, ev Event) ([]byte, bool) {
+	q := c.queue(ev.Ctx)
+	if c.transientsEnabled() {
+		if c.seen[ev.Key] {
+			pos, ok := q.Use(ev.Key)
+			if !ok {
+				// Repeated transient; re-encode as a fresh transient.
+				return append(buf, 0), true
+			}
+			return varint.AppendUint(buf, uint64(pos)+1), false
+		}
+		if c.counts[ev.Key] == 1 {
+			return append(buf, 0), true
+		}
+		c.insertEverywhere(ev.Key)
+		return append(buf, 1), true
+	}
+	if c.seen[ev.Key] {
+		pos, ok := q.Use(ev.Key)
+		if !ok {
+			return nil, false // unreachable: seen keys are in every queue
+		}
+		return varint.AppendUint(buf, uint64(pos)), false
+	}
+	c.insertEverywhere(ev.Key)
+	return append(buf, 0), true
+}
+
+// Decode implements Decoder.
+func (c *ctxCodec) Decode(r varint.ByteReader, ctx int) (string, bool, bool, error) {
+	q := c.queue(ctx)
+	v, err := varint.ReadUint(r)
+	if err != nil {
+		return "", false, false, err
+	}
+	if c.transientsEnabled() {
+		switch v {
+		case 0:
+			return "", true, true, nil
+		case 1:
+			return "", true, false, nil
+		default:
+			pos := int(v) - 1
+			if pos > q.Len() {
+				return "", false, false, fmt.Errorf("refs: ctx mtf position %d beyond %d", pos, q.Len())
+			}
+			return q.Take(pos), false, false, nil
+		}
+	}
+	if v == 0 {
+		return "", true, false, nil
+	}
+	if int(v) > q.Len() {
+		return "", false, false, fmt.Errorf("refs: ctx mtf position %d beyond %d", v, q.Len())
+	}
+	return q.Take(int(v)), false, false, nil
+}
+
+// Define implements Decoder.
+func (c *ctxCodec) Define(ctx int, key string, transient bool) {
+	if transient && c.transientsEnabled() {
+		return
+	}
+	c.queue(ctx) // ensure the defining context's queue exists first
+	c.insertEverywhere(key)
+}
+
+// Preload implements Preloadable.
+func (e *simpleEnc) Preload(key string) { e.ids[key] = len(e.ids) }
+
+// Preload implements Preloadable.
+func (d *simpleDec) Preload(key string) { d.keys = append(d.keys, key) }
+
+// Preload implements Preloadable.
+func (e *basicEnc) Preload(key string) { e.ids[key] = len(e.ids) }
+
+// Preload implements Preloadable.
+func (d *basicDec) Preload(key string) { d.keys = append(d.keys, key) }
+
+// Preload implements Preloadable.
+func (e *mtfEnc) Preload(key string) { e.q.PushFront(key) }
+
+// Preload implements Preloadable.
+func (d *mtfDec) Preload(key string) { d.q.PushFront(key) }
+
+// Preload implements Preloadable.
+func (c *ctxCodec) Preload(key string) {
+	c.queue(0)
+	c.insertEverywhere(key)
+}
+
+// CountKeys tallies total occurrences per key over a trace; the result
+// feeds the schemes that need future knowledge.
+func CountKeys(events []Event) map[string]int {
+	counts := make(map[string]int)
+	for _, ev := range events {
+		counts[ev.Key]++
+	}
+	return counts
+}

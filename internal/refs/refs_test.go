@@ -1,0 +1,247 @@
+package refs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"classpack/internal/archive"
+)
+
+// genTrace produces a reference trace with Zipf-like key reuse and a few
+// contexts, resembling real method-reference streams.
+func genTrace(seed int64, n, universe, contexts int) []Event {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.3, 1.0, uint64(universe-1))
+	events := make([]Event, n)
+	for i := range events {
+		events[i] = Event{
+			Ctx: rng.Intn(contexts),
+			Key: fmt.Sprintf("obj-%d", zipf.Uint64()),
+		}
+	}
+	return events
+}
+
+// roundTrip encodes a trace and decodes it back, simulating the packer
+// protocol: first occurrences carry the key out of band.
+func roundTrip(t *testing.T, s Scheme, events []Event) []byte {
+	t.Helper()
+	enc := NewEncoder(s, CountKeys(events))
+	dec, ok := NewDecoder(s)
+	if !ok {
+		t.Fatalf("%v not decodable", s)
+	}
+	var buf []byte
+	var defs []string // out-of-band definitions in order
+	for _, ev := range events {
+		var isNew bool
+		buf, isNew = enc.Encode(buf, ev)
+		if isNew {
+			defs = append(defs, ev.Key)
+		}
+	}
+	r := bytes.NewReader(buf)
+	di := 0
+	for i, ev := range events {
+		key, isNew, transient, err := dec.Decode(r, ev.Ctx)
+		if err != nil {
+			t.Fatalf("%v: decode event %d: %v", s, i, err)
+		}
+		if isNew {
+			if di >= len(defs) {
+				t.Fatalf("%v: decoder wants definition %d, only %d sent", s, di, len(defs))
+			}
+			key = defs[di]
+			di++
+			dec.Define(ev.Ctx, key, transient)
+		}
+		if key != ev.Key {
+			t.Fatalf("%v: event %d decoded %q, want %q", s, i, key, ev.Key)
+		}
+	}
+	if di != len(defs) {
+		t.Fatalf("%v: consumed %d of %d definitions", s, di, len(defs))
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%v: %d trailing bytes", s, r.Len())
+	}
+	return buf
+}
+
+func TestRoundTripAllDecodableSchemes(t *testing.T) {
+	events := genTrace(1, 20000, 800, 6)
+	for _, s := range []Scheme{Simple, Basic, MTFBasic, MTFTransients, MTFContext, MTFFull} {
+		t.Run(s.String(), func(t *testing.T) { roundTrip(t, s, events) })
+	}
+}
+
+func TestRoundTripSingleContext(t *testing.T) {
+	events := genTrace(2, 5000, 100, 1)
+	for _, s := range []Scheme{MTFContext, MTFFull} {
+		roundTrip(t, s, events)
+	}
+}
+
+func TestRoundTripManySingletons(t *testing.T) {
+	// Mostly unique keys stress the transient path.
+	var events []Event
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 3000; i++ {
+		if rng.Intn(4) == 0 {
+			events = append(events, Event{Ctx: rng.Intn(3), Key: "hot"})
+		} else {
+			events = append(events, Event{Ctx: rng.Intn(3), Key: fmt.Sprintf("once-%d", i)})
+		}
+	}
+	for _, s := range []Scheme{MTFTransients, MTFFull} {
+		roundTrip(t, s, events)
+	}
+}
+
+func TestTransientsBypassQueue(t *testing.T) {
+	events := []Event{
+		{Key: "a"}, {Key: "solo"}, {Key: "a"}, {Key: "b"}, {Key: "a"}, {Key: "b"},
+	}
+	enc := NewEncoder(MTFTransients, CountKeys(events))
+	var buf []byte
+	for _, ev := range events {
+		buf, _ = enc.Encode(buf, ev)
+	}
+	// Expected stream: a new-persistent(1), solo transient(0),
+	// a at pos1(2), b new-persistent(1), a at pos2(3), b at pos2(3).
+	want := []byte{1, 0, 2, 1, 3, 3}
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("stream = %v, want %v", buf, want)
+	}
+}
+
+func TestContextQueuesShareDefinitions(t *testing.T) {
+	// An object defined in context 0 must be referenceable from context 1
+	// without being re-defined (§5.1.6).
+	events := []Event{
+		{Ctx: 0, Key: "m"},
+		{Ctx: 1, Key: "m"},
+		{Ctx: 1, Key: "m"},
+	}
+	enc := NewEncoder(MTFContext, nil)
+	var buf []byte
+	newCount := 0
+	for _, ev := range events {
+		var isNew bool
+		buf, isNew = enc.Encode(buf, ev)
+		if isNew {
+			newCount++
+		}
+	}
+	if newCount != 1 {
+		t.Fatalf("object defined %d times, want 1", newCount)
+	}
+	roundTrip(t, MTFContext, events)
+}
+
+func TestLateContextSeeding(t *testing.T) {
+	// A queue created after several definitions must hold them all.
+	var events []Event
+	for i := 0; i < 10; i++ {
+		events = append(events, Event{Ctx: 0, Key: fmt.Sprintf("k%d", i)})
+	}
+	for i := 9; i >= 0; i-- {
+		events = append(events, Event{Ctx: 7, Key: fmt.Sprintf("k%d", i)})
+	}
+	roundTrip(t, MTFContext, events)
+	roundTrip(t, MTFFull, events)
+}
+
+func TestMTFBeatsSimpleOnSkewedTraces(t *testing.T) {
+	// The paper's Table 3 ordering: compressed MTF streams are smaller
+	// than compressed Simple streams on locality-rich traces.
+	events := genTrace(4, 30000, 2000, 4)
+	counts := CountKeys(events)
+	sizes := map[Scheme]int{}
+	for _, s := range []Scheme{Simple, Basic, MTFBasic, MTFFull} {
+		enc := NewEncoder(s, counts)
+		var buf []byte
+		for _, ev := range events {
+			buf, _ = enc.Encode(buf, ev)
+		}
+		sizes[s] = archive.FlateSize(buf)
+	}
+	if !(sizes[MTFBasic] < sizes[Simple]) {
+		t.Errorf("MTFBasic %d not smaller than Simple %d", sizes[MTFBasic], sizes[Simple])
+	}
+	if !(sizes[Basic] < sizes[Simple]) {
+		t.Errorf("Basic %d not smaller than Simple %d", sizes[Basic], sizes[Simple])
+	}
+	if !(sizes[MTFFull] < sizes[Simple]) {
+		t.Errorf("MTFFull %d not smaller than Simple %d", sizes[MTFFull], sizes[Simple])
+	}
+}
+
+func TestFreqAndCacheEncodeOnly(t *testing.T) {
+	events := genTrace(5, 2000, 150, 3)
+	counts := CountKeys(events)
+	for _, s := range []Scheme{Freq, Cache} {
+		if s.Decodable() {
+			t.Errorf("%v claims to be decodable", s)
+		}
+		if _, ok := NewDecoder(s); ok {
+			t.Errorf("NewDecoder(%v) succeeded", s)
+		}
+		enc := NewEncoder(s, counts)
+		var buf []byte
+		for _, ev := range events {
+			buf, _ = enc.Encode(buf, ev)
+		}
+		if len(buf) == 0 {
+			t.Errorf("%v produced no output", s)
+		}
+	}
+}
+
+func TestCacheHitsAreSmall(t *testing.T) {
+	// Repeated references must stay inside the 16-entry cache coding.
+	events := []Event{{Key: "x"}, {Key: "x"}, {Key: "x"}}
+	enc := NewEncoder(Cache, CountKeys(events))
+	var buf []byte
+	for _, ev := range events {
+		buf, _ = enc.Encode(buf, ev)
+	}
+	// First: miss (17 + rank), then two hits at position 1.
+	if buf[len(buf)-1] != 1 || buf[len(buf)-2] != 1 {
+		t.Fatalf("cache stream = %v", buf)
+	}
+}
+
+func TestDecodeCorruptStream(t *testing.T) {
+	for _, s := range []Scheme{Basic, MTFBasic, MTFTransients, MTFContext, MTFFull} {
+		dec, _ := NewDecoder(s)
+		// Position far beyond any queue.
+		r := bytes.NewReader([]byte{0xff, 0x7f})
+		if _, isNew, _, err := dec.Decode(r, 0); err == nil && !isNew {
+			t.Errorf("%v: corrupt position accepted", s)
+		}
+	}
+}
+
+func TestSimpleEscapeForHugePools(t *testing.T) {
+	enc := NewEncoder(Simple, nil).(*simpleEnc)
+	var buf []byte
+	// Force an id beyond the two-byte range via direct table injection.
+	for i := 0; i < 0xffff; i++ {
+		enc.ids[fmt.Sprintf("filler-%d", i)] = i
+	}
+	buf, isNew := enc.Encode(buf, Event{Key: "big"})
+	if !isNew {
+		t.Fatal("new key not flagged")
+	}
+	dec, _ := NewDecoder(Simple)
+	sd := dec.(*simpleDec)
+	sd.keys = make([]string, 0xffff)
+	r := bytes.NewReader(buf)
+	_, isNew, _, err := sd.Decode(r, 0)
+	if err != nil || !isNew {
+		t.Fatalf("escape decode: isNew=%v err=%v", isNew, err)
+	}
+}

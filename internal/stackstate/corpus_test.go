@@ -1,0 +1,76 @@
+package stackstate_test
+
+import (
+	"testing"
+
+	"classpack/internal/bytecode"
+	"classpack/internal/classfile"
+	"classpack/internal/stackstate"
+	"classpack/internal/synth"
+)
+
+// TestSimSymmetryOverCorpus drives two independent simulations — one fed
+// resolver info (the compressor side), one fed reconstructed info (the
+// decompressor side) — over every method of a generated corpus, asserting
+// that the collapse transposition inverts and the contexts never diverge.
+// This exercises essentially every Step arm on realistic opcode mixes.
+func TestSimSymmetryOverCorpus(t *testing.T) {
+	for _, name := range []string{"jmark20", "222_mpegaudio", "213_javac"} {
+		t.Run(name, func(t *testing.T) {
+			p, err := synth.ProfileByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfs, err := synth.GenerateStripped(p, 0.03)
+			if err != nil {
+				t.Fatal(err)
+			}
+			collapsed, total := 0, 0
+			for _, cf := range cfs {
+				res := stackstate.NewClassFileResolver(cf)
+				for mi := range cf.Methods {
+					code := classfile.CodeOf(&cf.Methods[mi])
+					if code == nil {
+						continue
+					}
+					insns, err := bytecode.Decode(code.Code)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var handlers []int
+					for _, h := range code.Handlers {
+						handlers = append(handlers, int(h.HandlerPC))
+					}
+					enc := stackstate.New(res, handlers)
+					dec := stackstate.New(res, handlers)
+					for i := range insns {
+						in := &insns[i]
+						enc.Begin(in.Offset)
+						dec.Begin(in.Offset)
+						if e, d := enc.ContextID(), dec.ContextID(); e != d {
+							t.Fatalf("%s method %d offset %d: contexts %d vs %d",
+								cf.ThisClassName(), mi, in.Offset, e, d)
+						}
+						wire := enc.WireOp(in.Op)
+						if wire != in.Op {
+							collapsed++
+						}
+						total++
+						if back := dec.SourceOp(wire); back != in.Op {
+							t.Fatalf("%s method %d offset %d: %s -> %s -> %s",
+								cf.ThisClassName(), mi, in.Offset, in.Op, wire, back)
+						}
+						info := stackstate.InfoFor(res, in)
+						enc.StepInfo(in, info)
+						dec.StepInfo(in, info)
+					}
+				}
+			}
+			if collapsed == 0 {
+				t.Fatal("no opcode collapsed over an entire corpus")
+			}
+			t.Logf("%s: %d/%d opcodes collapsed (%.1f%%)", name, collapsed, total,
+				100*float64(collapsed)/float64(total))
+		})
+	}
+}

@@ -1,0 +1,79 @@
+package stackstate
+
+import (
+	"classpack/internal/classfile"
+)
+
+// ClassFileResolver resolves constant-pool queries against a parsed
+// classfile; it is the Resolver used when compressing real class files.
+type ClassFileResolver struct {
+	cf *classfile.ClassFile
+}
+
+// NewClassFileResolver returns a resolver over cf.
+func NewClassFileResolver(cf *classfile.ClassFile) *ClassFileResolver {
+	return &ClassFileResolver{cf: cf}
+}
+
+func (r *ClassFileResolver) constAt(idx int) *classfile.Constant {
+	if idx <= 0 || idx >= len(r.cf.Pool) {
+		return nil
+	}
+	return &r.cf.Pool[idx]
+}
+
+// FieldType implements Resolver.
+func (r *ClassFileResolver) FieldType(cpIndex int) (classfile.Type, bool) {
+	c := r.constAt(cpIndex)
+	if c == nil || c.Kind != classfile.KindFieldref {
+		return classfile.Type{}, false
+	}
+	nat := r.constAt(int(c.NameAndType))
+	if nat == nil || nat.Kind != classfile.KindNameAndType {
+		return classfile.Type{}, false
+	}
+	t, err := classfile.ParseFieldDescriptor(r.cf.Utf8At(nat.Desc))
+	if err != nil {
+		return classfile.Type{}, false
+	}
+	return t, true
+}
+
+// MethodType implements Resolver.
+func (r *ClassFileResolver) MethodType(cpIndex int) ([]classfile.Type, classfile.Type, bool) {
+	c := r.constAt(cpIndex)
+	if c == nil || (c.Kind != classfile.KindMethodref && c.Kind != classfile.KindInterfaceMethodref) {
+		return nil, classfile.Type{}, false
+	}
+	nat := r.constAt(int(c.NameAndType))
+	if nat == nil || nat.Kind != classfile.KindNameAndType {
+		return nil, classfile.Type{}, false
+	}
+	params, ret, err := classfile.ParseMethodDescriptor(r.cf.Utf8At(nat.Desc))
+	if err != nil {
+		return nil, classfile.Type{}, false
+	}
+	return params, ret, true
+}
+
+// ConstKind implements Resolver.
+func (r *ClassFileResolver) ConstKind(cpIndex int) (Kind, bool) {
+	c := r.constAt(cpIndex)
+	if c == nil {
+		return Unknown, false
+	}
+	switch c.Kind {
+	case classfile.KindInteger:
+		return Int, true
+	case classfile.KindFloat:
+		return Float, true
+	case classfile.KindString:
+		return Ref, true
+	case classfile.KindLong:
+		return Long, true
+	case classfile.KindDouble:
+		return Double, true
+	default:
+		return Unknown, false
+	}
+}

@@ -1,0 +1,247 @@
+package stackstate
+
+import (
+	"testing"
+
+	"classpack/internal/bytecode"
+	"classpack/internal/classfile"
+)
+
+// buildClass assembles a classfile with one method exercising typed
+// opcode families, returning the classfile and the method's instructions.
+func buildClass(t *testing.T) (*classfile.ClassFile, []bytecode.Instruction, []int) {
+	t.Helper()
+	b := classfile.NewBuilder("T", "java/lang/Object", classfile.AccPublic)
+	fI := b.Fieldref("T", "i", "I")
+	fD := b.Fieldref("T", "d", "D")
+	mLong := b.Methodref("T", "lng", "()J")
+	mStr := b.Methodref("T", "s", "(I)Ljava/lang/String;")
+	cFloat := b.Float(1.5)
+	cStr := b.String("x")
+
+	a := bytecode.NewAssembler()
+	skip := a.NewLabel()
+	// Float arithmetic: fadd should collapse.
+	a.Op(bytecode.Fconst1)
+	a.Op(bytecode.Fconst2)
+	a.Op(bytecode.Fadd)
+	a.Local(bytecode.Fstore, 1)
+	// Double via getstatic.
+	a.Local(bytecode.Aload, 0)
+	a.CP(bytecode.Getfield, fD)
+	a.Op(bytecode.Dconst1)
+	a.Op(bytecode.Dmul)
+	a.Local(bytecode.Dstore, 2)
+	// Long from a call, shifted.
+	a.Local(bytecode.Aload, 0)
+	a.CP(bytecode.Invokevirtual, mLong)
+	a.Op(bytecode.Iconst2)
+	a.Op(bytecode.Lshl)
+	a.Op(bytecode.Lneg)
+	a.Local(bytecode.Lstore, 4)
+	// Int work with a forward branch.
+	a.Local(bytecode.Aload, 0)
+	a.CP(bytecode.Getfield, fI)
+	a.Op(bytecode.Iconst3)
+	a.Op(bytecode.Iadd)
+	a.Branch(bytecode.Ifeq, skip)
+	a.Ldc(uint16(cFloat))
+	a.Op(bytecode.Pop)
+	a.Bind(skip)
+	a.Ldc(uint16(cStr))
+	a.Op(bytecode.Pop)
+	// Conversions.
+	a.Op(bytecode.Iconst1)
+	a.Op(bytecode.I2d)
+	a.Op(bytecode.D2l)
+	a.Op(bytecode.L2i)
+	a.Local(bytecode.Aload, 0)
+	a.Op(bytecode.Swap)
+	a.Op(bytecode.Pop)
+	a.CP(bytecode.Invokevirtual, mStr)
+	a.Op(bytecode.Pop)
+	a.Op(bytecode.Return)
+
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	insns, err := bytecode.Decode(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mStr takes (this, int): fix the stack by loading this before the int.
+	cf, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cf, insns, nil
+}
+
+func TestCollapseRoundTrip(t *testing.T) {
+	cf, insns, handlers := buildClass(t)
+	res := NewClassFileResolver(cf)
+	enc := New(res, handlers)
+	dec := New(res, handlers)
+	collapsed := 0
+	for i := range insns {
+		in := &insns[i]
+		enc.Begin(in.Offset)
+		dec.Begin(in.Offset)
+		wire := enc.WireOp(in.Op)
+		if wire != in.Op {
+			collapsed++
+		}
+		back := dec.SourceOp(wire)
+		if back != in.Op {
+			t.Fatalf("offset %d: %s -> wire %s -> %s", in.Offset, in.Op, wire, back)
+		}
+		if e, d := enc.ContextID(), dec.ContextID(); e != d {
+			t.Fatalf("offset %d: context diverged %d vs %d", in.Offset, e, d)
+		}
+		enc.Step(in)
+		din := *in
+		din.Op = back
+		dec.Step(&din)
+	}
+	if collapsed == 0 {
+		t.Fatal("no opcode was collapsed; the simulation is not engaging")
+	}
+}
+
+func TestSpecificCollapses(t *testing.T) {
+	cf, _, _ := buildClass(t)
+	res := NewClassFileResolver(cf)
+	s := New(res, nil)
+	s.Begin(0)
+	// Two floats on the stack: fadd must code as the family rep iadd.
+	s.Step(&bytecode.Instruction{Op: bytecode.Fconst1})
+	s.Step(&bytecode.Instruction{Op: bytecode.Fconst2})
+	if got := s.WireOp(bytecode.Fadd); got != bytecode.Iadd {
+		t.Errorf("WireOp(fadd) = %s, want iadd", got)
+	}
+	// And symmetrically, an actual iadd there codes as fadd.
+	if got := s.WireOp(bytecode.Iadd); got != bytecode.Fadd {
+		t.Errorf("WireOp(iadd) = %s, want fadd", got)
+	}
+	// freturn collapses to ireturn.
+	s.Step(&bytecode.Instruction{Op: bytecode.Fadd})
+	if got := s.WireOp(bytecode.Freturn); got != bytecode.Ireturn {
+		t.Errorf("WireOp(freturn) = %s, want ireturn", got)
+	}
+	// fstore_0 collapses to istore_0.
+	if got := s.WireOp(bytecode.Fstore0); got != bytecode.Istore0 {
+		t.Errorf("WireOp(fstore_0) = %s, want istore_0", got)
+	}
+}
+
+func TestShiftUsesSecondValue(t *testing.T) {
+	cf, _, _ := buildClass(t)
+	s := New(NewClassFileResolver(cf), nil)
+	s.Begin(0)
+	s.Step(&bytecode.Instruction{Op: bytecode.Lconst1})
+	s.Step(&bytecode.Instruction{Op: bytecode.Iconst2})
+	// Top is int (shift amount), second is long: lshl is predicted.
+	if got := s.WireOp(bytecode.Lshl); got != bytecode.Ishl {
+		t.Errorf("WireOp(lshl) = %s, want ishl", got)
+	}
+}
+
+func TestUnknownStatePassesThrough(t *testing.T) {
+	cf, _, _ := buildClass(t)
+	s := New(NewClassFileResolver(cf), nil)
+	s.Begin(0)
+	s.Step(&bytecode.Instruction{Op: bytecode.Goto, A: 10}) // terminates flow
+	s.Begin(3)
+	// State unknown: every family member codes as itself.
+	for _, op := range []bytecode.Op{bytecode.Fadd, bytecode.Iadd, bytecode.Dmul, bytecode.Lreturn} {
+		if got := s.WireOp(op); got != op {
+			t.Errorf("unknown state: WireOp(%s) = %s, want identity", op, got)
+		}
+	}
+}
+
+func TestHandlerEntryState(t *testing.T) {
+	cf, _, _ := buildClass(t)
+	s := New(NewClassFileResolver(cf), []int{8})
+	s.Begin(0)
+	s.Step(&bytecode.Instruction{Op: bytecode.Goto, Offset: 0, A: 8})
+	s.Begin(8)
+	// Handler entry holds exactly the thrown exception: areturn collapses.
+	if got := s.WireOp(bytecode.Areturn); got != bytecode.Ireturn {
+		t.Errorf("handler entry: WireOp(areturn) = %s, want ireturn", got)
+	}
+	if got := s.ContextID(); got != 5*6+0 {
+		t.Errorf("handler entry context = %d, want %d", got, 5*6)
+	}
+}
+
+func TestForwardBranchStateRestored(t *testing.T) {
+	cf, _, _ := buildClass(t)
+	s := New(NewClassFileResolver(cf), nil)
+	// iconst_1; ifeq +6; (fall-through) fconst_0; freturn | target at 6.
+	s.Begin(0)
+	s.Step(&bytecode.Instruction{Op: bytecode.Iconst1, Offset: 0})
+	s.Begin(1)
+	s.Step(&bytecode.Instruction{Op: bytecode.Ifeq, Offset: 1, A: 6})
+	s.Begin(4)
+	s.Step(&bytecode.Instruction{Op: bytecode.Return, Offset: 4})
+	// At offset 6 the saved (empty, known) state is restored.
+	s.Begin(6)
+	if !s.known || len(s.stack) != 0 {
+		t.Fatalf("state at branch target: known=%v stack=%v", s.known, s.stack)
+	}
+}
+
+func TestResolverFailuresLoseState(t *testing.T) {
+	cf, _, _ := buildClass(t)
+	s := New(NewClassFileResolver(cf), nil)
+	s.Begin(0)
+	s.Step(&bytecode.Instruction{Op: bytecode.Getstatic, A: 9999})
+	if s.known {
+		t.Fatal("state still known after unresolvable getstatic")
+	}
+}
+
+func TestContextIDRange(t *testing.T) {
+	cf, _, _ := buildClass(t)
+	s := New(NewClassFileResolver(cf), nil)
+	ops := []bytecode.Op{
+		bytecode.Iconst1, bytecode.Fconst1, bytecode.Lconst1,
+		bytecode.Dconst1, bytecode.AconstNull,
+	}
+	s.Begin(0)
+	for _, op := range ops {
+		s.Step(&bytecode.Instruction{Op: op})
+		if id := s.ContextID(); id < 0 || id >= NumContexts {
+			t.Fatalf("ContextID %d out of range", id)
+		}
+	}
+	// Top = ref (aconst_null), second = double.
+	if got := s.ContextID(); got != 5*6+4 {
+		t.Fatalf("ContextID = %d, want %d", got, 5*6+4)
+	}
+}
+
+func TestDupShuffles(t *testing.T) {
+	cf, _, _ := buildClass(t)
+	s := New(NewClassFileResolver(cf), nil)
+	s.Begin(0)
+	s.Step(&bytecode.Instruction{Op: bytecode.Iconst1})
+	s.Step(&bytecode.Instruction{Op: bytecode.AconstNull})
+	s.Step(&bytecode.Instruction{Op: bytecode.Dup})
+	want := []Kind{Int, Ref, Ref}
+	if !kindsEqual(s.stack, want) {
+		t.Fatalf("after dup: %v, want %v", s.stack, want)
+	}
+	s.Step(&bytecode.Instruction{Op: bytecode.DupX2})
+	want = []Kind{Ref, Int, Ref, Ref}
+	if !kindsEqual(s.stack, want) {
+		t.Fatalf("after dup_x2: %v, want %v", s.stack, want)
+	}
+	s.Step(&bytecode.Instruction{Op: bytecode.Dup2X2})
+	want = []Kind{Ref, Ref, Ref, Int, Ref, Ref}
+	if !kindsEqual(s.stack, want) {
+		t.Fatalf("after dup2_x2: %v, want %v", s.stack, want)
+	}
+}

@@ -1,0 +1,256 @@
+// Package streams implements the multi-stream container of the wire
+// format: dissimilar data (opcodes, registers, references, string
+// characters, ...) is separated into named byte streams that are coded
+// independently (§4, §7), following the stream separation idea of Ernst
+// et al. that the paper builds on.
+//
+// Each stream picks its own coding, as §14 suggests ("the compression
+// stage could try several encoding methods of each kind of data, and
+// select the one that happens to work best ... the encoded data would
+// include a description of the encoding mechanism"): DEFLATE, an adaptive
+// arithmetic coder, or raw storage — whichever is smallest — with a flag
+// byte recording the choice.
+package streams
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"classpack/internal/archive"
+	"classpack/internal/encoding/arith"
+	"classpack/internal/encoding/varint"
+)
+
+// Stream coding identifiers (the per-stream flag byte).
+const (
+	codingFlate byte = 0
+	codingStore byte = 1
+	codingArith byte = 2
+)
+
+// Writer accumulates named streams and serializes them into a container.
+type Writer struct {
+	streams map[string]*Stream
+	order   []string
+}
+
+// NewWriter returns an empty container writer.
+func NewWriter() *Writer {
+	return &Writer{streams: make(map[string]*Stream)}
+}
+
+// Stream returns the named stream, creating it on first use.
+func (w *Writer) Stream(name string) *Stream {
+	s, ok := w.streams[name]
+	if !ok {
+		s = &Stream{}
+		w.streams[name] = s
+		w.order = append(w.order, name)
+	}
+	return s
+}
+
+// arithTrialLimit bounds the streams offered to the arithmetic coder:
+// above this size DEFLATE's pattern matching essentially always wins, so
+// trying (and decoding) the much slower coder buys nothing.
+const arithTrialLimit = 1 << 16
+
+// encodeStream picks the smallest coding for a stream's raw bytes.
+func encodeStream(raw []byte, compress bool) (byte, []byte) {
+	payload, coding := raw, codingStore
+	if !compress || len(raw) == 0 {
+		return coding, payload
+	}
+	if comp, err := archive.Flate(raw); err == nil && len(comp) < len(payload) {
+		payload, coding = comp, codingFlate
+	}
+	if len(raw) <= arithTrialLimit {
+		syms := make([]int, len(raw))
+		for i, b := range raw {
+			syms[i] = int(b)
+		}
+		if coded, err := arith.EncodeAll(256, syms); err == nil && len(coded) < len(payload) {
+			payload, coding = coded, codingArith
+		}
+	}
+	return coding, payload
+}
+
+// Finish serializes all streams, choosing each stream's coding per §14.
+func (w *Writer) Finish(compress bool) ([]byte, error) {
+	names := append([]string(nil), w.order...)
+	sort.Strings(names)
+	var out []byte
+	out = varint.AppendUint(out, uint64(len(names)))
+	for _, name := range names {
+		raw := w.streams[name].buf.Bytes()
+		out = varint.AppendUint(out, uint64(len(name)))
+		out = append(out, name...)
+		out = varint.AppendUint(out, uint64(len(raw)))
+		coding, payload := encodeStream(raw, compress)
+		out = append(out, coding)
+		out = varint.AppendUint(out, uint64(len(payload)))
+		out = append(out, payload...)
+	}
+	return out, nil
+}
+
+// Sizes reports per-stream raw and encoded sizes as they would serialize
+// with the given compression setting.
+func (w *Writer) Sizes(compress bool) map[string][2]int {
+	out := make(map[string][2]int, len(w.streams))
+	for name, s := range w.streams {
+		raw := s.buf.Len()
+		_, payload := encodeStream(s.buf.Bytes(), compress)
+		out[name] = [2]int{raw, len(payload)}
+	}
+	return out
+}
+
+// Stream is one named byte stream. It implements varint.ByteWriter.
+type Stream struct {
+	buf bytes.Buffer
+}
+
+// WriteByte appends one byte.
+func (s *Stream) WriteByte(b byte) error { return s.buf.WriteByte(b) }
+
+// Write appends raw bytes.
+func (s *Stream) Write(p []byte) (int, error) { return s.buf.Write(p) }
+
+// Uint appends an unsigned varint.
+func (s *Stream) Uint(v uint64) { _ = varint.WriteUint(s, v) }
+
+// Int appends a zigzag varint.
+func (s *Stream) Int(v int64) { _ = varint.WriteInt(s, v) }
+
+// Len reports the stream's raw length.
+func (s *Stream) Len() int { return s.buf.Len() }
+
+// Reader reads a container produced by Writer.
+type Reader struct {
+	streams map[string]*RStream
+}
+
+// NewReader parses the container.
+func NewReader(data []byte) (*Reader, error) {
+	r := &Reader{streams: make(map[string]*RStream)}
+	pos := 0
+	next := func() (uint64, error) {
+		v, n, err := varint.Uint(data[pos:])
+		pos += n
+		return v, err
+	}
+	count, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("streams: header: %w", err)
+	}
+	for i := uint64(0); i < count; i++ {
+		nameLen, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("streams: name length: %w", err)
+		}
+		if pos+int(nameLen) > len(data) {
+			return nil, fmt.Errorf("streams: truncated name")
+		}
+		name := string(data[pos : pos+int(nameLen)])
+		pos += int(nameLen)
+		rawLen, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("streams: %s: raw length: %w", name, err)
+		}
+		if pos >= len(data) {
+			return nil, fmt.Errorf("streams: %s: missing flag", name)
+		}
+		coding := data[pos]
+		pos++
+		encLen, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("streams: %s: encoded length: %w", name, err)
+		}
+		if pos+int(encLen) > len(data) {
+			return nil, fmt.Errorf("streams: %s: truncated payload", name)
+		}
+		payload := data[pos : pos+int(encLen)]
+		pos += int(encLen)
+		if rawLen > uint64(len(data))*1024+1<<20 {
+			return nil, fmt.Errorf("streams: %s: implausible raw length %d", name, rawLen)
+		}
+		var raw []byte
+		switch coding {
+		case codingStore:
+			raw = payload
+		case codingFlate:
+			raw, err = archive.Inflate(payload)
+			if err != nil {
+				return nil, fmt.Errorf("streams: %s: inflate: %w", name, err)
+			}
+		case codingArith:
+			syms, aerr := arith.DecodeAll(256, payload, int(rawLen))
+			if aerr != nil {
+				return nil, fmt.Errorf("streams: %s: arith: %w", name, aerr)
+			}
+			raw = make([]byte, len(syms))
+			for i, v := range syms {
+				raw[i] = byte(v)
+			}
+		default:
+			return nil, fmt.Errorf("streams: %s: unknown coding %d", name, coding)
+		}
+		if uint64(len(raw)) != rawLen {
+			return nil, fmt.Errorf("streams: %s: raw length %d, want %d", name, len(raw), rawLen)
+		}
+		r.streams[name] = &RStream{buf: raw}
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("streams: %d trailing bytes", len(data)-pos)
+	}
+	return r, nil
+}
+
+// Stream returns the named stream; absent names yield an empty stream so
+// that decoders reading zero elements do not special-case.
+func (r *Reader) Stream(name string) *RStream {
+	s, ok := r.streams[name]
+	if !ok {
+		s = &RStream{}
+		r.streams[name] = s
+	}
+	return s
+}
+
+// RStream reads one stream. It implements varint.ByteReader.
+type RStream struct {
+	buf []byte
+	pos int
+}
+
+// ReadByte reads one byte.
+func (s *RStream) ReadByte() (byte, error) {
+	if s.pos >= len(s.buf) {
+		return 0, fmt.Errorf("streams: read past end of stream")
+	}
+	b := s.buf[s.pos]
+	s.pos++
+	return b, nil
+}
+
+// Raw reads n raw bytes.
+func (s *RStream) Raw(n int) ([]byte, error) {
+	if s.pos+n > len(s.buf) {
+		return nil, fmt.Errorf("streams: raw read of %d bytes past end", n)
+	}
+	b := s.buf[s.pos : s.pos+n]
+	s.pos += n
+	return b, nil
+}
+
+// Uint reads an unsigned varint.
+func (s *RStream) Uint() (uint64, error) { return varint.ReadUint(s) }
+
+// Int reads a zigzag varint.
+func (s *RStream) Int() (int64, error) { return varint.ReadInt(s) }
+
+// Remaining reports unread bytes.
+func (s *RStream) Remaining() int { return len(s.buf) - s.pos }

@@ -1,0 +1,532 @@
+// Package strip implements the §2 canonicalizations the paper applies
+// before any compression, to make jar-format comparisons fair:
+//
+//   - remove LineNumberTable, LocalVariableTable and SourceFile attributes
+//     (and, optionally, unrecognized attributes, which the pack format
+//     cannot renumber);
+//   - garbage-collect the constant pool, merging duplicate entries;
+//   - sort constant-pool entries by type, and Utf8 entries by content.
+//
+// Renumbering honors §9: integer, float and string constants referenced by
+// the one-byte ldc instruction are placed at the smallest indices so ldc
+// never needs to grow into ldc_w, keeping all code offsets valid.
+package strip
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"classpack/internal/bytecode"
+	"classpack/internal/classfile"
+)
+
+// Options selects which transformations Apply performs. Unrecognized
+// attributes are always dropped: their constant-pool references cannot be
+// updated during renumbering (§2 of the paper).
+type Options struct {
+	// KeepDebug retains LineNumberTable/LocalVariableTable/SourceFile.
+	KeepDebug bool
+}
+
+// Apply transforms cf in place and reports an error if the classfile's
+// bytecode cannot be decoded.
+func Apply(cf *classfile.ClassFile, opts Options) error {
+	dropAttrs(cf, opts)
+	return renumber(cf, nil)
+}
+
+// RenumberWithCode performs the garbage-collect/sort/renumber step using
+// pre-decoded instruction lists for Code attributes whose byte arrays do
+// not exist yet; the unpacker uses it to build canonical classfiles
+// without first encoding code with out-of-range ldc indices.
+func RenumberWithCode(cf *classfile.ClassFile, decoded map[*classfile.CodeAttr][]bytecode.Instruction) error {
+	dropAttrs(cf, Options{})
+	return renumber(cf, decoded)
+}
+
+// ApplyAll strips every classfile in the slice.
+func ApplyAll(cfs []*classfile.ClassFile, opts Options) error {
+	for _, cf := range cfs {
+		if err := Apply(cf, opts); err != nil {
+			return fmt.Errorf("strip %s: %w", cf.ThisClassName(), err)
+		}
+	}
+	return nil
+}
+
+func keepAttr(a classfile.Attribute, opts Options) bool {
+	switch a.(type) {
+	case *classfile.LineNumberTableAttr, *classfile.LocalVariableTableAttr, *classfile.SourceFileAttr:
+		return opts.KeepDebug
+	case *classfile.UnknownAttr:
+		return false
+	default:
+		return true
+	}
+}
+
+func filterAttrs(attrs []classfile.Attribute, opts Options) []classfile.Attribute {
+	out := attrs[:0]
+	for _, a := range attrs {
+		if !keepAttr(a, opts) {
+			continue
+		}
+		if c, ok := a.(*classfile.CodeAttr); ok {
+			c.Attrs = filterAttrs(c.Attrs, opts)
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+func dropAttrs(cf *classfile.ClassFile, opts Options) {
+	cf.Attrs = filterAttrs(cf.Attrs, opts)
+	for i := range cf.Fields {
+		cf.Fields[i].Attrs = filterAttrs(cf.Fields[i].Attrs, opts)
+	}
+	for i := range cf.Methods {
+		cf.Methods[i].Attrs = filterAttrs(cf.Methods[i].Attrs, opts)
+	}
+}
+
+// attrRank fixes a canonical attribute order so that files rebuilt by the
+// unpacker serialize identically to stripped originals.
+func attrRank(a classfile.Attribute) int {
+	switch a.(type) {
+	case *classfile.CodeAttr, *classfile.ConstantValueAttr, *classfile.InnerClassesAttr:
+		return 0
+	case *classfile.ExceptionsAttr:
+		return 1
+	case *classfile.SourceFileAttr:
+		return 2
+	case *classfile.LineNumberTableAttr:
+		return 3
+	case *classfile.LocalVariableTableAttr:
+		return 4
+	case *classfile.SyntheticAttr:
+		return 5
+	case *classfile.DeprecatedAttr:
+		return 6
+	default:
+		return 7
+	}
+}
+
+// normalizeAttrs sorts attributes into canonical order and drops empty
+// Exceptions and InnerClasses attributes (they carry no information and
+// the wire format cannot distinguish them from absence).
+func normalizeAttrs(attrs []classfile.Attribute) []classfile.Attribute {
+	out := attrs[:0]
+	for _, a := range attrs {
+		switch a := a.(type) {
+		case *classfile.ExceptionsAttr:
+			if len(a.Classes) == 0 {
+				continue
+			}
+		case *classfile.InnerClassesAttr:
+			if len(a.Entries) == 0 {
+				continue
+			}
+		case *classfile.CodeAttr:
+			a.Attrs = normalizeAttrs(a.Attrs)
+		}
+		out = append(out, a)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return attrRank(out[i]) < attrRank(out[j]) })
+	return out
+}
+
+// sortGroup assigns the coarse ordering of §2/§9: ldc-referenced scalars
+// first (so they land at one-byte indices), then other scalars, wide
+// constants, symbolic entries, and finally Utf8 sorted by content.
+func sortGroup(kind classfile.ConstKind, ldcRef bool) int {
+	if ldcRef {
+		return 0
+	}
+	switch kind {
+	case classfile.KindInteger:
+		return 1
+	case classfile.KindFloat:
+		return 2
+	case classfile.KindString:
+		return 3
+	case classfile.KindLong:
+		return 4
+	case classfile.KindDouble:
+		return 5
+	case classfile.KindClass:
+		return 6
+	case classfile.KindNameAndType:
+		return 7
+	case classfile.KindFieldref:
+		return 8
+	case classfile.KindMethodref:
+		return 9
+	case classfile.KindInterfaceMethodref:
+		return 10
+	case classfile.KindUtf8:
+		return 11
+	default:
+		return 12
+	}
+}
+
+// contentKey returns a string that identifies a constant by value, used
+// both to merge duplicates and as the deterministic sort key.
+func contentKey(pool []classfile.Constant, idx uint16, depth int) string {
+	if idx == 0 || int(idx) >= len(pool) || depth > 4 {
+		return fmt.Sprintf("!%d", idx)
+	}
+	c := &pool[idx]
+	switch c.Kind {
+	case classfile.KindUtf8:
+		return "u" + c.Utf8
+	case classfile.KindInteger:
+		return fmt.Sprintf("i%d", c.Int)
+	case classfile.KindFloat:
+		return fmt.Sprintf("f%08x", float32Bits(c.Float))
+	case classfile.KindLong:
+		return fmt.Sprintf("j%d", c.Long)
+	case classfile.KindDouble:
+		return fmt.Sprintf("d%016x", float64Bits(c.Double))
+	case classfile.KindClass:
+		return "c" + contentKey(pool, c.Name, depth+1)
+	case classfile.KindString:
+		return "s" + contentKey(pool, c.Str, depth+1)
+	case classfile.KindNameAndType:
+		return "n" + contentKey(pool, c.Name, depth+1) + "\x00" + contentKey(pool, c.Desc, depth+1)
+	case classfile.KindFieldref, classfile.KindMethodref, classfile.KindInterfaceMethodref:
+		return string('A'+byte(c.Kind)) + contentKey(pool, c.Class, depth+1) + "\x00" +
+			contentKey(pool, c.NameAndType, depth+1)
+	default:
+		return fmt.Sprintf("?%d", idx)
+	}
+}
+
+func renumber(cf *classfile.ClassFile, decoded map[*classfile.CodeAttr][]bytecode.Instruction) error {
+	cf.Attrs = normalizeAttrs(cf.Attrs)
+	for i := range cf.Fields {
+		cf.Fields[i].Attrs = normalizeAttrs(cf.Fields[i].Attrs)
+	}
+	for i := range cf.Methods {
+		cf.Methods[i].Attrs = normalizeAttrs(cf.Methods[i].Attrs)
+	}
+	pool := cf.Pool
+	used := make([]bool, len(pool))
+	ldcRef := make([]bool, len(pool))
+
+	var mark func(idx uint16)
+	mark = func(idx uint16) {
+		if idx == 0 || int(idx) >= len(pool) || used[idx] {
+			return
+		}
+		used[idx] = true
+		c := &pool[idx]
+		switch c.Kind {
+		case classfile.KindClass:
+			mark(c.Name)
+		case classfile.KindString:
+			mark(c.Str)
+		case classfile.KindNameAndType:
+			mark(c.Name)
+			mark(c.Desc)
+		case classfile.KindFieldref, classfile.KindMethodref, classfile.KindInterfaceMethodref:
+			mark(c.Class)
+			mark(c.NameAndType)
+		}
+	}
+
+	// Roots: header, members, attributes, and bytecode operands.
+	mark(cf.ThisClass)
+	mark(cf.SuperClass)
+	for _, i := range cf.Interfaces {
+		mark(i)
+	}
+	markMembers := func(members []classfile.Member) {
+		for i := range members {
+			mark(members[i].Name)
+			mark(members[i].Desc)
+			markAttrs(members[i].Attrs, mark)
+		}
+	}
+	markMembers(cf.Fields)
+	markMembers(cf.Methods)
+	markAttrs(cf.Attrs, mark)
+
+	type decodedCode struct {
+		attr  *classfile.CodeAttr
+		insns []bytecode.Instruction
+	}
+	var codes []decodedCode
+	for mi := range cf.Methods {
+		code := classfile.CodeOf(&cf.Methods[mi])
+		if code == nil {
+			continue
+		}
+		insns, ok := decoded[code]
+		if !ok {
+			var err error
+			insns, err = bytecode.Decode(code.Code)
+			if err != nil {
+				return fmt.Errorf("method %s%s: %w",
+					cf.MemberName(&cf.Methods[mi]), cf.MemberDesc(&cf.Methods[mi]), err)
+			}
+		}
+		for i := range insns {
+			in := &insns[i]
+			if bytecode.IsCPRef(in.Op) {
+				mark(uint16(in.A))
+				if in.Op == bytecode.Ldc {
+					ldcRef[in.A] = true
+				}
+			}
+		}
+		codes = append(codes, decodedCode{attr: code, insns: insns})
+	}
+
+	// Merge duplicates and order survivors.
+	keys := make([]string, len(pool))
+	for i := 1; i < len(pool); i++ {
+		if used[i] {
+			keys[i] = contentKey(pool, uint16(i), 0)
+		}
+	}
+	// A constant is ldc-referenced if any duplicate of it is.
+	ldcByKey := make(map[string]bool)
+	for i := 1; i < len(pool); i++ {
+		if used[i] && ldcRef[i] {
+			ldcByKey[keys[i]] = true
+		}
+	}
+	type entry struct {
+		key   string
+		group int
+		first int // original index of the first occurrence
+	}
+	var entries []entry
+	seen := make(map[string]bool)
+	for i := 1; i < len(pool); i++ {
+		if !used[i] || seen[keys[i]] {
+			continue
+		}
+		seen[keys[i]] = true
+		entries = append(entries, entry{
+			key:   keys[i],
+			group: sortGroup(pool[i].Kind, ldcByKey[keys[i]]),
+			first: i,
+		})
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].group != entries[b].group {
+			return entries[a].group < entries[b].group
+		}
+		if entries[a].key != entries[b].key {
+			return entries[a].key < entries[b].key
+		}
+		return entries[a].first < entries[b].first
+	})
+
+	// Lay out the new pool and build the translation map.
+	newPool := make([]classfile.Constant, 1, len(pool))
+	newIndexByKey := make(map[string]uint16, len(entries))
+	for _, e := range entries {
+		idx := uint16(len(newPool))
+		newPool = append(newPool, pool[e.first])
+		if pool[e.first].Kind.Wide() {
+			newPool = append(newPool, classfile.Constant{})
+		}
+		newIndexByKey[e.key] = idx
+	}
+	if len(newPool) > 0xFFFF {
+		return fmt.Errorf("strip: renumbered pool overflows (%d entries)", len(newPool))
+	}
+	remap := func(idx uint16) uint16 {
+		if idx == 0 {
+			return 0
+		}
+		return newIndexByKey[keys[idx]]
+	}
+	// Verify the §9 guarantee before rewriting any code.
+	for i := 1; i < len(pool); i++ {
+		if used[i] && ldcRef[i] && remap(uint16(i)) > 0xff {
+			return fmt.Errorf("strip: ldc constant remapped to index %d > 255", remap(uint16(i)))
+		}
+	}
+
+	// Rewrite internal pool references.
+	for i := 1; i < len(newPool); i++ {
+		c := &newPool[i]
+		switch c.Kind {
+		case classfile.KindClass:
+			c.Name = remap(c.Name)
+		case classfile.KindString:
+			c.Str = remap(c.Str)
+		case classfile.KindNameAndType:
+			c.Name = remap(c.Name)
+			c.Desc = remap(c.Desc)
+		case classfile.KindFieldref, classfile.KindMethodref, classfile.KindInterfaceMethodref:
+			c.Class = remap(c.Class)
+			c.NameAndType = remap(c.NameAndType)
+		}
+		if c.Kind.Wide() {
+			i++
+		}
+	}
+	// Rewrite structural references.
+	cf.ThisClass = remap(cf.ThisClass)
+	cf.SuperClass = remap(cf.SuperClass)
+	for i := range cf.Interfaces {
+		cf.Interfaces[i] = remap(cf.Interfaces[i])
+	}
+	remapMembers := func(members []classfile.Member) {
+		for i := range members {
+			members[i].Name = remap(members[i].Name)
+			members[i].Desc = remap(members[i].Desc)
+			remapAttrs(members[i].Attrs, remap)
+		}
+	}
+	remapMembers(cf.Fields)
+	remapMembers(cf.Methods)
+	remapAttrs(cf.Attrs, remap)
+	// Rewrite bytecode operands and re-encode.
+	for _, dc := range codes {
+		for i := range dc.insns {
+			in := &dc.insns[i]
+			if bytecode.IsCPRef(in.Op) {
+				in.A = int(remap(uint16(in.A)))
+			}
+		}
+		code, err := bytecode.Encode(dc.insns)
+		if err != nil {
+			return fmt.Errorf("strip: re-encode: %w", err)
+		}
+		if dc.attr.Code != nil && len(code) != len(dc.attr.Code) {
+			return fmt.Errorf("strip: code size changed from %d to %d", len(dc.attr.Code), len(code))
+		}
+		dc.attr.Code = code
+	}
+	cf.Pool = newPool
+	return nil
+}
+
+func markAttrs(attrs []classfile.Attribute, mark func(uint16)) {
+	for _, a := range attrs {
+		mark(a2nameIndex(a))
+		switch a := a.(type) {
+		case *classfile.CodeAttr:
+			for _, h := range a.Handlers {
+				mark(h.CatchType)
+			}
+			markAttrs(a.Attrs, mark)
+		case *classfile.ConstantValueAttr:
+			mark(a.Index)
+		case *classfile.ExceptionsAttr:
+			for _, c := range a.Classes {
+				mark(c)
+			}
+		case *classfile.SourceFileAttr:
+			mark(a.Index)
+		case *classfile.LocalVariableTableAttr:
+			for _, e := range a.Entries {
+				mark(e.Name)
+				mark(e.Desc)
+			}
+		case *classfile.InnerClassesAttr:
+			for _, e := range a.Entries {
+				mark(e.Inner)
+				mark(e.Outer)
+				mark(e.InnerName)
+			}
+		}
+	}
+}
+
+func remapAttrs(attrs []classfile.Attribute, remap func(uint16) uint16) {
+	for _, a := range attrs {
+		setNameIndex(a, remap(a2nameIndex(a)))
+		switch a := a.(type) {
+		case *classfile.CodeAttr:
+			for i := range a.Handlers {
+				a.Handlers[i].CatchType = remap(a.Handlers[i].CatchType)
+			}
+			remapAttrs(a.Attrs, remap)
+		case *classfile.ConstantValueAttr:
+			a.Index = remap(a.Index)
+		case *classfile.ExceptionsAttr:
+			for i := range a.Classes {
+				a.Classes[i] = remap(a.Classes[i])
+			}
+		case *classfile.SourceFileAttr:
+			a.Index = remap(a.Index)
+		case *classfile.LocalVariableTableAttr:
+			for i := range a.Entries {
+				a.Entries[i].Name = remap(a.Entries[i].Name)
+				a.Entries[i].Desc = remap(a.Entries[i].Desc)
+			}
+		case *classfile.InnerClassesAttr:
+			for i := range a.Entries {
+				a.Entries[i].Inner = remap(a.Entries[i].Inner)
+				a.Entries[i].Outer = remap(a.Entries[i].Outer)
+				a.Entries[i].InnerName = remap(a.Entries[i].InnerName)
+			}
+		}
+	}
+}
+
+// a2nameIndex reads an attribute's name index via its interface; the field
+// itself is promoted but the accessor on the interface is unexported.
+func a2nameIndex(a classfile.Attribute) uint16 {
+	switch a := a.(type) {
+	case *classfile.CodeAttr:
+		return a.NameIndex
+	case *classfile.ConstantValueAttr:
+		return a.NameIndex
+	case *classfile.ExceptionsAttr:
+		return a.NameIndex
+	case *classfile.SourceFileAttr:
+		return a.NameIndex
+	case *classfile.LineNumberTableAttr:
+		return a.NameIndex
+	case *classfile.LocalVariableTableAttr:
+		return a.NameIndex
+	case *classfile.SyntheticAttr:
+		return a.NameIndex
+	case *classfile.DeprecatedAttr:
+		return a.NameIndex
+	case *classfile.InnerClassesAttr:
+		return a.NameIndex
+	case *classfile.UnknownAttr:
+		return a.NameIndex
+	default:
+		return 0
+	}
+}
+
+func setNameIndex(a classfile.Attribute, idx uint16) {
+	switch a := a.(type) {
+	case *classfile.CodeAttr:
+		a.NameIndex = idx
+	case *classfile.ConstantValueAttr:
+		a.NameIndex = idx
+	case *classfile.ExceptionsAttr:
+		a.NameIndex = idx
+	case *classfile.SourceFileAttr:
+		a.NameIndex = idx
+	case *classfile.LineNumberTableAttr:
+		a.NameIndex = idx
+	case *classfile.LocalVariableTableAttr:
+		a.NameIndex = idx
+	case *classfile.SyntheticAttr:
+		a.NameIndex = idx
+	case *classfile.DeprecatedAttr:
+		a.NameIndex = idx
+	case *classfile.InnerClassesAttr:
+		a.NameIndex = idx
+	case *classfile.UnknownAttr:
+		a.NameIndex = idx
+	}
+}
+
+func float32Bits(v float32) uint32 { return math.Float32bits(v) }
+func float64Bits(v float64) uint64 { return math.Float64bits(v) }

@@ -1,0 +1,484 @@
+package synth
+
+import (
+	"fmt"
+
+	"classpack/internal/bytecode"
+	"classpack/internal/classfile"
+)
+
+// codeGen emits one stack-correct method body through the assembler,
+// tracking operand-slot depth and local allocation so the generated code
+// decodes, verifies, and exercises the packer's stack simulation the way
+// compiler output would.
+type codeGen struct {
+	w      *world
+	b      *classfile.Builder
+	gc     *genClass
+	a      *bytecode.Assembler
+	static bool
+	super  string
+
+	locals   []classfile.Type // slot-indexed; wide values own two slots
+	loadable []bool           // definitely assigned on every path (readable)
+	cond     int              // conditional nesting depth during emission
+	depth    int              // current operand slots
+	maxDepth int
+	budget   int // remaining statements
+
+	handlers []handlerReq
+}
+
+// nested emits body at one deeper conditional level: locals first assigned
+// inside it are not definitely assigned afterwards and stay unloadable,
+// keeping generated code acceptable to the JVM's dataflow verifier.
+func (g *codeGen) nested(body func()) {
+	g.cond++
+	body()
+	g.cond--
+}
+
+type handlerReq struct {
+	start, end, handler bytecode.Label
+	catchType           string // "" for finally
+}
+
+func (g *codeGen) push(n int) {
+	g.depth += n
+	if g.depth > g.maxDepth {
+		g.maxDepth = g.depth
+	}
+}
+
+func (g *codeGen) pop(n int) { g.depth -= n }
+
+// newLocal allocates a local slot (two for wide types). The slot is
+// loadable by later statements only when allocated in straight-line code.
+func (g *codeGen) newLocal(t classfile.Type) int {
+	slot := len(g.locals)
+	g.locals = append(g.locals, t)
+	g.loadable = append(g.loadable, g.cond == 0)
+	if t.IsWide() {
+		g.locals = append(g.locals, classfile.Type{})
+		g.loadable = append(g.loadable, false)
+	}
+	return slot
+}
+
+// localsOf lists the definitely-assigned slots holding a given base kind.
+func (g *codeGen) localsOf(base byte) []int {
+	var out []int
+	for i, t := range g.locals {
+		if t.Dims == 0 && t.Base == base && g.loadable[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// genMethod generates a method with the given descriptor and appends it to
+// the class. super is the superclass name (needed by constructors).
+func (w *world) genMethod(b *classfile.Builder, gc *genClass, name, desc string, static bool, super string) {
+	flags := uint16(classfile.AccPublic)
+	if static {
+		flags |= classfile.AccStatic
+	}
+	m := b.AddMethod(flags, name, desc)
+	params, ret, err := classfile.ParseMethodDescriptor(desc)
+	if err != nil {
+		panic(fmt.Sprintf("synth: bad generated descriptor %q: %v", desc, err))
+	}
+	g := &codeGen{
+		w: w, b: b, gc: gc, a: bytecode.NewAssembler(),
+		static: static, super: super,
+		budget: 1 + w.rng.Intn(2*w.p.BodyStmts),
+	}
+	if !static {
+		g.locals = append(g.locals, classfile.ObjectType(gc.name))
+		g.loadable = append(g.loadable, true)
+	}
+	for _, p := range params {
+		g.newLocal(p)
+	}
+	gc.methods = append(gc.methods, genMember{name: name, desc: desc, static: static})
+
+	if name == "<init>" {
+		g.emitLoadLocal(classfile.ObjectType(gc.name), 0)
+		g.a.CP(bytecode.Invokespecial, b.Methodref(super, "<init>", "()V"))
+		g.pop(1)
+	}
+	for g.budget > 0 {
+		g.budget--
+		g.stmt(2)
+	}
+	g.ret(ret)
+
+	code, err := g.a.Assemble()
+	if err != nil {
+		panic(fmt.Sprintf("synth: assemble %s.%s: %v", gc.name, name, err))
+	}
+	attr := &classfile.CodeAttr{
+		MaxStack:  uint16(g.maxDepth + 2),
+		MaxLocals: uint16(len(g.locals)),
+		Code:      code,
+	}
+	for _, h := range g.handlers {
+		eh := classfile.ExceptionHandler{
+			StartPC:   uint16(g.a.OffsetOf(h.start)),
+			EndPC:     uint16(g.a.OffsetOf(h.end)),
+			HandlerPC: uint16(g.a.OffsetOf(h.handler)),
+		}
+		if h.catchType != "" {
+			eh.CatchType = b.Class(h.catchType)
+		}
+		attr.Handlers = append(attr.Handlers, eh)
+	}
+	g.attachDebug(attr)
+	b.AttachCode(m, attr)
+}
+
+// attachDebug adds the debugging attributes javac emits by default
+// (stripped again by the §2 canonicalization, but present in the
+// "as distributed" jar baseline of Table 1).
+func (g *codeGen) attachDebug(attr *classfile.CodeAttr) {
+	r := g.w.rng
+	lnt := &classfile.LineNumberTableAttr{}
+	lnt.NameIndex = g.b.Utf8("LineNumberTable")
+	line := 10 + r.Intn(400)
+	for off := 0; off < len(attr.Code); off += 3 + r.Intn(9) {
+		lnt.Entries = append(lnt.Entries, classfile.LineNumber{
+			StartPC: uint16(off), Line: uint16(line),
+		})
+		line += 1 + r.Intn(3)
+	}
+	attr.Attrs = append(attr.Attrs, lnt)
+
+	lvt := &classfile.LocalVariableTableAttr{}
+	lvt.NameIndex = g.b.Utf8("LocalVariableTable")
+	for slot, t := range g.locals {
+		if t == (classfile.Type{}) {
+			continue // upper half of a wide local
+		}
+		name := "this"
+		if slot > 0 || g.static {
+			name = pick(r, nounWords)
+		}
+		lvt.Entries = append(lvt.Entries, classfile.LocalVariable{
+			StartPC: 0, Length: uint16(len(attr.Code)),
+			Name: g.b.Utf8(name), Desc: g.b.Utf8(t.String()), Slot: uint16(slot),
+		})
+	}
+	attr.Attrs = append(attr.Attrs, lvt)
+}
+
+// genTableInit emits an mpegaudio-style static initializer filling integer
+// arrays with constant tables.
+func (w *world) genTableInit(b *classfile.Builder, gc *genClass) {
+	m := b.AddMethod(classfile.AccPublic|classfile.AccStatic, "initTables", "()V")
+	g := &codeGen{w: w, b: b, gc: gc, a: bytecode.NewAssembler(), static: true, super: "java/lang/Object"}
+	nTables := 1 + w.rng.Intn(3)
+	for t := 0; t < nTables; t++ {
+		n := 16 + w.rng.Intn(48)
+		slot := g.newLocal(classfile.Type{Dims: 1, Base: 'I'})
+		g.constInt(n)
+		g.a.NewArray(10) // T_INT
+		g.a.Local(bytecode.Astore, slot)
+		g.pop(1)
+		for i := 0; i < n; i++ {
+			g.a.Local(bytecode.Aload, slot)
+			g.push(1)
+			g.constInt(i)
+			g.constInt(w.rng.Intn(1 << 16))
+			g.a.Op(bytecode.Iastore)
+			g.pop(3)
+		}
+	}
+	g.a.Op(bytecode.Return)
+	code, err := g.a.Assemble()
+	if err != nil {
+		panic(fmt.Sprintf("synth: table init: %v", err))
+	}
+	b.AttachCode(m, &classfile.CodeAttr{
+		MaxStack: uint16(g.maxDepth + 2), MaxLocals: uint16(len(g.locals)), Code: code,
+	})
+	gc.methods = append(gc.methods, genMember{name: "initTables", desc: "()V", static: true})
+}
+
+func (g *codeGen) ret(t classfile.Type) {
+	switch {
+	case t.Slots() == 0:
+		g.a.Op(bytecode.Return)
+	case t.Dims > 0 || t.Base == 'L':
+		g.a.Op(bytecode.AconstNull)
+		g.push(1)
+		g.a.Op(bytecode.Areturn)
+		g.pop(1)
+	case t.Base == 'J':
+		g.longExpr(1)
+		g.a.Op(bytecode.Lreturn)
+		g.pop(2)
+	case t.Base == 'D':
+		g.doubleExpr(1)
+		g.a.Op(bytecode.Dreturn)
+		g.pop(2)
+	case t.Base == 'F':
+		g.floatExpr(1)
+		g.a.Op(bytecode.Freturn)
+		g.pop(1)
+	default:
+		g.intExpr(1)
+		g.a.Op(bytecode.Ireturn)
+		g.pop(1)
+	}
+}
+
+func (g *codeGen) emitLoadLocal(t classfile.Type, slot int) {
+	switch {
+	case t.IsRef():
+		g.a.Local(bytecode.Aload, slot)
+		g.push(1)
+	case t.Base == 'J':
+		g.a.Local(bytecode.Lload, slot)
+		g.push(2)
+	case t.Base == 'D':
+		g.a.Local(bytecode.Dload, slot)
+		g.push(2)
+	case t.Base == 'F':
+		g.a.Local(bytecode.Fload, slot)
+		g.push(1)
+	default:
+		g.a.Local(bytecode.Iload, slot)
+		g.push(1)
+	}
+}
+
+// constInt pushes an int constant using the shortest instruction.
+func (g *codeGen) constInt(v int) {
+	switch {
+	case v >= -1 && v <= 5:
+		g.a.Op(bytecode.Iconst0 + bytecode.Op(v))
+	case v >= -128 && v <= 127:
+		g.a.SByte(v)
+	case v >= -32768 && v <= 32767:
+		g.a.SShort(v)
+	default:
+		g.a.Ldc(g.b.Int(int32(v)))
+	}
+	g.push(1)
+}
+
+// intExpr pushes one int value; d bounds recursion depth.
+func (g *codeGen) intExpr(d int) {
+	r := g.w.rng
+	if d <= 0 {
+		g.constInt(r.Intn(64))
+		return
+	}
+	switch r.Intn(12) {
+	case 0, 1:
+		g.constInt(r.Intn(200) - 20)
+	case 2:
+		// A shared "interesting" constant via ldc.
+		vals := []int{0xff, 0xffff, 1000, 1024, 31, 4096, 65599, 123456}
+		g.a.Ldc(g.b.Int(int32(pick(r, vals))))
+		g.push(1)
+	case 3, 4:
+		if ls := g.localsOf('I'); len(ls) > 0 {
+			g.emitLoadLocal(classfile.PrimitiveType('I'), pick(r, ls))
+			return
+		}
+		g.constInt(r.Intn(32))
+	case 5, 6:
+		if g.loadOwnField('I') {
+			return
+		}
+		g.constInt(r.Intn(16))
+	case 7:
+		g.intExpr(d - 1)
+		g.intExpr(d - 1)
+		g.a.Op(pick(r, []bytecode.Op{bytecode.Iadd, bytecode.Isub, bytecode.Imul,
+			bytecode.Iand, bytecode.Ior, bytecode.Ixor, bytecode.Ishl, bytecode.Ishr}))
+		g.pop(1)
+	case 8:
+		g.intExpr(d - 1)
+		g.intExpr(d - 1)
+		fn := pick(r, []string{"max", "min"})
+		g.a.CP(bytecode.Invokestatic, g.b.Methodref("java/lang/Math", fn, "(II)I"))
+		g.pop(1)
+	case 9:
+		g.stringExpr(d - 1)
+		g.a.CP(bytecode.Invokevirtual, g.b.Methodref("java/lang/String", "length", "()I"))
+	case 10:
+		g.longExpr(d - 1)
+		g.a.Op(bytecode.L2i)
+		g.pop(1)
+	default:
+		g.intExpr(d - 1)
+		g.a.CP(bytecode.Invokestatic, g.b.Methodref("java/lang/Math", "abs", "(I)I"))
+	}
+}
+
+// loadOwnField pushes a field of the given primitive base from this class
+// if one exists; reports success.
+func (g *codeGen) loadOwnField(base byte) bool {
+	var cands []genMember
+	for _, f := range g.gc.fields {
+		if f.desc == string(base) && (f.static || !g.static) {
+			cands = append(cands, f)
+		}
+	}
+	if len(cands) == 0 {
+		return false
+	}
+	f := pick(g.w.rng, cands)
+	slots := 1
+	if base == 'J' || base == 'D' {
+		slots = 2
+	}
+	if f.static {
+		g.a.CP(bytecode.Getstatic, g.b.Fieldref(g.gc.name, f.name, f.desc))
+		g.push(slots)
+		return true
+	}
+	g.a.Local(bytecode.Aload, 0)
+	g.push(1)
+	g.a.CP(bytecode.Getfield, g.b.Fieldref(g.gc.name, f.name, f.desc))
+	g.pop(1)
+	g.push(slots)
+	return true
+}
+
+func (g *codeGen) longExpr(d int) {
+	r := g.w.rng
+	if d <= 0 || r.Intn(3) == 0 {
+		if r.Intn(2) == 0 {
+			g.a.Op(bytecode.Lconst0 + bytecode.Op(r.Intn(2)))
+			g.push(2)
+		} else {
+			g.a.Ldc2(g.b.Long(r.Int63n(1 << 40)))
+			g.push(2)
+		}
+		return
+	}
+	switch r.Intn(4) {
+	case 0:
+		if ls := g.localsOf('J'); len(ls) > 0 {
+			g.emitLoadLocal(classfile.PrimitiveType('J'), pick(r, ls))
+			return
+		}
+		g.intExpr(d - 1)
+		g.a.Op(bytecode.I2l)
+		g.push(1)
+	case 1:
+		g.intExpr(d - 1)
+		g.a.Op(bytecode.I2l)
+		g.push(1)
+	case 2:
+		g.longExpr(d - 1)
+		g.longExpr(d - 1)
+		g.a.Op(pick(r, []bytecode.Op{bytecode.Ladd, bytecode.Lsub, bytecode.Lmul, bytecode.Land}))
+		g.pop(2)
+	default:
+		g.a.CP(bytecode.Invokestatic, g.b.Methodref("java/lang/System", "currentTimeMillis", "()J"))
+		g.push(2)
+	}
+}
+
+func (g *codeGen) floatExpr(d int) {
+	r := g.w.rng
+	if d <= 0 || r.Intn(2) == 0 {
+		if r.Intn(2) == 0 {
+			g.a.Op(bytecode.Fconst0 + bytecode.Op(r.Intn(3)))
+			g.push(1)
+		} else {
+			g.a.Ldc(g.b.Float(float32(r.Intn(100)) / 4))
+			g.push(1)
+		}
+		return
+	}
+	if r.Intn(2) == 0 {
+		g.intExpr(d - 1)
+		g.a.Op(bytecode.I2f)
+		return
+	}
+	g.floatExpr(d - 1)
+	g.floatExpr(d - 1)
+	g.a.Op(pick(r, []bytecode.Op{bytecode.Fadd, bytecode.Fsub, bytecode.Fmul}))
+	g.pop(1)
+}
+
+func (g *codeGen) doubleExpr(d int) {
+	r := g.w.rng
+	if d <= 0 || r.Intn(3) == 0 {
+		if r.Intn(2) == 0 {
+			g.a.Op(bytecode.Dconst0 + bytecode.Op(r.Intn(2)))
+			g.push(2)
+		} else {
+			g.a.Ldc2(g.b.Double(float64(r.Intn(10000)) / 16))
+			g.push(2)
+		}
+		return
+	}
+	switch r.Intn(4) {
+	case 0:
+		if ls := g.localsOf('D'); len(ls) > 0 {
+			g.emitLoadLocal(classfile.PrimitiveType('D'), pick(r, ls))
+			return
+		}
+		g.intExpr(d - 1)
+		g.a.Op(bytecode.I2d)
+		g.push(1)
+	case 1:
+		g.doubleExpr(d - 1)
+		g.a.CP(bytecode.Invokestatic, g.b.Methodref("java/lang/Math",
+			pick(r, []string{"sqrt", "floor"}), "(D)D"))
+	case 2:
+		g.doubleExpr(d - 1)
+		g.doubleExpr(d - 1)
+		g.a.Op(pick(r, []bytecode.Op{bytecode.Dadd, bytecode.Dsub, bytecode.Dmul, bytecode.Ddiv}))
+		g.pop(2)
+	default:
+		g.intExpr(d - 1)
+		g.a.Op(bytecode.I2d)
+		g.push(1)
+	}
+}
+
+// stringExpr pushes a java/lang/String reference.
+func (g *codeGen) stringExpr(d int) {
+	r := g.w.rng
+	if d <= 0 || r.Intn(2) == 0 {
+		g.a.Ldc(g.b.String(g.w.sentence()))
+		g.push(1)
+		return
+	}
+	switch r.Intn(3) {
+	case 0:
+		g.intExpr(d - 1)
+		g.a.CP(bytecode.Invokestatic, g.b.Methodref("java/lang/String", "valueOf", "(I)Ljava/lang/String;"))
+	case 1:
+		if ls := g.localsOfRef("java/lang/String"); len(ls) > 0 {
+			g.a.Local(bytecode.Aload, pick(r, ls))
+			g.push(1)
+			return
+		}
+		g.a.Ldc(g.b.String(g.w.sentence()))
+		g.push(1)
+	default:
+		g.stringExpr(d - 1)
+		g.stringExpr(d - 1)
+		g.a.CP(bytecode.Invokevirtual, g.b.Methodref("java/lang/String", "concat",
+			"(Ljava/lang/String;)Ljava/lang/String;"))
+		g.pop(1)
+	}
+}
+
+func (g *codeGen) localsOfRef(name string) []int {
+	var out []int
+	for i, t := range g.locals {
+		if t.Dims == 0 && t.Base == 'L' && t.Name == name && g.loadable[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}

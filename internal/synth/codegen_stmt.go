@@ -1,0 +1,560 @@
+package synth
+
+import (
+	"classpack/internal/bytecode"
+	"classpack/internal/classfile"
+)
+
+// stmt emits one statement; the operand stack is empty on entry and exit.
+// d bounds nesting depth of control structures.
+func (g *codeGen) stmt(d int) {
+	r := g.w.rng
+	choices := 14
+	if g.w.p.StringRich {
+		choices = 17 // extra weight on string statements
+	}
+	switch c := r.Intn(choices); {
+	case c <= 1:
+		g.assignLocalStmt()
+	case c == 2:
+		g.assignFieldStmt()
+	case c == 3 || c == 4:
+		g.callStmt(d)
+	case c == 5:
+		g.printlnStmt(d)
+	case c == 6 && d > 0:
+		g.ifStmt(d)
+	case c == 7 && d > 0:
+		g.loopStmt(d)
+	case c == 8 && d > 0:
+		g.switchStmt(d)
+	case c == 9 && d > 0:
+		g.tryStmt(d)
+	case c == 10:
+		g.iincStmt()
+	case c == 11:
+		g.arrayStmt()
+	case c == 12:
+		g.interfaceCallStmt()
+	default:
+		g.stringBufferStmt(d)
+	}
+}
+
+// assignLocalStmt declares or reuses a local and stores an expression.
+func (g *codeGen) assignLocalStmt() {
+	r := g.w.rng
+	var t classfile.Type
+	switch r.Intn(6) {
+	case 0, 1, 2:
+		t = classfile.PrimitiveType('I')
+	case 3:
+		t = classfile.PrimitiveType('J')
+	case 4:
+		t = classfile.PrimitiveType('D')
+	default:
+		t = classfile.ObjectType("java/lang/String")
+	}
+	reuse := -1
+	if ls := g.localsOfType(t); len(ls) > 0 && r.Intn(2) == 0 {
+		reuse = pick(r, ls)
+	} else if len(g.locals) > 200 {
+		return // avoid runaway frames
+	}
+	// Emit the value first: the slot is allocated only afterwards, so the
+	// expression can never read the still-unassigned local.
+	var store bytecode.Op
+	slots := 1
+	switch t.Base {
+	case 'I':
+		g.intExpr(2)
+		store = bytecode.Istore
+	case 'J':
+		g.longExpr(2)
+		store = bytecode.Lstore
+		slots = 2
+	case 'D':
+		g.doubleExpr(2)
+		store = bytecode.Dstore
+		slots = 2
+	default:
+		g.stringExpr(2)
+		store = bytecode.Astore
+	}
+	slot := reuse
+	if slot < 0 {
+		slot = g.newLocal(t)
+	}
+	g.a.Local(store, slot)
+	g.pop(slots)
+}
+
+func (g *codeGen) localsOfType(t classfile.Type) []int {
+	if t.Base == 'L' {
+		return g.localsOfRef(t.Name)
+	}
+	return g.localsOf(t.Base)
+}
+
+// assignFieldStmt stores into one of this class's fields.
+func (g *codeGen) assignFieldStmt() {
+	var cands []genMember
+	for _, f := range g.gc.fields {
+		switch f.desc {
+		case "I", "J", "D", "Ljava/lang/String;":
+			if f.static || !g.static {
+				cands = append(cands, f)
+			}
+		}
+	}
+	if len(cands) == 0 {
+		g.assignLocalStmt()
+		return
+	}
+	f := pick(g.w.rng, cands)
+	if !f.static {
+		g.a.Local(bytecode.Aload, 0)
+		g.push(1)
+	}
+	slots := 1
+	switch f.desc {
+	case "I":
+		g.intExpr(2)
+	case "J":
+		g.longExpr(2)
+		slots = 2
+	case "D":
+		g.doubleExpr(2)
+		slots = 2
+	default:
+		g.stringExpr(2)
+	}
+	ref := g.b.Fieldref(g.gc.name, f.name, f.desc)
+	if f.static {
+		g.a.CP(bytecode.Putstatic, ref)
+		g.pop(slots)
+	} else {
+		g.a.CP(bytecode.Putfield, ref)
+		g.pop(slots + 1)
+	}
+}
+
+// pushArgsFor pushes argument expressions for a descriptor and returns the
+// slot count pushed.
+func (g *codeGen) pushArgsFor(desc string, d int) int {
+	params, _, err := classfile.ParseMethodDescriptor(desc)
+	if err != nil {
+		panic(err)
+	}
+	slots := 0
+	for _, p := range params {
+		g.exprOf(p, d)
+		slots += p.Slots()
+	}
+	return slots
+}
+
+func (g *codeGen) exprOf(t classfile.Type, d int) {
+	switch {
+	case t.Dims > 0:
+		// A small fresh array of the element type.
+		g.constInt(1 + g.w.rng.Intn(4))
+		if t.Dims == 1 && t.Base != 'L' {
+			g.a.NewArray(newArrayType(t.Base))
+		} else {
+			elem := t
+			elem.Dims--
+			g.a.CP(bytecode.Anewarray, g.b.Class(arrayElemName(elem)))
+		}
+	case t.Base == 'I', t.Base == 'Z', t.Base == 'B', t.Base == 'C', t.Base == 'S':
+		g.intExpr(d)
+	case t.Base == 'J':
+		g.longExpr(d)
+	case t.Base == 'F':
+		g.floatExpr(d)
+	case t.Base == 'D':
+		g.doubleExpr(d)
+	case t.Name == "java/lang/String":
+		g.stringExpr(d)
+	default:
+		g.a.Op(bytecode.AconstNull)
+		g.push(1)
+	}
+}
+
+// arrayElemName renders the anewarray class operand for an element type.
+func arrayElemName(t classfile.Type) string {
+	if t.Dims == 0 && t.Base == 'L' {
+		return t.Name
+	}
+	return t.String()
+}
+
+// newArrayType maps a primitive descriptor to the newarray type code.
+func newArrayType(base byte) int {
+	switch base {
+	case 'Z':
+		return 4
+	case 'C':
+		return 5
+	case 'F':
+		return 6
+	case 'D':
+		return 7
+	case 'B':
+		return 8
+	case 'S':
+		return 9
+	case 'I':
+		return 10
+	case 'J':
+		return 11
+	}
+	return 10
+}
+
+// popResult discards a call result.
+func (g *codeGen) popResult(desc string) {
+	_, ret, err := classfile.ParseMethodDescriptor(desc)
+	if err != nil {
+		panic(err)
+	}
+	switch ret.Slots() {
+	case 1:
+		g.a.Op(bytecode.Pop)
+		g.pop(1)
+	case 2:
+		g.a.Op(bytecode.Pop2)
+		g.pop(2)
+	}
+}
+
+// callStmt invokes a method: own, another generated class's, or stdlib.
+func (g *codeGen) callStmt(d int) {
+	r := g.w.rng
+	switch r.Intn(4) {
+	case 0: // own instance or static method generated earlier
+		var cands []genMember
+		for _, m := range g.gc.methods {
+			if m.name != "<init>" && (m.static || !g.static) {
+				cands = append(cands, m)
+			}
+		}
+		if len(cands) == 0 {
+			g.stdlibCall(d)
+			return
+		}
+		m := pick(r, cands)
+		if m.static {
+			n := g.pushArgsFor(m.desc, d)
+			g.a.CP(bytecode.Invokestatic, g.b.Methodref(g.gc.name, m.name, m.desc))
+			g.pop(n)
+		} else {
+			g.a.Local(bytecode.Aload, 0)
+			g.push(1)
+			n := g.pushArgsFor(m.desc, d)
+			g.a.CP(bytecode.Invokevirtual, g.b.Methodref(g.gc.name, m.name, m.desc))
+			g.pop(n + 1)
+		}
+		g.pushRet(m.desc)
+		g.popResult(m.desc)
+	case 1: // another generated class
+		var classes []*genClass
+		for _, c := range g.w.classes {
+			if !c.iface && len(c.methods) > 0 {
+				classes = append(classes, c)
+			}
+		}
+		if len(classes) == 0 {
+			g.stdlibCall(d)
+			return
+		}
+		c := classes[zipfPick(r, len(classes))]
+		var cands []genMember
+		for _, m := range c.methods {
+			if m.name != "<init>" {
+				cands = append(cands, m)
+			}
+		}
+		if len(cands) == 0 {
+			g.stdlibCall(d)
+			return
+		}
+		m := pick(r, cands)
+		if m.static {
+			n := g.pushArgsFor(m.desc, d)
+			g.a.CP(bytecode.Invokestatic, g.b.Methodref(c.name, m.name, m.desc))
+			g.pop(n)
+		} else {
+			// new C(); then the call.
+			g.a.CP(bytecode.New, g.b.Class(c.name))
+			g.push(1)
+			g.a.Op(bytecode.Dup)
+			g.push(1)
+			g.a.CP(bytecode.Invokespecial, g.b.Methodref(c.name, "<init>", "()V"))
+			g.pop(1)
+			n := g.pushArgsFor(m.desc, d)
+			g.a.CP(bytecode.Invokevirtual, g.b.Methodref(c.name, m.name, m.desc))
+			g.pop(n + 1)
+		}
+		g.pushRet(m.desc)
+		g.popResult(m.desc)
+	default:
+		g.stdlibCall(d)
+	}
+}
+
+// pushRet accounts for a call's return value landing on the stack.
+func (g *codeGen) pushRet(desc string) {
+	_, ret, err := classfile.ParseMethodDescriptor(desc)
+	if err != nil {
+		panic(err)
+	}
+	g.push(ret.Slots())
+}
+
+// stdlibCall invokes a member of the simulated standard library, either a
+// static or an instance method on a freshly constructed receiver.
+func (g *codeGen) stdlibCall(d int) {
+	r := g.w.rng
+	if r.Intn(2) == 0 {
+		site := pick(r, stdStatics)
+		n := g.pushArgsFor(site.member.desc, d)
+		g.a.CP(bytecode.Invokestatic, g.b.Methodref(site.class, site.member.name, site.member.desc))
+		g.pop(n)
+		g.pushRet(site.member.desc)
+		g.popResult(site.member.desc)
+		return
+	}
+	site := pick(r, stdInstance)
+	g.a.CP(bytecode.New, g.b.Class(site.class))
+	g.push(1)
+	g.a.Op(bytecode.Dup)
+	g.push(1)
+	g.a.CP(bytecode.Invokespecial, g.b.Methodref(site.class, "<init>", "()V"))
+	g.pop(1)
+	n := g.pushArgsFor(site.member.desc, d)
+	g.a.CP(bytecode.Invokevirtual, g.b.Methodref(site.class, site.member.name, site.member.desc))
+	g.pop(n + 1)
+	g.pushRet(site.member.desc)
+	g.popResult(site.member.desc)
+}
+
+func (g *codeGen) printlnStmt(d int) {
+	g.a.CP(bytecode.Getstatic, g.b.Fieldref("java/lang/System", "out", "Ljava/io/PrintStream;"))
+	g.push(1)
+	if g.w.rng.Intn(3) == 0 {
+		g.intExpr(d)
+		g.a.CP(bytecode.Invokevirtual, g.b.Methodref("java/io/PrintStream", "println", "(I)V"))
+	} else {
+		g.stringExpr(d)
+		g.a.CP(bytecode.Invokevirtual, g.b.Methodref("java/io/PrintStream", "println", "(Ljava/lang/String;)V"))
+	}
+	g.pop(2)
+}
+
+func (g *codeGen) ifStmt(d int) {
+	r := g.w.rng
+	elseL := g.a.NewLabel()
+	endL := g.a.NewLabel()
+	if r.Intn(2) == 0 {
+		g.intExpr(1)
+		g.a.Branch(pick(r, []bytecode.Op{bytecode.Ifeq, bytecode.Ifne, bytecode.Iflt,
+			bytecode.Ifgt, bytecode.Ifle, bytecode.Ifge}), elseL)
+		g.pop(1)
+	} else {
+		g.intExpr(1)
+		g.intExpr(1)
+		g.a.Branch(pick(r, []bytecode.Op{bytecode.IfIcmpeq, bytecode.IfIcmpne,
+			bytecode.IfIcmplt, bytecode.IfIcmpge}), elseL)
+		g.pop(2)
+	}
+	n := 1 + r.Intn(2)
+	g.nested(func() {
+		for i := 0; i < n; i++ {
+			g.stmt(d - 1)
+		}
+	})
+	if r.Intn(2) == 0 {
+		g.a.Branch(bytecode.Goto, endL)
+		g.a.Bind(elseL)
+		g.nested(func() { g.stmt(d - 1) })
+	} else {
+		g.a.Bind(elseL)
+	}
+	g.a.Bind(endL)
+}
+
+func (g *codeGen) loopStmt(d int) {
+	r := g.w.rng
+	i := g.newLocal(classfile.PrimitiveType('I'))
+	g.constInt(0)
+	g.a.Local(bytecode.Istore, i)
+	g.pop(1)
+	loop := g.a.NewLabel()
+	end := g.a.NewLabel()
+	g.a.Bind(loop)
+	g.emitLoadLocal(classfile.PrimitiveType('I'), i)
+	g.constInt(2 + r.Intn(30))
+	g.a.Branch(bytecode.IfIcmpge, end)
+	g.pop(2)
+	n := 1 + r.Intn(2)
+	g.nested(func() {
+		for k := 0; k < n; k++ {
+			g.stmt(d - 1)
+		}
+	})
+	g.a.Iinc(i, 1)
+	g.a.Branch(bytecode.Goto, loop)
+	g.a.Bind(end)
+}
+
+func (g *codeGen) switchStmt(d int) {
+	r := g.w.rng
+	g.intExpr(1)
+	end := g.a.NewLabel()
+	nCases := 2 + r.Intn(4)
+	labels := make([]bytecode.Label, nCases)
+	for i := range labels {
+		labels[i] = g.a.NewLabel()
+	}
+	def := g.a.NewLabel()
+	if r.Intn(2) == 0 {
+		g.a.TableSwitch(int32(r.Intn(4)), labels, def)
+	} else {
+		keys := make([]int32, nCases)
+		k := int32(r.Intn(10) - 5)
+		for i := range keys {
+			keys[i] = k
+			k += int32(1 + r.Intn(100))
+		}
+		g.a.LookupSwitch(keys, labels, def)
+	}
+	g.pop(1)
+	for _, l := range labels {
+		g.a.Bind(l)
+		g.nested(func() { g.stmt(d - 1) })
+		g.a.Branch(bytecode.Goto, end)
+	}
+	g.a.Bind(def)
+	g.a.Bind(end)
+}
+
+func (g *codeGen) tryStmt(d int) {
+	r := g.w.rng
+	start := g.a.NewLabel()
+	endTry := g.a.NewLabel()
+	handler := g.a.NewLabel()
+	done := g.a.NewLabel()
+	g.a.Bind(start)
+	n := 1 + r.Intn(2)
+	g.nested(func() {
+		for i := 0; i < n; i++ {
+			g.stmt(d - 1)
+		}
+	})
+	g.a.Bind(endTry)
+	g.a.Branch(bytecode.Goto, done)
+	g.a.Bind(handler)
+	// Handler entry: the thrown exception is on the stack.
+	g.push(1)
+	if r.Intn(2) == 0 {
+		g.a.Op(bytecode.Pop)
+		g.pop(1)
+	} else {
+		slot := g.newLocal(classfile.ObjectType("java/lang/Exception"))
+		g.a.Local(bytecode.Astore, slot)
+		g.pop(1)
+	}
+	g.a.Bind(done)
+	catch := pick(r, []string{"java/lang/Exception", "java/lang/RuntimeException", "java/io/IOException", ""})
+	g.handlers = append(g.handlers, handlerReq{start: start, end: endTry, handler: handler, catchType: catch})
+}
+
+func (g *codeGen) iincStmt() {
+	if ls := g.localsOf('I'); len(ls) > 0 {
+		g.a.Iinc(pick(g.w.rng, ls), g.w.rng.Intn(7)-3)
+		return
+	}
+	g.assignLocalStmt()
+}
+
+// arrayStmt creates and pokes an int array.
+func (g *codeGen) arrayStmt() {
+	r := g.w.rng
+	slot := g.newLocal(classfile.Type{Dims: 1, Base: 'I'})
+	g.constInt(2 + r.Intn(16))
+	g.a.NewArray(10)
+	g.a.Local(bytecode.Astore, slot)
+	g.pop(1)
+	g.a.Local(bytecode.Aload, slot)
+	g.push(1)
+	g.constInt(r.Intn(2))
+	g.intExpr(1)
+	g.a.Op(bytecode.Iastore)
+	g.pop(3)
+}
+
+// interfaceCallStmt exercises invokeinterface through an interface this
+// class implements (Runnable counts).
+func (g *codeGen) interfaceCallStmt() {
+	if g.static {
+		g.printlnStmt(1)
+		return
+	}
+	if hasIface(g.b.CF, "java/lang/Runnable") {
+		g.a.Local(bytecode.Aload, 0)
+		g.push(1)
+		g.a.InvokeInterface(g.b.InterfaceMethodref("java/lang/Runnable", "run", "()V"), 1)
+		g.pop(1)
+		return
+	}
+	// Find a generated interface this class implements.
+	for _, ifc := range g.w.ifaces {
+		if hasIface(g.b.CF, ifc.name) && len(ifc.methods) > 0 {
+			m := pick(g.w.rng, ifc.methods)
+			g.a.Local(bytecode.Aload, 0)
+			g.push(1)
+			n := g.pushArgsFor(m.desc, 1)
+			params, _, _ := classfile.ParseMethodDescriptor(m.desc)
+			count := 1
+			for _, p := range params {
+				count += p.Slots()
+			}
+			g.a.InvokeInterface(g.b.InterfaceMethodref(ifc.name, m.name, m.desc), count)
+			g.pop(n + 1)
+			g.pushRet(m.desc)
+			g.popResult(m.desc)
+			return
+		}
+	}
+	g.printlnStmt(1)
+}
+
+// stringBufferStmt builds a string with StringBuffer, the dominant string
+// pattern in 1.2-era compiled code.
+func (g *codeGen) stringBufferStmt(d int) {
+	sb := "java/lang/StringBuffer"
+	g.a.CP(bytecode.New, g.b.Class(sb))
+	g.push(1)
+	g.a.Op(bytecode.Dup)
+	g.push(1)
+	g.a.CP(bytecode.Invokespecial, g.b.Methodref(sb, "<init>", "()V"))
+	g.pop(1)
+	n := 1 + g.w.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		if g.w.rng.Intn(3) == 0 {
+			g.intExpr(d)
+			g.a.CP(bytecode.Invokevirtual, g.b.Methodref(sb, "append", "(I)Ljava/lang/StringBuffer;"))
+			g.pop(1)
+		} else {
+			g.stringExpr(d)
+			g.a.CP(bytecode.Invokevirtual, g.b.Methodref(sb, "append",
+				"(Ljava/lang/String;)Ljava/lang/StringBuffer;"))
+			g.pop(1)
+		}
+	}
+	g.a.CP(bytecode.Invokevirtual, g.b.Methodref(sb, "toString", "()Ljava/lang/String;"))
+	g.a.Op(bytecode.Pop)
+	g.pop(1)
+}

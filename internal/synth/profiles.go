@@ -1,0 +1,67 @@
+package synth
+
+import "fmt"
+
+// Profiles returns the 19 corpus profiles mirroring the paper's Table 1
+// benchmarks. TargetKB matches the paper's sj0r column (stripped,
+// uncompressed classfile bytes); the other knobs approximate each
+// program's character as described in Table 1.
+func Profiles() []Profile {
+	return []Profile{
+		{Name: "rt", TargetKB: 8937, PackageCount: 12, AvgMethods: 8, AvgFields: 4, BodyStmts: 6},
+		{Name: "swingall", TargetKB: 3265, PackageCount: 10, AvgMethods: 9, AvgFields: 5, BodyStmts: 6},
+		{Name: "tools", TargetKB: 1557, PackageCount: 6, AvgMethods: 7, AvgFields: 3, BodyStmts: 8, StringRich: true},
+		{Name: "icebrowserbean", TargetKB: 226, PackageCount: 3, AvgMethods: 6, AvgFields: 4, BodyStmts: 6, StringRich: true},
+		{Name: "jmark20", TargetKB: 309, PackageCount: 3, AvgMethods: 6, AvgFields: 3, BodyStmts: 9},
+		{Name: "visaj", TargetKB: 2189, PackageCount: 8, AvgMethods: 8, AvgFields: 5, BodyStmts: 6},
+		{Name: "ImageEditor", TargetKB: 454, PackageCount: 4, AvgMethods: 7, AvgFields: 4, BodyStmts: 6},
+		{Name: "Hanoi", TargetKB: 86, PackageCount: 2, AvgMethods: 5, AvgFields: 3, BodyStmts: 5},
+		{Name: "Hanoi_big", TargetKB: 56, PackageCount: 2, AvgMethods: 5, AvgFields: 3, BodyStmts: 5},
+		{Name: "Hanoi_jax", TargetKB: 38, PackageCount: 1, AvgMethods: 5, AvgFields: 3, BodyStmts: 5, Obfuscated: true},
+		{Name: "javafig", TargetKB: 357, PackageCount: 4, AvgMethods: 7, AvgFields: 4, BodyStmts: 6},
+		{Name: "javafig_dashO", TargetKB: 269, PackageCount: 3, AvgMethods: 7, AvgFields: 4, BodyStmts: 6, Obfuscated: true},
+		{Name: "201_compress", TargetKB: 15, PackageCount: 1, AvgMethods: 5, AvgFields: 4, BodyStmts: 9},
+		{Name: "202_jess", TargetKB: 270, PackageCount: 3, AvgMethods: 6, AvgFields: 3, BodyStmts: 6, StringRich: true},
+		{Name: "205_raytrace", TargetKB: 52, PackageCount: 1, AvgMethods: 6, AvgFields: 4, BodyStmts: 8},
+		{Name: "209_db", TargetKB: 10, PackageCount: 1, AvgMethods: 5, AvgFields: 3, BodyStmts: 6, StringRich: true},
+		{Name: "213_javac", TargetKB: 516, PackageCount: 5, AvgMethods: 8, AvgFields: 3, BodyStmts: 8, StringRich: true},
+		{Name: "222_mpegaudio", TargetKB: 120, PackageCount: 1, AvgMethods: 6, AvgFields: 4, BodyStmts: 9, NumericTables: true},
+		{Name: "228_jack", TargetKB: 115, PackageCount: 2, AvgMethods: 6, AvgFields: 3, BodyStmts: 7, StringRich: true},
+	}
+}
+
+// ProfileByName looks up a built-in profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("synth: unknown profile %q", name)
+}
+
+// Description gives the Table 1 one-line description for a profile name.
+func Description(name string) string {
+	desc := map[string]string{
+		"rt":             "Java 1.2 runtime",
+		"swingall":       "Sun's new set of GUI widgets (JFC/Swing 1.1)",
+		"tools":          "Java 1.2 tools (javadoc, javac, jar, ...)",
+		"icebrowserbean": "HTML browser",
+		"jmark20":        "Byte's java benchmark program",
+		"visaj":          "Visual GUI builder",
+		"ImageEditor":    "Image editor, distributed with VisaJ",
+		"Hanoi":          "Demo applet distributed with Jax",
+		"Hanoi_big":      "Hanoi, partially jax'd",
+		"Hanoi_jax":      "Hanoi, fully jax'd",
+		"javafig":        "Java version of xfig",
+		"javafig_dashO":  "javafig, processed by dashO",
+		"201_compress":   "Modified Lempel-Ziv method (LZW)",
+		"202_jess":       "Java Expert Shell System",
+		"205_raytrace":   "Raytracing a dinosaur",
+		"209_db":         "Memory-resident database functions",
+		"213_javac":      "Sun's JDK 1.0.2 Java compiler",
+		"222_mpegaudio":  "Decompresses MPEG Layer 3 audio",
+		"228_jack":       "A Java parser generator (PCCTS-based)",
+	}
+	return desc[name]
+}

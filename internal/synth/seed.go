@@ -1,0 +1,111 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"classpack/internal/classfile"
+	"classpack/internal/minijava"
+)
+
+// The paper's three smallest GUI-free benchmarks are variants of a Towers
+// of Hanoi demo applet. We seed those corpora with genuine compiler output:
+// a Hanoi solver written in MiniJava and compiled by internal/minijava, so
+// part of every Hanoi corpus is bytecode a real compiler produced.
+const hanoiSource = `
+class HanoiMain {
+    public static void main(String[] args) {
+        Solver s;
+        Stats st;
+        s = new Solver();
+        st = new Stats();
+        System.out.println("towers of hanoi");
+        System.out.println(s.solve(10, 0, 2, 1, st));
+        System.out.println(st.reads());
+    }
+}
+
+class Solver {
+    int moves;
+    public int solve(int n, int from, int to, int via, Stats st) {
+        int ignore;
+        if (0 < n) {
+            ignore = this.solve(n - 1, from, via, to, st);
+            moves = moves + 1;
+            ignore = st.record(from, to);
+            ignore = this.solve(n - 1, via, to, from, st);
+        }
+        return moves;
+    }
+}
+
+class Stats {
+    int[] perPeg;
+    int total;
+    boolean ready;
+    public int record(int from, int to) {
+        if (!ready) {
+            perPeg = new int[3];
+            ready = true;
+        }
+        perPeg[to] = perPeg[to] + 1;
+        total = total + 1;
+        return total;
+    }
+    public int reads() {
+        int i;
+        int acc;
+        i = 0;
+        acc = 0;
+        if (ready) {
+            while (i < perPeg.length) {
+                acc = acc + perPeg[i] * (i + 1);
+                i = i + 1;
+            }
+        }
+        return acc;
+    }
+}
+
+class Peg extends Stats {
+    public int record(int from, int to) {
+        return from + to;
+    }
+}
+`
+
+// seedClasses compiles the profile's seed program, if it has one, and
+// registers the classes for cross-references from generated code.
+func (w *world) seedClasses() ([]*classfile.ClassFile, int, error) {
+	if !strings.HasPrefix(w.p.Name, "Hanoi") {
+		return nil, 0, nil
+	}
+	cfs, err := minijava.Compile(hanoiSource, minijava.CompileOptions{
+		Package:    "hanoi",
+		SourceFile: "Hanoi.java",
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("synth: seed program: %w", err)
+	}
+	total := 0
+	for _, cf := range cfs {
+		size, err := strippedSize(cf)
+		if err != nil {
+			return nil, 0, err
+		}
+		total += size
+		gc := &genClass{name: cf.ThisClassName()}
+		for mi := range cf.Methods {
+			m := &cf.Methods[mi]
+			if cf.MemberName(m) == "<init>" || m.AccessFlags&classfile.AccStatic != 0 {
+				continue
+			}
+			gc.methods = append(gc.methods, genMember{
+				name: cf.MemberName(m),
+				desc: cf.MemberDesc(m),
+			})
+		}
+		w.classes = append(w.classes, gc)
+	}
+	return cfs, total, nil
+}

@@ -1,0 +1,223 @@
+// Package synth generates deterministic, parseable corpora of Java class
+// files whose statistical shape matches the paper's benchmarks (Table 1):
+// package trees with Zipf-reused names, inheritance over a simulated
+// standard library, and method bodies produced by a small stack-correct
+// code generator. Every generated file round-trips through the classfile
+// codec and passes structural verification.
+package synth
+
+// Identifier material. Names are composed from these lists with a
+// deterministic RNG; reuse across classes follows a Zipf distribution so
+// constant-pool sharing behaves like real software.
+
+var nounWords = []string{
+	"item", "value", "node", "list", "table", "index", "buffer", "stream",
+	"count", "name", "state", "event", "handler", "widget", "panel", "frame",
+	"image", "color", "font", "point", "size", "bounds", "cache", "entry",
+	"parent", "child", "owner", "target", "source", "result", "status",
+	"config", "option", "filter", "format", "header", "footer", "label",
+	"model", "view", "queue", "stack", "graph", "edge", "vertex", "token",
+	"symbol", "scope", "type", "field", "method", "clazz", "pool", "slot",
+	"offset", "length", "width", "height", "depth", "level", "rank", "score",
+	"total", "delta", "ratio", "factor", "weight", "mask", "flags", "bits",
+	"data", "info", "spec", "desc", "attr", "prop", "key", "hash", "seed",
+}
+
+var verbWords = []string{
+	"get", "set", "add", "remove", "insert", "delete", "find", "lookup",
+	"create", "build", "make", "init", "reset", "clear", "update", "refresh",
+	"compute", "calculate", "process", "handle", "dispatch", "fire", "notify",
+	"read", "write", "parse", "format", "encode", "decode", "compress",
+	"expand", "open", "close", "start", "stop", "run", "execute", "apply",
+	"check", "validate", "verify", "test", "compare", "merge", "split",
+	"copy", "clone", "swap", "sort", "search", "scan", "visit", "walk",
+	"draw", "paint", "render", "layout", "resize", "move", "show", "hide",
+	"load", "store", "save", "flush", "push", "pop", "peek", "next", "prev",
+}
+
+var adjWords = []string{
+	"Abstract", "Base", "Basic", "Simple", "Default", "Generic", "Common",
+	"Shared", "Local", "Remote", "Fast", "Lazy", "Eager", "Cached", "Sorted",
+	"Linked", "Indexed", "Packed", "Buffered", "Filtered", "Composite",
+	"Nested", "Inner", "Outer", "Custom", "Virtual", "Dynamic", "Static",
+}
+
+var typeWords = []string{
+	"Manager", "Handler", "Builder", "Factory", "Adapter", "Wrapper",
+	"Visitor", "Listener", "Iterator", "Context", "Registry", "Resolver",
+	"Parser", "Scanner", "Lexer", "Emitter", "Encoder", "Decoder", "Reader",
+	"Writer", "Buffer", "Stream", "Table", "Entry", "Node", "Tree", "Graph",
+	"Panel", "Frame", "Dialog", "Widget", "Canvas", "Layout", "Renderer",
+	"Model", "Event", "Action", "Command", "Task", "Worker", "Engine",
+	"Filter", "Cache", "Pool", "Queue", "Stack", "Set", "Map", "Helper",
+	"Util", "Support", "Impl", "Proxy", "Stub", "Info", "Descriptor",
+}
+
+var stringSentenceWords = []string{
+	"the", "a", "an", "of", "in", "to", "for", "with", "on", "at", "from",
+	"error", "warning", "invalid", "missing", "unexpected", "unknown",
+	"argument", "parameter", "value", "file", "stream", "index", "bounds",
+	"null", "empty", "found", "not", "cannot", "failed", "unable", "open",
+	"close", "read", "write", "parse", "load", "save", "element", "state",
+	"connection", "timeout", "resource", "property", "default", "internal",
+	"buffer", "overflow", "underflow", "type", "format", "version",
+}
+
+// Simulated standard-library surface (JDK 1.2 era): the classes, fields
+// and methods generated code may reference externally.
+type stdMember struct {
+	name, desc string
+	static     bool
+}
+
+type stdClass struct {
+	name    string
+	super   string
+	iface   bool
+	methods []stdMember
+	fields  []stdMember
+}
+
+// hasDefaultCtor reports whether generated code can instantiate the class
+// with `new C(); invokespecial <init>()V`.
+func (c *stdClass) hasDefaultCtor() bool {
+	for _, m := range c.methods {
+		if m.name == "<init>" && m.desc == "()V" {
+			return true
+		}
+	}
+	return false
+}
+
+// stdCallSite is one callable stdlib member, precomputed for the code
+// generator.
+type stdCallSite struct {
+	class  string
+	member stdMember
+	iface  bool
+}
+
+var stdStatics, stdInstance []stdCallSite
+
+func init() {
+	for i := range stdlib {
+		c := &stdlib[i]
+		for _, m := range c.methods {
+			if m.name == "<init>" {
+				continue
+			}
+			switch {
+			case m.static:
+				stdStatics = append(stdStatics, stdCallSite{class: c.name, member: m})
+			case c.hasDefaultCtor() && !c.iface:
+				stdInstance = append(stdInstance, stdCallSite{class: c.name, member: m})
+			}
+		}
+	}
+}
+
+var stdlib = []stdClass{
+	{name: "java/lang/Object", methods: []stdMember{
+		{name: "<init>", desc: "()V"},
+		{name: "toString", desc: "()Ljava/lang/String;"},
+		{name: "hashCode", desc: "()I"},
+		{name: "equals", desc: "(Ljava/lang/Object;)Z"},
+		{name: "getClass", desc: "()Ljava/lang/Class;"},
+	}},
+	{name: "java/lang/String", super: "java/lang/Object", methods: []stdMember{
+		{name: "length", desc: "()I"},
+		{name: "charAt", desc: "(I)C"},
+		{name: "indexOf", desc: "(I)I"},
+		{name: "substring", desc: "(II)Ljava/lang/String;"},
+		{name: "equals", desc: "(Ljava/lang/Object;)Z"},
+		{name: "valueOf", desc: "(I)Ljava/lang/String;", static: true},
+		{name: "concat", desc: "(Ljava/lang/String;)Ljava/lang/String;"},
+	}},
+	{name: "java/lang/StringBuffer", super: "java/lang/Object", methods: []stdMember{
+		{name: "<init>", desc: "()V"},
+		{name: "append", desc: "(Ljava/lang/String;)Ljava/lang/StringBuffer;"},
+		{name: "append", desc: "(I)Ljava/lang/StringBuffer;"},
+		{name: "toString", desc: "()Ljava/lang/String;"},
+	}},
+	{name: "java/lang/System", super: "java/lang/Object",
+		fields: []stdMember{
+			{name: "out", desc: "Ljava/io/PrintStream;", static: true},
+			{name: "err", desc: "Ljava/io/PrintStream;", static: true},
+		},
+		methods: []stdMember{
+			{name: "currentTimeMillis", desc: "()J", static: true},
+			{name: "arraycopy", desc: "(Ljava/lang/Object;ILjava/lang/Object;II)V", static: true},
+		}},
+	{name: "java/io/PrintStream", super: "java/lang/Object", methods: []stdMember{
+		{name: "println", desc: "(Ljava/lang/String;)V"},
+		{name: "println", desc: "(I)V"},
+		{name: "print", desc: "(Ljava/lang/String;)V"},
+		{name: "flush", desc: "()V"},
+	}},
+	{name: "java/lang/Math", super: "java/lang/Object", methods: []stdMember{
+		{name: "abs", desc: "(I)I", static: true},
+		{name: "max", desc: "(II)I", static: true},
+		{name: "min", desc: "(II)I", static: true},
+		{name: "sqrt", desc: "(D)D", static: true},
+		{name: "floor", desc: "(D)D", static: true},
+	}},
+	{name: "java/util/Vector", super: "java/lang/Object", methods: []stdMember{
+		{name: "<init>", desc: "()V"},
+		{name: "addElement", desc: "(Ljava/lang/Object;)V"},
+		{name: "elementAt", desc: "(I)Ljava/lang/Object;"},
+		{name: "size", desc: "()I"},
+		{name: "removeElementAt", desc: "(I)V"},
+	}},
+	{name: "java/util/Hashtable", super: "java/lang/Object", methods: []stdMember{
+		{name: "<init>", desc: "()V"},
+		{name: "put", desc: "(Ljava/lang/Object;Ljava/lang/Object;)Ljava/lang/Object;"},
+		{name: "get", desc: "(Ljava/lang/Object;)Ljava/lang/Object;"},
+		{name: "size", desc: "()I"},
+	}},
+	{name: "java/util/Enumeration", super: "java/lang/Object", iface: true, methods: []stdMember{
+		{name: "hasMoreElements", desc: "()Z"},
+		{name: "nextElement", desc: "()Ljava/lang/Object;"},
+	}},
+	{name: "java/lang/Runnable", super: "java/lang/Object", iface: true, methods: []stdMember{
+		{name: "run", desc: "()V"},
+	}},
+	{name: "java/lang/Exception", super: "java/lang/Object", methods: []stdMember{
+		{name: "<init>", desc: "()V"},
+		{name: "<init>", desc: "(Ljava/lang/String;)V"},
+		{name: "getMessage", desc: "()Ljava/lang/String;"},
+	}},
+	{name: "java/lang/RuntimeException", super: "java/lang/Exception", methods: []stdMember{
+		{name: "<init>", desc: "(Ljava/lang/String;)V"},
+	}},
+	{name: "java/io/IOException", super: "java/lang/Exception", methods: []stdMember{
+		{name: "<init>", desc: "()V"},
+	}},
+	{name: "java/lang/Integer", super: "java/lang/Object", methods: []stdMember{
+		{name: "<init>", desc: "(I)V"},
+		{name: "intValue", desc: "()I"},
+		{name: "parseInt", desc: "(Ljava/lang/String;)I", static: true},
+		{name: "toString", desc: "(I)Ljava/lang/String;", static: true},
+	}},
+	{name: "java/awt/Component", super: "java/lang/Object", methods: []stdMember{
+		{name: "repaint", desc: "()V"},
+		{name: "setSize", desc: "(II)V"},
+		{name: "getWidth", desc: "()I"},
+		{name: "getHeight", desc: "()I"},
+		{name: "setVisible", desc: "(Z)V"},
+	}},
+	{name: "java/awt/Graphics", super: "java/lang/Object", methods: []stdMember{
+		{name: "drawLine", desc: "(IIII)V"},
+		{name: "drawRect", desc: "(IIII)V"},
+		{name: "fillRect", desc: "(IIII)V"},
+		{name: "drawString", desc: "(Ljava/lang/String;II)V"},
+	}},
+}
+
+// stdlibByName indexes the simulated library.
+var stdlibByName = func() map[string]*stdClass {
+	m := make(map[string]*stdClass, len(stdlib))
+	for i := range stdlib {
+		m[stdlib[i].name] = &stdlib[i]
+	}
+	return m
+}()

@@ -1,0 +1,891 @@
+package verifier
+
+import (
+	"fmt"
+
+	"classpack/internal/bytecode"
+	"classpack/internal/classfile"
+)
+
+// Frame manipulation with type checking.
+
+func (v *mverifier) push(f *frame, ts ...vtype) error {
+	if len(f.stack)+len(ts) > int(v.code.MaxStack) {
+		return fmt.Errorf("push exceeds max_stack %d", v.code.MaxStack)
+	}
+	f.stack = append(f.stack, ts...)
+	return nil
+}
+
+func pop(f *frame, want vtype) error {
+	if len(f.stack) == 0 {
+		return fmt.Errorf("stack underflow, wanted %v", want)
+	}
+	got := f.stack[len(f.stack)-1]
+	f.stack = f.stack[:len(f.stack)-1]
+	if got != want {
+		return fmt.Errorf("popped %v, wanted %v", got, want)
+	}
+	return nil
+}
+
+// popAny pops one category-1 slot of any concrete type.
+func popAny(f *frame) (vtype, error) {
+	if len(f.stack) == 0 {
+		return tTop, fmt.Errorf("stack underflow")
+	}
+	got := f.stack[len(f.stack)-1]
+	f.stack = f.stack[:len(f.stack)-1]
+	switch got {
+	case tInt, tFloat, tRef:
+		return got, nil
+	default:
+		return got, fmt.Errorf("popped %v where a category-1 value was needed", got)
+	}
+}
+
+func popLong(f *frame) error {
+	if err := pop(f, tLong2); err != nil {
+		return err
+	}
+	return pop(f, tLong)
+}
+
+func popDouble(f *frame) error {
+	if err := pop(f, tDouble2); err != nil {
+		return err
+	}
+	return pop(f, tDouble)
+}
+
+// popType pops slots for a descriptor type.
+func (v *mverifier) popType(f *frame, t classfile.Type) error {
+	slots := typeSlots(t)
+	for i := len(slots) - 1; i >= 0; i-- {
+		if err := pop(f, slots[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// killSlot invalidates wide pairs overlapping an overwritten local.
+func killSlot(f *frame, slot int) {
+	if slot > 0 && (f.locals[slot-1] == tLong || f.locals[slot-1] == tDouble) {
+		f.locals[slot-1] = tTop
+	}
+	if (f.locals[slot] == tLong || f.locals[slot] == tDouble) && slot+1 < len(f.locals) {
+		f.locals[slot+1] = tTop
+	}
+}
+
+func (v *mverifier) store(f *frame, slot int, ts ...vtype) error {
+	if slot+len(ts) > len(f.locals) {
+		return fmt.Errorf("store to local %d exceeds max_locals %d", slot, len(f.locals))
+	}
+	// Invalidate wide pairs straddling the written range, then write.
+	killSlot(f, slot)
+	end := slot + len(ts) - 1
+	if end != slot {
+		killSlot(f, end)
+	}
+	copy(f.locals[slot:], ts)
+	return nil
+}
+
+func (v *mverifier) load(f *frame, slot int, want vtype) error {
+	if slot >= len(f.locals) {
+		return fmt.Errorf("load of local %d exceeds max_locals %d", slot, len(f.locals))
+	}
+	if f.locals[slot] != want {
+		return fmt.Errorf("local %d holds %v, wanted %v", slot, f.locals[slot], want)
+	}
+	if want == tLong || want == tDouble {
+		if slot+1 >= len(f.locals) || f.locals[slot+1] != want+1 {
+			return fmt.Errorf("local %d missing second slot of %v", slot, want)
+		}
+	}
+	return nil
+}
+
+// Constant-pool lookups.
+
+func (v *mverifier) fieldType(idx int) (classfile.Type, error) {
+	cf := v.cf
+	if idx <= 0 || idx >= len(cf.Pool) || cf.Pool[idx].Kind != classfile.KindFieldref {
+		return classfile.Type{}, fmt.Errorf("index %d is not a Fieldref", idx)
+	}
+	nat := cf.Pool[cf.Pool[idx].NameAndType]
+	return classfile.ParseFieldDescriptor(cf.Utf8At(nat.Desc))
+}
+
+func (v *mverifier) methodType(idx int, wantIface bool) ([]classfile.Type, classfile.Type, error) {
+	cf := v.cf
+	if idx <= 0 || idx >= len(cf.Pool) {
+		return nil, classfile.Type{}, fmt.Errorf("method index %d out of range", idx)
+	}
+	kind := cf.Pool[idx].Kind
+	if wantIface && kind != classfile.KindInterfaceMethodref {
+		return nil, classfile.Type{}, fmt.Errorf("index %d is %v, not InterfaceMethodref", idx, kind)
+	}
+	if !wantIface && kind != classfile.KindMethodref {
+		return nil, classfile.Type{}, fmt.Errorf("index %d is %v, not Methodref", idx, kind)
+	}
+	nat := cf.Pool[cf.Pool[idx].NameAndType]
+	return classfile.ParseMethodDescriptor(cf.Utf8At(nat.Desc))
+}
+
+// interpret processes the single instruction at off, flowing the result to
+// its successors.
+func (v *mverifier) interpret(off int) error {
+	idx := v.byOffset[off]
+	in := &v.insns[idx]
+	f := v.states[off].clone()
+	// Locals at this point are visible to every covering handler.
+	if err := v.handlersCovering(off, &f); err != nil {
+		return err
+	}
+	terminal := false
+	var extraTargets []int
+
+	op := in.Op
+	switch {
+	case op == bytecode.Nop:
+	case op == bytecode.AconstNull:
+		if err := v.push(&f, tRef); err != nil {
+			return err
+		}
+	case op >= bytecode.IconstM1 && op <= bytecode.Iconst5 ||
+		op == bytecode.Bipush || op == bytecode.Sipush:
+		if err := v.push(&f, tInt); err != nil {
+			return err
+		}
+	case op == bytecode.Lconst0 || op == bytecode.Lconst1:
+		if err := v.push(&f, tLong, tLong2); err != nil {
+			return err
+		}
+	case op >= bytecode.Fconst0 && op <= bytecode.Fconst2:
+		if err := v.push(&f, tFloat); err != nil {
+			return err
+		}
+	case op == bytecode.Dconst0 || op == bytecode.Dconst1:
+		if err := v.push(&f, tDouble, tDouble2); err != nil {
+			return err
+		}
+	case op == bytecode.Ldc || op == bytecode.LdcW:
+		if in.A <= 0 || in.A >= len(v.cf.Pool) {
+			return fmt.Errorf("ldc index %d out of range", in.A)
+		}
+		switch v.cf.Pool[in.A].Kind {
+		case classfile.KindInteger:
+			return v.finish(in, &f, terminal, extraTargets, v.push(&f, tInt))
+		case classfile.KindFloat:
+			return v.finish(in, &f, terminal, extraTargets, v.push(&f, tFloat))
+		case classfile.KindString:
+			return v.finish(in, &f, terminal, extraTargets, v.push(&f, tRef))
+		default:
+			return fmt.Errorf("ldc of %v", v.cf.Pool[in.A].Kind)
+		}
+	case op == bytecode.Ldc2W:
+		if in.A <= 0 || in.A >= len(v.cf.Pool) {
+			return fmt.Errorf("ldc2_w index %d out of range", in.A)
+		}
+		switch v.cf.Pool[in.A].Kind {
+		case classfile.KindLong:
+			return v.finish(in, &f, terminal, extraTargets, v.push(&f, tLong, tLong2))
+		case classfile.KindDouble:
+			return v.finish(in, &f, terminal, extraTargets, v.push(&f, tDouble, tDouble2))
+		default:
+			return fmt.Errorf("ldc2_w of %v", v.cf.Pool[in.A].Kind)
+		}
+	case op == bytecode.Iload || op >= bytecode.Iload0 && op <= bytecode.Iload3:
+		if err := v.loadPush(&f, in, bytecode.Iload0, tInt); err != nil {
+			return err
+		}
+	case op == bytecode.Lload || op >= bytecode.Lload0 && op <= bytecode.Lload3:
+		if err := v.loadPush(&f, in, bytecode.Lload0, tLong); err != nil {
+			return err
+		}
+	case op == bytecode.Fload || op >= bytecode.Fload0 && op <= bytecode.Fload3:
+		if err := v.loadPush(&f, in, bytecode.Fload0, tFloat); err != nil {
+			return err
+		}
+	case op == bytecode.Dload || op >= bytecode.Dload0 && op <= bytecode.Dload3:
+		if err := v.loadPush(&f, in, bytecode.Dload0, tDouble); err != nil {
+			return err
+		}
+	case op == bytecode.Aload || op >= bytecode.Aload0 && op <= bytecode.Aload3:
+		if err := v.loadPush(&f, in, bytecode.Aload0, tRef); err != nil {
+			return err
+		}
+	case op == bytecode.Istore || op >= bytecode.Istore0 && op <= bytecode.Istore3:
+		if err := v.popStore(&f, in, bytecode.Istore0, tInt); err != nil {
+			return err
+		}
+	case op == bytecode.Lstore || op >= bytecode.Lstore0 && op <= bytecode.Lstore3:
+		if err := v.popStore(&f, in, bytecode.Lstore0, tLong); err != nil {
+			return err
+		}
+	case op == bytecode.Fstore || op >= bytecode.Fstore0 && op <= bytecode.Fstore3:
+		if err := v.popStore(&f, in, bytecode.Fstore0, tFloat); err != nil {
+			return err
+		}
+	case op == bytecode.Dstore || op >= bytecode.Dstore0 && op <= bytecode.Dstore3:
+		if err := v.popStore(&f, in, bytecode.Dstore0, tDouble); err != nil {
+			return err
+		}
+	case op == bytecode.Astore || op >= bytecode.Astore0 && op <= bytecode.Astore3:
+		if err := v.popStore(&f, in, bytecode.Astore0, tRef); err != nil {
+			return err
+		}
+	case op == bytecode.Iaload || op == bytecode.Baload || op == bytecode.Caload || op == bytecode.Saload:
+		if err := v.arrayLoad(&f, tInt); err != nil {
+			return err
+		}
+	case op == bytecode.Faload:
+		if err := v.arrayLoad(&f, tFloat); err != nil {
+			return err
+		}
+	case op == bytecode.Aaload:
+		if err := v.arrayLoad(&f, tRef); err != nil {
+			return err
+		}
+	case op == bytecode.Laload:
+		if err := v.arrayLoadWide(&f, tLong); err != nil {
+			return err
+		}
+	case op == bytecode.Daload:
+		if err := v.arrayLoadWide(&f, tDouble); err != nil {
+			return err
+		}
+	case op == bytecode.Iastore || op == bytecode.Bastore || op == bytecode.Castore || op == bytecode.Sastore:
+		if err := v.arrayStore(&f, tInt); err != nil {
+			return err
+		}
+	case op == bytecode.Fastore:
+		if err := v.arrayStore(&f, tFloat); err != nil {
+			return err
+		}
+	case op == bytecode.Aastore:
+		if err := v.arrayStore(&f, tRef); err != nil {
+			return err
+		}
+	case op == bytecode.Lastore:
+		if err := popLong(&f); err != nil {
+			return err
+		}
+		if err := pop(&f, tInt); err != nil {
+			return err
+		}
+		if err := pop(&f, tRef); err != nil {
+			return err
+		}
+	case op == bytecode.Dastore:
+		if err := popDouble(&f); err != nil {
+			return err
+		}
+		if err := pop(&f, tInt); err != nil {
+			return err
+		}
+		if err := pop(&f, tRef); err != nil {
+			return err
+		}
+	case op == bytecode.Pop:
+		if _, err := popAny(&f); err != nil {
+			return err
+		}
+	case op == bytecode.Pop2:
+		// Either one category-2 value or two category-1 values.
+		if len(f.stack) >= 1 && (f.stack[len(f.stack)-1] == tLong2 || f.stack[len(f.stack)-1] == tDouble2) {
+			if f.stack[len(f.stack)-1] == tLong2 {
+				if err := popLong(&f); err != nil {
+					return err
+				}
+			} else if err := popDouble(&f); err != nil {
+				return err
+			}
+		} else {
+			if _, err := popAny(&f); err != nil {
+				return err
+			}
+			if _, err := popAny(&f); err != nil {
+				return err
+			}
+		}
+	case op == bytecode.Dup:
+		if len(f.stack) == 0 {
+			return fmt.Errorf("dup on empty stack")
+		}
+		top := f.stack[len(f.stack)-1]
+		if top == tLong2 || top == tDouble2 {
+			return fmt.Errorf("dup of a category-2 value")
+		}
+		if err := v.push(&f, top); err != nil {
+			return err
+		}
+	case op == bytecode.DupX1, op == bytecode.DupX2, op == bytecode.Dup2,
+		op == bytecode.Dup2X1, op == bytecode.Dup2X2, op == bytecode.Swap:
+		if err := v.dupSwap(&f, op); err != nil {
+			return err
+		}
+	case op == bytecode.Iadd || op == bytecode.Isub || op == bytecode.Imul ||
+		op == bytecode.Idiv || op == bytecode.Irem || op == bytecode.Iand ||
+		op == bytecode.Ior || op == bytecode.Ixor || op == bytecode.Ishl ||
+		op == bytecode.Ishr || op == bytecode.Iushr:
+		if err := pop(&f, tInt); err != nil {
+			return err
+		}
+		if err := pop(&f, tInt); err != nil {
+			return err
+		}
+		if err := v.push(&f, tInt); err != nil {
+			return err
+		}
+	case op == bytecode.Ladd || op == bytecode.Lsub || op == bytecode.Lmul ||
+		op == bytecode.Ldiv || op == bytecode.Lrem || op == bytecode.Land ||
+		op == bytecode.Lor || op == bytecode.Lxor:
+		if err := popLong(&f); err != nil {
+			return err
+		}
+		if err := popLong(&f); err != nil {
+			return err
+		}
+		if err := v.push(&f, tLong, tLong2); err != nil {
+			return err
+		}
+	case op == bytecode.Lshl || op == bytecode.Lshr || op == bytecode.Lushr:
+		if err := pop(&f, tInt); err != nil {
+			return err
+		}
+		if err := popLong(&f); err != nil {
+			return err
+		}
+		if err := v.push(&f, tLong, tLong2); err != nil {
+			return err
+		}
+	case op == bytecode.Fadd || op == bytecode.Fsub || op == bytecode.Fmul ||
+		op == bytecode.Fdiv || op == bytecode.Frem:
+		if err := pop(&f, tFloat); err != nil {
+			return err
+		}
+		if err := pop(&f, tFloat); err != nil {
+			return err
+		}
+		if err := v.push(&f, tFloat); err != nil {
+			return err
+		}
+	case op == bytecode.Dadd || op == bytecode.Dsub || op == bytecode.Dmul ||
+		op == bytecode.Ddiv || op == bytecode.Drem:
+		if err := popDouble(&f); err != nil {
+			return err
+		}
+		if err := popDouble(&f); err != nil {
+			return err
+		}
+		if err := v.push(&f, tDouble, tDouble2); err != nil {
+			return err
+		}
+	case op == bytecode.Ineg:
+		if err := pop(&f, tInt); err != nil {
+			return err
+		}
+		if err := v.push(&f, tInt); err != nil {
+			return err
+		}
+	case op == bytecode.Lneg:
+		if err := popLong(&f); err != nil {
+			return err
+		}
+		if err := v.push(&f, tLong, tLong2); err != nil {
+			return err
+		}
+	case op == bytecode.Fneg:
+		if err := pop(&f, tFloat); err != nil {
+			return err
+		}
+		if err := v.push(&f, tFloat); err != nil {
+			return err
+		}
+	case op == bytecode.Dneg:
+		if err := popDouble(&f); err != nil {
+			return err
+		}
+		if err := v.push(&f, tDouble, tDouble2); err != nil {
+			return err
+		}
+	case op == bytecode.Iinc:
+		if err := v.load(&f, in.A, tInt); err != nil {
+			return err
+		}
+	case op >= bytecode.I2l && op <= bytecode.I2s:
+		if err := v.convert(&f, op); err != nil {
+			return err
+		}
+	case op == bytecode.Lcmp:
+		if err := popLong(&f); err != nil {
+			return err
+		}
+		if err := popLong(&f); err != nil {
+			return err
+		}
+		if err := v.push(&f, tInt); err != nil {
+			return err
+		}
+	case op == bytecode.Fcmpl || op == bytecode.Fcmpg:
+		if err := pop(&f, tFloat); err != nil {
+			return err
+		}
+		if err := pop(&f, tFloat); err != nil {
+			return err
+		}
+		if err := v.push(&f, tInt); err != nil {
+			return err
+		}
+	case op == bytecode.Dcmpl || op == bytecode.Dcmpg:
+		if err := popDouble(&f); err != nil {
+			return err
+		}
+		if err := popDouble(&f); err != nil {
+			return err
+		}
+		if err := v.push(&f, tInt); err != nil {
+			return err
+		}
+	case op >= bytecode.Ifeq && op <= bytecode.Ifle:
+		if err := pop(&f, tInt); err != nil {
+			return err
+		}
+		extraTargets = append(extraTargets, in.A)
+	case op >= bytecode.IfIcmpeq && op <= bytecode.IfIcmple:
+		if err := pop(&f, tInt); err != nil {
+			return err
+		}
+		if err := pop(&f, tInt); err != nil {
+			return err
+		}
+		extraTargets = append(extraTargets, in.A)
+	case op == bytecode.IfAcmpeq || op == bytecode.IfAcmpne:
+		if err := pop(&f, tRef); err != nil {
+			return err
+		}
+		if err := pop(&f, tRef); err != nil {
+			return err
+		}
+		extraTargets = append(extraTargets, in.A)
+	case op == bytecode.Ifnull || op == bytecode.Ifnonnull:
+		if err := pop(&f, tRef); err != nil {
+			return err
+		}
+		extraTargets = append(extraTargets, in.A)
+	case op == bytecode.Goto || op == bytecode.GotoW:
+		terminal = true
+		extraTargets = append(extraTargets, in.A)
+	case op == bytecode.Jsr || op == bytecode.JsrW || op == bytecode.Ret:
+		// Subroutines carry return addresses and split verification state;
+		// the 1.2-era verifier handled them with substantial machinery.
+		// Nothing in this repository emits them, so reject outright.
+		return fmt.Errorf("jsr/ret subroutines unsupported by this verifier")
+	case op == bytecode.Tableswitch || op == bytecode.Lookupswitch:
+		if err := pop(&f, tInt); err != nil {
+			return err
+		}
+		terminal = true
+		extraTargets = append(extraTargets, in.Default)
+		extraTargets = append(extraTargets, in.Targets...)
+	case op == bytecode.Ireturn:
+		// boolean/byte/char/short returns also use ireturn.
+		switch {
+		case v.ret.Dims == 0 && (v.ret.Base == 'I' || v.ret.Base == 'Z' ||
+			v.ret.Base == 'B' || v.ret.Base == 'C' || v.ret.Base == 'S'):
+			return pop(&f, tInt)
+		default:
+			return fmt.Errorf("ireturn from method returning %s", v.ret)
+		}
+	case op == bytecode.Lreturn:
+		return v.checkReturn(&f, in, classfile.Type{Base: 'J'})
+	case op == bytecode.Freturn:
+		return v.checkReturn(&f, in, classfile.Type{Base: 'F'})
+	case op == bytecode.Dreturn:
+		return v.checkReturn(&f, in, classfile.Type{Base: 'D'})
+	case op == bytecode.Areturn:
+		if !v.ret.IsRef() {
+			return fmt.Errorf("areturn from method returning %s", v.ret)
+		}
+		if err := pop(&f, tRef); err != nil {
+			return err
+		}
+		return nil
+	case op == bytecode.Return:
+		if v.ret.Slots() != 0 {
+			return fmt.Errorf("return from method returning %s", v.ret)
+		}
+		return nil
+	case op == bytecode.Athrow:
+		if err := pop(&f, tRef); err != nil {
+			return err
+		}
+		return nil
+	case op == bytecode.Getstatic:
+		t, err := v.fieldType(in.A)
+		if err != nil {
+			return err
+		}
+		if err := v.push(&f, typeSlots(t)...); err != nil {
+			return err
+		}
+	case op == bytecode.Putstatic:
+		t, err := v.fieldType(in.A)
+		if err != nil {
+			return err
+		}
+		if err := v.popType(&f, t); err != nil {
+			return err
+		}
+	case op == bytecode.Getfield:
+		t, err := v.fieldType(in.A)
+		if err != nil {
+			return err
+		}
+		if err := pop(&f, tRef); err != nil {
+			return err
+		}
+		if err := v.push(&f, typeSlots(t)...); err != nil {
+			return err
+		}
+	case op == bytecode.Putfield:
+		t, err := v.fieldType(in.A)
+		if err != nil {
+			return err
+		}
+		if err := v.popType(&f, t); err != nil {
+			return err
+		}
+		if err := pop(&f, tRef); err != nil {
+			return err
+		}
+	case op == bytecode.Invokevirtual || op == bytecode.Invokespecial ||
+		op == bytecode.Invokestatic || op == bytecode.Invokeinterface:
+		params, ret, err := v.methodType(in.A, op == bytecode.Invokeinterface)
+		if err != nil {
+			return err
+		}
+		for i := len(params) - 1; i >= 0; i-- {
+			if err := v.popType(&f, params[i]); err != nil {
+				return fmt.Errorf("argument %d: %w", i+1, err)
+			}
+		}
+		if op != bytecode.Invokestatic {
+			if err := pop(&f, tRef); err != nil {
+				return fmt.Errorf("receiver: %w", err)
+			}
+		}
+		if op == bytecode.Invokeinterface {
+			slots := 1
+			for _, p := range params {
+				slots += len(typeSlots(p))
+			}
+			if in.B != slots {
+				return fmt.Errorf("invokeinterface count %d, descriptor implies %d", in.B, slots)
+			}
+		}
+		if err := v.push(&f, typeSlots(ret)...); err != nil {
+			return err
+		}
+	case op == bytecode.New:
+		if err := v.checkClassRef(in.A); err != nil {
+			return err
+		}
+		if err := v.push(&f, tRef); err != nil {
+			return err
+		}
+	case op == bytecode.Newarray:
+		if in.A < 4 || in.A > 11 {
+			return fmt.Errorf("newarray type %d invalid", in.A)
+		}
+		if err := pop(&f, tInt); err != nil {
+			return err
+		}
+		if err := v.push(&f, tRef); err != nil {
+			return err
+		}
+	case op == bytecode.Anewarray:
+		if err := v.checkClassRef(in.A); err != nil {
+			return err
+		}
+		if err := pop(&f, tInt); err != nil {
+			return err
+		}
+		if err := v.push(&f, tRef); err != nil {
+			return err
+		}
+	case op == bytecode.Arraylength:
+		if err := pop(&f, tRef); err != nil {
+			return err
+		}
+		if err := v.push(&f, tInt); err != nil {
+			return err
+		}
+	case op == bytecode.Checkcast:
+		if err := v.checkClassRef(in.A); err != nil {
+			return err
+		}
+		if err := pop(&f, tRef); err != nil {
+			return err
+		}
+		if err := v.push(&f, tRef); err != nil {
+			return err
+		}
+	case op == bytecode.Instanceof:
+		if err := v.checkClassRef(in.A); err != nil {
+			return err
+		}
+		if err := pop(&f, tRef); err != nil {
+			return err
+		}
+		if err := v.push(&f, tInt); err != nil {
+			return err
+		}
+	case op == bytecode.Monitorenter || op == bytecode.Monitorexit:
+		if err := pop(&f, tRef); err != nil {
+			return err
+		}
+	case op == bytecode.Multianewarray:
+		if err := v.checkClassRef(in.A); err != nil {
+			return err
+		}
+		if in.B < 1 {
+			return fmt.Errorf("multianewarray with %d dimensions", in.B)
+		}
+		for i := 0; i < in.B; i++ {
+			if err := pop(&f, tInt); err != nil {
+				return err
+			}
+		}
+		if err := v.push(&f, tRef); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unsupported opcode %s", op)
+	}
+	return v.finish(in, &f, terminal, extraTargets, nil)
+}
+
+// finish flows the post-state to all successors.
+func (v *mverifier) finish(in *bytecode.Instruction, f *frame, terminal bool, targets []int, err error) error {
+	if err != nil {
+		return err
+	}
+	for _, t := range targets {
+		if err := v.flowTo(t, f); err != nil {
+			return err
+		}
+	}
+	if terminal {
+		return nil
+	}
+	next := in.Offset + in.Size()
+	if next >= len(v.code.Code) {
+		return fmt.Errorf("control flow falls off the end of the code")
+	}
+	return v.flowTo(next, f)
+}
+
+func (v *mverifier) checkReturn(f *frame, in *bytecode.Instruction, want classfile.Type) error {
+	if v.ret.Dims != 0 || v.ret.Base != want.Base {
+		return fmt.Errorf("%s from method returning %s", in.Op, v.ret)
+	}
+	return v.popType(f, want)
+}
+
+func (v *mverifier) checkClassRef(idx int) error {
+	if idx <= 0 || idx >= len(v.cf.Pool) || v.cf.Pool[idx].Kind != classfile.KindClass {
+		return fmt.Errorf("index %d is not a Class", idx)
+	}
+	return nil
+}
+
+func (v *mverifier) loadPush(f *frame, in *bytecode.Instruction, base bytecode.Op, t vtype) error {
+	slot := in.A
+	if in.Op >= base && in.Op <= base+3 {
+		slot = int(in.Op - base)
+	}
+	if err := v.load(f, slot, t); err != nil {
+		return err
+	}
+	if t == tLong || t == tDouble {
+		return v.push(f, t, t+1)
+	}
+	return v.push(f, t)
+}
+
+func (v *mverifier) popStore(f *frame, in *bytecode.Instruction, base bytecode.Op, t vtype) error {
+	slot := in.A
+	if in.Op >= base && in.Op <= base+3 {
+		slot = int(in.Op - base)
+	}
+	if t == tLong {
+		if err := popLong(f); err != nil {
+			return err
+		}
+		return v.store(f, slot, tLong, tLong2)
+	}
+	if t == tDouble {
+		if err := popDouble(f); err != nil {
+			return err
+		}
+		return v.store(f, slot, tDouble, tDouble2)
+	}
+	if err := pop(f, t); err != nil {
+		return err
+	}
+	return v.store(f, slot, t)
+}
+
+func (v *mverifier) arrayLoad(f *frame, elem vtype) error {
+	if err := pop(f, tInt); err != nil {
+		return err
+	}
+	if err := pop(f, tRef); err != nil {
+		return err
+	}
+	return v.push(f, elem)
+}
+
+func (v *mverifier) arrayLoadWide(f *frame, elem vtype) error {
+	if err := pop(f, tInt); err != nil {
+		return err
+	}
+	if err := pop(f, tRef); err != nil {
+		return err
+	}
+	return v.push(f, elem, elem+1)
+}
+
+func (v *mverifier) arrayStore(f *frame, elem vtype) error {
+	if err := pop(f, elem); err != nil {
+		return err
+	}
+	if err := pop(f, tInt); err != nil {
+		return err
+	}
+	return pop(f, tRef)
+}
+
+// convert handles the 15 primitive conversion opcodes.
+func (v *mverifier) convert(f *frame, op bytecode.Op) error {
+	type conv struct {
+		from, to vtype
+	}
+	table := map[bytecode.Op]conv{
+		bytecode.I2l: {tInt, tLong}, bytecode.I2f: {tInt, tFloat}, bytecode.I2d: {tInt, tDouble},
+		bytecode.L2i: {tLong, tInt}, bytecode.L2f: {tLong, tFloat}, bytecode.L2d: {tLong, tDouble},
+		bytecode.F2i: {tFloat, tInt}, bytecode.F2l: {tFloat, tLong}, bytecode.F2d: {tFloat, tDouble},
+		bytecode.D2i: {tDouble, tInt}, bytecode.D2l: {tDouble, tLong}, bytecode.D2f: {tDouble, tFloat},
+		bytecode.I2b: {tInt, tInt}, bytecode.I2c: {tInt, tInt}, bytecode.I2s: {tInt, tInt},
+	}
+	c, ok := table[op]
+	if !ok {
+		return fmt.Errorf("unknown conversion %s", op)
+	}
+	switch c.from {
+	case tLong:
+		if err := popLong(f); err != nil {
+			return err
+		}
+	case tDouble:
+		if err := popDouble(f); err != nil {
+			return err
+		}
+	default:
+		if err := pop(f, c.from); err != nil {
+			return err
+		}
+	}
+	if c.to == tLong || c.to == tDouble {
+		return v.push(f, c.to, c.to+1)
+	}
+	return v.push(f, c.to)
+}
+
+// dupSwap implements the stack-shuffle family with category checks.
+func (v *mverifier) dupSwap(f *frame, op bytecode.Op) error {
+	n := len(f.stack)
+	need := map[bytecode.Op]int{
+		bytecode.DupX1: 2, bytecode.DupX2: 3, bytecode.Dup2: 2,
+		bytecode.Dup2X1: 3, bytecode.Dup2X2: 4, bytecode.Swap: 2,
+	}[op]
+	if n < need {
+		return fmt.Errorf("%s with stack depth %d", op, n)
+	}
+	cat1 := func(t vtype) bool { return t == tInt || t == tFloat || t == tRef }
+	validUnit := func(a, b vtype) bool {
+		return (a == tLong && b == tLong2) || (a == tDouble && b == tDouble2) ||
+			(cat1(a) && cat1(b))
+	}
+	s := f.stack
+	switch op {
+	case bytecode.Swap:
+		if !cat1(s[n-1]) || !cat1(s[n-2]) {
+			return fmt.Errorf("swap of category-2 values")
+		}
+		s[n-1], s[n-2] = s[n-2], s[n-1]
+		return nil
+	case bytecode.DupX1:
+		if !cat1(s[n-1]) || !cat1(s[n-2]) {
+			return fmt.Errorf("dup_x1 over category-2 values")
+		}
+		top := s[n-1]
+		if err := v.push(f, tTop); err != nil {
+			return err
+		}
+		s = f.stack
+		copy(s[n-1:], s[n-2:n])
+		s[n-2] = top
+		return nil
+	case bytecode.DupX2:
+		if !cat1(s[n-1]) {
+			return fmt.Errorf("dup_x2 of a category-2 value")
+		}
+		if s[n-2] == tLong || s[n-2] == tDouble {
+			return fmt.Errorf("dup_x2 splitting a category-2 value")
+		}
+		top := s[n-1]
+		if err := v.push(f, tTop); err != nil {
+			return err
+		}
+		s = f.stack
+		copy(s[n-2:], s[n-3:n])
+		s[n-3] = top
+		return nil
+	case bytecode.Dup2:
+		if !validUnit(s[n-2], s[n-1]) {
+			return fmt.Errorf("dup2 splitting a category-2 value")
+		}
+		return v.push(f, s[n-2], s[n-1])
+	case bytecode.Dup2X1:
+		if !validUnit(s[n-2], s[n-1]) || !cat1(s[n-3]) {
+			return fmt.Errorf("dup2_x1 over invalid units")
+		}
+		a, b := s[n-2], s[n-1]
+		if err := v.push(f, tTop, tTop); err != nil {
+			return err
+		}
+		s = f.stack
+		copy(s[n-1:], s[n-3:n])
+		s[n-3], s[n-2] = a, b
+		return nil
+	case bytecode.Dup2X2:
+		if !validUnit(s[n-2], s[n-1]) || !validUnit(s[n-4], s[n-3]) {
+			return fmt.Errorf("dup2_x2 over invalid units")
+		}
+		a, b := s[n-2], s[n-1]
+		if err := v.push(f, tTop, tTop); err != nil {
+			return err
+		}
+		s = f.stack
+		copy(s[n-2:], s[n-4:n])
+		s[n-4], s[n-3] = a, b
+		return nil
+	}
+	return fmt.Errorf("unhandled shuffle %s", op)
+}
