@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test verify bench tables
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the full hygiene gate: compile everything, vet, then run the
+# whole suite under the race detector. Expected clean — the parallel
+# pack/unpack pipeline and the bench corpus cache are race-stress-tested.
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# bench runs the throughput benchmarks that track the parallel
+# pipeline's speedup (MB/s at -j 1 vs -j NumCPU).
+bench:
+	$(GO) test -run=NONE -bench='Benchmark(Pack|Unpack)Throughput' -benchmem .
+
+# tables regenerates the paper's Tables 1-8 and Figure 2.
+tables:
+	$(GO) run ./cmd/benchtables

@@ -1,6 +1,8 @@
 package classpack
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"classpack/internal/bench"
@@ -131,6 +133,77 @@ func BenchmarkUnpack(b *testing.B) {
 		if _, err := core.Unpack(packed); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchThroughputInput loads the javac-like corpus as raw stripped file
+// bytes — the whole-pipeline input the public API consumes — plus their
+// total size for b.SetBytes.
+func benchThroughputInput(b *testing.B) ([][]byte, int64) {
+	b.Helper()
+	c, err := bench.Load("213_javac", benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	files := make([][]byte, len(c.StrippedFiles))
+	var total int64
+	for i, f := range c.StrippedFiles {
+		files[i] = f.Data
+		total += int64(len(f.Data))
+	}
+	return files, total
+}
+
+// benchJobLevels reports the worker counts the throughput benchmarks
+// sweep: the serial baseline and all cores (when they differ).
+func benchJobLevels() []int {
+	if n := runtime.NumCPU(); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1}
+}
+
+// BenchmarkPackThroughput measures end-to-end pack MB/s (parse + strip +
+// encode + compress) over class-file input bytes, at -j 1 and -j
+// NumCPU, tracking the parallel pipeline's speedup in BENCH_*.json.
+func BenchmarkPackThroughput(b *testing.B) {
+	files, total := benchThroughputInput(b)
+	for _, j := range benchJobLevels() {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			opts := DefaultOptions()
+			opts.Concurrency = j
+			b.SetBytes(total)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Pack(files, &opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkUnpackThroughput measures end-to-end unpack MB/s (decompress
+// + decode + reserialize) over reproduced class-file bytes, at -j 1 and
+// -j NumCPU.
+func BenchmarkUnpackThroughput(b *testing.B) {
+	files, total := benchThroughputInput(b)
+	packed, err := Pack(files, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, j := range benchJobLevels() {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			b.SetBytes(total)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := UnpackN(packed, j); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"classpack/internal/archive"
 	"classpack/internal/classfile"
 	"classpack/internal/core"
+	"classpack/internal/par"
 	"classpack/internal/refs"
 	"classpack/internal/strip"
 	"classpack/internal/verifier"
@@ -65,6 +66,11 @@ type Options struct {
 	// Preload seeds the reference pools with a standard table of common
 	// JDK names (§14 of the paper); helpful mainly for small archives.
 	Preload bool
+	// Concurrency bounds the worker pool used for per-file
+	// parse/canonicalize and per-stream compression: 0 means all cores,
+	// 1 reproduces the serial path exactly. It is a local performance
+	// knob only — the packed bytes are identical for every value.
+	Concurrency int
 }
 
 // DefaultOptions returns the paper's evaluated configuration.
@@ -78,7 +84,7 @@ func (o *Options) core() core.Options {
 		return core.DefaultOptions()
 	}
 	return core.Options{Scheme: o.Scheme, StackState: o.StackState,
-		Compress: o.Compress, Preload: o.Preload}
+		Compress: o.Compress, Preload: o.Preload, Concurrency: o.Concurrency}
 }
 
 // File is one class file by name. Names follow the jar convention:
@@ -89,36 +95,67 @@ type File struct {
 }
 
 // Pack parses, canonicalizes (Strip), and packs a collection of class
-// files into a single archive. A nil opts uses DefaultOptions.
+// files into a single archive. A nil opts uses DefaultOptions. Per-file
+// parsing and canonicalization fan out over Options.Concurrency workers;
+// the packed bytes are identical for every worker count.
 func Pack(files [][]byte, opts *Options) ([]byte, error) {
-	cfs := make([]*classfile.ClassFile, len(files))
-	for i, data := range files {
-		cf, err := classfile.Parse(data)
-		if err != nil {
-			return nil, fmt.Errorf("classpack: file %d: %w", i, err)
-		}
-		if err := strip.Apply(cf, strip.Options{}); err != nil {
-			return nil, fmt.Errorf("classpack: file %d: %w", i, err)
-		}
-		cfs[i] = cf
+	c := opts.core()
+	cfs, err := parseAndStrip(files, c.Concurrency)
+	if err != nil {
+		return nil, err
 	}
-	return core.Pack(cfs, opts.core())
+	return core.Pack(cfs, c)
 }
 
-// Unpack decompresses a packed archive into class files. Decompression is
-// deterministic: it reproduces Strip of each input file byte for byte.
+// parseAndStrip runs the per-file front half of the pack pipeline —
+// parse plus §2 canonicalization — on a bounded worker pool. Results
+// land by index, so downstream encoding sees files in input order.
+func parseAndStrip(files [][]byte, concurrency int) ([]*classfile.ClassFile, error) {
+	cfs := make([]*classfile.ClassFile, len(files))
+	err := par.Do(concurrency, len(files), func(i int) error {
+		cf, err := classfile.Parse(files[i])
+		if err != nil {
+			return fmt.Errorf("classpack: file %d: %w", i, err)
+		}
+		if err := strip.Apply(cf, strip.Options{}); err != nil {
+			return fmt.Errorf("classpack: file %d: %w", i, err)
+		}
+		cfs[i] = cf
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cfs, nil
+}
+
+// Unpack decompresses a packed archive into class files using all
+// cores. Decompression is deterministic: it reproduces Strip of each
+// input file byte for byte, regardless of worker count.
 func Unpack(data []byte) ([]File, error) {
-	cfs, err := core.Unpack(data)
+	return UnpackN(data, 0)
+}
+
+// UnpackN is Unpack with an explicit worker bound (0 = all cores, 1 =
+// fully serial). Stream decompression fans out first; classes are then
+// decoded sequentially (reference pools are stateful) and the final
+// per-file serialization fans out again, re-sequenced by index.
+func UnpackN(data []byte, concurrency int) ([]File, error) {
+	cfs, err := core.UnpackN(data, concurrency)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]File, len(cfs))
-	for i, cf := range cfs {
-		raw, err := classfile.Write(cf)
+	err = par.Do(concurrency, len(cfs), func(i int) error {
+		raw, err := classfile.Write(cfs[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out[i] = File{Name: cf.ThisClassName() + ".class", Data: raw}
+		out[i] = File{Name: cfs[i].ThisClassName() + ".class", Data: raw}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -152,13 +189,19 @@ func OrderForEagerLoading(files [][]byte) ([][]byte, error) {
 		super string
 	}
 	entries := make([]entry, len(files))
-	byName := make(map[string]int, len(files))
-	for i, data := range files {
-		cf, err := classfile.Parse(data)
+	err := par.Do(0, len(files), func(i int) error {
+		cf, err := classfile.Parse(files[i])
 		if err != nil {
-			return nil, fmt.Errorf("classpack: file %d: %w", i, err)
+			return fmt.Errorf("classpack: file %d: %w", i, err)
 		}
-		entries[i] = entry{data: data, name: cf.ThisClassName(), super: cf.SuperClassName()}
+		entries[i] = entry{data: files[i], name: cf.ThisClassName(), super: cf.SuperClassName()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]int, len(files))
+	for i := range entries {
 		byName[entries[i].name] = i
 	}
 	depth := make([]int, len(entries))
@@ -216,6 +259,24 @@ func Verify(data []byte) error {
 	return classfile.Verify(cf)
 }
 
+// VerifyAll verifies a collection of class files on up to concurrency
+// workers (0 = all cores, 1 = serial) and returns one error slot per
+// file, aligned with the input; nil entries are valid files. With deep
+// set, each file additionally passes through the dataflow bytecode
+// verifier (see VerifyDeep).
+func VerifyAll(files [][]byte, deep bool, concurrency int) []error {
+	errs := make([]error, len(files))
+	_ = par.Do(concurrency, len(files), func(i int) error {
+		if deep {
+			errs[i] = VerifyDeep(files[i])
+		} else {
+			errs[i] = Verify(files[i])
+		}
+		return nil
+	})
+	return errs
+}
+
 // VerifyDeep additionally runs a dataflow bytecode verifier over every
 // method (pre-Java-6-style type inference: stack discipline, operand
 // types, frame merges, definite assignment of locals). Reference types
@@ -255,7 +316,13 @@ func PackJar(jarData []byte, opts *Options) (packed []byte, skipped []string, er
 // UnpackToJar decompresses a packed archive and rebuilds a conventional
 // jar file (per-file DEFLATE) from the classes, usable by any JVM.
 func UnpackToJar(data []byte) ([]byte, error) {
-	files, err := Unpack(data)
+	return UnpackToJarN(data, 0)
+}
+
+// UnpackToJarN is UnpackToJar with an explicit worker bound (0 = all
+// cores, 1 = serial).
+func UnpackToJarN(data []byte, concurrency int) ([]byte, error) {
+	files, err := UnpackN(data, concurrency)
 	if err != nil {
 		return nil, err
 	}
@@ -275,18 +342,12 @@ type Stats struct {
 
 // PackStats packs the files and reports where the bytes went.
 func PackStats(files [][]byte, opts *Options) (Stats, error) {
-	cfs := make([]*classfile.ClassFile, len(files))
-	for i, data := range files {
-		cf, err := classfile.Parse(data)
-		if err != nil {
-			return Stats{}, err
-		}
-		if err := strip.Apply(cf, strip.Options{}); err != nil {
-			return Stats{}, err
-		}
-		cfs[i] = cf
+	c := opts.core()
+	cfs, err := parseAndStrip(files, c.Concurrency)
+	if err != nil {
+		return Stats{}, err
 	}
-	sizes, err := core.PackStats(cfs, opts.core())
+	sizes, err := core.PackStats(cfs, c)
 	if err != nil {
 		return Stats{}, err
 	}

@@ -17,7 +17,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"time"
 
 	"classpack"
 	"classpack/internal/classfile"
@@ -58,14 +60,16 @@ func main() {
 
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
-  jpack pack   [-o out.cjp] [-scheme NAME] [-no-stackstate] [-no-gzip] <file.class ... | app.jar>
-  jpack unpack [-d outdir] [-jar out.jar] <archive.cjp>
+  jpack pack   [-o out.cjp] [-scheme NAME] [-no-stackstate] [-no-gzip] [-j N] <file.class ... | app.jar>
+  jpack unpack [-d outdir] [-jar out.jar] [-j N] <archive.cjp>
   jpack strip  [-o out.class] <file.class>
   jpack stats  <file.class ... | app.jar>
-  jpack verify [-deep] <file.class ...>
+  jpack verify [-deep] [-j N] <file.class ...>
   jpack dump   [-pool] [-code] <file.class ... | app.jar>
 
 schemes: simple, basic, mtf, mtf-transients, mtf-context, mtf-full (default)
+-j N bounds the worker pool (0 = all cores, the default; 1 = serial).
+Output is byte-identical for every -j value.
 `)
 }
 
@@ -86,6 +90,24 @@ func schemeByName(name string) (classpack.Scheme, error) {
 	default:
 		return 0, fmt.Errorf("unknown scheme %q", name)
 	}
+}
+
+// parseJobs parses a -j value: 0 means all cores, 1 means serial.
+func parseJobs(s string) (int, error) {
+	j, err := strconv.Atoi(s)
+	if err != nil || j < 0 {
+		return 0, fmt.Errorf("invalid -j value %q (want an integer >= 0)", s)
+	}
+	return j, nil
+}
+
+// throughput formats a byte count over a duration as decimal MB/s.
+func throughput(bytes int, elapsed time.Duration) string {
+	s := elapsed.Seconds()
+	if s <= 0 {
+		s = 1e-9
+	}
+	return fmt.Sprintf("%.1f MB/s", float64(bytes)/1e6/s)
 }
 
 // parseFlags splits leading -flag arguments from file operands.
@@ -169,9 +191,10 @@ func jarClasses(jar []byte) ([][]byte, []string, error) {
 func cmdPack(args []string) error {
 	out := "out.cjp"
 	scheme := "mtf-full"
+	jobs := "0"
 	noSS, noGz, preload := false, false, false
 	files, err := parseFlags(args,
-		map[string]*string{"-o": &out, "-scheme": &scheme},
+		map[string]*string{"-o": &out, "-scheme": &scheme, "-j": &jobs},
 		map[string]*bool{"-no-stackstate": &noSS, "-no-gzip": &noGz, "-preload": &preload})
 	if err != nil {
 		return err
@@ -183,11 +206,16 @@ func cmdPack(args []string) error {
 	if err != nil {
 		return err
 	}
+	j, err := parseJobs(jobs)
+	if err != nil {
+		return err
+	}
 	opts := classpack.DefaultOptions()
 	opts.Scheme = s
 	opts.StackState = !noSS
 	opts.Compress = !noGz
 	opts.Preload = preload
+	opts.Concurrency = j
 	classes, skipped, err := loadClassInputs(files)
 	if err != nil {
 		return err
@@ -199,47 +227,65 @@ func cmdPack(args []string) error {
 	for _, c := range classes {
 		raw += len(c)
 	}
+	start := time.Now()
 	packed, err := classpack.Pack(classes, &opts)
 	if err != nil {
 		return err
 	}
+	elapsed := time.Since(start)
 	if err := os.WriteFile(out, packed, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("packed %d classes: %d -> %d bytes (%.1f%%)\n",
-		len(classes), raw, len(packed), 100*float64(len(packed))/float64(raw))
+	fmt.Printf("packed %d classes: %d -> %d bytes (%.1f%%) in %v (%s)\n",
+		len(classes), raw, len(packed), 100*float64(len(packed))/float64(raw),
+		elapsed.Round(time.Millisecond), throughput(raw, elapsed))
 	return nil
 }
 
 func cmdUnpack(args []string) error {
 	dir := "."
 	jarOut := ""
+	jobs := "0"
 	files, err := parseFlags(args,
-		map[string]*string{"-d": &dir, "-jar": &jarOut}, nil)
+		map[string]*string{"-d": &dir, "-jar": &jarOut, "-j": &jobs}, nil)
 	if err != nil {
 		return err
 	}
 	if len(files) != 1 {
 		return fmt.Errorf("unpack takes exactly one archive")
 	}
+	j, err := parseJobs(jobs)
+	if err != nil {
+		return err
+	}
 	data, err := os.ReadFile(files[0])
 	if err != nil {
 		return err
 	}
 	if jarOut != "" {
-		jar, err := classpack.UnpackToJar(data)
+		start := time.Now()
+		jar, err := classpack.UnpackToJarN(data, j)
 		if err != nil {
 			return err
 		}
+		elapsed := time.Since(start)
 		if err := os.WriteFile(jarOut, jar, 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (%d bytes)\n", jarOut, len(jar))
+		fmt.Printf("wrote %s: %d -> %d bytes in %v (%s)\n",
+			jarOut, len(data), len(jar), elapsed.Round(time.Millisecond),
+			throughput(len(jar), elapsed))
 		return nil
 	}
-	out, err := classpack.Unpack(data)
+	start := time.Now()
+	out, err := classpack.UnpackN(data, j)
 	if err != nil {
 		return err
+	}
+	elapsed := time.Since(start)
+	total := 0
+	for _, f := range out {
+		total += len(f.Data)
 	}
 	for _, f := range out {
 		path := filepath.Join(dir, filepath.FromSlash(f.Name))
@@ -250,7 +296,9 @@ func cmdUnpack(args []string) error {
 			return err
 		}
 	}
-	fmt.Printf("unpacked %d classes into %s\n", len(out), dir)
+	fmt.Printf("unpacked %d classes into %s: %d -> %d bytes in %v (%s)\n",
+		len(out), dir, len(data), total, elapsed.Round(time.Millisecond),
+		throughput(total, elapsed))
 	return nil
 }
 
@@ -309,22 +357,28 @@ func cmdStats(args []string) error {
 
 func cmdVerify(args []string) error {
 	deep := false
-	files, err := parseFlags(args, nil, map[string]*bool{"-deep": &deep})
+	jobs := "0"
+	files, err := parseFlags(args,
+		map[string]*string{"-j": &jobs}, map[string]*bool{"-deep": &deep})
 	if err != nil {
 		return err
 	}
-	check := classpack.Verify
-	if deep {
-		check = classpack.VerifyDeep
+	j, err := parseJobs(jobs)
+	if err != nil {
+		return err
 	}
-	bad := 0
-	for _, path := range files {
-		data, err := os.ReadFile(path)
-		if err != nil {
+	contents := make([][]byte, len(files))
+	for i, path := range files {
+		if contents[i], err = os.ReadFile(path); err != nil {
 			return err
 		}
-		if err := check(data); err != nil {
-			fmt.Printf("%s: INVALID: %v\n", path, err)
+	}
+	// Verification fans out across files; results print in input order.
+	errs := classpack.VerifyAll(contents, deep, j)
+	bad := 0
+	for i, path := range files {
+		if errs[i] != nil {
+			fmt.Printf("%s: INVALID: %v\n", path, errs[i])
 			bad++
 		} else {
 			fmt.Printf("%s: ok\n", path)

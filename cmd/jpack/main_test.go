@@ -128,6 +128,48 @@ func TestSchemeFlags(t *testing.T) {
 	}
 }
 
+func TestConcurrencyFlag(t *testing.T) {
+	classes, _ := writeClasses(t)
+	dir := t.TempDir()
+	// Archives packed at -j 1, -j 4, and -j 0 (all cores) must be
+	// byte-identical, and each must unpack at any -j.
+	var want []byte
+	for _, j := range []string{"1", "4", "0"} {
+		out := filepath.Join(dir, "j"+j+".cjp")
+		if err := cmdPack(append([]string{"-o", out, "-j", j}, classes...)); err != nil {
+			t.Fatalf("pack -j %s: %v", j, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = data
+		} else if string(data) != string(want) {
+			t.Fatalf("pack -j %s produced a different archive", j)
+		}
+		unDir := filepath.Join(dir, "un"+j)
+		if err := cmdUnpack([]string{"-d", unDir, "-j", j, out}); err != nil {
+			t.Fatalf("unpack -j %s: %v", j, err)
+		}
+		if err := cmdVerify([]string{"-deep", "-j", j, filepath.Join(unDir, "Main.class")}); err != nil {
+			t.Fatalf("verify -j %s: %v", j, err)
+		}
+	}
+}
+
+func TestConcurrencyFlagErrors(t *testing.T) {
+	classes, _ := writeClasses(t)
+	for _, j := range []string{"-1", "x", ""} {
+		if err := cmdPack(append([]string{"-j", j}, classes...)); err == nil {
+			t.Errorf("pack -j %q accepted", j)
+		}
+	}
+	if err := cmdUnpack([]string{"-j", "nope", "whatever.cjp"}); err == nil {
+		t.Error("unpack -j nope accepted")
+	}
+}
+
 func TestFlagErrors(t *testing.T) {
 	if err := cmdPack([]string{"-o"}); err == nil {
 		t.Error("dangling flag accepted")

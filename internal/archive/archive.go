@@ -12,6 +12,7 @@ import (
 	"compress/gzip"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // File is one archive member.
@@ -20,12 +21,89 @@ type File struct {
 	Data []byte
 }
 
+// Constructing a flate.Writer allocates its full match-finder state
+// (hundreds of KB) and dominates the allocation profile on small
+// corpora, so writers, readers, and scratch buffers are pooled and
+// Reset between uses. All pooled writers use BestCompression — the only
+// level this package compresses at — so a recycled writer always
+// behaves identically to a fresh one.
+var (
+	flateWriterPool sync.Pool // *flate.Writer at BestCompression
+	flateReaderPool sync.Pool // flateReader
+	gzipWriterPool  sync.Pool // *gzip.Writer at BestCompression
+	bufferPool      sync.Pool // *bytes.Buffer
+)
+
+// flateReader is what flate.NewReader actually returns: a ReadCloser
+// that can be Reset onto a new source.
+type flateReader interface {
+	io.ReadCloser
+	flate.Resetter
+}
+
+func getFlateWriter(w io.Writer) *flate.Writer {
+	if fw, ok := flateWriterPool.Get().(*flate.Writer); ok {
+		fw.Reset(w)
+		return fw
+	}
+	fw, err := flate.NewWriter(w, flate.BestCompression)
+	if err != nil {
+		panic(err) // BestCompression is a valid level
+	}
+	return fw
+}
+
+func putFlateWriter(fw *flate.Writer) { flateWriterPool.Put(fw) }
+
+func getFlateReader(data []byte) flateReader {
+	src := bytes.NewReader(data)
+	if fr, ok := flateReaderPool.Get().(flateReader); ok {
+		if fr.Reset(src, nil) == nil {
+			return fr
+		}
+	}
+	return flate.NewReader(src).(flateReader)
+}
+
+func putFlateReader(fr flateReader) { flateReaderPool.Put(fr) }
+
+func getBuffer() *bytes.Buffer {
+	if b, ok := bufferPool.Get().(*bytes.Buffer); ok {
+		b.Reset()
+		return b
+	}
+	return new(bytes.Buffer)
+}
+
+// maxPooledBuffer bounds retained scratch capacity so one huge archive
+// does not pin its buffer for the life of the process.
+const maxPooledBuffer = 4 << 20
+
+func putBuffer(b *bytes.Buffer) {
+	if b.Cap() <= maxPooledBuffer {
+		bufferPool.Put(b)
+	}
+}
+
+// pooledDeflater returns its flate.Writer to the pool when the zip
+// writer closes the entry.
+type pooledDeflater struct{ fw *flate.Writer }
+
+func (d *pooledDeflater) Write(p []byte) (int, error) { return d.fw.Write(p) }
+
+func (d *pooledDeflater) Close() error {
+	err := d.fw.Close()
+	putFlateWriter(d.fw)
+	d.fw = nil
+	return err
+}
+
 func writeZip(files []File, method uint16) ([]byte, error) {
 	var buf bytes.Buffer
 	zw := zip.NewWriter(&buf)
 	// Maximum compression, matching the paper's gzip usage.
 	zw.RegisterCompressor(zip.Deflate, func(w io.Writer) (io.WriteCloser, error) {
-		return flate.NewWriter(w, flate.BestCompression)
+		return &pooledDeflater{fw: getFlateWriter(w)}, nil
 	})
 	for _, f := range files {
 		w, err := zw.CreateHeader(&zip.FileHeader{Name: f.Name, Method: method})
@@ -51,15 +129,23 @@ func WriteStored(files []File) ([]byte, error) { return writeZip(files, zip.Stor
 // GzipWhole compresses data as one gzip stream at maximum compression.
 func GzipWhole(data []byte) ([]byte, error) {
 	var buf bytes.Buffer
-	gw, err := gzip.NewWriterLevel(&buf, gzip.BestCompression)
-	if err != nil {
-		return nil, err
+	gw, ok := gzipWriterPool.Get().(*gzip.Writer)
+	if ok {
+		gw.Reset(&buf)
+	} else {
+		var err error
+		if gw, err = gzip.NewWriterLevel(&buf, gzip.BestCompression); err != nil {
+			return nil, err
+		}
 	}
-	if _, err := gw.Write(data); err != nil {
-		return nil, err
+	_, werr := gw.Write(data)
+	cerr := gw.Close()
+	gzipWriterPool.Put(gw)
+	if werr != nil {
+		return nil, werr
 	}
-	if err := gw.Close(); err != nil {
-		return nil, err
+	if cerr != nil {
+		return nil, cerr
 	}
 	return buf.Bytes(), nil
 }
@@ -116,43 +202,64 @@ func ReadJ0rGz(data []byte) ([]File, error) {
 	return ReadJar(stored)
 }
 
+// countWriter discards its input, keeping only the byte count.
+type countWriter int64
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	*c += countWriter(len(p))
+	return len(p), nil
+}
+
 // FlateSize returns the DEFLATE-compressed size of data at maximum
 // compression, without gzip framing — the measurement the paper uses when
-// it reports zlib sizes excluding header bytes.
+// it reports zlib sizes excluding header bytes. The compressed bytes are
+// counted, never materialized.
 func FlateSize(data []byte) int {
-	var buf bytes.Buffer
-	fw, err := flate.NewWriter(&buf, flate.BestCompression)
-	if err != nil {
+	var n countWriter
+	fw := getFlateWriter(&n)
+	_, werr := fw.Write(data)
+	cerr := fw.Close()
+	putFlateWriter(fw)
+	if werr != nil || cerr != nil {
 		return 0
 	}
-	if _, err := fw.Write(data); err != nil {
-		return 0
-	}
-	if err := fw.Close(); err != nil {
-		return 0
-	}
-	return buf.Len()
+	return int(n)
 }
 
 // Flate compresses data with raw DEFLATE at maximum compression.
 func Flate(data []byte) ([]byte, error) {
-	var buf bytes.Buffer
-	fw, err := flate.NewWriter(&buf, flate.BestCompression)
-	if err != nil {
-		return nil, err
+	buf := getBuffer()
+	defer putBuffer(buf)
+	fw := getFlateWriter(buf)
+	_, werr := fw.Write(data)
+	cerr := fw.Close()
+	putFlateWriter(fw)
+	if werr != nil {
+		return nil, werr
 	}
-	if _, err := fw.Write(data); err != nil {
-		return nil, err
+	if cerr != nil {
+		return nil, cerr
 	}
-	if err := fw.Close(); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
 }
 
 // Inflate decompresses raw DEFLATE data.
 func Inflate(data []byte) ([]byte, error) {
-	fr := flate.NewReader(bytes.NewReader(data))
-	defer fr.Close()
-	return io.ReadAll(fr)
+	fr := getFlateReader(data)
+	buf := getBuffer()
+	defer putBuffer(buf)
+	if _, err := buf.ReadFrom(fr); err != nil {
+		// A reader that saw corrupt input is dropped, not recycled.
+		fr.Close()
+		return nil, err
+	}
+	if err := fr.Close(); err != nil {
+		return nil, err
+	}
+	putFlateReader(fr)
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
 }

@@ -16,7 +16,11 @@ import (
 )
 
 // Corpus is one generated benchmark with its as-distributed (debug-bearing)
-// and stripped forms.
+// and stripped forms. After Load returns, a Corpus is immutable except
+// for its internal measurement cache, and all methods are safe for
+// concurrent use: each measurement key has its own once-guard, so two
+// goroutines computing different tables over the same corpus never
+// serialize against each other.
 type Corpus struct {
 	Name  string
 	Scale float64
@@ -27,13 +31,31 @@ type Corpus struct {
 	Stripped      []*classfile.ClassFile
 	StrippedFiles []archive.File
 
-	mu    sync.Mutex
-	sizes map[string]int
+	mu    sync.Mutex // guards the sizes map shape only, never computation
+	sizes map[string]*sizeOnce
+}
+
+// sizeOnce is one memoized measurement; computation happens inside the
+// once so concurrent callers of the same key block on each other but on
+// nothing else.
+type sizeOnce struct {
+	once sync.Once
+	v    int
+	err  error
+}
+
+// corpusOnce is one cache slot; generation happens inside the once, so
+// concurrent Loads of different corpora build in parallel while
+// concurrent Loads of the same corpus share one build.
+type corpusOnce struct {
+	once sync.Once
+	c    *Corpus
+	err  error
 }
 
 var (
-	cacheMu sync.Mutex
-	cache   = map[string]*Corpus{}
+	cacheMu sync.Mutex // guards the cache map shape only, never generation
+	cache   = map[string]*corpusOnce{}
 )
 
 // Names lists the benchmark corpora in the paper's Table 1 order.
@@ -46,13 +68,23 @@ func Names() []string {
 }
 
 // Load builds (or returns the cached) corpus for a profile at a scale.
+// It is safe for concurrent use: distinct corpora generate in parallel.
 func Load(name string, scale float64) (*Corpus, error) {
 	key := fmt.Sprintf("%s@%g", name, scale)
 	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if c, ok := cache[key]; ok {
-		return c, nil
+	e, ok := cache[key]
+	if !ok {
+		e = new(corpusOnce)
+		cache[key] = e
 	}
+	cacheMu.Unlock()
+	e.once.Do(func() { e.c, e.err = build(name, scale) })
+	return e.c, e.err
+}
+
+// build generates one corpus; per-file canonicalization fans out over
+// all cores.
+func build(name string, scale float64) (*Corpus, error) {
 	p, err := synth.ProfileByName(name)
 	if err != nil {
 		return nil, err
@@ -61,7 +93,7 @@ func Load(name string, scale float64) (*Corpus, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Corpus{Name: name, Scale: scale, sizes: map[string]int{}}
+	c := &Corpus{Name: name, Scale: scale, sizes: map[string]*sizeOnce{}}
 	for _, cf := range cfs {
 		data, err := classfile.Write(cf)
 		if err != nil {
@@ -70,7 +102,7 @@ func Load(name string, scale float64) (*Corpus, error) {
 		fname := cf.ThisClassName() + ".class"
 		c.Unstripped = append(c.Unstripped, archive.File{Name: fname, Data: data})
 	}
-	if err := strip.ApplyAll(cfs, strip.Options{}); err != nil {
+	if err := strip.ApplyAllN(cfs, strip.Options{}, 0); err != nil {
 		return nil, err
 	}
 	c.Stripped = cfs
@@ -81,23 +113,22 @@ func Load(name string, scale float64) (*Corpus, error) {
 		}
 		c.StrippedFiles = append(c.StrippedFiles, archive.File{Name: cf.ThisClassName() + ".class", Data: data})
 	}
-	cache[key] = c
 	return c, nil
 }
 
-// memo caches a size measurement under a key.
+// memo caches a size measurement under a key. The corpus lock is held
+// only to find or insert the key's slot; the measurement itself runs
+// under the slot's own once, so different keys compute concurrently.
 func (c *Corpus) memo(key string, f func() (int, error)) (int, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if v, ok := c.sizes[key]; ok {
-		return v, nil
+	e, ok := c.sizes[key]
+	if !ok {
+		e = new(sizeOnce)
+		c.sizes[key] = e
 	}
-	v, err := f()
-	if err != nil {
-		return 0, err
-	}
-	c.sizes[key] = v
-	return v, nil
+	c.mu.Unlock()
+	e.once.Do(func() { e.v, e.err = f() })
+	return e.v, e.err
 }
 
 // SJ0R is the stored (uncompressed) jar of stripped classfiles.

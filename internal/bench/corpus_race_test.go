@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"sync"
+	"testing"
+
+	"classpack/internal/core"
+)
+
+// The corpus cache and per-corpus measurement memo use per-key
+// once-guards, so concurrent table generation neither races nor
+// serializes unrelated work. These stress tests are the teeth:
+// `go test -race ./...` is expected to stay clean over them.
+
+// TestLoadConcurrentSameCorpus hammers one cache key from many
+// goroutines and requires every caller to observe the same build.
+func TestLoadConcurrentSameCorpus(t *testing.T) {
+	t.Parallel()
+	const goroutines = 16
+	got := make([]*Corpus, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			c, err := Load("Hanoi", 0.02)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[g] = c
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if got[g] != got[0] {
+			t.Fatalf("goroutine %d got a different corpus instance", g)
+		}
+	}
+}
+
+// TestLoadConcurrentDistinctCorpora loads several profiles at once;
+// per-key locking means none of these builds serialize against each
+// other.
+func TestLoadConcurrentDistinctCorpora(t *testing.T) {
+	t.Parallel()
+	names := Names()
+	if len(names) > 6 {
+		names = names[:6]
+	}
+	var wg sync.WaitGroup
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			if _, err := Load(name, 0.02); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+		}(name)
+	}
+	wg.Wait()
+}
+
+// TestMemoConcurrentMeasurements drives many distinct measurements of
+// one corpus concurrently — the shape a parallel table generator
+// produces — and then re-reads them to confirm the memo returns stable
+// values.
+func TestMemoConcurrentMeasurements(t *testing.T) {
+	t.Parallel()
+	c, err := Load("Hanoi", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measurements := []func() (int, error){
+		c.SJ0R,
+		c.Jar,
+		c.SJar,
+		c.SJ0RGz,
+		c.JazzSize,
+		func() (int, error) { return c.PackedSize(core.DefaultOptions()) },
+		func() (int, error) {
+			o := core.DefaultOptions()
+			o.StackState = false
+			return c.PackedSize(o)
+		},
+	}
+	first := make([]int, len(measurements))
+	var wg sync.WaitGroup
+	for round := 0; round < 4; round++ {
+		for mi, m := range measurements {
+			wg.Add(1)
+			go func(mi int, m func() (int, error)) {
+				defer wg.Done()
+				v, err := m()
+				if err != nil {
+					t.Errorf("measurement %d: %v", mi, err)
+					return
+				}
+				if v <= 0 {
+					t.Errorf("measurement %d: size %d", mi, v)
+				}
+			}(mi, m)
+		}
+	}
+	wg.Wait()
+	for mi, m := range measurements {
+		if first[mi], err = m(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for mi, m := range measurements {
+		v, err := m()
+		if err != nil || v != first[mi] {
+			t.Fatalf("measurement %d unstable: %d then %d (%v)", mi, first[mi], v, err)
+		}
+	}
+}

@@ -11,11 +11,19 @@ import (
 	"classpack/internal/streams"
 )
 
-// Unpack decodes a packed archive back into classfiles. Decompression is
-// deterministic: the result is byte-for-byte the stripped input of Pack.
+// Unpack decodes a packed archive back into classfiles using all cores
+// for stream decompression. Decompression is deterministic: the result
+// is byte-for-byte the stripped input of Pack regardless of worker
+// count.
 func Unpack(data []byte) ([]*classfile.ClassFile, error) {
+	return UnpackN(data, 0)
+}
+
+// UnpackN is Unpack with an explicit worker bound for stream
+// decompression (0 = all cores, 1 = serial).
+func UnpackN(data []byte, concurrency int) ([]*classfile.ClassFile, error) {
 	var out []*classfile.ClassFile
-	err := UnpackStream(data, func(cf *classfile.ClassFile) error {
+	err := UnpackStreamN(data, concurrency, func(cf *classfile.ClassFile) error {
 		out = append(out, cf)
 		return nil
 	})
@@ -30,6 +38,14 @@ func Unpack(data []byte) ([]*classfile.ClassFile, error) {
 // class loader (§11) can define classes as they arrive instead of caching
 // the archive. A visit error aborts decoding and is returned verbatim.
 func UnpackStream(data []byte, visit func(*classfile.ClassFile) error) error {
+	return UnpackStreamN(data, 0, visit)
+}
+
+// UnpackStreamN is UnpackStream with an explicit worker bound for the
+// up-front stream decompression (0 = all cores, 1 = serial). Class
+// decoding itself stays sequential: reference pools are stateful, so
+// each class's references depend on every class before it.
+func UnpackStreamN(data []byte, concurrency int, visit func(*classfile.ClassFile) error) error {
 	if len(data) < 6 || !bytes.Equal(data[:4], Magic[:]) {
 		return fmt.Errorf("core: not a packed archive")
 	}
@@ -40,7 +56,7 @@ func UnpackStream(data []byte, visit func(*classfile.ClassFile) error) error {
 	if !opts.Scheme.Decodable() {
 		return fmt.Errorf("core: archive uses undecodable scheme %v", opts.Scheme)
 	}
-	r, err := streams.NewReader(data[6:])
+	r, err := streams.NewReaderN(data[6:], concurrency)
 	if err != nil {
 		return err
 	}

@@ -34,7 +34,7 @@ func Pack(cfs []*classfile.ClassFile, opts Options) ([]byte, error) {
 	if err := emitter.archive(cfs); err != nil {
 		return nil, err
 	}
-	body, err := emitter.w.Finish(opts.Compress)
+	body, err := emitter.w.FinishN(opts.Compress, opts.Concurrency)
 	if err != nil {
 		return nil, err
 	}
@@ -61,7 +61,7 @@ func PackStats(cfs []*classfile.ClassFile, opts Options) (map[string][2]int, err
 	if err := emitter.archive(cfs); err != nil {
 		return nil, err
 	}
-	return emitter.w.Sizes(opts.Compress), nil
+	return emitter.w.SizesN(opts.Compress, opts.Concurrency), nil
 }
 
 // Traces records the reference event stream of every pool in encode order

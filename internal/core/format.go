@@ -37,6 +37,11 @@ type Options struct {
 	// JDK names and references (the §14 extension). The flag travels in
 	// the archive header; both sides must know the same table.
 	Preload bool
+	// Concurrency bounds the workers used for parallel stream
+	// compression (0 = all cores, 1 = serial). It is a local performance
+	// knob only: it does not travel in the archive header and never
+	// changes the packed bytes.
+	Concurrency int
 }
 
 // DefaultOptions is the paper's evaluated configuration (§10).

@@ -1,0 +1,91 @@
+// Package par provides the bounded, order-preserving worker pool the
+// codec fans independent per-item work across: per-file parse/strip and
+// write-out in the public API, per-stream compression and decompression
+// in the container, and whole-archive verification. Work is indexed,
+// results are written by index, and the error reported is always the
+// lowest-index failure — so output content, output order, and error
+// selection never depend on the worker count.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a concurrency request for n items: values <= 0 mean
+// "all cores" (runtime.GOMAXPROCS). The result is clamped to [1, n] for
+// n >= 1, and is 1 when there is nothing to do.
+func Workers(concurrency, n int) int {
+	if concurrency <= 0 {
+		concurrency = runtime.GOMAXPROCS(0)
+	}
+	if concurrency > n {
+		concurrency = n
+	}
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	return concurrency
+}
+
+// Do runs f(i) for every i in [0, n) on at most Workers(concurrency, n)
+// goroutines and returns the lowest-index error — the same error a
+// serial loop would stop at. With one worker it runs every call inline
+// on the calling goroutine, reproducing the serial path exactly
+// (including stopping at the first failure).
+//
+// Under parallel execution an index after a failing one may still have
+// been processed by the time Do returns; callers must treat the result
+// slice as undefined past the returned error's index, just as a serial
+// loop would have left it unfilled.
+func Do(concurrency, n int, f func(i int) error) error {
+	workers := Workers(concurrency, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Int64 // lowest failing index seen so far
+		wg     sync.WaitGroup
+	)
+	errs := make([]error, n)
+	failed.Store(int64(n))
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				// The claim counter is monotonic, so once a claimed index
+				// lies past the failure frontier every later claim will
+				// too; items before the frontier still run to completion
+				// so the lowest-index error wins deterministically.
+				if i >= n || int64(i) > failed.Load() {
+					return
+				}
+				if err := f(i); err != nil {
+					errs[i] = err
+					for {
+						cur := failed.Load()
+						if int64(i) >= cur || failed.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

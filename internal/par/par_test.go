@@ -1,0 +1,94 @@
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	cores := runtime.GOMAXPROCS(0)
+	cases := []struct{ concurrency, n, want int }{
+		{0, 100, cores},
+		{-3, 100, cores},
+		{1, 100, 1},
+		{4, 2, 2},
+		{4, 0, 1},
+		{0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Workers(c.concurrency, c.n); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.concurrency, c.n, got, c.want)
+		}
+	}
+}
+
+func TestDoVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 0} {
+		const n = 1000
+		counts := make([]atomic.Int32, n)
+		err := Do(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestDoReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 3, 0} {
+		err := Do(workers, 500, func(i int) error {
+			if i == 7 || i == 400 {
+				return fmt.Errorf("fail at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail at 7" {
+			t.Errorf("workers=%d: err = %v, want fail at 7", workers, err)
+		}
+	}
+}
+
+func TestDoSerialStopsEarly(t *testing.T) {
+	ran := 0
+	err := Do(1, 10, func(i int) error {
+		ran++
+		if i == 3 {
+			return fmt.Errorf("stop")
+		}
+		return nil
+	})
+	if err == nil || ran != 4 {
+		t.Fatalf("serial Do ran %d items (err %v), want stop after 4", ran, err)
+	}
+}
+
+func TestDoZeroItems(t *testing.T) {
+	if err := Do(0, 0, func(int) error { return fmt.Errorf("called") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoResultsAreOrdered(t *testing.T) {
+	const n = 2000
+	out := make([]int, n)
+	if err := Do(8, n, func(i int) error {
+		out[i] = i * i
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}

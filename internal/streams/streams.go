@@ -20,6 +20,7 @@ import (
 	"classpack/internal/archive"
 	"classpack/internal/encoding/arith"
 	"classpack/internal/encoding/varint"
+	"classpack/internal/par"
 )
 
 // Stream coding identifiers (the per-stream flag byte).
@@ -77,33 +78,64 @@ func encodeStream(raw []byte, compress bool) (byte, []byte) {
 	return coding, payload
 }
 
-// Finish serializes all streams, choosing each stream's coding per §14.
+// Finish serializes all streams serially, choosing each stream's coding
+// per §14. It is FinishN with one worker.
 func (w *Writer) Finish(compress bool) ([]byte, error) {
+	return w.FinishN(compress, 1)
+}
+
+// FinishN serializes all streams, trial-coding the mutually independent
+// streams on up to concurrency workers (<= 0 meaning all cores). The
+// container is assembled in sorted name order after all codings are
+// chosen, so the output is byte-identical for every concurrency value.
+func (w *Writer) FinishN(compress bool, concurrency int) ([]byte, error) {
 	names := append([]string(nil), w.order...)
 	sort.Strings(names)
+	type coded struct {
+		coding  byte
+		payload []byte
+	}
+	encs := make([]coded, len(names))
+	if err := par.Do(concurrency, len(names), func(i int) error {
+		coding, payload := encodeStream(w.streams[names[i]].buf.Bytes(), compress)
+		encs[i] = coded{coding, payload}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	var out []byte
 	out = varint.AppendUint(out, uint64(len(names)))
-	for _, name := range names {
+	for i, name := range names {
 		raw := w.streams[name].buf.Bytes()
 		out = varint.AppendUint(out, uint64(len(name)))
 		out = append(out, name...)
 		out = varint.AppendUint(out, uint64(len(raw)))
-		coding, payload := encodeStream(raw, compress)
-		out = append(out, coding)
-		out = varint.AppendUint(out, uint64(len(payload)))
-		out = append(out, payload...)
+		out = append(out, encs[i].coding)
+		out = varint.AppendUint(out, uint64(len(encs[i].payload)))
+		out = append(out, encs[i].payload...)
 	}
 	return out, nil
 }
 
 // Sizes reports per-stream raw and encoded sizes as they would serialize
-// with the given compression setting.
+// with the given compression setting. It is SizesN with one worker.
 func (w *Writer) Sizes(compress bool) map[string][2]int {
-	out := make(map[string][2]int, len(w.streams))
-	for name, s := range w.streams {
-		raw := s.buf.Len()
-		_, payload := encodeStream(s.buf.Bytes(), compress)
-		out[name] = [2]int{raw, len(payload)}
+	return w.SizesN(compress, 1)
+}
+
+// SizesN is Sizes with the trial codings run on up to concurrency
+// workers (<= 0 meaning all cores).
+func (w *Writer) SizesN(compress bool, concurrency int) map[string][2]int {
+	names := append([]string(nil), w.order...)
+	encoded := make([]int, len(names))
+	_ = par.Do(concurrency, len(names), func(i int) error {
+		_, payload := encodeStream(w.streams[names[i]].buf.Bytes(), compress)
+		encoded[i] = len(payload)
+		return nil
+	})
+	out := make(map[string][2]int, len(names))
+	for i, name := range names {
+		out[name] = [2]int{w.streams[name].buf.Len(), encoded[i]}
 	}
 	return out
 }
@@ -133,9 +165,25 @@ type Reader struct {
 	streams map[string]*RStream
 }
 
-// NewReader parses the container.
+// NewReader parses the container, decoding stream payloads serially. It
+// is NewReaderN with one worker.
 func NewReader(data []byte) (*Reader, error) {
-	r := &Reader{streams: make(map[string]*RStream)}
+	return NewReaderN(data, 1)
+}
+
+// entry is one stream's header fields and undecoded payload.
+type entry struct {
+	name    string
+	rawLen  uint64
+	coding  byte
+	payload []byte
+}
+
+// NewReaderN parses the container, walking the headers serially and then
+// decoding the independent stream payloads on up to concurrency workers
+// (<= 0 meaning all cores). The decoded streams are identical for every
+// concurrency value.
+func NewReaderN(data []byte, concurrency int) (*Reader, error) {
 	pos := 0
 	next := func() (uint64, error) {
 		v, n, err := varint.Uint(data[pos:])
@@ -146,6 +194,7 @@ func NewReader(data []byte) (*Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("streams: header: %w", err)
 	}
+	entries := make([]entry, 0, count)
 	for i := uint64(0); i < count; i++ {
 		nameLen, err := next()
 		if err != nil {
@@ -177,36 +226,54 @@ func NewReader(data []byte) (*Reader, error) {
 		if rawLen > uint64(len(data))*1024+1<<20 {
 			return nil, fmt.Errorf("streams: %s: implausible raw length %d", name, rawLen)
 		}
-		var raw []byte
-		switch coding {
-		case codingStore:
-			raw = payload
-		case codingFlate:
-			raw, err = archive.Inflate(payload)
-			if err != nil {
-				return nil, fmt.Errorf("streams: %s: inflate: %w", name, err)
-			}
-		case codingArith:
-			syms, aerr := arith.DecodeAll(256, payload, int(rawLen))
-			if aerr != nil {
-				return nil, fmt.Errorf("streams: %s: arith: %w", name, aerr)
-			}
-			raw = make([]byte, len(syms))
-			for i, v := range syms {
-				raw[i] = byte(v)
-			}
-		default:
-			return nil, fmt.Errorf("streams: %s: unknown coding %d", name, coding)
-		}
-		if uint64(len(raw)) != rawLen {
-			return nil, fmt.Errorf("streams: %s: raw length %d, want %d", name, len(raw), rawLen)
-		}
-		r.streams[name] = &RStream{buf: raw}
+		entries = append(entries, entry{name: name, rawLen: rawLen, coding: coding, payload: payload})
 	}
 	if pos != len(data) {
 		return nil, fmt.Errorf("streams: %d trailing bytes", len(data)-pos)
 	}
+	raws := make([][]byte, len(entries))
+	if err := par.Do(concurrency, len(entries), func(i int) error {
+		raw, err := decodeStream(&entries[i])
+		raws[i] = raw
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	r := &Reader{streams: make(map[string]*RStream, len(entries))}
+	for i, e := range entries {
+		r.streams[e.name] = &RStream{buf: raws[i]}
+	}
 	return r, nil
+}
+
+// decodeStream reverses one stream's coding.
+func decodeStream(e *entry) ([]byte, error) {
+	var raw []byte
+	switch e.coding {
+	case codingStore:
+		raw = e.payload
+	case codingFlate:
+		var err error
+		raw, err = archive.Inflate(e.payload)
+		if err != nil {
+			return nil, fmt.Errorf("streams: %s: inflate: %w", e.name, err)
+		}
+	case codingArith:
+		syms, err := arith.DecodeAll(256, e.payload, int(e.rawLen))
+		if err != nil {
+			return nil, fmt.Errorf("streams: %s: arith: %w", e.name, err)
+		}
+		raw = make([]byte, len(syms))
+		for i, v := range syms {
+			raw[i] = byte(v)
+		}
+	default:
+		return nil, fmt.Errorf("streams: %s: unknown coding %d", e.name, e.coding)
+	}
+	if uint64(len(raw)) != e.rawLen {
+		return nil, fmt.Errorf("streams: %s: raw length %d, want %d", e.name, len(raw), e.rawLen)
+	}
+	return raw, nil
 }
 
 // Stream returns the named stream; absent names yield an empty stream so

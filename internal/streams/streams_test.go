@@ -2,6 +2,7 @@ package streams
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -162,6 +163,73 @@ func TestDeterministicOrder(t *testing.T) {
 	b := mk([]string{"m", "z", "a"})
 	if !bytes.Equal(a, b) {
 		t.Fatal("container depends on stream creation order")
+	}
+}
+
+func TestFinishNDeterministicAcrossConcurrency(t *testing.T) {
+	// A container with many streams of different codings must serialize
+	// byte-identically at every worker count, and NewReaderN must decode
+	// it identically too.
+	build := func() *Writer {
+		w := NewWriter()
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 40; i++ {
+			s := w.Stream(fmt.Sprintf("s.%02d", i))
+			switch i % 3 {
+			case 0: // compressible
+				s.Write([]byte(strings.Repeat("abcabcabd", 200)))
+			case 1: // incompressible
+				noise := make([]byte, 2048)
+				rng.Read(noise)
+				s.Write(noise)
+			case 2: // short and skewed
+				for k := 0; k < 300; k++ {
+					s.WriteByte(byte(rng.Intn(3)))
+				}
+			}
+		}
+		return w
+	}
+	var want []byte
+	for _, j := range []int{1, 2, 7, 0} {
+		data, err := build().FinishN(true, j)
+		if err != nil {
+			t.Fatalf("FinishN(j=%d): %v", j, err)
+		}
+		if want == nil {
+			want = data
+		} else if !bytes.Equal(data, want) {
+			t.Fatalf("FinishN(j=%d) differs from serial container", j)
+		}
+		r, err := NewReaderN(data, j)
+		if err != nil {
+			t.Fatalf("NewReaderN(j=%d): %v", j, err)
+		}
+		for i := 0; i < 40; i++ {
+			name := fmt.Sprintf("s.%02d", i)
+			if r.Stream(name).Remaining() == 0 {
+				t.Fatalf("NewReaderN(j=%d): stream %s empty", j, name)
+			}
+		}
+	}
+}
+
+func TestSizesNMatchesSerial(t *testing.T) {
+	w := NewWriter()
+	w.Stream("a").Write([]byte(strings.Repeat("x", 1000)))
+	w.Stream("b").Write([]byte{1, 2, 3})
+	w.Stream("c").Write(bytes.Repeat([]byte{7, 8}, 900))
+	serial := w.Sizes(true)
+	for _, j := range []int{2, 0} {
+		got := w.SizesN(true, j)
+		if len(got) != len(serial) {
+			t.Fatalf("SizesN(j=%d) has %d entries, want %d", j, len(got), len(serial))
+		}
+		for name, v := range serial {
+			if got[name] != v {
+				t.Fatalf("SizesN(j=%d)[%s] = %v, want %v", j, name, got[name], v)
+			}
+		}
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"classpack/internal/bytecode"
 	"classpack/internal/classfile"
+	"classpack/internal/par"
 )
 
 // Options selects which transformations Apply performs. Unrecognized
@@ -45,14 +46,24 @@ func RenumberWithCode(cf *classfile.ClassFile, decoded map[*classfile.CodeAttr][
 	return renumber(cf, decoded)
 }
 
-// ApplyAll strips every classfile in the slice.
+// ApplyAll strips every classfile in the slice serially. It is
+// ApplyAllN with one worker.
 func ApplyAll(cfs []*classfile.ClassFile, opts Options) error {
-	for _, cf := range cfs {
-		if err := Apply(cf, opts); err != nil {
-			return fmt.Errorf("strip %s: %w", cf.ThisClassName(), err)
+	return ApplyAllN(cfs, opts, 1)
+}
+
+// ApplyAllN strips the classfiles on up to concurrency workers (<= 0
+// meaning all cores). Each classfile is canonicalized in place and
+// independently of the others, so the result is identical for every
+// worker count; the error returned is the one the serial loop would
+// report first.
+func ApplyAllN(cfs []*classfile.ClassFile, opts Options, concurrency int) error {
+	return par.Do(concurrency, len(cfs), func(i int) error {
+		if err := Apply(cfs[i], opts); err != nil {
+			return fmt.Errorf("strip %s: %w", cfs[i].ThisClassName(), err)
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 func keepAttr(a classfile.Attribute, opts Options) bool {
