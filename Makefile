@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench tables
+.PHONY: build test verify bench tables serve-smoke
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,12 @@ verify:
 # pipeline's speedup (MB/s at -j 1 vs -j NumCPU).
 bench:
 	$(GO) test -run=NONE -bench='Benchmark(Pack|Unpack)Throughput' -benchmem .
+
+# serve-smoke boots a real jpackd on a loopback port, packs a synthetic
+# corpus through the HTTP client twice, and checks the cache hit and the
+# digest round-trip (GET /archive/{digest} must unpack cleanly).
+serve-smoke:
+	$(GO) run ./cmd/jpackd -smoke
 
 # tables regenerates the paper's Tables 1-8 and Figure 2.
 tables:

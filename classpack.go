@@ -52,6 +52,28 @@ const (
 	SchemeMTFFull       = refs.MTFFull
 )
 
+// SchemeByName maps the conventional command-line names (as used by
+// jpack -scheme and the jpackd -scheme flag) to Scheme values. The
+// empty string means the default, SchemeMTFFull.
+func SchemeByName(name string) (Scheme, error) {
+	switch name {
+	case "simple":
+		return SchemeSimple, nil
+	case "basic":
+		return SchemeBasic, nil
+	case "mtf":
+		return SchemeMTFBasic, nil
+	case "mtf-transients":
+		return SchemeMTFTransients, nil
+	case "mtf-context":
+		return SchemeMTFContext, nil
+	case "mtf-full", "":
+		return SchemeMTFFull, nil
+	default:
+		return 0, fmt.Errorf("unknown scheme %q", name)
+	}
+}
+
 // Options control the packed format. The zero value is not valid; start
 // from DefaultOptions.
 type Options struct {
@@ -94,12 +116,27 @@ type File struct {
 	Data []byte
 }
 
+// checkConcurrency rejects negative worker bounds up front with a
+// clear error, instead of leaving the interpretation to the worker
+// pool (which would silently treat them as "all cores").
+func checkConcurrency(concurrency int) error {
+	if concurrency < 0 {
+		return fmt.Errorf("classpack: negative Concurrency %d (use 0 for all cores, 1 for serial)",
+			concurrency)
+	}
+	return nil
+}
+
 // Pack parses, canonicalizes (Strip), and packs a collection of class
 // files into a single archive. A nil opts uses DefaultOptions. Per-file
-// parsing and canonicalization fan out over Options.Concurrency workers;
-// the packed bytes are identical for every worker count.
+// parsing and canonicalization fan out over Options.Concurrency workers
+// (negative values are an error); the packed bytes are identical for
+// every worker count.
 func Pack(files [][]byte, opts *Options) ([]byte, error) {
 	c := opts.core()
+	if err := checkConcurrency(c.Concurrency); err != nil {
+		return nil, err
+	}
 	cfs, err := parseAndStrip(files, c.Concurrency)
 	if err != nil {
 		return nil, err
@@ -137,10 +174,14 @@ func Unpack(data []byte) ([]File, error) {
 }
 
 // UnpackN is Unpack with an explicit worker bound (0 = all cores, 1 =
-// fully serial). Stream decompression fans out first; classes are then
-// decoded sequentially (reference pools are stateful) and the final
-// per-file serialization fans out again, re-sequenced by index.
+// fully serial; negative values are an error). Stream decompression
+// fans out first; classes are then decoded sequentially (reference
+// pools are stateful) and the final per-file serialization fans out
+// again, re-sequenced by index.
 func UnpackN(data []byte, concurrency int) ([]File, error) {
+	if err := checkConcurrency(concurrency); err != nil {
+		return nil, err
+	}
 	cfs, err := core.UnpackN(data, concurrency)
 	if err != nil {
 		return nil, err
@@ -261,11 +302,18 @@ func Verify(data []byte) error {
 
 // VerifyAll verifies a collection of class files on up to concurrency
 // workers (0 = all cores, 1 = serial) and returns one error slot per
-// file, aligned with the input; nil entries are valid files. With deep
+// file, aligned with the input; nil entries are valid files. A negative
+// concurrency fills every slot with the same validation error. With deep
 // set, each file additionally passes through the dataflow bytecode
 // verifier (see VerifyDeep).
 func VerifyAll(files [][]byte, deep bool, concurrency int) []error {
 	errs := make([]error, len(files))
+	if err := checkConcurrency(concurrency); err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return errs
+	}
 	_ = par.Do(concurrency, len(files), func(i int) error {
 		if deep {
 			errs[i] = VerifyDeep(files[i])
@@ -343,6 +391,9 @@ type Stats struct {
 // PackStats packs the files and reports where the bytes went.
 func PackStats(files [][]byte, opts *Options) (Stats, error) {
 	c := opts.core()
+	if err := checkConcurrency(c.Concurrency); err != nil {
+		return Stats{}, err
+	}
 	cfs, err := parseAndStrip(files, c.Concurrency)
 	if err != nil {
 		return Stats{}, err

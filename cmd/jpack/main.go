@@ -13,6 +13,7 @@ package main
 import (
 	"archive/zip"
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -26,36 +27,68 @@ import (
 	"classpack/internal/dump"
 )
 
-func main() {
-	if len(os.Args) < 2 {
+// Exit codes: 0 success, 1 operational failure (I/O, bad input data,
+// invalid classes), 2 usage error (unknown command/flag, bad flag
+// value, wrong operands).
+const (
+	exitOK      = 0
+	exitFailure = 1
+	exitUsage   = 2
+)
+
+// usageError marks a command-line mistake, distinguishing exit code 2
+// from operational failures (exit code 1).
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+// usagef builds a usageError like fmt.Errorf.
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+// run dispatches a jpack invocation and returns its exit code; main is
+// kept trivial so tests can assert codes without spawning a process.
+func run(args []string) int {
+	if len(args) < 1 {
 		usage()
-		os.Exit(2)
+		return exitUsage
 	}
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "pack":
-		err = cmdPack(os.Args[2:])
+		err = cmdPack(args[1:])
 	case "unpack":
-		err = cmdUnpack(os.Args[2:])
+		err = cmdUnpack(args[1:])
 	case "strip":
-		err = cmdStrip(os.Args[2:])
+		err = cmdStrip(args[1:])
 	case "stats":
-		err = cmdStats(os.Args[2:])
+		err = cmdStats(args[1:])
 	case "verify":
-		err = cmdVerify(os.Args[2:])
+		err = cmdVerify(args[1:])
 	case "dump":
-		err = cmdDump(os.Args[2:])
+		err = cmdDump(args[1:])
+	case "remote":
+		err = cmdRemote(args[1:])
 	case "help", "-h", "--help":
 		usage()
 	default:
-		fmt.Fprintf(os.Stderr, "jpack: unknown command %q\n", os.Args[1])
+		fmt.Fprintf(os.Stderr, "jpack: unknown command %q\n", args[0])
 		usage()
-		os.Exit(2)
+		return exitUsage
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jpack:", err)
-		os.Exit(1)
+		var ue usageError
+		if errors.As(err, &ue) {
+			return exitUsage
+		}
+		return exitFailure
 	}
+	return exitOK
 }
 
 func usage() {
@@ -66,37 +99,31 @@ func usage() {
   jpack stats  <file.class ... | app.jar>
   jpack verify [-deep] [-j N] <file.class ...>
   jpack dump   [-pool] [-code] <file.class ... | app.jar>
+  jpack remote pack   [-server URL] [-o out.cjp] <app.jar | file.class ...>
+  jpack remote unpack [-server URL] [-jar out.jar | -d outdir] <archive.cjp>
 
 schemes: simple, basic, mtf, mtf-transients, mtf-context, mtf-full (default)
 -j N bounds the worker pool (0 = all cores, the default; 1 = serial).
 Output is byte-identical for every -j value.
+remote commands talk to a jpackd server (-server or $JPACKD_SERVER).
+
+exit codes: 0 ok, 1 pack/verify failure, 2 usage error.
 `)
 }
 
 func schemeByName(name string) (classpack.Scheme, error) {
-	switch name {
-	case "simple":
-		return classpack.SchemeSimple, nil
-	case "basic":
-		return classpack.SchemeBasic, nil
-	case "mtf":
-		return classpack.SchemeMTFBasic, nil
-	case "mtf-transients":
-		return classpack.SchemeMTFTransients, nil
-	case "mtf-context":
-		return classpack.SchemeMTFContext, nil
-	case "mtf-full", "":
-		return classpack.SchemeMTFFull, nil
-	default:
-		return 0, fmt.Errorf("unknown scheme %q", name)
+	s, err := classpack.SchemeByName(name)
+	if err != nil {
+		return 0, usageError{err}
 	}
+	return s, nil
 }
 
 // parseJobs parses a -j value: 0 means all cores, 1 means serial.
 func parseJobs(s string) (int, error) {
 	j, err := strconv.Atoi(s)
 	if err != nil || j < 0 {
-		return 0, fmt.Errorf("invalid -j value %q (want an integer >= 0)", s)
+		return 0, usagef("invalid -j value %q (want an integer >= 0)", s)
 	}
 	return j, nil
 }
@@ -125,13 +152,13 @@ func parseFlags(args []string, flags map[string]*string, bools map[string]*bool)
 		}
 		if f, ok := flags[arg]; ok {
 			if i+1 >= len(args) {
-				return nil, fmt.Errorf("flag %s needs a value", arg)
+				return nil, usagef("flag %s needs a value", arg)
 			}
 			*f = args[i+1]
 			i += 2
 			continue
 		}
-		return nil, fmt.Errorf("unknown flag %s", arg)
+		return nil, usagef("unknown flag %s", arg)
 	}
 	return args[i:], nil
 }
@@ -200,7 +227,7 @@ func cmdPack(args []string) error {
 		return err
 	}
 	if len(files) == 0 {
-		return fmt.Errorf("no input files")
+		return usagef("no input files")
 	}
 	s, err := schemeByName(scheme)
 	if err != nil {
@@ -252,7 +279,7 @@ func cmdUnpack(args []string) error {
 		return err
 	}
 	if len(files) != 1 {
-		return fmt.Errorf("unpack takes exactly one archive")
+		return usagef("unpack takes exactly one archive")
 	}
 	j, err := parseJobs(jobs)
 	if err != nil {
@@ -309,7 +336,7 @@ func cmdStrip(args []string) error {
 		return err
 	}
 	if len(files) != 1 {
-		return fmt.Errorf("strip takes exactly one class file")
+		return usagef("strip takes exactly one class file")
 	}
 	data, err := os.ReadFile(files[0])
 	if err != nil {

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"classpack/internal/archive"
+	"classpack/internal/serve/client"
+)
+
+// serverURL resolves the jpackd base URL from -server or $JPACKD_SERVER.
+func serverURL(flagValue string) (string, error) {
+	if flagValue != "" {
+		return flagValue, nil
+	}
+	if env := os.Getenv("JPACKD_SERVER"); env != "" {
+		return env, nil
+	}
+	return "", usagef("no server: pass -server URL or set $JPACKD_SERVER")
+}
+
+// cmdRemote dispatches the remote subcommands, which delegate pack and
+// unpack to a jpackd server instead of encoding locally.
+func cmdRemote(args []string) error {
+	if len(args) < 1 {
+		return usagef("remote needs a subcommand: pack or unpack")
+	}
+	switch args[0] {
+	case "pack":
+		return cmdRemotePack(args[1:])
+	case "unpack":
+		return cmdRemoteUnpack(args[1:])
+	default:
+		return usagef("unknown remote subcommand %q (want pack or unpack)", args[0])
+	}
+}
+
+// remoteInputJar turns the operands into the jar body POST /pack wants:
+// a single .jar is sent as-is; loose .class files are wrapped into an
+// in-memory jar named by their base filenames.
+func remoteInputJar(paths []string) ([]byte, error) {
+	if len(paths) == 1 && (strings.HasSuffix(paths[0], ".jar") || strings.HasSuffix(paths[0], ".zip")) {
+		return os.ReadFile(paths[0])
+	}
+	var members []archive.File
+	for _, path := range paths {
+		if strings.HasSuffix(path, ".jar") || strings.HasSuffix(path, ".zip") {
+			return nil, usagef("remote pack takes either one jar or loose .class files, not both")
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		members = append(members, archive.File{Name: filepath.Base(path), Data: data})
+	}
+	return archive.WriteJar(members)
+}
+
+func cmdRemotePack(args []string) error {
+	out := "out.cjp"
+	server := ""
+	timeout := "300"
+	files, err := parseFlags(args,
+		map[string]*string{"-o": &out, "-server": &server, "-timeout": &timeout}, nil)
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return usagef("no input files")
+	}
+	base, err := serverURL(server)
+	if err != nil {
+		return err
+	}
+	secs, err := parseJobs(timeout) // same shape: non-negative integer
+	if err != nil {
+		return usagef("invalid -timeout value %q (want seconds >= 0)", timeout)
+	}
+	jar, err := remoteInputJar(files)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if secs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(secs)*time.Second)
+		defer cancel()
+	}
+	start := time.Now()
+	res, err := client.New(base, nil).Pack(ctx, jar)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	for _, s := range res.Skipped {
+		fmt.Fprintf(os.Stderr, "jpack: server skipped non-class member %s\n", s)
+	}
+	if err := os.WriteFile(out, res.Packed, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("remote packed %d -> %d bytes (%.1f%%, cache %s) in %v\n  digest %s\n",
+		len(jar), len(res.Packed), 100*float64(len(res.Packed))/float64(len(jar)),
+		res.Cache, elapsed.Round(time.Millisecond), res.Digest)
+	return nil
+}
+
+func cmdRemoteUnpack(args []string) error {
+	server := ""
+	jarOut := ""
+	dir := ""
+	files, err := parseFlags(args,
+		map[string]*string{"-server": &server, "-jar": &jarOut, "-d": &dir}, nil)
+	if err != nil {
+		return err
+	}
+	if len(files) != 1 {
+		return usagef("remote unpack takes exactly one archive")
+	}
+	if jarOut == "" && dir == "" {
+		jarOut = "out.jar"
+	}
+	base, err := serverURL(server)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		return err
+	}
+	jar, err := client.New(base, nil).Unpack(context.Background(), data)
+	if err != nil {
+		return err
+	}
+	if jarOut != "" {
+		if err := os.WriteFile(jarOut, jar, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d -> %d bytes\n", jarOut, len(data), len(jar))
+		return nil
+	}
+	members, err := archive.ReadJar(jar)
+	if err != nil {
+		return err
+	}
+	for _, m := range members {
+		path := filepath.Join(dir, filepath.FromSlash(m.Name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, m.Data, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("unpacked %d classes into %s\n", len(members), dir)
+	return nil
+}

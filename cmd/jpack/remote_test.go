@@ -1,0 +1,99 @@
+package main
+
+import (
+	"context"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"classpack/internal/archive"
+	"classpack/internal/castore"
+	"classpack/internal/serve"
+)
+
+// startJpackd runs an in-process jpackd on a loopback listener and
+// returns its base URL.
+func startJpackd(t *testing.T) string {
+	t.Helper()
+	st, err := castore.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(serve.Config{Store: st})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+	t.Cleanup(func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("jpackd: %v", err)
+		}
+	})
+	return "http://" + ln.Addr().String()
+}
+
+func TestRemotePackUnpackFlow(t *testing.T) {
+	classes, jarPath := writeClasses(t)
+	url := startJpackd(t)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "app.cjp")
+
+	if got := run([]string{"remote", "pack", "-server", url, "-o", out, jarPath}); got != exitOK {
+		t.Fatalf("remote pack = %d", got)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Fatalf("remote pack wrote nothing: %v", err)
+	}
+	// Second pack of the same jar exercises the server's cache-hit path.
+	if got := run([]string{"remote", "pack", "-server", url, "-o", out, jarPath}); got != exitOK {
+		t.Fatalf("second remote pack = %d", got)
+	}
+
+	outJar := filepath.Join(dir, "rebuilt.jar")
+	if got := run([]string{"remote", "unpack", "-server", url, "-jar", outJar, out}); got != exitOK {
+		t.Fatalf("remote unpack = %d", got)
+	}
+	data, err := os.ReadFile(outJar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members, err := archive.ReadJar(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != len(classes) {
+		t.Fatalf("rebuilt jar has %d members, want %d", len(members), len(classes))
+	}
+
+	// Directory extraction path.
+	unDir := filepath.Join(dir, "un")
+	if got := run([]string{"remote", "unpack", "-server", url, "-d", unDir, out}); got != exitOK {
+		t.Fatalf("remote unpack -d = %d", got)
+	}
+	if _, err := os.Stat(filepath.Join(unDir, "Main.class")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Loose .class operands get wrapped into a jar client-side.
+	if got := run(append([]string{"remote", "pack", "-server", url,
+		"-o", filepath.Join(dir, "loose.cjp")}, classes...)); got != exitOK {
+		t.Fatalf("remote pack of loose classes = %d", got)
+	}
+
+	// $JPACKD_SERVER works in place of -server.
+	t.Setenv("JPACKD_SERVER", url)
+	if got := run([]string{"remote", "pack", "-o", filepath.Join(dir, "env.cjp"), jarPath}); got != exitOK {
+		t.Fatalf("remote pack via env = %d", got)
+	}
+
+	// An unreachable server is an operational failure (1), not usage (2).
+	if got := run([]string{"remote", "unpack", "-server", "http://127.0.0.1:1",
+		"-jar", filepath.Join(dir, "x.jar"), out}); got != exitFailure {
+		t.Fatalf("remote unpack against dead server = %d, want %d", got, exitFailure)
+	}
+}

@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+// TestSmoke runs the same end-to-end self-check `make serve-smoke`
+// does, at a small corpus scale.
+func TestSmoke(t *testing.T) {
+	if err := run([]string{"-smoke", "-smoke-scale", "0.02"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadScheme(t *testing.T) {
+	if err := run([]string{"-scheme", "nope", "-smoke"}); err == nil {
+		t.Fatal("bad scheme accepted")
+	}
+}

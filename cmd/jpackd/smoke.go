@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"classpack"
+	"classpack/internal/archive"
+	"classpack/internal/castore"
+	"classpack/internal/classfile"
+	"classpack/internal/serve"
+	"classpack/internal/serve/client"
+	"classpack/internal/synth"
+)
+
+// runSmoke is the end-to-end self-check behind `make serve-smoke`: it
+// starts a real jpackd on a loopback port with a throwaway cache,
+// drives it through the client with a synthetic corpus, and fails
+// unless the cache hit, the digest fetch, and the unpack round-trip all
+// check out.
+func runSmoke(cfg serve.Config, scale float64) error {
+	p, err := synth.ProfileByName("213_javac")
+	if err != nil {
+		return err
+	}
+	cfs, err := synth.Generate(p, scale)
+	if err != nil {
+		return err
+	}
+	members := make([]archive.File, 0, len(cfs)+1)
+	for _, cf := range cfs {
+		data, err := classfile.Write(cf)
+		if err != nil {
+			return err
+		}
+		members = append(members, archive.File{Name: cf.ThisClassName() + ".class", Data: data})
+	}
+	members = append(members, archive.File{Name: "META-INF/MANIFEST.MF", Data: []byte("Manifest-Version: 1.0\n")})
+	jar, err := archive.WriteJar(members)
+	if err != nil {
+		return err
+	}
+
+	cacheDir, err := os.MkdirTemp("", "jpackd-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(cacheDir)
+	st, err := castore.Open(cacheDir, 0)
+	if err != nil {
+		return err
+	}
+	cfg.Store = st
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve.New(cfg).Serve(ctx, ln) }()
+	defer func() { cancel(); <-done }()
+	c := client.New("http://"+ln.Addr().String(), nil)
+	log.Printf("smoke: %d synthetic classes (%d-byte jar) against %s", len(cfs), len(jar), ln.Addr())
+
+	first, err := c.Pack(ctx, jar)
+	if err != nil {
+		return fmt.Errorf("smoke pack: %w", err)
+	}
+	if first.Cache != "miss" {
+		return fmt.Errorf("smoke: first pack was %q, want miss", first.Cache)
+	}
+	second, err := c.Pack(ctx, jar)
+	if err != nil {
+		return fmt.Errorf("smoke repack: %w", err)
+	}
+	if second.Cache != "hit" || !bytes.Equal(second.Packed, first.Packed) {
+		return fmt.Errorf("smoke: second pack cache=%q, identical=%t; want a byte-identical hit",
+			second.Cache, bytes.Equal(second.Packed, first.Packed))
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	if m["encodes_total"] != 1 || m["cache_hits"] != 1 {
+		return fmt.Errorf("smoke: metrics encodes=%d hits=%d, want 1/1", m["encodes_total"], m["cache_hits"])
+	}
+
+	fetched, err := c.Archive(ctx, first.Digest)
+	if err != nil {
+		return fmt.Errorf("smoke archive fetch: %w", err)
+	}
+	if !bytes.Equal(fetched, first.Packed) {
+		return fmt.Errorf("smoke: GET /archive/%s differs from the pack response", first.Digest[:12])
+	}
+	files, err := classpack.Unpack(fetched)
+	if err != nil {
+		return fmt.Errorf("smoke: fetched archive does not unpack: %w", err)
+	}
+	if len(files) != len(cfs) {
+		return fmt.Errorf("smoke: fetched archive holds %d classes, want %d", len(files), len(cfs))
+	}
+
+	rebuilt, err := c.Unpack(ctx, fetched)
+	if err != nil {
+		return fmt.Errorf("smoke unpack: %w", err)
+	}
+	outMembers, err := archive.ReadJar(rebuilt)
+	if err != nil {
+		return err
+	}
+	if len(outMembers) != len(cfs) {
+		return fmt.Errorf("smoke: rebuilt jar holds %d members, want %d", len(outMembers), len(cfs))
+	}
+	vr, err := c.Verify(ctx, rebuilt, false)
+	if err != nil {
+		return fmt.Errorf("smoke verify: %w", err)
+	}
+	if vr.Classes != len(cfs) || len(vr.Invalid) != 0 {
+		return fmt.Errorf("smoke: verify of rebuilt jar: %d classes, %d invalid", vr.Classes, len(vr.Invalid))
+	}
+
+	log.Printf("smoke: ok — %d classes, %d -> %d bytes (%.1f%%), cache hit, digest %s round-trips",
+		len(cfs), len(jar), len(first.Packed),
+		100*float64(len(first.Packed))/float64(len(jar)), first.Digest[:12])
+	return nil
+}

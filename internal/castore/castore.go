@@ -1,0 +1,245 @@
+// Package castore implements the content-addressed on-disk cache behind
+// jpackd: packed archives keyed by the SHA-256 of their input (plus the
+// pack-option fingerprint), stored one file per object under a two-level
+// fan-out directory, with an LRU byte cap.
+//
+// Writes are crash-safe: each object lands in a temp file in its final
+// directory and is renamed into place, so a reader never observes a
+// partially written object. The in-memory index is rebuilt from the
+// directory on Open (recency approximated by mtime), so the cache
+// survives daemon restarts.
+package castore
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Key returns the store key for the given byte sections: the hex SHA-256
+// of their concatenation, each section prefixed by its length so that
+// section boundaries are unambiguous ("ab"+"c" never collides with
+// "a"+"bc").
+func Key(sections ...[]byte) string {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, s := range sections {
+		n := len(s)
+		for i := 7; i >= 0; i-- {
+			lenBuf[i] = byte(n)
+			n >>= 8
+		}
+		h.Write(lenBuf[:])
+		h.Write(s)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ValidKey reports whether k is a well-formed store key (64 lowercase
+// hex digits). Handlers use it to reject malformed digests before
+// touching the filesystem.
+func ValidKey(k string) bool {
+	if len(k) != 64 {
+		return false
+	}
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+type entry struct {
+	key  string
+	size int64
+}
+
+// Store is a size-capped content-addressed object cache. All methods are
+// safe for concurrent use.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu    sync.Mutex
+	index map[string]*list.Element // key -> element whose Value is *entry
+	lru   *list.List               // front = most recently used
+	size  int64
+}
+
+// Open creates (if needed) and indexes a store rooted at dir. maxBytes
+// caps the total object bytes; 0 or negative means unlimited. Existing
+// objects are re-indexed with recency approximated by file mtime, so a
+// reopened cache evicts in roughly the same order it would have before
+// the restart.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:      dir,
+		maxBytes: maxBytes,
+		index:    make(map[string]*list.Element),
+		lru:      list.New(),
+	}
+	type found struct {
+		entry
+		mtime int64
+	}
+	var objs []found
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		key := d.Name()
+		if !ValidKey(key) {
+			return nil // temp file or foreign junk; leave it alone
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil // raced with a concurrent delete
+		}
+		objs = append(objs, found{entry{key, info.Size()}, info.ModTime().UnixNano()})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Oldest first, so the most recent object ends up at the LRU front.
+	sort.Slice(objs, func(a, b int) bool { return objs[a].mtime < objs[b].mtime })
+	for i := range objs {
+		e := objs[i].entry
+		s.index[e.key] = s.lru.PushFront(&entry{e.key, e.size})
+		s.size += e.size
+	}
+	s.evictLocked()
+	return s, nil
+}
+
+// path returns the object path: dir/ab/abcdef... The two-character
+// fan-out keeps directories small for large caches.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key)
+}
+
+// Put stores data under key, overwriting any existing object, and evicts
+// least-recently-used objects if the cap is exceeded. The newly written
+// object is never evicted by its own Put, even when it alone exceeds the
+// cap — the caller already has the bytes, and serving them is the point.
+func (s *Store) Put(key string, data []byte) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("castore: invalid key %q", key)
+	}
+	objDir := filepath.Join(s.dir, key[:2])
+	if err := os.MkdirAll(objDir, 0o755); err != nil {
+		return err
+	}
+	// Temp file in the final directory so the rename is atomic (same
+	// filesystem) and a crash leaves only a "put-*" file Open ignores.
+	tmp, err := os.CreateTemp(objDir, "put-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, s.path(key)); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.index[key]; ok {
+		s.size -= el.Value.(*entry).size
+		s.lru.Remove(el)
+	}
+	s.index[key] = s.lru.PushFront(&entry{key, int64(len(data))})
+	s.size += int64(len(data))
+	s.evictLocked()
+	return nil
+}
+
+// Get returns the object stored under key and marks it most recently
+// used. ok is false when the key is absent (or its file vanished out
+// from under the index, in which case the index entry is dropped).
+func (s *Store) Get(key string) (data []byte, ok bool, err error) {
+	s.mu.Lock()
+	el, found := s.index[key]
+	if found {
+		s.lru.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if !found {
+		return nil, false, nil
+	}
+	data, err = os.ReadFile(s.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			s.forget(key)
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// forget drops a key from the index without touching the filesystem
+// (used when the backing file was deleted externally).
+func (s *Store) forget(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.index[key]; ok {
+		s.size -= el.Value.(*entry).size
+		s.lru.Remove(el)
+		delete(s.index, key)
+	}
+}
+
+// evictLocked removes least-recently-used objects until the store fits
+// the cap, always leaving at least one (the most recent) object.
+// s.mu must be held.
+func (s *Store) evictLocked() {
+	if s.maxBytes <= 0 {
+		return
+	}
+	for s.size > s.maxBytes && s.lru.Len() > 1 {
+		el := s.lru.Back()
+		e := el.Value.(*entry)
+		s.lru.Remove(el)
+		delete(s.index, e.key)
+		s.size -= e.size
+		os.Remove(s.path(e.key))
+	}
+}
+
+// Len reports the number of cached objects.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}
+
+// Size reports the total bytes of cached objects.
+func (s *Store) Size() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}

@@ -1,0 +1,193 @@
+// Package client is the Go client for jpackd (internal/serve): it
+// uploads jars for packing, downloads packed archives back into jars,
+// runs remote verification, and fetches cached artifacts by digest.
+// The jpack "remote" subcommand is built on it.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// APIError is a structured error returned by the server's JSON error
+// envelope.
+type APIError struct {
+	Status  int    // HTTP status code
+	Code    string // stable machine-readable code, e.g. "too_large"
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("jpackd: %s (%s, HTTP %d)", e.Message, e.Code, e.Status)
+}
+
+// Client talks to one jpackd server. The zero value is not usable;
+// call New.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the server at base (e.g.
+// "http://127.0.0.1:8750"). httpClient may be nil for
+// http.DefaultClient; deadlines come from the per-call context.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// PackResult is what POST /pack returns.
+type PackResult struct {
+	Packed  []byte   // the packed archive
+	Digest  string   // content digest; usable with Archive
+	Cache   string   // "hit" or "miss"
+	Skipped []string // non-class jar members (reported on misses only)
+}
+
+// Pack uploads a jar and returns the packed archive.
+func (c *Client) Pack(ctx context.Context, jar []byte) (*PackResult, error) {
+	resp, err := c.post(ctx, "/pack", jar)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	packed, err := c.payload(resp)
+	if err != nil {
+		return nil, err
+	}
+	res := &PackResult{
+		Packed: packed,
+		Digest: resp.Header.Get("X-Jpackd-Digest"),
+		Cache:  resp.Header.Get("X-Jpackd-Cache"),
+	}
+	if raw := resp.Header.Get("X-Jpackd-Skipped"); raw != "" {
+		if err := json.Unmarshal([]byte(raw), &res.Skipped); err != nil {
+			return nil, fmt.Errorf("jpackd: malformed skipped header: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// Unpack uploads a packed archive and returns the rebuilt jar.
+func (c *Client) Unpack(ctx context.Context, packed []byte) ([]byte, error) {
+	resp, err := c.post(ctx, "/unpack", packed)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return c.payload(resp)
+}
+
+// VerifyResult mirrors the server's POST /verify response body.
+type VerifyResult struct {
+	Classes int `json:"classes"`
+	Skipped int `json:"skipped"`
+	Invalid []struct {
+		Name  string `json:"name"`
+		Error string `json:"error"`
+	} `json:"invalid"`
+}
+
+// Verify uploads a jar for structural verification of its classes.
+// Invalid classes are reported in the result, not as an error; err is
+// non-nil only for transport or request failures.
+func (c *Client) Verify(ctx context.Context, jar []byte, deep bool) (*VerifyResult, error) {
+	path := "/verify"
+	if deep {
+		path += "?deep=1"
+	}
+	resp, err := c.post(ctx, path, jar)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	// 422 with a verify body is a successful call reporting invalid
+	// classes; anything else non-2xx is an API error.
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusUnprocessableEntity {
+		return nil, c.apiError(resp)
+	}
+	var res VerifyResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return nil, fmt.Errorf("jpackd: decoding verify response: %w", err)
+	}
+	return &res, nil
+}
+
+// Archive fetches a previously packed artifact by its content digest.
+func (c *Client) Archive(ctx context.Context, digest string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/archive/"+digest, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return c.payload(resp)
+}
+
+// Metrics fetches the server's counters as a flat name -> value map.
+func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, c.apiError(resp)
+	}
+	var m map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, fmt.Errorf("jpackd: decoding metrics: %w", err)
+	}
+	return m, nil
+}
+
+func (c *Client) post(ctx context.Context, path string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	return c.hc.Do(req)
+}
+
+// payload reads a binary response, converting error envelopes.
+func (c *Client) payload(resp *http.Response) ([]byte, error) {
+	if resp.StatusCode != http.StatusOK {
+		return nil, c.apiError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// apiError decodes the server's JSON error envelope, falling back to a
+// bare status error for non-JSON bodies (e.g. proxies in the path).
+func (c *Client) apiError(resp *http.Response) error {
+	apiErr := &APIError{Status: resp.StatusCode, Code: "unknown"}
+	var envelope struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(body, &envelope) == nil && envelope.Error.Code != "" {
+		apiErr.Code = envelope.Error.Code
+		apiErr.Message = envelope.Error.Message
+	} else {
+		apiErr.Message = http.StatusText(resp.StatusCode)
+	}
+	return apiErr
+}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"expvar"
+	"net/http"
+	"time"
+)
+
+// encodeBucketsMs are the upper bounds (milliseconds, inclusive) of the
+// encode-latency histogram exported under encode_ms_le_*. The final
+// +Inf bucket is "encode_ms_le_inf", so the bucket counts are cumulative
+// in the usual le-histogram sense only when summed by the reader; here
+// each counter holds its own bucket's observations.
+var encodeBucketsMs = []int64{1, 5, 25, 100, 500, 2500, 10000}
+
+// Metrics is the operational counter set one Server instance exports at
+// GET /metrics. Counters are expvar types but deliberately not
+// expvar.Publish'ed: publishing is process-global and would collide when
+// several servers run in one process (tests, embedded use). The map
+// renders to the same JSON expvar would serve.
+type Metrics struct {
+	m expvar.Map
+
+	Requests        expvar.Int // all HTTP requests, any endpoint
+	PackRequests    expvar.Int
+	UnpackRequests  expvar.Int
+	VerifyRequests  expvar.Int
+	ArchiveRequests expvar.Int
+
+	CacheHits   expvar.Int // pack served from the content-addressed store
+	CacheMisses expvar.Int
+
+	Encodes  expvar.Int // pack jobs actually run (cache misses that encoded)
+	Decodes  expvar.Int
+	Verifies expvar.Int
+
+	BytesIn  expvar.Int // request bodies read
+	BytesOut expvar.Int // response payloads written (errors excluded)
+
+	Errors expvar.Int // requests answered with a structured error
+
+	encodeBuckets []*expvar.Int // parallel to encodeBucketsMs, plus +Inf last
+}
+
+func newMetrics() *Metrics {
+	mt := &Metrics{}
+	set := func(name string, v *expvar.Int) { mt.m.Set(name, v) }
+	set("requests_total", &mt.Requests)
+	set("requests_pack", &mt.PackRequests)
+	set("requests_unpack", &mt.UnpackRequests)
+	set("requests_verify", &mt.VerifyRequests)
+	set("requests_archive", &mt.ArchiveRequests)
+	set("cache_hits", &mt.CacheHits)
+	set("cache_misses", &mt.CacheMisses)
+	set("encodes_total", &mt.Encodes)
+	set("decodes_total", &mt.Decodes)
+	set("verifies_total", &mt.Verifies)
+	set("bytes_in", &mt.BytesIn)
+	set("bytes_out", &mt.BytesOut)
+	set("errors_total", &mt.Errors)
+	for _, ub := range encodeBucketsMs {
+		v := new(expvar.Int)
+		mt.encodeBuckets = append(mt.encodeBuckets, v)
+		mt.m.Set("encode_ms_le_"+itoa(ub), v)
+	}
+	inf := new(expvar.Int)
+	mt.encodeBuckets = append(mt.encodeBuckets, inf)
+	mt.m.Set("encode_ms_le_inf", inf)
+	return mt
+}
+
+// itoa is strconv.FormatInt without the import noise at call sites.
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// observeEncode files one encode duration into its latency bucket.
+func (mt *Metrics) observeEncode(d time.Duration) {
+	ms := d.Milliseconds()
+	for i, ub := range encodeBucketsMs {
+		if ms <= ub {
+			mt.encodeBuckets[i].Add(1)
+			return
+		}
+	}
+	mt.encodeBuckets[len(mt.encodeBuckets)-1].Add(1)
+}
+
+// ServeHTTP renders the counters as the expvar JSON object.
+func (mt *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Write([]byte(mt.m.String()))
+}

@@ -1,0 +1,400 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"classpack"
+	"classpack/internal/archive"
+	"classpack/internal/castore"
+	"classpack/internal/classfile"
+	"classpack/internal/minijava"
+	"classpack/internal/serve/client"
+)
+
+// testJar compiles a small program and wraps it, plus one resource
+// member, into a deterministic jar. It also returns the raw class bytes
+// by member name for round-trip assertions.
+func testJar(t *testing.T) (jar []byte, classes map[string][]byte) {
+	t.Helper()
+	cfs, err := minijava.Compile(`
+class Main { public static void main(String[] a) { System.out.println(new Box().get()); } }
+class Box { public int get() { return 42; } }
+`, minijava.CompileOptions{SourceFile: "Box.java"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes = make(map[string][]byte)
+	var members []archive.File
+	for _, cf := range cfs {
+		data, err := classfile.Write(cf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := cf.ThisClassName() + ".class"
+		classes[name] = data
+		members = append(members, archive.File{Name: name, Data: data})
+	}
+	members = append(members, archive.File{Name: "META-INF/app.properties", Data: []byte("k=v\n")})
+	jar, err = archive.WriteJar(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jar, classes
+}
+
+// startServer runs a Server on a loopback listener and returns a client
+// for it plus the cancel that triggers graceful shutdown. Cleanup waits
+// for Serve to drain.
+func startServer(t *testing.T, cfg Config) (*Server, *client.Client, context.CancelFunc) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+	t.Cleanup(func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return s, client.New("http://"+ln.Addr().String(), nil), cancel
+}
+
+func newStore(t *testing.T) *castore.Store {
+	t.Helper()
+	st, err := castore.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestPackCacheHitAndArchiveRoundTrip(t *testing.T) {
+	jar, classes := testJar(t)
+	_, c, _ := startServer(t, Config{Store: newStore(t)})
+	ctx := context.Background()
+
+	first, err := c.Pack(ctx, jar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cache != "miss" {
+		t.Fatalf("first pack cache = %q, want miss", first.Cache)
+	}
+	if len(first.Skipped) != 1 || first.Skipped[0] != "META-INF/app.properties" {
+		t.Fatalf("skipped = %v, want the one resource member", first.Skipped)
+	}
+	if !castore.ValidKey(first.Digest) {
+		t.Fatalf("digest %q is not a valid key", first.Digest)
+	}
+
+	// Second pack of identical input: served from the cache, no re-encode.
+	second, err := c.Pack(ctx, jar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Cache != "hit" {
+		t.Fatalf("second pack cache = %q, want hit", second.Cache)
+	}
+	if second.Digest != first.Digest {
+		t.Fatalf("digest changed across identical packs: %s vs %s", first.Digest, second.Digest)
+	}
+	if !bytes.Equal(second.Packed, first.Packed) {
+		t.Fatal("cache hit returned different bytes")
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["encodes_total"] != 1 || m["cache_hits"] != 1 || m["cache_misses"] != 1 {
+		t.Fatalf("metrics after hit: encodes=%d hits=%d misses=%d, want 1/1/1",
+			m["encodes_total"], m["cache_hits"], m["cache_misses"])
+	}
+	if m["requests_pack"] != 2 || m["bytes_in"] != int64(2*len(jar)) {
+		t.Fatalf("metrics accounting: requests_pack=%d bytes_in=%d", m["requests_pack"], m["bytes_in"])
+	}
+	var bucketSum int64
+	for k, v := range m {
+		if strings.HasPrefix(k, "encode_ms_le_") {
+			bucketSum += v
+		}
+	}
+	if bucketSum != 1 {
+		t.Fatalf("encode latency histogram holds %d observations, want 1", bucketSum)
+	}
+
+	// GET /archive/{digest} returns the exact artifact, and it unpacks
+	// back to the canonicalized (stripped) classes byte for byte.
+	fetched, err := c.Archive(ctx, first.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fetched, first.Packed) {
+		t.Fatal("GET /archive returned different bytes than POST /pack")
+	}
+	files, err := classpack.Unpack(fetched)
+	if err != nil {
+		t.Fatalf("unpacking fetched archive: %v", err)
+	}
+	if len(files) != len(classes) {
+		t.Fatalf("unpacked %d classes, want %d", len(files), len(classes))
+	}
+	for _, f := range files {
+		orig, ok := classes[f.Name]
+		if !ok {
+			t.Fatalf("unexpected class %s", f.Name)
+		}
+		want, err := classpack.Strip(orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(f.Data, want) {
+			t.Fatalf("%s: unpacked bytes differ from stripped original", f.Name)
+		}
+	}
+}
+
+func TestUnpackEndpoint(t *testing.T) {
+	jar, classes := testJar(t)
+	_, c, _ := startServer(t, Config{})
+	ctx := context.Background()
+
+	res, err := c.Pack(ctx, jar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := c.Unpack(ctx, res.Packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members, err := archive.ReadJar(rebuilt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != len(classes) {
+		t.Fatalf("rebuilt jar has %d members, want %d", len(members), len(classes))
+	}
+	for _, mb := range members {
+		want, err := classpack.Strip(classes[mb.Name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(mb.Data, want) {
+			t.Fatalf("%s: rebuilt jar member differs from stripped original", mb.Name)
+		}
+	}
+
+	if _, err := c.Unpack(ctx, []byte("not an archive")); err == nil {
+		t.Fatal("unpack of garbage accepted")
+	} else {
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.Code != "decode_failed" {
+			t.Fatalf("unpack of garbage: %v, want decode_failed", err)
+		}
+	}
+}
+
+func TestVerifyEndpoint(t *testing.T) {
+	jar, classes := testJar(t)
+	_, c, _ := startServer(t, Config{})
+	ctx := context.Background()
+
+	res, err := c.Verify(ctx, jar, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Classes != len(classes) || res.Skipped != 1 || len(res.Invalid) != 0 {
+		t.Fatalf("verify of valid jar: %+v", res)
+	}
+
+	// A jar with one garbage class member reports exactly that member.
+	bad, err := archive.WriteJar([]archive.File{
+		{Name: "Main.class", Data: classes["Main.class"]},
+		{Name: "Bad.class", Data: []byte{1, 2, 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.Verify(ctx, bad, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Invalid) != 1 || res.Invalid[0].Name != "Bad.class" {
+		t.Fatalf("verify of bad jar: %+v", res)
+	}
+
+	if _, err := c.Verify(ctx, []byte("not a zip"), false); err == nil {
+		t.Fatal("verify of non-jar accepted")
+	}
+}
+
+func TestOversizedRequestRejected(t *testing.T) {
+	jar, _ := testJar(t)
+	_, c, _ := startServer(t, Config{MaxRequestBytes: 64})
+	_, err := c.Pack(context.Background(), jar)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != "too_large" || apiErr.Status != 413 {
+		t.Fatalf("oversized pack: %v, want too_large/413", err)
+	}
+}
+
+func TestJobQueueTimeout(t *testing.T) {
+	jar, _ := testJar(t)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	first := true
+	cfg := Config{
+		MaxJobs:        1,
+		RequestTimeout: 300 * time.Millisecond,
+		packStarted: func() {
+			if first {
+				first = false
+				close(started)
+				<-gate
+			}
+		},
+	}
+	_, c, _ := startServer(t, cfg)
+	ctx := context.Background()
+
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := c.Pack(ctx, jar)
+		firstDone <- err
+	}()
+	<-started
+
+	// The only job slot is held; this request's deadline expires while
+	// queued and must come back as a structured timeout.
+	_, err := c.Pack(ctx, jar)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != "timeout" || apiErr.Status != 503 {
+		t.Fatalf("queued pack: %v, want timeout/503", err)
+	}
+
+	close(gate)
+	if err := <-firstDone; err != nil {
+		t.Fatalf("slot-holding pack failed: %v", err)
+	}
+}
+
+func TestSigtermDrainsInFlightPack(t *testing.T) {
+	jar, _ := testJar(t)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	once := false
+	cfg := Config{
+		DrainTimeout: 30 * time.Second,
+		packStarted: func() {
+			if !once {
+				once = true
+				close(started)
+				<-gate
+			}
+		},
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ctx, ln) }()
+	c := client.New("http://"+ln.Addr().String(), nil)
+
+	packDone := make(chan error, 1)
+	var packRes *client.PackResult
+	go func() {
+		res, err := c.Pack(context.Background(), jar)
+		packRes = res
+		packDone <- err
+	}()
+	<-started
+
+	// SIGTERM arrives while the pack is mid-encode.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// The listener must close promptly: new connections get refused
+	// while the in-flight request is still running.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", ln.Addr().String(), 100*time.Millisecond)
+		if err != nil {
+			break
+		}
+		conn.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting connections after SIGTERM")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Release the encoder: the drained request must complete successfully.
+	close(gate)
+	if err := <-packDone; err != nil {
+		t.Fatalf("in-flight pack failed during shutdown: %v", err)
+	}
+	if len(packRes.Packed) == 0 {
+		t.Fatal("in-flight pack returned no bytes")
+	}
+	if _, err := classpack.Unpack(packRes.Packed); err != nil {
+		t.Fatalf("archive delivered during shutdown does not unpack: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve after drain: %v", err)
+	}
+	stop()
+}
+
+func TestArchiveErrors(t *testing.T) {
+	_, c, _ := startServer(t, Config{Store: newStore(t)})
+	ctx := context.Background()
+
+	_, err := c.Archive(ctx, strings.Repeat("ab", 32))
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != "not_found" || apiErr.Status != 404 {
+		t.Fatalf("absent digest: %v, want not_found/404", err)
+	}
+	_, err = c.Archive(ctx, "NOT-HEX")
+	if !errors.As(err, &apiErr) || apiErr.Code != "bad_digest" || apiErr.Status != 400 {
+		t.Fatalf("malformed digest: %v, want bad_digest/400", err)
+	}
+
+	// Without a store, pack still works (just never cached) and archive
+	// fetches are 404.
+	_, c2, _ := startServer(t, Config{})
+	jar, _ := testJar(t)
+	res, err := c2.Pack(ctx, jar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Archive(ctx, res.Digest); err == nil {
+		t.Fatal("archive fetch without a store succeeded")
+	}
+}
+
+func TestPackOfGarbageJar(t *testing.T) {
+	_, c, _ := startServer(t, Config{})
+	_, err := c.Pack(context.Background(), []byte("definitely not a zip"))
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != "encode_failed" || apiErr.Status != 422 {
+		t.Fatalf("pack of garbage: %v, want encode_failed/422", err)
+	}
+}

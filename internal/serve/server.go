@@ -1,0 +1,392 @@
+// Package serve implements jpackd, the streaming pack/unpack HTTP
+// service: POST /pack compresses an uploaded jar into the Pugh wire
+// format, POST /unpack rebuilds a jar from a packed archive, POST
+// /verify structurally checks a jar's classes, and GET /archive/{digest}
+// re-serves previously packed artifacts from a content-addressed cache
+// (internal/castore). Concurrent encode jobs are bounded by a semaphore
+// feeding the classpack worker-pool pipeline; request bodies are
+// size-capped, every request carries a deadline, errors are structured
+// JSON, and GET /metrics exports expvar counters including an
+// encode-latency histogram.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"classpack"
+	"classpack/internal/archive"
+	"classpack/internal/castore"
+)
+
+// Default operational limits; see Config.
+const (
+	DefaultMaxRequestBytes = 64 << 20
+	DefaultRequestTimeout  = 2 * time.Minute
+	DefaultDrainTimeout    = 30 * time.Second
+)
+
+// Header names the server sets on pack/archive responses.
+const (
+	HeaderDigest  = "X-Jpackd-Digest"  // content digest of the packed artifact's input
+	HeaderCache   = "X-Jpackd-Cache"   // "hit" or "miss" on POST /pack
+	HeaderSkipped = "X-Jpackd-Skipped" // JSON array of non-class jar members (miss only)
+)
+
+// Config parameterizes a Server. The zero value is usable: default
+// pack options, no cache, default limits.
+type Config struct {
+	// Options are the pack options every /pack request encodes with.
+	// Concurrency bounds the workers *within* one encode job; MaxJobs
+	// bounds how many jobs run at once, so total parallelism is roughly
+	// MaxJobs x Concurrency. The packed bytes do not depend on either.
+	Options classpack.Options
+
+	// Store, when non-nil, caches pack results by content digest.
+	// Repeated packs of identical input are served from it without
+	// re-encoding, and GET /archive/{digest} reads from it.
+	Store *castore.Store
+
+	// MaxRequestBytes caps request bodies (0 = DefaultMaxRequestBytes).
+	MaxRequestBytes int64
+	// RequestTimeout bounds each request, including time spent waiting
+	// for a job slot (0 = DefaultRequestTimeout).
+	RequestTimeout time.Duration
+	// MaxJobs bounds concurrent encode/decode/verify jobs
+	// (0 = GOMAXPROCS).
+	MaxJobs int
+	// DrainTimeout bounds how long Serve waits for in-flight requests
+	// after its context is cancelled (0 = DefaultDrainTimeout).
+	DrainTimeout time.Duration
+
+	// packStarted, when set, is called after a pack job acquires its
+	// slot and before encoding begins. Test-only seam for exercising
+	// in-flight shutdown and queue-timeout behavior.
+	packStarted func()
+}
+
+// Server is the jpackd HTTP service. Create one with New; it is safe
+// for concurrent use.
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	jobs    chan struct{}
+	handler http.Handler
+}
+
+// New builds a Server from cfg, applying defaults for zero fields.
+func New(cfg Config) *Server {
+	if cfg.MaxRequestBytes <= 0 {
+		cfg.MaxRequestBytes = DefaultMaxRequestBytes
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = runtime.GOMAXPROCS(0)
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = DefaultDrainTimeout
+	}
+	s := &Server{
+		cfg:     cfg,
+		metrics: newMetrics(),
+		jobs:    make(chan struct{}, cfg.MaxJobs),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /pack", s.handlePack)
+	mux.HandleFunc("POST /unpack", s.handleUnpack)
+	mux.HandleFunc("POST /verify", s.handleVerify)
+	mux.HandleFunc("GET /archive/{digest}", s.handleArchive)
+	mux.Handle("GET /metrics", s.metrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	s.handler = s.instrument(mux)
+	return s
+}
+
+// Metrics exposes the server's counters (e.g. for the smoke check).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the root HTTP handler: request accounting, body size
+// cap, and per-request deadline wrapped around the endpoint mux.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.Requests.Add(1)
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Serve accepts connections on ln until ctx is cancelled (e.g. by
+// SIGTERM via signal.NotifyContext), then stops the listener and drains
+// in-flight requests for up to DrainTimeout before returning. A request
+// mid-encode at cancellation time runs to completion and its response
+// is delivered before Serve returns.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+		shutdownErr <- hs.Shutdown(dctx)
+	}()
+	if err := hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	// Serve only returns ErrServerClosed once Shutdown has begun, so
+	// this receive waits exactly for the drain to finish.
+	return <-shutdownErr
+}
+
+// apiError is a structured endpoint failure: an HTTP status plus a
+// stable machine-readable code.
+type apiError struct {
+	status  int
+	code    string
+	message string
+}
+
+func (e *apiError) Error() string { return e.message }
+
+func errf(status int, code, format string, args ...any) *apiError {
+	return &apiError{status: status, code: code, message: fmt.Sprintf(format, args...)}
+}
+
+// writeError emits the structured JSON error envelope every endpoint
+// uses: {"error":{"code":...,"message":...}}.
+func (s *Server) writeError(w http.ResponseWriter, err *apiError) {
+	s.metrics.Errors.Add(1)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(err.status)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error": map[string]string{"code": err.code, "message": err.message},
+	})
+}
+
+// readBody drains the (size-capped) request body, translating the cap
+// and client disconnects into structured errors.
+func (s *Server) readBody(r *http.Request) ([]byte, *apiError) {
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, errf(http.StatusRequestEntityTooLarge, "too_large",
+				"request body exceeds the %d-byte limit", tooBig.Limit)
+		}
+		return nil, errf(http.StatusBadRequest, "bad_request", "reading request body: %v", err)
+	}
+	s.metrics.BytesIn.Add(int64(len(data)))
+	return data, nil
+}
+
+// acquireJob takes one slot of the encode semaphore, or fails with a
+// timeout error when the request deadline expires first. The returned
+// release func must be called exactly once.
+func (s *Server) acquireJob(ctx context.Context) (release func(), apiErr *apiError) {
+	select {
+	case s.jobs <- struct{}{}:
+		return func() { <-s.jobs }, nil
+	case <-ctx.Done():
+		return nil, errf(http.StatusServiceUnavailable, "timeout",
+			"request deadline expired while waiting for a job slot (%d jobs max)", s.cfg.MaxJobs)
+	}
+}
+
+// writePayload sends a binary response body and counts it.
+func (s *Server) writePayload(w http.ResponseWriter, data []byte) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", itoa(int64(len(data))))
+	if _, err := w.Write(data); err == nil {
+		s.metrics.BytesOut.Add(int64(len(data)))
+	}
+}
+
+// cacheKey derives the content digest for a pack input: SHA-256 over
+// the pack-option fingerprint and the input bytes, so archives packed
+// under different options never alias. Concurrency is excluded — packed
+// bytes are identical at every worker count.
+func (s *Server) cacheKey(input []byte) string {
+	o := s.cfg.Options
+	fp := fmt.Sprintf("cjp1 scheme=%d stackstate=%t compress=%t preload=%t",
+		o.Scheme, o.StackState, o.Compress, o.Preload)
+	return castore.Key([]byte(fp), input)
+}
+
+func (s *Server) handlePack(w http.ResponseWriter, r *http.Request) {
+	s.metrics.PackRequests.Add(1)
+	input, apiErr := s.readBody(r)
+	if apiErr != nil {
+		s.writeError(w, apiErr)
+		return
+	}
+	digest := s.cacheKey(input)
+	if s.cfg.Store != nil {
+		if packed, ok, err := s.cfg.Store.Get(digest); err == nil && ok {
+			s.metrics.CacheHits.Add(1)
+			w.Header().Set(HeaderDigest, digest)
+			w.Header().Set(HeaderCache, "hit")
+			s.writePayload(w, packed)
+			return
+		}
+	}
+	s.metrics.CacheMisses.Add(1)
+	release, apiErr := s.acquireJob(r.Context())
+	if apiErr != nil {
+		s.writeError(w, apiErr)
+		return
+	}
+	defer release()
+	if s.cfg.packStarted != nil {
+		s.cfg.packStarted()
+	}
+	opts := s.cfg.Options
+	start := time.Now()
+	packed, skipped, err := classpack.PackJar(input, &opts)
+	s.metrics.observeEncode(time.Since(start))
+	if err != nil {
+		s.writeError(w, errf(http.StatusUnprocessableEntity, "encode_failed", "pack: %v", err))
+		return
+	}
+	s.metrics.Encodes.Add(1)
+	if s.cfg.Store != nil {
+		// Best-effort: a full disk must not fail the request — the
+		// encoded bytes are already in hand.
+		_ = s.cfg.Store.Put(digest, packed)
+	}
+	if skipped == nil {
+		skipped = []string{}
+	}
+	skippedJSON, _ := json.Marshal(skipped)
+	w.Header().Set(HeaderDigest, digest)
+	w.Header().Set(HeaderCache, "miss")
+	w.Header().Set(HeaderSkipped, string(skippedJSON))
+	s.writePayload(w, packed)
+}
+
+func (s *Server) handleUnpack(w http.ResponseWriter, r *http.Request) {
+	s.metrics.UnpackRequests.Add(1)
+	input, apiErr := s.readBody(r)
+	if apiErr != nil {
+		s.writeError(w, apiErr)
+		return
+	}
+	release, apiErr := s.acquireJob(r.Context())
+	if apiErr != nil {
+		s.writeError(w, apiErr)
+		return
+	}
+	defer release()
+	jar, err := classpack.UnpackToJarN(input, s.cfg.Options.Concurrency)
+	if err != nil {
+		s.writeError(w, errf(http.StatusUnprocessableEntity, "decode_failed", "unpack: %v", err))
+		return
+	}
+	s.metrics.Decodes.Add(1)
+	s.writePayload(w, jar)
+}
+
+// VerifyResult is the JSON body of POST /verify responses.
+type VerifyResult struct {
+	Classes int            `json:"classes"`           // class members checked
+	Skipped int            `json:"skipped"`           // non-class members ignored
+	Invalid []InvalidClass `json:"invalid,omitempty"` // failures, in jar order
+}
+
+// InvalidClass names one class member that failed verification.
+type InvalidClass struct {
+	Name  string `json:"name"`
+	Error string `json:"error"`
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	s.metrics.VerifyRequests.Add(1)
+	input, apiErr := s.readBody(r)
+	if apiErr != nil {
+		s.writeError(w, apiErr)
+		return
+	}
+	deep := r.URL.Query().Get("deep") == "1"
+	members, err := archive.ReadJar(input)
+	if err != nil {
+		s.writeError(w, errf(http.StatusBadRequest, "bad_jar", "reading jar: %v", err))
+		return
+	}
+	var names []string
+	var classes [][]byte
+	res := VerifyResult{}
+	for _, m := range members {
+		if strings.HasSuffix(m.Name, ".class") {
+			names = append(names, m.Name)
+			classes = append(classes, m.Data)
+		} else {
+			res.Skipped++
+		}
+	}
+	release, apiErr := s.acquireJob(r.Context())
+	if apiErr != nil {
+		s.writeError(w, apiErr)
+		return
+	}
+	defer release()
+	errs := classpack.VerifyAll(classes, deep, s.cfg.Options.Concurrency)
+	s.metrics.Verifies.Add(1)
+	res.Classes = len(classes)
+	for i, e := range errs {
+		if e != nil {
+			res.Invalid = append(res.Invalid, InvalidClass{Name: names[i], Error: e.Error()})
+		}
+	}
+	status := http.StatusOK
+	if len(res.Invalid) > 0 {
+		status = http.StatusUnprocessableEntity
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(res)
+}
+
+func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {
+	s.metrics.ArchiveRequests.Add(1)
+	digest := r.PathValue("digest")
+	if !castore.ValidKey(digest) {
+		s.writeError(w, errf(http.StatusBadRequest, "bad_digest",
+			"digest must be 64 lowercase hex digits"))
+		return
+	}
+	if s.cfg.Store == nil {
+		s.writeError(w, errf(http.StatusNotFound, "not_found", "no archive cache configured"))
+		return
+	}
+	packed, ok, err := s.cfg.Store.Get(digest)
+	if err != nil {
+		s.writeError(w, errf(http.StatusInternalServerError, "internal", "cache read: %v", err))
+		return
+	}
+	if !ok {
+		s.writeError(w, errf(http.StatusNotFound, "not_found", "no archive with digest %s", digest))
+		return
+	}
+	w.Header().Set(HeaderDigest, digest)
+	s.writePayload(w, packed)
+}
