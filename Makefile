@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench tables serve-smoke
+.PHONY: build test verify bench tables serve-smoke fuzz-smoke fuzz-corpus
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,23 @@ bench:
 # digest round-trip (GET /archive/{digest} must unpack cleanly).
 serve-smoke:
 	$(GO) run ./cmd/jpackd -smoke
+
+# fuzz-smoke gives each native fuzz harness a short budget on top of the
+# checked-in seed corpora — enough to catch regressions in the
+# panic-free-decoding guarantee without dominating CI time. The go tool
+# accepts one -fuzz pattern per invocation, hence one line per target.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz='^FuzzUnpack$$' -fuzztime=$(FUZZTIME) .
+	$(GO) test -run=NONE -fuzz='^FuzzStreamsReader$$' -fuzztime=$(FUZZTIME) ./internal/streams
+	$(GO) test -run=NONE -fuzz='^FuzzJazzDecode$$' -fuzztime=$(FUZZTIME) ./internal/jazz
+	$(GO) test -run=NONE -fuzz='^FuzzCustomDecode$$' -fuzztime=$(FUZZTIME) ./internal/custom
+	$(GO) test -run=NONE -fuzz='^FuzzReadClassFile$$' -fuzztime=$(FUZZTIME) ./internal/classfile
+
+# fuzz-corpus regenerates the checked-in seed corpora under testdata/fuzz
+# from internal/synth packs (run after wire-format changes).
+fuzz-corpus:
+	$(GO) run ./cmd/fuzzcorpus
 
 # tables regenerates the paper's Tables 1-8 and Figure 2.
 tables:

@@ -1,0 +1,91 @@
+package classpack
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+
+	"classpack/internal/encoding/varint"
+)
+
+// bombArchive builds a syntactically valid archive whose stream
+// directory claims rawLen decoded bytes backed by an empty payload.
+func bombArchive(t *testing.T, rawLen uint64) []byte {
+	t.Helper()
+	packed, err := Pack(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bomb := append([]byte(nil), packed[:6]...) // real magic/version/options header
+	bomb = varint.AppendUint(bomb, 1)          // stream count
+	name := "class.meta"
+	bomb = varint.AppendUint(bomb, uint64(len(name)))
+	bomb = append(bomb, name...)
+	bomb = varint.AppendUint(bomb, rawLen) // claimed decoded size
+	bomb = append(bomb, 1)                 // coding: store
+	bomb = varint.AppendUint(bomb, 0)      // encoded length: nothing behind the claim
+	return bomb
+}
+
+// TestDecompressionBombFailsFast pins the bomb defense: a ~40-byte
+// archive claiming a 4 GiB stream must be rejected at the directory
+// walk — with ErrTooLarge, and without allocating anywhere near the
+// claimed size.
+func TestDecompressionBombFailsFast(t *testing.T) {
+	bomb := bombArchive(t, 4<<30)
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	_, err := Unpack(bomb)
+	runtime.ReadMemStats(&after)
+
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("Unpack(bomb) = %v, want ErrTooLarge", err)
+	}
+	if _, ok := AsCorrupt(err); !ok {
+		t.Fatalf("bomb rejection is not a CorruptError: %v", err)
+	}
+	// Rejection happens before any stream materializes; the whole call
+	// should stay within a modest constant, not the 4 GiB claim.
+	if delta := after.TotalAlloc - before.TotalAlloc; delta > 1<<20 {
+		t.Fatalf("rejecting the bomb allocated %d bytes", delta)
+	}
+}
+
+// TestMaxDecodedBytesOption checks the per-call override: a claim that
+// fits the default 1 GiB budget still fails against a caller cap.
+func TestMaxDecodedBytesOption(t *testing.T) {
+	bomb := bombArchive(t, 1<<20)
+	if _, err := Unpack(bomb); errors.Is(err, ErrTooLarge) {
+		// The 1 MiB claim is under the default budget; it must fail for
+		// a different reason (empty payload), not the cap.
+		t.Fatalf("1 MiB claim hit the default cap: %v", err)
+	}
+	opts := &Options{MaxDecodedBytes: 1 << 16}
+	_, err := UnpackOpts(bomb, opts)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("UnpackOpts(bomb, 64KiB cap) = %v, want ErrTooLarge", err)
+	}
+}
+
+// TestMaxClassCountOption checks the materialization cap: a valid
+// archive with a small class-count cap fails with ErrTooLarge before
+// decoding any class.
+func TestMaxClassCountOption(t *testing.T) {
+	files := sample(t)
+	if len(files) < 3 {
+		t.Fatalf("corpus too small: %d files", len(files))
+	}
+	files = files[:3]
+	packed, err := Pack(files, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unpack(packed); err != nil {
+		t.Fatalf("pristine archive: %v", err)
+	}
+	_, err = UnpackOpts(packed, &Options{MaxClassCount: 2})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("UnpackOpts(3 classes, cap 2) = %v, want ErrTooLarge", err)
+	}
+}

@@ -32,11 +32,28 @@ import (
 	"classpack/internal/archive"
 	"classpack/internal/classfile"
 	"classpack/internal/core"
+	"classpack/internal/corrupt"
 	"classpack/internal/par"
 	"classpack/internal/refs"
 	"classpack/internal/strip"
 	"classpack/internal/verifier"
 )
+
+// CorruptError describes malformed or hostile archive data: the wire
+// stream (or container section) decoding broke in, the byte offset
+// within it when one is known (-1 otherwise), and the underlying cause.
+// Every Unpack-path failure caused by the archive bytes is a
+// *CorruptError or wraps one; extract it with errors.As or AsCorrupt.
+type CorruptError = corrupt.Error
+
+// ErrTooLarge is wrapped (test with errors.Is) by decode failures caused
+// by a resource cap — MaxDecodedBytes, MaxClassCount, or a structural
+// per-item limit — rather than malformed bytes. It is how callers tell
+// "decompression bomb" apart from "garbage input".
+var ErrTooLarge = corrupt.ErrTooLarge
+
+// AsCorrupt extracts the first *CorruptError in err's chain, if any.
+func AsCorrupt(err error) (*CorruptError, bool) { return corrupt.As(err) }
 
 // Scheme selects a reference-encoding scheme (§5.1 of the paper).
 type Scheme = refs.Scheme
@@ -93,6 +110,16 @@ type Options struct {
 	// 1 reproduces the serial path exactly. It is a local performance
 	// knob only — the packed bytes are identical for every value.
 	Concurrency int
+	// MaxDecodedBytes caps the total decoded size of all wire streams
+	// during unpacking (0 = a 1 GiB default). The cap is charged against
+	// each stream's declared size before anything is inflated or
+	// allocated, so a small archive claiming a huge payload fails in
+	// time and memory proportional to the archive itself, with an error
+	// wrapping ErrTooLarge. Decode-side only; ignored by Pack.
+	MaxDecodedBytes int64
+	// MaxClassCount caps the number of classes unpacking will
+	// materialize (0 = 1<<20). Decode-side only; ignored by Pack.
+	MaxClassCount int
 }
 
 // DefaultOptions returns the paper's evaluated configuration.
@@ -107,6 +134,16 @@ func (o *Options) core() core.Options {
 	}
 	return core.Options{Scheme: o.Scheme, StackState: o.StackState,
 		Compress: o.Compress, Preload: o.Preload, Concurrency: o.Concurrency}
+}
+
+// unpackOpts extracts the decode-side knobs; coding choices are read
+// from the archive header, so the rest of Options is ignored.
+func (o *Options) unpackOpts() core.UnpackOpts {
+	if o == nil {
+		return core.UnpackOpts{}
+	}
+	return core.UnpackOpts{Concurrency: o.Concurrency,
+		MaxDecodedBytes: o.MaxDecodedBytes, MaxClassCount: o.MaxClassCount}
 }
 
 // File is one class file by name. Names follow the jar convention:
@@ -179,15 +216,32 @@ func Unpack(data []byte) ([]File, error) {
 // pools are stateful) and the final per-file serialization fans out
 // again, re-sequenced by index.
 func UnpackN(data []byte, concurrency int) ([]File, error) {
-	if err := checkConcurrency(concurrency); err != nil {
+	return unpackFiles(data, core.UnpackOpts{Concurrency: concurrency})
+}
+
+// UnpackOpts is Unpack with explicit decode options: Concurrency,
+// MaxDecodedBytes and MaxClassCount are honored; the coding fields are
+// ignored because the archive header fixes them. A nil opts behaves
+// like Unpack. Failures caused by the archive bytes are *CorruptError
+// values (or wrap one); cap violations additionally match ErrTooLarge.
+func UnpackOpts(data []byte, opts *Options) ([]File, error) {
+	return unpackFiles(data, opts.unpackOpts())
+}
+
+func unpackFiles(data []byte, o core.UnpackOpts) ([]File, error) {
+	if err := checkConcurrency(o.Concurrency); err != nil {
 		return nil, err
 	}
-	cfs, err := core.UnpackN(data, concurrency)
+	var cfs []*classfile.ClassFile
+	err := core.UnpackStreamOpts(data, o, func(cf *classfile.ClassFile) error {
+		cfs = append(cfs, cf)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	out := make([]File, len(cfs))
-	err = par.Do(concurrency, len(cfs), func(i int) error {
+	err = par.Do(o.Concurrency, len(cfs), func(i int) error {
 		raw, err := classfile.Write(cfs[i])
 		if err != nil {
 			return err
@@ -374,6 +428,20 @@ func UnpackToJarN(data []byte, concurrency int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	return jarFromFiles(files)
+}
+
+// UnpackToJarOpts is UnpackToJar with explicit decode options (see
+// UnpackOpts).
+func UnpackToJarOpts(data []byte, opts *Options) ([]byte, error) {
+	files, err := UnpackOpts(data, opts)
+	if err != nil {
+		return nil, err
+	}
+	return jarFromFiles(files)
+}
+
+func jarFromFiles(files []File) ([]byte, error) {
 	members := make([]archive.File, len(files))
 	for i, f := range files {
 		members[i] = archive.File{Name: f.Name, Data: f.Data}

@@ -1,0 +1,162 @@
+// Command fuzzcorpus regenerates the checked-in fuzz seed corpora under
+// the per-package testdata/fuzz directories from internal/synth packs.
+// Run it from the repo root after changing the wire format:
+//
+//	go run ./cmd/fuzzcorpus
+//
+// The files give `go test -fuzz` real archive structure to mutate from
+// the first exec, without each harness having to re-pack a corpus.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"classpack"
+	"classpack/internal/classfile"
+	"classpack/internal/custom"
+	"classpack/internal/jazz"
+	"classpack/internal/streams"
+	"classpack/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fuzzcorpus:", err)
+		os.Exit(1)
+	}
+}
+
+// corpusFile writes one seed in the `go test fuzz v1` encoding; each
+// argument becomes one []byte line.
+func corpusFile(dir, name string, args ...[]byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	out := "go test fuzz v1\n"
+	for _, a := range args {
+		out += "[]byte(" + strconv.Quote(string(a)) + ")\n"
+	}
+	return os.WriteFile(filepath.Join(dir, name), []byte(out), 0o644)
+}
+
+func classes(profile string, scale float64) ([]*classfile.ClassFile, [][]byte, error) {
+	p, err := synth.ProfileByName(profile)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfs, err := synth.GenerateStripped(p, scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	raw := make([][]byte, len(cfs))
+	for i, cf := range cfs {
+		if raw[i], err = classfile.Write(cf); err != nil {
+			return nil, nil, err
+		}
+	}
+	return cfs, raw, nil
+}
+
+func marshalDict(dict []custom.Pair) []byte {
+	out := make([]byte, 0, 5*len(dict))
+	for _, p := range dict {
+		out = binary.LittleEndian.AppendUint16(out, uint16(p.First))
+		out = binary.LittleEndian.AppendUint16(out, uint16(p.Second))
+		b := byte(0)
+		if p.Skip {
+			b = 1
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func run() error {
+	profiles := []string{"209_db", "Hanoi_jax"}
+
+	for _, profile := range profiles {
+		cfs, raw, err := classes(profile, 0.05)
+		if err != nil {
+			return err
+		}
+
+		// FuzzUnpack: full archives, default options and the
+		// uncompressed/no-stackstate layout.
+		packed, err := classpack.Pack(raw, nil)
+		if err != nil {
+			return err
+		}
+		if err := corpusFile("testdata/fuzz/FuzzUnpack", "seed-"+profile, packed); err != nil {
+			return err
+		}
+		plain := classpack.DefaultOptions()
+		plain.StackState = false
+		plain.Compress = false
+		packedPlain, err := classpack.Pack(raw, &plain)
+		if err != nil {
+			return err
+		}
+		if err := corpusFile("testdata/fuzz/FuzzUnpack", "seed-"+profile+"-plain", packedPlain); err != nil {
+			return err
+		}
+
+		// FuzzJazzDecode: the §9 Jazz competitor's own wire format.
+		jz, err := jazz.Pack(cfs)
+		if err != nil {
+			return err
+		}
+		if err := corpusFile("internal/jazz/testdata/fuzz/FuzzJazzDecode", "seed-"+profile, jz); err != nil {
+			return err
+		}
+
+		// FuzzReadClassFile: individual class files.
+		for i, data := range raw {
+			if i >= 3 {
+				break
+			}
+			name := fmt.Sprintf("seed-%s-%d", profile, i)
+			if err := corpusFile("internal/classfile/testdata/fuzz/FuzzReadClassFile", name, data); err != nil {
+				return err
+			}
+		}
+
+		// FuzzStreamsReader: the raw stream container from a real pack
+		// (the archive body after the 6-byte header).
+		if len(packed) > 6 {
+			if err := corpusFile("internal/streams/testdata/fuzz/FuzzStreamsReader",
+				"seed-"+profile, packed[6:]); err != nil {
+				return err
+			}
+		}
+	}
+
+	// FuzzCustomDecode: a dictionary and rewritten sequence from a real
+	// §7.2 greedy compression run, in the harness's 5-byte dict encoding.
+	seqs := [][]byte{nil, nil}
+	for i := 0; i < 60; i++ {
+		seqs[0] = append(seqs[0], 1, 2, 3)
+		seqs[1] = append(seqs[1], 9, 9, 4, 7)
+	}
+	work, dict := custom.Compress(seqs, 200, 8)
+	for i, seq := range work {
+		name := fmt.Sprintf("seed-compress-%d", i)
+		if err := corpusFile("internal/custom/testdata/fuzz/FuzzCustomDecode",
+			name, marshalDict(dict), custom.Serialize(seq)); err != nil {
+			return err
+		}
+	}
+
+	// An empty container and a tiny hand-rolled one for the streams walker.
+	w := streams.NewWriter()
+	w.Stream("seed.ints").Uint(1 << 20)
+	w.Stream("seed.raw").Write([]byte("seed"))
+	small, err := w.Finish(false)
+	if err != nil {
+		return err
+	}
+	return corpusFile("internal/streams/testdata/fuzz/FuzzStreamsReader", "seed-small", small)
+}

@@ -17,6 +17,7 @@
 //	jpackd [-addr :8750] [-cache DIR|off] [-cache-max BYTES]
 //	       [-max-request BYTES] [-timeout D] [-drain D] [-jobs N] [-j N]
 //	       [-scheme NAME] [-no-stackstate] [-no-gzip] [-preload]
+//	       [-max-decoded-bytes N] [-max-classes N]
 //	jpackd -smoke [-smoke-scale F]   # self-check against a synthetic corpus
 package main
 
@@ -60,6 +61,8 @@ func run(args []string) error {
 		noSS       = fs.Bool("no-stackstate", false, "disable §7.1 stack-state coding")
 		noGz       = fs.Bool("no-gzip", false, "disable per-stream DEFLATE")
 		preload    = fs.Bool("preload", false, "seed reference pools with the standard table")
+		maxDecoded = fs.Int64("max-decoded-bytes", 0, "decoded-size cap per /unpack request (0 = 1 GiB default)")
+		maxClasses = fs.Int("max-classes", 0, "class-count cap per /unpack request (0 = 1<<20 default)")
 		smoke      = fs.Bool("smoke", false, "start on a loopback port, pack a synthetic corpus through the client, check the digest round-trip, and exit")
 		smokeScale = fs.Float64("smoke-scale", 0.05, "synthetic corpus scale for -smoke")
 	)
@@ -76,6 +79,8 @@ func run(args []string) error {
 	opts.Compress = !*noGz
 	opts.Preload = *preload
 	opts.Concurrency = *workers
+	opts.MaxDecodedBytes = *maxDecoded
+	opts.MaxClassCount = *maxClasses
 	cfg := serve.Config{
 		Options:         opts,
 		MaxRequestBytes: *maxReq,

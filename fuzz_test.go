@@ -1,0 +1,65 @@
+package classpack
+
+import (
+	"errors"
+	"testing"
+
+	"classpack/internal/classfile"
+	"classpack/internal/synth"
+)
+
+// fuzzSeedPack builds a small valid archive to seed the fuzzer with
+// real wire-format structure (the checked-in corpus under
+// testdata/fuzz adds more, generated from internal/synth packs).
+func fuzzSeedPack(f *testing.F, opts *Options) []byte {
+	f.Helper()
+	p, err := synth.ProfileByName("209_db")
+	if err != nil {
+		f.Fatal(err)
+	}
+	cfs, err := synth.GenerateStripped(p, 0.02)
+	if err != nil {
+		f.Fatal(err)
+	}
+	files := make([][]byte, len(cfs))
+	for i, cf := range cfs {
+		if files[i], err = classfile.Write(cf); err != nil {
+			f.Fatal(err)
+		}
+	}
+	packed, err := Pack(files, opts)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return packed
+}
+
+// FuzzUnpack feeds arbitrary bytes to the full unpack pipeline. The
+// invariant under test: no input panics or blows past the configured
+// resource caps — every failure is an error, and cap failures match
+// ErrTooLarge.
+func FuzzUnpack(f *testing.F) {
+	f.Add(fuzzSeedPack(f, nil))
+	noSS := DefaultOptions()
+	noSS.StackState = false
+	noSS.Compress = false
+	f.Add(fuzzSeedPack(f, &noSS))
+	f.Add([]byte("CJP1"))
+	f.Add([]byte{})
+
+	// Caps are deliberately small so the fuzzer proves them: any input
+	// that decodes more than this is itself the bug.
+	opts := &Options{Concurrency: 1, MaxDecodedBytes: 16 << 20, MaxClassCount: 1 << 10}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		files, err := UnpackOpts(data, opts)
+		if err != nil {
+			if _, ok := AsCorrupt(err); !ok && errors.Is(err, ErrTooLarge) {
+				t.Fatalf("ErrTooLarge outside a CorruptError chain: %v", err)
+			}
+			return
+		}
+		if len(files) > 1<<10 {
+			t.Fatalf("decoded %d classes past MaxClassCount", len(files))
+		}
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"compress/flate"
 	"compress/gzip"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -254,6 +255,43 @@ func Inflate(data []byte) ([]byte, error) {
 		// A reader that saw corrupt input is dropped, not recycled.
 		fr.Close()
 		return nil, err
+	}
+	if err := fr.Close(); err != nil {
+		return nil, err
+	}
+	putFlateReader(fr)
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
+}
+
+// ErrInflateTooLarge reports a DEFLATE stream that decompressed past the
+// caller's cap; inflation stops at the cap rather than materializing the
+// rest, which is the bomb guard for length-prefixed formats whose
+// declared sizes cannot be trusted.
+var ErrInflateTooLarge = errors.New("archive: inflated data exceeds limit")
+
+// InflateLimit decompresses raw DEFLATE data, failing with
+// ErrInflateTooLarge as soon as the output would exceed max bytes. At
+// most max+1 bytes are ever buffered, regardless of how much the stream
+// claims to expand to.
+func InflateLimit(data []byte, max int64) ([]byte, error) {
+	if max < 0 {
+		max = 0
+	}
+	fr := getFlateReader(data)
+	buf := getBuffer()
+	defer putBuffer(buf)
+	// Read one byte past the cap: hitting it proves the stream is too
+	// large without inflating the remainder.
+	n, err := buf.ReadFrom(io.LimitReader(fr, max+1))
+	if err != nil {
+		fr.Close()
+		return nil, err
+	}
+	if n > max {
+		fr.Close()
+		return nil, ErrInflateTooLarge
 	}
 	if err := fr.Close(); err != nil {
 		return nil, err

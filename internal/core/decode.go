@@ -6,10 +6,35 @@ import (
 	"math"
 
 	"classpack/internal/classfile"
+	"classpack/internal/corrupt"
 	"classpack/internal/ir"
 	"classpack/internal/refs"
 	"classpack/internal/streams"
 )
+
+// sHeader names the fixed archive header in corrupt errors.
+const sHeader = "header"
+
+// DefaultMaxClassCount is the class-count cap applied when UnpackOpts
+// does not choose one.
+const DefaultMaxClassCount = 1 << 20
+
+// UnpackOpts are the decode-side knobs. Coding choices travel in the
+// archive header, so decoding needs no scheme configuration — only
+// resource bounds for untrusted input and a worker count.
+type UnpackOpts struct {
+	// Concurrency bounds the workers for the up-front stream
+	// decompression (0 = all cores, 1 = serial).
+	Concurrency int
+	// MaxDecodedBytes caps the total decoded size of all wire streams
+	// (0 = streams.DefaultMaxDecodedBytes). The cap is enforced before
+	// inflation, so a small archive claiming a huge payload fails in
+	// O(header) work with an error wrapping corrupt.ErrTooLarge.
+	MaxDecodedBytes int64
+	// MaxClassCount caps the number of classes materialized
+	// (0 = DefaultMaxClassCount).
+	MaxClassCount int
+}
 
 // Unpack decodes a packed archive back into classfiles using all cores
 // for stream decompression. Decompression is deterministic: the result
@@ -23,7 +48,7 @@ func Unpack(data []byte) ([]*classfile.ClassFile, error) {
 // decompression (0 = all cores, 1 = serial).
 func UnpackN(data []byte, concurrency int) ([]*classfile.ClassFile, error) {
 	var out []*classfile.ClassFile
-	err := UnpackStreamN(data, concurrency, func(cf *classfile.ClassFile) error {
+	err := UnpackStreamOpts(data, UnpackOpts{Concurrency: concurrency}, func(cf *classfile.ClassFile) error {
 		out = append(out, cf)
 		return nil
 	})
@@ -46,17 +71,24 @@ func UnpackStream(data []byte, visit func(*classfile.ClassFile) error) error {
 // decoding itself stays sequential: reference pools are stateful, so
 // each class's references depend on every class before it.
 func UnpackStreamN(data []byte, concurrency int, visit func(*classfile.ClassFile) error) error {
+	return UnpackStreamOpts(data, UnpackOpts{Concurrency: concurrency}, visit)
+}
+
+// UnpackStreamOpts is UnpackStream with explicit decode options. Any
+// failure caused by the archive bytes (as opposed to a visit error) is
+// a *corrupt.Error or wraps one.
+func UnpackStreamOpts(data []byte, o UnpackOpts, visit func(*classfile.ClassFile) error) error {
 	if len(data) < 6 || !bytes.Equal(data[:4], Magic[:]) {
-		return fmt.Errorf("core: not a packed archive")
+		return corrupt.Errorf(sHeader, 0, "not a packed archive")
 	}
 	if data[4] != version {
-		return fmt.Errorf("core: unsupported version %d", data[4])
+		return corrupt.Errorf(sHeader, 4, "unsupported version %d", data[4])
 	}
 	opts := decodeOptions(data[5])
 	if !opts.Scheme.Decodable() {
-		return fmt.Errorf("core: archive uses undecodable scheme %v", opts.Scheme)
+		return corrupt.Errorf(sHeader, 5, "archive uses undecodable scheme %v", opts.Scheme)
 	}
-	r, err := streams.NewReaderN(data[6:], concurrency)
+	r, err := streams.NewReaderLimit(data[6:], o.Concurrency, o.MaxDecodedBytes)
 	if err != nil {
 		return err
 	}
@@ -68,8 +100,12 @@ func UnpackStreamN(data []byte, concurrency int, visit func(*classfile.ClassFile
 	if err != nil {
 		return fmt.Errorf("core: class count: %w", err)
 	}
-	if count > 1<<20 {
-		return fmt.Errorf("core: implausible class count %d", count)
+	maxClasses := o.MaxClassCount
+	if maxClasses <= 0 {
+		maxClasses = DefaultMaxClassCount
+	}
+	if count > uint64(maxClasses) {
+		return corrupt.TooLarge(sMeta, -1, "class count %d exceeds cap %d", count, maxClasses)
 	}
 	for i := uint64(0); i < count; i++ {
 		cf, err := u.class()
@@ -150,7 +186,7 @@ func (u *unpacker) classRef() (ir.ClassKey, error) {
 	if !isNew {
 		k, ok := u.classKeys[key]
 		if !ok {
-			return ir.ClassKey{}, fmt.Errorf("core: unknown class key %q", key)
+			return ir.ClassKey{}, corrupt.Errorf(refStream(poolClass), -1, "unknown class key %q", key)
 		}
 		return k, nil
 	}
@@ -158,6 +194,11 @@ func (u *unpacker) classRef() (ir.ClassKey, error) {
 	dims, err := d.Uint()
 	if err != nil {
 		return ir.ClassKey{}, err
+	}
+	// The JVM caps array dimensions at 255; anything larger is corrupt
+	// and would otherwise size a strings.Repeat allocation.
+	if dims > 255 {
+		return ir.ClassKey{}, corrupt.Errorf(sClassDef, -1, "array dimensions %d out of range", dims)
 	}
 	prim, err := d.ReadByte()
 	if err != nil {
@@ -187,7 +228,7 @@ func (u *unpacker) sigRef() (ir.Signature, error) {
 	if !isNew {
 		sig, ok := u.sigs[key]
 		if !ok {
-			return nil, fmt.Errorf("core: unknown signature key %q", key)
+			return nil, corrupt.Errorf(refStream(poolSig), -1, "unknown signature key %q", key)
 		}
 		return sig, nil
 	}
@@ -196,7 +237,7 @@ func (u *unpacker) sigRef() (ir.Signature, error) {
 		return nil, err
 	}
 	if n == 0 || n > 1<<16 {
-		return nil, fmt.Errorf("core: signature with %d entries", n)
+		return nil, corrupt.Errorf(sMeta, -1, "signature with %d entries", n)
 	}
 	sig := make(ir.Signature, n)
 	for i := range sig {
@@ -236,7 +277,7 @@ func (u *unpacker) memberRef(use opUse, ctx int) (ir.MemberRef, error) {
 	if !isNew {
 		m, ok := u.members[pool][key]
 		if !ok {
-			return ir.MemberRef{}, fmt.Errorf("core: unknown member key %q", key)
+			return ir.MemberRef{}, corrupt.Errorf(refStream(pool), -1, "unknown member key %q", key)
 		}
 		return m, nil
 	}

@@ -5,6 +5,7 @@ import (
 
 	"classpack/internal/bytecode"
 	"classpack/internal/classfile"
+	"classpack/internal/corrupt"
 	"classpack/internal/ir"
 	"classpack/internal/stackstate"
 	"classpack/internal/strip"
@@ -77,7 +78,7 @@ const maxCount = 1 << 20
 
 func checkCount(n uint64, what string) (int, error) {
 	if n > maxCount {
-		return 0, fmt.Errorf("core: implausible %s count %d", what, n)
+		return 0, corrupt.TooLarge(sMeta, -1, "implausible %s count %d", what, n)
 	}
 	return int(n), nil
 }
@@ -318,10 +319,12 @@ func (u *unpacker) code() (*dCode, error) {
 	if v, err = u.meta.Uint(); err != nil {
 		return nil, err
 	}
-	c.codeLen = int(v)
-	if c.codeLen > 1<<26 {
-		return nil, fmt.Errorf("core: code length %d implausible", c.codeLen)
+	// Bound before narrowing to int, so a 64-bit length can neither
+	// wrap negative nor size the decode loop.
+	if v > 1<<26 {
+		return nil, corrupt.TooLarge(sMeta, -1, "code length %d implausible", v)
 	}
+	c.codeLen = int(v)
 	var sim *stackstate.Sim
 	if u.opts.StackState {
 		sim = stackstate.New(nil, handlerOffsets)
@@ -471,7 +474,7 @@ func (u *unpacker) insn(pos int, sim *stackstate.Sim) (dInsn, int, error) {
 			return di, 0, err
 		}
 		if n > 1<<20 {
-			return di, 0, fmt.Errorf("core: tableswitch with %d targets", n)
+			return di, 0, corrupt.TooLarge(sSwitch, -1, "tableswitch with %d targets", n)
 		}
 		di.in.Default = pos + int(def)
 		di.in.Low = int32(low)
@@ -495,7 +498,7 @@ func (u *unpacker) insn(pos int, sim *stackstate.Sim) (dInsn, int, error) {
 			return di, 0, err
 		}
 		if n > 1<<20 {
-			return di, 0, fmt.Errorf("core: lookupswitch with %d pairs", n)
+			return di, 0, corrupt.TooLarge(sSwitch, -1, "lookupswitch with %d pairs", n)
 		}
 		di.in.Default = pos + int(def)
 		di.in.Keys = make([]int32, n)

@@ -1,0 +1,74 @@
+// Package corrupt defines the structured decode-error taxonomy shared by
+// every decoder in the unpack stack. A *Error pinpoints which named
+// stream (or container section) a malformed archive broke in, the byte
+// offset within that stream where decoding failed, and the underlying
+// cause.
+//
+// The rule the decode stack follows: any invariant that can be violated
+// by bytes an attacker controls fails with a *Error (or an error wrapping
+// one), never a panic and never an unbounded allocation. Panics remain
+// only for encoder-side programmer errors, which decoded data cannot
+// reach.
+package corrupt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTooLarge is the sentinel wrapped by errors produced when decoding
+// would exceed a configured resource cap (MaxDecodedBytes,
+// MaxClassCount, or a structural per-item limit). Callers distinguish
+// "malformed" from "well-formed but over budget" with errors.Is.
+var ErrTooLarge = errors.New("decoded size exceeds configured limit")
+
+// Error describes malformed or hostile archive data. Stream names the
+// wire stream or container section being decoded ("container" for the
+// stream directory itself, "classfile" for raw class files); Offset is
+// the byte position within that stream at the point of failure, or -1
+// when no meaningful offset exists.
+type Error struct {
+	Stream string
+	Offset int64
+	Cause  error
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	where := e.Stream
+	if where == "" {
+		where = "input"
+	}
+	if e.Offset >= 0 {
+		return fmt.Sprintf("corrupt %s at offset %d: %v", where, e.Offset, e.Cause)
+	}
+	return fmt.Sprintf("corrupt %s: %v", where, e.Cause)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *Error) Unwrap() error { return e.Cause }
+
+// New wraps cause as an Error located in the named stream.
+func New(stream string, offset int64, cause error) *Error {
+	return &Error{Stream: stream, Offset: offset, Cause: cause}
+}
+
+// Errorf formats a cause in place.
+func Errorf(stream string, offset int64, format string, args ...any) *Error {
+	return &Error{Stream: stream, Offset: offset, Cause: fmt.Errorf(format, args...)}
+}
+
+// TooLarge builds a resource-cap Error whose cause wraps ErrTooLarge.
+func TooLarge(stream string, offset int64, format string, args ...any) *Error {
+	return &Error{Stream: stream, Offset: offset,
+		Cause: fmt.Errorf(format+": %w", append(args, ErrTooLarge)...)}
+}
+
+// As extracts the first *Error in err's chain, if any.
+func As(err error) (*Error, bool) {
+	var ce *Error
+	if errors.As(err, &ce) {
+		return ce, true
+	}
+	return nil, false
+}

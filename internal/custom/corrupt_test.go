@@ -1,0 +1,108 @@
+package custom
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"classpack/internal/corrupt"
+)
+
+// TestExpandNeverPanicsOnCorruptInput ports the core decoder's
+// corrupt-input pattern to the §7.2 custom-opcode decode path: mutated
+// dictionaries and sequences must produce clean corrupt errors or a
+// budget-bounded expansion, never a panic or unbounded output.
+func TestExpandNeverPanicsOnCorruptInput(t *testing.T) {
+	const base = 200
+	const budget = int64(1) << 20
+	seqs := [][]byte{
+		bytes.Repeat([]byte{1, 2, 3}, 50),
+		bytes.Repeat([]byte{9, 9, 4, 7}, 40),
+	}
+	work, dict := Compress(seqs, base, 8)
+	dictBytes := marshalDict(dict)
+	seqBytes := Serialize(work[0])
+
+	rng := rand.New(rand.NewSource(99))
+	try := func(db, sb []byte) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("custom decode panicked: %v", r)
+			}
+		}()
+		seq, err := Deserialize(sb)
+		if err != nil {
+			return
+		}
+		out, err := ExpandChecked([][]int{seq}, fuzzDict(db), base, budget)
+		if err != nil {
+			if _, ok := corrupt.As(err); !ok {
+				t.Fatalf("non-corrupt decode error: %v", err)
+			}
+			return
+		}
+		if n := int64(len(out[0])); n > budget {
+			t.Fatalf("expanded %d bytes past the %d budget", n, budget)
+		}
+	}
+
+	// Single-byte flips in each input.
+	for trial := 0; trial < 2000; trial++ {
+		db := append([]byte(nil), dictBytes...)
+		sb := append([]byte(nil), seqBytes...)
+		if len(db) > 0 && trial%2 == 0 {
+			db[rng.Intn(len(db))] ^= byte(1 + rng.Intn(255))
+		} else if len(sb) > 0 {
+			sb[rng.Intn(len(sb))] ^= byte(1 + rng.Intn(255))
+		}
+		try(db, sb)
+	}
+	// Truncations of both inputs.
+	for cut := 0; cut <= len(dictBytes); cut++ {
+		try(dictBytes[:cut], seqBytes)
+	}
+	for cut := 0; cut <= len(seqBytes); cut++ {
+		try(dictBytes, seqBytes[:cut])
+	}
+	// Pure garbage.
+	for trial := 0; trial < 500; trial++ {
+		db := make([]byte, rng.Intn(64))
+		sb := make([]byte, rng.Intn(128))
+		rng.Read(db)
+		rng.Read(sb)
+		try(db, sb)
+	}
+}
+
+// TestExpandCheckedRejectsBombs pins the two adversarial dictionary
+// shapes the iterative expander exists for: exponential growth from a
+// chain of self-doubling entries, and reference cycles.
+func TestExpandCheckedRejectsBombs(t *testing.T) {
+	const base = 2
+	// Entry i expands to two copies of symbol base+i-1: 40 entries give
+	// 2^40 bytes from one symbol.
+	var dict []Pair
+	for i := 0; i < 40; i++ {
+		s := base + i - 1
+		if i == 0 {
+			s = 0
+		}
+		dict = append(dict, Pair{First: s, Second: s})
+	}
+	seq := []int{base + 39}
+	_, err := ExpandChecked([][]int{seq}, dict, base, 1<<20)
+	if err == nil {
+		t.Fatal("2^40-byte expansion accepted")
+	}
+	if _, ok := corrupt.As(err); !ok || !errors.Is(err, corrupt.ErrTooLarge) {
+		t.Fatalf("bomb rejection = %v, want a too-large corrupt error", err)
+	}
+
+	// A self-referencing entry is caught by CheckDict before expansion.
+	cyclic := []Pair{{First: base, Second: 0}}
+	if _, err := ExpandChecked([][]int{{base}}, cyclic, base, 1<<20); err == nil {
+		t.Fatal("cyclic dictionary accepted")
+	}
+}

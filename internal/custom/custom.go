@@ -10,6 +10,7 @@ package custom
 import (
 	"math"
 
+	"classpack/internal/corrupt"
 	"classpack/internal/encoding/varint"
 )
 
@@ -259,4 +260,135 @@ func Serialize(seq []int) []byte {
 		}
 	}
 	return out
+}
+
+// maxSymbol bounds deserialized symbol values; Compress never issues
+// more than a few hundred custom opcodes, so anything near int range is
+// corrupt (and would overflow the +255 un-escape below).
+const maxSymbol = 1 << 20
+
+// Deserialize reverses Serialize. Input is untrusted: escape values are
+// bounded so symbols stay well inside int range.
+func Deserialize(data []byte) ([]int, error) {
+	var out []int
+	pos := 0
+	for pos < len(data) {
+		b := data[pos]
+		pos++
+		if b < 255 {
+			out = append(out, int(b))
+			continue
+		}
+		v, n, err := varint.Uint(data[pos:])
+		if err != nil {
+			return nil, corrupt.Errorf("custom", int64(pos), "symbol escape: %v", err)
+		}
+		pos += n
+		if v > maxSymbol {
+			return nil, corrupt.Errorf("custom", int64(pos), "symbol %d out of range", v+255)
+		}
+		out = append(out, int(v)+255)
+	}
+	return out, nil
+}
+
+// CheckDict validates a decoded dictionary against the invariants
+// Compress maintains: entry i expands only to plain symbols (< base) or
+// earlier custom symbols (< base+i), and never to a skip symbol. Those
+// invariants make expansion acyclic and well defined; a dictionary that
+// violates them is corrupt.
+func CheckDict(dict []Pair, base int) error {
+	if base < 1 || base > maxSymbol {
+		return corrupt.Errorf("custom", -1, "alphabet base %d out of range", base)
+	}
+	for i, p := range dict {
+		for _, s := range [2]int{p.First, p.Second} {
+			if s < 0 || s >= base+i {
+				return corrupt.Errorf("custom", int64(i),
+					"dictionary entry %d references symbol %d outside [0,%d)", i, s, base+i)
+			}
+			if s >= base && dict[s-base].Skip {
+				return corrupt.Errorf("custom", int64(i),
+					"dictionary entry %d references skip symbol %d", i, s)
+			}
+		}
+	}
+	return nil
+}
+
+// expander performs symbol expansion iteratively with an output budget,
+// so an adversarial dictionary can neither exhaust the goroutine stack
+// (deep reference chains) nor memory (each entry can double the output,
+// giving 2^n growth from n entries).
+type expander struct {
+	dict   []Pair
+	base   int
+	budget int64
+}
+
+func (e *expander) sym(sym int, dst []byte) ([]byte, error) {
+	stack := []int{sym}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s < e.base {
+			if e.budget--; e.budget < 0 {
+				return nil, corrupt.TooLarge("custom", -1, "expansion exceeds output cap")
+			}
+			dst = append(dst, byte(s))
+			continue
+		}
+		p := e.dict[s-e.base]
+		stack = append(stack, p.Second, p.First) // First pops (and expands) first
+	}
+	return dst, nil
+}
+
+// ExpandChecked is Expand for untrusted input: the dictionary must pass
+// CheckDict, every sequence symbol is range-checked, and the total
+// expanded output across all sequences is capped at maxBytes (an error
+// wrapping corrupt.ErrTooLarge past it).
+func ExpandChecked(seqs [][]int, dict []Pair, base int, maxBytes int64) ([][]byte, error) {
+	if err := CheckDict(dict, base); err != nil {
+		return nil, err
+	}
+	e := &expander{dict: dict, base: base, budget: maxBytes}
+	out := make([][]byte, len(seqs))
+	for i, seq := range seqs {
+		var dst []byte
+		for j := 0; j < len(seq); j++ {
+			sym := seq[j]
+			if sym < 0 || sym >= base+len(dict) {
+				return nil, corrupt.Errorf("custom", int64(j), "symbol %d outside alphabet", sym)
+			}
+			var err error
+			if sym >= base && dict[sym-base].Skip {
+				p := dict[sym-base]
+				if dst, err = e.sym(p.First, dst); err != nil {
+					return nil, err
+				}
+				j++
+				if j < len(seq) {
+					mid := seq[j]
+					if mid < 0 || mid >= base+len(dict) {
+						return nil, corrupt.Errorf("custom", int64(j), "symbol %d outside alphabet", mid)
+					}
+					if mid >= base && dict[mid-base].Skip {
+						return nil, corrupt.Errorf("custom", int64(j), "skip symbol %d in a skip middle slot", mid)
+					}
+					if dst, err = e.sym(mid, dst); err != nil {
+						return nil, err
+					}
+				}
+				dst, err = e.sym(p.Second, dst)
+			} else {
+				dst, err = e.sym(sym, dst)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		out[i] = dst
+	}
+	return out, nil
 }

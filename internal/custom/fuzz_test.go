@@ -1,0 +1,83 @@
+package custom
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"classpack/internal/corrupt"
+)
+
+// Dictionary wire shape used by the fuzzer: 5 bytes per entry — LE16
+// First, LE16 Second, low bit of the fifth byte is Skip.
+func fuzzDict(data []byte) []Pair {
+	var dict []Pair
+	for i := 0; i+5 <= len(data); i += 5 {
+		dict = append(dict, Pair{
+			First:  int(binary.LittleEndian.Uint16(data[i:])),
+			Second: int(binary.LittleEndian.Uint16(data[i+2:])),
+			Skip:   data[i+4]&1 == 1,
+		})
+	}
+	return dict
+}
+
+func marshalDict(dict []Pair) []byte {
+	out := make([]byte, 0, 5*len(dict))
+	for _, p := range dict {
+		out = binary.LittleEndian.AppendUint16(out, uint16(p.First))
+		out = binary.LittleEndian.AppendUint16(out, uint16(p.Second))
+		b := byte(0)
+		if p.Skip {
+			b = 1
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// FuzzCustomDecode drives the untrusted custom-opcode decode path:
+// Deserialize the sequence, validate the dictionary, expand under a
+// byte budget. No input may panic, blow the budget, or fail with a
+// non-corrupt error; valid input must agree with the trusting Expand.
+func FuzzCustomDecode(f *testing.F) {
+	const base = 200
+	const budget = int64(1) << 20
+
+	seqs := [][]byte{
+		bytes.Repeat([]byte{1, 2, 3}, 40),
+		bytes.Repeat([]byte{9, 9, 4, 7}, 30),
+	}
+	work, dict := Compress(seqs, base, 8)
+	f.Add(marshalDict(dict), Serialize(work[0]))
+	f.Add(marshalDict(dict), Serialize(work[1]))
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0, 0, 0, 0, 1}, []byte{255, 200})
+
+	f.Fuzz(func(t *testing.T, dictBytes, seqBytes []byte) {
+		dict := fuzzDict(dictBytes)
+		seq, err := Deserialize(seqBytes)
+		if err != nil {
+			if _, ok := corrupt.As(err); !ok {
+				t.Fatalf("non-corrupt deserialize error: %v", err)
+			}
+			return
+		}
+		out, err := ExpandChecked([][]int{seq}, dict, base, budget)
+		if err != nil {
+			if _, ok := corrupt.As(err); !ok {
+				t.Fatalf("non-corrupt expand error: %v", err)
+			}
+			return
+		}
+		if n := int64(len(out[0])); n > budget {
+			t.Fatalf("expanded %d bytes past the %d budget", n, budget)
+		}
+		// A dictionary that passed CheckDict is safe for the trusting
+		// expander too; the two must agree.
+		want := Expand([][]int{seq}, dict, base)
+		if !bytes.Equal(out[0], want[0]) {
+			t.Fatalf("ExpandChecked disagrees with Expand:\n  checked: %x\n  trusted: %x", out[0], want[0])
+		}
+	})
+}

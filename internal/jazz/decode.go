@@ -63,7 +63,9 @@ func Unpack(data []byte) ([]*classfile.ClassFile, error) {
 	if pos+compLen > len(data) {
 		return nil, fmt.Errorf("jazz: truncated header")
 	}
-	header, err := archive.Inflate(data[pos : pos+compLen])
+	// Inflation is capped at the declared length so a bomb header stops
+	// at rawLen+1 bytes instead of materializing its full expansion.
+	header, err := archive.InflateLimit(data[pos:pos+compLen], int64(rawLen))
 	if err != nil {
 		return nil, err
 	}
@@ -86,7 +88,13 @@ func Unpack(data []byte) ([]*classfile.ClassFile, error) {
 	}
 	_ = rest
 	r := &jzReader{g: g, codes: codes, br: huffman.NewBitReader(bitstream)}
-	out := make([]*classfile.ClassFile, 0, classCount)
+	// Preallocation trusts classCount only up to a token amount; a lying
+	// count costs append growth, not an up-front allocation.
+	prealloc := classCount
+	if prealloc > 4096 {
+		prealloc = 4096
+	}
+	out := make([]*classfile.ClassFile, 0, prealloc)
 	for i := 0; i < classCount; i++ {
 		cf, err := r.class()
 		if err != nil {

@@ -1,0 +1,29 @@
+package jazz
+
+import (
+	"testing"
+)
+
+// FuzzJazzDecode feeds arbitrary bytes to the Jazz-format decoder. Any
+// input may fail, but none may panic or return classes without error.
+func FuzzJazzDecode(f *testing.F) {
+	cfs, _ := corpus(f, "209_db")
+	packed, err := Pack(cfs)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(packed)
+	f.Add(packed[:len(packed)/2])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := Unpack(data)
+		if err != nil {
+			return
+		}
+		for i, cf := range out {
+			if cf == nil {
+				t.Fatalf("class %d is nil without an error", i)
+			}
+		}
+	})
+}

@@ -117,17 +117,29 @@ func (q *Queue[K]) Encode(k K) int {
 
 // Take returns the element at 1-based position pos and moves it to the
 // front; it is the decompressor's counterpart to Use. It panics when pos
-// is out of range, which indicates a corrupt stream caught by the caller.
+// is out of range — decoders of untrusted streams must use TryTake,
+// which reports the range violation as a value instead.
 func (q *Queue[K]) Take(pos int) K {
-	if pos < 1 || pos > q.size {
+	k, ok := q.TryTake(pos)
+	if !ok {
 		panic(fmt.Sprintf("mtf: Take(%d) with %d elements", pos, q.size))
+	}
+	return k
+}
+
+// TryTake is Take for positions decoded from untrusted data: ok is false
+// (and the queue unchanged) when pos is outside [1, Len()], which means
+// the reference stream is corrupt.
+func (q *Queue[K]) TryTake(pos int) (k K, ok bool) {
+	if pos < 1 || pos > q.size {
+		return k, false
 	}
 	n := q.nodeAt(pos)
 	if pos > 1 {
 		q.removeAt(pos)
 		q.insertNodeFront(n)
 	}
-	return n.key
+	return n.key, true
 }
 
 // Keys returns the queue contents from front to back; it is O(n) and
@@ -295,6 +307,14 @@ func (q *Naive[K]) Take(pos int) K {
 	copy(q.keys[1:], q.keys[:pos-1])
 	q.keys[0] = k
 	return k
+}
+
+// TryTake mirrors Queue.TryTake.
+func (q *Naive[K]) TryTake(pos int) (k K, ok bool) {
+	if pos < 1 || pos > len(q.keys) {
+		return k, false
+	}
+	return q.Take(pos), true
 }
 
 // Keys returns the queue contents from front to back.

@@ -205,3 +205,36 @@ func benchEncode(b *testing.B, mk func() interface{ Encode(int) int }) {
 		q.Encode(keys[i&(1<<16-1)])
 	}
 }
+
+func TestTryTakeOutOfRange(t *testing.T) {
+	q := New[int]()
+	q.PushFront(7)
+	q.PushFront(8)
+	for _, pos := range []int{0, -1, 3, 1 << 30} {
+		if k, ok := q.TryTake(pos); ok {
+			t.Errorf("TryTake(%d) = %v, true; want rejection", pos, k)
+		}
+		if q.Len() != 2 {
+			t.Fatalf("TryTake(%d) mutated the queue: len %d", pos, q.Len())
+		}
+	}
+	// Valid positions still behave like Take: the taken element moves to
+	// the front.
+	if k, ok := q.TryTake(2); !ok || k != 7 {
+		t.Fatalf("TryTake(2) = %v, %v; want 7, true", k, ok)
+	}
+	if k, ok := q.TryTake(1); !ok || k != 7 {
+		t.Fatalf("TryTake(1) after move-to-front = %v, %v; want 7, true", k, ok)
+	}
+
+	n := NewNaive[int]()
+	n.PushFront(7)
+	for _, pos := range []int{0, -1, 2} {
+		if k, ok := n.TryTake(pos); ok {
+			t.Errorf("Naive.TryTake(%d) = %v, true; want rejection", pos, k)
+		}
+	}
+	if k, ok := n.TryTake(1); !ok || k != 7 {
+		t.Fatalf("Naive.TryTake(1) = %v, %v; want 7, true", k, ok)
+	}
+}

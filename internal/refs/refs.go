@@ -13,9 +13,17 @@ import (
 	"fmt"
 	"sort"
 
+	"classpack/internal/corrupt"
 	"classpack/internal/encoding/varint"
 	"classpack/internal/mtf"
 )
+
+// badRef reports an out-of-range reference decoded from a corrupt
+// stream. The caller (core) knows which wire stream was being read;
+// here only the codec-level cause is known.
+func badRef(format string, args ...any) error {
+	return corrupt.Errorf("refs", -1, format, args...)
+}
 
 // Scheme selects one of the §5.1 variants.
 type Scheme int
@@ -173,6 +181,11 @@ func readU16Escape(r varint.ByteReader) (int, error) {
 		if err != nil {
 			return 0, err
 		}
+		// Keep the id in int range: a corrupt escape must not overflow
+		// into a negative index.
+		if extra > 1<<31 {
+			return 0, badRef("escaped id offset %d out of range", extra)
+		}
 		id += int(extra)
 	}
 	return id, nil
@@ -199,8 +212,8 @@ func (d *simpleDec) Decode(r varint.ByteReader, ctx int) (string, bool, bool, er
 	if id == len(d.keys) {
 		return "", true, false, nil
 	}
-	if id > len(d.keys) {
-		return "", false, false, fmt.Errorf("refs: simple id %d ahead of pool size %d", id, len(d.keys))
+	if id < 0 || id > len(d.keys) {
+		return "", false, false, badRef("simple id %d ahead of pool size %d", id, len(d.keys))
 	}
 	return d.keys[id], false, false, nil
 }
@@ -269,8 +282,10 @@ func (d *basicDec) Decode(r varint.ByteReader, ctx int) (string, bool, bool, err
 	if id == len(d.keys) {
 		return "", true, false, nil
 	}
-	if id > len(d.keys) {
-		return "", false, false, fmt.Errorf("refs: basic id %d out of range", id)
+	// id can be negative when a corrupt varint overflowed int in
+	// readBounded; both directions are out of range.
+	if id < 0 || id > len(d.keys) {
+		return "", false, false, badRef("basic id %d out of range", id)
 	}
 	return d.keys[id], false, false, nil
 }
@@ -393,20 +408,29 @@ func (d *mtfDec) Decode(r varint.ByteReader, ctx int) (string, bool, bool, error
 		case 1:
 			return "", true, false, nil
 		default:
-			pos := int(v) - 1
-			if pos > d.q.Len() {
-				return "", false, false, fmt.Errorf("refs: mtf position %d beyond %d", pos, d.q.Len())
+			// Compare in uint64 before narrowing: a 64-bit position must
+			// not wrap into a small (or negative) int and pass the check.
+			if v-1 > uint64(d.q.Len()) {
+				return "", false, false, badRef("mtf position %d beyond %d", v-1, d.q.Len())
 			}
-			return d.q.Take(pos), false, false, nil
+			key, ok := d.q.TryTake(int(v) - 1)
+			if !ok {
+				return "", false, false, badRef("mtf position %d beyond %d", v-1, d.q.Len())
+			}
+			return key, false, false, nil
 		}
 	}
 	if v == 0 {
 		return "", true, false, nil
 	}
-	if int(v) > d.q.Len() {
-		return "", false, false, fmt.Errorf("refs: mtf position %d beyond %d", v, d.q.Len())
+	if v > uint64(d.q.Len()) {
+		return "", false, false, badRef("mtf position %d beyond %d", v, d.q.Len())
 	}
-	return d.q.Take(int(v)), false, false, nil
+	key, ok := d.q.TryTake(int(v))
+	if !ok {
+		return "", false, false, badRef("mtf position %d beyond %d", v, d.q.Len())
+	}
+	return key, false, false, nil
 }
 
 func (d *mtfDec) Define(ctx int, key string, transient bool) {
@@ -503,20 +527,27 @@ func (c *ctxCodec) Decode(r varint.ByteReader, ctx int) (string, bool, bool, err
 		case 1:
 			return "", true, false, nil
 		default:
-			pos := int(v) - 1
-			if pos > q.Len() {
-				return "", false, false, fmt.Errorf("refs: ctx mtf position %d beyond %d", pos, q.Len())
+			if v-1 > uint64(q.Len()) {
+				return "", false, false, badRef("ctx mtf position %d beyond %d", v-1, q.Len())
 			}
-			return q.Take(pos), false, false, nil
+			key, ok := q.TryTake(int(v) - 1)
+			if !ok {
+				return "", false, false, badRef("ctx mtf position %d beyond %d", v-1, q.Len())
+			}
+			return key, false, false, nil
 		}
 	}
 	if v == 0 {
 		return "", true, false, nil
 	}
-	if int(v) > q.Len() {
-		return "", false, false, fmt.Errorf("refs: ctx mtf position %d beyond %d", v, q.Len())
+	if v > uint64(q.Len()) {
+		return "", false, false, badRef("ctx mtf position %d beyond %d", v, q.Len())
 	}
-	return q.Take(int(v)), false, false, nil
+	key, ok := q.TryTake(int(v))
+	if !ok {
+		return "", false, false, badRef("ctx mtf position %d beyond %d", v, q.Len())
+	}
+	return key, false, false, nil
 }
 
 // Define implements Decoder.

@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"classpack/internal/archive"
+	"classpack/internal/corrupt"
+	"classpack/internal/encoding/varint"
 )
 
 // genTrace produces a reference trace with Zipf-like key reuse and a few
@@ -243,5 +245,50 @@ func TestSimpleEscapeForHugePools(t *testing.T) {
 	_, isNew, _, err := sd.Decode(r, 0)
 	if err != nil || !isNew {
 		t.Fatalf("escape decode: isNew=%v err=%v", isNew, err)
+	}
+}
+
+// TestDecodeBadPositionIsCorrupt hand-crafts reference streams whose MTF
+// positions point beyond the queue — including 64-bit values that would
+// wrap a naive int cast — and checks every decodable scheme reports a
+// structured corrupt error instead of panicking.
+func TestDecodeBadPositionIsCorrupt(t *testing.T) {
+	huge := varint.AppendUint(nil, 1<<62) // wraps negative if narrowed to int64->int carelessly
+	small := varint.AppendUint(nil, 5)    // beyond a queue holding one element
+	for _, s := range []Scheme{Basic, MTFBasic, MTFTransients, MTFContext, MTFFull} {
+		for _, tc := range []struct {
+			name string
+			data []byte
+		}{{"huge", huge}, {"small", small}} {
+			dec, ok := NewDecoder(s)
+			if !ok {
+				t.Fatalf("%v: no decoder", s)
+			}
+			dec.Define(0, "only-key", false)
+			_, isNew, _, err := dec.Decode(bytes.NewReader(tc.data), 0)
+			if isNew {
+				continue // position landed on a "new object" escape: fine
+			}
+			if err == nil {
+				t.Errorf("%v/%s: bad position accepted", s, tc.name)
+				continue
+			}
+			if _, isCorrupt := corrupt.As(err); !isCorrupt {
+				t.Errorf("%v/%s: error is not a corrupt.Error: %v", s, tc.name, err)
+			}
+			// The decoder must stay usable: the defined key still decodes.
+			v := uint64(1)
+			switch s {
+			case Basic:
+				v = 0 // basic ids are 0-based
+			case MTFTransients, MTFFull:
+				v = 2 // transient escapes shift positions by one
+			}
+			pos := varint.AppendUint(nil, v)
+			key, isNew, _, err := dec.Decode(bytes.NewReader(pos), 0)
+			if err != nil || isNew || key != "only-key" {
+				t.Errorf("%v/%s: decoder unusable after corrupt stream: %q, %v, %v", s, tc.name, key, isNew, err)
+			}
+		}
 	}
 }

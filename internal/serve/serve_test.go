@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
+	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -201,8 +204,11 @@ func TestUnpackEndpoint(t *testing.T) {
 		t.Fatal("unpack of garbage accepted")
 	} else {
 		var apiErr *client.APIError
-		if !errors.As(err, &apiErr) || apiErr.Code != "decode_failed" {
-			t.Fatalf("unpack of garbage: %v, want decode_failed", err)
+		if !errors.As(err, &apiErr) || apiErr.Code != "corrupt_archive" {
+			t.Fatalf("unpack of garbage: %v, want corrupt_archive", err)
+		}
+		if apiErr.Status != http.StatusBadRequest {
+			t.Fatalf("unpack of garbage: status %d, want 400", apiErr.Status)
 		}
 	}
 }
@@ -396,5 +402,63 @@ func TestPackOfGarbageJar(t *testing.T) {
 	var apiErr *client.APIError
 	if !errors.As(err, &apiErr) || apiErr.Code != "encode_failed" || apiErr.Status != 422 {
 		t.Fatalf("pack of garbage: %v, want encode_failed/422", err)
+	}
+}
+
+// TestUnpackMalformedArchives uploads truncated and bit-flipped archives
+// to a live daemon: every decode failure must come back as a structured
+// 400 (never a 5xx or a dropped connection), cap violations as
+// archive_limits, and the daemon must keep serving afterwards.
+func TestUnpackMalformedArchives(t *testing.T) {
+	jar, _ := testJar(t)
+	_, c, _ := startServer(t, Config{})
+	ctx := context.Background()
+
+	res, err := c.Pack(ctx, jar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed := res.Packed
+
+	checkRejected := func(desc string, data []byte) {
+		t.Helper()
+		_, err := c.Unpack(ctx, data)
+		if err == nil {
+			return // a mutation may leave the archive decodable; that's fine
+		}
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("%s: transport-level failure instead of an API error: %v", desc, err)
+		}
+		if apiErr.Status != http.StatusBadRequest {
+			t.Fatalf("%s: status %d (%s), want 400", desc, apiErr.Status, apiErr.Code)
+		}
+		switch apiErr.Code {
+		case "corrupt_archive", "archive_limits", "decode_failed":
+		default:
+			t.Fatalf("%s: unexpected error code %q", desc, apiErr.Code)
+		}
+	}
+
+	// Truncations across the archive, including the empty body.
+	for cut := 0; cut < len(packed); cut += len(packed)/40 + 1 {
+		desc := fmt.Sprintf("truncated to %d bytes", cut)
+		if _, err := c.Unpack(ctx, packed[:cut]); err == nil {
+			t.Fatalf("%s: accepted", desc)
+		}
+		checkRejected(desc, packed[:cut])
+	}
+	// Single-byte flips.
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		mut := append([]byte(nil), packed...)
+		i := rng.Intn(len(mut))
+		mut[i] ^= byte(1 + rng.Intn(255))
+		checkRejected(fmt.Sprintf("bit flip at %d", i), mut)
+	}
+
+	// The daemon survived all of it: a pristine unpack still works.
+	if _, err := c.Unpack(ctx, packed); err != nil {
+		t.Fatalf("daemon unhealthy after malformed uploads: %v", err)
 	}
 }

@@ -48,6 +48,8 @@ type Config struct {
 	// Concurrency bounds the workers *within* one encode job; MaxJobs
 	// bounds how many jobs run at once, so total parallelism is roughly
 	// MaxJobs x Concurrency. The packed bytes do not depend on either.
+	// The decode-side fields (MaxDecodedBytes, MaxClassCount) bound
+	// every /unpack request against decompression bombs.
 	Options classpack.Options
 
 	// Store, when non-nil, caches pack results by content digest.
@@ -297,9 +299,20 @@ func (s *Server) handleUnpack(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	jar, err := classpack.UnpackToJarN(input, s.cfg.Options.Concurrency)
+	opts := s.cfg.Options
+	jar, err := classpack.UnpackToJarOpts(input, &opts)
 	if err != nil {
-		s.writeError(w, errf(http.StatusUnprocessableEntity, "decode_failed", "unpack: %v", err))
+		// A failed decode means the client sent a bad archive — that is a
+		// 400, not a server fault. Cap violations and malformed bytes get
+		// distinct codes so clients can tell bomb rejection from garbage.
+		code := "decode_failed"
+		if _, ok := classpack.AsCorrupt(err); ok {
+			code = "corrupt_archive"
+		}
+		if errors.Is(err, classpack.ErrTooLarge) {
+			code = "archive_limits"
+		}
+		s.writeError(w, errf(http.StatusBadRequest, code, "unpack: %v", err))
 		return
 	}
 	s.metrics.Decodes.Add(1)

@@ -1,0 +1,56 @@
+package stackstate
+
+import (
+	"math/rand"
+	"testing"
+
+	"classpack/internal/bytecode"
+)
+
+// TestSimNeverPanicsOnArbitraryInstructions ports the core decoder's
+// corrupt-input pattern to the §7.1 stack simulator: during unpack the
+// Sim is driven by instructions decoded from untrusted bytes, so any
+// opcode with any operands — including negative slots and constant-pool
+// indexes far outside the pool — must degrade to unknown state, never
+// panic.
+func TestSimNeverPanicsOnArbitraryInstructions(t *testing.T) {
+	cf, _, _ := buildClass(t)
+	res := NewClassFileResolver(cf)
+	rng := rand.New(rand.NewSource(99))
+	operand := func() int {
+		switch rng.Intn(4) {
+		case 0:
+			return rng.Intn(1 << 16) // plausible CP index / slot
+		case 1:
+			return -1 - rng.Intn(1<<16) // negative
+		case 2:
+			return 1 << 30 // far out of range
+		default:
+			return rng.Intn(8)
+		}
+	}
+	for trial := 0; trial < 2000; trial++ {
+		s := New(res, []int{0, 4})
+		s.Begin(0)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Sim panicked on arbitrary instructions: %v", r)
+				}
+			}()
+			for i := 0; i < 64; i++ {
+				in := bytecode.Instruction{
+					Offset:  i,
+					Op:      bytecode.Op(rng.Intn(256)),
+					A:       operand(),
+					B:       operand(),
+					Default: operand(),
+				}
+				s.Step(&in)
+				_ = s.ContextID()
+				_ = s.WireOp(in.Op)
+				_ = s.SourceOp(in.Op)
+			}
+		}()
+	}
+}

@@ -37,7 +37,10 @@ func (s *Sim) pop(slots int) {
 	if !s.known {
 		return
 	}
-	if len(s.stack) < slots {
+	// slots < 0 can only come from a corrupt operand (e.g. a decoded
+	// multianewarray dimension count); it must degrade the simulation,
+	// not grow the slice past its length.
+	if slots < 0 || len(s.stack) < slots {
 		s.lose()
 		return
 	}

@@ -10,14 +10,22 @@
 // include a description of the encoding mechanism"): DEFLATE, an adaptive
 // arithmetic coder, or raw storage — whichever is smallest — with a flag
 // byte recording the choice.
+//
+// The reader side treats the container as hostile input: every declared
+// length is validated against the bytes actually present, the total
+// decoded size is charged against a caller-supplied budget before any
+// allocation, and stream inflation is capped incrementally so a small
+// archive claiming a huge payload fails fast instead of exhausting
+// memory. Failures are reported as *corrupt.Error values naming the
+// stream and offset.
 package streams
 
 import (
 	"bytes"
-	"fmt"
 	"sort"
 
 	"classpack/internal/archive"
+	"classpack/internal/corrupt"
 	"classpack/internal/encoding/arith"
 	"classpack/internal/encoding/varint"
 	"classpack/internal/par"
@@ -29,6 +37,11 @@ const (
 	codingStore byte = 1
 	codingArith byte = 2
 )
+
+// DefaultMaxDecodedBytes is the decoded-size budget NewReader and
+// NewReaderN enforce when the caller does not choose one: the sum of all
+// streams' decoded bytes may not exceed it.
+const DefaultMaxDecodedBytes = int64(1) << 30
 
 // Writer accumulates named streams and serializes them into a container.
 type Writer struct {
@@ -54,7 +67,9 @@ func (w *Writer) Stream(name string) *Stream {
 
 // arithTrialLimit bounds the streams offered to the arithmetic coder:
 // above this size DEFLATE's pattern matching essentially always wins, so
-// trying (and decoding) the much slower coder buys nothing.
+// trying (and decoding) the much slower coder buys nothing. The decoder
+// enforces the same bound, so an archive claiming a huge
+// arithmetic-coded stream is rejected outright.
 const arithTrialLimit = 1 << 16
 
 // encodeStream picks the smallest coding for a stream's raw bytes.
@@ -165,10 +180,15 @@ type Reader struct {
 	streams map[string]*RStream
 }
 
-// NewReader parses the container, decoding stream payloads serially. It
-// is NewReaderN with one worker.
+// NewReader parses the container, decoding stream payloads serially with
+// the default decoded-size budget. It is NewReaderN with one worker.
 func NewReader(data []byte) (*Reader, error) {
 	return NewReaderN(data, 1)
+}
+
+// NewReaderN is NewReaderLimit with the default decoded-size budget.
+func NewReaderN(data []byte, concurrency int) (*Reader, error) {
+	return NewReaderLimit(data, concurrency, DefaultMaxDecodedBytes)
 }
 
 // entry is one stream's header fields and undecoded payload.
@@ -179,11 +199,23 @@ type entry struct {
 	payload []byte
 }
 
-// NewReaderN parses the container, walking the headers serially and then
-// decoding the independent stream payloads on up to concurrency workers
-// (<= 0 meaning all cores). The decoded streams are identical for every
-// concurrency value.
-func NewReaderN(data []byte, concurrency int) (*Reader, error) {
+// containerStream names the stream directory itself in corrupt errors.
+const containerStream = "container"
+
+// NewReaderLimit parses the container, walking the headers serially and
+// then decoding the independent stream payloads on up to concurrency
+// workers (<= 0 meaning all cores). The decoded streams are identical
+// for every concurrency value.
+//
+// maxDecoded (<= 0 meaning DefaultMaxDecodedBytes) caps the sum of all
+// streams' declared decoded sizes; the budget is charged while walking
+// the directory — before any payload is inflated or allocated — and each
+// stream's inflation is additionally capped at its declared size, so a
+// bomb archive fails in O(header) work.
+func NewReaderLimit(data []byte, concurrency int, maxDecoded int64) (*Reader, error) {
+	if maxDecoded <= 0 {
+		maxDecoded = DefaultMaxDecodedBytes
+	}
 	pos := 0
 	next := func() (uint64, error) {
 		v, n, err := varint.Uint(data[pos:])
@@ -192,44 +224,58 @@ func NewReaderN(data []byte, concurrency int) (*Reader, error) {
 	}
 	count, err := next()
 	if err != nil {
-		return nil, fmt.Errorf("streams: header: %w", err)
+		return nil, corrupt.Errorf(containerStream, int64(pos), "stream count: %v", err)
+	}
+	// Each directory entry needs at least 4 bytes (name length, raw
+	// length, flag, encoded length), so a count beyond that is a lie; the
+	// bound also keeps the preallocation proportional to real input.
+	if count > uint64(len(data))/4+1 {
+		return nil, corrupt.Errorf(containerStream, int64(pos),
+			"implausible stream count %d for %d bytes", count, len(data))
 	}
 	entries := make([]entry, 0, count)
+	budget := maxDecoded
 	for i := uint64(0); i < count; i++ {
 		nameLen, err := next()
 		if err != nil {
-			return nil, fmt.Errorf("streams: name length: %w", err)
+			return nil, corrupt.Errorf(containerStream, int64(pos), "name length: %v", err)
 		}
-		if pos+int(nameLen) > len(data) {
-			return nil, fmt.Errorf("streams: truncated name")
+		if nameLen == 0 {
+			return nil, corrupt.Errorf(containerStream, int64(pos), "empty stream name")
+		}
+		if nameLen > uint64(len(data)-pos) {
+			return nil, corrupt.Errorf(containerStream, int64(pos), "truncated name")
 		}
 		name := string(data[pos : pos+int(nameLen)])
 		pos += int(nameLen)
 		rawLen, err := next()
 		if err != nil {
-			return nil, fmt.Errorf("streams: %s: raw length: %w", name, err)
+			return nil, corrupt.Errorf(containerStream, int64(pos), "%s: raw length: %v", name, err)
 		}
 		if pos >= len(data) {
-			return nil, fmt.Errorf("streams: %s: missing flag", name)
+			return nil, corrupt.Errorf(containerStream, int64(pos), "%s: missing flag", name)
 		}
 		coding := data[pos]
 		pos++
 		encLen, err := next()
 		if err != nil {
-			return nil, fmt.Errorf("streams: %s: encoded length: %w", name, err)
+			return nil, corrupt.Errorf(containerStream, int64(pos), "%s: encoded length: %v", name, err)
 		}
-		if pos+int(encLen) > len(data) {
-			return nil, fmt.Errorf("streams: %s: truncated payload", name)
+		if encLen > uint64(len(data)-pos) {
+			return nil, corrupt.Errorf(containerStream, int64(pos), "%s: truncated payload", name)
 		}
 		payload := data[pos : pos+int(encLen)]
 		pos += int(encLen)
-		if rawLen > uint64(len(data))*1024+1<<20 {
-			return nil, fmt.Errorf("streams: %s: implausible raw length %d", name, rawLen)
+		if rawLen > uint64(budget) {
+			return nil, corrupt.TooLarge(containerStream, int64(pos),
+				"%s: declared decoded size %d exceeds remaining budget %d (cap %d)",
+				name, rawLen, budget, maxDecoded)
 		}
+		budget -= int64(rawLen)
 		entries = append(entries, entry{name: name, rawLen: rawLen, coding: coding, payload: payload})
 	}
 	if pos != len(data) {
-		return nil, fmt.Errorf("streams: %d trailing bytes", len(data)-pos)
+		return nil, corrupt.Errorf(containerStream, int64(pos), "%d trailing bytes", len(data)-pos)
 	}
 	raws := make([][]byte, len(entries))
 	if err := par.Do(concurrency, len(entries), func(i int) error {
@@ -241,12 +287,14 @@ func NewReaderN(data []byte, concurrency int) (*Reader, error) {
 	}
 	r := &Reader{streams: make(map[string]*RStream, len(entries))}
 	for i, e := range entries {
-		r.streams[e.name] = &RStream{buf: raws[i]}
+		r.streams[e.name] = &RStream{name: e.name, buf: raws[i]}
 	}
 	return r, nil
 }
 
-// decodeStream reverses one stream's coding.
+// decodeStream reverses one stream's coding. The declared raw length was
+// budget-checked by the caller; inflation is still capped at that length
+// so a payload lying about its size cannot decompress past it.
 func decodeStream(e *entry) ([]byte, error) {
 	var raw []byte
 	switch e.coding {
@@ -254,24 +302,28 @@ func decodeStream(e *entry) ([]byte, error) {
 		raw = e.payload
 	case codingFlate:
 		var err error
-		raw, err = archive.Inflate(e.payload)
+		raw, err = archive.InflateLimit(e.payload, int64(e.rawLen))
 		if err != nil {
-			return nil, fmt.Errorf("streams: %s: inflate: %w", e.name, err)
+			return nil, corrupt.Errorf(e.name, -1, "inflate: %v", err)
 		}
 	case codingArith:
+		if e.rawLen > arithTrialLimit {
+			return nil, corrupt.Errorf(e.name, -1,
+				"arith-coded stream claims %d bytes, limit %d", e.rawLen, arithTrialLimit)
+		}
 		syms, err := arith.DecodeAll(256, e.payload, int(e.rawLen))
 		if err != nil {
-			return nil, fmt.Errorf("streams: %s: arith: %w", e.name, err)
+			return nil, corrupt.Errorf(e.name, -1, "arith: %v", err)
 		}
 		raw = make([]byte, len(syms))
 		for i, v := range syms {
 			raw[i] = byte(v)
 		}
 	default:
-		return nil, fmt.Errorf("streams: %s: unknown coding %d", e.name, e.coding)
+		return nil, corrupt.Errorf(e.name, -1, "unknown coding %d", e.coding)
 	}
 	if uint64(len(raw)) != e.rawLen {
-		return nil, fmt.Errorf("streams: %s: raw length %d, want %d", e.name, len(raw), e.rawLen)
+		return nil, corrupt.Errorf(e.name, -1, "raw length %d, want %d", len(raw), e.rawLen)
 	}
 	return raw, nil
 }
@@ -281,7 +333,7 @@ func decodeStream(e *entry) ([]byte, error) {
 func (r *Reader) Stream(name string) *RStream {
 	s, ok := r.streams[name]
 	if !ok {
-		s = &RStream{}
+		s = &RStream{name: name}
 		r.streams[name] = s
 	}
 	return s
@@ -289,14 +341,19 @@ func (r *Reader) Stream(name string) *RStream {
 
 // RStream reads one stream. It implements varint.ByteReader.
 type RStream struct {
-	buf []byte
-	pos int
+	name string
+	buf  []byte
+	pos  int
 }
+
+// Name returns the stream's name in the container ("" for streams
+// constructed directly in tests).
+func (s *RStream) Name() string { return s.name }
 
 // ReadByte reads one byte.
 func (s *RStream) ReadByte() (byte, error) {
 	if s.pos >= len(s.buf) {
-		return 0, fmt.Errorf("streams: read past end of stream")
+		return 0, corrupt.Errorf(s.name, int64(s.pos), "read past end of stream")
 	}
 	b := s.buf[s.pos]
 	s.pos++
@@ -305,8 +362,11 @@ func (s *RStream) ReadByte() (byte, error) {
 
 // Raw reads n raw bytes.
 func (s *RStream) Raw(n int) ([]byte, error) {
-	if s.pos+n > len(s.buf) {
-		return nil, fmt.Errorf("streams: raw read of %d bytes past end", n)
+	if n < 0 {
+		return nil, corrupt.Errorf(s.name, int64(s.pos), "negative raw read of %d bytes", n)
+	}
+	if n > len(s.buf)-s.pos {
+		return nil, corrupt.Errorf(s.name, int64(s.pos), "raw read of %d bytes past end", n)
 	}
 	b := s.buf[s.pos : s.pos+n]
 	s.pos += n
