@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench tables serve-smoke fuzz-smoke fuzz-corpus
+.PHONY: build test verify bench tables serve-smoke chaos-smoke fuzz-smoke fuzz-corpus
 
 build:
 	$(GO) build ./...
@@ -11,10 +11,13 @@ test:
 # verify is the full hygiene gate: compile everything, vet, then run the
 # whole suite under the race detector. Expected clean — the parallel
 # pack/unpack pipeline and the bench corpus cache are race-stress-tested.
+# The service and cache layers get an explicit second race pass: their
+# retry/eviction paths are the most concurrency-sensitive in the tree.
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -race -count=1 ./internal/serve/... ./internal/castore/...
 
 # bench runs the throughput benchmarks that track the parallel
 # pipeline's speedup (MB/s at -j 1 vs -j NumCPU).
@@ -27,6 +30,12 @@ bench:
 serve-smoke:
 	$(GO) run ./cmd/jpackd -smoke
 
+# chaos-smoke runs the fault-injection matrix in short mode: every fault
+# class against every archive section on a >= 50-class corpus, asserting
+# detection, byte-identical-prefix salvage, and balanced accounting.
+chaos-smoke:
+	$(GO) test -short -count=1 -run '^TestChaos' .
+
 # fuzz-smoke gives each native fuzz harness a short budget on top of the
 # checked-in seed corpora — enough to catch regressions in the
 # panic-free-decoding guarantee without dominating CI time. The go tool
@@ -34,6 +43,7 @@ serve-smoke:
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz='^FuzzUnpack$$' -fuzztime=$(FUZZTIME) .
+	$(GO) test -run=NONE -fuzz='^FuzzSalvage$$' -fuzztime=$(FUZZTIME) .
 	$(GO) test -run=NONE -fuzz='^FuzzStreamsReader$$' -fuzztime=$(FUZZTIME) ./internal/streams
 	$(GO) test -run=NONE -fuzz='^FuzzJazzDecode$$' -fuzztime=$(FUZZTIME) ./internal/jazz
 	$(GO) test -run=NONE -fuzz='^FuzzCustomDecode$$' -fuzztime=$(FUZZTIME) ./internal/custom

@@ -2,60 +2,75 @@ package classpack
 
 import (
 	"errors"
+	"hash/crc32"
 	"runtime"
 	"testing"
 
 	"classpack/internal/encoding/varint"
 )
 
-// bombArchive builds a syntactically valid archive whose stream
-// directory claims rawLen decoded bytes backed by an empty payload.
-func bombArchive(t *testing.T, rawLen uint64) []byte {
+// bombArchive builds a syntactically valid archive at the given wire
+// version whose stream directory claims rawLen decoded bytes backed by
+// an empty payload. Version 2 bombs carry correct checksums, so they
+// reach the budget check rather than dying at the CRC gate.
+func bombArchive(t *testing.T, rawLen uint64, version byte) []byte {
 	t.Helper()
 	packed, err := Pack(nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	bomb := append([]byte(nil), packed[:6]...) // real magic/version/options header
-	bomb = varint.AppendUint(bomb, 1)          // stream count
+	bomb[4] = version
+	var body []byte
+	body = varint.AppendUint(body, 1) // stream count
 	name := "class.meta"
-	bomb = varint.AppendUint(bomb, uint64(len(name)))
-	bomb = append(bomb, name...)
-	bomb = varint.AppendUint(bomb, rawLen) // claimed decoded size
-	bomb = append(bomb, 1)                 // coding: store
-	bomb = varint.AppendUint(bomb, 0)      // encoded length: nothing behind the claim
-	return bomb
+	body = varint.AppendUint(body, uint64(len(name)))
+	body = append(body, name...)
+	body = varint.AppendUint(body, rawLen) // claimed decoded size
+	body = append(body, 1)                 // coding: store
+	body = varint.AppendUint(body, 0)      // encoded length: nothing behind the claim
+	if version >= 2 {
+		castagnoli := crc32.MakeTable(crc32.Castagnoli)
+		appendCRC := func(b []byte, c uint32) []byte {
+			return append(b, byte(c>>24), byte(c>>16), byte(c>>8), byte(c))
+		}
+		body = appendCRC(body, crc32.Checksum(nil, castagnoli)) // empty payload CRC
+		body = appendCRC(body, crc32.Checksum(body, castagnoli))
+	}
+	return append(bomb, body...)
 }
 
-// TestDecompressionBombFailsFast pins the bomb defense: a ~40-byte
-// archive claiming a 4 GiB stream must be rejected at the directory
-// walk — with ErrTooLarge, and without allocating anywhere near the
-// claimed size.
+// TestDecompressionBombFailsFast pins the bomb defense at both wire
+// versions: a ~40-byte archive claiming a 4 GiB stream must be rejected
+// at the directory walk — with ErrTooLarge, and without allocating
+// anywhere near the claimed size.
 func TestDecompressionBombFailsFast(t *testing.T) {
-	bomb := bombArchive(t, 4<<30)
+	for _, version := range []byte{1, 2} {
+		bomb := bombArchive(t, 4<<30, version)
 
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
-	_, err := Unpack(bomb)
-	runtime.ReadMemStats(&after)
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		_, err := Unpack(bomb)
+		runtime.ReadMemStats(&after)
 
-	if !errors.Is(err, ErrTooLarge) {
-		t.Fatalf("Unpack(bomb) = %v, want ErrTooLarge", err)
-	}
-	if _, ok := AsCorrupt(err); !ok {
-		t.Fatalf("bomb rejection is not a CorruptError: %v", err)
-	}
-	// Rejection happens before any stream materializes; the whole call
-	// should stay within a modest constant, not the 4 GiB claim.
-	if delta := after.TotalAlloc - before.TotalAlloc; delta > 1<<20 {
-		t.Fatalf("rejecting the bomb allocated %d bytes", delta)
+		if !errors.Is(err, ErrTooLarge) {
+			t.Fatalf("v%d: Unpack(bomb) = %v, want ErrTooLarge", version, err)
+		}
+		if _, ok := AsCorrupt(err); !ok {
+			t.Fatalf("v%d: bomb rejection is not a CorruptError: %v", version, err)
+		}
+		// Rejection happens before any stream materializes; the whole call
+		// should stay within a modest constant, not the 4 GiB claim.
+		if delta := after.TotalAlloc - before.TotalAlloc; delta > 1<<20 {
+			t.Fatalf("v%d: rejecting the bomb allocated %d bytes", version, delta)
+		}
 	}
 }
 
 // TestMaxDecodedBytesOption checks the per-call override: a claim that
 // fits the default 1 GiB budget still fails against a caller cap.
 func TestMaxDecodedBytesOption(t *testing.T) {
-	bomb := bombArchive(t, 1<<20)
+	bomb := bombArchive(t, 1<<20, 2)
 	if _, err := Unpack(bomb); errors.Is(err, ErrTooLarge) {
 		// The 1 MiB claim is under the default budget; it must fail for
 		// a different reason (empty payload), not the cap.

@@ -17,7 +17,9 @@ import (
 
 	"classpack"
 	"classpack/internal/classfile"
+	"classpack/internal/core"
 	"classpack/internal/custom"
+	"classpack/internal/faultinject"
 	"classpack/internal/jazz"
 	"classpack/internal/streams"
 	"classpack/internal/synth"
@@ -104,6 +106,32 @@ func run() error {
 			return err
 		}
 
+		// FuzzSalvage: a pristine archive, deterministically damaged
+		// mutants (one per fault class, seeded by the archive length so
+		// regeneration is stable), and the legacy checksum-free
+		// version-1 layout.
+		if err := corpusFile("testdata/fuzz/FuzzSalvage", "seed-"+profile, packed); err != nil {
+			return err
+		}
+		plan := faultinject.NewPlan(int64(len(packed)))
+		for i := 0; i < 4; i++ {
+			mut := plan.Next(len(packed)).Apply(packed)
+			name := fmt.Sprintf("seed-%s-fault%d", profile, i)
+			if err := corpusFile("testdata/fuzz/FuzzSalvage", name, mut); err != nil {
+				return err
+			}
+		}
+		legacy, err := core.PackVersion(cfs, core.DefaultOptions(), core.Version1)
+		if err != nil {
+			return err
+		}
+		if err := corpusFile("testdata/fuzz/FuzzSalvage", "seed-"+profile+"-v1", legacy); err != nil {
+			return err
+		}
+		if err := corpusFile("testdata/fuzz/FuzzUnpack", "seed-"+profile+"-v1", legacy); err != nil {
+			return err
+		}
+
 		// FuzzJazzDecode: the §9 Jazz competitor's own wire format.
 		jz, err := jazz.Pack(cfs)
 		if err != nil {
@@ -125,10 +153,17 @@ func run() error {
 		}
 
 		// FuzzStreamsReader: the raw stream container from a real pack
-		// (the archive body after the 6-byte header).
+		// (the archive body after the 6-byte header), in both the
+		// checked (per-stream CRC + trailer) and unchecked layouts.
 		if len(packed) > 6 {
 			if err := corpusFile("internal/streams/testdata/fuzz/FuzzStreamsReader",
 				"seed-"+profile, packed[6:]); err != nil {
+				return err
+			}
+		}
+		if len(legacy) > 6 {
+			if err := corpusFile("internal/streams/testdata/fuzz/FuzzStreamsReader",
+				"seed-"+profile+"-unchecked", legacy[6:]); err != nil {
 				return err
 			}
 		}

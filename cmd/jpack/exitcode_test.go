@@ -13,18 +13,18 @@ func TestExitCodes(t *testing.T) {
 	dir := t.TempDir()
 
 	usageCases := [][]string{
-		nil,                          // no command
-		{"bogus"},                    // unknown command
-		{"pack"},                     // no inputs
-		{"pack", "-wat", "x"},        // unknown flag
-		{"pack", "-o"},               // dangling flag value
+		nil,                   // no command
+		{"bogus"},             // unknown command
+		{"pack"},              // no inputs
+		{"pack", "-wat", "x"}, // unknown flag
+		{"pack", "-o"},        // dangling flag value
 		{"pack", "-j", "-1", classes[0]},
 		{"pack", "-scheme", "nope", classes[0]},
-		{"unpack", "a", "b"},         // operand count
+		{"unpack", "a", "b"}, // operand count
 		{"strip", "a", "b"},
-		{"remote"},                   // missing subcommand
-		{"remote", "wat"},            // unknown subcommand
-		{"remote", "pack"},           // no inputs
+		{"remote"},         // missing subcommand
+		{"remote", "wat"},  // unknown subcommand
+		{"remote", "pack"}, // no inputs
 		{"remote", "unpack", "a", "b"},
 	}
 	for _, args := range usageCases {

@@ -4,10 +4,10 @@
 // Usage:
 //
 //	jpack pack   [-o out.cjp] [-scheme mtf-full] [-no-stackstate] [-no-gzip] file.class... | app.jar
-//	jpack unpack [-d outdir] [-jar out.jar] archive.cjp
+//	jpack unpack [-d outdir] [-jar out.jar] [-salvage] archive.cjp
 //	jpack strip  [-o out.class] file.class
 //	jpack stats  archive-inputs...
-//	jpack verify file.class...
+//	jpack verify [-max-failures N] file.class... | app.jar
 package main
 
 import (
@@ -94,10 +94,10 @@ func run(args []string) int {
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   jpack pack   [-o out.cjp] [-scheme NAME] [-no-stackstate] [-no-gzip] [-j N] <file.class ... | app.jar>
-  jpack unpack [-d outdir] [-jar out.jar] [-j N] <archive.cjp>
+  jpack unpack [-d outdir] [-jar out.jar] [-j N] [-salvage] <archive.cjp>
   jpack strip  [-o out.class] <file.class>
   jpack stats  <file.class ... | app.jar>
-  jpack verify [-deep] [-j N] <file.class ...>
+  jpack verify [-deep] [-j N] [-max-failures N] <file.class ... | app.jar>
   jpack dump   [-pool] [-code] <file.class ... | app.jar>
   jpack remote pack   [-server URL] [-o out.cjp] <app.jar | file.class ...>
   jpack remote unpack [-server URL] [-jar out.jar | -d outdir] <archive.cjp>
@@ -105,6 +105,8 @@ func usage() {
 schemes: simple, basic, mtf, mtf-transients, mtf-context, mtf-full (default)
 -j N bounds the worker pool (0 = all cores, the default; 1 = serial).
 Output is byte-identical for every -j value.
+-salvage recovers what a damaged archive still holds, prints a damage
+report to stderr, and exits 1 when any classes were lost.
 remote commands talk to a jpackd server (-server or $JPACKD_SERVER).
 
 exit codes: 0 ok, 1 pack/verify failure, 2 usage error.
@@ -163,10 +165,31 @@ func parseFlags(args []string, flags map[string]*string, bools map[string]*bool)
 	return args[i:], nil
 }
 
+// classInput is one class to process plus the name to report it under:
+// the operand path for a .class file, "jar!member" for a jar member.
+type classInput struct {
+	name string
+	data []byte
+}
+
 // loadClassInputs reads the operands: .class files directly, .jar files as
 // containers of classes. It returns class bytes and skipped member names.
 func loadClassInputs(paths []string) ([][]byte, []string, error) {
-	var classes [][]byte
+	inputs, skipped, err := loadNamedClassInputs(paths)
+	if err != nil {
+		return nil, nil, err
+	}
+	classes := make([][]byte, len(inputs))
+	for i, in := range inputs {
+		classes[i] = in.data
+	}
+	return classes, skipped, nil
+}
+
+// loadNamedClassInputs is loadClassInputs keeping a reportable name per
+// class, for commands that print per-class verdicts.
+func loadNamedClassInputs(paths []string) ([]classInput, []string, error) {
+	var classes []classInput
 	var skipped []string
 	for _, path := range paths {
 		data, err := os.ReadFile(path)
@@ -174,25 +197,27 @@ func loadClassInputs(paths []string) ([][]byte, []string, error) {
 			return nil, nil, err
 		}
 		if strings.HasSuffix(path, ".jar") || strings.HasSuffix(path, ".zip") {
-			packedClasses, skip, err := jarClasses(data)
+			members, skip, err := jarClasses(data)
 			if err != nil {
 				return nil, nil, fmt.Errorf("%s: %w", path, err)
 			}
-			classes = append(classes, packedClasses...)
+			for _, m := range members {
+				classes = append(classes, classInput{path + "!" + m.name, m.data})
+			}
 			skipped = append(skipped, skip...)
 			continue
 		}
-		classes = append(classes, data)
+		classes = append(classes, classInput{path, data})
 	}
 	return classes, skipped, nil
 }
 
-func jarClasses(jar []byte) ([][]byte, []string, error) {
+func jarClasses(jar []byte) ([]classInput, []string, error) {
 	zr, err := zip.NewReader(bytes.NewReader(jar), int64(len(jar)))
 	if err != nil {
 		return nil, nil, err
 	}
-	var classes [][]byte
+	var classes []classInput
 	var skipped []string
 	for _, zf := range zr.File {
 		if !strings.HasSuffix(zf.Name, ".class") {
@@ -210,7 +235,7 @@ func jarClasses(jar []byte) ([][]byte, []string, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		classes = append(classes, data)
+		classes = append(classes, classInput{zf.Name, data})
 	}
 	return classes, skipped, nil
 }
@@ -273,8 +298,10 @@ func cmdUnpack(args []string) error {
 	dir := "."
 	jarOut := ""
 	jobs := "0"
+	salvage := false
 	files, err := parseFlags(args,
-		map[string]*string{"-d": &dir, "-jar": &jarOut, "-j": &jobs}, nil)
+		map[string]*string{"-d": &dir, "-jar": &jarOut, "-j": &jobs},
+		map[string]*bool{"-salvage": &salvage})
 	if err != nil {
 		return err
 	}
@@ -288,6 +315,9 @@ func cmdUnpack(args []string) error {
 	data, err := os.ReadFile(files[0])
 	if err != nil {
 		return err
+	}
+	if salvage {
+		return salvageUnpack(data, dir, jarOut, j)
 	}
 	if jarOut != "" {
 		start := time.Now()
@@ -326,6 +356,51 @@ func cmdUnpack(args []string) error {
 	fmt.Printf("unpacked %d classes into %s: %d -> %d bytes in %v (%s)\n",
 		len(out), dir, len(data), total, elapsed.Round(time.Millisecond),
 		throughput(total, elapsed))
+	return nil
+}
+
+// salvageUnpack handles unpack -salvage: recover what a damaged archive
+// still holds, write it out, report the damage, and exit nonzero when
+// anything was lost.
+func salvageUnpack(data []byte, dir, jarOut string, j int) error {
+	opts := classpack.DefaultOptions()
+	opts.Concurrency = j
+	res, err := classpack.Salvage(data, &opts)
+	if err != nil {
+		return err
+	}
+	for _, d := range res.Damage {
+		where := d.Stream
+		if d.Offset >= 0 {
+			where = fmt.Sprintf("%s@%d", d.Stream, d.Offset)
+		}
+		fmt.Fprintf(os.Stderr, "jpack: damage in %s: %s (%d classes lost)\n",
+			where, d.Cause, d.ClassesLost)
+	}
+	if jarOut != "" {
+		jar, err := res.Jar()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jarOut, jar, 0o644); err != nil {
+			return err
+		}
+	} else {
+		for _, f := range res.Files {
+			path := filepath.Join(dir, filepath.FromSlash(f.Name))
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				return err
+			}
+			if err := os.WriteFile(path, f.Data, 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Printf("salvaged %d of %d classes (%d lost, %d damage regions)\n",
+		res.Recovered, res.TotalClasses, res.Lost, len(res.Damage))
+	if res.Lost > 0 {
+		return fmt.Errorf("%d of %d classes lost to damage", res.Lost, res.TotalClasses)
+	}
 	return nil
 }
 
@@ -385,8 +460,10 @@ func cmdStats(args []string) error {
 func cmdVerify(args []string) error {
 	deep := false
 	jobs := "0"
+	maxFailures := "20"
 	files, err := parseFlags(args,
-		map[string]*string{"-j": &jobs}, map[string]*bool{"-deep": &deep})
+		map[string]*string{"-j": &jobs, "-max-failures": &maxFailures},
+		map[string]*bool{"-deep": &deep})
 	if err != nil {
 		return err
 	}
@@ -394,25 +471,40 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
-	contents := make([][]byte, len(files))
-	for i, path := range files {
-		if contents[i], err = os.ReadFile(path); err != nil {
-			return err
-		}
+	limit, err := strconv.Atoi(maxFailures)
+	if err != nil || limit < 0 {
+		return usagef("invalid -max-failures value %q (want an integer >= 0, 0 = unlimited)", maxFailures)
 	}
-	// Verification fans out across files; results print in input order.
+	inputs, skipped, err := loadNamedClassInputs(files)
+	if err != nil {
+		return err
+	}
+	for _, s := range skipped {
+		fmt.Fprintf(os.Stderr, "jpack: skipping non-class member %s\n", s)
+	}
+	contents := make([][]byte, len(inputs))
+	for i, in := range inputs {
+		contents[i] = in.data
+	}
+	// Verification fans out across classes; verdicts print in input
+	// order, one per class, with the INVALID listing capped.
 	errs := classpack.VerifyAll(contents, deep, j)
 	bad := 0
-	for i, path := range files {
+	for i, in := range inputs {
 		if errs[i] != nil {
-			fmt.Printf("%s: INVALID: %v\n", path, errs[i])
 			bad++
+			if limit == 0 || bad <= limit {
+				fmt.Printf("%s: INVALID: %v\n", in.name, errs[i])
+			}
 		} else {
-			fmt.Printf("%s: ok\n", path)
+			fmt.Printf("%s: ok\n", in.name)
 		}
 	}
+	if limit > 0 && bad > limit {
+		fmt.Printf("... and %d more invalid classes\n", bad-limit)
+	}
 	if bad > 0 {
-		return fmt.Errorf("%d invalid files", bad)
+		return fmt.Errorf("%d of %d classes invalid", bad, len(inputs))
 	}
 	return nil
 }

@@ -98,6 +98,71 @@ func TestPackFromJarAndUnpackToJar(t *testing.T) {
 	}
 }
 
+func TestUnpackSalvageCommand(t *testing.T) {
+	classes, _ := writeClasses(t)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "app.cjp")
+	if err := cmdPack(append([]string{"-o", out}, classes...)); err != nil {
+		t.Fatalf("pack: %v", err)
+	}
+
+	// A pristine archive salvages with exit 0 and the full class set.
+	unDir := filepath.Join(dir, "clean")
+	if err := cmdUnpack([]string{"-salvage", "-d", unDir, out}); err != nil {
+		t.Fatalf("salvage of pristine archive: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(unDir, "Main.class")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Damage the archive near the end: salvage must fail (classes were
+	// lost) but a plain unpack must fail harder (nothing at all).
+	packed, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed[len(packed)-12] ^= 0x10
+	damaged := filepath.Join(dir, "damaged.cjp")
+	if err := os.WriteFile(damaged, packed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdUnpack([]string{damaged}); err == nil {
+		t.Fatal("plain unpack of damaged archive succeeded")
+	}
+	salvJar := filepath.Join(dir, "salvaged.jar")
+	if err := cmdUnpack([]string{"-salvage", "-jar", salvJar, damaged}); err == nil {
+		t.Fatal("salvage of lossy archive exited 0, want failure reporting lost classes")
+	}
+	if _, err := os.Stat(salvJar); err != nil {
+		t.Fatalf("salvage did not write the recovered jar: %v", err)
+	}
+}
+
+func TestVerifyJarAndMaxFailures(t *testing.T) {
+	_, jarPath := writeClasses(t)
+	// Jar operands are expanded: both class members verify, the resource
+	// member is skipped.
+	if err := cmdVerify([]string{jarPath}); err != nil {
+		t.Fatalf("verify jar: %v", err)
+	}
+	// Two invalid classes with -max-failures 1: still exit nonzero.
+	dir := t.TempDir()
+	var bads []string
+	for i := 0; i < 2; i++ {
+		path := filepath.Join(dir, "bad"+string(rune('0'+i))+".class")
+		if err := os.WriteFile(path, []byte{0xde, 0xad}, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		bads = append(bads, path)
+	}
+	if err := cmdVerify(append([]string{"-max-failures", "1"}, bads...)); err == nil {
+		t.Fatal("verify of invalid classes exited 0")
+	}
+	if err := cmdVerify(append([]string{"-max-failures", "bogus"}, bads...)); err == nil {
+		t.Fatal("bogus -max-failures accepted")
+	}
+}
+
 func TestStripCommand(t *testing.T) {
 	classes, _ := writeClasses(t)
 	out := filepath.Join(t.TempDir(), "stripped.class")

@@ -8,19 +8,88 @@
 // partially written object. The in-memory index is rebuilt from the
 // directory on Open (recency approximated by mtime), so the cache
 // survives daemon restarts.
+//
+// The store is self-healing: every object carries an integrity trailer
+// (SHA-256 over key and payload plus a magic), Get verifies it on every
+// read and turns damage into an eviction plus a cache miss, and the Open
+// rebuild never trusts file names — structurally invalid files are
+// dropped immediately and renamed or bit-rotted objects fail the hash on
+// first Get. A corrupted cache therefore costs a re-encode, never a
+// wrong answer.
 package castore
 
 import (
+	"bytes"
 	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 )
+
+// Object files are payload ‖ sha256(key ‖ payload) ‖ trailerMagic.
+// Binding the key into the hash means a file renamed to another key —
+// the failure the rebuild-from-directory path would otherwise trust —
+// fails verification just like flipped payload bits.
+const trailerMagic = "CAS1"
+
+// trailerSize is the on-disk overhead of the integrity trailer.
+const trailerSize = sha256.Size + len(trailerMagic)
+
+// seal appends the integrity trailer for key to payload.
+func seal(key string, payload []byte) []byte {
+	h := sha256.New()
+	io.WriteString(h, key)
+	h.Write(payload)
+	out := make([]byte, 0, len(payload)+trailerSize)
+	out = append(out, payload...)
+	out = append(out, h.Sum(nil)...)
+	return append(out, trailerMagic...)
+}
+
+// unseal verifies raw as a sealed object for key and returns its
+// payload. ok is false on any mismatch: too short, wrong magic, or a
+// hash that does not match the key and payload.
+func unseal(key string, raw []byte) (payload []byte, ok bool) {
+	if len(raw) < trailerSize || string(raw[len(raw)-len(trailerMagic):]) != trailerMagic {
+		return nil, false
+	}
+	payload = raw[:len(raw)-trailerSize]
+	want := raw[len(payload) : len(payload)+sha256.Size]
+	h := sha256.New()
+	io.WriteString(h, key)
+	h.Write(payload)
+	if !bytes.Equal(h.Sum(nil), want) {
+		return nil, false
+	}
+	return payload, true
+}
+
+// sealedShape reports whether the file at path is structurally a sealed
+// object: big enough for a trailer and ending in the magic. The hash is
+// deliberately not checked here — Open calls this for every file, and
+// the full verification happens lazily on first Get, which catches what
+// a shape check cannot (bit rot, renamed objects).
+func sealedShape(path string, size int64) bool {
+	if size < int64(trailerSize) {
+		return false
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var magic [len(trailerMagic)]byte
+	if _, err := f.ReadAt(magic[:], size-int64(len(trailerMagic))); err != nil {
+		return false
+	}
+	return string(magic[:]) == trailerMagic
+}
 
 // Key returns the store key for the given byte sections: the hex SHA-256
 // of their concatenation, each section prefixed by its length so that
@@ -106,6 +175,14 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 		if err != nil {
 			return nil // raced with a concurrent delete
 		}
+		// A valid-key name proves nothing about the content: drop files
+		// that are not even shaped like sealed objects (truncated writes,
+		// pre-trailer legacy objects) instead of indexing them. Hash
+		// verification happens on first Get.
+		if !sealedShape(path, info.Size()) {
+			os.Remove(path)
+			return nil
+		}
 		objs = append(objs, found{entry{key, info.Size()}, info.ModTime().UnixNano()})
 		return nil
 	})
@@ -133,6 +210,7 @@ func (s *Store) path(key string) string {
 // least-recently-used objects if the cap is exceeded. The newly written
 // object is never evicted by its own Put, even when it alone exceeds the
 // cap — the caller already has the bytes, and serving them is the point.
+// The object is written with an integrity trailer that Get verifies.
 func (s *Store) Put(key string, data []byte) error {
 	if !ValidKey(key) {
 		return fmt.Errorf("castore: invalid key %q", key)
@@ -141,6 +219,7 @@ func (s *Store) Put(key string, data []byte) error {
 	if err := os.MkdirAll(objDir, 0o755); err != nil {
 		return err
 	}
+	sealed := seal(key, data)
 	// Temp file in the final directory so the rename is atomic (same
 	// filesystem) and a crash leaves only a "put-*" file Open ignores.
 	tmp, err := os.CreateTemp(objDir, "put-*")
@@ -148,7 +227,7 @@ func (s *Store) Put(key string, data []byte) error {
 		return err
 	}
 	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
+	if _, err := tmp.Write(sealed); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
 		return err
@@ -171,8 +250,8 @@ func (s *Store) Put(key string, data []byte) error {
 		s.size -= el.Value.(*entry).size
 		s.lru.Remove(el)
 	}
-	s.index[key] = s.lru.PushFront(&entry{key, int64(len(data))})
-	s.size += int64(len(data))
+	s.index[key] = s.lru.PushFront(&entry{key, int64(len(sealed))})
+	s.size += int64(len(sealed))
 	s.evictLocked()
 	return nil
 }
@@ -180,6 +259,10 @@ func (s *Store) Put(key string, data []byte) error {
 // Get returns the object stored under key and marks it most recently
 // used. ok is false when the key is absent (or its file vanished out
 // from under the index, in which case the index entry is dropped).
+// Every read verifies the object's integrity trailer; a mismatch —
+// flipped bits, truncation, a file renamed under a different key —
+// evicts the object and reports a plain miss, so callers simply
+// re-encode instead of serving damaged bytes.
 func (s *Store) Get(key string) (data []byte, ok bool, err error) {
 	s.mu.Lock()
 	el, found := s.index[key]
@@ -190,7 +273,7 @@ func (s *Store) Get(key string) (data []byte, ok bool, err error) {
 	if !found {
 		return nil, false, nil
 	}
-	data, err = os.ReadFile(s.path(key))
+	raw, err := os.ReadFile(s.path(key))
 	if err != nil {
 		if os.IsNotExist(err) {
 			s.forget(key)
@@ -198,7 +281,13 @@ func (s *Store) Get(key string) (data []byte, ok bool, err error) {
 		}
 		return nil, false, err
 	}
-	return data, true, nil
+	payload, ok := unseal(key, raw)
+	if !ok {
+		os.Remove(s.path(key))
+		s.forget(key)
+		return nil, false, nil
+	}
+	return payload, true, nil
 }
 
 // forget drops a key from the index without touching the filesystem

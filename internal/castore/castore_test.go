@@ -54,8 +54,8 @@ func TestPutGetRoundTrip(t *testing.T) {
 	if _, ok, _ := s.Get(Key([]byte("absent"))); ok {
 		t.Fatal("Get of absent key reported ok")
 	}
-	if s.Len() != 1 || s.Size() != int64(len(data)) {
-		t.Fatalf("Len/Size = %d/%d, want 1/%d", s.Len(), s.Size(), len(data))
+	if want := int64(len(data) + trailerSize); s.Len() != 1 || s.Size() != want {
+		t.Fatalf("Len/Size = %d/%d, want 1/%d", s.Len(), s.Size(), want)
 	}
 }
 
@@ -70,7 +70,9 @@ func TestPutRejectsInvalidKey(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	s, err := Open(t.TempDir(), 25)
+	// Cap sized (in sealed-object bytes) to hold two 10-byte payloads but
+	// not three.
+	s, err := Open(t.TempDir(), int64(2*(10+trailerSize))+5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +84,7 @@ func TestLRUEviction(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Cap 25, three 10-byte objects: the oldest (keys[0]) must be gone.
+	// Three objects exceed the cap: the oldest (keys[0]) must be gone.
 	if _, ok, _ := s.Get(keys[0]); ok {
 		t.Fatal("oldest object survived eviction")
 	}
@@ -214,8 +216,9 @@ func TestNoPartialObjectsVisible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != len(data) {
-		t.Fatalf("on-disk object is %d bytes, want %d", len(got), len(data))
+	if len(got) != len(data)+trailerSize {
+		t.Fatalf("on-disk object is %d bytes, want %d payload + %d trailer",
+			len(got), len(data), trailerSize)
 	}
 }
 

@@ -1,0 +1,163 @@
+package castore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"classpack/internal/faultinject"
+)
+
+// damageObject rewrites the on-disk object for key with fault applied.
+func damageObject(t *testing.T, dir, key string, fault faultinject.Fault) {
+	t.Helper()
+	path := filepath.Join(dir, key[:2], key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, fault.Apply(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGetEvictsDamagedObject pins the self-healing contract: any byte
+// damage to a stored object turns its next Get into a miss (never an
+// error, never damaged bytes), the object is evicted from disk and
+// index, and a fresh Put restores service.
+func TestGetEvictsDamagedObject(t *testing.T) {
+	data := bytes.Repeat([]byte("packed "), 100)
+	faults := []faultinject.Fault{
+		faultinject.BitFlip{Off: 10, Bit: 0},            // payload damage
+		faultinject.BitFlip{Off: len(data) + 3, Bit: 7}, // hash damage
+		faultinject.Truncate{Off: len(data) / 2},        // torn write
+		faultinject.Truncate{Off: trailerSize - 1},      // shorter than a trailer
+		faultinject.ZeroPage{Off: 0, Len: 64},           // lost page
+		faultinject.DupBlock{Off: 0, Len: 32},           // replayed write
+	}
+	for _, fault := range faults {
+		t.Run(fault.Name(), func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := Key(data)
+			if err := s.Put(key, data); err != nil {
+				t.Fatal(err)
+			}
+			damageObject(t, dir, key, fault)
+			got, ok, err := s.Get(key)
+			if err != nil {
+				t.Fatalf("Get of damaged object errored: %v", err)
+			}
+			if ok {
+				t.Fatalf("Get served a damaged object (%d bytes)", len(got))
+			}
+			if s.Len() != 0 {
+				t.Fatalf("damaged object still indexed: Len = %d", s.Len())
+			}
+			if _, err := os.Stat(filepath.Join(dir, key[:2], key)); !os.IsNotExist(err) {
+				t.Fatalf("damaged object still on disk (stat err = %v)", err)
+			}
+			// The cache heals: the same key stores and serves again.
+			if err := s.Put(key, data); err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err = s.Get(key)
+			if err != nil || !ok || !bytes.Equal(got, data) {
+				t.Fatalf("re-Put after eviction: ok=%v err=%v", ok, err)
+			}
+		})
+	}
+}
+
+// TestRenamedObjectMisses pins that the key is bound into the trailer
+// hash: a valid sealed object renamed to a different key — exactly what
+// a name-trusting index rebuild would serve — fails verification.
+func TestRenamedObjectMisses(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("the real object")
+	key := Key(data)
+	if err := s.Put(key, data); err != nil {
+		t.Fatal(err)
+	}
+	other := Key([]byte("a different input"))
+	otherDir := filepath.Join(dir, other[:2])
+	if err := os.MkdirAll(otherDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, key[:2], key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(otherDir, other), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen so the rebuild indexes the renamed file from its name alone.
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("reopened store indexed %d objects, want 2", s2.Len())
+	}
+	if _, ok, err := s2.Get(other); ok || err != nil {
+		t.Fatalf("Get of renamed object: ok=%v err=%v, want a clean miss", ok, err)
+	}
+	if got, ok, _ := s2.Get(key); !ok || !bytes.Equal(got, data) {
+		t.Fatal("original object no longer served")
+	}
+}
+
+// TestOpenDropsStructurallyInvalidFiles pins that the rebuild does not
+// index valid-key-named files that are not sealed objects (legacy
+// trailer-less objects, truncated-below-trailer files) and removes them.
+func TestOpenDropsStructurallyInvalidFiles(t *testing.T) {
+	dir := t.TempDir()
+	legacy := Key([]byte("legacy"))
+	tiny := Key([]byte("tiny"))
+	for key, content := range map[string][]byte{
+		legacy: bytes.Repeat([]byte("no trailer here "), 10),
+		tiny:   []byte("x"),
+	} {
+		if err := os.MkdirAll(filepath.Join(dir, key[:2]), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, key[:2], key), content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("rebuild indexed %d structurally invalid files", s.Len())
+	}
+	for _, key := range []string{legacy, tiny} {
+		if _, err := os.Stat(filepath.Join(dir, key[:2], key)); !os.IsNotExist(err) {
+			t.Fatalf("invalid file %s not dropped (stat err = %v)", key[:8], err)
+		}
+	}
+}
+
+// TestSealUnsealRoundTrip covers the trailer helpers directly, including
+// the empty payload.
+func TestSealUnsealRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("p"), bytes.Repeat([]byte("xy"), 1000)} {
+		key := Key(payload)
+		got, ok := unseal(key, seal(key, payload))
+		if !ok || !bytes.Equal(got, payload) {
+			t.Fatalf("seal/unseal round trip failed for %d-byte payload", len(payload))
+		}
+		if _, ok := unseal(Key([]byte("other")), seal(key, payload)); ok {
+			t.Fatal("unseal accepted an object sealed for a different key")
+		}
+	}
+}

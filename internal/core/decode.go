@@ -78,17 +78,18 @@ func UnpackStreamN(data []byte, concurrency int, visit func(*classfile.ClassFile
 // failure caused by the archive bytes (as opposed to a visit error) is
 // a *corrupt.Error or wraps one.
 func UnpackStreamOpts(data []byte, o UnpackOpts, visit func(*classfile.ClassFile) error) error {
-	if len(data) < 6 || !bytes.Equal(data[:4], Magic[:]) {
-		return corrupt.Errorf(sHeader, 0, "not a packed archive")
+	opts, err := header(data)
+	if err != nil {
+		return err
 	}
-	if data[4] != version {
-		return corrupt.Errorf(sHeader, 4, "unsupported version %d", data[4])
+	var r *streams.Reader
+	// The version byte picks the container layout: v1 has no integrity
+	// data, v2 verifies per-stream and trailer CRC32Cs before decoding.
+	if data[4] == Version1 {
+		r, err = streams.NewReaderLimit(data[6:], o.Concurrency, o.MaxDecodedBytes)
+	} else {
+		r, err = streams.NewCheckedReaderLimit(data[6:], o.Concurrency, o.MaxDecodedBytes)
 	}
-	opts := decodeOptions(data[5])
-	if !opts.Scheme.Decodable() {
-		return corrupt.Errorf(sHeader, 5, "archive uses undecodable scheme %v", opts.Scheme)
-	}
-	r, err := streams.NewReaderLimit(data[6:], o.Concurrency, o.MaxDecodedBytes)
 	if err != nil {
 		return err
 	}
@@ -117,6 +118,23 @@ func UnpackStreamOpts(data []byte, o UnpackOpts, visit func(*classfile.ClassFile
 		}
 	}
 	return nil
+}
+
+// header validates the 6-byte archive header and returns the coding
+// options it declares. The version byte must name a known layout and the
+// scheme must be decodable; data[4] remains the caller's version switch.
+func header(data []byte) (Options, error) {
+	if len(data) < 6 || !bytes.Equal(data[:4], Magic[:]) {
+		return Options{}, corrupt.Errorf(sHeader, 0, "not a packed archive")
+	}
+	if data[4] != Version1 && data[4] != Version2 {
+		return Options{}, corrupt.Errorf(sHeader, 4, "unsupported version %d", data[4])
+	}
+	opts := decodeOptions(data[5])
+	if !opts.Scheme.Decodable() {
+		return Options{}, corrupt.Errorf(sHeader, 5, "archive uses undecodable scheme %v", opts.Scheme)
+	}
+	return opts, nil
 }
 
 type unpacker struct {

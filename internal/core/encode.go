@@ -11,10 +11,22 @@ import (
 	"classpack/internal/stackstate"
 )
 
-// Pack encodes a collection of classfiles into a packed archive. The
-// classfiles must already be canonicalized with strip.Apply (debugging and
-// unrecognized attributes removed); Unpack reproduces them byte-for-byte.
+// Pack encodes a collection of classfiles into a packed archive at the
+// current wire-format version. The classfiles must already be
+// canonicalized with strip.Apply (debugging and unrecognized attributes
+// removed); Unpack reproduces them byte-for-byte.
 func Pack(cfs []*classfile.ClassFile, opts Options) ([]byte, error) {
+	return PackVersion(cfs, opts, version)
+}
+
+// PackVersion is Pack with an explicit wire-format version: Version2
+// (the default) appends per-stream and whole-container CRC32C checksums,
+// Version1 is the legacy checksum-free layout kept writable for
+// compatibility tests and old consumers.
+func PackVersion(cfs []*classfile.ClassFile, opts Options, ver byte) ([]byte, error) {
+	if ver != Version1 && ver != Version2 {
+		return nil, fmt.Errorf("core: unknown pack version %d", ver)
+	}
 	if !opts.Scheme.Decodable() {
 		return nil, fmt.Errorf("core: scheme %v has no decoder", opts.Scheme)
 	}
@@ -34,13 +46,19 @@ func Pack(cfs []*classfile.ClassFile, opts Options) ([]byte, error) {
 	if err := emitter.archive(cfs); err != nil {
 		return nil, err
 	}
-	body, err := emitter.w.FinishN(opts.Compress, opts.Concurrency)
+	var body []byte
+	var err error
+	if ver == Version2 {
+		body, err = emitter.w.FinishChecked(opts.Compress, opts.Concurrency)
+	} else {
+		body, err = emitter.w.FinishN(opts.Compress, opts.Concurrency)
+	}
 	if err != nil {
 		return nil, err
 	}
 	out := make([]byte, 0, len(body)+6)
 	out = append(out, Magic[:]...)
-	out = append(out, version, encodeOptions(opts))
+	out = append(out, ver, encodeOptions(opts))
 	return append(out, body...), nil
 }
 

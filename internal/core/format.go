@@ -17,8 +17,18 @@ import (
 // Magic identifies a packed archive.
 var Magic = [4]byte{'C', 'J', 'P', '1'}
 
-// version of the wire format.
-const version = 1
+// Wire-format versions. Version 1 carries no integrity data; version 2
+// adds a CRC32C (Castagnoli) of every stream's encoded payload to the
+// stream directory and a whole-container trailer checksum. The decoder
+// dispatches on the header's version byte, so both stay readable;
+// Pack emits the current version.
+const (
+	Version1 = 1
+	Version2 = 2
+
+	// version is what Pack emits.
+	version = Version2
+)
 
 // Options control the encoder. The decoder reads the choices from the
 // archive header, so any combination round-trips.

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"classpack/internal/classfile"
+	"classpack/internal/corrupt"
+	"classpack/internal/streams"
+)
+
+// SalvageResult is what Salvage recovered from a (possibly damaged)
+// archive.
+type SalvageResult struct {
+	// TotalClasses is the class count the archive's directory declares,
+	// or 0 when the count itself was unreadable or failed a resource cap.
+	TotalClasses int
+	// Classes are the fully decoded classes, in archive order. The wire
+	// format is sequential and stateful (reference pools, per-stream
+	// positions), so once one class fails to decode nothing after it can
+	// be trusted: Classes is always an intact prefix of the archive.
+	Classes []*classfile.ClassFile
+	// Quarantined lists container-level damage in detection order:
+	// streams whose checksum mismatched or whose payload failed to
+	// decode, trailer damage, and directory damage. A quarantined stream
+	// only costs classes if decoding actually reads it (see Abort).
+	Quarantined []*corrupt.Error
+	// Abort is the failure that ended class decoding, nil when every
+	// declared class decoded. When decoding first touches a quarantined
+	// stream, Abort is that stream's quarantining error.
+	Abort *corrupt.Error
+	// AbortClass is the index of the class being decoded when Abort hit
+	// (-1 when Abort is nil or the class count itself was unreadable).
+	AbortClass int
+}
+
+// Salvage decodes as much of a packed archive as the damage allows,
+// instead of failing on the first corrupt byte the way Unpack does.
+// Checksum-failing streams (version 2 archives) and streams whose
+// payload cannot be decoded are quarantined up front; classes are then
+// decoded sequentially until one reads damaged or inconsistent data,
+// and every class completed before that point is returned.
+//
+// The error return is reserved for inputs that are not a packed archive
+// at all (bad magic, unknown version, undecodable scheme): the 6-byte
+// header is the root of trust, and without it there is nothing to
+// salvage against.
+func Salvage(data []byte, o UnpackOpts) (*SalvageResult, error) {
+	opts, err := header(data)
+	if err != nil {
+		return nil, err
+	}
+	r, quarantined := streams.NewSalvageReader(data[6:], o.Concurrency, o.MaxDecodedBytes, data[4] != Version1)
+	u := newUnpacker(opts, r)
+	if opts.Preload {
+		preloadUnpacker(u)
+	}
+	res := &SalvageResult{Quarantined: quarantined, AbortClass: -1}
+	count, err := u.meta.Uint()
+	if err != nil {
+		res.Abort = asCorrupt(sMeta, err)
+		return res, nil
+	}
+	maxClasses := o.MaxClassCount
+	if maxClasses <= 0 {
+		maxClasses = DefaultMaxClassCount
+	}
+	if count > uint64(maxClasses) {
+		res.Abort = corrupt.TooLarge(sMeta, -1, "class count %d exceeds cap %d", count, maxClasses)
+		return res, nil
+	}
+	res.TotalClasses = int(count)
+	for i := uint64(0); i < count; i++ {
+		cf, err := u.class()
+		if err != nil {
+			res.Abort = asCorrupt(sMeta, err)
+			res.AbortClass = int(i)
+			break
+		}
+		res.Classes = append(res.Classes, cf)
+	}
+	return res, nil
+}
+
+// asCorrupt normalizes any decode failure to a *corrupt.Error, tagging
+// errors from outside the taxonomy with the stream they surfaced in.
+func asCorrupt(stream string, err error) *corrupt.Error {
+	if ce, ok := corrupt.As(err); ok {
+		return ce
+	}
+	return corrupt.New(stream, -1, err)
+}

@@ -1,0 +1,117 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFaultsNeverMutateInput(t *testing.T) {
+	orig := []byte("0123456789abcdef")
+	faults := []Fault{
+		BitFlip{Off: 3, Bit: 1},
+		Truncate{Off: 4},
+		ZeroPage{Off: 2, Len: 8},
+		DupBlock{Off: 1, Len: 4},
+	}
+	for _, f := range faults {
+		snapshot := append([]byte(nil), orig...)
+		f.Apply(orig)
+		if !bytes.Equal(orig, snapshot) {
+			t.Errorf("%s mutated its input", f.Name())
+		}
+	}
+}
+
+func TestFaultShapes(t *testing.T) {
+	data := []byte{0, 0, 0, 0}
+	if got := (BitFlip{Off: 1, Bit: 3}).Apply(data); got[1] != 8 {
+		t.Errorf("BitFlip: %v", got)
+	}
+	if got := (Truncate{Off: 2}).Apply(data); len(got) != 2 {
+		t.Errorf("Truncate: %d bytes", len(got))
+	}
+	if got := (ZeroPage{Off: 1, Len: 2}).Apply([]byte{9, 9, 9, 9}); !bytes.Equal(got, []byte{9, 0, 0, 9}) {
+		t.Errorf("ZeroPage: %v", got)
+	}
+	if got := (DupBlock{Off: 1, Len: 2}).Apply([]byte{1, 2, 3, 4}); !bytes.Equal(got, []byte{1, 2, 3, 2, 3, 4}) {
+		t.Errorf("DupBlock: %v", got)
+	}
+}
+
+func TestFaultsClampOutOfRange(t *testing.T) {
+	data := []byte{1, 2, 3}
+	cases := []Fault{
+		BitFlip{Off: 99, Bit: 12},
+		BitFlip{Off: -5},
+		Truncate{Off: 99},
+		Truncate{Off: -1},
+		ZeroPage{Off: 99, Len: 99},
+		ZeroPage{Off: -3, Len: -3},
+		DupBlock{Off: 99, Len: 99},
+		DupBlock{Off: -1, Len: -1},
+	}
+	for _, f := range cases {
+		got := f.Apply(data) // must not panic
+		if len(got) > 2*len(data) {
+			t.Errorf("%s grew data unexpectedly: %d bytes", f.Name(), len(got))
+		}
+	}
+	for _, f := range cases {
+		if got := f.Apply(nil); len(got) != 0 {
+			t.Errorf("%s on empty input returned %d bytes", f.Name(), len(got))
+		}
+	}
+}
+
+func TestPlanIsDeterministic(t *testing.T) {
+	a, b := NewPlan(7), NewPlan(7)
+	for i := 0; i < 100; i++ {
+		if fa, fb := a.Next(1000), b.Next(1000); fa.Name() != fb.Name() {
+			t.Fatalf("plans diverged at step %d: %s vs %s", i, fa.Name(), fb.Name())
+		}
+	}
+	c := NewPlan(8)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if NewPlan(7).Next(1000).Name() == c.Next(1000).Name() {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestFailingReader(t *testing.T) {
+	fr := &FailingReader{R: strings.NewReader("0123456789"), FailOn: 2}
+	buf := make([]byte, 4)
+	if n, err := fr.Read(buf); err != nil || n != 4 {
+		t.Fatalf("first read: n=%d err=%v", n, err)
+	}
+	if _, err := fr.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second read err = %v, want ErrInjected", err)
+	}
+	if _, err := fr.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("reads after the failure must keep failing, got %v", err)
+	}
+}
+
+func TestFailingReaderShort(t *testing.T) {
+	fr := &FailingReader{R: strings.NewReader("0123456789"), FailOn: 1, Short: true}
+	buf := make([]byte, 8)
+	n, err := fr.Read(buf)
+	if err != nil || n != 4 {
+		t.Fatalf("short read: n=%d err=%v, want 4 bytes and no error", n, err)
+	}
+	if _, err := fr.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read after short read err = %v, want ErrInjected", err)
+	}
+	// io.ReadFull surfaces the injected error, not a silent short result.
+	fr = &FailingReader{R: strings.NewReader("0123456789"), FailOn: 1, Short: true}
+	if _, err := io.ReadFull(fr, make([]byte, 10)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("ReadFull err = %v, want ErrInjected", err)
+	}
+}

@@ -1,0 +1,94 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+)
+
+// ErrInjected is the error every failing wrapper returns, so tests can
+// tell injected faults from real ones with errors.Is.
+var ErrInjected = errors.New("faultinject: injected failure")
+
+// FailingReader wraps an io.Reader and fails the Nth Read call (1-based).
+// With Short set, the failing call instead returns half the requested
+// bytes and no error — a short read — and subsequent calls fail.
+type FailingReader struct {
+	R      io.Reader
+	FailOn int
+	Short  bool
+	calls  int
+}
+
+func (f *FailingReader) Read(p []byte) (int, error) {
+	f.calls++
+	if f.calls == f.FailOn && f.Short && len(p) > 1 {
+		return f.R.Read(p[:len(p)/2])
+	}
+	if f.calls >= f.FailOn && (!f.Short || f.calls > f.FailOn) {
+		return 0, ErrInjected
+	}
+	return f.R.Read(p)
+}
+
+// FailingRoundTripper makes the first FailFirst HTTP attempts fail, then
+// delegates to Next (http.DefaultTransport when nil). With Status == 0
+// the failure is a transport error (connection refused analogue);
+// otherwise it is a complete HTTP response with that status code and a
+// JSON error body shaped like jpackd's envelope. Attempts counts every
+// RoundTrip, so tests can assert how often a client retried. Safe for
+// concurrent use.
+type FailingRoundTripper struct {
+	Next      http.RoundTripper
+	FailFirst int32
+	Status    int
+	attempts  atomic.Int32
+}
+
+// Attempts reports how many requests have passed through.
+func (f *FailingRoundTripper) Attempts() int { return int(f.attempts.Load()) }
+
+func (f *FailingRoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	n := f.attempts.Add(1)
+	if req.Body != nil {
+		req.Body.Close()
+	}
+	if n <= f.FailFirst {
+		if f.Status == 0 {
+			return nil, fmt.Errorf("attempt %d: %w", n, ErrInjected)
+		}
+		return injectedResponse(req, f.Status), nil
+	}
+	next := f.Next
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	// The body was consumed above to mimic a server that read the
+	// request before failing; rebuild it for the real attempt.
+	if req.GetBody != nil {
+		body, err := req.GetBody()
+		if err != nil {
+			return nil, err
+		}
+		req.Body = body
+	}
+	return next.RoundTrip(req)
+}
+
+// injectedResponse builds a minimal jpackd-style error response.
+func injectedResponse(req *http.Request, status int) *http.Response {
+	body := fmt.Sprintf(`{"error":{"code":"injected","message":"injected %d"}}`, status)
+	return &http.Response{
+		StatusCode: status,
+		Status:     fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		Proto:      "HTTP/1.1",
+		ProtoMajor: 1,
+		ProtoMinor: 1,
+		Header:     http.Header{"Content-Type": []string{"application/json; charset=utf-8"}},
+		Body:       io.NopCloser(strings.NewReader(body)),
+		Request:    req,
+	}
+}

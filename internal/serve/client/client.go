@@ -1,7 +1,11 @@
 // Package client is the Go client for jpackd (internal/serve): it
-// uploads jars for packing, downloads packed archives back into jars,
-// runs remote verification, and fetches cached artifacts by digest.
-// The jpack "remote" subcommand is built on it.
+// uploads jars for packing, downloads packed archives back into jars
+// (including salvage mode for damaged archives), runs remote
+// verification, and fetches cached artifacts by digest. Transient
+// failures — connection errors and 5xx responses — are retried with
+// capped, jittered exponential backoff (see RetryPolicy); jpackd
+// requests are idempotent, so replays are safe. The jpack "remote"
+// subcommand is built on it.
 package client
 
 import (
@@ -10,8 +14,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
+	"time"
 )
 
 // APIError is a structured error returned by the server's JSON error
@@ -26,21 +32,133 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("jpackd: %s (%s, HTTP %d)", e.Message, e.Code, e.Status)
 }
 
+// RetryPolicy bounds the client's automatic retries. Every jpackd
+// request is idempotent — the server is a pure function of the request
+// body (with a cache in front) — so retrying is always safe; the policy
+// only decides how hard to try. Zero fields take the defaults noted on
+// each field.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (0 = 3; 1 disables retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (0 = 50ms); each
+	// further retry doubles it.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth (0 = 2s).
+	MaxDelay time.Duration
+}
+
+// withDefaults fills zero fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// delay returns the jittered backoff before retry number retry (1-based):
+// exponential growth capped at MaxDelay, then "equal jitter" — half
+// fixed, half uniformly random — so synchronized clients spread out.
+func (p RetryPolicy) delay(retry int, intn func(int64) int64) time.Duration {
+	d := p.BaseDelay << (retry - 1)
+	if d > p.MaxDelay || d <= 0 { // <= 0 guards shift overflow
+		d = p.MaxDelay
+	}
+	half := int64(d) / 2
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + intn(half))
+}
+
 // Client talks to one jpackd server. The zero value is not usable;
-// call New.
+// call New or NewRetry.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
+	intn  func(int64) int64 // jitter source; rand.Int63n outside tests
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
 // New returns a client for the server at base (e.g.
 // "http://127.0.0.1:8750"). httpClient may be nil for
-// http.DefaultClient; deadlines come from the per-call context.
+// http.DefaultClient; deadlines come from the per-call context. The
+// default RetryPolicy applies; use NewRetry to change or disable it.
 func New(base string, httpClient *http.Client) *Client {
+	return NewRetry(base, httpClient, RetryPolicy{})
+}
+
+// NewRetry is New with an explicit retry policy.
+func NewRetry(base string, httpClient *http.Client, policy RetryPolicy) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+	return &Client{
+		base:  strings.TrimRight(base, "/"),
+		hc:    httpClient,
+		retry: policy.withDefaults(),
+		intn:  rand.Int63n,
+		sleep: sleepCtx,
+	}
+}
+
+// sleepCtx waits for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// do sends req with retries per the client's policy. Transport errors
+// and 5xx responses are retried with capped, jittered exponential
+// backoff; context cancellation and deadline expiry stop retrying
+// immediately, both between attempts and mid-backoff. The final
+// attempt's response or error is returned as-is.
+func (c *Client) do(req *http.Request) (*http.Response, error) {
+	for attempt := 1; ; attempt++ {
+		resp, err := c.hc.Do(req)
+		retryable := false
+		if err != nil {
+			// A transport failure with a live context (connection refused,
+			// reset, injected fault) is worth retrying; one caused by the
+			// caller's context is not.
+			retryable = req.Context().Err() == nil
+		} else if resp.StatusCode >= 500 {
+			retryable = true
+		}
+		if !retryable || attempt >= c.retry.MaxAttempts {
+			return resp, err
+		}
+		if resp != nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+			resp.Body.Close()
+		}
+		if serr := c.sleep(req.Context(), c.retry.delay(attempt, c.intn)); serr != nil {
+			if err == nil {
+				err = fmt.Errorf("jpackd: giving up after HTTP %d: %w", resp.StatusCode, serr)
+			}
+			return nil, err
+		}
+		if req.GetBody != nil {
+			body, berr := req.GetBody()
+			if berr != nil {
+				return nil, berr
+			}
+			req.Body = body
+		}
+	}
 }
 
 // PackResult is what POST /pack returns.
@@ -85,6 +203,48 @@ func (c *Client) Unpack(ctx context.Context, packed []byte) ([]byte, error) {
 	return c.payload(resp)
 }
 
+// DamageRegion mirrors one entry of the server's salvage damage report.
+type DamageRegion struct {
+	Stream      string `json:"stream"`
+	Offset      int64  `json:"offset"`
+	Cause       string `json:"cause"`
+	ClassesLost int    `json:"classes_lost"`
+}
+
+// SalvageResult mirrors the server's POST /unpack?salvage=1 response:
+// accounting, damage report, and the jar of recovered classes. Partial
+// reports when the server answered 206 Partial Content (classes lost or
+// damage found).
+type SalvageResult struct {
+	Total     int            `json:"total"`
+	Recovered int            `json:"recovered"`
+	Lost      int            `json:"lost"`
+	Damage    []DamageRegion `json:"damage"`
+	Jar       []byte         `json:"jar"`
+	Partial   bool           `json:"-"`
+}
+
+// UnpackSalvage uploads a (possibly damaged) packed archive and returns
+// whatever the server could recover plus its damage report. Damage is
+// reported in the result, not as an error; err is non-nil only for
+// transport failures or inputs the server rejected outright.
+func (c *Client) UnpackSalvage(ctx context.Context, packed []byte) (*SalvageResult, error) {
+	resp, err := c.post(ctx, "/unpack?salvage=1", packed)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusPartialContent {
+		return nil, c.apiError(resp)
+	}
+	var res SalvageResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return nil, fmt.Errorf("jpackd: decoding salvage response: %w", err)
+	}
+	res.Partial = resp.StatusCode == http.StatusPartialContent
+	return &res, nil
+}
+
 // VerifyResult mirrors the server's POST /verify response body.
 type VerifyResult struct {
 	Classes int `json:"classes"`
@@ -126,7 +286,7 @@ func (c *Client) Archive(ctx context.Context, digest string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -140,7 +300,7 @@ func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -156,12 +316,14 @@ func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
 }
 
 func (c *Client) post(ctx context.Context, path string, body []byte) (*http.Response, error) {
+	// bytes.Reader bodies give the request a GetBody, which do uses to
+	// replay the payload on retries.
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
-	return c.hc.Do(req)
+	return c.do(req)
 }
 
 // payload reads a binary response, converting error envelopes.

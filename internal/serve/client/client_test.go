@@ -1,0 +1,150 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"classpack/internal/faultinject"
+)
+
+// echoServer answers every POST by echoing the request body, so tests
+// can verify that retried requests replayed their payload intact.
+func echoServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Errorf("server read: %v", err)
+		}
+		w.Write(body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// fastClient builds a client over ft with millisecond backoff.
+func fastClient(base string, ft *faultinject.FailingRoundTripper) *Client {
+	return NewRetry(base, &http.Client{Transport: ft},
+		RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond})
+}
+
+func TestRetryRecoversFromTransportErrors(t *testing.T) {
+	srv := echoServer(t)
+	ft := &faultinject.FailingRoundTripper{FailFirst: 2} // Status 0: transport error
+	c := fastClient(srv.URL, ft)
+	payload := bytes.Repeat([]byte("archive"), 100)
+	got, err := c.Unpack(context.Background(), payload)
+	if err != nil {
+		t.Fatalf("Unpack with 2 injected transport failures: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("retried request did not replay the body intact")
+	}
+	if ft.Attempts() != 3 {
+		t.Fatalf("made %d attempts, want 3", ft.Attempts())
+	}
+}
+
+func TestRetryRecoversFrom5xx(t *testing.T) {
+	srv := echoServer(t)
+	ft := &faultinject.FailingRoundTripper{FailFirst: 2, Status: http.StatusServiceUnavailable}
+	c := fastClient(srv.URL, ft)
+	payload := []byte("p")
+	if _, err := c.Unpack(context.Background(), payload); err != nil {
+		t.Fatalf("Unpack with 2 injected 503s: %v", err)
+	}
+	if ft.Attempts() != 3 {
+		t.Fatalf("made %d attempts, want 3", ft.Attempts())
+	}
+}
+
+func TestRetryGivesUpAndSurfacesFinalError(t *testing.T) {
+	srv := echoServer(t)
+	ft := &faultinject.FailingRoundTripper{FailFirst: 100, Status: http.StatusBadGateway}
+	c := fastClient(srv.URL, ft)
+	_, err := c.Unpack(context.Background(), []byte("p"))
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadGateway {
+		t.Fatalf("err = %v, want APIError with status 502", err)
+	}
+	if ft.Attempts() != 3 {
+		t.Fatalf("made %d attempts, want MaxAttempts = 3", ft.Attempts())
+	}
+}
+
+func TestNoRetryOn4xx(t *testing.T) {
+	srv := echoServer(t)
+	ft := &faultinject.FailingRoundTripper{FailFirst: 100, Status: http.StatusNotFound}
+	c := fastClient(srv.URL, ft)
+	_, err := c.Unpack(context.Background(), []byte("p"))
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("err = %v, want APIError with status 404", err)
+	}
+	if ft.Attempts() != 1 {
+		t.Fatalf("made %d attempts, want 1 — client errors must not be retried", ft.Attempts())
+	}
+}
+
+func TestRetryHonorsContextCancellation(t *testing.T) {
+	srv := echoServer(t)
+	ft := &faultinject.FailingRoundTripper{FailFirst: 100} // endless transport errors
+	c := fastClient(srv.URL, ft)
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel during the first backoff: the client must stop instead of
+	// burning its remaining attempts.
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		cancel()
+		return ctx.Err()
+	}
+	if _, err := c.Unpack(ctx, []byte("p")); err == nil {
+		t.Fatal("Unpack succeeded despite cancellation")
+	}
+	if ft.Attempts() != 1 {
+		t.Fatalf("made %d attempts after cancellation, want 1", ft.Attempts())
+	}
+}
+
+func TestNoRetryAfterDeadlineExpiry(t *testing.T) {
+	srv := echoServer(t)
+	ft := &faultinject.FailingRoundTripper{FailFirst: 100}
+	c := fastClient(srv.URL, ft)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // dead before the first attempt
+	if _, err := c.Unpack(ctx, []byte("p")); err == nil {
+		t.Fatal("Unpack succeeded with a dead context")
+	}
+	if ft.Attempts() != 1 {
+		t.Fatalf("made %d attempts with a dead context, want 1", ft.Attempts())
+	}
+}
+
+// TestBackoffGrowthAndCap pins the backoff schedule: exponential from
+// BaseDelay, capped at MaxDelay, with equal jitter (half fixed, half
+// random) at every step.
+func TestBackoffGrowthAndCap(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: 400 * time.Millisecond}.withDefaults()
+	noJitter := func(n int64) int64 { return 0 }
+	fullJitter := func(n int64) int64 { return n - 1 }
+	wantFloor := []time.Duration{50, 100, 200, 200, 200} // ms: half of min(base<<k, cap)
+	for i, want := range wantFloor {
+		lo := p.delay(i+1, noJitter)
+		hi := p.delay(i+1, fullJitter)
+		if lo != want*time.Millisecond {
+			t.Errorf("delay(%d) floor = %v, want %v", i+1, lo, want*time.Millisecond)
+		}
+		if hi < lo || hi >= 2*lo+time.Millisecond {
+			t.Errorf("delay(%d) ceiling = %v, want within [%v, %v)", i+1, hi, lo, 2*lo)
+		}
+	}
+	// Huge retry numbers must not overflow the shift into a negative wait.
+	if d := p.delay(200, noJitter); d <= 0 || d > p.MaxDelay {
+		t.Errorf("delay(200) = %v, want within (0, %v]", d, p.MaxDelay)
+	}
+}

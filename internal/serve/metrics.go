@@ -32,6 +32,7 @@ type Metrics struct {
 
 	Encodes  expvar.Int // pack jobs actually run (cache misses that encoded)
 	Decodes  expvar.Int
+	Salvages expvar.Int // unpack?salvage=1 jobs run
 	Verifies expvar.Int
 
 	BytesIn  expvar.Int // request bodies read
@@ -54,6 +55,7 @@ func newMetrics() *Metrics {
 	set("cache_misses", &mt.CacheMisses)
 	set("encodes_total", &mt.Encodes)
 	set("decodes_total", &mt.Decodes)
+	set("salvages_total", &mt.Salvages)
 	set("verifies_total", &mt.Verifies)
 	set("bytes_in", &mt.BytesIn)
 	set("bytes_out", &mt.BytesOut)

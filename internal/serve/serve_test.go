@@ -19,6 +19,7 @@ import (
 	"classpack/internal/archive"
 	"classpack/internal/castore"
 	"classpack/internal/classfile"
+	"classpack/internal/faultinject"
 	"classpack/internal/minijava"
 	"classpack/internal/serve/client"
 )
@@ -210,6 +211,56 @@ func TestUnpackEndpoint(t *testing.T) {
 		if apiErr.Status != http.StatusBadRequest {
 			t.Fatalf("unpack of garbage: status %d, want 400", apiErr.Status)
 		}
+	}
+}
+
+func TestUnpackSalvageEndpoint(t *testing.T) {
+	jar, classes := testJar(t)
+	s, c, _ := startServer(t, Config{})
+	ctx := context.Background()
+
+	res, err := c.Pack(ctx, jar)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A pristine archive salvages cleanly: 200, nothing lost, no damage.
+	sres, err := c.UnpackSalvage(ctx, res.Packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Partial || sres.Lost != 0 || len(sres.Damage) != 0 || sres.Recovered != len(classes) {
+		t.Fatalf("salvage of pristine archive: %+v", sres)
+	}
+	if _, err := archive.ReadJar(sres.Jar); err != nil {
+		t.Fatalf("salvaged jar unreadable: %v", err)
+	}
+
+	// Damage near the end of the archive: 206 with a damage report and
+	// the recovered/lost accounting intact.
+	flip := faultinject.BitFlip{Off: len(res.Packed) - 10, Bit: 2}
+	sres, err = c.UnpackSalvage(ctx, flip.Apply(res.Packed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sres.Partial || len(sres.Damage) == 0 {
+		t.Fatalf("salvage of damaged archive not partial: %+v", sres)
+	}
+	if sres.Recovered+sres.Lost != sres.Total {
+		t.Fatalf("salvage accounting: %d + %d != %d", sres.Recovered, sres.Lost, sres.Total)
+	}
+	if _, err := archive.ReadJar(sres.Jar); err != nil {
+		t.Fatalf("salvaged jar unreadable: %v", err)
+	}
+	if got := s.Metrics().Salvages.Value(); got != 2 {
+		t.Fatalf("salvages_total = %d, want 2", got)
+	}
+
+	// Garbage is rejected outright — there is nothing to salvage.
+	_, err = c.UnpackSalvage(ctx, []byte("not an archive"))
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != "not_archive" {
+		t.Fatalf("salvage of garbage: %v, want not_archive", err)
 	}
 }
 

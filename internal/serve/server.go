@@ -1,6 +1,8 @@
 // Package serve implements jpackd, the streaming pack/unpack HTTP
 // service: POST /pack compresses an uploaded jar into the Pugh wire
-// format, POST /unpack rebuilds a jar from a packed archive, POST
+// format, POST /unpack rebuilds a jar from a packed archive (with
+// ?salvage=1 recovering what it can from damaged input as a JSON
+// damage report plus partial jar), POST
 // /verify structurally checks a jar's classes, and GET /archive/{digest}
 // re-serves previously packed artifacts from a content-addressed cache
 // (internal/castore). Concurrent encode jobs are bounded by a semaphore
@@ -300,6 +302,10 @@ func (s *Server) handleUnpack(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	opts := s.cfg.Options
+	if r.URL.Query().Get("salvage") == "1" {
+		s.salvageUnpack(w, input, &opts)
+		return
+	}
 	jar, err := classpack.UnpackToJarOpts(input, &opts)
 	if err != nil {
 		// A failed decode means the client sent a bad archive — that is a
@@ -317,6 +323,53 @@ func (s *Server) handleUnpack(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.Decodes.Add(1)
 	s.writePayload(w, jar)
+}
+
+// SalvageResponse is the JSON body of POST /unpack?salvage=1: the
+// salvage accounting and damage report plus the rebuilt jar of every
+// recovered class (base64 in the JSON encoding). The response status is
+// 200 when the archive was clean and 206 Partial Content when anything
+// was lost or damaged, so callers can tell at the HTTP layer.
+type SalvageResponse struct {
+	Total     int                      `json:"total"`
+	Recovered int                      `json:"recovered"`
+	Lost      int                      `json:"lost"`
+	Damage    []classpack.DamageRegion `json:"damage,omitempty"`
+	Jar       []byte                   `json:"jar"`
+}
+
+// salvageUnpack answers POST /unpack?salvage=1: decode as much of a
+// damaged archive as possible instead of failing the request.
+func (s *Server) salvageUnpack(w http.ResponseWriter, input []byte, opts *classpack.Options) {
+	res, err := classpack.Salvage(input, opts)
+	if err != nil {
+		// Salvage only errors on inputs that are not a packed archive at
+		// all; there is nothing to recover from those.
+		s.writeError(w, errf(http.StatusBadRequest, "not_archive", "salvage: %v", err))
+		return
+	}
+	jar, err := res.Jar()
+	if err != nil {
+		s.writeError(w, errf(http.StatusInternalServerError, "internal", "rebuilding jar: %v", err))
+		return
+	}
+	s.metrics.Salvages.Add(1)
+	body := SalvageResponse{
+		Total:     res.TotalClasses,
+		Recovered: res.Recovered,
+		Lost:      res.Lost,
+		Damage:    res.Damage,
+		Jar:       jar,
+	}
+	status := http.StatusOK
+	if res.Lost > 0 || len(res.Damage) > 0 {
+		status = http.StatusPartialContent
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	if json.NewEncoder(w).Encode(body) == nil {
+		s.metrics.BytesOut.Add(int64(len(jar)))
+	}
 }
 
 // VerifyResult is the JSON body of POST /verify responses.

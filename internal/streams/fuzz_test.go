@@ -22,6 +22,11 @@ func FuzzStreamsReader(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(seed)
+	checked, err := w.FinishChecked(true, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(checked)
 	empty, err := NewWriter().Finish(false)
 	if err != nil {
 		f.Fatal(err)
@@ -32,6 +37,18 @@ func FuzzStreamsReader(f *testing.F) {
 
 	const budget = int64(1) << 20
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// The checked reader and the salvage walkers (both layouts) parse
+		// the same bytes first: none may panic, and salvage damage
+		// reports must name a stream.
+		_, _ = NewCheckedReaderLimit(data, 1, budget)
+		for _, isChecked := range []bool{true, false} {
+			_, damage := NewSalvageReader(data, 1, budget, isChecked)
+			for _, d := range damage {
+				if d.Stream == "" {
+					t.Fatalf("salvage damage without a stream name: %v", d)
+				}
+			}
+		}
 		r, err := NewReaderLimit(data, 1, budget)
 		if err != nil {
 			if ce, ok := corrupt.As(err); ok && ce.Stream == "" {

@@ -18,10 +18,20 @@
 // archive claiming a huge payload fails fast instead of exhausting
 // memory. Failures are reported as *corrupt.Error values naming the
 // stream and offset.
+//
+// Two container layouts exist. The original ("plain") layout carries no
+// integrity data. The checked layout — produced by FinishChecked and read
+// by NewCheckedReaderLimit — follows every stream's encoded payload with
+// a CRC32C (Castagnoli) of those payload bytes and ends the container
+// with a trailer CRC32C over everything that precedes it, so corruption
+// is detected before decoding and localized to one stream. The salvage
+// reader (NewSalvageReader) uses that localization to quarantine damaged
+// streams instead of failing the whole container.
 package streams
 
 import (
 	"bytes"
+	"hash/crc32"
 	"sort"
 
 	"classpack/internal/archive"
@@ -30,6 +40,22 @@ import (
 	"classpack/internal/encoding/varint"
 	"classpack/internal/par"
 )
+
+// castagnoli is the CRC32C table shared by writer and readers.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// crcSize is the width of each checksum in the checked layout.
+const crcSize = 4
+
+// appendCRC appends a big-endian CRC32C.
+func appendCRC(out []byte, c uint32) []byte {
+	return append(out, byte(c>>24), byte(c>>16), byte(c>>8), byte(c))
+}
+
+// readCRC decodes a big-endian CRC32C.
+func readCRC(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
 
 // Stream coding identifiers (the per-stream flag byte).
 const (
@@ -99,11 +125,25 @@ func (w *Writer) Finish(compress bool) ([]byte, error) {
 	return w.FinishN(compress, 1)
 }
 
-// FinishN serializes all streams, trial-coding the mutually independent
-// streams on up to concurrency workers (<= 0 meaning all cores). The
-// container is assembled in sorted name order after all codings are
-// chosen, so the output is byte-identical for every concurrency value.
+// FinishN serializes all streams in the plain (unchecked) layout,
+// trial-coding the mutually independent streams on up to concurrency
+// workers (<= 0 meaning all cores). The container is assembled in sorted
+// name order after all codings are chosen, so the output is
+// byte-identical for every concurrency value.
 func (w *Writer) FinishN(compress bool, concurrency int) ([]byte, error) {
+	return w.finish(compress, concurrency, false)
+}
+
+// FinishChecked serializes all streams in the checked layout: each
+// stream's directory entry is followed by a CRC32C of its encoded
+// payload, and the container ends with a trailer CRC32C over every byte
+// that precedes it. Like FinishN, the output is byte-identical for every
+// concurrency value.
+func (w *Writer) FinishChecked(compress bool, concurrency int) ([]byte, error) {
+	return w.finish(compress, concurrency, true)
+}
+
+func (w *Writer) finish(compress bool, concurrency int, checked bool) ([]byte, error) {
 	names := append([]string(nil), w.order...)
 	sort.Strings(names)
 	type coded struct {
@@ -128,6 +168,12 @@ func (w *Writer) FinishN(compress bool, concurrency int) ([]byte, error) {
 		out = append(out, encs[i].coding)
 		out = varint.AppendUint(out, uint64(len(encs[i].payload)))
 		out = append(out, encs[i].payload...)
+		if checked {
+			out = appendCRC(out, crc32.Checksum(encs[i].payload, castagnoli))
+		}
+	}
+	if checked {
+		out = appendCRC(out, crc32.Checksum(out, castagnoli))
 	}
 	return out, nil
 }
@@ -191,21 +237,29 @@ func NewReaderN(data []byte, concurrency int) (*Reader, error) {
 	return NewReaderLimit(data, concurrency, DefaultMaxDecodedBytes)
 }
 
-// entry is one stream's header fields and undecoded payload.
+// entry is one stream's header fields and undecoded payload. payloadOff
+// is the payload's byte offset within the container; quarantine is the
+// damage that poisoned the stream in salvage mode (nil when intact).
 type entry struct {
-	name    string
-	rawLen  uint64
-	coding  byte
-	payload []byte
+	name       string
+	rawLen     uint64
+	coding     byte
+	payload    []byte
+	payloadOff int64
+	quarantine *corrupt.Error
 }
 
-// containerStream names the stream directory itself in corrupt errors.
-const containerStream = "container"
+// Names of container sections (as opposed to wire streams) in corrupt
+// errors: the stream directory itself and the trailer checksum.
+const (
+	containerStream = "container"
+	trailerStream   = "trailer"
+)
 
-// NewReaderLimit parses the container, walking the headers serially and
-// then decoding the independent stream payloads on up to concurrency
-// workers (<= 0 meaning all cores). The decoded streams are identical
-// for every concurrency value.
+// NewReaderLimit parses a plain (unchecked) container, walking the
+// headers serially and then decoding the independent stream payloads on
+// up to concurrency workers (<= 0 meaning all cores). The decoded
+// streams are identical for every concurrency value.
 //
 // maxDecoded (<= 0 meaning DefaultMaxDecodedBytes) caps the sum of all
 // streams' declared decoded sizes; the budget is charged while walking
@@ -213,69 +267,28 @@ const containerStream = "container"
 // stream's inflation is additionally capped at its declared size, so a
 // bomb archive fails in O(header) work.
 func NewReaderLimit(data []byte, concurrency int, maxDecoded int64) (*Reader, error) {
-	if maxDecoded <= 0 {
-		maxDecoded = DefaultMaxDecodedBytes
+	return newReader(data, concurrency, maxDecoded, false)
+}
+
+// NewCheckedReaderLimit is NewReaderLimit for the checked layout: the
+// container trailer CRC32C is verified first, then each stream's payload
+// CRC32C while walking the directory. Any mismatch fails with a
+// *corrupt.Error naming the damaged stream (or "trailer").
+func NewCheckedReaderLimit(data []byte, concurrency int, maxDecoded int64) (*Reader, error) {
+	return newReader(data, concurrency, maxDecoded, true)
+}
+
+func newReader(data []byte, concurrency int, maxDecoded int64, checked bool) (*Reader, error) {
+	body := data
+	if checked {
+		var err error
+		if body, err = checkTrailer(data); err != nil {
+			return nil, err
+		}
 	}
-	pos := 0
-	next := func() (uint64, error) {
-		v, n, err := varint.Uint(data[pos:])
-		pos += n
-		return v, err
-	}
-	count, err := next()
+	entries, err := walkEntries(body, maxDecoded, checked, nil)
 	if err != nil {
-		return nil, corrupt.Errorf(containerStream, int64(pos), "stream count: %v", err)
-	}
-	// Each directory entry needs at least 4 bytes (name length, raw
-	// length, flag, encoded length), so a count beyond that is a lie; the
-	// bound also keeps the preallocation proportional to real input.
-	if count > uint64(len(data))/4+1 {
-		return nil, corrupt.Errorf(containerStream, int64(pos),
-			"implausible stream count %d for %d bytes", count, len(data))
-	}
-	entries := make([]entry, 0, count)
-	budget := maxDecoded
-	for i := uint64(0); i < count; i++ {
-		nameLen, err := next()
-		if err != nil {
-			return nil, corrupt.Errorf(containerStream, int64(pos), "name length: %v", err)
-		}
-		if nameLen == 0 {
-			return nil, corrupt.Errorf(containerStream, int64(pos), "empty stream name")
-		}
-		if nameLen > uint64(len(data)-pos) {
-			return nil, corrupt.Errorf(containerStream, int64(pos), "truncated name")
-		}
-		name := string(data[pos : pos+int(nameLen)])
-		pos += int(nameLen)
-		rawLen, err := next()
-		if err != nil {
-			return nil, corrupt.Errorf(containerStream, int64(pos), "%s: raw length: %v", name, err)
-		}
-		if pos >= len(data) {
-			return nil, corrupt.Errorf(containerStream, int64(pos), "%s: missing flag", name)
-		}
-		coding := data[pos]
-		pos++
-		encLen, err := next()
-		if err != nil {
-			return nil, corrupt.Errorf(containerStream, int64(pos), "%s: encoded length: %v", name, err)
-		}
-		if encLen > uint64(len(data)-pos) {
-			return nil, corrupt.Errorf(containerStream, int64(pos), "%s: truncated payload", name)
-		}
-		payload := data[pos : pos+int(encLen)]
-		pos += int(encLen)
-		if rawLen > uint64(budget) {
-			return nil, corrupt.TooLarge(containerStream, int64(pos),
-				"%s: declared decoded size %d exceeds remaining budget %d (cap %d)",
-				name, rawLen, budget, maxDecoded)
-		}
-		budget -= int64(rawLen)
-		entries = append(entries, entry{name: name, rawLen: rawLen, coding: coding, payload: payload})
-	}
-	if pos != len(data) {
-		return nil, corrupt.Errorf(containerStream, int64(pos), "%d trailing bytes", len(data)-pos)
+		return nil, err
 	}
 	raws := make([][]byte, len(entries))
 	if err := par.Do(concurrency, len(entries), func(i int) error {
@@ -290,6 +303,217 @@ func NewReaderLimit(data []byte, concurrency int, maxDecoded int64) (*Reader, er
 		r.streams[e.name] = &RStream{name: e.name, buf: raws[i]}
 	}
 	return r, nil
+}
+
+// checkTrailer verifies the whole-container trailer CRC32C and returns
+// the container body with the trailer stripped.
+func checkTrailer(data []byte) ([]byte, error) {
+	if len(data) < crcSize {
+		return nil, corrupt.Errorf(trailerStream, int64(len(data)),
+			"container too short for trailer checksum")
+	}
+	body := data[:len(data)-crcSize]
+	got := crc32.Checksum(body, castagnoli)
+	if want := readCRC(data[len(body):]); got != want {
+		return nil, corrupt.Errorf(trailerStream, int64(len(body)),
+			"container checksum %08x, want %08x", got, want)
+	}
+	return body, nil
+}
+
+// walkEntries parses the stream directory of body (the trailer, if any,
+// already stripped). In strict mode (damage == nil) the first failure
+// aborts with an error. In salvage mode (damage != nil) directory-level
+// failures are recorded and stop the walk — entries parsed so far are
+// still returned — while per-stream checksum mismatches only quarantine
+// the one stream and the walk continues.
+func walkEntries(body []byte, maxDecoded int64, checked bool, damage *[]*corrupt.Error) ([]entry, error) {
+	if maxDecoded <= 0 {
+		maxDecoded = DefaultMaxDecodedBytes
+	}
+	salvage := damage != nil
+	fail := func(e *corrupt.Error) *corrupt.Error {
+		if salvage {
+			*damage = append(*damage, e)
+			return nil
+		}
+		return e
+	}
+	pos := 0
+	next := func() (uint64, error) {
+		v, n, err := varint.Uint(body[pos:])
+		pos += n
+		return v, err
+	}
+	count, err := next()
+	if err != nil {
+		return nil, fail(corrupt.Errorf(containerStream, int64(pos), "stream count: %v", err))
+	}
+	// Each directory entry needs at least 4 bytes (name length, raw
+	// length, flag, encoded length), so a count beyond that is a lie; the
+	// bound also keeps the preallocation proportional to real input.
+	if count > uint64(len(body))/4+1 {
+		return nil, fail(corrupt.Errorf(containerStream, int64(pos),
+			"implausible stream count %d for %d bytes", count, len(body)))
+	}
+	entries := make([]entry, 0, count)
+	budget := maxDecoded
+	for i := uint64(0); i < count; i++ {
+		nameLen, err := next()
+		if err != nil {
+			return entries, fail(corrupt.Errorf(containerStream, int64(pos), "name length: %v", err))
+		}
+		if nameLen == 0 {
+			return entries, fail(corrupt.Errorf(containerStream, int64(pos), "empty stream name"))
+		}
+		if nameLen > uint64(len(body)-pos) {
+			return entries, fail(corrupt.Errorf(containerStream, int64(pos), "truncated name"))
+		}
+		name := string(body[pos : pos+int(nameLen)])
+		pos += int(nameLen)
+		rawLen, err := next()
+		if err != nil {
+			return entries, fail(corrupt.Errorf(containerStream, int64(pos), "%s: raw length: %v", name, err))
+		}
+		if pos >= len(body) {
+			return entries, fail(corrupt.Errorf(containerStream, int64(pos), "%s: missing flag", name))
+		}
+		coding := body[pos]
+		pos++
+		encLen, err := next()
+		if err != nil {
+			return entries, fail(corrupt.Errorf(containerStream, int64(pos), "%s: encoded length: %v", name, err))
+		}
+		if encLen > uint64(len(body)-pos) {
+			return entries, fail(corrupt.Errorf(containerStream, int64(pos), "%s: truncated payload", name))
+		}
+		payloadOff := int64(pos)
+		payload := body[pos : pos+int(encLen)]
+		pos += int(encLen)
+		e := entry{name: name, rawLen: rawLen, coding: coding, payload: payload, payloadOff: payloadOff}
+		if checked {
+			if len(body)-pos < crcSize {
+				return entries, fail(corrupt.Errorf(containerStream, int64(pos), "%s: missing payload checksum", name))
+			}
+			want := readCRC(body[pos:])
+			pos += crcSize
+			if got := crc32.Checksum(payload, castagnoli); got != want {
+				ce := corrupt.Errorf(name, payloadOff, "payload checksum %08x, want %08x", got, want)
+				if !salvage {
+					return entries, ce
+				}
+				// The stream is damaged but its framing is intact, so the
+				// walk continues; the stream itself is quarantined.
+				*damage = append(*damage, ce)
+				e.quarantine = ce
+			}
+		}
+		if e.quarantine == nil {
+			if rawLen > uint64(budget) {
+				ce := corrupt.TooLarge(containerStream, int64(pos),
+					"%s: declared decoded size %d exceeds remaining budget %d (cap %d)",
+					name, rawLen, budget, maxDecoded)
+				return entries, fail(ce)
+			}
+			budget -= int64(rawLen)
+		}
+		entries = append(entries, e)
+	}
+	if pos != len(body) {
+		return entries, fail(corrupt.Errorf(containerStream, int64(pos), "%d trailing bytes", len(body)-pos))
+	}
+	return entries, nil
+}
+
+// NewSalvageReader parses as much of a container as it can instead of
+// failing on the first error. Damaged parts are quarantined: a stream
+// whose checksum mismatches (checked layout) or whose payload fails to
+// decode is still present in the Reader, but every read from it fails
+// with the quarantining *corrupt.Error, so consumers discover the damage
+// exactly where the stream is first needed. The returned damage list
+// describes everything quarantined, in container order.
+//
+// checked selects the layout; a trailer mismatch alone (with all
+// per-stream checksums intact) is recorded as damage but quarantines
+// nothing.
+func NewSalvageReader(data []byte, concurrency int, maxDecoded int64, checked bool) (*Reader, []*corrupt.Error) {
+	var damage []*corrupt.Error
+	body := data
+	if checked {
+		if len(data) < crcSize {
+			damage = append(damage, corrupt.Errorf(trailerStream, int64(len(data)),
+				"container too short for trailer checksum"))
+		} else {
+			body = data[:len(data)-crcSize]
+			got := crc32.Checksum(body, castagnoli)
+			if want := readCRC(data[len(body):]); got != want {
+				damage = append(damage, corrupt.Errorf(trailerStream, int64(len(body)),
+					"container checksum %08x, want %08x", got, want))
+			}
+		}
+	}
+	entries, _ := walkEntries(body, maxDecoded, checked, &damage)
+	raws := make([][]byte, len(entries))
+	quarantines := make([]*corrupt.Error, len(entries))
+	_ = par.Do(concurrency, len(entries), func(i int) error {
+		if entries[i].quarantine != nil {
+			quarantines[i] = entries[i].quarantine
+			return nil
+		}
+		raw, err := decodeStream(&entries[i])
+		if err != nil {
+			ce, ok := corrupt.As(err)
+			if !ok {
+				ce = corrupt.New(entries[i].name, entries[i].payloadOff, err)
+			}
+			quarantines[i] = ce
+			return nil
+		}
+		raws[i] = raw
+		return nil
+	})
+	r := &Reader{streams: make(map[string]*RStream, len(entries))}
+	for i, e := range entries {
+		if quarantines[i] != nil {
+			if e.quarantine == nil {
+				damage = append(damage, quarantines[i])
+			}
+			r.streams[e.name] = &RStream{name: e.name, fail: quarantines[i]}
+			continue
+		}
+		r.streams[e.name] = &RStream{name: e.name, buf: raws[i]}
+	}
+	return r, damage
+}
+
+// Section describes one stream's encoded payload location within a
+// container, for tools that need to target or report physical regions
+// (the fault-injection harness, salvage damage reports).
+type Section struct {
+	Name string
+	Off  int64 // payload offset within the container bytes
+	Len  int64 // payload length in bytes
+}
+
+// Sections lists the payload regions of a container without decoding
+// any payloads. checked selects the layout.
+func Sections(data []byte, checked bool) ([]Section, error) {
+	body := data
+	if checked {
+		var err error
+		if body, err = checkTrailer(data); err != nil {
+			return nil, err
+		}
+	}
+	entries, err := walkEntries(body, 1<<62, checked, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Section, len(entries))
+	for i, e := range entries {
+		out[i] = Section{Name: e.name, Off: e.payloadOff, Len: int64(len(e.payload))}
+	}
+	return out, nil
 }
 
 // decodeStream reverses one stream's coding. The declared raw length was
@@ -339,19 +563,29 @@ func (r *Reader) Stream(name string) *RStream {
 	return s
 }
 
-// RStream reads one stream. It implements varint.ByteReader.
+// RStream reads one stream. It implements varint.ByteReader. A
+// quarantined stream (salvage mode) carries a non-nil fail error that
+// every read returns, so damage surfaces exactly where the stream is
+// first consumed.
 type RStream struct {
 	name string
 	buf  []byte
 	pos  int
+	fail *corrupt.Error
 }
 
 // Name returns the stream's name in the container ("" for streams
 // constructed directly in tests).
 func (s *RStream) Name() string { return s.name }
 
+// Quarantined reports the damage that poisoned this stream, if any.
+func (s *RStream) Quarantined() *corrupt.Error { return s.fail }
+
 // ReadByte reads one byte.
 func (s *RStream) ReadByte() (byte, error) {
+	if s.fail != nil {
+		return 0, s.fail
+	}
 	if s.pos >= len(s.buf) {
 		return 0, corrupt.Errorf(s.name, int64(s.pos), "read past end of stream")
 	}
@@ -362,6 +596,9 @@ func (s *RStream) ReadByte() (byte, error) {
 
 // Raw reads n raw bytes.
 func (s *RStream) Raw(n int) ([]byte, error) {
+	if s.fail != nil {
+		return nil, s.fail
+	}
 	if n < 0 {
 		return nil, corrupt.Errorf(s.name, int64(s.pos), "negative raw read of %d bytes", n)
 	}
