@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench tables serve-smoke chaos-smoke fuzz-smoke fuzz-corpus
+.PHONY: build test lint verify bench tables serve-smoke chaos-smoke fuzz-smoke fuzz-corpus
 
 build:
 	$(GO) build ./...
@@ -8,14 +8,22 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the full hygiene gate: compile everything, vet, then run the
-# whole suite under the race detector. Expected clean — the parallel
-# pack/unpack pipeline and the bench corpus cache are race-stress-tested.
-# The service and cache layers get an explicit second race pass: their
-# retry/eviction paths are the most concurrency-sensitive in the tree.
-verify:
-	$(GO) build ./...
+# lint runs go vet plus classpack-vet, the custom analyzer suite that
+# proves the decoder-safety invariants (decodebound, nopanic,
+# corrupterr, poolbalance). Any finding fails the build; intentional
+# exceptions carry a //classpack:vet-allow <analyzer> <reason> comment.
+lint:
 	$(GO) vet ./...
+	$(GO) run ./cmd/classpack-vet ./...
+
+# verify is the full hygiene gate: compile everything, lint (go vet +
+# classpack-vet), then run the whole suite under the race detector.
+# Expected clean — the parallel pack/unpack pipeline and the bench
+# corpus cache are race-stress-tested. The service and cache layers get
+# an explicit second race pass: their retry/eviction paths are the most
+# concurrency-sensitive in the tree.
+verify: lint
+	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/serve/... ./internal/castore/...
 

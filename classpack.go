@@ -395,6 +395,50 @@ func VerifyDeep(data []byte) error {
 	return verifier.Class(cf)
 }
 
+// MethodVerdict is one method's outcome from the dataflow bytecode
+// verifier: either OK, or the failure located by pc and opcode.
+type MethodVerdict struct {
+	Class  string // class binary name
+	Method string // method name
+	Desc   string // method descriptor
+	OK     bool
+	PC     int    // failing bytecode offset; -1 when OK or when the failure is structural
+	Op     string // failing opcode mnemonic; "" when OK or structural
+	Err    string // failure message; "" when OK
+}
+
+// VerifyBytecode parses one class file and runs the dataflow bytecode
+// verifier over every method independently, returning one verdict per
+// method rather than stopping at the first failure. The error reports
+// damage to the file itself (parse or constant-pool structure), which
+// prevents any method from being judged.
+func VerifyBytecode(data []byte) ([]MethodVerdict, error) {
+	cf, err := classfile.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := classfile.Verify(cf); err != nil {
+		return nil, err
+	}
+	verdicts := verifier.ClassVerdicts(cf)
+	out := make([]MethodVerdict, len(verdicts))
+	for i, v := range verdicts {
+		out[i] = MethodVerdict{
+			Class:  cf.ThisClassName(),
+			Method: v.Method,
+			Desc:   v.Desc,
+			OK:     v.OK(),
+			PC:     -1,
+		}
+		if v.Err != nil {
+			out[i].PC = v.Err.PC
+			out[i].Op = v.Err.Op
+			out[i].Err = v.Err.Err.Error()
+		}
+	}
+	return out, nil
+}
+
 // PackJar packs every ".class" member of a jar (zip) archive, skipping
 // other members, whose names are returned (§12: non-class files travel in
 // a conventional jar alongside the packed archive).

@@ -291,3 +291,68 @@ func TestVerifyDeep(t *testing.T) {
 		t.Fatal("VerifyDeep accepted stack underflow")
 	}
 }
+
+// breakBytecode rewrites the first non-empty method body of a class to
+// iadd-on-empty-stack followed by return: structurally valid, rejected
+// by the dataflow verifier at pc 0.
+func breakBytecode(t *testing.T, data []byte) []byte {
+	t.Helper()
+	cf, err := classfile.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mi := range cf.Methods {
+		if code := classfile.CodeOf(&cf.Methods[mi]); code != nil && len(code.Code) > 0 {
+			code.Code = []byte{0x60, 0xb1} // iadd; return
+			break
+		}
+	}
+	bad, err := classfile.Write(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bad
+}
+
+func TestVerifyBytecode(t *testing.T) {
+	files := sample(t)
+	verdicts, err := VerifyBytecode(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) == 0 {
+		t.Fatal("no method verdicts for a class with methods")
+	}
+	for _, v := range verdicts {
+		if !v.OK || v.Err != "" {
+			t.Fatalf("valid class got failing verdict: %+v", v)
+		}
+		if v.Class == "" || v.Method == "" || v.Desc == "" {
+			t.Fatalf("verdict missing method identity: %+v", v)
+		}
+	}
+
+	bad := breakBytecode(t, files[0])
+	verdicts, err = VerifyBytecode(bad)
+	if err != nil {
+		t.Fatalf("per-method verify failed structurally: %v", err)
+	}
+	failures := 0
+	for _, v := range verdicts {
+		if v.OK {
+			continue
+		}
+		failures++
+		if v.PC < 0 || v.Op == "" || v.Err == "" {
+			t.Fatalf("failing verdict lacks pc/op context: %+v", v)
+		}
+	}
+	if failures != 1 {
+		t.Fatalf("%d failing verdicts, want exactly the broken method", failures)
+	}
+
+	// File-level damage is the error, not a verdict.
+	if _, err := VerifyBytecode([]byte{0xde, 0xad}); err == nil {
+		t.Fatal("VerifyBytecode accepted garbage")
+	}
+}

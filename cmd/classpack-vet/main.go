@@ -1,0 +1,89 @@
+// Command classpack-vet runs classpack's custom static-analysis suite
+// over the module: the four analyzers that prove the decoder-safety
+// invariants (decodebound, nopanic, corrupterr, poolbalance). It is
+// wired into `make lint` (and so `make verify` and CI); any finding
+// fails the build.
+//
+// Usage:
+//
+//	classpack-vet [-list] [./...]
+//
+// The package pattern is accepted for familiarity with go vet but the
+// suite always scans the whole module containing the working
+// directory. Suppress an intentional finding with a
+// `//classpack:vet-allow <analyzer> <reason>` comment on or above the
+// flagged line (or in the enclosing declaration's doc comment); the
+// reason is mandatory.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"classpack/internal/analysis"
+)
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) int {
+	list := false
+	for _, arg := range args {
+		switch arg {
+		case "-list", "--list":
+			list = true
+		case "./...", ".":
+			// accepted for go-vet muscle memory; the scan is always
+			// module-wide
+		case "-h", "-help", "--help":
+			fmt.Fprintln(os.Stderr, "usage: classpack-vet [-list] [./...]")
+			return 2
+		default:
+			fmt.Fprintf(os.Stderr, "classpack-vet: unknown argument %q\n", arg)
+			return 2
+		}
+	}
+	if list {
+		for _, c := range analysis.Suite() {
+			fmt.Printf("%-12s %s\n", c.Analyzer.Name, c.Analyzer.Doc)
+		}
+		return 0
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "classpack-vet: locating go.mod: %v\n", err)
+		return 1
+	}
+	diags, err := analysis.Vet(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "classpack-vet: %v\n", err)
+		return 1
+	}
+	analysis.TrimDiagnosticPaths(diags, root)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "classpack-vet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot climbs from the working directory to the go.mod holder.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

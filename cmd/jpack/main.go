@@ -7,7 +7,7 @@
 //	jpack unpack [-d outdir] [-jar out.jar] [-salvage] archive.cjp
 //	jpack strip  [-o out.class] file.class
 //	jpack stats  archive-inputs...
-//	jpack verify [-max-failures N] file.class... | app.jar
+//	jpack verify [-deep] [-bytecode] [-max-failures N] file.class... | app.jar | archive.cjp
 package main
 
 import (
@@ -24,8 +24,12 @@ import (
 
 	"classpack"
 	"classpack/internal/classfile"
+	"classpack/internal/core"
 	"classpack/internal/dump"
 )
+
+// archiveMagic identifies a packed archive among verify operands.
+var archiveMagic = core.Magic
 
 // Exit codes: 0 success, 1 operational failure (I/O, bad input data,
 // invalid classes), 2 usage error (unknown command/flag, bad flag
@@ -97,7 +101,7 @@ func usage() {
   jpack unpack [-d outdir] [-jar out.jar] [-j N] [-salvage] <archive.cjp>
   jpack strip  [-o out.class] <file.class>
   jpack stats  <file.class ... | app.jar>
-  jpack verify [-deep] [-j N] [-max-failures N] <file.class ... | app.jar>
+  jpack verify [-deep] [-bytecode] [-j N] [-max-failures N] <file.class ... | app.jar | archive.cjp>
   jpack dump   [-pool] [-code] <file.class ... | app.jar>
   jpack remote pack   [-server URL] [-o out.cjp] <app.jar | file.class ...>
   jpack remote unpack [-server URL] [-jar out.jar | -d outdir] <archive.cjp>
@@ -107,6 +111,10 @@ schemes: simple, basic, mtf, mtf-transients, mtf-context, mtf-full (default)
 Output is byte-identical for every -j value.
 -salvage recovers what a damaged archive still holds, prints a damage
 report to stderr, and exits 1 when any classes were lost.
+verify -deep adds the dataflow bytecode verifier; -bytecode prints one
+verdict per method instead, locating failures by pc and opcode.
+verify operands may be packed archives: their classes are unpacked and
+verified individually.
 remote commands talk to a jpackd server (-server or $JPACKD_SERVER).
 
 exit codes: 0 ok, 1 pack/verify failure, 2 usage error.
@@ -459,11 +467,12 @@ func cmdStats(args []string) error {
 
 func cmdVerify(args []string) error {
 	deep := false
+	bytecodeMode := false
 	jobs := "0"
 	maxFailures := "20"
 	files, err := parseFlags(args,
 		map[string]*string{"-j": &jobs, "-max-failures": &maxFailures},
-		map[string]*bool{"-deep": &deep})
+		map[string]*bool{"-deep": &deep, "-bytecode": &bytecodeMode})
 	if err != nil {
 		return err
 	}
@@ -481,6 +490,12 @@ func cmdVerify(args []string) error {
 	}
 	for _, s := range skipped {
 		fmt.Fprintf(os.Stderr, "jpack: skipping non-class member %s\n", s)
+	}
+	if inputs, err = expandArchives(inputs); err != nil {
+		return err
+	}
+	if bytecodeMode {
+		return verifyBytecode(inputs, limit)
 	}
 	contents := make([][]byte, len(inputs))
 	for i, in := range inputs {
@@ -506,6 +521,72 @@ func cmdVerify(args []string) error {
 	if bad > 0 {
 		return fmt.Errorf("%d of %d classes invalid", bad, len(inputs))
 	}
+	return nil
+}
+
+// expandArchives replaces any packed-archive input (CJP1 magic) with
+// the class files it decodes to, so verify accepts .cjp archives
+// alongside .class and .jar operands.
+func expandArchives(inputs []classInput) ([]classInput, error) {
+	out := inputs[:0]
+	for _, in := range inputs {
+		if len(in.data) < 4 || !bytes.Equal(in.data[:4], archiveMagic[:]) {
+			out = append(out, in)
+			continue
+		}
+		files, err := classpack.Unpack(in.data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", in.name, err)
+		}
+		for _, f := range files {
+			out = append(out, classInput{in.name + "!" + f.Name, f.Data})
+		}
+	}
+	return out, nil
+}
+
+// verifyBytecode runs the dataflow bytecode verifier over every method
+// of every input, printing one verdict per method. The INVALID listing
+// is capped by -max-failures like the per-class mode.
+func verifyBytecode(inputs []classInput, limit int) error {
+	classes, methods, bad := 0, 0, 0
+	for _, in := range inputs {
+		classes++
+		verdicts, err := classpack.VerifyBytecode(in.data)
+		if err != nil {
+			bad++
+			if limit == 0 || bad <= limit {
+				fmt.Printf("%s: INVALID: %v\n", in.name, err)
+			}
+			continue
+		}
+		for _, v := range verdicts {
+			methods++
+			switch {
+			case v.OK:
+				fmt.Printf("%s: %s.%s%s: ok\n", in.name, v.Class, v.Method, v.Desc)
+			case v.PC >= 0:
+				bad++
+				if limit == 0 || bad <= limit {
+					fmt.Printf("%s: %s.%s%s: INVALID at pc %d (%s): %s\n",
+						in.name, v.Class, v.Method, v.Desc, v.PC, v.Op, v.Err)
+				}
+			default:
+				bad++
+				if limit == 0 || bad <= limit {
+					fmt.Printf("%s: %s.%s%s: INVALID: %s\n",
+						in.name, v.Class, v.Method, v.Desc, v.Err)
+				}
+			}
+		}
+	}
+	if limit > 0 && bad > limit {
+		fmt.Printf("... and %d more failures\n", bad-limit)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d verification failures across %d classes (%d methods)", bad, classes, methods)
+	}
+	fmt.Printf("%d classes, %d methods: all bytecode verified\n", classes, methods)
 	return nil
 }
 

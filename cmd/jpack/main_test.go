@@ -252,3 +252,52 @@ func TestFlagErrors(t *testing.T) {
 		t.Error("verify of missing file accepted")
 	}
 }
+
+func TestVerifyBytecodeCommand(t *testing.T) {
+	classes, jarPath := writeClasses(t)
+	// Per-method verdicts over class and jar operands.
+	if err := cmdVerify(append([]string{"-bytecode"}, classes...)); err != nil {
+		t.Fatalf("verify -bytecode classes: %v", err)
+	}
+	if err := cmdVerify([]string{"-bytecode", jarPath}); err != nil {
+		t.Fatalf("verify -bytecode jar: %v", err)
+	}
+	// Packed archives are expanded and their classes verified.
+	out := filepath.Join(t.TempDir(), "app.cjp")
+	if err := cmdPack(append([]string{"-o", out}, classes...)); err != nil {
+		t.Fatalf("pack: %v", err)
+	}
+	if err := cmdVerify([]string{"-bytecode", out}); err != nil {
+		t.Fatalf("verify -bytecode archive: %v", err)
+	}
+	if err := cmdVerify([]string{out}); err != nil {
+		t.Fatalf("verify archive (structural): %v", err)
+	}
+
+	// A method body that underflows the stack fails with method context.
+	data, err := os.ReadFile(classes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := classfile.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mi := range cf.Methods {
+		if code := classfile.CodeOf(&cf.Methods[mi]); code != nil && len(code.Code) > 0 {
+			code.Code = []byte{0x60, 0xb1} // iadd on an empty stack; return
+			break
+		}
+	}
+	bad, err := classfile.Write(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badPath := filepath.Join(t.TempDir(), "Bad.class")
+	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify([]string{"-bytecode", badPath}); err == nil {
+		t.Fatal("verify -bytecode accepted a stack underflow")
+	}
+}

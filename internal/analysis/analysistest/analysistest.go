@@ -1,0 +1,140 @@
+// Package analysistest runs an analyzer over a fixture package and
+// checks its diagnostics against // want comments, following the
+// golang.org/x/tools/go/analysis/analysistest convention: fixtures live
+// under testdata/src/<pkg>, and a line expecting diagnostics carries
+//
+//	// want `regexp` `regexp`...
+//
+// with one regexp per expected diagnostic on that line (double-quoted
+// Go strings are accepted too). Every expectation must be matched by
+// exactly one diagnostic and vice versa. Fixtures may import real
+// classpack packages; those resolve against the enclosing module.
+package analysistest
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"classpack/internal/analysis/framework"
+)
+
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads testdata/src/<pkg> for each pkg, applies the analyzer, and
+// reports mismatches between diagnostics and // want expectations.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgs ...string) {
+	t.Helper()
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	loader, err := framework.NewLoader(root)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", pkg)
+		p, err := loader.LoadDir(dir, "classpack-vet/fixture/"+pkg)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", dir, err)
+		}
+		diags, err := framework.Run(p, []*framework.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
+		}
+		check(t, p, diags)
+	}
+}
+
+// expectation is one // want regexp, keyed to a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+func check(t *testing.T, p *framework.Package, diags []framework.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range p.Files {
+		wants = append(wants, parseWants(t, p, f)...)
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.used || w.file != filepath.Base(d.Pos.Filename) || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func parseWants(t *testing.T, p *framework.Package, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			rest, ok := strings.CutPrefix(text, "want ")
+			if !ok {
+				continue
+			}
+			pos := p.Fset.Position(c.Pos())
+			for _, tok := range wantRE.FindAllString(rest, -1) {
+				pat := tok
+				if strings.HasPrefix(tok, "\"") {
+					var err error
+					if pat, err = strconv.Unquote(tok); err != nil {
+						t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, tok, err)
+					}
+				} else {
+					pat = strings.Trim(tok, "`")
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+				}
+				out = append(out, &expectation{file: filepath.Base(pos.Filename), line: pos.Line, re: re})
+			}
+		}
+	}
+	return out
+}
+
+// moduleRoot climbs from the working directory to the go.mod holder.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

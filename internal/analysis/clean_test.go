@@ -1,0 +1,45 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"classpack/internal/analysis"
+)
+
+// TestTreeIsVetClean is the regression gate behind `make lint`: the
+// whole module must stay free of classpack-vet findings. A failure here
+// means a decoder-safety invariant was broken (or a new intentional
+// exception is missing its //classpack:vet-allow directive and reason).
+func TestTreeIsVetClean(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	diags, err := analysis.Vet(root)
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	analysis.TrimDiagnosticPaths(diags, root)
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

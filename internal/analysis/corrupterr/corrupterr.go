@@ -1,0 +1,134 @@
+// Package corrupterr implements the corrupterr analyzer: exported
+// decode entry points report malformed input through the structured
+// corrupt-error taxonomy, never as bare fmt.Errorf / errors.New text.
+//
+// The contract (classpack.AsCorrupt): every decode failure caused by
+// archive bytes carries a *corrupt.Error locating the damaged stream.
+// The analyzer inspects exported functions and methods whose name
+// marks them as decode entry points (Decode…, Read…, Unpack…, Parse…,
+// Expand…) and which return an error, and flags return statements that
+// mint the error with a bare errors.New or a fmt.Errorf that does not
+// wrap an underlying error with %w (a wrapping Errorf is allowed — it
+// propagates a structured error minted deeper in the stack).
+package corrupterr
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"classpack/internal/analysis/framework"
+)
+
+// Analyzer flags bare error minting at decode entry points.
+var Analyzer = &framework.Analyzer{
+	Name: "corrupterr",
+	Doc: "report exported decode entry points returning bare fmt.Errorf/" +
+		"errors.New instead of *corrupt.Error values",
+	Run: run,
+}
+
+// entryName matches exported decode entry points by name.
+var entryName = regexp.MustCompile(`^(Decode|Read|Unpack|Parse|Expand)`)
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() || !entryName.MatchString(fn.Name.Name) {
+				continue
+			}
+			errIdx, nResults := errorResult(pass.Info, fn)
+			if errIdx < 0 {
+				continue
+			}
+			checkReturns(pass, fn.Body, errIdx, nResults)
+		}
+	}
+	return nil
+}
+
+// errorResult locates the error in fn's results (-1 if none).
+func errorResult(info *types.Info, fn *ast.FuncDecl) (idx, n int) {
+	obj, ok := info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return -1, 0
+	}
+	results := obj.Type().(*types.Signature).Results()
+	for i := 0; i < results.Len(); i++ {
+		if isErrorType(results.At(i).Type()) {
+			return i, results.Len()
+		}
+	}
+	return -1, results.Len()
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// checkReturns flags bare error minting in the function's own return
+// statements (nested function literals are separate functions with
+// their own contracts, so they are skipped).
+func checkReturns(pass *framework.Pass, body *ast.BlockStmt, errIdx, nResults int) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			if len(st.Results) != nResults || errIdx >= len(st.Results) {
+				return true // naked return or multi-value call passthrough
+			}
+			if kind := bareMint(pass.Info, st.Results[errIdx]); kind != "" {
+				pass.Reportf(st.Results[errIdx].Pos(),
+					"decode entry point returns a bare %s; mint the error with internal/corrupt so classpack.AsCorrupt matches it",
+					kind)
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// bareMint reports the offending constructor name when e mints an
+// unstructured error, or "" when e is acceptable.
+func bareMint(info *types.Info, e ast.Expr) string {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	switch {
+	case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+		return "errors.New"
+	case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+		if wrapsError(call) {
+			return ""
+		}
+		return "fmt.Errorf"
+	}
+	return ""
+}
+
+// wrapsError reports whether a fmt.Errorf call wraps an underlying
+// error with %w; such calls propagate structure minted deeper down.
+func wrapsError(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok {
+		return false
+	}
+	return strings.Contains(lit.Value, "%w")
+}

@@ -1,0 +1,12 @@
+package corrupterr_test
+
+import (
+	"testing"
+
+	"classpack/internal/analysis/analysistest"
+	"classpack/internal/analysis/corrupterr"
+)
+
+func TestCorrupterr(t *testing.T) {
+	analysistest.Run(t, "testdata", corrupterr.Analyzer, "corrupterr")
+}

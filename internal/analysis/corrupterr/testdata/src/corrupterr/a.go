@@ -1,0 +1,58 @@
+// Fixture for the corrupterr analyzer: exported decode entry points
+// mint errors through internal/corrupt, never bare fmt.Errorf or
+// errors.New.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+
+	"classpack/internal/corrupt"
+)
+
+// DecodeThing is an entry point by name and returns bare errors.
+func DecodeThing(data []byte) error {
+	if len(data) == 0 {
+		return errors.New("empty input") // want `decode entry point returns a bare errors\.New`
+	}
+	if data[0] == 0xFF {
+		return fmt.Errorf("bad tag %d", data[0]) // want `decode entry point returns a bare fmt\.Errorf`
+	}
+	return nil
+}
+
+// ParseHeader mints structured errors and wraps deeper ones; no finding.
+func ParseHeader(data []byte) error {
+	if len(data) < 4 {
+		return corrupt.Errorf("header", 0, "need 4 bytes, have %d", len(data))
+	}
+	if err := DecodeThing(data[4:]); err != nil {
+		return fmt.Errorf("parsing header: %w", err)
+	}
+	return nil
+}
+
+// UnpackAll passes errors through untouched; no finding.
+func UnpackAll(data []byte) error {
+	return DecodeThing(data)
+}
+
+// decodeInner is unexported: helpers may return plain errors, the entry
+// point above them is responsible for structure.
+func decodeInner() error {
+	return errors.New("helper error")
+}
+
+// Render is exported but not an entry point by name.
+func Render() error {
+	return errors.New("not a decode failure")
+}
+
+// ReadAllowed documents an intentional bare error; no finding.
+func ReadAllowed(data []byte) error {
+	if len(data) == 0 {
+		//classpack:vet-allow corrupterr fixture: usage error, not archive damage
+		return errors.New("no input given")
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+// Package decodebound implements the decodebound analyzer: no
+// allocation may be sized by a value read from decoded input unless
+// that value was bounded first.
+//
+// The invariant (established by the decompression-bomb work): every
+// length or count decoded from archive bytes is checked — against the
+// remaining input, a configured cap such as Options.MaxDecodedBytes /
+// MaxClassCount, or a structural limit — before it reaches make, a
+// buffer Grow, or a slices.Grow. The analyzer taints integers produced
+// by the varint/stream/classfile readers (see taint.DecodeSources),
+// follows them through assignments, conversions and arithmetic within
+// a function, and flags allocation sites whose size argument is still
+// unbounded at the point of allocation. A comparison that only drives
+// a loop over the value does not count as a bound.
+package decodebound
+
+import (
+	"go/ast"
+	"go/types"
+
+	"classpack/internal/analysis/framework"
+	"classpack/internal/analysis/taint"
+)
+
+// Analyzer flags allocations sized by unbounded decoded values.
+var Analyzer = &framework.Analyzer{
+	Name: "decodebound",
+	Doc: "report make/Grow calls whose size argument derives from decoded " +
+		"input with no intervening bound check",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *framework.Pass, fn *ast.FuncDecl) {
+	tf := taint.Analyze(pass.Info, fn.Body, taint.DecodeSources)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if isBuiltin(pass.Info, fun, "make") {
+				// make(T, len) and make(T, len, cap): every size
+				// argument after the type must be bounded.
+				for _, arg := range call.Args[1:] {
+					if tf.TaintedAt(arg) {
+						pass.Reportf(arg.Pos(),
+							"make sized by %s, which is decoded input with no bound check before allocation",
+							types.ExprString(arg))
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "Grow" && len(call.Args) == 1 && tf.TaintedAt(call.Args[0]) {
+				pass.Reportf(call.Args[0].Pos(),
+					"Grow sized by %s, which is decoded input with no bound check before allocation",
+					types.ExprString(call.Args[0]))
+			}
+		}
+		return true
+	})
+}
+
+func isBuiltin(info *types.Info, id *ast.Ident, name string) bool {
+	if id.Name != name {
+		return false
+	}
+	obj := info.Uses[id]
+	_, ok := obj.(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,12 @@
+package decodebound_test
+
+import (
+	"testing"
+
+	"classpack/internal/analysis/analysistest"
+	"classpack/internal/analysis/decodebound"
+)
+
+func TestDecodebound(t *testing.T) {
+	analysistest.Run(t, "testdata", decodebound.Analyzer, "decodebound")
+}

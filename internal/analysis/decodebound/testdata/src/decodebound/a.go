@@ -1,0 +1,73 @@
+// Fixture for the decodebound analyzer: allocations sized by decoded
+// input must be bounded first.
+package fixture
+
+import (
+	"bytes"
+
+	"classpack/internal/encoding/varint"
+)
+
+const maxEntries = 1 << 16
+
+// Unbounded allocates straight from a decoded count.
+func Unbounded(data []byte) ([]uint64, error) {
+	n, _, err := varint.Uint(data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, n) // want `make sized by n, which is decoded input with no bound check before allocation`
+	return out, nil
+}
+
+// LoopIsNotABound iterates over the decoded count before allocating;
+// the loop comparison must not count as a bound check.
+func LoopIsNotABound(data []byte) []int {
+	n, _, _ := varint.Uint(data)
+	sum := 0
+	for i := uint64(0); i < n; i++ {
+		sum++
+	}
+	return make([]int, n) // want `make sized by n, which is decoded input with no bound check before allocation`
+}
+
+// GrowUnbounded feeds a decoded length to a buffer Grow.
+func GrowUnbounded(data []byte) *bytes.Buffer {
+	n, _, _ := varint.Uint(data)
+	var buf bytes.Buffer
+	buf.Grow(int(n)) // want `Grow sized by int\(n\), which is decoded input with no bound check before allocation`
+	return &buf
+}
+
+// Guarded checks the count against a structural cap before allocating.
+func Guarded(data []byte) ([]uint64, error) {
+	n, _, err := varint.Uint(data)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxEntries {
+		return nil, err
+	}
+	return make([]uint64, n), nil
+}
+
+// GuardedAgainstInput bounds the count by the bytes that must back it.
+func GuardedAgainstInput(data []byte) []uint16 {
+	n, _, _ := varint.Uint(data)
+	if int(n)*2 > len(data) {
+		return nil
+	}
+	return make([]uint16, n)
+}
+
+// Allowed drops the finding with a documented directive.
+func Allowed(data []byte) []byte {
+	n, _, _ := varint.Uint(data)
+	//classpack:vet-allow decodebound fixture: growth is capped by the append below
+	return make([]byte, n)
+}
+
+// Untainted sizes come from the input itself, not decoded integers.
+func Untainted(data []byte) []byte {
+	return make([]byte, len(data))
+}

@@ -1,0 +1,195 @@
+// Package framework is a self-contained driver for classpack's custom
+// static analyses, mirroring the shape of golang.org/x/tools/go/analysis
+// (Analyzer / Pass / Diagnostic) on top of the standard library's
+// go/parser and go/types only, so the vet suite builds without any
+// module dependency. Analyzers written against it port to the upstream
+// API mechanically if the dependency ever becomes available.
+//
+// The framework also owns the suppression mechanism shared by every
+// analyzer: a diagnostic is suppressed by a
+//
+//	//classpack:vet-allow <analyzer> <reason>
+//
+// comment on the flagged line, on the line directly above it, or in the
+// doc comment of the enclosing top-level declaration (which suppresses
+// the analyzer for that whole declaration). The reason is mandatory: a
+// directive without one is itself reported, so every suppression in the
+// tree documents why the invariant provably holds.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named static analysis.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //classpack:vet-allow directives.
+	Name string
+	// Doc is the one-paragraph description printed by classpack-vet -help.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, located in file coordinates.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// AllowDirective is the comment prefix that suppresses a finding.
+const AllowDirective = "//classpack:vet-allow"
+
+var directiveRE = regexp.MustCompile(`^//classpack:vet-allow\s+(\S+)(?:\s+(.*))?$`)
+
+// allowSpan is one directive's scope: lines [from, to] of one file are
+// exempt from the named analyzer.
+type allowSpan struct {
+	analyzer string
+	from, to int
+}
+
+// collectAllows gathers the directive spans of one file. Directives with
+// a missing reason are reported as findings of the pseudo-analyzer
+// "vetdirective" so suppressions cannot silently lose their rationale.
+func collectAllows(fset *token.FileSet, file *ast.File, report func(Diagnostic)) []allowSpan {
+	var spans []allowSpan
+	directiveAt := map[int]bool{} // lines holding a directive comment
+
+	addDirective := func(c *ast.Comment, from, to int) {
+		m := directiveRE.FindStringSubmatch(c.Text)
+		if m == nil {
+			return
+		}
+		line := fset.Position(c.Pos()).Line
+		directiveAt[line] = true
+		if strings.TrimSpace(m[2]) == "" {
+			report(Diagnostic{
+				Analyzer: "vetdirective",
+				Pos:      fset.Position(c.Pos()),
+				Message:  fmt.Sprintf("vet-allow directive for %q is missing its reason", m[1]),
+			})
+			return
+		}
+		spans = append(spans, allowSpan{analyzer: m[1], from: from, to: to})
+	}
+
+	// Doc-comment directives cover their whole declaration.
+	for _, decl := range file.Decls {
+		var doc *ast.CommentGroup
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			doc = d.Doc
+		case *ast.GenDecl:
+			doc = d.Doc
+		}
+		if doc == nil {
+			continue
+		}
+		from := fset.Position(decl.Pos()).Line
+		to := fset.Position(decl.End()).Line
+		for _, c := range doc.List {
+			addDirective(c, from, to)
+		}
+	}
+	// Every other directive covers its own line and the next one (the
+	// usual "comment above the flagged statement" placement).
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			line := fset.Position(c.Pos()).Line
+			if directiveAt[line] {
+				continue // already handled as a doc comment
+			}
+			addDirective(c, line, line+1)
+		}
+	}
+	return spans
+}
+
+// allowed reports whether d falls inside a matching directive span.
+func allowed(spans []allowSpan, d Diagnostic) bool {
+	for _, s := range spans {
+		if s.analyzer == d.Analyzer && d.Pos.Line >= s.from && d.Pos.Line <= s.to {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over pkg and returns the surviving
+// diagnostics, sorted by position. Directive suppression is applied
+// here so every analyzer gets it uniformly.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	collect := func(d Diagnostic) { raw = append(raw, d) }
+
+	var spans []allowSpan
+	for _, f := range pkg.Files {
+		spans = append(spans, collectAllows(pkg.Fset, f, collect)...)
+	}
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			report:   collect,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	var out []Diagnostic
+	for _, d := range raw {
+		if !allowed(spans, d) {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return out, nil
+}

@@ -1,0 +1,238 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path ("classpack/internal/streams")
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of one module without the go
+// toolchain's package driver: module packages are resolved by path
+// inside the module directory and type-checked recursively; standard
+// library imports are type-checked from $GOROOT source. Everything is
+// cached, so a whole-tree scan type-checks each package (and the stdlib
+// closure) once.
+type Loader struct {
+	Fset *token.FileSet
+
+	moduleDir  string
+	modulePath string
+	std        types.Importer
+	pkgs       map[string]*Package
+	loading    map[string]bool
+}
+
+// NewLoader builds a loader for the module rooted at moduleDir (the
+// directory holding go.mod).
+func NewLoader(moduleDir string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	modulePath, err := readModulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		moduleDir:  abs,
+		modulePath: modulePath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// ModulePath returns the module's import path prefix.
+func (l *Loader) ModulePath() string { return l.modulePath }
+
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module directive in %s", gomod)
+}
+
+// Import implements types.Importer, routing module-local paths to the
+// loader itself and everything else to the source-based stdlib importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir, ok := l.moduleRelDir(path); ok {
+		p, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// moduleRelDir maps a module-local import path to its directory.
+func (l *Loader) moduleRelDir(path string) (string, bool) {
+	if path == l.modulePath {
+		return l.moduleDir, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+		return filepath.Join(l.moduleDir, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// Load parses and type-checks the package with the given module-local
+// import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	dir, ok := l.moduleRelDir(path)
+	if !ok {
+		return nil, fmt.Errorf("%s is not in module %s", path, l.modulePath)
+	}
+	return l.load(path, dir)
+}
+
+// LoadDir parses and type-checks the package in dir under a synthetic
+// import path. It is how analysis test fixtures — directories outside
+// the module's package tree — are loaded; their imports of module
+// packages still resolve through the loader.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(asPath, abs)
+}
+
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	names, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	cfg := &types.Config{Importer: l}
+	tpkg, err := cfg.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// goFilesIn lists the non-test Go files of dir, sorted for determinism.
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LoadAll loads every package of the module: each directory under the
+// module root holding non-test Go files, skipping testdata, hidden, and
+// underscore-prefixed trees. Packages are returned sorted by path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var paths []string
+	err := filepath.WalkDir(l.moduleDir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.moduleDir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		files, err := goFilesIn(p)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(l.moduleDir, p)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			paths = append(paths, l.modulePath)
+		} else {
+			paths = append(paths, l.modulePath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

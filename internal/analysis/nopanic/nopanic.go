@@ -1,0 +1,125 @@
+// Package nopanic implements the nopanic analyzer: code on the decode
+// path must not be able to panic on attacker-controlled input.
+//
+// Three panic vectors are flagged in the packages the driver gates
+// this analyzer to (the decode stack: core, streams, refs, mtf, jazz,
+// custom, classfile, bytecode, stackstate):
+//
+//   - explicit panic calls — decoders return *corrupt.Error instead;
+//     encoder-side programmer-error panics are suppressed with a
+//     //classpack:vet-allow nopanic <reason> directive stating why
+//     decoded data cannot reach them;
+//   - single-result type assertions x.(T), which panic on mismatch
+//     (the v, ok := x.(T) form and type switches are fine);
+//   - slice/array indexing whose index derives from decoded input with
+//     no bound established first (shared taint engine with
+//     decodebound).
+package nopanic
+
+import (
+	"go/ast"
+	"go/types"
+
+	"classpack/internal/analysis/framework"
+	"classpack/internal/analysis/taint"
+)
+
+// Analyzer flags panic vectors on the decode path.
+var Analyzer = &framework.Analyzer{
+	Name: "nopanic",
+	Doc: "report panic calls, single-result type assertions, and decoded-" +
+		"index slice accesses in decode-path packages",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		safeAsserts := commaOkAsserts(file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn, safeAsserts)
+		}
+	}
+	return nil
+}
+
+// commaOkAsserts collects the type assertions that cannot panic: the
+// two-value assignment form and the scrutinee of a type switch.
+func commaOkAsserts(file *ast.File) map[*ast.TypeAssertExpr]bool {
+	safe := make(map[*ast.TypeAssertExpr]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) == 2 && len(st.Rhs) == 1 {
+				if ta, ok := st.Rhs[0].(*ast.TypeAssertExpr); ok {
+					safe[ta] = true
+				}
+			}
+		case *ast.ValueSpec:
+			if len(st.Names) == 2 && len(st.Values) == 1 {
+				if ta, ok := st.Values[0].(*ast.TypeAssertExpr); ok {
+					safe[ta] = true
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			ast.Inspect(st.Assign, func(n ast.Node) bool {
+				if ta, ok := n.(*ast.TypeAssertExpr); ok {
+					safe[ta] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return safe
+}
+
+func checkFunc(pass *framework.Pass, fn *ast.FuncDecl, safeAsserts map[*ast.TypeAssertExpr]bool) {
+	tf := taint.Analyze(pass.Info, fn.Body, taint.DecodeSources)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					pass.Reportf(x.Pos(),
+						"panic on the decode path; return a *corrupt.Error (or prove unreachability with a vet-allow directive)")
+				}
+			}
+		case *ast.TypeAssertExpr:
+			if x.Type != nil && !safeAsserts[x] {
+				pass.Reportf(x.Pos(),
+					"single-result type assertion can panic; use the v, ok := x.(T) form")
+			}
+		case *ast.IndexExpr:
+			if !indexable(pass.Info, x.X) {
+				return true
+			}
+			if tf.TaintedAt(x.Index) {
+				pass.Reportf(x.Index.Pos(),
+					"index %s derives from decoded input with no bound check before use",
+					types.ExprString(x.Index))
+			}
+		}
+		return true
+	})
+}
+
+// indexable reports whether e is a slice or array (map and generic
+// indexing cannot panic from an out-of-range index the same way).
+func indexable(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Pointer:
+		_, isArray := t.Elem().Underlying().(*types.Array)
+		return isArray
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"classpack/internal/analysis/analysistest"
+	"classpack/internal/analysis/nopanic"
+)
+
+func TestNopanic(t *testing.T) {
+	analysistest.Run(t, "testdata", nopanic.Analyzer, "nopanic")
+}

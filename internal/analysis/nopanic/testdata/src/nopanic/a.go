@@ -1,0 +1,56 @@
+// Fixture for the nopanic analyzer: decode-path code must not panic,
+// assert without the comma-ok form, or index by unbounded decoded input.
+package fixture
+
+import "classpack/internal/encoding/varint"
+
+// Explode panics outright.
+func Explode() {
+	panic("boom") // want `panic on the decode path`
+}
+
+// HardAssert uses the single-result assertion form.
+func HardAssert(x any) int {
+	return x.(int) // want `single-result type assertion can panic`
+}
+
+// SoftAssert uses the comma-ok form; no finding.
+func SoftAssert(x any) int {
+	v, ok := x.(int)
+	if !ok {
+		return -1
+	}
+	return v
+}
+
+// SwitchAssert type-switches; no finding.
+func SwitchAssert(x any) int {
+	switch v := x.(type) {
+	case int:
+		return v
+	default:
+		return -1
+	}
+}
+
+// DecodedIndex indexes a table by an unbounded decoded value.
+func DecodedIndex(data []byte, table []string) string {
+	n, _, _ := varint.Uint(data)
+	return table[n] // want `index n derives from decoded input with no bound check before use`
+}
+
+// GuardedIndex bounds the decoded value first; no finding.
+func GuardedIndex(data []byte, table []string) string {
+	n, _, _ := varint.Uint(data)
+	if n >= uint64(len(table)) {
+		return ""
+	}
+	return table[n]
+}
+
+// AllowedPanic proves unreachability with a directive; no finding.
+//
+//classpack:vet-allow nopanic fixture: unreachable by construction
+func AllowedPanic() {
+	panic("cannot happen")
+}

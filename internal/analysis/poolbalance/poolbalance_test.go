@@ -1,0 +1,12 @@
+package poolbalance_test
+
+import (
+	"testing"
+
+	"classpack/internal/analysis/analysistest"
+	"classpack/internal/analysis/poolbalance"
+)
+
+func TestPoolbalance(t *testing.T) {
+	analysistest.Run(t, "testdata", poolbalance.Analyzer, "poolbalance")
+}

@@ -1,0 +1,78 @@
+// Fixture for the poolbalance analyzer: every sync.Pool.Get is matched
+// by a Put on every path out of the function.
+package fixture
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+)
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// DropsOnError loses the buffer on the failure path.
+func DropsOnError(fail bool) error {
+	b, _ := bufPool.Get().(*bytes.Buffer)
+	if fail {
+		return errors.New("oops") // want `return path drops the object from bufPool\.Get without a Put`
+	}
+	bufPool.Put(b)
+	return nil
+}
+
+// NeverPuts takes from the pool and forgets it entirely.
+func NeverPuts() {
+	b, _ := bufPool.Get().(*bytes.Buffer) // want `object from bufPool\.Get is never returned to the pool in this function`
+	b.Reset()
+}
+
+// DeferredPut is balanced on every path by the deferred Put; no finding.
+func DeferredPut(fail bool) error {
+	b, _ := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(b)
+	if fail {
+		return errors.New("oops")
+	}
+	b.Reset()
+	return nil
+}
+
+// getBuf transfers ownership to its caller; no finding here, and calls
+// to it count as Gets at the call site.
+func getBuf() *bytes.Buffer {
+	b, _ := bufPool.Get().(*bytes.Buffer)
+	if b == nil {
+		b = new(bytes.Buffer)
+	}
+	return b
+}
+
+func putBuf(b *bytes.Buffer) { bufPool.Put(b) }
+
+// AccessorDrop loses an accessor-obtained buffer on the failure path.
+func AccessorDrop(fail bool) error {
+	b := getBuf()
+	if fail {
+		return errors.New("oops") // want `return path drops the object from bufPool\.Get without a Put`
+	}
+	putBuf(b)
+	return nil
+}
+
+// AccessorBalanced pairs the accessors on every path; no finding.
+func AccessorBalanced() {
+	b := getBuf()
+	defer putBuf(b)
+	b.Reset()
+}
+
+// AllowedDrop documents an intentional drop; no finding.
+func AllowedDrop(corrupted bool) error {
+	b := getBuf()
+	if corrupted {
+		//classpack:vet-allow poolbalance fixture: corrupted state must not be recycled
+		return errors.New("dropped on purpose")
+	}
+	putBuf(b)
+	return nil
+}

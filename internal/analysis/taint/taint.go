@@ -1,0 +1,402 @@
+// Package taint is the shared intraprocedural data-flow engine behind
+// the decodebound and nopanic analyzers: it tracks which integer
+// variables of a function are derived from decoded (attacker-
+// controlled) input, and which of those have since been bounded by a
+// comparison or a cap-shaped call.
+//
+// The analysis is deliberately flow-insensitive on taint (a variable
+// assigned from a decode reader anywhere in the function is tainted
+// everywhere) and position-sensitive on sanitization (a bound check
+// only clears uses after it), which matches the decode stack's idiom —
+// read a declared count, validate it against the input size or a
+// configured cap, then allocate. Comparisons that merely drive a loop
+// over the value (for i := 0; i < n; ...) do not count as bounds
+// checks: iterating to a hostile count is exactly the bug class the
+// analyzers exist to catch.
+package taint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// Source names one callee whose integer results are decoded input: a
+// package-level function (Recv == "") or a method (Recv is the bare
+// receiver type name) of the given package path.
+type Source struct {
+	Pkg  string
+	Recv string
+	Name string
+}
+
+// DecodeSources is the default source set: every varint/u16/u32-shaped
+// reader that turns archive bytes into integers on the decode path.
+var DecodeSources = []Source{
+	{Pkg: "classpack/internal/encoding/varint", Name: "Uint"},
+	{Pkg: "classpack/internal/encoding/varint", Name: "Int"},
+	{Pkg: "classpack/internal/encoding/varint", Name: "ReadUint"},
+	{Pkg: "classpack/internal/encoding/varint", Name: "ReadInt"},
+	{Pkg: "classpack/internal/encoding/varint", Recv: "Bounded", Name: "Decode"},
+	{Pkg: "classpack/internal/streams", Recv: "RStream", Name: "Uint"},
+	{Pkg: "classpack/internal/streams", Recv: "RStream", Name: "Int"},
+	{Pkg: "classpack/internal/streams", Recv: "RStream", Name: "ReadByte"},
+	{Pkg: "classpack/internal/classfile", Recv: "reader", Name: "u1"},
+	{Pkg: "classpack/internal/classfile", Recv: "reader", Name: "u2"},
+	{Pkg: "classpack/internal/classfile", Recv: "reader", Name: "u4"},
+	{Pkg: "classpack/internal/bytecode", Name: "s4at"},
+	{Pkg: "classpack/internal/encoding/huffman", Recv: "BitReader", Name: "ReadBits"},
+}
+
+// sanitizerName matches callees that exist to bound or validate a
+// value: passing a tainted variable to one counts as a cap check.
+var sanitizerName = regexp.MustCompile(`(?i)(cap|limit|charge|check|budget|bound|clamp|valid)`)
+
+// Func holds the taint facts of one analyzed function body.
+type Func struct {
+	info      *types.Info
+	sources   []Source
+	sourceFns map[types.Object]bool // local closures that read decoded input
+	tainted   map[types.Object]bool
+	sanitized map[types.Object]token.Pos // earliest bounding position
+}
+
+// Analyze computes taint facts for one function body.
+func Analyze(info *types.Info, body *ast.BlockStmt, sources []Source) *Func {
+	f := &Func{
+		info:      info,
+		sources:   sources,
+		sourceFns: make(map[types.Object]bool),
+		tainted:   make(map[types.Object]bool),
+		sanitized: make(map[types.Object]token.Pos),
+	}
+	if body == nil {
+		return f
+	}
+	f.findSourceClosures(body)
+	// Flow-insensitive fixpoint: keep propagating through assignments
+	// until no new variable becomes tainted.
+	for {
+		before := len(f.tainted)
+		f.propagate(body)
+		if len(f.tainted) == before {
+			break
+		}
+	}
+	f.findSanitizers(body)
+	return f
+}
+
+// TaintedAt reports whether e evaluates a decoded value that has not
+// been bounded before e's position.
+func (f *Func) TaintedAt(e ast.Expr) bool {
+	return f.taintedExpr(e, e.Pos())
+}
+
+// findSourceClosures marks local closures whose bodies read decoded
+// input (the `next := func() ... varint.Uint ...` idiom), so calls to
+// them taint like direct reader calls.
+func (f *Func) findSourceClosures(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			lit, ok := rhs.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			id, ok := assign.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if f.containsSourceCall(lit.Body) {
+				if obj := f.objOf(id); obj != nil {
+					f.sourceFns[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (f *Func) containsSourceCall(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && f.isSourceCall(call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// objOf resolves an identifier to its object (definition or use).
+func (f *Func) objOf(id *ast.Ident) types.Object {
+	if obj := f.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return f.info.Uses[id]
+}
+
+// isSourceCall reports whether call invokes a configured decode reader
+// or a local closure wrapping one.
+func (f *Func) isSourceCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj := f.objOf(fun)
+		if obj == nil {
+			return false
+		}
+		if f.sourceFns[obj] {
+			return true
+		}
+		return f.matchesSource(obj)
+	case *ast.SelectorExpr:
+		obj := f.objOf(fun.Sel)
+		if obj == nil {
+			return false
+		}
+		return f.matchesSource(obj)
+	}
+	return false
+}
+
+func (f *Func) matchesSource(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	recv := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			recv = named.Obj().Name()
+		}
+	}
+	for _, s := range f.sources {
+		if s.Pkg == fn.Pkg().Path() && s.Name == fn.Name() && s.Recv == recv {
+			return true
+		}
+	}
+	return false
+}
+
+// propagate walks every assignment form once, tainting integer
+// destinations of tainted right-hand sides.
+func (f *Func) propagate(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				// v, err := source() — multi-value call: taint every
+				// integer destination.
+				if len(st.Rhs) == 1 && f.rhsTaints(st.Rhs[0]) {
+					for _, lhs := range st.Lhs {
+						f.taintDest(lhs)
+					}
+				}
+				return true
+			}
+			for i := range st.Lhs {
+				if f.rhsTaints(st.Rhs[i]) {
+					f.taintDest(st.Lhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(st.Names) != len(st.Values) {
+				if len(st.Values) == 1 && f.rhsTaints(st.Values[0]) {
+					for _, name := range st.Names {
+						f.taintIdent(name)
+					}
+				}
+				return true
+			}
+			for i, name := range st.Names {
+				if f.rhsTaints(st.Values[i]) {
+					f.taintIdent(name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rhsTaints reports whether assigning from e spreads taint. Position is
+// irrelevant during propagation, so NoPos disables the sanitization cut.
+func (f *Func) rhsTaints(e ast.Expr) bool { return f.taintedExpr(e, token.NoPos) }
+
+func (f *Func) taintDest(lhs ast.Expr) {
+	if id, ok := lhs.(*ast.Ident); ok {
+		f.taintIdent(id)
+	}
+}
+
+func (f *Func) taintIdent(id *ast.Ident) {
+	if id.Name == "_" {
+		return
+	}
+	obj := f.objOf(id)
+	if obj == nil || !isIntegerish(obj.Type()) {
+		return
+	}
+	f.tainted[obj] = true
+}
+
+// isIntegerish accepts integer types; errors, slices, strings and the
+// rest never carry size taint.
+func isIntegerish(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsUntyped) != 0
+}
+
+// taintedExpr reports whether e carries unsanitized taint when
+// evaluated at pos (NoPos: ignore sanitization entirely).
+func (f *Func) taintedExpr(e ast.Expr, pos token.Pos) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := f.objOf(x)
+		if obj == nil || !f.tainted[obj] {
+			return false
+		}
+		if pos == token.NoPos {
+			return true
+		}
+		s, ok := f.sanitized[obj]
+		return !ok || s >= pos
+	case *ast.ParenExpr:
+		return f.taintedExpr(x.X, pos)
+	case *ast.UnaryExpr:
+		return f.taintedExpr(x.X, pos)
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+			token.LAND, token.LOR:
+			return false // booleans carry no size
+		}
+		return f.taintedExpr(x.X, pos) || f.taintedExpr(x.Y, pos)
+	case *ast.CallExpr:
+		if f.isSourceCall(x) {
+			return true
+		}
+		// A type conversion preserves taint; builtins like len, cap,
+		// min and max produce values bounded by real data or by the
+		// untainted operand.
+		if tv, ok := f.info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return f.taintedExpr(x.Args[0], pos)
+		}
+		return false
+	}
+	return false
+}
+
+// findSanitizers records where each tainted variable is first bounded.
+func (f *Func) findSanitizers(body *ast.BlockStmt) {
+	skipCmp := loopConditionComparisons(body, f)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			switch x.Op {
+			case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+				if skipCmp[x] {
+					return true
+				}
+				f.sanitizeIdents(x.X, x.Pos())
+				f.sanitizeIdents(x.Y, x.Pos())
+			}
+		case *ast.CallExpr:
+			if f.isSanitizerCall(x) {
+				for _, arg := range x.Args {
+					f.sanitizeIdents(arg, x.Pos())
+				}
+			}
+		case *ast.SwitchStmt:
+			if x.Tag != nil {
+				f.sanitizeIdents(x.Tag, x.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// sanitizeIdents marks every tainted identifier inside e as bounded
+// from pos on.
+func (f *Func) sanitizeIdents(e ast.Expr, pos token.Pos) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := f.objOf(id)
+		if obj == nil || !f.tainted[obj] {
+			return true
+		}
+		if old, ok := f.sanitized[obj]; !ok || pos < old {
+			f.sanitized[obj] = pos
+		}
+		return true
+	})
+}
+
+// isSanitizerCall recognizes bounding calls two ways: by callee name
+// (…Cap…, …Limit…, Check…, min, max, …) — functions whose purpose is
+// validating or clamping.
+func (f *Func) isSanitizerCall(call *ast.CallExpr) bool {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+		if obj := f.objOf(fun); obj != nil {
+			if b, ok := obj.(*types.Builtin); ok {
+				n := b.Name()
+				return n == "min" || n == "max"
+			}
+		}
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	return sanitizerName.MatchString(name)
+}
+
+// loopConditionComparisons finds comparisons in for-loop conditions
+// whose one side is that loop's own induction variable: `i < n` bounds
+// i, not n, so it must not sanitize n.
+func loopConditionComparisons(body *ast.BlockStmt, f *Func) map[*ast.BinaryExpr]bool {
+	skip := make(map[*ast.BinaryExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond == nil {
+			return true
+		}
+		cmp, ok := loop.Cond.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		induction := make(map[types.Object]bool)
+		if init, ok := loop.Init.(*ast.AssignStmt); ok {
+			for _, lhs := range init.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := f.objOf(id); obj != nil {
+						induction[obj] = true
+					}
+				}
+			}
+		}
+		for _, side := range []ast.Expr{cmp.X, cmp.Y} {
+			if id, ok := side.(*ast.Ident); ok {
+				if obj := f.objOf(id); obj != nil && induction[obj] {
+					skip[cmp] = true
+				}
+			}
+		}
+		return true
+	})
+	return skip
+}

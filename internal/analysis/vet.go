@@ -1,0 +1,97 @@
+// Package analysis assembles classpack's custom static-analysis suite:
+// the four analyzers that mechanically prove the decoder-safety
+// invariants the fuzz harnesses can only sample, plus the package
+// gating that scopes each analyzer to the code its invariant governs.
+// cmd/classpack-vet and the clean-tree regression test both drive the
+// suite through Vet.
+package analysis
+
+import (
+	"strings"
+
+	"classpack/internal/analysis/corrupterr"
+	"classpack/internal/analysis/decodebound"
+	"classpack/internal/analysis/framework"
+	"classpack/internal/analysis/nopanic"
+	"classpack/internal/analysis/poolbalance"
+)
+
+// decodePathPackages are the packages on the unpack path: everything
+// that executes while turning attacker-controlled archive bytes back
+// into class files. nopanic and corrupterr apply here.
+var decodePathPackages = map[string]bool{
+	"classpack/internal/core":       true,
+	"classpack/internal/streams":    true,
+	"classpack/internal/refs":       true,
+	"classpack/internal/mtf":        true,
+	"classpack/internal/jazz":       true,
+	"classpack/internal/custom":     true,
+	"classpack/internal/classfile":  true,
+	"classpack/internal/bytecode":   true,
+	"classpack/internal/stackstate": true,
+}
+
+// Check pairs an analyzer with the packages it governs.
+type Check struct {
+	Analyzer *framework.Analyzer
+	// Applies reports whether the analyzer runs on the package with
+	// the given import path.
+	Applies func(pkgPath string) bool
+}
+
+// Suite returns the full classpack-vet analyzer suite.
+func Suite() []Check {
+	all := func(string) bool { return true }
+	decodePath := func(path string) bool { return decodePathPackages[path] }
+	return []Check{
+		// decodebound and poolbalance self-limit (to decode-reader
+		// calls and sync.Pool usage respectively), so they sweep the
+		// whole tree; nopanic and corrupterr enforce contracts that
+		// only the decode stack promises.
+		{Analyzer: decodebound.Analyzer, Applies: all},
+		{Analyzer: nopanic.Analyzer, Applies: decodePath},
+		{Analyzer: corrupterr.Analyzer, Applies: decodePath},
+		{Analyzer: poolbalance.Analyzer, Applies: all},
+	}
+}
+
+// Vet loads every package of the module rooted at moduleDir and runs
+// the suite, returning all surviving diagnostics sorted by position.
+func Vet(moduleDir string) ([]framework.Diagnostic, error) {
+	loader, err := framework.NewLoader(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	suite := Suite()
+	var out []framework.Diagnostic
+	for _, pkg := range pkgs {
+		var active []*framework.Analyzer
+		for _, c := range suite {
+			if c.Applies(pkg.Path) {
+				active = append(active, c.Analyzer)
+			}
+		}
+		if len(active) == 0 {
+			continue
+		}
+		diags, err := framework.Run(pkg, active)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, diags...)
+	}
+	return out, nil
+}
+
+// TrimDiagnosticPaths rewrites absolute file names in diagnostics to
+// be relative to moduleDir, for stable output.
+func TrimDiagnosticPaths(diags []framework.Diagnostic, moduleDir string) {
+	prefix := strings.TrimSuffix(moduleDir, "/") + "/"
+	for i := range diags {
+		diags[i].Pos.Filename = strings.TrimPrefix(diags[i].Pos.Filename, prefix)
+	}
+}

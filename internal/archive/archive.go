@@ -136,6 +136,7 @@ func GzipWhole(data []byte) ([]byte, error) {
 	} else {
 		var err error
 		if gw, err = gzip.NewWriterLevel(&buf, gzip.BestCompression); err != nil {
+			//classpack:vet-allow poolbalance Get missed (fresh pool); there is no writer to return on this path
 			return nil, err
 		}
 	}
@@ -254,9 +255,11 @@ func Inflate(data []byte) ([]byte, error) {
 	if _, err := buf.ReadFrom(fr); err != nil {
 		// A reader that saw corrupt input is dropped, not recycled.
 		fr.Close()
+		//classpack:vet-allow poolbalance a reader that saw corrupt input is dropped, not recycled
 		return nil, err
 	}
 	if err := fr.Close(); err != nil {
+		//classpack:vet-allow poolbalance a reader whose Close failed is dropped, not recycled
 		return nil, err
 	}
 	putFlateReader(fr)
@@ -287,13 +290,16 @@ func InflateLimit(data []byte, max int64) ([]byte, error) {
 	n, err := buf.ReadFrom(io.LimitReader(fr, max+1))
 	if err != nil {
 		fr.Close()
+		//classpack:vet-allow poolbalance a reader that saw corrupt input is dropped, not recycled
 		return nil, err
 	}
 	if n > max {
 		fr.Close()
+		//classpack:vet-allow poolbalance a reader mid-stream at the cap is dropped, not recycled
 		return nil, ErrInflateTooLarge
 	}
 	if err := fr.Close(); err != nil {
+		//classpack:vet-allow poolbalance a reader whose Close failed is dropped, not recycled
 		return nil, err
 	}
 	putFlateReader(fr)

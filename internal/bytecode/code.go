@@ -3,6 +3,8 @@ package bytecode
 import (
 	"encoding/binary"
 	"fmt"
+
+	"classpack/internal/corrupt"
 )
 
 // Instruction is one decoded JVM instruction. Branch targets (A for
@@ -86,7 +88,7 @@ func Decode(code []byte) ([]Instruction, error) {
 
 func u2at(code []byte, pos int) (int, error) {
 	if pos+2 > len(code) {
-		return 0, fmt.Errorf("bytecode: truncated at %d", pos)
+		return 0, corrupt.Errorf("bytecode", int64(pos), "truncated operand")
 	}
 	return int(binary.BigEndian.Uint16(code[pos:])), nil
 }
@@ -98,7 +100,7 @@ func s2at(code []byte, pos int) (int, error) {
 
 func s4at(code []byte, pos int) (int, error) {
 	if pos+4 > len(code) {
-		return 0, fmt.Errorf("bytecode: truncated at %d", pos)
+		return 0, corrupt.Errorf("bytecode", int64(pos), "truncated operand")
 	}
 	return int(int32(binary.BigEndian.Uint32(code[pos:]))), nil
 }
@@ -108,12 +110,12 @@ func s4at(code []byte, pos int) (int, error) {
 func DecodeOne(code []byte, pos int) (Instruction, int, error) {
 	in := Instruction{Offset: pos}
 	if pos >= len(code) {
-		return in, 0, fmt.Errorf("bytecode: decode past end at %d", pos)
+		return in, 0, corrupt.Errorf("bytecode", int64(pos), "decode past end")
 	}
 	op := Op(code[pos])
 	if op == Wide {
 		if pos+1 >= len(code) {
-			return in, 0, fmt.Errorf("bytecode: truncated wide at %d", pos)
+			return in, 0, corrupt.Errorf("bytecode", int64(pos), "truncated wide prefix")
 		}
 		in.Wide = true
 		in.Op = Op(code[pos+1])
@@ -137,24 +139,24 @@ func DecodeOne(code []byte, pos int) (Instruction, int, error) {
 			in.A, in.B = v, d
 			return in, pos + 6, nil
 		default:
-			return in, 0, fmt.Errorf("bytecode: wide prefix on %s at %d", in.Op, pos)
+			return in, 0, corrupt.Errorf("bytecode", int64(pos), "wide prefix on %s", in.Op)
 		}
 	}
 	in.Op = op
 	switch FormatOf(op) {
 	case FmtInvalid:
-		return in, 0, fmt.Errorf("bytecode: invalid opcode 0x%02x at %d", byte(op), pos)
+		return in, 0, corrupt.Errorf("bytecode", int64(pos), "invalid opcode 0x%02x", byte(op))
 	case FmtNone:
 		return in, pos + 1, nil
 	case FmtLocal, FmtCP1, FmtNewArray:
 		if pos+1 >= len(code) {
-			return in, 0, fmt.Errorf("bytecode: truncated %s at %d", op, pos)
+			return in, 0, corrupt.Errorf("bytecode", int64(pos), "truncated %s", op)
 		}
 		in.A = int(code[pos+1])
 		return in, pos + 2, nil
 	case FmtSByte:
 		if pos+1 >= len(code) {
-			return in, 0, fmt.Errorf("bytecode: truncated %s at %d", op, pos)
+			return in, 0, corrupt.Errorf("bytecode", int64(pos), "truncated %s", op)
 		}
 		in.A = int(int8(code[pos+1]))
 		return in, pos + 2, nil
@@ -174,7 +176,7 @@ func DecodeOne(code []byte, pos int) (Instruction, int, error) {
 		return in, pos + 3, nil
 	case FmtIinc:
 		if pos+2 >= len(code) {
-			return in, 0, fmt.Errorf("bytecode: truncated iinc at %d", pos)
+			return in, 0, corrupt.Errorf("bytecode", int64(pos), "truncated iinc")
 		}
 		in.A = int(code[pos+1])
 		in.B = int(int8(code[pos+2]))
@@ -199,12 +201,12 @@ func DecodeOne(code []byte, pos int) (Instruction, int, error) {
 			return in, 0, err
 		}
 		if pos+4 >= len(code) {
-			return in, 0, fmt.Errorf("bytecode: truncated invokeinterface at %d", pos)
+			return in, 0, corrupt.Errorf("bytecode", int64(pos), "truncated invokeinterface")
 		}
 		in.A = v
 		in.B = int(code[pos+3])
 		if code[pos+4] != 0 {
-			return in, 0, fmt.Errorf("bytecode: invokeinterface pad byte %d at %d", code[pos+4], pos)
+			return in, 0, corrupt.Errorf("bytecode", int64(pos), "invokeinterface pad byte %d", code[pos+4])
 		}
 		return in, pos + 5, nil
 	case FmtMultiANewArray:
@@ -213,7 +215,7 @@ func DecodeOne(code []byte, pos int) (Instruction, int, error) {
 			return in, 0, err
 		}
 		if pos+3 >= len(code) {
-			return in, 0, fmt.Errorf("bytecode: truncated multianewarray at %d", pos)
+			return in, 0, corrupt.Errorf("bytecode", int64(pos), "truncated multianewarray")
 		}
 		in.A = v
 		in.B = int(code[pos+3])
@@ -233,11 +235,11 @@ func DecodeOne(code []byte, pos int) (Instruction, int, error) {
 			return in, 0, err
 		}
 		if int64(hi) < int64(lo) {
-			return in, 0, fmt.Errorf("bytecode: tableswitch high %d < low %d at %d", hi, lo, pos)
+			return in, 0, corrupt.Errorf("bytecode", int64(pos), "tableswitch high %d < low %d", hi, lo)
 		}
 		n := int(int64(hi) - int64(lo) + 1)
 		if n > (len(code)-p)/4 {
-			return in, 0, fmt.Errorf("bytecode: tableswitch with %d entries overruns code at %d", n, pos)
+			return in, 0, corrupt.Errorf("bytecode", int64(pos), "tableswitch with %d entries overruns code", n)
 		}
 		in.Default = pos + def
 		in.Low, in.High = int32(lo), int32(hi)
@@ -263,7 +265,7 @@ func DecodeOne(code []byte, pos int) (Instruction, int, error) {
 			return in, 0, err
 		}
 		if n < 0 || n > (len(code)-p)/8 {
-			return in, 0, fmt.Errorf("bytecode: lookupswitch with %d pairs overruns code at %d", n, pos)
+			return in, 0, corrupt.Errorf("bytecode", int64(pos), "lookupswitch with %d pairs overruns code", n)
 		}
 		in.Default = pos + def
 		in.Keys = make([]int32, n)
@@ -284,7 +286,7 @@ func DecodeOne(code []byte, pos int) (Instruction, int, error) {
 		}
 		return in, p, nil
 	default:
-		return in, 0, fmt.Errorf("bytecode: unhandled format for %s", op)
+		return in, 0, corrupt.Errorf("bytecode", int64(pos), "unhandled format for %s", op)
 	}
 }
 

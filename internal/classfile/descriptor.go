@@ -1,8 +1,9 @@
 package classfile
 
 import (
-	"fmt"
 	"strings"
+
+	"classpack/internal/corrupt"
 )
 
 // Type is a parsed field or return type. Primitives are identified by
@@ -66,7 +67,7 @@ func parseType(s string, pos int, allowVoid bool) (Type, int, error) {
 		pos++
 	}
 	if pos >= len(s) {
-		return t, pos, fmt.Errorf("classfile: truncated descriptor %q", s)
+		return t, pos, corrupt.Errorf("descriptor", int64(pos), "truncated descriptor %q", s)
 	}
 	switch c := s[pos]; c {
 	case 'B', 'C', 'D', 'F', 'I', 'J', 'S', 'Z':
@@ -74,23 +75,23 @@ func parseType(s string, pos int, allowVoid bool) (Type, int, error) {
 		return t, pos + 1, nil
 	case 'V':
 		if !allowVoid || t.Dims > 0 {
-			return t, pos, fmt.Errorf("classfile: void in invalid position in %q", s)
+			return t, pos, corrupt.Errorf("descriptor", int64(pos), "void in invalid position in %q", s)
 		}
 		t.Base = 'V'
 		return t, pos + 1, nil
 	case 'L':
 		end := strings.IndexByte(s[pos:], ';')
 		if end < 0 {
-			return t, pos, fmt.Errorf("classfile: unterminated class type in %q", s)
+			return t, pos, corrupt.Errorf("descriptor", int64(pos), "unterminated class type in %q", s)
 		}
 		t.Base = 'L'
 		t.Name = s[pos+1 : pos+end]
 		if t.Name == "" {
-			return t, pos, fmt.Errorf("classfile: empty class name in %q", s)
+			return t, pos, corrupt.Errorf("descriptor", int64(pos), "empty class name in %q", s)
 		}
 		return t, pos + end + 1, nil
 	default:
-		return t, pos, fmt.Errorf("classfile: bad descriptor char %q in %q", c, s)
+		return t, pos, corrupt.Errorf("descriptor", int64(pos), "bad descriptor char %q in %q", c, s)
 	}
 }
 
@@ -101,7 +102,7 @@ func ParseFieldDescriptor(s string) (Type, error) {
 		return t, err
 	}
 	if pos != len(s) {
-		return t, fmt.Errorf("classfile: trailing characters in field descriptor %q", s)
+		return t, corrupt.Errorf("descriptor", int64(pos), "trailing characters in field descriptor %q", s)
 	}
 	return t, nil
 }
@@ -110,7 +111,7 @@ func ParseFieldDescriptor(s string) (Type, error) {
 // "(ILjava/lang/String;)V" into parameter types and a return type.
 func ParseMethodDescriptor(s string) (params []Type, ret Type, err error) {
 	if len(s) == 0 || s[0] != '(' {
-		return nil, ret, fmt.Errorf("classfile: method descriptor %q missing '('", s)
+		return nil, ret, corrupt.Errorf("descriptor", 0, "method descriptor %q missing '('", s)
 	}
 	pos := 1
 	for pos < len(s) && s[pos] != ')' {
@@ -122,7 +123,7 @@ func ParseMethodDescriptor(s string) (params []Type, ret Type, err error) {
 		params = append(params, t)
 	}
 	if pos >= len(s) {
-		return nil, ret, fmt.Errorf("classfile: method descriptor %q missing ')'", s)
+		return nil, ret, corrupt.Errorf("descriptor", int64(pos), "method descriptor %q missing ')'", s)
 	}
 	pos++ // ')'
 	ret, pos, err = parseType(s, pos, true)
@@ -130,7 +131,7 @@ func ParseMethodDescriptor(s string) (params []Type, ret Type, err error) {
 		return nil, ret, err
 	}
 	if pos != len(s) {
-		return nil, ret, fmt.Errorf("classfile: trailing characters in method descriptor %q", s)
+		return nil, ret, corrupt.Errorf("descriptor", int64(pos), "trailing characters in method descriptor %q", s)
 	}
 	return params, ret, nil
 }

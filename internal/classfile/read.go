@@ -100,6 +100,9 @@ func Parse(data []byte) (*ClassFile, error) {
 	if err != nil {
 		return nil, err
 	}
+	if int(nIfaces)*2 > len(r.buf)-r.pos {
+		return nil, r.fail("interface count %d overruns input", nIfaces)
+	}
 	cf.Interfaces = make([]uint16, nIfaces)
 	for i := range cf.Interfaces {
 		if cf.Interfaces[i], err = r.u2(); err != nil {
@@ -220,6 +223,9 @@ func parseMembers(r *reader, cf *ClassFile) ([]Member, error) {
 	if err != nil {
 		return nil, err
 	}
+	if int(count)*8 > len(r.buf)-r.pos {
+		return nil, r.fail("member count %d overruns input", count)
+	}
 	members := make([]Member, count)
 	for i := range members {
 		m := &members[i]
@@ -243,6 +249,9 @@ func parseAttrs(r *reader, cf *ClassFile) ([]Attribute, error) {
 	count, err := r.u2()
 	if err != nil {
 		return nil, err
+	}
+	if int(count)*6 > len(r.buf)-r.pos {
+		return nil, r.fail("attribute count %d overruns input", count)
 	}
 	attrs := make([]Attribute, 0, count)
 	for i := 0; i < int(count); i++ {
@@ -282,7 +291,10 @@ func parseAttr(r *reader, cf *ClassFile) (Attribute, error) {
 	case "Exceptions":
 		ex := &ExceptionsAttr{attrBase: base}
 		var n uint16
-		if n, err = br.u2(); err == nil {
+		if n, err = br.u2(); err == nil && int(n)*2 > len(br.buf)-br.pos {
+			err = br.fail("exception count %d overruns attribute", n)
+		}
+		if err == nil {
 			ex.Classes = make([]uint16, n)
 			for i := range ex.Classes {
 				if ex.Classes[i], err = br.u2(); err != nil {
@@ -298,7 +310,10 @@ func parseAttr(r *reader, cf *ClassFile) (Attribute, error) {
 	case "LineNumberTable":
 		ln := &LineNumberTableAttr{attrBase: base}
 		var n uint16
-		if n, err = br.u2(); err == nil {
+		if n, err = br.u2(); err == nil && int(n)*4 > len(br.buf)-br.pos {
+			err = br.fail("line number count %d overruns attribute", n)
+		}
+		if err == nil {
 			ln.Entries = make([]LineNumber, n)
 			for i := range ln.Entries {
 				if ln.Entries[i].StartPC, err = br.u2(); err != nil {
@@ -313,7 +328,10 @@ func parseAttr(r *reader, cf *ClassFile) (Attribute, error) {
 	case "LocalVariableTable":
 		lv := &LocalVariableTableAttr{attrBase: base}
 		var n uint16
-		if n, err = br.u2(); err == nil {
+		if n, err = br.u2(); err == nil && int(n)*10 > len(br.buf)-br.pos {
+			err = br.fail("local variable count %d overruns attribute", n)
+		}
+		if err == nil {
 			lv.Entries = make([]LocalVariable, n)
 			for i := range lv.Entries {
 				e := &lv.Entries[i]
@@ -335,7 +353,10 @@ func parseAttr(r *reader, cf *ClassFile) (Attribute, error) {
 	case "InnerClasses":
 		ic := &InnerClassesAttr{attrBase: base}
 		var n uint16
-		if n, err = br.u2(); err == nil {
+		if n, err = br.u2(); err == nil && int(n)*8 > len(br.buf)-br.pos {
+			err = br.fail("inner class count %d overruns attribute", n)
+		}
+		if err == nil {
 			ic.Entries = make([]InnerClass, n)
 			for i := range ic.Entries {
 				e := &ic.Entries[i]
@@ -381,6 +402,9 @@ func parseCode(r *reader, cf *ClassFile, base attrBase) (*CodeAttr, error) {
 	nHandlers, err := r.u2()
 	if err != nil {
 		return nil, err
+	}
+	if int(nHandlers)*8 > len(r.buf)-r.pos {
+		return nil, r.fail("handler count %d overruns input", nHandlers)
 	}
 	c.Handlers = make([]ExceptionHandler, nHandlers)
 	for i := range c.Handlers {

@@ -1,8 +1,9 @@
 package classfile
 
 import (
-	"fmt"
 	"unicode/utf16"
+
+	"classpack/internal/corrupt"
 )
 
 // EncodeModifiedUTF8 converts a Go string (standard UTF-8) to the JVM's
@@ -39,24 +40,24 @@ func DecodeModifiedUTF8(b []byte) (string, error) {
 		switch {
 		case c&0x80 == 0:
 			if c == 0 {
-				return "", fmt.Errorf("classfile: NUL byte in modified UTF-8")
+				return "", corrupt.Errorf("utf8", int64(i), "NUL byte in modified UTF-8")
 			}
 			units = append(units, uint16(c))
 			i++
 		case c&0xE0 == 0xC0:
 			if i+1 >= len(b) || b[i+1]&0xC0 != 0x80 {
-				return "", fmt.Errorf("classfile: truncated 2-byte sequence at %d", i)
+				return "", corrupt.Errorf("utf8", int64(i), "truncated 2-byte sequence")
 			}
 			units = append(units, uint16(c&0x1F)<<6|uint16(b[i+1]&0x3F))
 			i += 2
 		case c&0xF0 == 0xE0:
 			if i+2 >= len(b) || b[i+1]&0xC0 != 0x80 || b[i+2]&0xC0 != 0x80 {
-				return "", fmt.Errorf("classfile: truncated 3-byte sequence at %d", i)
+				return "", corrupt.Errorf("utf8", int64(i), "truncated 3-byte sequence")
 			}
 			units = append(units, uint16(c&0x0F)<<12|uint16(b[i+1]&0x3F)<<6|uint16(b[i+2]&0x3F))
 			i += 3
 		default:
-			return "", fmt.Errorf("classfile: invalid modified UTF-8 byte 0x%02x at %d", c, i)
+			return "", corrupt.Errorf("utf8", int64(i), "invalid modified UTF-8 byte 0x%02x", c)
 		}
 	}
 	return string(utf16.Decode(units)), nil

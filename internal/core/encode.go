@@ -312,6 +312,7 @@ func (p *packer) writeF32(v float32) {
 	s := p.st(sFloat)
 	for shift := 24; shift >= 0; shift -= 8 {
 		if err := s.WriteByte(byte(bits >> shift)); err != nil {
+			//classpack:vet-allow nopanic stream writes land in a bytes.Buffer and cannot fail
 			panic(err)
 		}
 	}
@@ -322,6 +323,7 @@ func (p *packer) writeF64(v float64) {
 	s := p.st(sDouble)
 	for shift := 56; shift >= 0; shift -= 8 {
 		if err := s.WriteByte(byte(bits >> shift)); err != nil {
+			//classpack:vet-allow nopanic stream writes land in a bytes.Buffer and cannot fail
 			panic(err)
 		}
 	}
@@ -382,6 +384,7 @@ func (p *packer) code(cf *classfile.ClassFile, code *classfile.CodeAttr) error {
 		hs.Uint(uint64(h.HandlerPC))
 		if h.CatchType != 0 {
 			if err := hs.WriteByte(1); err != nil {
+				//classpack:vet-allow nopanic stream writes land in a bytes.Buffer and cannot fail
 				panic(err)
 			}
 			k, err := ir.ResolveClass(cf, h.CatchType)
@@ -390,6 +393,7 @@ func (p *packer) code(cf *classfile.ClassFile, code *classfile.CodeAttr) error {
 			}
 			p.classRef(k)
 		} else if err := hs.WriteByte(0); err != nil {
+			//classpack:vet-allow nopanic stream writes land in a bytes.Buffer and cannot fail
 			panic(err)
 		}
 		handlerOffsets = append(handlerOffsets, int(h.HandlerPC))
@@ -459,6 +463,7 @@ func (p *packer) insn(cf *classfile.ClassFile, in *bytecode.Instruction, sim *st
 		wire = sim.WireOp(in.Op)
 	}
 	if err := ops.WriteByte(byte(wire)); err != nil {
+		//classpack:vet-allow nopanic stream writes land in a bytes.Buffer and cannot fail
 		panic(err)
 	}
 
@@ -509,10 +514,12 @@ func (p *packer) insn(cf *classfile.ClassFile, in *bytecode.Instruction, sim *st
 		}
 		p.classRef(k)
 		if err := p.st(sMiscOp).WriteByte(byte(in.B)); err != nil {
+			//classpack:vet-allow nopanic stream writes land in a bytes.Buffer and cannot fail
 			panic(err)
 		}
 	case bytecode.FmtNewArray:
 		if err := p.st(sMiscOp).WriteByte(byte(in.A)); err != nil {
+			//classpack:vet-allow nopanic stream writes land in a bytes.Buffer and cannot fail
 			panic(err)
 		}
 	case bytecode.FmtBranch2, bytecode.FmtBranch4:

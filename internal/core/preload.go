@@ -80,6 +80,7 @@ func preloadClassKeys() []ir.ClassKey {
 	for _, name := range preloadClassNames {
 		k, err := ir.ClassNameToKey(name)
 		if err != nil {
+			//classpack:vet-allow nopanic preload tables are compile-time constants; any test run catches a bad entry
 			panic("core: bad preload class " + name)
 		}
 		keys = append(keys, k)
@@ -93,6 +94,7 @@ func preloadSignatures() []ir.Signature {
 	for _, d := range preloadDescriptors {
 		sig, err := ir.DescriptorToSignature(d)
 		if err != nil {
+			//classpack:vet-allow nopanic preload tables are compile-time constants; any test run catches a bad entry
 			panic("core: bad preload descriptor " + d)
 		}
 		sigs = append(sigs, sig)
@@ -130,6 +132,7 @@ func forEachPreload(visit func(pool poolID, key string)) {
 func preloadMemberRef(m preloadMember) ir.MemberRef {
 	owner, err := ir.ClassNameToKey(m.cls)
 	if err != nil {
+		//classpack:vet-allow nopanic preload tables are compile-time constants; any test run catches a bad entry
 		panic("core: bad preload member class " + m.cls)
 	}
 	return ir.MemberRef{Kind: m.kind, Owner: owner, Name: m.name, Desc: m.desc}
@@ -142,6 +145,7 @@ func preloadPacker(p *packer) {
 			p.seen[pool][key] = true
 			return
 		}
+		//classpack:vet-allow nopanic codec tables are built from Preloadable implementations only
 		p.encs[pool].(refs.Preloadable).Preload(key)
 	})
 }
@@ -149,6 +153,7 @@ func preloadPacker(p *packer) {
 // preloadUnpacker seeds the decoder pools and object tables.
 func preloadUnpacker(u *unpacker) {
 	forEachPreload(func(pool poolID, key string) {
+		//classpack:vet-allow nopanic codec tables are built from Preloadable implementations only
 		u.decs[pool].(refs.Preloadable).Preload(key)
 	})
 	for _, k := range preloadClassKeys() {

@@ -8,6 +8,7 @@ import (
 
 	"classpack/internal/archive"
 	"classpack/internal/classfile"
+	"classpack/internal/corrupt"
 	"classpack/internal/encoding/huffman"
 	"classpack/internal/encoding/varint"
 )
@@ -35,12 +36,12 @@ func (r *jzReader) bit() (bool, error) {
 // Unpack decodes a Jazz archive back into classfiles.
 func Unpack(data []byte) ([]*classfile.ClassFile, error) {
 	if len(data) < 4 || !bytes.Equal(data[:4], magic[:]) {
-		return nil, fmt.Errorf("jazz: bad magic")
+		return nil, corrupt.Errorf("jazz", 0, "bad magic")
 	}
 	pos := 4
 	next := func() (int, error) {
 		if pos >= len(data) {
-			return 0, fmt.Errorf("jazz: truncated archive")
+			return 0, corrupt.Errorf("jazz", int64(pos), "truncated archive")
 		}
 		v, n, err := varint.Uint(data[pos:])
 		pos += n
@@ -48,7 +49,7 @@ func Unpack(data []byte) ([]*classfile.ClassFile, error) {
 			return 0, err
 		}
 		if v > uint64(len(data))*64+1<<20 {
-			return 0, fmt.Errorf("jazz: implausible length %d", v)
+			return 0, corrupt.Errorf("jazz", int64(pos), "implausible length %d", v)
 		}
 		return int(v), nil
 	}
@@ -61,7 +62,7 @@ func Unpack(data []byte) ([]*classfile.ClassFile, error) {
 		return nil, err
 	}
 	if pos+compLen > len(data) {
-		return nil, fmt.Errorf("jazz: truncated header")
+		return nil, corrupt.Errorf("jazz", int64(pos), "truncated header")
 	}
 	// Inflation is capped at the declared length so a bomb header stops
 	// at rawLen+1 bytes instead of materializing its full expansion.
@@ -70,7 +71,7 @@ func Unpack(data []byte) ([]*classfile.ClassFile, error) {
 		return nil, err
 	}
 	if len(header) != rawLen {
-		return nil, fmt.Errorf("jazz: header length %d, want %d", len(header), rawLen)
+		return nil, corrupt.Errorf("jazz", int64(pos), "header length %d, want %d", len(header), rawLen)
 	}
 	pos += compLen
 	bsLen, err := next()
@@ -78,7 +79,7 @@ func Unpack(data []byte) ([]*classfile.ClassFile, error) {
 		return nil, err
 	}
 	if pos+bsLen > len(data) {
-		return nil, fmt.Errorf("jazz: truncated bitstream")
+		return nil, corrupt.Errorf("jazz", int64(pos), "truncated bitstream")
 	}
 	bitstream := data[pos : pos+bsLen]
 
@@ -111,7 +112,7 @@ func parseHeader(header []byte) (*globalPool, []byte, int, [numAlphabets]*huffma
 	pos := 0
 	next := func() (int, error) {
 		if pos >= len(header) {
-			return 0, fmt.Errorf("jazz: truncated header")
+			return 0, corrupt.Errorf("jazz", int64(pos), "truncated header")
 		}
 		v, n, err := varint.Uint(header[pos:])
 		pos += n

@@ -97,6 +97,7 @@ func (q *Queue[K]) Position(k K) (pos int, ok bool) {
 // each key is inserted exactly once.
 func (q *Queue[K]) PushFront(k K) {
 	if _, ok := q.index[k]; ok {
+		//classpack:vet-allow nopanic encoder-side contract: each key is inserted exactly once; decoders never call PushFront
 		panic(fmt.Sprintf("mtf: PushFront of present key %v", k))
 	}
 	n := &node[K]{key: k, next: make([]link[K], q.randLevel())}
@@ -122,6 +123,7 @@ func (q *Queue[K]) Encode(k K) int {
 func (q *Queue[K]) Take(pos int) K {
 	k, ok := q.TryTake(pos)
 	if !ok {
+		//classpack:vet-allow nopanic documented encoder-side API; decoders of untrusted streams use TryTake
 		panic(fmt.Sprintf("mtf: Take(%d) with %d elements", pos, q.size))
 	}
 	return k
@@ -207,6 +209,7 @@ func (q *Queue[K]) removeAt(pos int) {
 		}
 	}
 	if target == nil {
+		//classpack:vet-allow nopanic the target rank was validated by TryTake before removal
 		panic("mtf: removeAt did not find target")
 	}
 	// Levels above q.level hold only the head→tail link, whose span still

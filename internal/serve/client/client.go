@@ -253,6 +253,23 @@ type VerifyResult struct {
 		Name  string `json:"name"`
 		Error string `json:"error"`
 	} `json:"invalid"`
+
+	// Bytecode mode only (VerifyBytecode): per-method verdicts.
+	Methods  int             `json:"methods"`
+	Verdicts []MethodVerdict `json:"verdicts"`
+}
+
+// MethodVerdict mirrors one per-method entry of a ?bytecode=1 verify
+// response.
+type MethodVerdict struct {
+	Name   string `json:"name"`
+	Class  string `json:"class"`
+	Method string `json:"method"`
+	Desc   string `json:"desc"`
+	OK     bool   `json:"ok"`
+	PC     int    `json:"pc"`
+	Op     string `json:"op"`
+	Error  string `json:"error"`
 }
 
 // Verify uploads a jar for structural verification of its classes.
@@ -263,6 +280,16 @@ func (c *Client) Verify(ctx context.Context, jar []byte, deep bool) (*VerifyResu
 	if deep {
 		path += "?deep=1"
 	}
+	return c.verify(ctx, path, jar)
+}
+
+// VerifyBytecode uploads a jar for per-method dataflow bytecode
+// verification; the result carries one verdict per method.
+func (c *Client) VerifyBytecode(ctx context.Context, jar []byte) (*VerifyResult, error) {
+	return c.verify(ctx, "/verify?bytecode=1", jar)
+}
+
+func (c *Client) verify(ctx context.Context, path string, jar []byte) (*VerifyResult, error) {
 	resp, err := c.post(ctx, path, jar)
 	if err != nil {
 		return nil, err

@@ -513,3 +513,64 @@ func TestUnpackMalformedArchives(t *testing.T) {
 		t.Fatalf("daemon unhealthy after malformed uploads: %v", err)
 	}
 }
+
+func TestVerifyBytecodeEndpoint(t *testing.T) {
+	jar, classes := testJar(t)
+	_, c, _ := startServer(t, Config{})
+	ctx := context.Background()
+
+	res, err := c.VerifyBytecode(ctx, jar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Classes != len(classes) || res.Methods == 0 || len(res.Verdicts) != res.Methods {
+		t.Fatalf("bytecode verify of valid jar: %+v", res)
+	}
+	for _, v := range res.Verdicts {
+		if !v.OK || v.Error != "" {
+			t.Fatalf("valid jar got failing verdict: %+v", v)
+		}
+	}
+
+	// Break one method body: the response pinpoints it by pc and opcode.
+	var name string
+	var data []byte
+	for name, data = range classes {
+		break
+	}
+	cf, err := classfile.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mi := range cf.Methods {
+		if code := classfile.CodeOf(&cf.Methods[mi]); code != nil && len(code.Code) > 0 {
+			code.Code = []byte{0x60, 0xb1} // iadd on an empty stack; return
+			break
+		}
+	}
+	bad, err := classfile.Write(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badJar, err := archive.WriteJar([]archive.File{{Name: name, Data: bad}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.VerifyBytecode(ctx, badJar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failures := 0
+	for _, v := range res.Verdicts {
+		if v.OK {
+			continue
+		}
+		failures++
+		if v.Name != name || v.PC < 0 || v.Op == "" || v.Error == "" {
+			t.Fatalf("failing verdict lacks location: %+v", v)
+		}
+	}
+	if failures != 1 {
+		t.Fatalf("%d failing verdicts, want 1: %+v", failures, res.Verdicts)
+	}
+}

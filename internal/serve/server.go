@@ -27,6 +27,7 @@ import (
 	"classpack"
 	"classpack/internal/archive"
 	"classpack/internal/castore"
+	"classpack/internal/par"
 )
 
 // Default operational limits; see Config.
@@ -377,12 +378,31 @@ type VerifyResult struct {
 	Classes int            `json:"classes"`           // class members checked
 	Skipped int            `json:"skipped"`           // non-class members ignored
 	Invalid []InvalidClass `json:"invalid,omitempty"` // failures, in jar order
+
+	// Bytecode mode (?bytecode=1) only: per-method verifier verdicts,
+	// in jar order, plus the total method count.
+	Methods  int             `json:"methods,omitempty"`
+	Verdicts []MethodVerdict `json:"verdicts,omitempty"`
 }
 
 // InvalidClass names one class member that failed verification.
 type InvalidClass struct {
 	Name  string `json:"name"`
 	Error string `json:"error"`
+}
+
+// MethodVerdict is one method's bytecode-verification outcome in a
+// ?bytecode=1 response. PC is -1 when the failure is structural (or the
+// method is ok); Op and Error are empty for clean methods.
+type MethodVerdict struct {
+	Name   string `json:"name"` // jar member holding the method
+	Class  string `json:"class"`
+	Method string `json:"method"`
+	Desc   string `json:"desc"`
+	OK     bool   `json:"ok"`
+	PC     int    `json:"pc"`
+	Op     string `json:"op,omitempty"`
+	Error  string `json:"error,omitempty"`
 }
 
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
@@ -393,6 +413,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	deep := r.URL.Query().Get("deep") == "1"
+	bytecodeMode := r.URL.Query().Get("bytecode") == "1"
 	members, err := archive.ReadJar(input)
 	if err != nil {
 		s.writeError(w, errf(http.StatusBadRequest, "bad_jar", "reading jar: %v", err))
@@ -415,21 +436,66 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	errs := classpack.VerifyAll(classes, deep, s.cfg.Options.Concurrency)
-	s.metrics.Verifies.Add(1)
 	res.Classes = len(classes)
-	for i, e := range errs {
-		if e != nil {
-			res.Invalid = append(res.Invalid, InvalidClass{Name: names[i], Error: e.Error()})
+	if bytecodeMode {
+		s.verifyBytecode(names, classes, &res)
+	} else {
+		errs := classpack.VerifyAll(classes, deep, s.cfg.Options.Concurrency)
+		for i, e := range errs {
+			if e != nil {
+				res.Invalid = append(res.Invalid, InvalidClass{Name: names[i], Error: e.Error()})
+			}
 		}
 	}
+	s.metrics.Verifies.Add(1)
 	status := http.StatusOK
-	if len(res.Invalid) > 0 {
+	if len(res.Invalid) > 0 || failedVerdicts(res.Verdicts) {
 		status = http.StatusUnprocessableEntity
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(res)
+}
+
+// verifyBytecode fills res with per-method verifier verdicts for every
+// class, in jar order. Classes fan out over the configured worker
+// bound; verdict order is independent of it.
+func (s *Server) verifyBytecode(names []string, classes [][]byte, res *VerifyResult) {
+	perClass := make([][]classpack.MethodVerdict, len(classes))
+	parseErrs := make([]error, len(classes))
+	_ = par.Do(s.cfg.Options.Concurrency, len(classes), func(i int) error {
+		perClass[i], parseErrs[i] = classpack.VerifyBytecode(classes[i])
+		return nil
+	})
+	for i := range classes {
+		if parseErrs[i] != nil {
+			res.Invalid = append(res.Invalid, InvalidClass{Name: names[i], Error: parseErrs[i].Error()})
+			continue
+		}
+		for _, v := range perClass[i] {
+			res.Methods++
+			res.Verdicts = append(res.Verdicts, MethodVerdict{
+				Name:   names[i],
+				Class:  v.Class,
+				Method: v.Method,
+				Desc:   v.Desc,
+				OK:     v.OK,
+				PC:     v.PC,
+				Op:     v.Op,
+				Error:  v.Err,
+			})
+		}
+	}
+}
+
+// failedVerdicts reports whether any per-method verdict failed.
+func failedVerdicts(vs []MethodVerdict) bool {
+	for _, v := range vs {
+		if !v.OK {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {

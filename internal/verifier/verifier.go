@@ -13,6 +13,7 @@
 package verifier
 
 import (
+	"errors"
 	"fmt"
 
 	"classpack/internal/bytecode"
@@ -95,15 +96,80 @@ func typeSlots(t classfile.Type) []vtype {
 	}
 }
 
-// Class verifies every method body in cf.
+// MethodError locates a verification failure: the class and method it
+// occurred in, the bytecode offset and opcode of the failing
+// instruction (PC -1 and an empty Op for structural failures that are
+// not tied to one instruction), and the underlying cause.
+type MethodError struct {
+	Class  string
+	Method string
+	Desc   string
+	PC     int
+	Op     string
+	Err    error
+}
+
+func (e *MethodError) Error() string {
+	if e.PC >= 0 {
+		return fmt.Sprintf("verifier: %s.%s%s: at pc %d (%s): %v",
+			e.Class, e.Method, e.Desc, e.PC, e.Op, e.Err)
+	}
+	return fmt.Sprintf("verifier: %s.%s%s: %v", e.Class, e.Method, e.Desc, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *MethodError) Unwrap() error { return e.Err }
+
+// pcError carries the failing instruction's position out of the
+// interpreter loop so Method can lift it into the MethodError.
+type pcError struct {
+	pc  int
+	op  string
+	err error
+}
+
+func (e *pcError) Error() string { return fmt.Sprintf("at pc %d (%s): %v", e.pc, e.op, e.err) }
+func (e *pcError) Unwrap() error { return e.err }
+
+// Class verifies every method body in cf, stopping at the first
+// failure. The returned error is a *MethodError.
 func Class(cf *classfile.ClassFile) error {
 	for mi := range cf.Methods {
 		if err := Method(cf, &cf.Methods[mi]); err != nil {
-			return fmt.Errorf("verifier: %s.%s%s: %w", cf.ThisClassName(),
-				cf.MemberName(&cf.Methods[mi]), cf.MemberDesc(&cf.Methods[mi]), err)
+			return err
 		}
 	}
 	return nil
+}
+
+// Verdict is one method's verification outcome within a class.
+type Verdict struct {
+	Method string
+	Desc   string
+	Err    *MethodError // nil when the method verified cleanly
+}
+
+// OK reports whether the method verified cleanly.
+func (v Verdict) OK() bool { return v.Err == nil }
+
+// ClassVerdicts verifies every method body in cf independently,
+// returning one verdict per method instead of stopping at the first
+// failure.
+func ClassVerdicts(cf *classfile.ClassFile) []Verdict {
+	out := make([]Verdict, len(cf.Methods))
+	for mi := range cf.Methods {
+		m := &cf.Methods[mi]
+		out[mi] = Verdict{Method: cf.MemberName(m), Desc: cf.MemberDesc(m)}
+		if err := Method(cf, m); err != nil {
+			var me *MethodError
+			if !errors.As(err, &me) {
+				me = &MethodError{Class: cf.ThisClassName(), Method: out[mi].Method,
+					Desc: out[mi].Desc, PC: -1, Err: err}
+			}
+			out[mi].Err = me
+		}
+	}
+	return out
 }
 
 // Classes verifies a whole collection on up to concurrency workers
@@ -118,7 +184,28 @@ func Classes(cfs []*classfile.ClassFile, concurrency int) error {
 }
 
 // Method verifies one method body (no-op for abstract/native methods).
+// Failures are reported as *MethodError values carrying the class,
+// method, and — for interpreter failures — the failing pc and opcode.
 func Method(cf *classfile.ClassFile, m *classfile.Member) error {
+	err := methodBody(cf, m)
+	if err == nil {
+		return nil
+	}
+	me := &MethodError{
+		Class:  cf.ThisClassName(),
+		Method: cf.MemberName(m),
+		Desc:   cf.MemberDesc(m),
+		PC:     -1,
+		Err:    err,
+	}
+	var pe *pcError
+	if errors.As(err, &pe) {
+		me.PC, me.Op, me.Err = pe.pc, pe.op, pe.err
+	}
+	return me
+}
+
+func methodBody(cf *classfile.ClassFile, m *classfile.Member) error {
 	code := classfile.CodeOf(m)
 	if code == nil {
 		if m.AccessFlags&(classfile.AccAbstract|classfile.AccNative) == 0 {
@@ -187,7 +274,7 @@ func (v *mverifier) run(params []classfile.Type, hasThis bool) error {
 		off := v.work[len(v.work)-1]
 		v.work = v.work[:len(v.work)-1]
 		if err := v.interpret(off); err != nil {
-			return fmt.Errorf("at offset %d (%s): %w", off, v.insns[v.byOffset[off]].Op, err)
+			return &pcError{pc: off, op: v.insns[v.byOffset[off]].Op.String(), err: err}
 		}
 	}
 	return nil
