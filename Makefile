@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint verify bench tables serve-smoke chaos-smoke fuzz-smoke fuzz-corpus
+.PHONY: build test lint verify bench bench-smoke bench-compare tables serve-smoke chaos-smoke fuzz-smoke fuzz-corpus
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,22 @@ verify: lint
 # pipeline's speedup (MB/s at -j 1 vs -j NumCPU).
 bench:
 	$(GO) test -run=NONE -bench='Benchmark(Pack|Unpack)Throughput' -benchmem .
+
+# bench-smoke keeps the snapshot tooling from rotting: one short
+# iteration of the throughput benchmarks through cmd/benchsnap, then
+# schema validation of the file it produced. Runs in CI.
+bench-smoke:
+	$(GO) run ./cmd/benchsnap -n 1 -benchtime 1x \
+		-bench '^Benchmark(Pack|Unpack)Throughput$$' -out /tmp/benchsnap-smoke.json
+	$(GO) run ./cmd/benchsnap -check /tmp/benchsnap-smoke.json
+
+# bench-compare diffs two recorded snapshots and fails on a >10%
+# throughput regression:
+#   make bench-compare OLD=BENCH_a.json NEW=BENCH_b.json
+bench-compare:
+	@test -n "$(OLD)" && test -n "$(NEW)" || \
+		{ echo "usage: make bench-compare OLD=BENCH_old.json NEW=BENCH_new.json"; exit 2; }
+	$(GO) run ./cmd/benchsnap -compare $(OLD) $(NEW)
 
 # serve-smoke boots a real jpackd on a loopback port, packs a synthetic
 # corpus through the HTTP client twice, and checks the cache hit and the

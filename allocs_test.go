@@ -1,0 +1,74 @@
+package classpack
+
+import (
+	"testing"
+
+	"classpack/internal/bench"
+)
+
+// Allocation regression tests. The codec's hot paths went through an
+// allocation campaign (zero-copy parsing, per-worker arenas, decoder
+// caches); these tests pin generous ceilings — several times above the
+// measured values — so a future change that reintroduces a per-item
+// allocation in a per-file or per-instruction loop trips the test, while
+// ordinary drift (map growth heuristics, runtime changes) does not.
+//
+// Measured at the time of writing (213_javac corpus at benchScale):
+// pack ≈ 4.0k allocs, unpack ≈ 5.4k allocs; before the campaign the same
+// corpus cost ≈ 28k and ≈ 16k respectively.
+
+const (
+	packAllocCeiling   = 8000  // measured ~4.0k; ceiling ≈ 2x
+	unpackAllocCeiling = 11000 // measured ~5.4k; ceiling ≈ 2x
+)
+
+func allocCorpus(t *testing.T) ([][]byte, []byte) {
+	t.Helper()
+	c, err := bench.Load("213_javac", benchScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := make([][]byte, len(c.StrippedFiles))
+	for i, f := range c.StrippedFiles {
+		files[i] = f.Data
+	}
+	packed, err := Pack(files, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files, packed
+}
+
+func TestPackAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement on full corpus")
+	}
+	files, _ := allocCorpus(t)
+	opts := DefaultOptions()
+	opts.Concurrency = 1 // serial: no per-worker goroutine noise
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := Pack(files, &opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("pack: %.0f allocs per run (%d files)", allocs, len(files))
+	if allocs > packAllocCeiling {
+		t.Errorf("Pack allocated %.0f times per run, ceiling %d", allocs, packAllocCeiling)
+	}
+}
+
+func TestUnpackAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement on full corpus")
+	}
+	_, packed := allocCorpus(t)
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := UnpackN(packed, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("unpack: %.0f allocs per run (%d packed bytes)", allocs, len(packed))
+	if allocs > unpackAllocCeiling {
+		t.Errorf("Unpack allocated %.0f times per run, ceiling %d", allocs, unpackAllocCeiling)
+	}
+}

@@ -182,16 +182,18 @@ func Pack(files [][]byte, opts *Options) ([]byte, error) {
 }
 
 // parseAndStrip runs the per-file front half of the pack pipeline —
-// parse plus §2 canonicalization — on a bounded worker pool. Results
-// land by index, so downstream encoding sees files in input order.
+// parse plus §2 canonicalization — on a bounded worker pool, each worker
+// reusing one strip scratch arena across all its files. Results land by
+// index, so downstream encoding sees files in input order.
 func parseAndStrip(files [][]byte, concurrency int) ([]*classfile.ClassFile, error) {
 	cfs := make([]*classfile.ClassFile, len(files))
-	err := par.Do(concurrency, len(files), func(i int) error {
+	scratch := make([]strip.Scratch, par.Workers(concurrency, len(files)))
+	err := par.DoWorkers(concurrency, len(files), func(w, i int) error {
 		cf, err := classfile.Parse(files[i])
 		if err != nil {
 			return fmt.Errorf("classpack: file %d: %w", i, err)
 		}
-		if err := strip.Apply(cf, strip.Options{}); err != nil {
+		if err := strip.ApplyScratch(cf, strip.Options{}, &scratch[w]); err != nil {
 			return fmt.Errorf("classpack: file %d: %w", i, err)
 		}
 		cfs[i] = cf

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: classpack
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPackThroughput/j=1         	     195	  13715845 ns/op	   2.20 MB/s	 5555695 B/op	   28401 allocs/op
+BenchmarkPackThroughput/j=1         	     200	  13000000 ns/op	   2.40 MB/s	 5555000 B/op	   28400 allocs/op
+BenchmarkPackThroughput/j=1         	     190	  14000000 ns/op	   2.30 MB/s	 5556000 B/op	   28402 allocs/op
+BenchmarkTable1 	   32608	     40063 ns/op
+BenchmarkTable1 	   32000	     41000 ns/op
+BenchmarkTable1 	   33000	     39000 ns/op
+BenchmarkAblationDefault-4 	      10	 100000000 ns/op	 12345 packed-bytes
+PASS
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	results, err := parseBenchOutput(sampleOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d benchmarks, want 3: %+v", len(results), results)
+	}
+	pack := results[0]
+	if pack.Name != "PackThroughput/j=1" {
+		t.Errorf("name = %q", pack.Name)
+	}
+	if pack.Samples != 3 {
+		t.Errorf("samples = %d, want 3", pack.Samples)
+	}
+	if pack.NsPerOp != 13715845 {
+		t.Errorf("median ns/op = %v, want 13715845", pack.NsPerOp)
+	}
+	if pack.MBPerS != 2.30 {
+		t.Errorf("median MB/s = %v, want 2.30", pack.MBPerS)
+	}
+	if pack.AllocsPerOp != 28401 {
+		t.Errorf("median allocs/op = %v, want 28401", pack.AllocsPerOp)
+	}
+	table := results[1]
+	if table.Name != "Table1" || table.NsPerOp != 40063 || table.MBPerS != 0 {
+		t.Errorf("Table1 = %+v", table)
+	}
+	// The -GOMAXPROCS suffix is stripped and custom metrics land in Extra.
+	abl := results[2]
+	if abl.Name != "AblationDefault" {
+		t.Errorf("name = %q, want AblationDefault", abl.Name)
+	}
+	if abl.Extra["packed-bytes"] != 12345 {
+		t.Errorf("extra = %+v", abl.Extra)
+	}
+}
+
+func snap(results []Benchmark) *Snapshot {
+	return &Snapshot{
+		Schema: Schema, UTCDate: "2026-08-08", GitSHA: "abc1234",
+		GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64",
+		Samples: 3, Bench: defaultBench, Results: results,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := snap([]Benchmark{{Name: "PackThroughput/j=1", Samples: 3, NsPerOp: 1e7, MBPerS: 2.3}})
+	if err := validate(good); err != nil {
+		t.Errorf("valid snapshot rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Snapshot)
+	}{
+		{"wrong schema", func(s *Snapshot) { s.Schema = "other/v9" }},
+		{"bad date", func(s *Snapshot) { s.UTCDate = "08/08/2026" }},
+		{"missing sha", func(s *Snapshot) { s.GitSHA = "" }},
+		{"zero samples", func(s *Snapshot) { s.Samples = 0 }},
+		{"no benchmarks", func(s *Snapshot) { s.Results = nil }},
+		{"empty name", func(s *Snapshot) { s.Results[0].Name = "" }},
+		{"zero ns/op", func(s *Snapshot) { s.Results[0].NsPerOp = 0 }},
+		{"duplicate name", func(s *Snapshot) { s.Results = append(s.Results, s.Results[0]) }},
+	} {
+		s := snap([]Benchmark{{Name: "PackThroughput/j=1", Samples: 3, NsPerOp: 1e7}})
+		tc.mutate(s)
+		if err := validate(s); err == nil {
+			t.Errorf("%s: validate accepted a broken snapshot", tc.name)
+		}
+	}
+}
+
+func writeSnap(t *testing.T, dir, name string, s *Snapshot) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(mustJSON(s)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func mustJSON(s *Snapshot) string {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+func TestCompare(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnap(t, dir, "old.json", snap([]Benchmark{
+		{Name: "PackThroughput/j=1", Samples: 3, NsPerOp: 1e7, MBPerS: 2.0, AllocsPerOp: 28000, BytesPerOp: 5.5e6},
+		{Name: "Table1", Samples: 3, NsPerOp: 40000},
+	}))
+
+	// Improvement passes.
+	better := writeSnap(t, dir, "better.json", snap([]Benchmark{
+		{Name: "PackThroughput/j=1", Samples: 3, NsPerOp: 5e6, MBPerS: 4.0, AllocsPerOp: 9000, BytesPerOp: 3e6},
+		{Name: "Table1", Samples: 3, NsPerOp: 39000},
+	}))
+	if ok, err := compareFiles(devNull(t), oldPath, better); err != nil || !ok {
+		t.Errorf("improvement flagged as regression: ok=%v err=%v", ok, err)
+	}
+
+	// >10% MB/s loss fails.
+	worse := writeSnap(t, dir, "worse.json", snap([]Benchmark{
+		{Name: "PackThroughput/j=1", Samples: 3, NsPerOp: 1.3e7, MBPerS: 1.5},
+		{Name: "Table1", Samples: 3, NsPerOp: 40000},
+	}))
+	if ok, err := compareFiles(devNull(t), oldPath, worse); err != nil || ok {
+		t.Errorf("regression not flagged: ok=%v err=%v", ok, err)
+	}
+
+	// >10% ns/op growth on a benchmark without MB/s fails.
+	slowTable := writeSnap(t, dir, "slowtable.json", snap([]Benchmark{
+		{Name: "PackThroughput/j=1", Samples: 3, NsPerOp: 1e7, MBPerS: 2.0},
+		{Name: "Table1", Samples: 3, NsPerOp: 50000},
+	}))
+	if ok, err := compareFiles(devNull(t), oldPath, slowTable); err != nil || ok {
+		t.Errorf("ns/op regression not flagged: ok=%v err=%v", ok, err)
+	}
+
+	// A small (<10%) wobble passes.
+	wobble := writeSnap(t, dir, "wobble.json", snap([]Benchmark{
+		{Name: "PackThroughput/j=1", Samples: 3, NsPerOp: 1.05e7, MBPerS: 1.91},
+		{Name: "Table1", Samples: 3, NsPerOp: 41000},
+	}))
+	if ok, err := compareFiles(devNull(t), oldPath, wobble); err != nil || !ok {
+		t.Errorf("within-tolerance wobble flagged: ok=%v err=%v", ok, err)
+	}
+}
+
+func devNull(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestRecordSmokeCheck(t *testing.T) {
+	// End-to-end schema stability: a recorded file round-trips through
+	// -check. Uses the parse+write paths without running go test.
+	dir := t.TempDir()
+	path := writeSnap(t, dir, "BENCH_2026-08-08_abc1234.json", snap([]Benchmark{
+		{Name: "UnpackThroughput/j=1", Samples: 3, NsPerOp: 6e6, MBPerS: 4.7, AllocsPerOp: 15651, BytesPerOp: 4.9e6},
+	}))
+	if err := checkFile(path); err != nil {
+		t.Fatalf("checkFile: %v", err)
+	}
+	if err := checkFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("checkFile accepted a missing file")
+	}
+	bad := strings.Replace(mustJSON(snap([]Benchmark{{Name: "X", Samples: 1, NsPerOp: 1}})),
+		Schema, "not-a-schema", 1)
+	badPath := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badPath, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkFile(badPath); err == nil {
+		t.Fatal("checkFile accepted a wrong schema")
+	}
+}

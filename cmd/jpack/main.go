@@ -18,6 +18,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -56,7 +58,32 @@ func main() { os.Exit(run(os.Args[1:])) }
 
 // run dispatches a jpack invocation and returns its exit code; main is
 // kept trivial so tests can assert codes without spawning a process.
+// Global -cpuprofile/-memprofile flags precede the command so any
+// subcommand can be profiled:
+//
+//	jpack -cpuprofile cpu.out pack -o app.cjp app.jar
 func run(args []string) int {
+	prof, args, err := parseProfileFlags(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jpack:", err)
+		return exitUsage
+	}
+	if err := prof.start(); err != nil {
+		fmt.Fprintln(os.Stderr, "jpack:", err)
+		return exitFailure
+	}
+	code := dispatch(args)
+	if err := prof.stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "jpack:", err)
+		if code == exitOK {
+			code = exitFailure
+		}
+	}
+	return code
+}
+
+// dispatch runs the subcommand and maps its error to an exit code.
+func dispatch(args []string) int {
 	if len(args) < 1 {
 		usage()
 		return exitUsage
@@ -93,6 +120,78 @@ func run(args []string) int {
 		return exitFailure
 	}
 	return exitOK
+}
+
+// profiler holds the state of the global -cpuprofile/-memprofile
+// flags: an active CPU profile to stop and a heap-profile path to
+// write once the command finishes.
+type profiler struct {
+	cpuPath string
+	memPath string
+	cpuFile *os.File
+}
+
+// parseProfileFlags strips the leading global profiling flags from the
+// argument list, leaving the subcommand and its own flags untouched.
+func parseProfileFlags(args []string) (*profiler, []string, error) {
+	p := &profiler{}
+	for len(args) > 0 {
+		switch args[0] {
+		case "-cpuprofile", "-memprofile":
+			if len(args) < 2 {
+				return nil, nil, usagef("flag %s needs a file argument", args[0])
+			}
+			if args[0] == "-cpuprofile" {
+				p.cpuPath = args[1]
+			} else {
+				p.memPath = args[1]
+			}
+			args = args[2:]
+		default:
+			return p, args, nil
+		}
+	}
+	return p, args, nil
+}
+
+func (p *profiler) start() error {
+	if p.cpuPath == "" {
+		return nil
+	}
+	f, err := os.Create(p.cpuPath)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	p.cpuFile = f
+	return nil
+}
+
+func (p *profiler) stop() error {
+	var firstErr error
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		firstErr = p.cpuFile.Close()
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err == nil {
+			// Settle the heap so the profile reflects live objects,
+			// not whatever garbage the command left behind.
+			runtime.GC()
+			err = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 func usage() {

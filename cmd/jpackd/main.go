@@ -17,7 +17,7 @@
 //	jpackd [-addr :8750] [-cache DIR|off] [-cache-max BYTES]
 //	       [-max-request BYTES] [-timeout D] [-drain D] [-jobs N] [-j N]
 //	       [-scheme NAME] [-no-stackstate] [-no-gzip] [-preload]
-//	       [-max-decoded-bytes N] [-max-classes N]
+//	       [-max-decoded-bytes N] [-max-classes N] [-pprof]
 //	jpackd -smoke [-smoke-scale F]   # self-check against a synthetic corpus
 package main
 
@@ -63,6 +63,7 @@ func run(args []string) error {
 		preload    = fs.Bool("preload", false, "seed reference pools with the standard table")
 		maxDecoded = fs.Int64("max-decoded-bytes", 0, "decoded-size cap per /unpack request (0 = 1 GiB default)")
 		maxClasses = fs.Int("max-classes", 0, "class-count cap per /unpack request (0 = 1<<20 default)")
+		pprofOn    = fs.Bool("pprof", false, "expose the runtime profiler on GET /debug/pprof/ (trusted operators only)")
 		smoke      = fs.Bool("smoke", false, "start on a loopback port, pack a synthetic corpus through the client, check the digest round-trip, and exit")
 		smokeScale = fs.Float64("smoke-scale", 0.05, "synthetic corpus scale for -smoke")
 	)
@@ -87,6 +88,10 @@ func run(args []string) error {
 		RequestTimeout:  *timeout,
 		DrainTimeout:    *drain,
 		MaxJobs:         *jobs,
+		EnablePprof:     *pprofOn,
+	}
+	if *pprofOn {
+		log.Print("pprof endpoints enabled at /debug/pprof/")
 	}
 
 	if *smoke {

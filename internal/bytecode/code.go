@@ -73,17 +73,23 @@ func (in *Instruction) Size() int {
 
 // Decode decodes a complete code array into instructions.
 func Decode(code []byte) ([]Instruction, error) {
-	var out []Instruction
+	return DecodeAppend(nil, code)
+}
+
+// DecodeAppend decodes a complete code array, appending the instructions
+// to dst (which may be a truncated slice being reused) and returning the
+// extended slice. On error the returned slice is nil.
+func DecodeAppend(dst []Instruction, code []byte) ([]Instruction, error) {
 	pos := 0
 	for pos < len(code) {
 		in, next, err := DecodeOne(code, pos)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, in)
+		dst = append(dst, in)
 		pos = next
 	}
-	return out, nil
+	return dst, nil
 }
 
 func u2at(code []byte, pos int) (int, error) {

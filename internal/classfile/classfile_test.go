@@ -232,6 +232,55 @@ func TestModifiedUTF8DecodeErrors(t *testing.T) {
 	}
 }
 
+// TestModifiedUTF8SurrogateHandling pins the decoder's UTF-16 semantics
+// against the reference (unit collection + utf16.Decode) after the
+// zero-copy rewrite: surrogate pairs combine, unpaired surrogates become
+// U+FFFD, NUL travels as C0 80, and the ASCII fast path aliases its
+// input.
+func TestModifiedUTF8SurrogateHandling(t *testing.T) {
+	enc3 := func(u uint16) []byte { // one UTF-16 unit as a 3-byte sequence
+		return []byte{0xE0 | byte(u>>12), 0x80 | byte(u>>6&0x3F), 0x80 | byte(u&0x3F)}
+	}
+	cat := func(parts ...[]byte) []byte {
+		var out []byte
+		for _, p := range parts {
+			out = append(out, p...)
+		}
+		return out
+	}
+	cases := []struct {
+		name string
+		in   []byte
+		want string
+	}{
+		{"surrogate pair", cat(enc3(0xD83D), enc3(0xDE00)), "\U0001F600"},
+		{"pair between ascii", cat([]byte("a"), enc3(0xD83D), enc3(0xDE00), []byte("b")), "a\U0001F600b"},
+		{"embedded nul", []byte{'a', 0xC0, 0x80, 'b'}, "a\x00b"},
+		{"lone high surrogate", enc3(0xD800), "�"},
+		{"lone low surrogate", enc3(0xDC00), "�"},
+		{"high at end after ascii", cat([]byte("x"), enc3(0xDBFF)), "x�"},
+		{"high then non-surrogate", cat(enc3(0xD800), enc3(0x4E16)), "�世"},
+		{"high then high then low", cat(enc3(0xD83D), enc3(0xD83D), enc3(0xDE00)), "�\U0001F600"},
+		{"low then high", cat(enc3(0xDC00), enc3(0xD800)), "��"},
+		{"bmp cjk", enc3(0x4E16), "世"},
+	}
+	for _, tc := range cases {
+		got, err := DecodeModifiedUTF8(tc.in)
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: got %q, want %q", tc.name, got, tc.want)
+		}
+	}
+	// A high surrogate followed by a malformed sequence is an encoding
+	// error, not U+FFFD.
+	if _, err := DecodeModifiedUTF8(cat(enc3(0xD800), []byte{0xE0, 0x80})); err == nil {
+		t.Error("high surrogate + truncated sequence decoded without error")
+	}
+}
+
 func TestDescriptors(t *testing.T) {
 	params, ret, err := ParseMethodDescriptor("(I[[Ljava/lang/String;D)Ljava/util/List;")
 	if err != nil {

@@ -68,6 +68,11 @@ func (r *reader) bytes(n int) ([]byte, error) {
 }
 
 // Parse decodes a classfile from data.
+//
+// The returned ClassFile aliases data where it can instead of copying:
+// ASCII pool strings and raw byte payloads (bytecode, attribute bodies)
+// point into the input buffer. Callers must not modify data while the
+// ClassFile — or any string taken from it — is still in use.
 func Parse(data []byte) (*ClassFile, error) {
 	r := &reader{buf: data}
 	magic, err := r.u4()

@@ -2,6 +2,8 @@ package classfile
 
 import (
 	"unicode/utf16"
+	"unicode/utf8"
+	"unsafe"
 
 	"classpack/internal/corrupt"
 )
@@ -11,54 +13,118 @@ import (
 // points above U+FFFF are written as surrogate pairs (two three-byte
 // sequences) rather than four-byte UTF-8.
 func EncodeModifiedUTF8(s string) []byte {
-	out := make([]byte, 0, len(s))
-	for _, r := range s {
+	return AppendModifiedUTF8(make([]byte, 0, len(s)), s)
+}
+
+// AppendModifiedUTF8 appends the modified UTF-8 encoding of s to dst.
+// ASCII text without NUL — almost every pool string — is a straight copy.
+func AppendModifiedUTF8(dst []byte, s string) []byte {
+	i := 0
+	for i < len(s) && s[i]-1 < 0x7F {
+		i++
+	}
+	dst = append(dst, s[:i]...)
+	if i == len(s) {
+		return dst
+	}
+	for _, r := range s[i:] {
 		switch {
 		case r == 0:
-			out = append(out, 0xC0, 0x80)
+			dst = append(dst, 0xC0, 0x80)
 		case r < 0x80:
-			out = append(out, byte(r))
+			dst = append(dst, byte(r))
 		case r < 0x800:
-			out = append(out, 0xC0|byte(r>>6), 0x80|byte(r&0x3F))
+			dst = append(dst, 0xC0|byte(r>>6), 0x80|byte(r&0x3F))
 		case r < 0x10000:
-			out = append(out, 0xE0|byte(r>>12), 0x80|byte(r>>6&0x3F), 0x80|byte(r&0x3F))
+			dst = append(dst, 0xE0|byte(r>>12), 0x80|byte(r>>6&0x3F), 0x80|byte(r&0x3F))
 		default:
 			hi, lo := utf16.EncodeRune(r)
 			for _, u := range []rune{hi, lo} {
-				out = append(out, 0xE0|byte(u>>12), 0x80|byte(u>>6&0x3F), 0x80|byte(u&0x3F))
+				dst = append(dst, 0xE0|byte(u>>12), 0x80|byte(u>>6&0x3F), 0x80|byte(u&0x3F))
 			}
 		}
 	}
-	return out
+	return dst
+}
+
+// decodeUnit decodes the UTF-16 code unit starting at b[i] and reports
+// its encoded width.
+func decodeUnit(b []byte, i int) (uint16, int, error) {
+	c := b[i]
+	switch {
+	case c&0x80 == 0:
+		if c == 0 {
+			return 0, 0, corrupt.Errorf("utf8", int64(i), "NUL byte in modified UTF-8")
+		}
+		return uint16(c), 1, nil
+	case c&0xE0 == 0xC0:
+		if i+1 >= len(b) || b[i+1]&0xC0 != 0x80 {
+			return 0, 0, corrupt.Errorf("utf8", int64(i), "truncated 2-byte sequence")
+		}
+		return uint16(c&0x1F)<<6 | uint16(b[i+1]&0x3F), 2, nil
+	case c&0xF0 == 0xE0:
+		if i+2 >= len(b) || b[i+1]&0xC0 != 0x80 || b[i+2]&0xC0 != 0x80 {
+			return 0, 0, corrupt.Errorf("utf8", int64(i), "truncated 3-byte sequence")
+		}
+		return uint16(c&0x0F)<<12 | uint16(b[i+1]&0x3F)<<6 | uint16(b[i+2]&0x3F), 3, nil
+	default:
+		return 0, 0, corrupt.Errorf("utf8", int64(i), "invalid modified UTF-8 byte 0x%02x", c)
+	}
 }
 
 // DecodeModifiedUTF8 converts JVM modified UTF-8 bytes to a Go string.
+//
+// When every byte is plain ASCII (no NUL, no multi-byte sequences) the
+// returned string ALIASES b instead of copying — the dominant case for
+// pool strings. Callers must not modify b while the string is reachable;
+// Parse inherits (and documents) the same rule for its input buffer.
+//
+// Surrogate handling matches utf16.Decode exactly: a high surrogate
+// immediately followed by a low surrogate combines into one code point;
+// any unpaired surrogate decodes to U+FFFD.
 func DecodeModifiedUTF8(b []byte) (string, error) {
-	var units []uint16
-	for i := 0; i < len(b); {
-		c := b[i]
+	i := 0
+	for i < len(b) && b[i]-1 < 0x7F {
+		i++
+	}
+	if i == len(b) {
+		if len(b) == 0 {
+			return "", nil
+		}
+		return unsafe.String(&b[0], len(b)), nil
+	}
+	if b[i]&0x80 == 0 { // ASCII scan stopped on a NUL byte
+		return "", corrupt.Errorf("utf8", int64(i), "NUL byte in modified UTF-8")
+	}
+	out := make([]byte, 0, len(b))
+	out = append(out, b[:i]...)
+	for i < len(b) {
+		u, n, err := decodeUnit(b, i)
+		if err != nil {
+			return "", err
+		}
+		i += n
 		switch {
-		case c&0x80 == 0:
-			if c == 0 {
-				return "", corrupt.Errorf("utf8", int64(i), "NUL byte in modified UTF-8")
-			}
-			units = append(units, uint16(c))
-			i++
-		case c&0xE0 == 0xC0:
-			if i+1 >= len(b) || b[i+1]&0xC0 != 0x80 {
-				return "", corrupt.Errorf("utf8", int64(i), "truncated 2-byte sequence")
-			}
-			units = append(units, uint16(c&0x1F)<<6|uint16(b[i+1]&0x3F))
-			i += 2
-		case c&0xF0 == 0xE0:
-			if i+2 >= len(b) || b[i+1]&0xC0 != 0x80 || b[i+2]&0xC0 != 0x80 {
-				return "", corrupt.Errorf("utf8", int64(i), "truncated 3-byte sequence")
-			}
-			units = append(units, uint16(c&0x0F)<<12|uint16(b[i+1]&0x3F)<<6|uint16(b[i+2]&0x3F))
-			i += 3
+		case u < 0xD800 || u >= 0xE000:
+			out = utf8.AppendRune(out, rune(u))
+		case u >= 0xDC00: // unpaired low surrogate
+			out = utf8.AppendRune(out, utf8.RuneError)
+		case i >= len(b): // high surrogate at end of input
+			out = utf8.AppendRune(out, utf8.RuneError)
 		default:
-			return "", corrupt.Errorf("utf8", int64(i), "invalid modified UTF-8 byte 0x%02x", c)
+			u2, n2, err := decodeUnit(b, i)
+			if err != nil {
+				return "", err
+			}
+			if u2 >= 0xDC00 && u2 < 0xE000 {
+				out = utf8.AppendRune(out, utf16.DecodeRune(rune(u), rune(u2)))
+				i += n2
+			} else {
+				// High surrogate not followed by a low one: U+FFFD for
+				// the high unit; u2 is re-decoded by the next iteration.
+				out = utf8.AppendRune(out, utf8.RuneError)
+			}
 		}
 	}
-	return string(utf16.Decode(units)), nil
+	return string(out), nil
 }

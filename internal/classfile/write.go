@@ -11,6 +11,7 @@ func float64FromBits(v uint64) float64 { return math.Float64frombits(v) }
 
 type writer struct {
 	buf []byte
+	utf []byte // modified-UTF-8 scratch, reused across pool entries
 	cf  *ClassFile
 	err error
 }
@@ -61,13 +62,13 @@ func writePool(w *writer, cf *ClassFile) {
 		w.u1(byte(c.Kind))
 		switch c.Kind {
 		case KindUtf8:
-			raw := EncodeModifiedUTF8(c.Utf8)
-			if len(raw) > 0xFFFF {
-				w.setErr(fmt.Errorf("classfile: Utf8 entry %d too long (%d bytes)", i, len(raw)))
+			w.utf = AppendModifiedUTF8(w.utf[:0], c.Utf8)
+			if len(w.utf) > 0xFFFF {
+				w.setErr(fmt.Errorf("classfile: Utf8 entry %d too long (%d bytes)", i, len(w.utf)))
 				return
 			}
-			w.u2(uint16(len(raw)))
-			w.raw(raw)
+			w.u2(uint16(len(w.utf)))
+			w.raw(w.utf)
 		case KindInteger:
 			w.u4(uint32(c.Int))
 		case KindFloat:

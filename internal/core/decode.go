@@ -5,11 +5,14 @@ import (
 	"fmt"
 	"math"
 
+	"classpack/internal/bytecode"
 	"classpack/internal/classfile"
 	"classpack/internal/corrupt"
 	"classpack/internal/ir"
 	"classpack/internal/refs"
+	"classpack/internal/stackstate"
 	"classpack/internal/streams"
+	"classpack/internal/strip"
 )
 
 // sHeader names the fixed archive header in corrupt errors.
@@ -146,15 +149,41 @@ type unpacker struct {
 	classKeys map[string]ir.ClassKey
 	sigs      map[string]ir.Signature
 	members   [numPools]map[string]ir.MemberRef
+
+	// Derived-value caches and scratch reused across every class in the
+	// archive. References repeat heavily (that is the whole premise of
+	// the format), so each derived form is computed once per distinct
+	// input rather than once per use site.
+	classNames map[ir.ClassKey]string
+	msigs      map[string]*msigEntry
+	ftypes     map[string]classfile.Type
+	sim        *stackstate.Sim
+	hoffs      []int
+	scratch    strip.Scratch
+	decoded    map[*classfile.CodeAttr][]bytecode.Instruction
+}
+
+// msigEntry caches everything derived from one method descriptor: the
+// factored signature, its argument-slot count, and the parameter/return
+// types the stack simulation consumes. The type slices are shared across
+// instructions; stackstate treats OpInfo.Params as read-only.
+type msigEntry struct {
+	sig      ir.Signature
+	argSlots int
+	params   []classfile.Type
+	ret      classfile.Type
 }
 
 func newUnpacker(opts Options, r *streams.Reader) *unpacker {
 	u := &unpacker{
-		opts:      opts,
-		r:         r,
-		meta:      r.Stream(sMeta),
-		classKeys: make(map[string]ir.ClassKey),
-		sigs:      make(map[string]ir.Signature),
+		opts:       opts,
+		r:          r,
+		meta:       r.Stream(sMeta),
+		classKeys:  make(map[string]ir.ClassKey),
+		sigs:       make(map[string]ir.Signature),
+		classNames: make(map[ir.ClassKey]string),
+		msigs:      make(map[string]*msigEntry),
+		ftypes:     make(map[string]classfile.Type),
 	}
 	for i := range u.decs {
 		u.decs[i], _ = refs.NewDecoder(opts.Scheme)
@@ -163,8 +192,53 @@ func newUnpacker(opts Options, r *streams.Reader) *unpacker {
 	return u
 }
 
+// className memoizes ir.KeyToClassName, which joins package and simple
+// name into a fresh string on every call.
+func (u *unpacker) className(k ir.ClassKey) string {
+	if s, ok := u.classNames[k]; ok {
+		return s
+	}
+	s := ir.KeyToClassName(k)
+	u.classNames[k] = s
+	return s
+}
+
+// methodSig memoizes descriptor parsing for method references. Only
+// successful parses are cached; a malformed descriptor aborts decoding
+// anyway.
+func (u *unpacker) methodSig(desc string) (*msigEntry, error) {
+	if e, ok := u.msigs[desc]; ok {
+		return e, nil
+	}
+	sig, err := ir.DescriptorToSignature(desc)
+	if err != nil {
+		return nil, err
+	}
+	e := &msigEntry{sig: sig, argSlots: sig.ArgSlots()}
+	e.params, e.ret, _ = methodTypes(sig)
+	u.msigs[desc] = e
+	return e, nil
+}
+
+// fieldInfoType memoizes the classfile type a field descriptor denotes,
+// as consumed by the stack simulation.
+func (u *unpacker) fieldInfoType(desc string) (classfile.Type, error) {
+	if t, ok := u.ftypes[desc]; ok {
+		return t, nil
+	}
+	k, err := ir.MemberRef{Kind: classfile.KindFieldref, Desc: desc}.FieldTypeKey()
+	if err != nil {
+		return classfile.Type{}, err
+	}
+	t := ir.KeyToType(k)
+	u.ftypes[desc] = t
+	return t, nil
+}
+
 // strRef decodes a reference in a pool whose objects are plain strings.
-func (u *unpacker) strRef(pool poolID, cat string) (string, error) {
+// The defined string is an owned copy (string(raw)), never an alias of
+// the decoded stream buffer, so pool entries cannot pin stream memory.
+func (u *unpacker) strRef(pool poolID, cat strCat) (string, error) {
 	key, isNew, transient, err := u.decs[pool].Decode(u.r.Stream(refStream(pool)), 0)
 	if err != nil {
 		return "", err
@@ -172,11 +246,11 @@ func (u *unpacker) strRef(pool poolID, cat string) (string, error) {
 	if !isNew {
 		return key, nil
 	}
-	n, err := u.r.Stream("str." + cat + ".len").Uint()
+	n, err := u.r.Stream(strLenName[cat]).Uint()
 	if err != nil {
 		return "", err
 	}
-	raw, err := u.r.Stream("str." + cat + ".chr").Raw(int(n))
+	raw, err := u.r.Stream(strChrName[cat]).Raw(int(n))
 	if err != nil {
 		return "", err
 	}
@@ -185,14 +259,14 @@ func (u *unpacker) strRef(pool poolID, cat string) (string, error) {
 	return s, nil
 }
 
-func (u *unpacker) pkgRef() (string, error)    { return u.strRef(poolPackage, "pkg") }
-func (u *unpacker) simpleRef() (string, error) { return u.strRef(poolSimple, "cls") }
+func (u *unpacker) pkgRef() (string, error)    { return u.strRef(poolPackage, catPkg) }
+func (u *unpacker) simpleRef() (string, error) { return u.strRef(poolSimple, catCls) }
 func (u *unpacker) methodNameRef() (string, error) {
-	return u.strRef(poolMethodName, "mname")
+	return u.strRef(poolMethodName, catMname)
 }
-func (u *unpacker) fieldNameRef() (string, error) { return u.strRef(poolFieldName, "fname") }
+func (u *unpacker) fieldNameRef() (string, error) { return u.strRef(poolFieldName, catFname) }
 func (u *unpacker) stringConstRef() (string, error) {
-	return u.strRef(poolString, "str")
+	return u.strRef(poolString, catStr)
 }
 
 // classRef decodes a class/primitive/array type reference.

@@ -294,7 +294,7 @@ func (u *unpacker) code() (*dCode, error) {
 	}
 	hs := u.r.Stream(sHandler)
 	c.handlers = make([]dHandler, nHandlers)
-	handlerOffsets := make([]int, 0, nHandlers)
+	handlerOffsets := u.hoffs[:0]
 	for i := range c.handlers {
 		h := &c.handlers[i]
 		for _, p := range []*int{&h.start, &h.end, &h.handler} {
@@ -325,9 +325,17 @@ func (u *unpacker) code() (*dCode, error) {
 		return nil, corrupt.TooLarge(sMeta, -1, "code length %d implausible", v)
 	}
 	c.codeLen = int(v)
+	u.hoffs = handlerOffsets
 	var sim *stackstate.Sim
 	if u.opts.StackState {
-		sim = stackstate.New(nil, handlerOffsets)
+		// Reset copies handlerOffsets, so the u.hoffs scratch can be
+		// reused by the next method without corrupting the simulation.
+		if u.sim == nil {
+			u.sim = stackstate.New(nil, handlerOffsets)
+		} else {
+			u.sim.Reset(nil, handlerOffsets)
+		}
+		sim = u.sim
 	}
 	pos := 0
 	for pos < c.codeLen {
@@ -431,13 +439,13 @@ func (u *unpacker) insn(pos int, sim *stackstate.Sim) (dInsn, int, error) {
 		if di.member, err = u.memberRef(useInterface, ctx); err != nil {
 			return di, 0, err
 		}
-		sig, err := di.member.MethodSignature()
+		e, err := u.methodSig(di.member.Desc)
 		if err != nil {
 			return di, 0, err
 		}
-		di.in.B = sig.ArgSlots() + 1
+		di.in.B = e.argSlots + 1
 		info.HasMethod = true
-		info.Params, info.Ret, _ = methodTypes(sig)
+		info.Params, info.Ret = e.params, e.ret
 	case bytecode.FmtMultiANewArray:
 		if di.class, err = u.classRef(); err != nil {
 			return di, 0, err
@@ -638,19 +646,19 @@ func (u *unpacker) cpOperand(di *dInsn, ctx int, info *stackstate.OpInfo) error 
 	}
 	switch di.use {
 	case useGetfield, useGetstatic:
-		t, terr := di.member.FieldTypeKey()
+		t, terr := u.fieldInfoType(di.member.Desc)
 		if terr != nil {
 			return terr
 		}
 		info.HasField = true
-		info.Field = ir.KeyToType(t)
+		info.Field = t
 	default:
-		sig, serr := di.member.MethodSignature()
+		e, serr := u.methodSig(di.member.Desc)
 		if serr != nil {
 			return serr
 		}
 		info.HasMethod = true
-		info.Params, info.Ret, _ = methodTypes(sig)
+		info.Params, info.Ret = e.params, e.ret
 	}
 	return nil
 }
@@ -660,25 +668,25 @@ func (u *unpacker) build(minor, major uint16, flags uint64, this, super ir.Class
 	ifaces []ir.ClassKey, inner []dInner, fields []dField, methods []dMethod) (*classfile.ClassFile, error) {
 
 	b := classfile.NewEmptyBuilder(uint16(flags))
-	b.SetThisClass(ir.KeyToClassName(this))
+	b.SetThisClass(u.className(this))
 	if flags&flagHasSuper != 0 {
-		b.SetSuperClass(ir.KeyToClassName(super))
+		b.SetSuperClass(u.className(super))
 	}
 	b.CF.MinorVersion = minor
 	b.CF.MajorVersion = major
 	for _, k := range ifaces {
-		b.AddInterface(ir.KeyToClassName(k))
+		b.AddInterface(u.className(k))
 	}
 	if len(inner) > 0 {
 		ic := &classfile.InnerClassesAttr{}
 		ic.NameIndex = b.Utf8("InnerClasses")
 		for _, e := range inner {
 			entry := classfile.InnerClass{
-				Inner:       b.Class(ir.KeyToClassName(e.inner)),
+				Inner:       b.Class(u.className(e.inner)),
 				AccessFlags: e.access,
 			}
 			if e.hasOuter {
-				entry.Outer = b.Class(ir.KeyToClassName(e.outer))
+				entry.Outer = b.Class(u.className(e.outer))
 			}
 			if e.hasName {
 				entry.InnerName = b.Utf8(e.name)
@@ -710,7 +718,13 @@ func (u *unpacker) build(minor, major uint16, flags uint64, this, super ir.Class
 		addFlagAttrs(b, &member.Attrs, f.flags)
 	}
 
-	decoded := make(map[*classfile.CodeAttr][]bytecode.Instruction)
+	decoded := u.decoded
+	if decoded == nil {
+		decoded = make(map[*classfile.CodeAttr][]bytecode.Instruction)
+		u.decoded = decoded
+	} else {
+		clear(decoded)
+	}
 	for _, m := range methods {
 		member := b.AddMethod(uint16(m.flags), m.name, ir.SignatureToDescriptor(m.sig))
 		if m.code != nil {
@@ -734,7 +748,7 @@ func (u *unpacker) build(minor, major uint16, flags uint64, this, super ir.Class
 					HandlerPC: uint16(h.handler),
 				}
 				if h.hasCatch {
-					eh.CatchType = b.Class(ir.KeyToClassName(h.catch))
+					eh.CatchType = b.Class(u.className(h.catch))
 				}
 				attr.Handlers = append(attr.Handlers, eh)
 			}
@@ -744,7 +758,7 @@ func (u *unpacker) build(minor, major uint16, flags uint64, this, super ir.Class
 		if len(m.exceptions) > 0 {
 			names := make([]string, len(m.exceptions))
 			for i, k := range m.exceptions {
-				names[i] = ir.KeyToClassName(k)
+				names[i] = u.className(k)
 			}
 			b.AttachExceptions(member, names)
 		}
@@ -755,7 +769,7 @@ func (u *unpacker) build(minor, major uint16, flags uint64, this, super ir.Class
 	if err != nil {
 		return nil, err
 	}
-	if err := strip.RenumberWithCode(cf, decoded); err != nil {
+	if err := strip.RenumberWithCodeScratch(cf, decoded, &u.scratch); err != nil {
 		return nil, err
 	}
 	return cf, nil
@@ -796,7 +810,7 @@ func (u *unpacker) resolveOperand(b *classfile.Builder, di *dInsn, in *bytecode.
 		}
 		in.A = int(idx)
 	case di.hasUse:
-		owner := ir.KeyToClassName(di.member.Owner)
+		owner := u.className(di.member.Owner)
 		switch di.member.Kind {
 		case classfile.KindFieldref:
 			in.A = int(b.Fieldref(owner, di.member.Name, di.member.Desc))
@@ -806,7 +820,7 @@ func (u *unpacker) resolveOperand(b *classfile.Builder, di *dInsn, in *bytecode.
 			in.A = int(b.Methodref(owner, di.member.Name, di.member.Desc))
 		}
 	case bytecode.IsCPRef(in.Op):
-		in.A = int(b.Class(ir.KeyToClassName(di.class)))
+		in.A = int(b.Class(u.className(di.class)))
 	}
 	return nil
 }

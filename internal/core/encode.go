@@ -39,7 +39,7 @@ func PackVersion(cfs []*classfile.ClassFile, opts Options, ver byte) ([]byte, er
 	if err := counter.archive(cfs); err != nil {
 		return nil, err
 	}
-	emitter := newEmittingPacker(opts, counter.counts)
+	emitter := newEmittingPacker(opts, counter.counts, counter.keys)
 	if opts.Preload {
 		preloadPacker(emitter)
 	}
@@ -72,7 +72,7 @@ func PackStats(cfs []*classfile.ClassFile, opts Options) (map[string][2]int, err
 	if err := counter.archive(cfs); err != nil {
 		return nil, err
 	}
-	emitter := newEmittingPacker(opts, counter.counts)
+	emitter := newEmittingPacker(opts, counter.counts, counter.keys)
 	if opts.Preload {
 		preloadPacker(emitter)
 	}
@@ -330,7 +330,7 @@ func (p *packer) writeF64(v float64) {
 }
 
 func (p *packer) method(cf *classfile.ClassFile, m *classfile.Member) error {
-	sig, err := ir.DescriptorToSignature(cf.MemberDesc(m))
+	sig, err := p.keys.sigEntry(cf.MemberDesc(m))
 	if err != nil {
 		return err
 	}
@@ -376,7 +376,7 @@ func (p *packer) code(cf *classfile.ClassFile, code *classfile.CodeAttr) error {
 	maxes.Uint(uint64(code.MaxStack))
 	maxes.Uint(uint64(code.MaxLocals))
 	p.st(sMeta).Uint(uint64(len(code.Handlers)))
-	handlerOffsets := make([]int, 0, len(code.Handlers))
+	handlerOffsets := p.hoffs[:0]
 	hs := p.st(sHandler)
 	for _, h := range code.Handlers {
 		hs.Uint(uint64(h.StartPC))
@@ -398,16 +398,28 @@ func (p *packer) code(cf *classfile.ClassFile, code *classfile.CodeAttr) error {
 		}
 		handlerOffsets = append(handlerOffsets, int(h.HandlerPC))
 	}
+	p.hoffs = handlerOffsets
 	p.st(sMeta).Uint(uint64(len(code.Code)))
 
-	insns, err := bytecode.Decode(code.Code)
+	insns, err := bytecode.DecodeAppend(p.insns[:0], code.Code)
 	if err != nil {
 		return err
 	}
-	res := stackstate.NewClassFileResolver(cf)
+	p.insns = insns
+	if p.res == nil {
+		p.res = stackstate.NewClassFileResolver(cf)
+	} else {
+		p.res.Reset(cf)
+	}
+	res := p.res
 	var sim *stackstate.Sim
 	if p.opts.StackState {
-		sim = stackstate.New(res, handlerOffsets)
+		if p.sim == nil {
+			p.sim = stackstate.New(res, handlerOffsets)
+		} else {
+			p.sim.Reset(res, handlerOffsets)
+		}
+		sim = p.sim
 	}
 	for i := range insns {
 		if err := p.insn(cf, &insns[i], sim, res); err != nil {
@@ -497,11 +509,11 @@ func (p *packer) insn(cf *classfile.ClassFile, in *bytecode.Instruction, sim *st
 		if err != nil {
 			return err
 		}
-		sig, err := m.MethodSignature()
+		e, err := p.keys.sigEntry(m.Desc)
 		if err != nil {
 			return err
 		}
-		if want := sig.ArgSlots() + 1; in.B != want {
+		if want := e.sig.ArgSlots() + 1; in.B != want {
 			return fmt.Errorf("invokeinterface count %d, descriptor implies %d", in.B, want)
 		}
 		if err := p.memberRef(m, useInterface, ctx); err != nil {

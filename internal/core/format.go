@@ -82,13 +82,41 @@ const (
 // refsScheme narrows a header byte to a scheme value.
 func refsScheme(b byte) refs.Scheme { return refs.Scheme(b) }
 
-// refStream returns the index stream for a pool.
-func refStream(p poolID) string { return "ref." + poolName[p] }
+// refStream returns the index stream for a pool. The names are
+// precomputed: building them per reference dominated the allocation
+// profile of both directions.
+func refStream(p poolID) string { return refStreamName[p] }
 
-// strStreams returns the length and character streams for a string
-// category (§8: lengths separate from characters, one pair per category).
-func strStreams(cat string) (lens, chars string) {
-	return "str." + cat + ".len", "str." + cat + ".chr"
+var refStreamName [numPools]string
+
+// strCat identifies a string category (§8). Each category owns a
+// length and a character stream; the pairs are precomputed like the
+// ref streams.
+type strCat int
+
+const (
+	catPkg strCat = iota
+	catCls
+	catMname
+	catFname
+	catStr
+	numStrCats
+)
+
+var strCatName = [numStrCats]string{"pkg", "cls", "mname", "fname", "str"}
+
+// strLenName and strChrName are the per-category length and character
+// stream names (§8: lengths separate from characters).
+var strLenName, strChrName [numStrCats]string
+
+func init() {
+	for p := range refStreamName {
+		refStreamName[p] = "ref." + poolName[poolID(p)]
+	}
+	for c := range strCatName {
+		strLenName[c] = "str." + strCatName[c] + ".len"
+		strChrName[c] = "str." + strCatName[c] + ".chr"
+	}
 }
 
 // poolID identifies a reference pool. Separate pools are kept for virtual,

@@ -1,23 +1,123 @@
 package core
 
 import (
-	"fmt"
+	"strconv"
+	"unicode/utf8"
 
+	"classpack/internal/bytecode"
 	"classpack/internal/classfile"
 	"classpack/internal/ir"
 	"classpack/internal/refs"
+	"classpack/internal/stackstate"
 	"classpack/internal/streams"
 )
 
 // Canonical pool keys. Keys only need to be unique within their pool and
-// identical between passes and directions.
+// identical between passes and directions. The append builders replicate
+// the historical fmt verb output byte-for-byte: the keys are move-to-front
+// identities, so any drift would change packed archives.
 
-func classKeyStr(k ir.ClassKey) string {
-	return fmt.Sprintf("%d\x00%c\x00%s\x00%s", k.Dims, rune(k.Prim)+1, k.Pkg, k.Simple)
+// appendClassKey appends the canonical key of k:
+// "<dims>\x00<prim+1 as rune>\x00<pkg>\x00<simple>".
+func appendClassKey(dst []byte, k ir.ClassKey) []byte {
+	dst = strconv.AppendInt(dst, int64(k.Dims), 10)
+	dst = append(dst, 0)
+	dst = utf8.AppendRune(dst, rune(k.Prim)+1)
+	dst = append(dst, 0)
+	dst = append(dst, k.Pkg...)
+	dst = append(dst, 0)
+	return append(dst, k.Simple...)
 }
 
-func memberKeyStr(m ir.MemberRef) string {
-	return classKeyStr(m.Owner) + "\x01" + m.Name + "\x01" + m.Desc
+// appendMemberKey appends the canonical key of m:
+// "<ownerKey>\x01<name>\x01<desc>".
+func appendMemberKey(dst []byte, m ir.MemberRef) []byte {
+	dst = appendClassKey(dst, m.Owner)
+	dst = append(dst, 1)
+	dst = append(dst, m.Name...)
+	dst = append(dst, 1)
+	return append(dst, m.Desc...)
+}
+
+func classKeyStr(k ir.ClassKey) string { return string(appendClassKey(nil, k)) }
+
+func memberKeyStr(m ir.MemberRef) string { return string(appendMemberKey(nil, m)) }
+
+// keyCache memoizes pool keys and descriptor parses for one Pack. The
+// counting and emitting passes traverse the same classes in the same
+// order, so sharing one cache makes every emit-pass computation a map
+// hit. The comparable IR structs (ClassKey, MemberRef) key directly.
+type keyCache struct {
+	classKeys  map[ir.ClassKey]string
+	memberKeys map[ir.MemberRef]string
+	sigs       map[string]sigEntry    // method descriptor -> signature + pool key
+	fieldKeys  map[string]ir.ClassKey // field descriptor -> type key
+	kbuf       []byte                 // scratch for key building
+}
+
+// sigEntry is a parsed method descriptor: the factored signature and
+// its canonical pool key.
+type sigEntry struct {
+	sig ir.Signature
+	key string
+}
+
+func newKeyCache() *keyCache {
+	return &keyCache{
+		classKeys:  make(map[ir.ClassKey]string),
+		memberKeys: make(map[ir.MemberRef]string),
+		sigs:       make(map[string]sigEntry),
+		fieldKeys:  make(map[string]ir.ClassKey),
+	}
+}
+
+func (c *keyCache) classKey(k ir.ClassKey) string {
+	if s, ok := c.classKeys[k]; ok {
+		return s
+	}
+	c.kbuf = appendClassKey(c.kbuf[:0], k)
+	s := string(c.kbuf)
+	c.classKeys[k] = s
+	return s
+}
+
+func (c *keyCache) memberKey(m ir.MemberRef) string {
+	if s, ok := c.memberKeys[m]; ok {
+		return s
+	}
+	c.kbuf = appendMemberKey(c.kbuf[:0], m)
+	s := string(c.kbuf)
+	c.memberKeys[m] = s
+	return s
+}
+
+// sigEntry parses a method descriptor once, memoizing the signature and
+// its pool key.
+func (c *keyCache) sigEntry(desc string) (sigEntry, error) {
+	if e, ok := c.sigs[desc]; ok {
+		return e, nil
+	}
+	sig, err := ir.DescriptorToSignature(desc)
+	if err != nil {
+		return sigEntry{}, err
+	}
+	e := sigEntry{sig: sig, key: sig.SigString()}
+	c.sigs[desc] = e
+	return e, nil
+}
+
+// fieldKey parses a field descriptor once, memoizing the type key.
+func (c *keyCache) fieldKey(desc string) (ir.ClassKey, error) {
+	if k, ok := c.fieldKeys[desc]; ok {
+		return k, nil
+	}
+	t, err := classfile.ParseFieldDescriptor(desc)
+	if err != nil {
+		return ir.ClassKey{}, err
+	}
+	k := ir.TypeToKey(t)
+	c.fieldKeys[desc] = k
+	return k, nil
 }
 
 // memberPool maps a member reference and its use site to its pool:
@@ -58,16 +158,18 @@ const (
 type sink interface {
 	WriteByte(byte) error
 	Write([]byte) (int, error)
+	WriteString(string) (int, error)
 	Uint(uint64)
 	Int(int64)
 }
 
 type discard struct{}
 
-func (discard) WriteByte(byte) error        { return nil }
-func (discard) Write(p []byte) (int, error) { return len(p), nil }
-func (discard) Uint(uint64)                 {}
-func (discard) Int(int64)                   {}
+func (discard) WriteByte(byte) error              { return nil }
+func (discard) Write(p []byte) (int, error)       { return len(p), nil }
+func (discard) WriteString(s string) (int, error) { return len(s), nil }
+func (discard) Uint(uint64)                       {}
+func (discard) Int(int64)                         {}
 
 // packer holds the encoder state for one pass (counting or emitting).
 type packer struct {
@@ -78,11 +180,18 @@ type packer struct {
 	seen     [numPools]map[string]bool
 	encs     [numPools]refs.Encoder
 	scratch  []byte
+	keys     *keyCache
 	traces   map[string][]refs.Event // non-nil: record events per pool name
+
+	// Per-method scratch reused across the whole pass.
+	insns []bytecode.Instruction
+	hoffs []int
+	sim   *stackstate.Sim
+	res   *stackstate.ClassFileResolver
 }
 
 func newCountingPacker(opts Options) *packer {
-	p := &packer{opts: opts, counting: true}
+	p := &packer{opts: opts, counting: true, keys: newKeyCache()}
 	for i := range p.counts {
 		p.counts[i] = make(map[string]int)
 		p.seen[i] = make(map[string]bool)
@@ -90,8 +199,8 @@ func newCountingPacker(opts Options) *packer {
 	return p
 }
 
-func newEmittingPacker(opts Options, counts [numPools]map[string]int) *packer {
-	p := &packer{opts: opts, w: streams.NewWriter(), counts: counts}
+func newEmittingPacker(opts Options, counts [numPools]map[string]int, keys *keyCache) *packer {
+	p := &packer{opts: opts, w: streams.NewWriter(), counts: counts, keys: keys}
 	for i := range p.encs {
 		p.encs[i] = refs.NewEncoder(opts.Scheme, counts[i])
 	}
@@ -133,10 +242,9 @@ func (p *packer) ref(pool poolID, ctx int, key string, def func()) {
 
 // strDef emits a string definition into the category's length and
 // character streams (§8).
-func (p *packer) strDef(cat, s string) {
-	lens, chars := strStreams(cat)
-	p.st(lens).Uint(uint64(len(s)))
-	if _, err := p.st(chars).Write([]byte(s)); err != nil {
+func (p *packer) strDef(cat strCat, s string) {
+	p.st(strLenName[cat]).Uint(uint64(len(s)))
+	if _, err := p.st(strChrName[cat]).WriteString(s); err != nil {
 		//classpack:vet-allow nopanic stream writes land in a bytes.Buffer and cannot fail
 		panic(err)
 	}
@@ -144,34 +252,34 @@ func (p *packer) strDef(cat, s string) {
 
 // pkgRef encodes a reference to a package name.
 func (p *packer) pkgRef(s string) {
-	p.ref(poolPackage, 0, s, func() { p.strDef("pkg", s) })
+	p.ref(poolPackage, 0, s, func() { p.strDef(catPkg, s) })
 }
 
 // simpleRef encodes a reference to a simple class name.
 func (p *packer) simpleRef(s string) {
-	p.ref(poolSimple, 0, s, func() { p.strDef("cls", s) })
+	p.ref(poolSimple, 0, s, func() { p.strDef(catCls, s) })
 }
 
 // methodNameRef encodes a reference to a method name; a single pool is
 // shared across all method kinds (§5.1.6).
 func (p *packer) methodNameRef(s string) {
-	p.ref(poolMethodName, 0, s, func() { p.strDef("mname", s) })
+	p.ref(poolMethodName, 0, s, func() { p.strDef(catMname, s) })
 }
 
 // fieldNameRef encodes a reference to a field name.
 func (p *packer) fieldNameRef(s string) {
-	p.ref(poolFieldName, 0, s, func() { p.strDef("fname", s) })
+	p.ref(poolFieldName, 0, s, func() { p.strDef(catFname, s) })
 }
 
 // stringConstRef encodes a reference to a string constant.
 func (p *packer) stringConstRef(s string) {
-	p.ref(poolString, 0, s, func() { p.strDef("str", s) })
+	p.ref(poolString, 0, s, func() { p.strDef(catStr, s) })
 }
 
 // classRef encodes a reference to a class/primitive/array type; new types
 // define their dims/primitive shape and factored name (§4).
 func (p *packer) classRef(k ir.ClassKey) {
-	p.ref(poolClass, 0, classKeyStr(k), func() {
+	p.ref(poolClass, 0, p.keys.classKey(k), func() {
 		d := p.st(sClassDef)
 		d.Uint(uint64(k.Dims))
 		if err := d.WriteByte(k.Prim); err != nil {
@@ -187,10 +295,10 @@ func (p *packer) classRef(k ir.ClassKey) {
 
 // sigRef encodes a reference to a method signature; new signatures define
 // their return and parameter types as class references (§4).
-func (p *packer) sigRef(sig ir.Signature) {
-	p.ref(poolSig, 0, sig.SigString(), func() {
-		p.st(sMeta).Uint(uint64(len(sig)))
-		for _, k := range sig {
+func (p *packer) sigRef(e sigEntry) {
+	p.ref(poolSig, 0, e.key, func() {
+		p.st(sMeta).Uint(uint64(len(e.sig)))
+		for _, k := range e.sig {
 			p.classRef(k)
 		}
 	})
@@ -201,11 +309,11 @@ func (p *packer) sigRef(sig ir.Signature) {
 func (p *packer) memberRef(m ir.MemberRef, use opUse, ctx int) error {
 	pool := memberPool(m, use)
 	var defErr error
-	p.ref(pool, ctx, memberKeyStr(m), func() {
+	p.ref(pool, ctx, p.keys.memberKey(m), func() {
 		p.classRef(m.Owner)
 		if m.Kind == classfile.KindFieldref {
 			p.fieldNameRef(m.Name)
-			t, err := m.FieldTypeKey()
+			t, err := p.keys.fieldKey(m.Desc)
 			if err != nil {
 				defErr = err
 				return
@@ -214,12 +322,12 @@ func (p *packer) memberRef(m ir.MemberRef, use opUse, ctx int) error {
 			return
 		}
 		p.methodNameRef(m.Name)
-		sig, err := m.MethodSignature()
+		e, err := p.keys.sigEntry(m.Desc)
 		if err != nil {
 			defErr = err
 			return
 		}
-		p.sigRef(sig)
+		p.sigRef(e)
 	})
 	return defErr
 }

@@ -8,7 +8,9 @@ package ir
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
+	"unicode/utf8"
 
 	"classpack/internal/classfile"
 )
@@ -184,9 +186,21 @@ func ResolveMember(cf *classfile.ClassFile, idx uint16) (MemberRef, error) {
 // SigString is a canonical comparable form of a signature, usable as a
 // map key for move-to-front pools.
 func (sig Signature) SigString() string {
-	var b strings.Builder
+	return string(sig.AppendSigString(nil))
+}
+
+// AppendSigString appends SigString's bytes to dst, for callers that
+// reuse a scratch buffer. Each key renders as "<dims><prim+1><pkg>/<simple>;"
+// with prim+1 encoded as a rune (these are move-to-front pool identities,
+// so the bytes must never drift).
+func (sig Signature) AppendSigString(dst []byte) []byte {
 	for _, k := range sig {
-		fmt.Fprintf(&b, "%d%c%s/%s;", k.Dims, k.Prim+1, k.Pkg, k.Simple)
+		dst = strconv.AppendInt(dst, int64(k.Dims), 10)
+		dst = utf8.AppendRune(dst, rune(k.Prim+1))
+		dst = append(dst, k.Pkg...)
+		dst = append(dst, '/')
+		dst = append(dst, k.Simple...)
+		dst = append(dst, ';')
 	}
-	return b.String()
+	return dst
 }

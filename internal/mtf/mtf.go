@@ -23,6 +23,10 @@ const (
 type node[K comparable] struct {
 	key  K
 	next []link[K]
+	// inline backs next for the common short nodes, merging the node and
+	// link-slice allocations: with p = 1/4 promotion, 255 of 256 nodes
+	// have at most 4 levels.
+	inline [4]link[K]
 }
 
 // link is a forward pointer annotated with the number of list positions it
@@ -100,7 +104,12 @@ func (q *Queue[K]) PushFront(k K) {
 		//classpack:vet-allow nopanic encoder-side contract: each key is inserted exactly once; decoders never call PushFront
 		panic(fmt.Sprintf("mtf: PushFront of present key %v", k))
 	}
-	n := &node[K]{key: k, next: make([]link[K], q.randLevel())}
+	n := &node[K]{key: k}
+	if h := q.randLevel(); h <= len(n.inline) {
+		n.next = n.inline[:h]
+	} else {
+		n.next = make([]link[K], h)
+	}
 	q.index[k] = n
 	q.insertNodeFront(n)
 }

@@ -40,10 +40,21 @@ func Workers(concurrency, n int) int {
 // slice as undefined past the returned error's index, just as a serial
 // loop would have left it unfilled.
 func Do(concurrency, n int, f func(i int) error) error {
+	return DoWorkers(concurrency, n, func(_, i int) error { return f(i) })
+}
+
+// DoWorkers is Do for callbacks that keep per-worker scratch state: f
+// additionally receives the calling worker's id in [0, Workers(concurrency,
+// n)). A given worker id is never used by two goroutines concurrently, so
+// scratch indexed by it needs no locking. Item-to-worker assignment is
+// load-dependent; anything that must not vary with scheduling (output
+// content, order, error selection) carries the item index, exactly as in
+// Do.
+func DoWorkers(concurrency, n int, f func(worker, i int) error) error {
 	workers := Workers(concurrency, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := f(i); err != nil {
+			if err := f(0, i); err != nil {
 				return err
 			}
 		}
@@ -58,7 +69,7 @@ func Do(concurrency, n int, f func(i int) error) error {
 	failed.Store(int64(n))
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1) - 1)
@@ -69,7 +80,7 @@ func Do(concurrency, n int, f func(i int) error) error {
 				if i >= n || int64(i) > failed.Load() {
 					return
 				}
-				if err := f(i); err != nil {
+				if err := f(worker, i); err != nil {
 					errs[i] = err
 					for {
 						cur := failed.Load()
@@ -79,7 +90,7 @@ func Do(concurrency, n int, f func(i int) error) error {
 					}
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {

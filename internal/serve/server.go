@@ -20,6 +20,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strings"
 	"time"
@@ -72,6 +73,14 @@ type Config struct {
 	// after its context is cancelled (0 = DefaultDrainTimeout).
 	DrainTimeout time.Duration
 
+	// EnablePprof exposes the runtime profiler under GET /debug/pprof/
+	// (CPU, heap, goroutine, trace). Off by default: the endpoints
+	// reveal internals and let any client start a profile, so they are
+	// only for operator-trusted deployments. Profiler requests bypass
+	// the request deadline (a 30s CPU profile must outlive
+	// RequestTimeout).
+	EnablePprof bool
+
 	// packStarted, when set, is called after a pack job acquires its
 	// slot and before encoding begins. Test-only seam for exercising
 	// in-flight shutdown and queue-timeout behavior.
@@ -116,6 +125,23 @@ func New(cfg Config) *Server {
 		io.WriteString(w, "ok\n")
 	})
 	s.handler = s.instrument(mux)
+	if cfg.EnablePprof {
+		// Profiler endpoints mount on a root mux *outside* instrument:
+		// a ?seconds=30 CPU profile must not be cut off by the request
+		// deadline, and profile bodies shouldn't count against the
+		// request-size cap. They still tick the request counter.
+		root := http.NewServeMux()
+		root.HandleFunc("GET /debug/pprof/", func(w http.ResponseWriter, r *http.Request) {
+			s.metrics.Requests.Add(1)
+			pprof.Index(w, r)
+		})
+		root.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		root.Handle("/", s.handler)
+		s.handler = root
+	}
 	return s
 }
 

@@ -4,16 +4,70 @@ import (
 	"classpack/internal/classfile"
 )
 
+// DescCache memoizes descriptor parses keyed by the descriptor string.
+// Descriptors repeat heavily across the methods and classes of one
+// archive, so one cache per pack pass turns almost every parse into a
+// map hit. The cached params slices are shared — they are read-only in
+// the simulation (StepInfo only ranges over them).
+type DescCache struct {
+	fields  map[string]fieldEntry
+	methods map[string]methodEntry
+}
+
+type fieldEntry struct {
+	t  classfile.Type
+	ok bool
+}
+
+type methodEntry struct {
+	params []classfile.Type
+	ret    classfile.Type
+	ok     bool
+}
+
+// NewDescCache returns an empty descriptor cache.
+func NewDescCache() *DescCache {
+	return &DescCache{
+		fields:  make(map[string]fieldEntry),
+		methods: make(map[string]methodEntry),
+	}
+}
+
+func (c *DescCache) fieldType(desc string) (classfile.Type, bool) {
+	if e, ok := c.fields[desc]; ok {
+		return e.t, e.ok
+	}
+	t, err := classfile.ParseFieldDescriptor(desc)
+	e := fieldEntry{t: t, ok: err == nil}
+	c.fields[desc] = e
+	return e.t, e.ok
+}
+
+func (c *DescCache) methodType(desc string) ([]classfile.Type, classfile.Type, bool) {
+	if e, ok := c.methods[desc]; ok {
+		return e.params, e.ret, e.ok
+	}
+	params, ret, err := classfile.ParseMethodDescriptor(desc)
+	e := methodEntry{params: params, ret: ret, ok: err == nil}
+	c.methods[desc] = e
+	return e.params, e.ret, e.ok
+}
+
 // ClassFileResolver resolves constant-pool queries against a parsed
 // classfile; it is the Resolver used when compressing real class files.
 type ClassFileResolver struct {
-	cf *classfile.ClassFile
+	cf    *classfile.ClassFile
+	cache *DescCache
 }
 
-// NewClassFileResolver returns a resolver over cf.
+// NewClassFileResolver returns a resolver over cf with its own cache.
 func NewClassFileResolver(cf *classfile.ClassFile) *ClassFileResolver {
-	return &ClassFileResolver{cf: cf}
+	return &ClassFileResolver{cf: cf, cache: NewDescCache()}
 }
+
+// Reset repoints the resolver at a new classfile. The descriptor cache
+// is kept: its keys are descriptor strings, valid across classfiles.
+func (r *ClassFileResolver) Reset(cf *classfile.ClassFile) { r.cf = cf }
 
 func (r *ClassFileResolver) constAt(idx int) *classfile.Constant {
 	if idx <= 0 || idx >= len(r.cf.Pool) {
@@ -32,11 +86,7 @@ func (r *ClassFileResolver) FieldType(cpIndex int) (classfile.Type, bool) {
 	if nat == nil || nat.Kind != classfile.KindNameAndType {
 		return classfile.Type{}, false
 	}
-	t, err := classfile.ParseFieldDescriptor(r.cf.Utf8At(nat.Desc))
-	if err != nil {
-		return classfile.Type{}, false
-	}
-	return t, true
+	return r.cache.fieldType(r.cf.Utf8At(nat.Desc))
 }
 
 // MethodType implements Resolver.
@@ -49,11 +99,7 @@ func (r *ClassFileResolver) MethodType(cpIndex int) ([]classfile.Type, classfile
 	if nat == nil || nat.Kind != classfile.KindNameAndType {
 		return nil, classfile.Type{}, false
 	}
-	params, ret, err := classfile.ParseMethodDescriptor(r.cf.Utf8At(nat.Desc))
-	if err != nil {
-		return nil, classfile.Type{}, false
-	}
-	return params, ret, true
+	return r.cache.methodType(r.cf.Utf8At(nat.Desc))
 }
 
 // ConstKind implements Resolver.

@@ -57,7 +57,7 @@ type Resolver interface {
 // call WireOp (compressor) or SourceOp (decompressor) followed by Step.
 type Sim struct {
 	res      Resolver
-	handlers map[int]bool // exception-handler entry offsets
+	handlers []int // exception-handler entry offsets (few per method)
 
 	stack []Kind
 	known bool // false: stack depth itself is unknown
@@ -77,11 +77,35 @@ type Sim struct {
 // New returns a simulation for a method whose exception handlers begin at
 // the given code offsets. The stack starts empty (method entry).
 func New(res Resolver, handlerOffsets []int) *Sim {
-	s := &Sim{res: res, handlers: make(map[int]bool, len(handlerOffsets)), known: true}
-	for _, o := range handlerOffsets {
-		s.handlers[o] = true
-	}
+	s := &Sim{}
+	s.Reset(res, handlerOffsets)
 	return s
+}
+
+// Reset reinitializes the simulation for a new method body, reusing the
+// existing allocations. Equivalent to New(res, handlerOffsets) except for
+// the identity of the receiver.
+func (s *Sim) Reset(res Resolver, handlerOffsets []int) {
+	s.res = res
+	s.handlers = append(s.handlers[:0], handlerOffsets...)
+	s.stack = s.stack[:0]
+	s.known = true
+	s.savedTarget = 0
+	s.savedStack = s.savedStack[:0]
+	s.savedKnown = false
+	s.haveSaved = false
+	s.terminated = false
+}
+
+// isHandler reports whether offset is an exception-handler entry. Methods
+// have few handlers, so a linear scan beats a map.
+func (s *Sim) isHandler(offset int) bool {
+	for _, o := range s.handlers {
+		if o == offset {
+			return true
+		}
+	}
+	return false
 }
 
 // Begin must be called with the instruction's offset before WireOp /
@@ -92,7 +116,7 @@ func (s *Sim) Begin(offset int) {
 		s.haveSaved = false
 	}
 	switch {
-	case s.handlers[offset]:
+	case s.isHandler(offset):
 		// Handler entry: the stack holds exactly the thrown exception.
 		s.stack = append(s.stack[:0], Ref)
 		s.known = true

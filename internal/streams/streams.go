@@ -212,6 +212,9 @@ func (s *Stream) WriteByte(b byte) error { return s.buf.WriteByte(b) }
 // Write appends raw bytes.
 func (s *Stream) Write(p []byte) (int, error) { return s.buf.Write(p) }
 
+// WriteString appends a string without an intermediate []byte copy.
+func (s *Stream) WriteString(str string) (int, error) { return s.buf.WriteString(str) }
+
 // Uint appends an unsigned varint.
 func (s *Stream) Uint(v uint64) { _ = varint.WriteUint(s, v) }
 

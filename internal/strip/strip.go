@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"classpack/internal/bytecode"
 	"classpack/internal/classfile"
@@ -33,8 +34,39 @@ type Options struct {
 // Apply transforms cf in place and reports an error if the classfile's
 // bytecode cannot be decoded.
 func Apply(cf *classfile.ClassFile, opts Options) error {
+	return ApplyScratch(cf, opts, nil)
+}
+
+// Scratch holds the reusable working memory of one renumber pass:
+// the decoded-instruction arena, mark tables, and content-key buffers.
+// One Scratch serves one goroutine; passing the same Scratch to
+// successive Apply calls eliminates nearly all per-file allocation.
+// The zero value is ready for use.
+type Scratch struct {
+	arena  []bytecode.Instruction
+	codes  []decodedCode
+	used   []bool
+	ldcRef []bool
+	keys   []string
+	kbuf   []byte
+}
+
+// boolTable returns buf resized to n and cleared, reallocating only when
+// it has grown.
+func boolTable(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// ApplyScratch is Apply with caller-owned scratch memory (nil behaves
+// like Apply).
+func ApplyScratch(cf *classfile.ClassFile, opts Options, sc *Scratch) error {
 	dropAttrs(cf, opts)
-	return renumber(cf, nil)
+	return renumber(cf, nil, sc)
 }
 
 // RenumberWithCode performs the garbage-collect/sort/renumber step using
@@ -42,8 +74,14 @@ func Apply(cf *classfile.ClassFile, opts Options) error {
 // not exist yet; the unpacker uses it to build canonical classfiles
 // without first encoding code with out-of-range ldc indices.
 func RenumberWithCode(cf *classfile.ClassFile, decoded map[*classfile.CodeAttr][]bytecode.Instruction) error {
+	return RenumberWithCodeScratch(cf, decoded, nil)
+}
+
+// RenumberWithCodeScratch is RenumberWithCode with caller-owned scratch
+// memory (nil behaves like RenumberWithCode).
+func RenumberWithCodeScratch(cf *classfile.ClassFile, decoded map[*classfile.CodeAttr][]bytecode.Instruction, sc *Scratch) error {
 	dropAttrs(cf, Options{})
-	return renumber(cf, decoded)
+	return renumber(cf, decoded, sc)
 }
 
 // ApplyAll strips every classfile in the slice serially. It is
@@ -58,8 +96,9 @@ func ApplyAll(cfs []*classfile.ClassFile, opts Options) error {
 // worker count; the error returned is the one the serial loop would
 // report first.
 func ApplyAllN(cfs []*classfile.ClassFile, opts Options, concurrency int) error {
-	return par.Do(concurrency, len(cfs), func(i int) error {
-		if err := Apply(cfs[i], opts); err != nil {
+	scratch := make([]Scratch, par.Workers(concurrency, len(cfs)))
+	return par.DoWorkers(concurrency, len(cfs), func(w, i int) error {
+		if err := ApplyScratch(cfs[i], opts, &scratch[w]); err != nil {
 			return fmt.Errorf("strip %s: %w", cfs[i].ThisClassName(), err)
 		}
 		return nil
@@ -186,36 +225,69 @@ func sortGroup(kind classfile.ConstKind, ldcRef bool) int {
 // contentKey returns a string that identifies a constant by value, used
 // both to merge duplicates and as the deterministic sort key.
 func contentKey(pool []classfile.Constant, idx uint16, depth int) string {
+	return string(appendContentKey(nil, pool, idx, depth))
+}
+
+// appendContentKey is contentKey into a caller-owned buffer. The bytes
+// replicate the historical fmt verbs exactly ("%d", "%08x", "%016x"):
+// the keys order the renumbered pool, so any drift changes packed output.
+func appendContentKey(dst []byte, pool []classfile.Constant, idx uint16, depth int) []byte {
 	if idx == 0 || int(idx) >= len(pool) || depth > 4 {
-		return fmt.Sprintf("!%d", idx)
+		return strconv.AppendUint(append(dst, '!'), uint64(idx), 10)
 	}
 	c := &pool[idx]
 	switch c.Kind {
 	case classfile.KindUtf8:
-		return "u" + c.Utf8
+		return append(append(dst, 'u'), c.Utf8...)
 	case classfile.KindInteger:
-		return fmt.Sprintf("i%d", c.Int)
+		return strconv.AppendInt(append(dst, 'i'), int64(c.Int), 10)
 	case classfile.KindFloat:
-		return fmt.Sprintf("f%08x", float32Bits(c.Float))
+		return appendHexPad(append(dst, 'f'), uint64(float32Bits(c.Float)), 8)
 	case classfile.KindLong:
-		return fmt.Sprintf("j%d", c.Long)
+		return strconv.AppendInt(append(dst, 'j'), c.Long, 10)
 	case classfile.KindDouble:
-		return fmt.Sprintf("d%016x", float64Bits(c.Double))
+		return appendHexPad(append(dst, 'd'), float64Bits(c.Double), 16)
 	case classfile.KindClass:
-		return "c" + contentKey(pool, c.Name, depth+1)
+		return appendContentKey(append(dst, 'c'), pool, c.Name, depth+1)
 	case classfile.KindString:
-		return "s" + contentKey(pool, c.Str, depth+1)
+		return appendContentKey(append(dst, 's'), pool, c.Str, depth+1)
 	case classfile.KindNameAndType:
-		return "n" + contentKey(pool, c.Name, depth+1) + "\x00" + contentKey(pool, c.Desc, depth+1)
+		dst = appendContentKey(append(dst, 'n'), pool, c.Name, depth+1)
+		return appendContentKey(append(dst, 0), pool, c.Desc, depth+1)
 	case classfile.KindFieldref, classfile.KindMethodref, classfile.KindInterfaceMethodref:
-		return string('A'+byte(c.Kind)) + contentKey(pool, c.Class, depth+1) + "\x00" +
-			contentKey(pool, c.NameAndType, depth+1)
+		dst = appendContentKey(append(dst, 'A'+byte(c.Kind)), pool, c.Class, depth+1)
+		return appendContentKey(append(dst, 0), pool, c.NameAndType, depth+1)
 	default:
-		return fmt.Sprintf("?%d", idx)
+		return strconv.AppendUint(append(dst, '?'), uint64(idx), 10)
 	}
 }
 
-func renumber(cf *classfile.ClassFile, decoded map[*classfile.CodeAttr][]bytecode.Instruction) error {
+// appendHexPad appends v as exactly width lowercase hex digits
+// (fmt's "%0<width>x" for values that fit).
+func appendHexPad(dst []byte, v uint64, width int) []byte {
+	const digits = "0123456789abcdef"
+	var buf [16]byte
+	for i := width - 1; i >= 0; i-- {
+		buf[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return append(dst, buf[:width]...)
+}
+
+// decodedCode records one Code attribute's decoded instructions: either a
+// caller-supplied slice (insns non-nil, the unpack path) or a range of
+// the Scratch arena (the arena may have been reallocated by later
+// appends, so ranges are resolved against the final arena).
+type decodedCode struct {
+	attr       *classfile.CodeAttr
+	insns      []bytecode.Instruction
+	start, end int
+}
+
+func renumber(cf *classfile.ClassFile, decoded map[*classfile.CodeAttr][]bytecode.Instruction, sc *Scratch) error {
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	cf.Attrs = normalizeAttrs(cf.Attrs)
 	for i := range cf.Fields {
 		cf.Fields[i].Attrs = normalizeAttrs(cf.Fields[i].Attrs)
@@ -224,8 +296,9 @@ func renumber(cf *classfile.ClassFile, decoded map[*classfile.CodeAttr][]bytecod
 		cf.Methods[i].Attrs = normalizeAttrs(cf.Methods[i].Attrs)
 	}
 	pool := cf.Pool
-	used := make([]bool, len(pool))
-	ldcRef := make([]bool, len(pool))
+	sc.used = boolTable(sc.used, len(pool))
+	sc.ldcRef = boolTable(sc.ldcRef, len(pool))
+	used, ldcRef := sc.used, sc.ldcRef
 
 	var mark func(idx uint16)
 	mark = func(idx uint16) {
@@ -265,24 +338,27 @@ func renumber(cf *classfile.ClassFile, decoded map[*classfile.CodeAttr][]bytecod
 	markMembers(cf.Methods)
 	markAttrs(cf.Attrs, mark)
 
-	type decodedCode struct {
-		attr  *classfile.CodeAttr
-		insns []bytecode.Instruction
-	}
-	var codes []decodedCode
+	codes := sc.codes[:0]
+	arena := sc.arena[:0]
 	for mi := range cf.Methods {
 		code := classfile.CodeOf(&cf.Methods[mi])
 		if code == nil {
 			continue
 		}
+		dc := decodedCode{attr: code}
 		insns, ok := decoded[code]
 		if !ok {
-			var err error
-			insns, err = bytecode.Decode(code.Code)
+			start := len(arena)
+			grown, err := bytecode.DecodeAppend(arena, code.Code)
 			if err != nil {
 				return fmt.Errorf("method %s%s: %w",
 					cf.MemberName(&cf.Methods[mi]), cf.MemberDesc(&cf.Methods[mi]), err)
 			}
+			arena = grown
+			dc.start, dc.end = start, len(arena)
+			insns = arena[start:] // valid for marking until the next append
+		} else {
+			dc.insns = insns
 		}
 		for i := range insns {
 			in := &insns[i]
@@ -293,14 +369,23 @@ func renumber(cf *classfile.ClassFile, decoded map[*classfile.CodeAttr][]bytecod
 				}
 			}
 		}
-		codes = append(codes, decodedCode{attr: code, insns: insns})
+		codes = append(codes, dc)
 	}
+	sc.arena, sc.codes = arena, codes
 
 	// Merge duplicates and order survivors.
-	keys := make([]string, len(pool))
+	keys := sc.keys
+	if cap(keys) < len(pool) {
+		keys = make([]string, len(pool))
+	} else {
+		keys = keys[:len(pool)]
+		clear(keys)
+	}
+	sc.keys = keys
 	for i := 1; i < len(pool); i++ {
 		if used[i] {
-			keys[i] = contentKey(pool, uint16(i), 0)
+			sc.kbuf = appendContentKey(sc.kbuf[:0], pool, uint16(i), 0)
+			keys[i] = string(sc.kbuf)
 		}
 	}
 	// A constant is ldc-referenced if any duplicate of it is.
@@ -402,13 +487,17 @@ func renumber(cf *classfile.ClassFile, decoded map[*classfile.CodeAttr][]bytecod
 	remapAttrs(cf.Attrs, remap)
 	// Rewrite bytecode operands and re-encode.
 	for _, dc := range codes {
-		for i := range dc.insns {
-			in := &dc.insns[i]
+		insns := dc.insns
+		if insns == nil {
+			insns = arena[dc.start:dc.end]
+		}
+		for i := range insns {
+			in := &insns[i]
 			if bytecode.IsCPRef(in.Op) {
 				in.A = int(remap(uint16(in.A)))
 			}
 		}
-		code, err := bytecode.Encode(dc.insns)
+		code, err := bytecode.Encode(insns)
 		if err != nil {
 			return fmt.Errorf("strip: re-encode: %w", err)
 		}
