@@ -39,6 +39,8 @@ bench-smoke:
 	$(GO) run ./cmd/benchsnap -n 1 -benchtime 1x \
 		-bench '^Benchmark(Pack|Unpack)Throughput$$' -out /tmp/benchsnap-smoke.json
 	$(GO) run ./cmd/benchsnap -check /tmp/benchsnap-smoke.json
+	$(GO) run ./cmd/benchsnap -ratio -ratio-scale 0.25 -out /tmp/benchsnap-ratio-smoke.json
+	$(GO) run ./cmd/benchsnap -check /tmp/benchsnap-ratio-smoke.json
 
 # bench-compare diffs two recorded snapshots and fails on a >10%
 # throughput regression:
@@ -68,6 +70,7 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz='^FuzzUnpack$$' -fuzztime=$(FUZZTIME) .
 	$(GO) test -run=NONE -fuzz='^FuzzSalvage$$' -fuzztime=$(FUZZTIME) .
+	$(GO) test -run=NONE -fuzz='^FuzzChunkIndex$$' -fuzztime=$(FUZZTIME) .
 	$(GO) test -run=NONE -fuzz='^FuzzStreamsReader$$' -fuzztime=$(FUZZTIME) ./internal/streams
 	$(GO) test -run=NONE -fuzz='^FuzzJazzDecode$$' -fuzztime=$(FUZZTIME) ./internal/jazz
 	$(GO) test -run=NONE -fuzz='^FuzzCustomDecode$$' -fuzztime=$(FUZZTIME) ./internal/custom

@@ -120,6 +120,14 @@ type Options struct {
 	// MaxClassCount caps the number of classes unpacking will
 	// materialize (0 = 1<<20). Decode-side only; ignored by Pack.
 	MaxClassCount int
+	// ChunkClasses selects the version-3 random-access layout: a
+	// positive value groups that many classes per chunk, each chunk
+	// encoded from reset reference models, with a trailing seekable
+	// class index so OpenArchive can extract any class in O(chunk) work.
+	// Zero (the default) keeps the monolithic version-2 layout. Smaller
+	// chunks extract faster but compress worse — models reset at every
+	// chunk boundary. 64 is a reasonable starting point.
+	ChunkClasses int
 }
 
 // DefaultOptions returns the paper's evaluated configuration.
@@ -133,7 +141,8 @@ func (o *Options) core() core.Options {
 		return core.DefaultOptions()
 	}
 	return core.Options{Scheme: o.Scheme, StackState: o.StackState,
-		Compress: o.Compress, Preload: o.Preload, Concurrency: o.Concurrency}
+		Compress: o.Compress, Preload: o.Preload, Concurrency: o.Concurrency,
+		ChunkClasses: o.ChunkClasses}
 }
 
 // unpackOpts extracts the decode-side knobs; coding choices are read
@@ -494,6 +503,11 @@ func jarFromFiles(files []File) ([]byte, error) {
 	}
 	return archive.WriteJar(members)
 }
+
+// JarFromFiles builds a conventional jar from class files — the same
+// layout UnpackToJar produces — for callers assembling subsets via
+// Archive.ExtractClasses.
+func JarFromFiles(files []File) ([]byte, error) { return jarFromFiles(files) }
 
 // Stats describes a packed archive's composition by stream category
 // (the Table 6 breakdown): compressed bytes attributed to strings,

@@ -13,10 +13,19 @@
 //	benchsnap -tag after -n 7       # record BENCH_<date>_<sha>_after.json
 //	benchsnap -check FILE           # validate a snapshot's schema
 //	benchsnap -compare OLD NEW      # delta table; exit 1 on regression
+//	benchsnap -ratio                # record BENCH_<date>_<sha>_ratio.json
 //
 // Compare mode prints a per-benchmark delta table and exits non-zero
 // when any benchmark's throughput regresses by more than 10% (MB/s when
 // reported, otherwise ns/op).
+//
+// Ratio mode records a compression-ratio snapshot instead of timings:
+// it packs the bench corpora as monolithic version-2 archives and as
+// version-3 chunked archives at several chunk sizes, and writes the
+// sizes plus the per-chunk-size overhead to a
+// "classpack-ratiosnap/v1" JSON file. Committed ratio snapshots pin
+// what random access costs in compression. -check validates either
+// schema.
 package main
 
 import (
@@ -32,6 +41,9 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"classpack"
+	"classpack/internal/bench"
 )
 
 // Schema is the identifier every snapshot carries; bump only with a
@@ -87,17 +99,28 @@ func run(args []string) int {
 		dir       = fs.String("dir", ".", "package directory containing the benchmarks")
 		check     = fs.String("check", "", "validate the snapshot FILE and exit")
 		compare   = fs.Bool("compare", false, "compare two snapshots: benchsnap -compare OLD NEW")
+		ratio     = fs.Bool("ratio", false, "record a v2-vs-v3 compression-ratio snapshot instead of timings")
+		ratioScl  = fs.Float64("ratio-scale", 1.0, "corpus scale for -ratio")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	switch {
-	case *check != "":
-		if err := checkFile(*check); err != nil {
+	case *ratio:
+		path, err := recordRatio(*dir, *ratioScl, *tag, *out)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
 			return 1
 		}
-		fmt.Printf("%s: valid %s snapshot\n", *check, Schema)
+		fmt.Printf("wrote %s\n", path)
+		return 0
+	case *check != "":
+		schema, err := checkFile(*check)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+			return 1
+		}
+		fmt.Printf("%s: valid %s snapshot\n", *check, schema)
 		return 0
 	case *compare:
 		if fs.NArg() != 2 {
@@ -321,9 +344,161 @@ func validate(s *Snapshot) error {
 	return nil
 }
 
-func checkFile(path string) error {
-	_, err := load(path)
-	return err
+func checkFile(path string) (schema string, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return "", fmt.Errorf("%s: %v", path, err)
+	}
+	if probe.Schema == RatioSchema {
+		return RatioSchema, checkRatioFile(path)
+	}
+	_, err = load(path)
+	return Schema, err
+}
+
+// RatioSchema identifies v2-vs-v3 compression-ratio snapshots; bump
+// only with a documented migration in DESIGN.md.
+const RatioSchema = "classpack-ratiosnap/v1"
+
+// ratioChunkSizes are the version-3 chunk sizes every ratio snapshot
+// measures, bracketing the DefaultChunkClasses = 64 shipping value.
+var ratioChunkSizes = []int{16, 64, 256}
+
+// ratioCorpora are the profiles a ratio snapshot packs: the three
+// SPECjvm-style corpora the paper's tables lean on.
+var ratioCorpora = []string{"202_jess", "209_db", "213_javac"}
+
+// RatioSnapshot is the stable on-disk schema of a -ratio run.
+type RatioSnapshot struct {
+	Schema  string        `json:"schema"`
+	UTCDate string        `json:"utc_date"`
+	GitSHA  string        `json:"git_sha"`
+	Tag     string        `json:"tag,omitempty"`
+	Scale   float64       `json:"scale"` // corpus scale packed
+	Corpora []CorpusRatio `json:"corpora"`
+}
+
+// CorpusRatio is one corpus's measurements: the monolithic version-2
+// baseline and the version-3 size at each chunk size.
+type CorpusRatio struct {
+	Name       string       `json:"name"`
+	Classes    int          `json:"classes"`
+	InputBytes int64        `json:"input_bytes"` // stripped class bytes summed
+	V2Bytes    int64        `json:"v2_bytes"`
+	Chunked    []ChunkRatio `json:"chunked"`
+}
+
+// ChunkRatio is one (chunk size, archive size) point, with the relative
+// growth over the version-2 baseline.
+type ChunkRatio struct {
+	ChunkClasses int     `json:"chunk_classes"`
+	Bytes        int64   `json:"bytes"`
+	OverheadVsV2 float64 `json:"overhead_vs_v2"` // (v3 - v2) / v2
+}
+
+// recordRatio packs each corpus under every layout and writes the
+// snapshot. Packing happens in-process — archive sizes are deterministic
+// at every worker count, so no go-test indirection is needed.
+func recordRatio(dir string, scale float64, tag, out string) (string, error) {
+	snap := RatioSnapshot{
+		Schema:  RatioSchema,
+		UTCDate: time.Now().UTC().Format("2006-01-02"),
+		GitSHA:  gitShortSHA(dir),
+		Tag:     tag,
+		Scale:   scale,
+	}
+	for _, name := range ratioCorpora {
+		c, err := bench.Load(name, scale)
+		if err != nil {
+			return "", err
+		}
+		raw := make([][]byte, len(c.StrippedFiles))
+		cr := CorpusRatio{Name: name, Classes: len(raw)}
+		for i, f := range c.StrippedFiles {
+			raw[i] = f.Data
+			cr.InputBytes += int64(len(f.Data))
+		}
+		opts := classpack.DefaultOptions()
+		v2, err := classpack.Pack(raw, &opts)
+		if err != nil {
+			return "", fmt.Errorf("%s: v2 pack: %w", name, err)
+		}
+		cr.V2Bytes = int64(len(v2))
+		for _, n := range ratioChunkSizes {
+			opts.ChunkClasses = n
+			v3, err := classpack.Pack(raw, &opts)
+			if err != nil {
+				return "", fmt.Errorf("%s: v3 pack (chunk %d): %w", name, n, err)
+			}
+			cr.Chunked = append(cr.Chunked, ChunkRatio{
+				ChunkClasses: n,
+				Bytes:        int64(len(v3)),
+				OverheadVsV2: float64(len(v3)-len(v2)) / float64(len(v2)),
+			})
+		}
+		snap.Corpora = append(snap.Corpora, cr)
+	}
+	if out == "" {
+		name := "BENCH_" + snap.UTCDate + "_" + snap.GitSHA
+		if tag != "" {
+			name += "_" + tag
+		}
+		out = filepath.Join(dir, name+"_ratio.json")
+	}
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return "", err
+	}
+	return out, nil
+}
+
+// checkRatioFile validates the parts of the ratio schema later tooling
+// depends on.
+func checkRatioFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var s RatioSnapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if s.Schema != RatioSchema {
+		return fmt.Errorf("%s: schema %q, want %q", path, s.Schema, RatioSchema)
+	}
+	if _, err := time.Parse("2006-01-02", s.UTCDate); err != nil {
+		return fmt.Errorf("%s: utc_date %q: want YYYY-MM-DD", path, s.UTCDate)
+	}
+	if s.GitSHA == "" {
+		return fmt.Errorf("%s: missing git_sha", path)
+	}
+	if len(s.Corpora) == 0 {
+		return fmt.Errorf("%s: no corpora recorded", path)
+	}
+	for _, c := range s.Corpora {
+		if c.Name == "" || c.Classes < 1 || c.V2Bytes < 1 {
+			return fmt.Errorf("%s: corpus %q: incomplete record", path, c.Name)
+		}
+		if len(c.Chunked) == 0 {
+			return fmt.Errorf("%s: corpus %q: no chunked measurements", path, c.Name)
+		}
+		for _, ch := range c.Chunked {
+			if ch.ChunkClasses < 1 || ch.Bytes < 1 {
+				return fmt.Errorf("%s: corpus %q: bad chunk point %+v", path, c.Name, ch)
+			}
+		}
+	}
+	return nil
 }
 
 // compareFiles prints a delta table between two snapshots and reports

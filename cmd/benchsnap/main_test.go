@@ -172,10 +172,10 @@ func TestRecordSmokeCheck(t *testing.T) {
 	path := writeSnap(t, dir, "BENCH_2026-08-08_abc1234.json", snap([]Benchmark{
 		{Name: "UnpackThroughput/j=1", Samples: 3, NsPerOp: 6e6, MBPerS: 4.7, AllocsPerOp: 15651, BytesPerOp: 4.9e6},
 	}))
-	if err := checkFile(path); err != nil {
-		t.Fatalf("checkFile: %v", err)
+	if schema, err := checkFile(path); err != nil || schema != Schema {
+		t.Fatalf("checkFile: schema %q, err %v", schema, err)
 	}
-	if err := checkFile(filepath.Join(dir, "missing.json")); err == nil {
+	if _, err := checkFile(filepath.Join(dir, "missing.json")); err == nil {
 		t.Fatal("checkFile accepted a missing file")
 	}
 	bad := strings.Replace(mustJSON(snap([]Benchmark{{Name: "X", Samples: 1, NsPerOp: 1}})),
@@ -184,7 +184,42 @@ func TestRecordSmokeCheck(t *testing.T) {
 	if err := os.WriteFile(badPath, []byte(bad), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := checkFile(badPath); err == nil {
+	if _, err := checkFile(badPath); err == nil {
 		t.Fatal("checkFile accepted a wrong schema")
+	}
+}
+
+func TestRatioSnapshotCheck(t *testing.T) {
+	// The ratio schema round-trips through the shared -check entry.
+	dir := t.TempDir()
+	rs := RatioSnapshot{
+		Schema:  RatioSchema,
+		UTCDate: "2026-08-08",
+		GitSHA:  "abc1234",
+		Scale:   1.0,
+		Corpora: []CorpusRatio{{
+			Name: "202_jess", Classes: 67, InputBytes: 250000, V2Bytes: 60000,
+			Chunked: []ChunkRatio{{ChunkClasses: 64, Bytes: 61000, OverheadVsV2: 0.016}},
+		}},
+	}
+	data, err := json.MarshalIndent(&rs, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_2026-08-08_abc1234_ratio.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if schema, err := checkFile(path); err != nil || schema != RatioSchema {
+		t.Fatalf("checkFile: schema %q, err %v", schema, err)
+	}
+	// An incomplete corpus record fails validation.
+	rs.Corpora[0].Chunked = nil
+	data, _ = json.MarshalIndent(&rs, "", "  ")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := checkFile(path); err == nil {
+		t.Fatal("checkFile accepted a ratio snapshot with no chunked measurements")
 	}
 }

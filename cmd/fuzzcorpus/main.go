@@ -121,6 +121,38 @@ func run() error {
 				return err
 			}
 		}
+		// Version-3 chunked archives: clean seeds for unpack, salvage, and
+		// the index reader, plus deterministic footer/index corruptions so
+		// the index fuzzer starts inside its error paths.
+		chunked := classpack.DefaultOptions()
+		chunked.ChunkClasses = 2
+		packedV3, err := classpack.Pack(raw, &chunked)
+		if err != nil {
+			return err
+		}
+		for _, target := range []string{"FuzzUnpack", "FuzzSalvage", "FuzzChunkIndex"} {
+			if err := corpusFile("testdata/fuzz/"+target, "seed-"+profile+"-v3", packedV3); err != nil {
+				return err
+			}
+		}
+		planV3 := faultinject.NewPlan(int64(len(packedV3)))
+		for i := 0; i < 4; i++ {
+			mut := planV3.Next(len(packedV3)).Apply(packedV3)
+			name := fmt.Sprintf("seed-%s-v3-fault%d", profile, i)
+			if err := corpusFile("testdata/fuzz/FuzzSalvage", name, mut); err != nil {
+				return err
+			}
+		}
+		flip := faultinject.BitFlip{Off: len(packedV3) - 10, Bit: 1}
+		if err := corpusFile("testdata/fuzz/FuzzChunkIndex",
+			"seed-"+profile+"-v3-footer", flip.Apply(packedV3)); err != nil {
+			return err
+		}
+		if err := corpusFile("testdata/fuzz/FuzzChunkIndex",
+			"seed-"+profile+"-v3-trunc", packedV3[:len(packedV3)-7]); err != nil {
+			return err
+		}
+
 		legacy, err := core.PackVersion(cfs, core.DefaultOptions(), core.Version1)
 		if err != nil {
 			return err

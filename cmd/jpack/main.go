@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	jpack pack   [-o out.cjp] [-scheme mtf-full] [-no-stackstate] [-no-gzip] file.class... | app.jar
-//	jpack unpack [-d outdir] [-jar out.jar] [-salvage] archive.cjp
-//	jpack strip  [-o out.class] file.class
-//	jpack stats  archive-inputs...
-//	jpack verify [-deep] [-bytecode] [-max-failures N] file.class... | app.jar | archive.cjp
+//	jpack pack    [-o out.cjp] [-scheme mtf-full] [-no-stackstate] [-no-gzip] [-chunk N] file.class... | app.jar
+//	jpack unpack  [-d outdir] [-jar out.jar] [-salvage] archive.cjp
+//	jpack ls      archive.cjp
+//	jpack extract [-d outdir] [-jar out.jar] archive.cjp pattern...
+//	jpack strip   [-o out.class] file.class
+//	jpack stats   archive-inputs...
+//	jpack verify  [-deep] [-bytecode] [-max-failures N] file.class... | app.jar | archive.cjp
 package main
 
 import (
@@ -94,6 +96,10 @@ func dispatch(args []string) int {
 		err = cmdPack(args[1:])
 	case "unpack":
 		err = cmdUnpack(args[1:])
+	case "ls":
+		err = cmdLs(args[1:])
+	case "extract":
+		err = cmdExtract(args[1:])
 	case "strip":
 		err = cmdStrip(args[1:])
 	case "stats":
@@ -196,18 +202,26 @@ func (p *profiler) stop() error {
 
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
-  jpack pack   [-o out.cjp] [-scheme NAME] [-no-stackstate] [-no-gzip] [-j N] <file.class ... | app.jar>
-  jpack unpack [-d outdir] [-jar out.jar] [-j N] [-salvage] <archive.cjp>
-  jpack strip  [-o out.class] <file.class>
-  jpack stats  <file.class ... | app.jar>
-  jpack verify [-deep] [-bytecode] [-j N] [-max-failures N] <file.class ... | app.jar | archive.cjp>
-  jpack dump   [-pool] [-code] <file.class ... | app.jar>
+  jpack pack    [-o out.cjp] [-scheme NAME] [-no-stackstate] [-no-gzip] [-chunk N] [-j N] <file.class ... | app.jar>
+  jpack unpack  [-d outdir] [-jar out.jar] [-j N] [-salvage] <archive.cjp>
+  jpack ls      <archive.cjp>
+  jpack extract [-d outdir] [-jar out.jar] [-j N] <archive.cjp> <class | pattern> ...
+  jpack strip   [-o out.class] <file.class>
+  jpack stats   <file.class ... | app.jar>
+  jpack verify  [-deep] [-bytecode] [-j N] [-max-failures N] <file.class ... | app.jar | archive.cjp>
+  jpack dump    [-pool] [-code] <file.class ... | app.jar>
   jpack remote pack   [-server URL] [-o out.cjp] <app.jar | file.class ...>
   jpack remote unpack [-server URL] [-jar out.jar | -d outdir] <archive.cjp>
 
 schemes: simple, basic, mtf, mtf-transients, mtf-context, mtf-full (default)
 -j N bounds the worker pool (0 = all cores, the default; 1 = serial).
 Output is byte-identical for every -j value.
+pack -chunk N writes the version-3 random-access layout, grouping N
+classes per chunk behind a seekable class index; 0 (the default) keeps
+the monolithic version-2 layout.
+ls lists an archive's classes without decoding class bodies (for
+version 3, per-chunk sizes too); extract decodes only the chunks
+holding the selected classes ('java/util/*' patterns use path.Match).
 -salvage recovers what a damaged archive still holds, prints a damage
 report to stderr, and exits 1 when any classes were lost.
 verify -deep adds the dataflow bytecode verifier; -bytecode prints one
@@ -351,9 +365,10 @@ func cmdPack(args []string) error {
 	out := "out.cjp"
 	scheme := "mtf-full"
 	jobs := "0"
+	chunk := "0"
 	noSS, noGz, preload := false, false, false
 	files, err := parseFlags(args,
-		map[string]*string{"-o": &out, "-scheme": &scheme, "-j": &jobs},
+		map[string]*string{"-o": &out, "-scheme": &scheme, "-j": &jobs, "-chunk": &chunk},
 		map[string]*bool{"-no-stackstate": &noSS, "-no-gzip": &noGz, "-preload": &preload})
 	if err != nil {
 		return err
@@ -369,12 +384,17 @@ func cmdPack(args []string) error {
 	if err != nil {
 		return err
 	}
+	chunkN, err := strconv.Atoi(chunk)
+	if err != nil || chunkN < 0 {
+		return usagef("invalid -chunk value %q (want an integer >= 0; 0 = monolithic version 2)", chunk)
+	}
 	opts := classpack.DefaultOptions()
 	opts.Scheme = s
 	opts.StackState = !noSS
 	opts.Compress = !noGz
 	opts.Preload = preload
 	opts.Concurrency = j
+	opts.ChunkClasses = chunkN
 	classes, skipped, err := loadClassInputs(files)
 	if err != nil {
 		return err
@@ -464,6 +484,132 @@ func cmdUnpack(args []string) error {
 		len(out), dir, len(data), total, elapsed.Round(time.Millisecond),
 		throughput(total, elapsed))
 	return nil
+}
+
+// openArchiveFile opens a .cjp file for random access without reading
+// the class bodies.
+func openArchiveFile(path string, j int) (*os.File, *classpack.Archive, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	opts := classpack.DefaultOptions()
+	opts.Concurrency = j
+	a, err := classpack.OpenArchive(f, st.Size(), &opts)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, a, nil
+}
+
+// cmdLs lists an archive's classes without decoding any class bodies
+// (for a version-3 archive only the header and trailing index are
+// read). Version-3 listings include per-chunk sizes.
+func cmdLs(args []string) error {
+	files, err := parseFlags(args, nil, nil)
+	if err != nil {
+		return err
+	}
+	if len(files) != 1 {
+		return usagef("ls takes exactly one archive")
+	}
+	f, a, err := openArchiveFile(files[0], 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if chunks := a.Chunks(); chunks != nil {
+		fmt.Printf("%s: version %d, %d classes, %d chunks (chunk size %d)\n",
+			files[0], a.Version(), a.NumClasses(), len(chunks), a.ChunkClasses())
+		for i, ch := range chunks {
+			fmt.Printf("  chunk %d: %d classes, %d bytes\n", i, ch.Classes, ch.CompressedBytes)
+		}
+	} else {
+		fmt.Printf("%s: version %d, %d classes\n", files[0], a.Version(), a.NumClasses())
+	}
+	for _, name := range a.ClassNames() {
+		fmt.Println(name)
+	}
+	return nil
+}
+
+// cmdExtract pulls selected classes out of an archive, decoding only
+// the chunks that hold them (version 3) instead of the whole archive.
+func cmdExtract(args []string) error {
+	dir := "."
+	jarOut := ""
+	jobs := "0"
+	files, err := parseFlags(args,
+		map[string]*string{"-d": &dir, "-jar": &jarOut, "-j": &jobs}, nil)
+	if err != nil {
+		return err
+	}
+	if len(files) < 2 {
+		return usagef("extract takes an archive and at least one class name or pattern")
+	}
+	j, err := parseJobs(jobs)
+	if err != nil {
+		return err
+	}
+	f, a, err := openArchiveFile(files[0], j)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	names, err := a.Select(files[1:]...)
+	if err != nil {
+		return usageError{err}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("%s: no classes match %v", files[0], files[1:])
+	}
+	out, err := a.ExtractClasses(names)
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, of := range out {
+		total += len(of.Data)
+	}
+	if jarOut != "" {
+		jar, err := classpack.JarFromFiles(out)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jarOut, jar, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("extracted %d of %d classes into %s (%d bytes read of %d)\n",
+			len(out), a.NumClasses(), jarOut, a.BytesRead(), archiveSize(f))
+		return nil
+	}
+	for _, of := range out {
+		path := filepath.Join(dir, filepath.FromSlash(of.Name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, of.Data, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("extracted %d of %d classes into %s: %d bytes (%d bytes read of %d)\n",
+		len(out), a.NumClasses(), dir, total, a.BytesRead(), archiveSize(f))
+	return nil
+}
+
+// archiveSize is the archive file's size, best effort (0 on error).
+func archiveSize(f *os.File) int64 {
+	st, err := f.Stat()
+	if err != nil {
+		return 0
+	}
+	return st.Size()
 }
 
 // salvageUnpack handles unpack -salvage: recover what a damaged archive

@@ -301,3 +301,105 @@ func TestVerifyBytecodeCommand(t *testing.T) {
 		t.Fatal("verify -bytecode accepted a stack underflow")
 	}
 }
+
+func TestChunkPackLsExtract(t *testing.T) {
+	classes, _ := writeClasses(t)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "app.cjp")
+	if err := cmdPack(append([]string{"-o", out, "-chunk", "1"}, classes...)); err != nil {
+		t.Fatalf("pack -chunk: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[4] != 3 {
+		t.Fatalf("pack -chunk 1 wrote version %d, want 3", data[4])
+	}
+
+	if err := cmdLs([]string{out}); err != nil {
+		t.Fatalf("ls: %v", err)
+	}
+
+	// Extract one class by exact name; compare against a full unpack.
+	unDir := filepath.Join(dir, "full")
+	if err := cmdUnpack([]string{"-d", unDir, out}); err != nil {
+		t.Fatalf("unpack: %v", err)
+	}
+	exDir := filepath.Join(dir, "one")
+	if err := cmdExtract([]string{"-d", exDir, out, "Main"}); err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	got, err := os.ReadFile(filepath.Join(exDir, "Main.class"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join(unDir, "Main.class"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("extracted Main.class differs from full unpack")
+	}
+	if _, err := os.Stat(filepath.Join(exDir, "W.class")); err == nil {
+		t.Fatal("extract Main also wrote W.class")
+	}
+
+	// Glob pattern into a jar.
+	outJar := filepath.Join(dir, "subset.jar")
+	if err := cmdExtract([]string{"-jar", outJar, out, "*"}); err != nil {
+		t.Fatalf("extract glob: %v", err)
+	}
+	jar, err := os.ReadFile(outJar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members, err := archive.ReadJar(jar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 2 {
+		t.Fatalf("extracted jar has %d members, want 2", len(members))
+	}
+
+	// No match is a failure; a malformed pattern is a usage error.
+	if err := cmdExtract([]string{"-d", exDir, out, "no/such/*"}); err == nil {
+		t.Fatal("extract accepted a pattern matching nothing")
+	}
+	err = cmdExtract([]string{"-d", exDir, out, "a[/b"})
+	if err == nil {
+		t.Fatal("extract accepted a malformed pattern")
+	}
+	var ue usageError
+	if !errorsAs(err, &ue) {
+		t.Fatalf("malformed pattern error %v is not a usage error", err)
+	}
+
+	// ls on a monolithic (version-2) archive still lists names.
+	v2 := filepath.Join(dir, "v2.cjp")
+	if err := cmdPack(append([]string{"-o", v2}, classes...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdLs([]string{v2}); err != nil {
+		t.Fatalf("ls v2: %v", err)
+	}
+	if err := cmdExtract([]string{"-d", filepath.Join(dir, "v2x"), v2, "W"}); err != nil {
+		t.Fatalf("extract v2: %v", err)
+	}
+}
+
+// errorsAs keeps the test import list stable.
+func errorsAs(err error, target *usageError) bool {
+	for err != nil {
+		if ue, ok := err.(usageError); ok {
+			*target = ue
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

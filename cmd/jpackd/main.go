@@ -5,18 +5,21 @@
 //
 // Endpoints:
 //
-//	POST /pack              jar in, packed archive out (cached by digest)
-//	POST /unpack            packed archive in, jar out
-//	POST /verify[?deep=1]   jar in, per-class verification report out
-//	GET  /archive/{digest}  re-serve a previously packed artifact
-//	GET  /metrics           expvar counters (JSON)
-//	GET  /healthz           liveness probe
+//	POST /pack                        jar in, packed archive out (cached by digest)
+//	POST /unpack                      packed archive in, jar out
+//	POST /verify[?deep=1]             jar in, per-class verification report out
+//	GET  /archive/{digest}            re-serve a previously packed artifact
+//	GET  /archive/{digest}?classes=P  subset jar of classes matching pattern P
+//	GET  /archive/{digest}/class/{N}  one class file, decoded lazily (v3 archives
+//	                                  decode only the chunk containing N)
+//	GET  /metrics                     expvar counters (JSON)
+//	GET  /healthz                     liveness probe
 //
 // Usage:
 //
 //	jpackd [-addr :8750] [-cache DIR|off] [-cache-max BYTES]
 //	       [-max-request BYTES] [-timeout D] [-drain D] [-jobs N] [-j N]
-//	       [-scheme NAME] [-no-stackstate] [-no-gzip] [-preload]
+//	       [-scheme NAME] [-chunk N] [-no-stackstate] [-no-gzip] [-preload]
 //	       [-max-decoded-bytes N] [-max-classes N] [-pprof]
 //	jpackd -smoke [-smoke-scale F]   # self-check against a synthetic corpus
 package main
@@ -58,6 +61,7 @@ func run(args []string) error {
 		jobs       = fs.Int("jobs", 0, "max concurrent encode jobs (0 = GOMAXPROCS)")
 		workers    = fs.Int("j", 0, "worker pool per job (0 = all cores)")
 		scheme     = fs.String("scheme", "mtf-full", "reference coding scheme")
+		chunk      = fs.Int("chunk", 0, "classes per chunk: positive packs the version-3 random-access layout (0 = monolithic version 2)")
 		noSS       = fs.Bool("no-stackstate", false, "disable §7.1 stack-state coding")
 		noGz       = fs.Bool("no-gzip", false, "disable per-stream DEFLATE")
 		preload    = fs.Bool("preload", false, "seed reference pools with the standard table")
@@ -79,6 +83,7 @@ func run(args []string) error {
 	opts.StackState = !*noSS
 	opts.Compress = !*noGz
 	opts.Preload = *preload
+	opts.ChunkClasses = *chunk
 	opts.Concurrency = *workers
 	opts.MaxDecodedBytes = *maxDecoded
 	opts.MaxClassCount = *maxClasses

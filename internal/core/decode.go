@@ -2,7 +2,6 @@ package core
 
 import (
 	"bytes"
-	"fmt"
 	"math"
 
 	"classpack/internal/bytecode"
@@ -85,42 +84,16 @@ func UnpackStreamOpts(data []byte, o UnpackOpts, visit func(*classfile.ClassFile
 	if err != nil {
 		return err
 	}
-	var r *streams.Reader
 	// The version byte picks the container layout: v1 has no integrity
-	// data, v2 verifies per-stream and trailer CRC32Cs before decoding.
-	if data[4] == Version1 {
-		r, err = streams.NewReaderLimit(data[6:], o.Concurrency, o.MaxDecodedBytes)
-	} else {
-		r, err = streams.NewCheckedReaderLimit(data[6:], o.Concurrency, o.MaxDecodedBytes)
+	// data, v2 verifies per-stream and trailer CRC32Cs before decoding,
+	// v3 is a sequence of checked chunks plus a trailing class index.
+	if data[4] == Version3 {
+		return unpackV3(data, o, visit)
 	}
-	if err != nil {
-		return err
-	}
-	u := newUnpacker(opts, r)
-	if opts.Preload {
-		preloadUnpacker(u)
-	}
-	count, err := u.meta.Uint()
-	if err != nil {
-		return fmt.Errorf("core: class count: %w", err)
-	}
-	maxClasses := o.MaxClassCount
-	if maxClasses <= 0 {
-		maxClasses = DefaultMaxClassCount
-	}
-	if count > uint64(maxClasses) {
-		return corrupt.TooLarge(sMeta, -1, "class count %d exceeds cap %d", count, maxClasses)
-	}
-	for i := uint64(0); i < count; i++ {
-		cf, err := u.class()
-		if err != nil {
-			return fmt.Errorf("core: unpack class %d: %w", i, err)
-		}
-		if err := visit(cf); err != nil {
-			return err
-		}
-	}
-	return nil
+	_, err = DecodeChunk(opts, data[6:], data[4] != Version1, o, func(ord int, cf *classfile.ClassFile) error {
+		return visit(cf)
+	})
+	return err
 }
 
 // header validates the 6-byte archive header and returns the coding
@@ -130,7 +103,7 @@ func header(data []byte) (Options, error) {
 	if len(data) < 6 || !bytes.Equal(data[:4], Magic[:]) {
 		return Options{}, corrupt.Errorf(sHeader, 0, "not a packed archive")
 	}
-	if data[4] != Version1 && data[4] != Version2 {
+	if data[4] != Version1 && data[4] != Version2 && data[4] != Version3 {
 		return Options{}, corrupt.Errorf(sHeader, 4, "unsupported version %d", data[4])
 	}
 	opts := decodeOptions(data[5])
@@ -138,6 +111,18 @@ func header(data []byte) (Options, error) {
 		return Options{}, corrupt.Errorf(sHeader, 5, "archive uses undecodable scheme %v", opts.Scheme)
 	}
 	return opts, nil
+}
+
+// ParseHeader validates the fixed 6-byte archive header and returns the
+// container version and the coding options it declares. It is the entry
+// point for random-access readers, which read the header and the
+// trailing index (ReadIndexAt) without touching the body.
+func ParseHeader(hdr []byte) (version byte, opts Options, err error) {
+	opts, err = header(hdr)
+	if err != nil {
+		return 0, Options{}, err
+	}
+	return hdr[4], opts, nil
 }
 
 type unpacker struct {

@@ -11,25 +11,48 @@ import (
 	"classpack/internal/stackstate"
 )
 
-// Pack encodes a collection of classfiles into a packed archive at the
-// current wire-format version. The classfiles must already be
-// canonicalized with strip.Apply (debugging and unrecognized attributes
-// removed); Unpack reproduces them byte-for-byte.
+// Pack encodes a collection of classfiles into a packed archive. With
+// Options.ChunkClasses zero it emits the monolithic version-2 layout;
+// a positive ChunkClasses selects the chunked, random-access version 3.
+// The classfiles must already be canonicalized with strip.Apply
+// (debugging and unrecognized attributes removed); Unpack reproduces
+// them byte-for-byte either way.
 func Pack(cfs []*classfile.ClassFile, opts Options) ([]byte, error) {
+	if opts.ChunkClasses > 0 {
+		return PackVersion(cfs, opts, Version3)
+	}
 	return PackVersion(cfs, opts, version)
 }
 
 // PackVersion is Pack with an explicit wire-format version: Version2
 // (the default) appends per-stream and whole-container CRC32C checksums,
 // Version1 is the legacy checksum-free layout kept writable for
-// compatibility tests and old consumers.
+// compatibility tests and old consumers, and Version3 is the chunked
+// layout with a trailing seekable class index (Options.ChunkClasses
+// picks the chunk size, DefaultChunkClasses when unset).
 func PackVersion(cfs []*classfile.ClassFile, opts Options, ver byte) ([]byte, error) {
-	if ver != Version1 && ver != Version2 {
+	if ver != Version1 && ver != Version2 && ver != Version3 {
 		return nil, fmt.Errorf("core: unknown pack version %d", ver)
 	}
 	if !opts.Scheme.Decodable() {
 		return nil, fmt.Errorf("core: scheme %v has no decoder", opts.Scheme)
 	}
+	if ver == Version3 {
+		return packV3(cfs, opts)
+	}
+	body, err := encodeMonolith(cfs, opts, ver)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(body)+6)
+	out = append(out, Magic[:]...)
+	out = append(out, ver, encodeOptions(opts))
+	return append(out, body...), nil
+}
+
+// encodeMonolith runs the two-pass encoder over the whole collection and
+// serializes the streams as one container body (no archive header).
+func encodeMonolith(cfs []*classfile.ClassFile, opts Options, ver byte) ([]byte, error) {
 	// Pass 1 counts occurrences per pool so transient objects (§5.1.5)
 	// are known in advance; pass 2 emits.
 	counter := newCountingPacker(opts)
@@ -46,20 +69,10 @@ func PackVersion(cfs []*classfile.ClassFile, opts Options, ver byte) ([]byte, er
 	if err := emitter.archive(cfs); err != nil {
 		return nil, err
 	}
-	var body []byte
-	var err error
-	if ver == Version2 {
-		body, err = emitter.w.FinishChecked(opts.Compress, opts.Concurrency)
-	} else {
-		body, err = emitter.w.FinishN(opts.Compress, opts.Concurrency)
+	if ver == Version1 {
+		return emitter.w.FinishN(opts.Compress, opts.Concurrency)
 	}
-	if err != nil {
-		return nil, err
-	}
-	out := make([]byte, 0, len(body)+6)
-	out = append(out, Magic[:]...)
-	out = append(out, ver, encodeOptions(opts))
-	return append(out, body...), nil
+	return emitter.w.FinishChecked(opts.Compress, opts.Concurrency)
 }
 
 // PackStats reports per-stream sizes for the archive that Pack would

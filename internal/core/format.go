@@ -19,16 +19,26 @@ var Magic = [4]byte{'C', 'J', 'P', '1'}
 
 // Wire-format versions. Version 1 carries no integrity data; version 2
 // adds a CRC32C (Castagnoli) of every stream's encoded payload to the
-// stream directory and a whole-container trailer checksum. The decoder
-// dispatches on the header's version byte, so both stay readable;
-// Pack emits the current version.
+// stream directory and a whole-container trailer checksum. Version 3
+// groups classes into chunks — each chunk an independent version-2-style
+// checked container encoded from reset reference models — and appends a
+// seekable class index, so any class can be extracted in O(chunk) work.
+// The decoder dispatches on the header's version byte, so all three stay
+// readable; Pack emits version 2 for the monolithic layout and version 3
+// when Options.ChunkClasses asks for chunking.
 const (
 	Version1 = 1
 	Version2 = 2
+	Version3 = 3
 
-	// version is what Pack emits.
+	// version is what Pack emits when ChunkClasses is zero.
 	version = Version2
 )
+
+// DefaultChunkClasses is the classes-per-chunk used by the version-3
+// encoder when Options.ChunkClasses does not choose a positive value
+// (PackVersion with Version3, PackStream).
+const DefaultChunkClasses = 64
 
 // Options control the encoder. The decoder reads the choices from the
 // archive header, so any combination round-trips.
@@ -52,6 +62,13 @@ type Options struct {
 	// knob only: it does not travel in the archive header and never
 	// changes the packed bytes.
 	Concurrency int
+	// ChunkClasses selects the version-3 chunked layout: a positive
+	// value groups that many classes per chunk, each chunk encoded from
+	// reset reference models into its own checked container, with a
+	// seekable class index appended so single classes extract in
+	// O(chunk) work. Zero (the default) keeps the monolithic version-2
+	// layout. The value is recorded in the index, not the header byte.
+	ChunkClasses int
 }
 
 // DefaultOptions is the paper's evaluated configuration (§10).

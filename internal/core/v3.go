@@ -1,0 +1,774 @@
+// Version-3 container: the random-access layout. Classes are grouped
+// into chunks of Options.ChunkClasses; each chunk is encoded from reset
+// reference models (fresh MTF pools, §5) into its own checked streams
+// container — exactly the version-2 body, including the per-stream and
+// trailer CRC32Cs — so chunks decode independently and damage stays
+// chunk-local. After the chunks comes a seekable index mapping every
+// class name to its (chunk, ordinal) with per-chunk byte ranges, so one
+// class extracts in O(chunk) decode work and bounded memory.
+//
+// Layout after the common 6-byte header (magic, version=3, options):
+//
+//	repeat:  uvarint(len(body)) ‖ body     one checked container per chunk
+//	uvarint(0)                             end-of-chunks sentinel
+//	index blob                             coding byte ‖ uvarint(rawLen) ‖ payload
+//	crc32c(index blob)                     4 bytes, big-endian, Castagnoli
+//	uint64be(len(index blob))              8 bytes
+//	"CJPX"                                 footer magic
+//
+// The raw (pre-DEFLATE) index is all varints: chunkClasses, chunk count,
+// then per chunk {absolute body offset, body length, class count}, then
+// the class count followed by every class name (length-prefixed) in
+// archive order. The footer is fixed-width so a reader can find the
+// index from the end of the file with two reads.
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+
+	"classpack/internal/archive"
+	"classpack/internal/classfile"
+	"classpack/internal/corrupt"
+	"classpack/internal/encoding/varint"
+	"classpack/internal/par"
+	"classpack/internal/streams"
+)
+
+// Section names of the version-3 container structure in corrupt errors.
+const (
+	sChunks = "chunks" // the chunk length-prefix framing
+	sIndex  = "index"  // the trailing class index
+	sFooter = "footer" // the fixed-width footer
+)
+
+// indexMagic closes every version-3 archive.
+var indexMagic = [4]byte{'C', 'J', 'P', 'X'}
+
+// footerSize is the fixed tail: 8-byte big-endian index length plus the
+// footer magic. The index blob's CRC32C sits immediately before it.
+const footerSize = 8 + 4
+
+// Index blob codings (mirroring the stream codings: DEFLATE or stored).
+const (
+	idxFlate byte = 0
+	idxStore byte = 1
+)
+
+// chunkBodySlack bounds how much larger than the remaining decode budget
+// a streamed chunk body may claim to be: encoded streams never exceed
+// their raw size (store is the fallback coding), so a valid body is at
+// most the decoded bytes plus directory overhead (names, varints, CRCs).
+const chunkBodySlack = 1 << 16
+
+// v3CRC is the CRC32C (Castagnoli) table for the index checksum, the
+// same polynomial the checked stream containers use.
+var v3CRC = crc32.MakeTable(crc32.Castagnoli)
+
+// ChunkInfo locates one chunk: the absolute byte range of its container
+// body within the archive and how many classes it holds.
+type ChunkInfo struct {
+	Off     int64 // body offset from the start of the archive
+	Len     int64 // body length in bytes
+	Classes int
+}
+
+// Index is the version-3 class index: where every chunk lives and which
+// classes it holds, in archive order.
+type Index struct {
+	// ChunkClasses is the encoder's classes-per-chunk knob (the last
+	// chunk may hold fewer).
+	ChunkClasses int
+	Chunks       []ChunkInfo
+	// Names are all class binary names in archive order.
+	Names []string
+
+	starts  []int          // starts[i] = archive ordinal of chunk i's first class
+	byName  map[string]int // name -> archive ordinal (first occurrence)
+	blobOff int64          // absolute offset of the index blob
+}
+
+// finalize builds the derived lookup tables after Chunks/Names are set.
+func (ix *Index) finalize() {
+	ix.starts = make([]int, len(ix.Chunks)+1)
+	for i, ch := range ix.Chunks {
+		ix.starts[i+1] = ix.starts[i] + ch.Classes
+	}
+	ix.byName = make(map[string]int, len(ix.Names))
+	for i, n := range ix.Names {
+		if _, ok := ix.byName[n]; !ok {
+			ix.byName[n] = i
+		}
+	}
+}
+
+// NumClasses is the total class count across all chunks.
+func (ix *Index) NumClasses() int { return len(ix.Names) }
+
+// Ordinal returns the archive ordinal of the named class (its first
+// occurrence, should an archive carry duplicates).
+func (ix *Index) Ordinal(name string) (int, bool) {
+	g, ok := ix.byName[name]
+	return g, ok
+}
+
+// ChunkOf maps an archive ordinal to the chunk holding it.
+func (ix *Index) ChunkOf(ordinal int) int {
+	return sort.Search(len(ix.Chunks), func(i int) bool { return ix.starts[i+1] > ordinal })
+}
+
+// Start is the archive ordinal of the chunk's first class.
+func (ix *Index) Start(chunk int) int { return ix.starts[chunk] }
+
+// Locate resolves a class name to its chunk and ordinal within that
+// chunk.
+func (ix *Index) Locate(name string) (chunk, ord int, ok bool) {
+	g, ok := ix.byName[name]
+	if !ok {
+		return 0, 0, false
+	}
+	chunk = ix.ChunkOf(g)
+	return chunk, g - ix.starts[chunk], true
+}
+
+// effectiveBudget resolves the decoded-bytes cap.
+func effectiveBudget(o UnpackOpts) int64 {
+	if o.MaxDecodedBytes <= 0 {
+		return streams.DefaultMaxDecodedBytes
+	}
+	return o.MaxDecodedBytes
+}
+
+// effectiveMaxClasses resolves the class-count cap.
+func effectiveMaxClasses(o UnpackOpts) int {
+	if o.MaxClassCount <= 0 {
+		return DefaultMaxClassCount
+	}
+	return o.MaxClassCount
+}
+
+// packV3 encodes the version-3 layout. Chunks are mutually independent
+// (each starts from reset models), so chunk encoding itself fans out
+// over Options.Concurrency workers; the assembly order is fixed, so the
+// output is byte-identical for every worker count.
+func packV3(cfs []*classfile.ClassFile, opts Options) ([]byte, error) {
+	chunkN := opts.ChunkClasses
+	if chunkN <= 0 {
+		chunkN = DefaultChunkClasses
+	}
+	numChunks := (len(cfs) + chunkN - 1) / chunkN
+	// With several chunks in flight the per-chunk stream trial coding
+	// runs serial — nesting worker pools would oversubscribe — while a
+	// single-chunk archive keeps the full worker budget inside it.
+	inner := opts.Concurrency
+	if numChunks > 1 {
+		inner = 1
+	}
+	bodies := make([][]byte, numChunks)
+	if err := par.Do(opts.Concurrency, numChunks, func(i int) error {
+		copts := opts
+		copts.Concurrency = inner
+		body, err := encodeMonolith(cfs[i*chunkN:min((i+1)*chunkN, len(cfs))], copts, Version2)
+		if err != nil {
+			return err
+		}
+		bodies[i] = body
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	total := 6 + 1 + footerSize + 4
+	for _, b := range bodies {
+		total += len(b) + varint.MaxLen64
+	}
+	out := make([]byte, 0, total)
+	out = append(out, Magic[:]...)
+	out = append(out, Version3, encodeOptions(opts))
+	ix := &Index{ChunkClasses: chunkN, Chunks: make([]ChunkInfo, 0, numChunks)}
+	for i, body := range bodies {
+		out = varint.AppendUint(out, uint64(len(body)))
+		ix.Chunks = append(ix.Chunks, ChunkInfo{
+			Off:     int64(len(out)),
+			Len:     int64(len(body)),
+			Classes: min((i+1)*chunkN, len(cfs)) - i*chunkN,
+		})
+		out = append(out, body...)
+	}
+	out = varint.AppendUint(out, 0)
+	ix.Names = make([]string, len(cfs))
+	for i, cf := range cfs {
+		ix.Names[i] = cf.ThisClassName()
+	}
+	blob := encodeIndex(ix)
+	out = append(out, blob...)
+	out = appendCRC32(out, crc32.Checksum(blob, v3CRC))
+	out = appendU64BE(out, uint64(len(blob)))
+	return append(out, indexMagic[:]...), nil
+}
+
+func appendCRC32(out []byte, c uint32) []byte {
+	return append(out, byte(c>>24), byte(c>>16), byte(c>>8), byte(c))
+}
+
+func appendU64BE(out []byte, v uint64) []byte {
+	return append(out, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func readU32BE(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func readU64BE(b []byte) uint64 {
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}
+
+// encodeIndex serializes the index and wraps it in the blob framing
+// (coding byte, raw length, payload), DEFLATE-compressed when smaller.
+func encodeIndex(ix *Index) []byte {
+	var raw []byte
+	raw = varint.AppendUint(raw, uint64(ix.ChunkClasses))
+	raw = varint.AppendUint(raw, uint64(len(ix.Chunks)))
+	for _, ch := range ix.Chunks {
+		raw = varint.AppendUint(raw, uint64(ch.Off))
+		raw = varint.AppendUint(raw, uint64(ch.Len))
+		raw = varint.AppendUint(raw, uint64(ch.Classes))
+	}
+	raw = varint.AppendUint(raw, uint64(len(ix.Names)))
+	for _, n := range ix.Names {
+		raw = varint.AppendUint(raw, uint64(len(n)))
+		raw = append(raw, n...)
+	}
+	payload, coding := raw, idxStore
+	if comp, err := archive.Flate(raw); err == nil && len(comp) < len(raw) {
+		payload, coding = comp, idxFlate
+	}
+	blob := make([]byte, 0, len(payload)+varint.MaxLen64+1)
+	blob = append(blob, coding)
+	blob = varint.AppendUint(blob, uint64(len(raw)))
+	return append(blob, payload...)
+}
+
+// ReadIndex parses the trailing class index of an in-memory version-3
+// archive. Failures caused by the bytes are *corrupt.Error values;
+// resource-cap violations (an index claiming a decoded size beyond
+// MaxDecodedBytes, or more classes than MaxClassCount) additionally
+// wrap corrupt.ErrTooLarge.
+func ReadIndex(data []byte, o UnpackOpts) (*Index, error) {
+	if _, err := header(data); err != nil {
+		return nil, err
+	}
+	if data[4] != Version3 {
+		return nil, corrupt.Errorf(sHeader, 4, "version %d archive has no class index", data[4])
+	}
+	return ReadIndexAt(bytes.NewReader(data), int64(len(data)), o)
+}
+
+// ReadIndexAt reads the class index of a version-3 archive through an
+// io.ReaderAt without touching any chunk: one read for the fixed-width
+// footer, one for the index blob. The caller is expected to have
+// validated the 6-byte header (see ParseHeader). Short reads are
+// reported as corruption — against a regular file they mean truncation.
+func ReadIndexAt(r io.ReaderAt, size int64, o UnpackOpts) (*Index, error) {
+	if size < 6+1+footerSize+4+2 {
+		return nil, corrupt.Errorf(sFooter, size, "archive too short for a version-3 footer")
+	}
+	var foot [footerSize]byte
+	if _, err := r.ReadAt(foot[:], size-footerSize); err != nil {
+		return nil, corrupt.Errorf(sFooter, size-footerSize, "reading footer: %v", err)
+	}
+	if !bytes.Equal(foot[8:12], indexMagic[:]) {
+		return nil, corrupt.Errorf(sFooter, size-4, "bad footer magic %q", foot[8:12])
+	}
+	blobLen := readU64BE(foot[:8])
+	// The blob sits between the header + at least one sentinel byte and
+	// its own CRC + footer.
+	if blobLen < 2 || blobLen > uint64(size-footerSize-4-7) {
+		return nil, corrupt.Errorf(sFooter, size-footerSize, "implausible index length %d for %d-byte archive", blobLen, size)
+	}
+	blobOff := size - footerSize - 4 - int64(blobLen)
+	buf := make([]byte, blobLen+4)
+	if _, err := r.ReadAt(buf, blobOff); err != nil {
+		return nil, corrupt.Errorf(sIndex, blobOff, "reading index: %v", err)
+	}
+	blob := buf[:blobLen]
+	if got, want := crc32.Checksum(blob, v3CRC), readU32BE(buf[blobLen:]); got != want {
+		return nil, corrupt.Errorf(sIndex, blobOff, "index checksum %08x, want %08x", got, want)
+	}
+	raw, err := decodeIndexBlob(blob, o)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := parseIndexRaw(raw, blobOff-1, o)
+	if err != nil {
+		return nil, err
+	}
+	ix.blobOff = blobOff
+	return ix, nil
+}
+
+// decodeIndexBlob undoes the blob framing: coding byte, declared raw
+// length (charged against MaxDecodedBytes before inflation), payload.
+func decodeIndexBlob(blob []byte, o UnpackOpts) ([]byte, error) {
+	coding := blob[0]
+	rawLen, n, err := varint.Uint(blob[1:])
+	if err != nil {
+		return nil, corrupt.Errorf(sIndex, 1, "index raw length: %v", err)
+	}
+	payload := blob[1+n:]
+	if rawLen > uint64(effectiveBudget(o)) {
+		return nil, corrupt.TooLarge(sIndex, 0,
+			"index declares %d decoded bytes, budget %d", rawLen, effectiveBudget(o))
+	}
+	switch coding {
+	case idxStore:
+		if uint64(len(payload)) != rawLen {
+			return nil, corrupt.Errorf(sIndex, 0, "stored index is %d bytes, declared %d", len(payload), rawLen)
+		}
+		return payload, nil
+	case idxFlate:
+		raw, err := archive.InflateLimit(payload, int64(rawLen))
+		if err != nil {
+			return nil, corrupt.Errorf(sIndex, 0, "inflate index: %v", err)
+		}
+		if uint64(len(raw)) != rawLen {
+			return nil, corrupt.Errorf(sIndex, 0, "index inflated to %d bytes, declared %d", len(raw), rawLen)
+		}
+		return raw, nil
+	}
+	return nil, corrupt.Errorf(sIndex, 0, "unknown index coding %d", coding)
+}
+
+// parseIndexRaw parses the decompressed index. chunkLimit is the last
+// byte position a chunk body may occupy (the byte before the index
+// blob); every declared range is validated against it before use.
+func parseIndexRaw(raw []byte, chunkLimit int64, o UnpackOpts) (*Index, error) {
+	pos := 0
+	next := func(what string) (uint64, error) {
+		v, n, err := varint.Uint(raw[pos:])
+		if err != nil {
+			return 0, corrupt.Errorf(sIndex, int64(pos), "%s: %v", what, err)
+		}
+		pos += n
+		return v, nil
+	}
+	chunkClasses, err := next("chunk size")
+	if err != nil {
+		return nil, err
+	}
+	if chunkClasses > math.MaxInt32 {
+		return nil, corrupt.Errorf(sIndex, int64(pos), "implausible chunk size %d", chunkClasses)
+	}
+	numChunks, err := next("chunk count")
+	if err != nil {
+		return nil, err
+	}
+	// Every chunk entry takes at least 3 varint bytes, so a larger count
+	// is a lie; the bound also keeps the preallocation proportional to
+	// real input.
+	if numChunks > uint64(len(raw)-pos)/3+1 {
+		return nil, corrupt.Errorf(sIndex, int64(pos),
+			"implausible chunk count %d for %d index bytes", numChunks, len(raw))
+	}
+	maxClasses := effectiveMaxClasses(o)
+	ix := &Index{ChunkClasses: int(chunkClasses), Chunks: make([]ChunkInfo, 0, numChunks)}
+	minOff := int64(7) // header plus at least one length-prefix byte
+	totalClasses := 0
+	for i := uint64(0); i < numChunks; i++ {
+		off, err := next("chunk offset")
+		if err != nil {
+			return nil, err
+		}
+		length, err := next("chunk length")
+		if err != nil {
+			return nil, err
+		}
+		count, err := next("chunk class count")
+		if err != nil {
+			return nil, err
+		}
+		if off < uint64(minOff) || off > uint64(chunkLimit) || length > uint64(chunkLimit)-off {
+			return nil, corrupt.Errorf(sIndex, int64(pos),
+				"chunk %d range [%d,+%d) outside [%d,%d)", i, off, length, minOff, chunkLimit)
+		}
+		if count == 0 || count > uint64(maxClasses-totalClasses) {
+			return nil, corrupt.TooLarge(sIndex, int64(pos),
+				"chunk %d class count %d exceeds remaining cap %d", i, count, maxClasses-totalClasses)
+		}
+		totalClasses += int(count)
+		ix.Chunks = append(ix.Chunks, ChunkInfo{Off: int64(off), Len: int64(length), Classes: int(count)})
+		minOff = int64(off) + int64(length) + 1 // plus the next length prefix
+	}
+	numNames, err := next("class count")
+	if err != nil {
+		return nil, err
+	}
+	if numNames != uint64(totalClasses) {
+		return nil, corrupt.Errorf(sIndex, int64(pos),
+			"index lists %d names for %d chunked classes", numNames, totalClasses)
+	}
+	// Each name entry takes at least its 1-byte length prefix.
+	if numNames > uint64(len(raw)-pos) {
+		return nil, corrupt.Errorf(sIndex, int64(pos),
+			"implausible name count %d for %d index bytes", numNames, len(raw)-pos)
+	}
+	ix.Names = make([]string, 0, numNames)
+	for i := uint64(0); i < numNames; i++ {
+		nameLen, err := next("name length")
+		if err != nil {
+			return nil, err
+		}
+		if nameLen > uint64(len(raw)-pos) {
+			return nil, corrupt.Errorf(sIndex, int64(pos), "truncated name %d", i)
+		}
+		ix.Names = append(ix.Names, string(raw[pos:pos+int(nameLen)]))
+		pos += int(nameLen)
+	}
+	if pos != len(raw) {
+		return nil, corrupt.Errorf(sIndex, int64(pos), "%d trailing index bytes", len(raw)-pos)
+	}
+	ix.finalize()
+	return ix, nil
+}
+
+// DecodeChunk decodes one container body — a version-3 chunk, or the
+// whole body of a version-1/2 archive — invoking visit with each class
+// and its ordinal within the body. checked selects the container layout
+// (true for every version-3 chunk and version-2 body). It returns the
+// decoded wire-stream bytes the body expanded to, which is what
+// MaxDecodedBytes budgets; callers decoding several chunks charge a
+// shared budget by shrinking o.MaxDecodedBytes as they go.
+func DecodeChunk(opts Options, body []byte, checked bool, o UnpackOpts, visit func(ord int, cf *classfile.ClassFile) error) (int64, error) {
+	var r *streams.Reader
+	var err error
+	if checked {
+		r, err = streams.NewCheckedReaderLimit(body, o.Concurrency, o.MaxDecodedBytes)
+	} else {
+		r, err = streams.NewReaderLimit(body, o.Concurrency, o.MaxDecodedBytes)
+	}
+	if err != nil {
+		return 0, err
+	}
+	u := newUnpacker(opts, r)
+	if opts.Preload {
+		preloadUnpacker(u)
+	}
+	count, err := u.meta.Uint()
+	if err != nil {
+		return r.DecodedBytes(), fmt.Errorf("core: class count: %w", err)
+	}
+	maxClasses := effectiveMaxClasses(o)
+	if count > uint64(maxClasses) {
+		return r.DecodedBytes(), corrupt.TooLarge(sMeta, -1, "class count %d exceeds cap %d", count, maxClasses)
+	}
+	for i := uint64(0); i < count; i++ {
+		cf, err := u.class()
+		if err != nil {
+			return r.DecodedBytes(), fmt.Errorf("core: unpack class %d: %w", i, err)
+		}
+		if err := visit(int(i), cf); err != nil {
+			return r.DecodedBytes(), err
+		}
+	}
+	return r.DecodedBytes(), nil
+}
+
+// unpackV3 sequentially decodes an in-memory version-3 archive: the
+// index is parsed (and so validated) first, then each chunk is decoded
+// in order and cross-checked against it — framing offsets, class counts
+// and class names must all agree. The decoded-bytes budget is shared
+// across chunks.
+func unpackV3(data []byte, o UnpackOpts, visit func(*classfile.ClassFile) error) error {
+	opts, err := header(data)
+	if err != nil {
+		return err
+	}
+	ix, err := ReadIndex(data, o)
+	if err != nil {
+		return err
+	}
+	budget := effectiveBudget(o)
+	pos := 6
+	g := 0
+	for ci, ch := range ix.Chunks {
+		n, w, err := varint.Uint(data[pos:])
+		if err != nil {
+			return corrupt.Errorf(sChunks, int64(pos), "chunk %d length: %v", ci, err)
+		}
+		pos += w
+		if int64(pos) != ch.Off || int64(n) != ch.Len {
+			return corrupt.Errorf(sIndex, int64(pos),
+				"index places chunk %d at [%d,+%d), framing says [%d,+%d)", ci, ch.Off, ch.Len, pos, n)
+		}
+		if n > uint64(len(data)-pos) {
+			return corrupt.Errorf(sChunks, int64(pos), "chunk %d body truncated", ci)
+		}
+		body := data[pos : pos+int(n)]
+		pos += int(n)
+		if budget < 1 {
+			return corrupt.TooLarge(sChunks, int64(pos), "decoded budget exhausted before chunk %d", ci)
+		}
+		co := o
+		co.MaxDecodedBytes = budget
+		decoded := 0
+		db, err := DecodeChunk(opts, body, true, co, func(ord int, cf *classfile.ClassFile) error {
+			if g+ord >= len(ix.Names) {
+				return corrupt.Errorf(sIndex, -1, "chunk %d decodes more classes than the index lists", ci)
+			}
+			if cf.ThisClassName() != ix.Names[g+ord] {
+				return corrupt.Errorf(sIndex, -1,
+					"chunk %d class %d is %q, index says %q", ci, ord, cf.ThisClassName(), ix.Names[g+ord])
+			}
+			decoded++
+			return visit(cf)
+		})
+		if err != nil {
+			return fmt.Errorf("core: unpack chunk %d: %w", ci, err)
+		}
+		if decoded != ch.Classes {
+			return corrupt.Errorf(sIndex, -1, "chunk %d holds %d classes, index says %d", ci, decoded, ch.Classes)
+		}
+		g += decoded
+		budget -= db
+	}
+	n, w, err := varint.Uint(data[pos:])
+	if err != nil || n != 0 {
+		return corrupt.Errorf(sChunks, int64(pos), "missing end-of-chunks sentinel")
+	}
+	pos += w
+	if int64(pos) != ix.blobOff {
+		return corrupt.Errorf(sChunks, int64(pos), "%d stray bytes between chunks and index", ix.blobOff-int64(pos))
+	}
+	return nil
+}
+
+// PackStream encodes classfiles supplied one at a time by next (which
+// signals the end with io.EOF) into a version-3 archive written to w,
+// holding at most one chunk of classes in memory — the streaming
+// counterpart of Pack for inputs too large to materialize. The output
+// is byte-identical to Pack of the same classfiles with the same
+// ChunkClasses, for every Concurrency value.
+func PackStream(w io.Writer, next func() (*classfile.ClassFile, error), opts Options) error {
+	if !opts.Scheme.Decodable() {
+		return fmt.Errorf("core: scheme %v has no decoder", opts.Scheme)
+	}
+	chunkN := opts.ChunkClasses
+	if chunkN <= 0 {
+		chunkN = DefaultChunkClasses
+	}
+	hdr := append(append([]byte{}, Magic[:]...), Version3, encodeOptions(opts))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	ix := &Index{ChunkClasses: chunkN}
+	pos := int64(6)
+	var scratch []byte
+	buf := make([]*classfile.ClassFile, 0, chunkN)
+	flush := func() error {
+		body, err := encodeMonolith(buf, opts, Version2)
+		if err != nil {
+			return err
+		}
+		scratch = varint.AppendUint(scratch[:0], uint64(len(body)))
+		if _, err := w.Write(scratch); err != nil {
+			return err
+		}
+		pos += int64(len(scratch))
+		ix.Chunks = append(ix.Chunks, ChunkInfo{Off: pos, Len: int64(len(body)), Classes: len(buf)})
+		if _, err := w.Write(body); err != nil {
+			return err
+		}
+		pos += int64(len(body))
+		for _, cf := range buf {
+			ix.Names = append(ix.Names, cf.ThisClassName())
+		}
+		buf = buf[:0]
+		return nil
+	}
+	for {
+		cf, err := next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		buf = append(buf, cf)
+		if len(buf) == chunkN {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if len(buf) > 0 {
+		if err := flush(); err != nil {
+			return err
+		}
+	}
+	var tail []byte
+	tail = varint.AppendUint(tail, 0)
+	blob := encodeIndex(ix)
+	tail = append(tail, blob...)
+	tail = appendCRC32(tail, crc32.Checksum(blob, v3CRC))
+	tail = appendU64BE(tail, uint64(len(blob)))
+	tail = append(tail, indexMagic[:]...)
+	_, err := w.Write(tail)
+	return err
+}
+
+// UnpackReader decodes an archive from a plain io.Reader, invoking
+// visit as each class completes. For a version-3 archive it works
+// chunk-at-a-time off the length-prefix framing, holding one chunk in
+// memory, and verifies the trailing index (checksum, framing, names)
+// after the last chunk; version-1/2 archives have no internal framing,
+// so they are buffered whole and decoded in place. Failures caused by
+// the archive bytes are *corrupt.Error values; I/O failures of r
+// surface as corruption too, since a short read from an archive source
+// is indistinguishable from truncation.
+func UnpackReader(r io.Reader, o UnpackOpts, visit func(*classfile.ClassFile) error) error {
+	br := bufio.NewReader(r)
+	var hdr [6]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return corrupt.Errorf(sHeader, 0, "reading archive header: %v", err)
+	}
+	opts, err := header(hdr[:])
+	if err != nil {
+		return err
+	}
+	if hdr[4] != Version3 {
+		rest, err := io.ReadAll(br)
+		if err != nil {
+			return corrupt.Errorf(sHeader, 6, "reading archive: %v", err)
+		}
+		return UnpackStreamOpts(append(hdr[:], rest...), o, visit)
+	}
+	budget := effectiveBudget(o)
+	maxClasses := effectiveMaxClasses(o)
+	pos := int64(6)
+	classes := 0
+	var names []string
+	var observed []ChunkInfo
+	for ci := 0; ; ci++ {
+		n, w, err := readUvarint(br)
+		if err != nil {
+			return corrupt.Errorf(sChunks, pos, "chunk %d length: %v", ci, err)
+		}
+		pos += int64(w)
+		if n == 0 {
+			break
+		}
+		if budget < 1 || n > uint64(budget)+chunkBodySlack {
+			return corrupt.TooLarge(sChunks, pos,
+				"chunk %d claims %d bytes against a remaining decode budget of %d", ci, n, budget)
+		}
+		body, err := readBody(br, int64(n))
+		if err != nil {
+			return corrupt.Errorf(sChunks, pos, "chunk %d body: %v", ci, err)
+		}
+		off := pos
+		pos += int64(n)
+		if classes >= maxClasses {
+			return corrupt.TooLarge(sChunks, pos, "class cap %d reached before chunk %d", maxClasses, ci)
+		}
+		co := o
+		co.MaxDecodedBytes = budget
+		co.MaxClassCount = maxClasses - classes
+		count := 0
+		db, err := DecodeChunk(opts, body, true, co, func(ord int, cf *classfile.ClassFile) error {
+			count++
+			names = append(names, cf.ThisClassName())
+			return visit(cf)
+		})
+		if err != nil {
+			return fmt.Errorf("core: unpack chunk %d: %w", ci, err)
+		}
+		classes += count
+		budget -= db
+		observed = append(observed, ChunkInfo{Off: off, Len: int64(n), Classes: count})
+	}
+	tail, err := io.ReadAll(br)
+	if err != nil {
+		return corrupt.Errorf(sIndex, pos, "reading index: %v", err)
+	}
+	if len(tail) < footerSize+4+2 {
+		return corrupt.Errorf(sFooter, pos, "archive ends without a version-3 footer")
+	}
+	foot := tail[len(tail)-footerSize:]
+	if !bytes.Equal(foot[8:12], indexMagic[:]) {
+		return corrupt.Errorf(sFooter, pos+int64(len(tail))-4, "bad footer magic %q", foot[8:12])
+	}
+	if got := readU64BE(foot[:8]); got != uint64(len(tail)-footerSize-4) {
+		return corrupt.Errorf(sFooter, pos, "footer declares a %d-byte index, %d present", got, len(tail)-footerSize-4)
+	}
+	blob := tail[:len(tail)-footerSize-4]
+	if got, want := crc32.Checksum(blob, v3CRC), readU32BE(tail[len(blob):]); got != want {
+		return corrupt.Errorf(sIndex, pos, "index checksum %08x, want %08x", got, want)
+	}
+	raw, err := decodeIndexBlob(blob, o)
+	if err != nil {
+		return err
+	}
+	ix, err := parseIndexRaw(raw, pos-1, o)
+	if err != nil {
+		return err
+	}
+	if len(ix.Chunks) != len(observed) || len(ix.Names) != len(names) {
+		return corrupt.Errorf(sIndex, -1,
+			"index lists %d chunks / %d classes, archive held %d / %d",
+			len(ix.Chunks), len(ix.Names), len(observed), len(names))
+	}
+	for i, ch := range ix.Chunks {
+		if ch != observed[i] {
+			return corrupt.Errorf(sIndex, -1,
+				"index places chunk %d at [%d,+%d) with %d classes, archive held [%d,+%d) with %d",
+				i, ch.Off, ch.Len, ch.Classes, observed[i].Off, observed[i].Len, observed[i].Classes)
+		}
+	}
+	for i, n := range ix.Names {
+		if n != names[i] {
+			return corrupt.Errorf(sIndex, -1, "index names class %d %q, archive decoded %q", i, n, names[i])
+		}
+	}
+	return nil
+}
+
+// readUvarint reads an unsigned varint byte-by-byte.
+func readUvarint(br *bufio.Reader) (v uint64, n int, err error) {
+	var shift uint
+	for i := 0; ; i++ {
+		if i >= varint.MaxLen64 {
+			return 0, 0, varint.ErrOverflow
+		}
+		c, err := br.ReadByte()
+		if err != nil {
+			return 0, 0, err
+		}
+		if c < 0x80 {
+			if i == varint.MaxLen64-1 && c > 1 {
+				return 0, 0, varint.ErrOverflow
+			}
+			return v | uint64(c)<<shift, i + 1, nil
+		}
+		v |= uint64(c&0x7f) << shift
+		shift += 7
+	}
+}
+
+// readBody reads exactly n bytes, growing the buffer with the bytes
+// actually received rather than trusting the declared length with one
+// up-front allocation — a truncated stream fails having allocated only
+// what arrived.
+func readBody(br *bufio.Reader, n int64) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, br, n); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -16,6 +16,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 )
@@ -310,6 +311,40 @@ func (c *Client) verify(ctx context.Context, path string, jar []byte) (*VerifyRe
 // Archive fetches a previously packed artifact by its content digest.
 func (c *Client) Archive(ctx context.Context, digest string) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/archive/"+digest, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return c.payload(resp)
+}
+
+// ArchiveClass fetches one class file from a cached archive by name
+// (".class" suffix optional). On version-3 archives the server decodes
+// only the chunk containing the class.
+func (c *Client) ArchiveClass(ctx context.Context, digest, name string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/archive/"+digest+"/class/"+name, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return c.payload(resp)
+}
+
+// ArchiveClasses fetches a subset jar from a cached archive: every
+// class matching any of the exact-name-or-glob patterns, in archive
+// order.
+func (c *Client) ArchiveClasses(ctx context.Context, digest string, patterns []string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/archive/"+digest+"?classes="+url.QueryEscape(strings.Join(patterns, ",")), nil)
 	if err != nil {
 		return nil, err
 	}

@@ -26,6 +26,13 @@ type Metrics struct {
 	UnpackRequests  expvar.Int
 	VerifyRequests  expvar.Int
 	ArchiveRequests expvar.Int
+	ClassRequests   expvar.Int // GET /archive/{digest}/class/{name}
+
+	// ClassBytesDecoded counts wire bytes decoded serving single classes
+	// and ?classes= subsets. On version-3 archives this grows by one
+	// chunk per cold request, not the whole archive — the counter is how
+	// operators (and the acceptance test) observe lazy decoding working.
+	ClassBytesDecoded expvar.Int
 
 	CacheHits   expvar.Int // pack served from the content-addressed store
 	CacheMisses expvar.Int
@@ -51,6 +58,8 @@ func newMetrics() *Metrics {
 	set("requests_unpack", &mt.UnpackRequests)
 	set("requests_verify", &mt.VerifyRequests)
 	set("requests_archive", &mt.ArchiveRequests)
+	set("requests_class", &mt.ClassRequests)
+	set("class_bytes_decoded", &mt.ClassBytesDecoded)
 	set("cache_hits", &mt.CacheHits)
 	set("cache_misses", &mt.CacheMisses)
 	set("encodes_total", &mt.Encodes)

@@ -22,6 +22,7 @@ import (
 	"classpack/internal/faultinject"
 	"classpack/internal/minijava"
 	"classpack/internal/serve/client"
+	"classpack/internal/synth"
 )
 
 // testJar compiles a small program and wraps it, plus one resource
@@ -572,5 +573,130 @@ func TestVerifyBytecodeEndpoint(t *testing.T) {
 	}
 	if failures != 1 {
 		t.Fatalf("%d failing verdicts, want 1: %+v", failures, res.Verdicts)
+	}
+}
+
+// TestArchiveClassEndpoints pins the lazy-serving acceptance from the
+// version-3 container work: on a >=500-class chunked archive, a single
+// class GET decodes only the chunk containing that class (observed via
+// the class_bytes_decoded counter), and ?classes= subsets come back as
+// jars without a full unpack.
+func TestArchiveClassEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large synth archive skipped in -short mode")
+	}
+	p, err := synth.ProfileByName("rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfs, err := synth.GenerateStripped(p, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfs) < 500 {
+		t.Fatalf("corpus has %d classes, want >= 500", len(cfs))
+	}
+	var members []archive.File
+	for _, cf := range cfs {
+		data, err := classfile.Write(cf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members = append(members, archive.File{Name: cf.ThisClassName() + ".class", Data: data})
+	}
+	jar, err := archive.WriteJar(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := classpack.DefaultOptions()
+	opts.ChunkClasses = 16
+	s, c, _ := startServer(t, Config{Store: newStore(t), Options: opts})
+	ctx := context.Background()
+
+	res, err := c.Pack(ctx, jar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Packed) < 6 || res.Packed[4] != 3 {
+		t.Fatalf("server packed container version %d, want 3", res.Packed[4])
+	}
+
+	// Ground truth: a local lazy archive over the same bytes gives the
+	// per-class payloads and the total decode cost of touching every
+	// chunk.
+	local, err := classpack.OpenArchiveBytes(res.Packed, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := local.ClassNames()
+	for _, n := range names {
+		if _, err := local.ExtractClass(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fullDecoded := local.DecodedBytes()
+
+	// One class via GET /archive/{digest}/class/{name}: byte-equal to
+	// the local extraction and only one chunk's worth of decoding.
+	target := names[len(names)/2]
+	got, err := c.ArchiveClass(ctx, res.Digest, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := local.ExtractClass(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("served class %q differs from local extraction", target)
+	}
+	single := s.Metrics().ClassBytesDecoded.Value()
+	if single <= 0 {
+		t.Fatal("class_bytes_decoded did not advance")
+	}
+	if single*5 > fullDecoded {
+		t.Errorf("single class GET decoded %d of %d total bytes — not O(chunk)", single, fullDecoded)
+	}
+
+	// ".class" suffix is accepted, and unknown names are structured 404s.
+	if got2, err := c.ArchiveClass(ctx, res.Digest, target+".class"); err != nil || !bytes.Equal(got2, got) {
+		t.Fatalf("suffixed fetch: %v", err)
+	}
+	var apiErr *client.APIError
+	if _, err := c.ArchiveClass(ctx, res.Digest, "no/such/Class"); !errors.As(err, &apiErr) || apiErr.Code != "class_not_found" || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("missing class: err = %v, want class_not_found 404", err)
+	}
+
+	// A ?classes= subset comes back as a jar of exactly the selection,
+	// in archive order.
+	sel := []string{names[len(names)-1], names[0], names[len(names)/3]}
+	subsetJar, err := c.ArchiveClasses(ctx, res.Digest, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset, err := archive.ReadJar(subsetJar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subset) != len(sel) {
+		t.Fatalf("subset jar has %d members, want %d", len(subset), len(sel))
+	}
+	for _, m := range subset {
+		want, err := local.ExtractClass(m.Name)
+		if err != nil {
+			t.Fatalf("unexpected subset member %s: %v", m.Name, err)
+		}
+		if !bytes.Equal(m.Data, want) {
+			t.Fatalf("subset member %s differs from local extraction", m.Name)
+		}
+	}
+
+	// Pattern failure modes: no match is a 404, a malformed glob a 400.
+	if _, err := c.ArchiveClasses(ctx, res.Digest, []string{"no/such/*"}); !errors.As(err, &apiErr) || apiErr.Code != "no_match" {
+		t.Fatalf("no-match subset: err = %v, want no_match", err)
+	}
+	if _, err := c.ArchiveClasses(ctx, res.Digest, []string{"a[/b"}); !errors.As(err, &apiErr) || apiErr.Code != "bad_pattern" {
+		t.Fatalf("malformed pattern: err = %v, want bad_pattern", err)
 	}
 }

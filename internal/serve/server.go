@@ -5,7 +5,9 @@
 // damage report plus partial jar), POST
 // /verify structurally checks a jar's classes, and GET /archive/{digest}
 // re-serves previously packed artifacts from a content-addressed cache
-// (internal/castore). Concurrent encode jobs are bounded by a semaphore
+// (internal/castore) — whole, as a ?classes= subset jar, or one class at
+// a time via /archive/{digest}/class/{name}, decoding only the chunks a
+// version-3 archive needs. Concurrent encode jobs are bounded by a semaphore
 // feeding the classpack worker-pool pipeline; request bodies are
 // size-capped, every request carries a deadline, errors are structured
 // JSON, and GET /metrics exports expvar counters including an
@@ -120,6 +122,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /unpack", s.handleUnpack)
 	mux.HandleFunc("POST /verify", s.handleVerify)
 	mux.HandleFunc("GET /archive/{digest}", s.handleArchive)
+	mux.HandleFunc("GET /archive/{digest}/class/{name...}", s.handleArchiveClass)
 	mux.Handle("GET /metrics", s.metrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok\n")
@@ -259,8 +262,8 @@ func (s *Server) writePayload(w http.ResponseWriter, data []byte) {
 // bytes are identical at every worker count.
 func (s *Server) cacheKey(input []byte) string {
 	o := s.cfg.Options
-	fp := fmt.Sprintf("cjp1 scheme=%d stackstate=%t compress=%t preload=%t",
-		o.Scheme, o.StackState, o.Compress, o.Preload)
+	fp := fmt.Sprintf("cjp1 scheme=%d stackstate=%t compress=%t preload=%t chunk=%d",
+		o.Scheme, o.StackState, o.Compress, o.Preload, o.ChunkClasses)
 	return castore.Key([]byte(fp), input)
 }
 
@@ -524,27 +527,130 @@ func failedVerdicts(vs []MethodVerdict) bool {
 	return false
 }
 
-func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {
-	s.metrics.ArchiveRequests.Add(1)
+// loadArchive resolves the request's {digest} path value against the
+// content-addressed store.
+func (s *Server) loadArchive(r *http.Request) ([]byte, *apiError) {
 	digest := r.PathValue("digest")
 	if !castore.ValidKey(digest) {
-		s.writeError(w, errf(http.StatusBadRequest, "bad_digest",
-			"digest must be 64 lowercase hex digits"))
-		return
+		return nil, errf(http.StatusBadRequest, "bad_digest",
+			"digest must be 64 lowercase hex digits")
 	}
 	if s.cfg.Store == nil {
-		s.writeError(w, errf(http.StatusNotFound, "not_found", "no archive cache configured"))
-		return
+		return nil, errf(http.StatusNotFound, "not_found", "no archive cache configured")
 	}
 	packed, ok, err := s.cfg.Store.Get(digest)
 	if err != nil {
-		s.writeError(w, errf(http.StatusInternalServerError, "internal", "cache read: %v", err))
-		return
+		return nil, errf(http.StatusInternalServerError, "internal", "cache read: %v", err)
 	}
 	if !ok {
-		s.writeError(w, errf(http.StatusNotFound, "not_found", "no archive with digest %s", digest))
+		return nil, errf(http.StatusNotFound, "not_found", "no archive with digest %s", digest)
+	}
+	return packed, nil
+}
+
+// openCached opens a cached archive for lazy extraction. Failures are
+// server faults: the store only holds archives this server packed.
+func (s *Server) openCached(packed []byte) (*classpack.Archive, *apiError) {
+	opts := s.cfg.Options
+	a, err := classpack.OpenArchiveBytes(packed, &opts)
+	if err != nil {
+		return nil, errf(http.StatusInternalServerError, "corrupt_cache",
+			"opening cached archive: %v", err)
+	}
+	return a, nil
+}
+
+func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {
+	s.metrics.ArchiveRequests.Add(1)
+	packed, apiErr := s.loadArchive(r)
+	if apiErr != nil {
+		s.writeError(w, apiErr)
 		return
 	}
-	w.Header().Set(HeaderDigest, digest)
+	if pat := r.URL.Query().Get("classes"); pat != "" {
+		s.archiveSubset(w, r, packed, pat)
+		return
+	}
+	w.Header().Set(HeaderDigest, r.PathValue("digest"))
 	s.writePayload(w, packed)
+}
+
+// archiveSubset answers GET /archive/{digest}?classes=P: a jar holding
+// every class matching the comma-separated name-or-glob patterns P.
+// Version-3 archives decode only the chunks the selection touches; the
+// rest of the archive is never unpacked.
+func (s *Server) archiveSubset(w http.ResponseWriter, r *http.Request, packed []byte, pat string) {
+	release, apiErr := s.acquireJob(r.Context())
+	if apiErr != nil {
+		s.writeError(w, apiErr)
+		return
+	}
+	defer release()
+	a, apiErr := s.openCached(packed)
+	if apiErr != nil {
+		s.writeError(w, apiErr)
+		return
+	}
+	names, err := a.Select(strings.Split(pat, ",")...)
+	if err != nil {
+		s.writeError(w, errf(http.StatusBadRequest, "bad_pattern", "classes pattern: %v", err))
+		return
+	}
+	if len(names) == 0 {
+		s.writeError(w, errf(http.StatusNotFound, "no_match", "no classes match %q", pat))
+		return
+	}
+	files, err := a.ExtractClasses(names)
+	if err != nil {
+		s.writeError(w, errf(http.StatusInternalServerError, "corrupt_cache", "extracting classes: %v", err))
+		return
+	}
+	jar, err := classpack.JarFromFiles(files)
+	if err != nil {
+		s.writeError(w, errf(http.StatusInternalServerError, "internal", "building jar: %v", err))
+		return
+	}
+	s.metrics.Decodes.Add(1)
+	s.metrics.ClassBytesDecoded.Add(a.DecodedBytes())
+	w.Header().Set(HeaderDigest, r.PathValue("digest"))
+	s.writePayload(w, jar)
+}
+
+// handleArchiveClass answers GET /archive/{digest}/class/{name}: one
+// class file (".class" suffix optional), served lazily. On version-3
+// archives only the chunk containing the class is decoded, so the cost
+// is O(chunk) regardless of archive size.
+func (s *Server) handleArchiveClass(w http.ResponseWriter, r *http.Request) {
+	s.metrics.ClassRequests.Add(1)
+	packed, apiErr := s.loadArchive(r)
+	if apiErr != nil {
+		s.writeError(w, apiErr)
+		return
+	}
+	release, apiErr := s.acquireJob(r.Context())
+	if apiErr != nil {
+		s.writeError(w, apiErr)
+		return
+	}
+	defer release()
+	a, apiErr := s.openCached(packed)
+	if apiErr != nil {
+		s.writeError(w, apiErr)
+		return
+	}
+	name := r.PathValue("name")
+	data, err := a.ExtractClass(name)
+	if err != nil {
+		if errors.Is(err, classpack.ErrClassNotFound) {
+			s.writeError(w, errf(http.StatusNotFound, "class_not_found",
+				"no class %q in archive", name))
+			return
+		}
+		s.writeError(w, errf(http.StatusInternalServerError, "corrupt_cache",
+			"extracting %q: %v", name, err))
+		return
+	}
+	s.metrics.ClassBytesDecoded.Add(a.DecodedBytes())
+	w.Header().Set(HeaderDigest, r.PathValue("digest"))
+	s.writePayload(w, data)
 }

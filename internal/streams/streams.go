@@ -227,7 +227,14 @@ func (s *Stream) Len() int { return s.buf.Len() }
 // Reader reads a container produced by Writer.
 type Reader struct {
 	streams map[string]*RStream
+	decoded int64
 }
+
+// DecodedBytes is the total decoded size of all streams the container
+// materialized — what MaxDecodedBytes budgets. Callers decoding several
+// containers against one shared budget (the version-3 chunk layout)
+// subtract it after each container.
+func (r *Reader) DecodedBytes() int64 { return r.decoded }
 
 // NewReader parses the container, decoding stream payloads serially with
 // the default decoded-size budget. It is NewReaderN with one worker.
@@ -304,6 +311,7 @@ func newReader(data []byte, concurrency int, maxDecoded int64, checked bool) (*R
 	r := &Reader{streams: make(map[string]*RStream, len(entries))}
 	for i, e := range entries {
 		r.streams[e.name] = &RStream{name: e.name, buf: raws[i]}
+		r.decoded += int64(len(raws[i]))
 	}
 	return r, nil
 }
@@ -485,6 +493,7 @@ func NewSalvageReader(data []byte, concurrency int, maxDecoded int64, checked bo
 			continue
 		}
 		r.streams[e.name] = &RStream{name: e.name, buf: raws[i]}
+		r.decoded += int64(len(raws[i]))
 	}
 	return r, damage
 }

@@ -1,6 +1,8 @@
 package classpack
 
 import (
+	"fmt"
+
 	"classpack/internal/classfile"
 	"classpack/internal/core"
 	"classpack/internal/corrupt"
@@ -58,8 +60,12 @@ type SalvageResult struct {
 // reads quarantined or inconsistent data. Because the wire format is
 // sequential and stateful, every class before that point is recovered
 // byte-identically and everything after it is counted lost — salvage
-// never returns a class it cannot vouch for. Classes that decode but
-// fail to reserialize are skipped individually. On version-1 archives,
+// never returns a class it cannot vouch for. Version-3 archives narrow
+// the failure domain further: chunks reset all model state, so a
+// damaged chunk costs only its own classes and decoding resumes at the
+// next chunk boundary (damage regions carry a "chunkN/" stream prefix).
+// Classes that decode but fail to reserialize are skipped individually.
+// On version-1 archives,
 // which predate the checksums, salvage is best-effort: damage is only
 // noticed when decoding trips over it, so recovered classes are not
 // guaranteed byte-identical.
@@ -77,6 +83,22 @@ func Salvage(data []byte, opts *Options) (*SalvageResult, error) {
 		return nil, err
 	}
 	res := &SalvageResult{TotalClasses: cres.TotalClasses}
+	if cres.Version == core.Version3 {
+		// Version-3 damage is chunk-attributed: the stream name gains a
+		// "chunkN/" prefix so a report distinguishes which failure domain
+		// each region lies in (chunk framing, index and footer damage
+		// stay unprefixed).
+		for _, d := range cres.V3Damage {
+			r := region(d.Err)
+			if d.Chunk >= 0 {
+				r.Stream = fmt.Sprintf("chunk%d/%s", d.Chunk, r.Stream)
+			}
+			r.ClassesLost = d.ClassesLost
+			res.Damage = append(res.Damage, r)
+		}
+		reserializeInto(res, cres.Classes, o.Concurrency)
+		return res, nil
+	}
 	for _, q := range cres.Quarantined {
 		res.Damage = append(res.Damage, region(q))
 	}
