@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint verify bench bench-smoke bench-compare tables serve-smoke chaos-smoke fuzz-smoke fuzz-corpus
+.PHONY: build test lint verify bench bench-smoke bench-compare tables serve-smoke chaos-smoke delta-smoke fuzz-smoke fuzz-corpus
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ lint:
 # corpus cache are race-stress-tested. The service and cache layers get
 # an explicit second race pass: their retry/eviction paths are the most
 # concurrency-sensitive in the tree.
-verify: lint
+verify: lint delta-smoke
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/serve/... ./internal/castore/...
@@ -41,6 +41,8 @@ bench-smoke:
 	$(GO) run ./cmd/benchsnap -check /tmp/benchsnap-smoke.json
 	$(GO) run ./cmd/benchsnap -ratio -ratio-scale 0.25 -out /tmp/benchsnap-ratio-smoke.json
 	$(GO) run ./cmd/benchsnap -check /tmp/benchsnap-ratio-smoke.json
+	$(GO) run ./cmd/benchsnap -delta -delta-scale 0.25 -out /tmp/benchsnap-delta-smoke.json
+	$(GO) run ./cmd/benchsnap -check /tmp/benchsnap-delta-smoke.json
 
 # bench-compare diffs two recorded snapshots and fails on a >10%
 # throughput regression:
@@ -61,6 +63,13 @@ serve-smoke:
 # detection, byte-identical-prefix salvage, and balanced accounting.
 chaos-smoke:
 	$(GO) test -short -count=1 -run '^TestChaos' .
+
+# delta-smoke drives the end-to-end patch workflow through the jpack
+# CLI: pack two synthetic versions of a corpus, diff them, apply the
+# patch, byte-compare the rebuilt archive, and require the patch to stay
+# under 25% of the full archive at a 5% class-change rate.
+delta-smoke:
+	$(GO) test -count=1 -run '^TestDeltaSmoke$$' ./cmd/jpack
 
 # fuzz-smoke gives each native fuzz harness a short budget on top of the
 # checked-in seed corpora — enough to catch regressions in the

@@ -1,6 +1,7 @@
 package classpack
 
 import (
+	"bytes"
 	"errors"
 	"hash/crc32"
 	"runtime"
@@ -64,6 +65,48 @@ func TestDecompressionBombFailsFast(t *testing.T) {
 		if delta := after.TotalAlloc - before.TotalAlloc; delta > 1<<20 {
 			t.Fatalf("v%d: rejecting the bomb allocated %d bytes", version, delta)
 		}
+	}
+}
+
+// TestOpenArchiveSizeBomb pins the lazy-open defense for version-1/2
+// archives (which have no chunk framing, so OpenArchive falls back to
+// an eager whole-body read): a hostile caller-supplied size over a tiny
+// reader must be rejected against the decode budget in O(1) memory, not
+// allocated up front.
+func TestOpenArchiveSizeBomb(t *testing.T) {
+	packed, err := Pack(sample(t), nil) // version 2, a few KiB
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(packed)
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	_, err = OpenArchive(r, 4<<30, nil) // claims 4 GiB backed by the small reader
+	runtime.ReadMemStats(&after)
+
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("OpenArchive(hostile size) = %v, want ErrTooLarge", err)
+	}
+	if _, ok := AsCorrupt(err); !ok {
+		t.Fatalf("size-bomb rejection is not a CorruptError: %v", err)
+	}
+	if delta := after.TotalAlloc - before.TotalAlloc; delta > 1<<20 {
+		t.Fatalf("rejecting the size bomb allocated %d bytes", delta)
+	}
+
+	// A size merely inflated beyond the reader (but within budget) must
+	// fail as corruption — short read — after allocating only what
+	// actually arrived.
+	if _, err := OpenArchive(bytes.NewReader(packed), int64(len(packed))+100, nil); err == nil {
+		t.Fatal("OpenArchive accepted a size larger than the reader")
+	} else if _, ok := AsCorrupt(err); !ok {
+		t.Fatalf("short-read rejection is not a CorruptError: %v", err)
+	}
+
+	// And the honest size still opens.
+	if _, err := OpenArchive(bytes.NewReader(packed), int64(len(packed)), nil); err != nil {
+		t.Fatalf("honest open: %v", err)
 	}
 }
 

@@ -14,6 +14,7 @@
 //	benchsnap -check FILE           # validate a snapshot's schema
 //	benchsnap -compare OLD NEW      # delta table; exit 1 on regression
 //	benchsnap -ratio                # record BENCH_<date>_<sha>_ratio.json
+//	benchsnap -delta                # record BENCH_<date>_<sha>_delta.json
 //
 // Compare mode prints a per-benchmark delta table and exits non-zero
 // when any benchmark's throughput regresses by more than 10% (MB/s when
@@ -24,11 +25,21 @@
 // version-3 chunked archives at several chunk sizes, and writes the
 // sizes plus the per-chunk-size overhead to a
 // "classpack-ratiosnap/v1" JSON file. Committed ratio snapshots pin
-// what random access costs in compression. -check validates either
-// schema.
+// what random access costs in compression.
+//
+// Delta mode records a patch-size snapshot for the cross-archive delta
+// path: each bench corpus is packed, mutated into a synthetic "next
+// release" (each class independently changed with probability
+// -delta-rate), re-packed, and diffed with classpack.Diff. The patch is
+// verified by applying it (ApplyDelta must reproduce the new archive
+// byte-for-byte) before its size lands in a "classpack-deltasnap/v1"
+// JSON file. Committed delta snapshots pin the bandwidth saved by
+// shipping patches instead of full archives. -check validates all three
+// schemas.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -44,6 +55,7 @@ import (
 
 	"classpack"
 	"classpack/internal/bench"
+	"classpack/internal/synth"
 )
 
 // Schema is the identifier every snapshot carries; bump only with a
@@ -101,6 +113,9 @@ func run(args []string) int {
 		compare   = fs.Bool("compare", false, "compare two snapshots: benchsnap -compare OLD NEW")
 		ratio     = fs.Bool("ratio", false, "record a v2-vs-v3 compression-ratio snapshot instead of timings")
 		ratioScl  = fs.Float64("ratio-scale", 1.0, "corpus scale for -ratio")
+		delta     = fs.Bool("delta", false, "record a delta-patch-size snapshot instead of timings")
+		deltaScl  = fs.Float64("delta-scale", 1.0, "corpus scale for -delta")
+		deltaRate = fs.Float64("delta-rate", 0.05, "per-class mutation probability for -delta")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -108,6 +123,14 @@ func run(args []string) int {
 	switch {
 	case *ratio:
 		path, err := recordRatio(*dir, *ratioScl, *tag, *out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", path)
+		return 0
+	case *delta:
+		path, err := recordDelta(*dir, *deltaScl, *deltaRate, *tag, *out)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
 			return 1
@@ -358,6 +381,9 @@ func checkFile(path string) (schema string, err error) {
 	if probe.Schema == RatioSchema {
 		return RatioSchema, checkRatioFile(path)
 	}
+	if probe.Schema == DeltaSchema {
+		return DeltaSchema, checkDeltaFile(path)
+	}
 	_, err = load(path)
 	return Schema, err
 }
@@ -496,6 +522,175 @@ func checkRatioFile(path string) error {
 			if ch.ChunkClasses < 1 || ch.Bytes < 1 {
 				return fmt.Errorf("%s: corpus %q: bad chunk point %+v", path, c.Name, ch)
 			}
+		}
+	}
+	return nil
+}
+
+// DeltaSchema identifies cross-archive delta-patch-size snapshots; bump
+// only with a documented migration in DESIGN.md.
+const DeltaSchema = "classpack-deltasnap/v1"
+
+// deltaChunkClasses is the version-3 layout every delta snapshot packs:
+// the DefaultChunkClasses shipping value, so the recorded patch sizes
+// match what jpack and jpackd produce by default.
+const deltaChunkClasses = 64
+
+// deltaSeed makes the synthetic version bump reproducible: the same
+// corpus and rate always change the same classes, so snapshots taken at
+// different commits are comparable.
+const deltaSeed = 1999 // the paper's publication year, for want of a better constant
+
+// deltaCorpora are the profiles a delta snapshot diffs. Unlike the
+// ratio corpora they must be large enough that a 5% class-change rate
+// selects whole classes — 209_db is 3 classes, where the minimum
+// one-class bump is already a 33% change — so the small ratio corpus is
+// swapped for the ~400-class tools profile.
+var deltaCorpora = []string{"202_jess", "213_javac", "tools"}
+
+// DeltaSnapshot is the stable on-disk schema of a -delta run.
+type DeltaSnapshot struct {
+	Schema       string        `json:"schema"`
+	UTCDate      string        `json:"utc_date"`
+	GitSHA       string        `json:"git_sha"`
+	Tag          string        `json:"tag,omitempty"`
+	Scale        float64       `json:"scale"`         // corpus scale packed
+	ChangeRate   float64       `json:"change_rate"`   // per-class mutation probability
+	ChunkClasses int           `json:"chunk_classes"` // v3 layout both versions were packed with
+	Corpora      []CorpusDelta `json:"corpora"`
+}
+
+// CorpusDelta is one corpus's measurement: the two full archives of a
+// synthetic version bump and the size of the CJPD patch between them.
+type CorpusDelta struct {
+	Name           string  `json:"name"`
+	Classes        int     `json:"classes"`
+	ChangedClasses int     `json:"changed_classes"`
+	OldBytes       int64   `json:"old_bytes"`
+	NewBytes       int64   `json:"new_bytes"`
+	PatchBytes     int64   `json:"patch_bytes"`
+	PatchVsFull    float64 `json:"patch_vs_full"` // patch / new, the bandwidth ratio
+}
+
+// recordDelta packs each corpus twice across a synthetic version bump,
+// diffs the pair, verifies the patch applies back to the exact new
+// archive, and writes the snapshot. Everything runs in-process — patch
+// bytes are deterministic at every worker count, so no go-test
+// indirection is needed.
+func recordDelta(dir string, scale, rate float64, tag, out string) (string, error) {
+	if rate <= 0 || rate > 1 {
+		return "", fmt.Errorf("-delta-rate %v: want in (0, 1]", rate)
+	}
+	snap := DeltaSnapshot{
+		Schema:       DeltaSchema,
+		UTCDate:      time.Now().UTC().Format("2006-01-02"),
+		GitSHA:       gitShortSHA(dir),
+		Tag:          tag,
+		Scale:        scale,
+		ChangeRate:   rate,
+		ChunkClasses: deltaChunkClasses,
+	}
+	opts := classpack.DefaultOptions()
+	opts.ChunkClasses = deltaChunkClasses
+	for _, name := range deltaCorpora {
+		c, err := bench.Load(name, scale)
+		if err != nil {
+			return "", err
+		}
+		raw := make([][]byte, len(c.StrippedFiles))
+		for i, f := range c.StrippedFiles {
+			raw[i] = f.Data
+		}
+		oldArc, err := classpack.Pack(raw, &opts)
+		if err != nil {
+			return "", fmt.Errorf("%s: old pack: %w", name, err)
+		}
+		bumped, changed, err := synth.MutateClasses(raw, rate, deltaSeed)
+		if err != nil {
+			return "", fmt.Errorf("%s: version bump: %w", name, err)
+		}
+		newArc, err := classpack.Pack(bumped, &opts)
+		if err != nil {
+			return "", fmt.Errorf("%s: new pack: %w", name, err)
+		}
+		patch, err := classpack.Diff(oldArc, newArc, &opts)
+		if err != nil {
+			return "", fmt.Errorf("%s: diff: %w", name, err)
+		}
+		// A snapshot must never record a patch that does not round-trip.
+		applied, err := classpack.ApplyDelta(oldArc, patch, &opts)
+		if err != nil {
+			return "", fmt.Errorf("%s: apply: %w", name, err)
+		}
+		if !bytes.Equal(applied, newArc) {
+			return "", fmt.Errorf("%s: applied patch differs from the new archive", name)
+		}
+		snap.Corpora = append(snap.Corpora, CorpusDelta{
+			Name:           name,
+			Classes:        len(raw),
+			ChangedClasses: changed,
+			OldBytes:       int64(len(oldArc)),
+			NewBytes:       int64(len(newArc)),
+			PatchBytes:     int64(len(patch)),
+			PatchVsFull:    float64(len(patch)) / float64(len(newArc)),
+		})
+	}
+	if out == "" {
+		name := "BENCH_" + snap.UTCDate + "_" + snap.GitSHA
+		if tag != "" {
+			name += "_" + tag
+		}
+		out = filepath.Join(dir, name+"_delta.json")
+	}
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return "", err
+	}
+	return out, nil
+}
+
+// checkDeltaFile validates the parts of the delta schema later tooling
+// depends on.
+func checkDeltaFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var s DeltaSnapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if s.Schema != DeltaSchema {
+		return fmt.Errorf("%s: schema %q, want %q", path, s.Schema, DeltaSchema)
+	}
+	if _, err := time.Parse("2006-01-02", s.UTCDate); err != nil {
+		return fmt.Errorf("%s: utc_date %q: want YYYY-MM-DD", path, s.UTCDate)
+	}
+	if s.GitSHA == "" {
+		return fmt.Errorf("%s: missing git_sha", path)
+	}
+	if s.ChangeRate <= 0 || s.ChangeRate > 1 {
+		return fmt.Errorf("%s: change_rate %v: want in (0, 1]", path, s.ChangeRate)
+	}
+	if s.ChunkClasses < 1 {
+		return fmt.Errorf("%s: chunk_classes %d: want >= 1", path, s.ChunkClasses)
+	}
+	if len(s.Corpora) == 0 {
+		return fmt.Errorf("%s: no corpora recorded", path)
+	}
+	for _, c := range s.Corpora {
+		if c.Name == "" || c.Classes < 1 || c.OldBytes < 1 || c.NewBytes < 1 || c.PatchBytes < 1 {
+			return fmt.Errorf("%s: corpus %q: incomplete record", path, c.Name)
+		}
+		if c.ChangedClasses < 1 || c.ChangedClasses > c.Classes {
+			return fmt.Errorf("%s: corpus %q: changed_classes %d of %d classes", path, c.Name, c.ChangedClasses, c.Classes)
+		}
+		if c.PatchVsFull <= 0 || c.PatchVsFull > 1 {
+			return fmt.Errorf("%s: corpus %q: patch_vs_full %v: want in (0, 1]", path, c.Name, c.PatchVsFull)
 		}
 	}
 	return nil

@@ -223,3 +223,83 @@ func TestRatioSnapshotCheck(t *testing.T) {
 		t.Fatal("checkFile accepted a ratio snapshot with no chunked measurements")
 	}
 }
+
+func TestDeltaSnapshotCheck(t *testing.T) {
+	// The delta schema round-trips through the shared -check entry.
+	dir := t.TempDir()
+	ds := DeltaSnapshot{
+		Schema:       DeltaSchema,
+		UTCDate:      "2026-08-08",
+		GitSHA:       "abc1234",
+		Scale:        1.0,
+		ChangeRate:   0.05,
+		ChunkClasses: 64,
+		Corpora: []CorpusDelta{{
+			Name: "209_db", Classes: 120, ChangedClasses: 6,
+			OldBytes: 61000, NewBytes: 61100, PatchBytes: 9000,
+			PatchVsFull: 0.147,
+		}},
+	}
+	write := func() string {
+		t.Helper()
+		data, err := json.MarshalIndent(&ds, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "BENCH_2026-08-08_abc1234_delta.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	path := write()
+	if schema, err := checkFile(path); err != nil || schema != DeltaSchema {
+		t.Fatalf("checkFile: schema %q, err %v", schema, err)
+	}
+	// A bump that changed nothing is not a measurement.
+	ds.Corpora[0].ChangedClasses = 0
+	if _, err := checkFile(write()); err == nil {
+		t.Fatal("checkFile accepted a delta snapshot with zero changed classes")
+	}
+	ds.Corpora[0].ChangedClasses = 6
+	// A patch as large as the archive means the diff path is broken.
+	ds.Corpora[0].PatchVsFull = 1.2
+	if _, err := checkFile(write()); err == nil {
+		t.Fatal("checkFile accepted patch_vs_full > 1")
+	}
+	ds.Corpora[0].PatchVsFull = 0.147
+	ds.ChangeRate = 0
+	if _, err := checkFile(write()); err == nil {
+		t.Fatal("checkFile accepted a zero change_rate")
+	}
+}
+
+func TestRecordDeltaSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packs real corpora; skipped in -short")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "delta.json")
+	// Small scale keeps the smoke fast; the committed snapshots use 1.0.
+	path, err := recordDelta(".", 0.25, 0.05, "", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema, err := checkFile(path); err != nil || schema != DeltaSchema {
+		t.Fatalf("checkFile: schema %q, err %v", schema, err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ds DeltaSnapshot
+	if err := json.Unmarshal(data, &ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range ds.Corpora {
+		if c.PatchVsFull > 0.25 {
+			t.Errorf("%s: patch is %.1f%% of the full archive, want <= 25%%",
+				c.Name, 100*c.PatchVsFull)
+		}
+	}
+}

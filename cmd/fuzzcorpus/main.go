@@ -153,6 +153,35 @@ func run() error {
 			return err
 		}
 
+		// FuzzDelta: a real CJPD patch between the chunked archive and a
+		// ~20%-mutated version bump of it, plus deterministic mutants so
+		// the fuzzer starts inside the patch validation paths. The harness
+		// applies seeds against its own fixed old archive, so mismatching
+		// digests here still exercise ErrDeltaMismatch.
+		bumped, _, err := synth.MutateClasses(raw, 0.2, int64(len(packedV3)))
+		if err != nil {
+			return err
+		}
+		bumpedV3, err := classpack.Pack(bumped, &chunked)
+		if err != nil {
+			return err
+		}
+		patch, err := classpack.Diff(packedV3, bumpedV3, nil)
+		if err != nil {
+			return err
+		}
+		if err := corpusFile("testdata/fuzz/FuzzDelta", "seed-"+profile, patch); err != nil {
+			return err
+		}
+		planPatch := faultinject.NewPlan(int64(len(patch)))
+		for i := 0; i < 4; i++ {
+			mut := planPatch.Next(len(patch)).Apply(patch)
+			name := fmt.Sprintf("seed-%s-fault%d", profile, i)
+			if err := corpusFile("testdata/fuzz/FuzzDelta", name, mut); err != nil {
+				return err
+			}
+		}
+
 		legacy, err := core.PackVersion(cfs, core.DefaultOptions(), core.Version1)
 		if err != nil {
 			return err

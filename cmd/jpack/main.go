@@ -7,6 +7,8 @@
 //	jpack unpack  [-d outdir] [-jar out.jar] [-salvage] archive.cjp
 //	jpack ls      archive.cjp
 //	jpack extract [-d outdir] [-jar out.jar] archive.cjp pattern...
+//	jpack delta   [-o patch.cjpd] old.cjp new.cjp
+//	jpack apply   [-o new.cjp] old.cjp patch.cjpd
 //	jpack strip   [-o out.class] file.class
 //	jpack stats   archive-inputs...
 //	jpack verify  [-deep] [-bytecode] [-max-failures N] file.class... | app.jar | archive.cjp
@@ -100,6 +102,10 @@ func dispatch(args []string) int {
 		err = cmdLs(args[1:])
 	case "extract":
 		err = cmdExtract(args[1:])
+	case "delta":
+		err = cmdDelta(args[1:])
+	case "apply":
+		err = cmdApply(args[1:])
 	case "strip":
 		err = cmdStrip(args[1:])
 	case "stats":
@@ -206,6 +212,8 @@ func usage() {
   jpack unpack  [-d outdir] [-jar out.jar] [-j N] [-salvage] <archive.cjp>
   jpack ls      <archive.cjp>
   jpack extract [-d outdir] [-jar out.jar] [-j N] <archive.cjp> <class | pattern> ...
+  jpack delta   [-o patch.cjpd] [-j N] <old.cjp> <new.cjp>
+  jpack apply   [-o new.cjp] [-j N] <old.cjp> <patch.cjpd>
   jpack strip   [-o out.class] <file.class>
   jpack stats   <file.class ... | app.jar>
   jpack verify  [-deep] [-bytecode] [-j N] [-max-failures N] <file.class ... | app.jar | archive.cjp>
@@ -222,6 +230,9 @@ the monolithic version-2 layout.
 ls lists an archive's classes without decoding class bodies (for
 version 3, per-chunk sizes too); extract decodes only the chunks
 holding the selected classes ('java/util/*' patterns use path.Match).
+delta writes a CJPD patch carrying only the classes new.cjp adds or
+changes relative to old.cjp; apply rebuilds new.cjp byte-for-byte from
+old.cjp plus the patch, verifying the recorded digest.
 -salvage recovers what a damaged archive still holds, prints a damage
 report to stderr, and exits 1 when any classes were lost.
 verify -deep adds the dataflow bytecode verifier; -bytecode prints one
@@ -562,14 +573,16 @@ func cmdExtract(args []string) error {
 		return err
 	}
 	defer f.Close()
-	names, err := a.Select(files[1:]...)
+	// Selection and extraction go by ordinal so archives holding
+	// duplicate class names still extract every matching occurrence.
+	ords, err := a.SelectOrdinals(files[1:]...)
 	if err != nil {
 		return usageError{err}
 	}
-	if len(names) == 0 {
+	if len(ords) == 0 {
 		return fmt.Errorf("%s: no classes match %v", files[0], files[1:])
 	}
-	out, err := a.ExtractClasses(names)
+	out, err := a.ExtractOrdinals(ords)
 	if err != nil {
 		return err
 	}
@@ -600,6 +613,94 @@ func cmdExtract(args []string) error {
 	}
 	fmt.Printf("extracted %d of %d classes into %s: %d bytes (%d bytes read of %d)\n",
 		len(out), a.NumClasses(), dir, total, a.BytesRead(), archiveSize(f))
+	return nil
+}
+
+// cmdDelta handles `jpack delta old.cjp new.cjp -o patch.cjpd`: a CJPD
+// patch carrying only the classes of new.cjp that old.cjp lacks; the
+// rest are references the apply side copies from its own old archive.
+func cmdDelta(args []string) error {
+	out := "patch.cjpd"
+	jobs := "0"
+	files, err := parseFlags(args, map[string]*string{"-o": &out, "-j": &jobs}, nil)
+	if err != nil {
+		return err
+	}
+	if len(files) != 2 {
+		return usagef("delta takes exactly two archives: old.cjp new.cjp")
+	}
+	j, err := parseJobs(jobs)
+	if err != nil {
+		return err
+	}
+	oldArc, err := os.ReadFile(files[0])
+	if err != nil {
+		return err
+	}
+	newArc, err := os.ReadFile(files[1])
+	if err != nil {
+		return err
+	}
+	opts := classpack.DefaultOptions()
+	opts.Concurrency = j
+	start := time.Now()
+	patch, err := classpack.Diff(oldArc, newArc, &opts)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	if err := os.WriteFile(out, patch, 0o644); err != nil {
+		return err
+	}
+	sum, err := classpack.DescribeDelta(patch, &opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("delta %s -> %s: %d of %d classes carried, %d copied; patch %d bytes (%.1f%% of %d) in %v\n",
+		files[0], files[1], sum.PayloadClasses, sum.NewClasses, sum.CopiedClasses,
+		len(patch), 100*float64(len(patch))/float64(len(newArc)), len(newArc),
+		elapsed.Round(time.Millisecond))
+	return nil
+}
+
+// cmdApply handles `jpack apply old.cjp patch.cjpd`: reconstruct the
+// new archive from the old one plus a patch, verifying the result's
+// digest against the one the patch records.
+func cmdApply(args []string) error {
+	out := "new.cjp"
+	jobs := "0"
+	files, err := parseFlags(args, map[string]*string{"-o": &out, "-j": &jobs}, nil)
+	if err != nil {
+		return err
+	}
+	if len(files) != 2 {
+		return usagef("apply takes exactly an archive and a patch: old.cjp patch.cjpd")
+	}
+	j, err := parseJobs(jobs)
+	if err != nil {
+		return err
+	}
+	oldArc, err := os.ReadFile(files[0])
+	if err != nil {
+		return err
+	}
+	patch, err := os.ReadFile(files[1])
+	if err != nil {
+		return err
+	}
+	opts := classpack.DefaultOptions()
+	opts.Concurrency = j
+	start := time.Now()
+	newArc, err := classpack.ApplyDelta(oldArc, patch, &opts)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	if err := os.WriteFile(out, newArc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("applied %s to %s: %d-byte archive rebuilt into %s (digest verified) in %v\n",
+		files[1], files[0], len(newArc), out, elapsed.Round(time.Millisecond))
 	return nil
 }
 

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -8,6 +10,7 @@ import (
 	"classpack/internal/archive"
 	"classpack/internal/classfile"
 	"classpack/internal/minijava"
+	"classpack/internal/synth"
 )
 
 // writeClasses compiles a small program into a temp dir and returns the
@@ -402,4 +405,103 @@ func errorsAs(err error, target *usageError) bool {
 		err = u.Unwrap()
 	}
 	return false
+}
+
+// TestDeltaSmoke is the end-to-end delta workflow the `make delta-smoke`
+// target runs: pack two versions of a synthetic corpus that differ in
+// ~5% of their classes, diff them, apply the patch to the old archive,
+// and require (a) the rebuilt archive is byte-identical to the new one
+// and (b) the patch is under 25% of the full new archive.
+func TestDeltaSmoke(t *testing.T) {
+	p, err := synth.ProfileByName("rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfs, err := synth.GenerateStripped(p, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldRaw := make([][]byte, len(cfs))
+	for i, cf := range cfs {
+		if oldRaw[i], err = classfile.Write(cf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newRaw, changed, err := synth.MutateClasses(oldRaw, 0.05, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed == 0 || changed*4 > len(oldRaw) {
+		t.Fatalf("version bump changed %d of %d classes", changed, len(oldRaw))
+	}
+	dir := t.TempDir()
+	writeJar := func(name string, raw [][]byte) string {
+		var members []archive.File
+		for i, data := range raw {
+			members = append(members, archive.File{Name: fmt.Sprintf("c%04d.class", i), Data: data})
+		}
+		jar, err := archive.WriteJar(members)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, jar, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldJar := writeJar("old.jar", oldRaw)
+	newJar := writeJar("new.jar", newRaw)
+
+	oldCjp := filepath.Join(dir, "old.cjp")
+	newCjp := filepath.Join(dir, "new.cjp")
+	patchPath := filepath.Join(dir, "patch.cjpd")
+	rebuilt := filepath.Join(dir, "rebuilt.cjp")
+	for _, args := range [][]string{
+		{"pack", "-o", oldCjp, "-chunk", "16", oldJar},
+		{"pack", "-o", newCjp, "-chunk", "16", newJar},
+		{"delta", "-o", patchPath, oldCjp, newCjp},
+		{"apply", "-o", rebuilt, oldCjp, patchPath},
+	} {
+		if code := run(args); code != exitOK {
+			t.Fatalf("run(%q) exited %d", args, code)
+		}
+	}
+
+	newArc, err := os.ReadFile(newCjp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(rebuilt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, newArc) {
+		t.Fatal("applied archive differs from the packed new archive")
+	}
+	patch, err := os.ReadFile(patchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(len(patch)) / float64(len(newArc)); ratio >= 0.25 {
+		t.Fatalf("patch is %.1f%% of the full archive, want < 25%% (patch %d, archive %d)",
+			100*ratio, len(patch), len(newArc))
+	}
+	t.Logf("delta smoke: %d classes (%d changed), archive %d bytes, patch %d bytes (%.1f%%)",
+		len(newRaw), changed, len(newArc), len(patch),
+		100*float64(len(patch))/float64(len(newArc)))
+
+	// Failure modes: applying the patch to the wrong base exits 1, and
+	// a corrupted patch is rejected, also with exit 1.
+	if code := run([]string{"apply", "-o", filepath.Join(dir, "bad.cjp"), newCjp, patchPath}); code != exitFailure {
+		t.Fatalf("apply to wrong base exited %d, want %d", code, exitFailure)
+	}
+	patch[len(patch)/2] ^= 0x40
+	badPatch := filepath.Join(dir, "bad.cjpd")
+	if err := os.WriteFile(badPatch, patch, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"apply", "-o", filepath.Join(dir, "bad.cjp"), oldCjp, badPatch}); code != exitFailure {
+		t.Fatalf("apply of corrupt patch exited %d, want %d", code, exitFailure)
+	}
 }

@@ -21,6 +21,7 @@ import (
 // into class files. nopanic and corrupterr apply here.
 var decodePathPackages = map[string]bool{
 	"classpack/internal/core":       true,
+	"classpack/internal/delta":      true,
 	"classpack/internal/streams":    true,
 	"classpack/internal/refs":       true,
 	"classpack/internal/mtf":        true,

@@ -319,6 +319,9 @@ func (s *Store) evictLocked() {
 	}
 }
 
+// Dir reports the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
 // Len reports the number of cached objects.
 func (s *Store) Len() int {
 	s.mu.Lock()

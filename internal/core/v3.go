@@ -152,6 +152,13 @@ func effectiveMaxClasses(o UnpackOpts) int {
 	return o.MaxClassCount
 }
 
+// EffectiveBudget resolves the decoded-bytes cap for callers outside
+// the package; the delta patch decoder shares the container's limits.
+func EffectiveBudget(o UnpackOpts) int64 { return effectiveBudget(o) }
+
+// EffectiveMaxClasses resolves the class-count cap (see EffectiveBudget).
+func EffectiveMaxClasses(o UnpackOpts) int { return effectiveMaxClasses(o) }
+
 // packV3 encodes the version-3 layout. Chunks are mutually independent
 // (each starts from reset models), so chunk encoding itself fans out
 // over Options.Concurrency workers; the assembly order is fixed, so the

@@ -1,0 +1,120 @@
+package delta
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"testing"
+
+	"classpack/internal/corrupt"
+)
+
+func samplePatch() *Patch {
+	p := &Patch{
+		NewVersion:   3,
+		NewOptions:   0x36,
+		ChunkClasses: 64,
+		Ops:          []int{0, PayloadOp, 2, PayloadOp, 7},
+		Payload:      []byte("CJP1 pretend payload archive bytes"),
+	}
+	p.OldDigest = sha256.Sum256([]byte("old"))
+	p.NewDigest = sha256.Sum256([]byte("new"))
+	return p
+}
+
+func TestPatchRoundTrip(t *testing.T) {
+	p := samplePatch()
+	enc := p.Encode()
+	got, err := Parse(enc, 0)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got.NewVersion != p.NewVersion || got.NewOptions != p.NewOptions ||
+		got.ChunkClasses != p.ChunkClasses {
+		t.Fatalf("header fields: got %+v", got)
+	}
+	if got.OldDigest != p.OldDigest || got.NewDigest != p.NewDigest {
+		t.Fatal("digest mismatch")
+	}
+	if len(got.Ops) != len(p.Ops) {
+		t.Fatalf("ops: got %v want %v", got.Ops, p.Ops)
+	}
+	for i := range p.Ops {
+		if got.Ops[i] != p.Ops[i] {
+			t.Fatalf("op %d: got %d want %d", i, got.Ops[i], p.Ops[i])
+		}
+	}
+	if !bytes.Equal(got.Payload, p.Payload) {
+		t.Fatal("payload mismatch")
+	}
+	if got.PayloadClasses() != 2 {
+		t.Fatalf("PayloadClasses = %d, want 2", got.PayloadClasses())
+	}
+}
+
+func TestPatchRoundTripEmptyPayload(t *testing.T) {
+	p := samplePatch()
+	p.NewVersion, p.ChunkClasses = 2, 0
+	p.Ops = []int{1, 0}
+	p.Payload = nil
+	got, err := Parse(p.Encode(), 0)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got.Payload != nil || got.PayloadClasses() != 0 {
+		t.Fatalf("got payload %q", got.Payload)
+	}
+}
+
+// TestPatchParseRejects drives Parse over a matrix of corruptions; every
+// one must fail with a *corrupt.Error and never panic.
+func TestPatchParseRejects(t *testing.T) {
+	valid := samplePatch().Encode()
+	cases := map[string][]byte{
+		"empty":     nil,
+		"short":     valid[:20],
+		"badmagic":  append([]byte("XXXX"), valid[4:]...),
+		"truncated": valid[:len(valid)-9],
+	}
+	for i := 0; i < len(valid); i += 7 {
+		mut := bytes.Clone(valid)
+		mut[i] ^= 0x40
+		cases["bitflip@"+string(rune('0'+i%10))+"_"+t.Name()] = mut
+	}
+	for name, data := range cases {
+		if bytes.Equal(data, valid) {
+			continue
+		}
+		_, err := Parse(data, 0)
+		if err == nil {
+			t.Fatalf("%s: Parse accepted corrupt patch", name)
+		}
+		if _, ok := corrupt.As(err); !ok {
+			t.Fatalf("%s: error %v is not a corrupt.Error", name, err)
+		}
+	}
+}
+
+func TestPatchParseOpsCap(t *testing.T) {
+	p := samplePatch()
+	_, err := Parse(p.Encode(), 3) // patch has 5 ops
+	if err == nil || !errors.Is(err, corrupt.ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge for over-cap ops, got %v", err)
+	}
+	if _, err := Parse(p.Encode(), 5); err != nil {
+		t.Fatalf("cap equal to op count must pass: %v", err)
+	}
+}
+
+func TestPatchVersionConsistency(t *testing.T) {
+	p := samplePatch()
+	p.NewVersion = 2 // but ChunkClasses stays 64: inconsistent
+	if _, err := Parse(p.Encode(), 0); err == nil {
+		t.Fatal("version-2 patch with nonzero chunk size accepted")
+	}
+	p = samplePatch()
+	p.NewVersion = 1
+	if _, err := Parse(p.Encode(), 0); err == nil {
+		t.Fatal("version-1 target accepted")
+	}
+}

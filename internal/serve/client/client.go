@@ -356,6 +356,24 @@ func (c *Client) ArchiveClasses(ctx context.Context, digest string, patterns []s
 	return c.payload(resp)
 }
 
+// Delta fetches a CJPD patch transforming the cached archive with
+// digest from into the cached archive with digest to. Apply it locally
+// with classpack.ApplyDelta(oldArchive, patch, opts); unknown digests
+// are APIErrors with code "not_found".
+func (c *Client) Delta(ctx context.Context, from, to string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/delta/"+from+"/"+to, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return c.payload(resp)
+}
+
 // Metrics fetches the server's counters as a flat name -> value map.
 func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)

@@ -36,6 +36,17 @@ type Metrics struct {
 
 	CacheHits   expvar.Int // pack served from the content-addressed store
 	CacheMisses expvar.Int
+	// CacheErrors counts store reads that failed outright (I/O errors, not
+	// ordinary misses). Each one is also logged; a rising counter means
+	// the cache volume is sick even though requests still succeed by
+	// re-encoding.
+	CacheErrors expvar.Int
+
+	DeltaRequests expvar.Int // GET /delta/{from}/{to}
+	// DeltaBytesSaved accumulates len(new archive) - len(patch) over
+	// successful delta responses: the bandwidth the endpoint saved its
+	// callers versus re-downloading the whole new archive.
+	DeltaBytesSaved expvar.Int
 
 	Encodes  expvar.Int // pack jobs actually run (cache misses that encoded)
 	Decodes  expvar.Int
@@ -62,6 +73,9 @@ func newMetrics() *Metrics {
 	set("class_bytes_decoded", &mt.ClassBytesDecoded)
 	set("cache_hits", &mt.CacheHits)
 	set("cache_misses", &mt.CacheMisses)
+	set("cache_errors", &mt.CacheErrors)
+	set("delta_requests", &mt.DeltaRequests)
+	set("delta_bytes_saved", &mt.DeltaBytesSaved)
 	set("encodes_total", &mt.Encodes)
 	set("decodes_total", &mt.Decodes)
 	set("salvages_total", &mt.Salvages)

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"testing"
@@ -630,16 +631,34 @@ func TestArchiveClassEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 	names := local.ClassNames()
-	for _, n := range names {
-		if _, err := local.ExtractClass(n); err != nil {
-			t.Fatal(err)
-		}
+	ords := make([]int, local.NumClasses())
+	for g := range ords {
+		ords[g] = g
+	}
+	if _, err := local.ExtractOrdinals(ords); err != nil {
+		t.Fatal(err)
 	}
 	fullDecoded := local.DecodedBytes()
 
+	// By-name endpoints need unambiguous names: the synth corpus carries
+	// a few duplicate class names, which by-name extraction refuses.
+	seen := make(map[string]int)
+	for _, n := range names {
+		seen[n]++
+	}
+	var unique []string
+	for _, n := range names {
+		if seen[n] == 1 {
+			unique = append(unique, n)
+		}
+	}
+	if len(unique) < 10 {
+		t.Fatalf("only %d unique class names", len(unique))
+	}
+
 	// One class via GET /archive/{digest}/class/{name}: byte-equal to
 	// the local extraction and only one chunk's worth of decoding.
-	target := names[len(names)/2]
+	target := unique[len(unique)/2]
 	got, err := c.ArchiveClass(ctx, res.Digest, target)
 	if err != nil {
 		t.Fatal(err)
@@ -670,7 +689,7 @@ func TestArchiveClassEndpoints(t *testing.T) {
 
 	// A ?classes= subset comes back as a jar of exactly the selection,
 	// in archive order.
-	sel := []string{names[len(names)-1], names[0], names[len(names)/3]}
+	sel := []string{unique[len(unique)-1], unique[0], unique[len(unique)/3]}
 	subsetJar, err := c.ArchiveClasses(ctx, res.Digest, sel)
 	if err != nil {
 		t.Fatal(err)
@@ -698,5 +717,212 @@ func TestArchiveClassEndpoints(t *testing.T) {
 	}
 	if _, err := c.ArchiveClasses(ctx, res.Digest, []string{"a[/b"}); !errors.As(err, &apiErr) || apiErr.Code != "bad_pattern" {
 		t.Fatalf("malformed pattern: err = %v, want bad_pattern", err)
+	}
+}
+
+// synthJar builds a jar over the "rt" synth corpus at the given scale,
+// returning the jar and the raw class bytes in member order.
+func synthJar(t *testing.T, scale float64) ([]byte, [][]byte) {
+	t.Helper()
+	p, err := synth.ProfileByName("rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfs, err := synth.GenerateStripped(p, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([][]byte, len(cfs))
+	var members []archive.File
+	for i, cf := range cfs {
+		if raw[i], err = classfile.Write(cf); err != nil {
+			t.Fatal(err)
+		}
+		members = append(members, archive.File{Name: cf.ThisClassName() + ".class", Data: raw[i]})
+	}
+	jar, err := archive.WriteJar(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jar, raw
+}
+
+// TestDeltaEndpoint pins GET /delta/{from}/{to}: between two cached
+// archives that differ in ~5% of their classes, the served patch is a
+// small fraction of the new archive, reconstructs it byte-for-byte via
+// ApplyDelta, and moves the delta_requests / delta_bytes_saved
+// counters. Unknown and malformed digests are structured 404s/400s.
+func TestDeltaEndpoint(t *testing.T) {
+	oldJar, raw := synthJar(t, 0.1)
+	mutated, changed, err := synth.MutateClasses(raw, 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed == 0 {
+		t.Fatal("version bump mutated nothing")
+	}
+	var members []archive.File
+	for i, data := range mutated {
+		members = append(members, archive.File{Name: fmt.Sprintf("c%d.class", i), Data: data})
+	}
+	newJar, err := archive.WriteJar(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := classpack.DefaultOptions()
+	opts.ChunkClasses = 16
+	s, c, _ := startServer(t, Config{Store: newStore(t), Options: opts})
+	ctx := context.Background()
+
+	oldRes, err := c.Pack(ctx, oldJar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRes, err := c.Pack(ctx, newJar)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	patch, err := c.Delta(ctx, oldRes.Digest, newRes.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patch)*4 > len(newRes.Packed) {
+		t.Errorf("patch is %d bytes for a %d-byte archive — no bandwidth saved",
+			len(patch), len(newRes.Packed))
+	}
+	got, err := classpack.ApplyDelta(oldRes.Packed, patch, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, newRes.Packed) {
+		t.Fatal("ApplyDelta(old, served patch) differs from the new archive")
+	}
+
+	if v := s.Metrics().DeltaRequests.Value(); v != 1 {
+		t.Errorf("delta_requests = %d, want 1", v)
+	}
+	if v := s.Metrics().DeltaBytesSaved.Value(); v != int64(len(newRes.Packed)-len(patch)) {
+		t.Errorf("delta_bytes_saved = %d, want %d", v, len(newRes.Packed)-len(patch))
+	}
+
+	// Failure modes: unknown digest 404, malformed digest 400, and the
+	// self-delta degenerate case still applies cleanly.
+	var apiErr *client.APIError
+	unknown := strings.Repeat("ab", 32)
+	if _, err := c.Delta(ctx, unknown, newRes.Digest); !errors.As(err, &apiErr) ||
+		apiErr.Code != "not_found" || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("unknown from-digest: err = %v, want not_found 404", err)
+	}
+	if _, err := c.Delta(ctx, oldRes.Digest, unknown); !errors.As(err, &apiErr) ||
+		apiErr.Code != "not_found" || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("unknown to-digest: err = %v, want not_found 404", err)
+	}
+	if _, err := c.Delta(ctx, "zz", newRes.Digest); !errors.As(err, &apiErr) ||
+		apiErr.Code != "bad_digest" || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("malformed digest: err = %v, want bad_digest 400", err)
+	}
+	self, err := c.Delta(ctx, oldRes.Digest, oldRes.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := classpack.ApplyDelta(oldRes.Packed, self, &opts); err != nil || !bytes.Equal(got, oldRes.Packed) {
+		t.Fatalf("self-delta did not round-trip: %v", err)
+	}
+}
+
+// TestArchiveClassAmbiguous pins the duplicate-name fix at the HTTP
+// layer: a cached archive holding two classes with the same name serves
+// a structured 409 for that name instead of silently picking one, while
+// a ?classes= glob subset still returns every occurrence.
+func TestArchiveClassAmbiguous(t *testing.T) {
+	_, classes := testJar(t)
+	box := classes["Box.class"]
+	twin, ok, err := synth.MutateClass(box)
+	if err != nil || !ok {
+		t.Fatalf("mutating Box: ok=%v err=%v", ok, err)
+	}
+	members := []archive.File{
+		{Name: "Box.class", Data: box},
+		{Name: "Main.class", Data: classes["Main.class"]},
+		{Name: "Box.class", Data: twin},
+	}
+	dupJar, err := archive.WriteJar(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := classpack.DefaultOptions()
+	opts.ChunkClasses = 1
+	_, c, _ := startServer(t, Config{Store: newStore(t), Options: opts})
+	ctx := context.Background()
+	res, err := c.Pack(ctx, dupJar)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var apiErr *client.APIError
+	if _, err := c.ArchiveClass(ctx, res.Digest, "Box"); !errors.As(err, &apiErr) ||
+		apiErr.Code != "class_ambiguous" || apiErr.Status != http.StatusConflict {
+		t.Fatalf("ambiguous class: err = %v, want class_ambiguous 409", err)
+	}
+	// The unambiguous member still serves.
+	if _, err := c.ArchiveClass(ctx, res.Digest, "Main"); err != nil {
+		t.Fatalf("unambiguous class: %v", err)
+	}
+	// Glob subsets address occurrences by ordinal, so both twins come back.
+	subsetJar, err := c.ArchiveClasses(ctx, res.Digest, []string{"Box*"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset, err := archive.ReadJar(subsetJar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subset) != 2 {
+		t.Fatalf("subset holds %d members, want both Box occurrences", len(subset))
+	}
+}
+
+// TestCacheReadErrorsSurfaced pins the cache-miss-vs-error fix: when the
+// store read fails outright (the object path is unreadable, not merely
+// absent), POST /pack still succeeds by re-encoding but counts a
+// cache_error, and GET /archive reports a 500 instead of a 404.
+func TestCacheReadErrorsSurfaced(t *testing.T) {
+	jar, _ := testJar(t)
+	st := newStore(t)
+	s, c, _ := startServer(t, Config{Store: st})
+	ctx := context.Background()
+
+	res, err := c.Pack(ctx, jar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the stored object: replace its file with a directory, so
+	// Get fails with a real I/O error rather than a not-exist miss.
+	objPath := filepath.Join(st.Dir(), res.Digest[:2], res.Digest)
+	if err := os.Remove(objPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(objPath, "x"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := c.Pack(ctx, jar)
+	if err != nil {
+		t.Fatalf("pack must survive a failing cache read: %v", err)
+	}
+	if second.Cache != "miss" {
+		t.Fatalf("cache = %q, want miss after read failure", second.Cache)
+	}
+	if v := s.Metrics().CacheErrors.Value(); v < 1 {
+		t.Errorf("cache_errors = %d, want >= 1 after a failing read", v)
+	}
+
+	var apiErr *client.APIError
+	if _, err := c.Archive(ctx, res.Digest); !errors.As(err, &apiErr) ||
+		apiErr.Status != http.StatusInternalServerError {
+		t.Fatalf("archive over broken cache: err = %v, want HTTP 500", err)
 	}
 }

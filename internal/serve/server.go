@@ -7,7 +7,10 @@
 // re-serves previously packed artifacts from a content-addressed cache
 // (internal/castore) — whole, as a ?classes= subset jar, or one class at
 // a time via /archive/{digest}/class/{name}, decoding only the chunks a
-// version-3 archive needs. Concurrent encode jobs are bounded by a semaphore
+// version-3 archive needs. GET /delta/{from}/{to} computes a CJPD patch
+// between any two cached archives so clients holding the old version
+// download only the changed classes.
+// Concurrent encode jobs are bounded by a semaphore
 // feeding the classpack worker-pool pipeline; request bodies are
 // size-capped, every request carries a deadline, errors are structured
 // JSON, and GET /metrics exports expvar counters including an
@@ -20,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -123,6 +127,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /verify", s.handleVerify)
 	mux.HandleFunc("GET /archive/{digest}", s.handleArchive)
 	mux.HandleFunc("GET /archive/{digest}/class/{name...}", s.handleArchiveClass)
+	mux.HandleFunc("GET /delta/{from}/{to}", s.handleDelta)
 	mux.Handle("GET /metrics", s.metrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok\n")
@@ -276,7 +281,14 @@ func (s *Server) handlePack(w http.ResponseWriter, r *http.Request) {
 	}
 	digest := s.cacheKey(input)
 	if s.cfg.Store != nil {
-		if packed, ok, err := s.cfg.Store.Get(digest); err == nil && ok {
+		packed, ok, err := s.cfg.Store.Get(digest)
+		if err != nil {
+			// A failing store read is not a miss: the request still succeeds
+			// by re-encoding, but the failure must be visible — count it and
+			// log it instead of silently degrading to miss-and-encode.
+			s.metrics.CacheErrors.Add(1)
+			log.Printf("jpackd: cache read for %s failed: %v", digest, err)
+		} else if ok {
 			s.metrics.CacheHits.Add(1)
 			w.Header().Set(HeaderDigest, digest)
 			w.Header().Set(HeaderCache, "hit")
@@ -530,22 +542,7 @@ func failedVerdicts(vs []MethodVerdict) bool {
 // loadArchive resolves the request's {digest} path value against the
 // content-addressed store.
 func (s *Server) loadArchive(r *http.Request) ([]byte, *apiError) {
-	digest := r.PathValue("digest")
-	if !castore.ValidKey(digest) {
-		return nil, errf(http.StatusBadRequest, "bad_digest",
-			"digest must be 64 lowercase hex digits")
-	}
-	if s.cfg.Store == nil {
-		return nil, errf(http.StatusNotFound, "not_found", "no archive cache configured")
-	}
-	packed, ok, err := s.cfg.Store.Get(digest)
-	if err != nil {
-		return nil, errf(http.StatusInternalServerError, "internal", "cache read: %v", err)
-	}
-	if !ok {
-		return nil, errf(http.StatusNotFound, "not_found", "no archive with digest %s", digest)
-	}
-	return packed, nil
+	return s.loadCached(r.PathValue("digest"))
 }
 
 // openCached opens a cached archive for lazy extraction. Failures are
@@ -591,16 +588,18 @@ func (s *Server) archiveSubset(w http.ResponseWriter, r *http.Request, packed []
 		s.writeError(w, apiErr)
 		return
 	}
-	names, err := a.Select(strings.Split(pat, ",")...)
+	// Selection resolves to ordinals, not names, so archives holding
+	// duplicate class names still serve every matching occurrence.
+	ords, err := a.SelectOrdinals(strings.Split(pat, ",")...)
 	if err != nil {
 		s.writeError(w, errf(http.StatusBadRequest, "bad_pattern", "classes pattern: %v", err))
 		return
 	}
-	if len(names) == 0 {
+	if len(ords) == 0 {
 		s.writeError(w, errf(http.StatusNotFound, "no_match", "no classes match %q", pat))
 		return
 	}
-	files, err := a.ExtractClasses(names)
+	files, err := a.ExtractOrdinals(ords)
 	if err != nil {
 		s.writeError(w, errf(http.StatusInternalServerError, "corrupt_cache", "extracting classes: %v", err))
 		return
@@ -646,6 +645,11 @@ func (s *Server) handleArchiveClass(w http.ResponseWriter, r *http.Request) {
 				"no class %q in archive", name))
 			return
 		}
+		if errors.Is(err, classpack.ErrAmbiguousClass) {
+			s.writeError(w, errf(http.StatusConflict, "class_ambiguous",
+				"class %q occurs more than once in archive; fetch the whole archive instead", name))
+			return
+		}
 		s.writeError(w, errf(http.StatusInternalServerError, "corrupt_cache",
 			"extracting %q: %v", name, err))
 		return
@@ -653,4 +657,67 @@ func (s *Server) handleArchiveClass(w http.ResponseWriter, r *http.Request) {
 	s.metrics.ClassBytesDecoded.Add(a.DecodedBytes())
 	w.Header().Set(HeaderDigest, r.PathValue("digest"))
 	s.writePayload(w, data)
+}
+
+// loadCached fetches one cached archive by digest for the delta
+// endpoint, distinguishing malformed digests (400), absent objects
+// (404) and failing store reads (500 + cache_errors).
+func (s *Server) loadCached(digest string) ([]byte, *apiError) {
+	if !castore.ValidKey(digest) {
+		return nil, errf(http.StatusBadRequest, "bad_digest",
+			"digest must be 64 lowercase hex digits")
+	}
+	if s.cfg.Store == nil {
+		return nil, errf(http.StatusNotFound, "not_found", "no archive cache configured")
+	}
+	packed, ok, err := s.cfg.Store.Get(digest)
+	if err != nil {
+		s.metrics.CacheErrors.Add(1)
+		log.Printf("jpackd: cache read for %s failed: %v", digest, err)
+		return nil, errf(http.StatusInternalServerError, "internal", "cache read: %v", err)
+	}
+	if !ok {
+		return nil, errf(http.StatusNotFound, "not_found", "no archive with digest %s", digest)
+	}
+	return packed, nil
+}
+
+// handleDelta answers GET /delta/{from}/{to}: a CJPD patch that
+// transforms the cached archive {from} into the cached archive {to}
+// (both content digests previously returned by POST /pack). Clients
+// holding the old archive download the patch — typically a small
+// fraction of the new archive — and reconstruct the new bytes locally
+// with ApplyDelta. Diffing is lazy: unchanged chunks of version-3
+// archives are matched by hash without being decoded.
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	s.metrics.DeltaRequests.Add(1)
+	oldArc, apiErr := s.loadCached(r.PathValue("from"))
+	if apiErr != nil {
+		s.writeError(w, apiErr)
+		return
+	}
+	newArc, apiErr := s.loadCached(r.PathValue("to"))
+	if apiErr != nil {
+		s.writeError(w, apiErr)
+		return
+	}
+	release, apiErr := s.acquireJob(r.Context())
+	if apiErr != nil {
+		s.writeError(w, apiErr)
+		return
+	}
+	defer release()
+	opts := s.cfg.Options
+	patch, err := classpack.Diff(oldArc, newArc, &opts)
+	if err != nil {
+		// Both inputs came from this server's own cache, so a failing
+		// diff is a server fault, not a client error.
+		s.writeError(w, errf(http.StatusInternalServerError, "delta_failed", "diff: %v", err))
+		return
+	}
+	if saved := int64(len(newArc)) - int64(len(patch)); saved > 0 {
+		s.metrics.DeltaBytesSaved.Add(saved)
+	}
+	w.Header().Set(HeaderDigest, r.PathValue("to"))
+	s.writePayload(w, patch)
 }

@@ -1,0 +1,106 @@
+package synth
+
+import (
+	"bytes"
+	"math/rand"
+
+	"classpack/internal/bytecode"
+	"classpack/internal/classfile"
+)
+
+// MutateClass derives a behaviorally-tweaked variant of one serialized
+// class: the first mutable instruction in method order — a bipush/sipush
+// immediate or an iconst — has its constant changed, and the class is
+// re-serialized. The mutation is verifier-safe (the replacement pushes
+// the same type with the same width) and deterministic. ok reports
+// whether the class held a mutable instruction; when false, data is
+// returned unchanged.
+func MutateClass(data []byte) (out []byte, ok bool, err error) {
+	cf, err := classfile.Parse(data)
+	if err != nil {
+		return nil, false, err
+	}
+	for mi := range cf.Methods {
+		for _, a := range cf.Methods[mi].Attrs {
+			c, isCode := a.(*classfile.CodeAttr)
+			if !isCode {
+				continue
+			}
+			insns, err := bytecode.Decode(c.Code)
+			if err != nil {
+				continue // synthetic corpora decode; skip oddities
+			}
+			for _, in := range insns {
+				var mutated []byte
+				switch {
+				case in.Op == bytecode.Bipush:
+					mutated = bytes.Clone(c.Code)
+					mutated[in.Offset+1] ^= 0x01
+				case in.Op == bytecode.Sipush:
+					mutated = bytes.Clone(c.Code)
+					mutated[in.Offset+2] ^= 0x01
+				case in.Op >= bytecode.IconstM1 && in.Op <= bytecode.Iconst5:
+					mutated = bytes.Clone(c.Code)
+					// Rotate within the iconst family: same stack effect,
+					// different constant.
+					next := in.Op + 1
+					if next > bytecode.Iconst5 {
+						next = bytecode.IconstM1
+					}
+					mutated[in.Offset] = byte(next)
+				default:
+					continue
+				}
+				// Parse may alias c.Code to data; swap in the private copy
+				// so the caller's input bytes stay untouched.
+				c.Code = mutated
+				out, err := classfile.Write(cf)
+				if err != nil {
+					return nil, false, err
+				}
+				return out, true, nil
+			}
+		}
+	}
+	return data, false, nil
+}
+
+// MutateClasses derives a synthetic "next release" of a serialized class
+// corpus: each class is independently selected with probability rate
+// (deterministically, from seed) and, when selected, mutated via
+// MutateClass. At least one class is mutated whenever rate > 0 and the
+// corpus has a mutable class, so a version bump is never a no-op.
+// Unselected classes share the input slices; the input is never
+// modified. changed reports how many classes actually differ.
+func MutateClasses(files [][]byte, rate float64, seed int64) (out [][]byte, changed int, err error) {
+	rng := rand.New(rand.NewSource(seed))
+	out = make([][]byte, len(files))
+	for i, f := range files {
+		out[i] = f
+		if rng.Float64() >= rate {
+			continue
+		}
+		mut, ok, err := MutateClass(f)
+		if err != nil {
+			return nil, 0, err
+		}
+		if ok {
+			out[i] = mut
+			changed++
+		}
+	}
+	if changed == 0 && rate > 0 {
+		for i, f := range files {
+			mut, ok, err := MutateClass(f)
+			if err != nil {
+				return nil, 0, err
+			}
+			if ok {
+				out[i] = mut
+				changed++
+				break
+			}
+		}
+	}
+	return out, changed, nil
+}

@@ -19,6 +19,20 @@ import (
 // ExtractClasses when the archive holds no class of the requested name.
 var ErrClassNotFound = errors.New("classpack: class not found in archive")
 
+// ErrAmbiguousClass is returned (wrapped) by Archive.ExtractClass and
+// ExtractClasses when the requested name occurs more than once in the
+// archive, so "the class of that name" is not well defined. Address each
+// occurrence by ordinal instead: SelectOrdinals returns every match and
+// ExtractOrdinals extracts them, exactly as a full Unpack would.
+var ErrAmbiguousClass = errors.New("classpack: class name occurs more than once in archive")
+
+// eagerBodySlack bounds how much larger than the decode budget an
+// archive opened through the version-1/2 eager fallback may claim to
+// be: encoded streams never exceed their raw size (store is the
+// fallback coding), so a valid archive is at most the decoded bytes
+// plus directory overhead. The same reasoning as core's chunk framing.
+const eagerBodySlack = 1 << 16
+
 // Archive is a random-access view of a packed archive. For a version-3
 // archive it reads only the 6-byte header and the trailing class index
 // at open; class bodies decode lazily, one chunk at a time, when
@@ -40,6 +54,7 @@ type Archive struct {
 	ix     *core.Index // version 3 only
 	names  []string    // class binary names in archive order
 	byName map[string]int
+	dup    map[string]bool // names occurring more than once (usually nil)
 
 	files []File // version 1/2: eager decode of the whole archive
 
@@ -85,10 +100,28 @@ func OpenArchive(r io.ReaderAt, size int64, opts *Options) (*Archive, error) {
 	}
 	a := &Archive{r: cr, size: size, version: ver, copts: copts, uo: uo, cachedChunk: -1}
 	if ver != core.Version3 {
-		// No chunk framing to seek over: decode the whole body once.
-		data := make([]byte, size)
-		if _, err := cr.ReadAt(data, 0); err != nil {
+		// No chunk framing to seek over: decode the whole body once. The
+		// caller-supplied size is untrusted until bytes actually arrive,
+		// so charge it against the decode budget before allocating — a
+		// hostile size over a tiny reader must fail in O(1) memory, like
+		// every other declared length on the decode path — and then read
+		// incrementally, growing the buffer with the bytes actually
+		// received rather than trusting size with one up-front make.
+		if size < 6 {
+			return nil, corrupt.Errorf("container", size, "declared size %d is smaller than the header", size)
+		}
+		if budget := core.EffectiveBudget(uo); size-6 > budget+eagerBodySlack {
+			return nil, corrupt.TooLarge("container", 0,
+				"%d-byte archive exceeds the %d-byte decode budget", size, budget)
+		}
+		var buf bytes.Buffer
+		if _, err := io.Copy(&buf, io.NewSectionReader(cr, 0, size)); err != nil {
 			return nil, corrupt.Errorf("container", 0, "reading archive: %v", err)
+		}
+		data := buf.Bytes()
+		if int64(len(data)) != size {
+			return nil, corrupt.Errorf("container", int64(len(data)),
+				"archive is %d bytes, caller declared %d", len(data), size)
 		}
 		files, decoded, err := decodeBody(copts, data[6:], ver != core.Version1, uo)
 		if err != nil {
@@ -110,11 +143,35 @@ func OpenArchive(r io.ReaderAt, size int64, opts *Options) (*Archive, error) {
 	}
 	a.byName = make(map[string]int, len(a.names))
 	for i, n := range a.names {
-		if _, ok := a.byName[n]; !ok {
-			a.byName[n] = i
+		if _, ok := a.byName[n]; ok {
+			// Duplicate entries make by-name lookup ambiguous; remember
+			// them so ExtractClass can refuse instead of silently serving
+			// the first occurrence's bytes for every request.
+			if a.dup == nil {
+				a.dup = make(map[string]bool)
+			}
+			a.dup[n] = true
+			continue
 		}
+		a.byName[n] = i
 	}
 	return a, nil
+}
+
+// ordinalOf resolves a class name to its archive ordinal, failing with
+// ErrClassNotFound for absent names and ErrAmbiguousClass for names the
+// archive carries more than once.
+func (a *Archive) ordinalOf(name string) (int, error) {
+	n := trimClass(name)
+	g, ok := a.byName[n]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrClassNotFound, name)
+	}
+	if a.dup[n] {
+		return 0, fmt.Errorf("%w: %q (use SelectOrdinals + ExtractOrdinals to address each occurrence)",
+			ErrAmbiguousClass, name)
+	}
+	return g, nil
 }
 
 // OpenArchiveBytes is OpenArchive over an in-memory archive.
@@ -206,12 +263,12 @@ func trimClass(name string) string { return strings.TrimSuffix(name, ".class") }
 // name, with or without a ".class" suffix. For a version-3 archive only
 // the containing chunk is decoded; the last decoded chunk is cached, so
 // iterating classes in archive order decodes each chunk once. A missing
-// class reports an error wrapping ErrClassNotFound.
+// class reports an error wrapping ErrClassNotFound; a name the archive
+// carries more than once reports one wrapping ErrAmbiguousClass.
 func (a *Archive) ExtractClass(name string) ([]byte, error) {
-	name = trimClass(name)
-	g, ok := a.byName[name]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrClassNotFound, name)
+	g, err := a.ordinalOf(name)
+	if err != nil {
+		return nil, err
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -274,19 +331,35 @@ func (a *Archive) chunkFiles(ci int) ([]File, error) {
 // ExtractClasses extracts the named classes, returned in input order.
 // Chunks are decoded in ascending order, each at most once per call, so
 // a subset clustered in one chunk costs one chunk decode regardless of
-// subset size.
+// subset size. Names the archive carries more than once report an error
+// wrapping ErrAmbiguousClass (see ExtractOrdinals).
 func (a *Archive) ExtractClasses(names []string) ([]File, error) {
 	ords := make([]int, len(names))
 	for i, name := range names {
-		g, ok := a.byName[trimClass(name)]
-		if !ok {
-			return nil, fmt.Errorf("%w: %q", ErrClassNotFound, name)
+		g, err := a.ordinalOf(name)
+		if err != nil {
+			return nil, err
 		}
 		ords[i] = g
 	}
+	return a.ExtractOrdinals(ords)
+}
+
+// ExtractOrdinals extracts classes by archive ordinal (0-based position
+// in archive order, the order ClassNames reports), returned in input
+// order. Ordinals address every class unambiguously — including
+// duplicate-named entries, which by-name extraction refuses — so
+// extracting 0..NumClasses-1 reproduces a full Unpack exactly. Chunks
+// decode in ascending order, each at most once per call.
+func (a *Archive) ExtractOrdinals(ords []int) ([]File, error) {
+	for _, g := range ords {
+		if g < 0 || g >= len(a.names) {
+			return nil, fmt.Errorf("classpack: ordinal %d out of range [0,%d)", g, len(a.names))
+		}
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	out := make([]File, len(names))
+	out := make([]File, len(ords))
 	if a.ix == nil {
 		for i, g := range ords {
 			out[i] = a.files[g]
@@ -325,8 +398,28 @@ func (a *Archive) ExtractClasses(names []string) ([]File, error) {
 // metacharacters is matched against the binary name ("java/util/*",
 // "com/acme/**" is NOT supported — path.Match is single-star); any
 // other pattern is an exact binary name, with or without ".class".
-// A malformed pattern is an error; an empty result is not.
+// A malformed pattern is an error; an empty result is not. An archive
+// with duplicate entries yields the duplicated name once per occurrence;
+// pass the result to ExtractOrdinals via SelectOrdinals (not
+// ExtractClasses, which refuses ambiguous names) to extract such sets.
 func (a *Archive) Select(patterns ...string) ([]string, error) {
+	ords, err := a.SelectOrdinals(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, g := range ords {
+		out = append(out, a.names[g])
+	}
+	return out, nil
+}
+
+// SelectOrdinals is Select returning archive ordinals instead of names:
+// every class matching any pattern, in archive order, one ordinal per
+// occurrence. Feed the result to ExtractOrdinals; unlike name-keyed
+// extraction this round-trips archives with duplicate entries, matching
+// what a full Unpack produces for them.
+func (a *Archive) SelectOrdinals(patterns ...string) ([]int, error) {
 	exact := make(map[string]bool)
 	var globs []string
 	for _, p := range patterns {
@@ -341,15 +434,15 @@ func (a *Archive) Select(patterns ...string) ([]string, error) {
 		}
 		exact[trimClass(p)] = true
 	}
-	var out []string
-	for _, name := range a.names {
+	var out []int
+	for i, name := range a.names {
 		if exact[name] {
-			out = append(out, name)
+			out = append(out, i)
 			continue
 		}
 		for _, g := range globs {
 			if ok, _ := path.Match(g, name); ok {
-				out = append(out, name)
+				out = append(out, i)
 				break
 			}
 		}

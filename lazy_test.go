@@ -104,10 +104,11 @@ func TestOpenArchiveLazyReads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Extraction goes by ordinal: the synth corpus carries a few
+	// duplicate class names, which by-name extraction refuses.
 	names := one.ClassNames()
-	target := names[len(names)/2]
 	singleAlloc := allocBytes(t, func() {
-		if _, err := one.ExtractClass(target); err != nil {
+		if _, err := one.ExtractOrdinals([]int{len(names) / 2}); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -119,8 +120,8 @@ func TestOpenArchiveLazyReads(t *testing.T) {
 		t.Fatal(err)
 	}
 	fullAlloc := allocBytes(t, func() {
-		for _, n := range names {
-			if _, err := all.ExtractClass(n); err != nil {
+		for g := range names {
+			if _, err := all.ExtractOrdinals([]int{g}); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -138,6 +139,81 @@ func TestOpenArchiveLazyReads(t *testing.T) {
 	}
 	if singleAlloc*5 > fullAlloc {
 		t.Errorf("single extract allocated %d bytes, full extraction %d (>1/5)", singleAlloc, fullAlloc)
+	}
+}
+
+// TestDuplicateClassNames pins the ambiguity fix: when an archive holds
+// two classes with the same name but different bytes, by-name extraction
+// refuses with ErrAmbiguousClass instead of silently serving whichever
+// occurrence was indexed last, while ordinal-based extraction still
+// reaches every occurrence and matches a full Unpack.
+func TestDuplicateClassNames(t *testing.T) {
+	raw := sample(t)
+	var dup []byte
+	for _, f := range raw {
+		if m, ok, err := synth.MutateClass(f); err != nil {
+			t.Fatal(err)
+		} else if ok {
+			dup = m
+			raw = [][]byte{f, raw[len(raw)-1], m}
+			break
+		}
+	}
+	if dup == nil {
+		t.Fatal("no mutable class in corpus")
+	}
+	for _, chunk := range []int{0, 1} { // version 2 and version 3
+		opts := DefaultOptions()
+		opts.ChunkClasses = chunk
+		packed, err := Pack(raw, &opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := Unpack(packed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full[0].Name != full[2].Name || bytes.Equal(full[0].Data, full[2].Data) {
+			t.Fatal("corpus construction broken: want same name, different bytes")
+		}
+		a, err := OpenArchiveBytes(packed, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.ExtractClass(full[0].Name); !errors.Is(err, ErrAmbiguousClass) {
+			t.Fatalf("chunk=%d: ExtractClass(dup) = %v, want ErrAmbiguousClass", chunk, err)
+		}
+		if _, err := a.ExtractClasses([]string{full[1].Name, full[0].Name}); !errors.Is(err, ErrAmbiguousClass) {
+			t.Fatalf("chunk=%d: ExtractClasses(dup) = %v, want ErrAmbiguousClass", chunk, err)
+		}
+		// The unambiguous class still extracts by name.
+		got, err := a.ExtractClass(full[1].Name)
+		if err != nil {
+			t.Fatalf("chunk=%d: ExtractClass(unique): %v", chunk, err)
+		}
+		if !bytes.Equal(got, full[1].Data) {
+			t.Fatalf("chunk=%d: unique class bytes differ", chunk)
+		}
+		// Ordinal selection surfaces every occurrence.
+		ords, err := a.SelectOrdinals(full[0].Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ords) != 2 || ords[0] != 0 || ords[1] != 2 {
+			t.Fatalf("chunk=%d: SelectOrdinals(dup) = %v, want [0 2]", chunk, ords)
+		}
+		files, err := a.ExtractOrdinals([]int{0, 1, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range files {
+			if files[i].Name != full[i].Name || !bytes.Equal(files[i].Data, full[i].Data) {
+				t.Fatalf("chunk=%d: ordinal %d differs from full unpack", chunk, i)
+			}
+		}
+		if _, err := a.ExtractOrdinals([]int{3}); err == nil {
+			t.Fatalf("chunk=%d: ExtractOrdinals accepted an out-of-range ordinal", chunk)
+		}
 	}
 }
 
