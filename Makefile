@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint verify bench bench-smoke bench-compare tables serve-smoke chaos-smoke delta-smoke fuzz-smoke fuzz-corpus
+.PHONY: build test lint verify bench bench-smoke bench-compare tables serve-smoke chaos-smoke drill-smoke delta-smoke fuzz-smoke fuzz-corpus
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,16 @@ serve-smoke:
 # detection, byte-identical-prefix salvage, and balanced accounting.
 chaos-smoke:
 	$(GO) test -short -count=1 -run '^TestChaos' .
+
+# drill-smoke runs the process-level fault drills: a simulated kill -9
+# at every filesystem operation of a cache write (restart + Fsck must
+# recover byte-identical objects and zero debris), disk-full degraded
+# operation and auto-recovery, a 100-request thundering herd coalescing
+# onto one encode, overload shedding with 429 + Retry-After, and SIGTERM
+# drain under load.
+drill-smoke:
+	$(GO) test -count=1 -run '^TestCrashDrill|^TestFsckSweeps|^TestPutDiskFull' ./internal/castore
+	$(GO) test -count=1 -run '^TestDrill' ./internal/serve
 
 # delta-smoke drives the end-to-end patch workflow through the jpack
 # CLI: pack two synthetic versions of a corpus, diff them, apply the

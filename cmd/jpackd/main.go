@@ -1,7 +1,10 @@
 // Command jpackd is the streaming pack/unpack HTTP daemon: it serves
-// the classpack pipeline over HTTP with a content-addressed archive
-// cache, bounded concurrent encode jobs, request-size limits,
-// per-request deadlines, expvar metrics, and graceful drain on SIGTERM.
+// the classpack pipeline over HTTP with a crash-safe content-addressed
+// archive cache (recovered by an fsck sweep at startup), deadline-aware
+// admission control with 429 + Retry-After load shedding, singleflight
+// coalescing of identical packs, degraded-mode operation on cache-volume
+// faults, request-size limits, per-request deadlines, expvar metrics,
+// and graceful drain on SIGTERM.
 //
 // Endpoints:
 //
@@ -13,12 +16,13 @@
 //	GET  /archive/{digest}/class/{N}  one class file, decoded lazily (v3 archives
 //	                                  decode only the chunk containing N)
 //	GET  /metrics                     expvar counters (JSON)
-//	GET  /healthz                     liveness probe
+//	GET  /healthz                     liveness probe: {"status":"ok"|"degraded"}
 //
 // Usage:
 //
-//	jpackd [-addr :8750] [-cache DIR|off] [-cache-max BYTES]
+//	jpackd [-addr :8750] [-cache DIR|off] [-cache-max BYTES] [-no-fsck]
 //	       [-max-request BYTES] [-timeout D] [-drain D] [-jobs N] [-j N]
+//	       [-queue N] [-mem-budget BYTES] [-retry-after D] [-probe-interval D]
 //	       [-scheme NAME] [-chunk N] [-no-stackstate] [-no-gzip] [-preload]
 //	       [-max-decoded-bytes N] [-max-classes N] [-pprof]
 //	jpackd -smoke [-smoke-scale F]   # self-check against a synthetic corpus
@@ -59,6 +63,11 @@ func run(args []string) error {
 		timeout    = fs.Duration("timeout", serve.DefaultRequestTimeout, "per-request deadline, including job-queue wait")
 		drain      = fs.Duration("drain", serve.DefaultDrainTimeout, "shutdown drain bound for in-flight requests")
 		jobs       = fs.Int("jobs", 0, "max concurrent encode jobs (0 = GOMAXPROCS)")
+		queue      = fs.Int("queue", 0, "max requests waiting for a job slot before 429 shedding (0 = 4x jobs, negative = no queueing)")
+		memBudget  = fs.Int64("mem-budget", 0, "cap on admitted request bytes across job slots; excess sheds 429 (0 = unlimited)")
+		retryAfter = fs.Duration("retry-after", serve.DefaultRetryAfterHint, "Retry-After floor on shed responses")
+		probeEvery = fs.Duration("probe-interval", serve.DefaultProbeInterval, "recovery probe interval while the cache volume is degraded")
+		noFsck     = fs.Bool("no-fsck", false, "skip the startup cache recovery sweep (temp removal + object re-verification)")
 		workers    = fs.Int("j", 0, "worker pool per job (0 = all cores)")
 		scheme     = fs.String("scheme", "mtf-full", "reference coding scheme")
 		chunk      = fs.Int("chunk", 0, "classes per chunk: positive packs the version-3 random-access layout (0 = monolithic version 2)")
@@ -93,6 +102,10 @@ func run(args []string) error {
 		RequestTimeout:  *timeout,
 		DrainTimeout:    *drain,
 		MaxJobs:         *jobs,
+		MaxQueue:        *queue,
+		MemoryBudget:    *memBudget,
+		RetryAfterHint:  *retryAfter,
+		ProbeInterval:   *probeEvery,
 		EnablePprof:     *pprofOn,
 	}
 	if *pprofOn {
@@ -115,6 +128,20 @@ func run(args []string) error {
 		st, err := castore.Open(dir, *cacheMax)
 		if err != nil {
 			return fmt.Errorf("opening cache: %w", err)
+		}
+		if !*noFsck {
+			// Startup recovery: sweep write debris from any earlier crash
+			// and re-verify every object, so the daemon never starts on a
+			// corrupt cache. The sweep assumes this daemon owns the
+			// directory exclusively — -no-fsck for shared-cache setups.
+			rep, err := st.Fsck()
+			if err != nil {
+				return fmt.Errorf("cache recovery sweep: %w", err)
+			}
+			if rep.TempsRemoved > 0 || rep.CorruptRemoved > 0 {
+				log.Printf("cache recovery: removed %d orphaned temp files, %d corrupt objects",
+					rep.TempsRemoved, rep.CorruptRemoved)
+			}
 		}
 		cfg.Store = st
 		log.Printf("archive cache at %s (%d objects, %d bytes, cap %d)",

@@ -4,10 +4,14 @@
 // fan-out directory, with an LRU byte cap.
 //
 // Writes are crash-safe: each object lands in a temp file in its final
-// directory and is renamed into place, so a reader never observes a
-// partially written object. The in-memory index is rebuilt from the
-// directory on Open (recency approximated by mtime), so the cache
-// survives daemon restarts.
+// directory, is fsynced, and is renamed into place with a directory
+// fsync after the rename, so a reader never observes a partially
+// written object and a completed Put survives power loss. The
+// in-memory index is rebuilt from the directory on Open (recency
+// approximated by mtime), so the cache survives daemon restarts; Open
+// also sweeps orphaned temp files older than a staleness bound, and
+// Fsck performs the thorough startup recovery: every temp file removed,
+// every object re-verified against its sealed digest, index rebuilt.
 //
 // The store is self-healing: every object carries an integrity trailer
 // (SHA-256 over key and payload plus a magic), Get verifies it on every
@@ -29,8 +33,23 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
+	"time"
+
+	"classpack/internal/vfs"
 )
+
+// FS and File alias the internal/vfs interfaces so callers configure
+// fault-injecting filesystems through the castore API without importing
+// vfs themselves.
+type (
+	FS   = vfs.FS
+	File = vfs.File
+)
+
+// OSFS returns the real-filesystem implementation of FS.
+func OSFS() FS { return vfs.OS() }
 
 // Object files are payload ‖ sha256(key ‖ payload) ‖ trailerMagic.
 // Binding the key into the hash means a file renamed to another key —
@@ -126,6 +145,19 @@ func ValidKey(k string) bool {
 	return true
 }
 
+// staleTempAge bounds how old an orphaned temp file must be before the
+// Open scan deletes it. The bound exists because Open may race another
+// store instance sharing the directory whose Put is mid-flight; a temp
+// file this old belongs to no live write. Fsck, which asserts exclusive
+// ownership, removes temp files regardless of age.
+const staleTempAge = time.Hour
+
+// isTempName reports whether name is one of the store's own scratch
+// files: Put temp files ("put-*") and write probes ("probe-*").
+func isTempName(name string) bool {
+	return strings.HasPrefix(name, "put-") || strings.HasPrefix(name, "probe-")
+}
+
 type entry struct {
 	key  string
 	size int64
@@ -136,6 +168,7 @@ type entry struct {
 type Store struct {
 	dir      string
 	maxBytes int64
+	fs       FS
 
 	mu    sync.Mutex
 	index map[string]*list.Element // key -> element whose Value is *entry
@@ -147,14 +180,23 @@ type Store struct {
 // caps the total object bytes; 0 or negative means unlimited. Existing
 // objects are re-indexed with recency approximated by file mtime, so a
 // reopened cache evicts in roughly the same order it would have before
-// the restart.
+// the restart. Orphaned temp files older than staleTempAge — debris of
+// a write interrupted long ago — are deleted during the scan.
 func Open(dir string, maxBytes int64) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenFS(dir, maxBytes, OSFS())
+}
+
+// OpenFS is Open with an explicit filesystem for the store's write
+// path, the seam the fault drills script crash points and disk faults
+// through. Production callers use Open.
+func OpenFS(dir string, maxBytes int64, fsys FS) (*Store, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	s := &Store{
 		dir:      dir,
 		maxBytes: maxBytes,
+		fs:       fsys,
 		index:    make(map[string]*list.Element),
 		lru:      list.New(),
 	}
@@ -169,7 +211,12 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 		}
 		key := d.Name()
 		if !ValidKey(key) {
-			return nil // temp file or foreign junk; leave it alone
+			if isTempName(key) {
+				if info, ierr := d.Info(); ierr == nil && time.Since(info.ModTime()) > staleTempAge {
+					s.fs.Remove(path)
+				}
+			}
+			return nil // fresh temp file or foreign junk; leave it alone
 		}
 		info, err := d.Info()
 		if err != nil {
@@ -180,7 +227,7 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 		// pre-trailer legacy objects) instead of indexing them. Hash
 		// verification happens on first Get.
 		if !sealedShape(path, info.Size()) {
-			os.Remove(path)
+			s.fs.Remove(path)
 			return nil
 		}
 		objs = append(objs, found{entry{key, info.Size()}, info.ModTime().UnixNano()})
@@ -211,37 +258,56 @@ func (s *Store) path(key string) string {
 // object is never evicted by its own Put, even when it alone exceeds the
 // cap — the caller already has the bytes, and serving them is the point.
 // The object is written with an integrity trailer that Get verifies.
+//
+// The write is durable as well as atomic: the temp file is fsynced
+// before the rename (so the rename can never expose an empty or partial
+// object after power loss) and the containing directory is fsynced
+// after it (so the rename itself survives a crash). A process death at
+// any point loses at most this one object, never a previously sealed
+// one.
 func (s *Store) Put(key string, data []byte) error {
 	if !ValidKey(key) {
 		return fmt.Errorf("castore: invalid key %q", key)
 	}
 	objDir := filepath.Join(s.dir, key[:2])
-	if err := os.MkdirAll(objDir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(objDir, 0o755); err != nil {
 		return err
 	}
 	sealed := seal(key, data)
 	// Temp file in the final directory so the rename is atomic (same
-	// filesystem) and a crash leaves only a "put-*" file Open ignores.
-	tmp, err := os.CreateTemp(objDir, "put-*")
+	// filesystem) and a crash leaves only a "put-*" file that Open and
+	// Fsck sweep.
+	tmp, err := s.fs.CreateTemp(objDir, "put-*")
 	if err != nil {
 		return err
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(sealed); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
+		s.fs.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		s.fs.Remove(tmpName)
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		s.fs.Remove(tmpName)
 		return err
 	}
-	if err := os.Chmod(tmpName, 0o644); err != nil {
-		os.Remove(tmpName)
+	if err := s.fs.Chmod(tmpName, 0o644); err != nil {
+		s.fs.Remove(tmpName)
 		return err
 	}
-	if err := os.Rename(tmpName, s.path(key)); err != nil {
-		os.Remove(tmpName)
+	if err := s.fs.Rename(tmpName, s.path(key)); err != nil {
+		s.fs.Remove(tmpName)
+		return err
+	}
+	if err := s.fs.SyncDir(objDir); err != nil {
+		// The object is in place and readable, but its durability is
+		// uncertain; report the fault without indexing it. The file stays
+		// on disk — a later Open or Fsck indexes it if it survived.
 		return err
 	}
 	s.mu.Lock()
@@ -283,11 +349,33 @@ func (s *Store) Get(key string) (data []byte, ok bool, err error) {
 	}
 	payload, ok := unseal(key, raw)
 	if !ok {
-		os.Remove(s.path(key))
+		s.fs.Remove(s.path(key))
 		s.forget(key)
 		return nil, false, nil
 	}
 	return payload, true, nil
+}
+
+// Probe checks that the store's volume currently accepts durable
+// writes: it creates, writes, fsyncs, and removes a scratch file in the
+// store root. The degraded-mode recovery loop in jpackd calls it to
+// decide when a full or failing disk has come back.
+func (s *Store) Probe() error {
+	f, err := s.fs.CreateTemp(s.dir, "probe-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	_, werr := f.Write([]byte("castore write probe"))
+	serr := f.Sync()
+	cerr := f.Close()
+	rerr := s.fs.Remove(name)
+	for _, err := range []error{werr, serr, cerr, rerr} {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // forget drops a key from the index without touching the filesystem
@@ -315,7 +403,7 @@ func (s *Store) evictLocked() {
 		s.lru.Remove(el)
 		delete(s.index, e.key)
 		s.size -= e.size
-		os.Remove(s.path(e.key))
+		s.fs.Remove(s.path(e.key))
 	}
 }
 

@@ -1,0 +1,257 @@
+package castore
+
+import (
+	"bytes"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"classpack/internal/faultinject"
+)
+
+// listTemps walks dir and returns every scratch-named file still on disk.
+func listTemps(t *testing.T, dir string) []string {
+	t.Helper()
+	var temps []string
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if isTempName(d.Name()) {
+			temps = append(temps, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walk %s: %v", dir, err)
+	}
+	return temps
+}
+
+// TestCrashDrillEveryWritePoint is the crash matrix of the fault drills:
+// simulate a kill -9 at every filesystem operation of one Put, restart
+// the store, run Fsck, and require full recovery — zero orphan temps,
+// zero corrupt objects, every previously sealed object byte-identical,
+// and the in-flight object either absent or intact. The crash points are
+// enumerated from a dry-run operation trace, so a reshaped write path
+// grows new drill points automatically instead of silently escaping the
+// matrix.
+func TestCrashDrillEveryWritePoint(t *testing.T) {
+	// Dry run: trace the op sequence of one clean Put.
+	dryFS := faultinject.NewCrashFS()
+	dryStore, err := OpenFS(t.TempDir(), 0, dryFS)
+	if err != nil {
+		t.Fatalf("dry-run OpenFS: %v", err)
+	}
+	dryFS.ResetTrace() // drop OpenFS's own mkdir; keep only Put's ops
+	dryKey := Key([]byte("dry"))
+	if err := dryStore.Put(dryKey, []byte("dry payload")); err != nil {
+		t.Fatalf("dry-run Put: %v", err)
+	}
+	trace := dryFS.Trace()
+	if len(trace) < 6 {
+		t.Fatalf("dry-run trace %v suspiciously short; the drill would be vacuous", trace)
+	}
+
+	// Crash points: each (op, nth-occurrence) position in the trace.
+	type point struct {
+		op string
+		n  int
+	}
+	var points []point
+	seen := map[string]int{}
+	for _, op := range trace {
+		seen[op]++
+		points = append(points, point{op, seen[op]})
+	}
+
+	seeds := map[string][]byte{}
+	for i := 0; i < 3; i++ {
+		payload := bytes.Repeat([]byte{byte('a' + i)}, 100+i)
+		seeds[Key([]byte{byte(i)})] = payload
+	}
+	inKey := Key([]byte("in-flight"))
+	inPayload := bytes.Repeat([]byte("x"), 333)
+
+	for _, pt := range points {
+		t.Run(fmt.Sprintf("%s-%d", pt.op, pt.n), func(t *testing.T) {
+			dir := t.TempDir()
+			seeded, err := Open(dir, 0)
+			if err != nil {
+				t.Fatalf("seed Open: %v", err)
+			}
+			for k, v := range seeds {
+				if err := seeded.Put(k, v); err != nil {
+					t.Fatalf("seed Put: %v", err)
+				}
+			}
+
+			cfs := faultinject.NewCrashFS()
+			st, err := OpenFS(dir, 0, cfs)
+			if err != nil {
+				t.Fatalf("OpenFS: %v", err)
+			}
+			cfs.CrashAt(pt.op, pt.n) // after OpenFS: only Put's ops count
+			if err := st.Put(inKey, inPayload); err == nil {
+				t.Fatalf("Put survived a crash at %s #%d", pt.op, pt.n)
+			}
+
+			// Restart: a fresh store over the real filesystem, then the
+			// thorough recovery pass.
+			re, err := Open(dir, 0)
+			if err != nil {
+				t.Fatalf("restart Open: %v", err)
+			}
+			rep, err := re.Fsck()
+			if err != nil {
+				t.Fatalf("Fsck: %v", err)
+			}
+			if temps := listTemps(t, dir); len(temps) != 0 {
+				t.Errorf("orphan temp files survived recovery: %v", temps)
+			}
+			if rep.CorruptRemoved != 0 {
+				t.Errorf("Fsck removed %d corrupt objects; a crashed Put must never corrupt a sealed object", rep.CorruptRemoved)
+			}
+			for k, want := range seeds {
+				got, ok, err := re.Get(k)
+				if err != nil || !ok {
+					t.Fatalf("seeded object %s lost after crash at %s #%d (ok=%v err=%v)", k[:8], pt.op, pt.n, ok, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("seeded object %s not byte-identical after recovery", k[:8])
+				}
+			}
+			// The in-flight object may be lost (crash before rename) or
+			// fully present (crash at/after the directory sync) — never
+			// torn.
+			if got, ok, err := re.Get(inKey); err != nil {
+				t.Errorf("in-flight Get: %v", err)
+			} else if ok && !bytes.Equal(got, inPayload) {
+				t.Error("in-flight object present but not byte-identical")
+			}
+		})
+	}
+}
+
+// TestFsckSweepsTempsAndCorruptObjects pins Fsck's sweep policy: all
+// scratch files go regardless of age, shape-valid objects with bad
+// digests go, good objects and foreign junk stay.
+func TestFsckSweepsTempsAndCorruptObjects(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodKey := Key([]byte("good"))
+	if err := st.Put(goodKey, []byte("good payload")); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh temp file: Open would spare it, Fsck must not.
+	tempPath := filepath.Join(dir, goodKey[:2], "put-123456")
+	if err := os.WriteFile(tempPath, []byte("half a write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A shape-valid object (right length, right magic) whose digest is
+	// wrong — what Open defers to first Get, Fsck catches eagerly.
+	badKey := Key([]byte("bad"))
+	badRaw := append(bytes.Repeat([]byte("z"), 10+trailerSize-len(trailerMagic)), trailerMagic...)
+	if err := os.MkdirAll(filepath.Join(dir, badKey[:2]), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, badKey[:2], badKey), badRaw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Foreign junk is not the store's to delete.
+	junk := filepath.Join(dir, "README")
+	if err := os.WriteFile(junk, []byte("not ours"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := st.Fsck()
+	if err != nil {
+		t.Fatalf("Fsck: %v", err)
+	}
+	if rep.TempsRemoved != 1 || rep.CorruptRemoved != 1 || rep.Objects != 1 {
+		t.Fatalf("report = %+v, want 1 temp removed, 1 corrupt removed, 1 object", rep)
+	}
+	if _, err := os.Stat(tempPath); !os.IsNotExist(err) {
+		t.Error("temp file survived Fsck")
+	}
+	if _, err := os.Stat(junk); err != nil {
+		t.Error("foreign junk deleted by Fsck")
+	}
+	if got, ok, err := st.Get(goodKey); err != nil || !ok || !bytes.Equal(got, []byte("good payload")) {
+		t.Errorf("good object damaged by Fsck (ok=%v err=%v)", ok, err)
+	}
+	if st.Len() != 1 {
+		t.Errorf("index has %d entries after rebuild, want 1", st.Len())
+	}
+}
+
+// TestOpenSweepsOnlyStaleTemps pins Open's conservative sweep: old
+// orphans go, fresh temp files (possibly another instance's live write)
+// stay.
+func TestOpenSweepsOnlyStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "ab")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(sub, "put-stale")
+	fresh := filepath.Join(sub, "put-fresh")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("tmp"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * staleTempAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, 0); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale temp survived Open")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Error("fresh temp deleted by Open — could be another instance's live write")
+	}
+}
+
+// TestPutDiskFullLeavesNoDebris: an ENOSPC Put fails cleanly — error
+// surfaced, temp file removed (a full disk can still unlink), store
+// still serving its existing objects.
+func TestPutDiskFullLeavesNoDebris(t *testing.T) {
+	dir := t.TempDir()
+	cfs := faultinject.NewCrashFS()
+	st, err := OpenFS(dir, 0, cfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key([]byte("seed"))
+	if err := st.Put(key, []byte("seed payload")); err != nil {
+		t.Fatal(err)
+	}
+	cfs.SetWriteError(syscall.ENOSPC)
+	if err := st.Put(Key([]byte("new")), []byte("does not fit")); err != syscall.ENOSPC {
+		t.Fatalf("Put on full disk: err = %v, want ENOSPC", err)
+	}
+	if temps := listTemps(t, dir); len(temps) != 0 {
+		t.Errorf("ENOSPC Put left debris: %v", temps)
+	}
+	if err := st.Probe(); err != syscall.ENOSPC {
+		t.Fatalf("Probe on full disk: err = %v, want ENOSPC", err)
+	}
+	cfs.SetWriteError(nil)
+	if err := st.Probe(); err != nil {
+		t.Fatalf("Probe after recovery: %v", err)
+	}
+	if got, ok, err := st.Get(key); err != nil || !ok || !bytes.Equal(got, []byte("seed payload")) {
+		t.Errorf("existing object unreadable during/after disk-full (ok=%v err=%v)", ok, err)
+	}
+}

@@ -1,0 +1,77 @@
+package castore
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestSeededConcurrentPutGetEvict hammers one capped store from many
+// goroutines with a seeded workload — Puts, Gets, and cap-driven
+// evictions interleaving — under the race detector (this file rides the
+// `make verify` race pass). Every Get must return either a miss or the
+// exact payload for its key, and a post-storm Fsck must find zero
+// corrupt objects.
+func TestSeededConcurrentPutGetEvict(t *testing.T) {
+	const (
+		workers  = 8
+		opsEach  = 300
+		keyPool  = 24
+		capBytes = 4 << 10 // small enough that eviction churns constantly
+	)
+	st, err := Open(t.TempDir(), capBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Deterministic payload per key, so any Get can be verified.
+	keys := make([]string, keyPool)
+	payloads := make([][]byte, keyPool)
+	for i := range keys {
+		payloads[i] = bytes.Repeat([]byte{byte(i)}, 64+i*16)
+		keys[i] = Key(payloads[i])
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for op := 0; op < opsEach; op++ {
+				i := rng.Intn(keyPool)
+				if rng.Intn(2) == 0 {
+					if err := st.Put(keys[i], payloads[i]); err != nil {
+						t.Errorf("Put %s: %v", keys[i][:8], err)
+						return
+					}
+				} else {
+					got, ok, err := st.Get(keys[i])
+					if err != nil {
+						t.Errorf("Get %s: %v", keys[i][:8], err)
+						return
+					}
+					if ok && !bytes.Equal(got, payloads[i]) {
+						t.Errorf("Get %s returned wrong payload", keys[i][:8])
+						return
+					}
+				}
+			}
+		}(int64(0x5eed + w))
+	}
+	wg.Wait()
+
+	if st.Size() > capBytes {
+		// The only allowed overshoot is a single oversize object, and
+		// every payload here is far below the cap.
+		t.Errorf("store size %d exceeds cap %d after storm", st.Size(), capBytes)
+	}
+	rep, err := st.Fsck()
+	if err != nil {
+		t.Fatalf("Fsck: %v", err)
+	}
+	if rep.CorruptRemoved != 0 {
+		t.Errorf("Fsck found %d corrupt objects after concurrent storm", rep.CorruptRemoved)
+	}
+}

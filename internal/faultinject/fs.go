@@ -1,0 +1,203 @@
+package faultinject
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"sync"
+
+	"classpack/internal/vfs"
+)
+
+// ErrCrashed is returned by every CrashFS operation at and after a
+// scripted crash point: the simulated process is dead, so nothing more
+// reaches the disk.
+var ErrCrashed = errors.New("faultinject: process crashed")
+
+// CrashFS implements vfs.FS (castore's write-path filesystem seam) over
+// the real filesystem with two
+// injectable failure modes, driving the process-level fault drills:
+//
+//   - A scripted crash point (CrashAt): the Nth invocation of a named
+//     operation behaves like a kill -9 at that instant — the operation
+//     is not performed (a crashing write is torn: only the first half
+//     of the buffer lands), it returns ErrCrashed, and every later
+//     operation returns ErrCrashed too. Whatever the earlier operations
+//     wrote stays on disk, exactly the state a restarted daemon finds.
+//
+//   - A standing write error (SetWriteError): data-writing operations
+//     (write, sync) fail with the given error — ENOSPC and EIO drills —
+//     while creates, removes, and renames still work, like a full disk
+//     that can still drop files. Clearing it models the disk recovering.
+//
+// Operation names, in the order one castore Put performs them:
+// "mkdir", "create", "write", "sync", "close", "chmod", "rename",
+// "syncdir"; "remove" covers deletions. Trace returns the sequence
+// actually performed, so a drill can enumerate every crash point of a
+// write path without hard-coding its shape. Safe for concurrent use.
+type CrashFS struct {
+	mu       sync.Mutex
+	crashed  bool
+	script   map[string]int // op -> invocations remaining before the crash fires
+	writeErr error
+	trace    []string
+}
+
+// NewCrashFS returns a CrashFS with no scripted faults: a transparent
+// pass-through that records its operation trace.
+func NewCrashFS() *CrashFS { return &CrashFS{} }
+
+// CrashAt scripts the crash: the nth (1-based) invocation of op fails
+// as a process death. Scripting a new point resets a previous crash, so
+// one CrashFS can drive a drill matrix point by point.
+func (c *CrashFS) CrashAt(op string, n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.crashed = false
+	c.script = map[string]int{op: n}
+}
+
+// SetWriteError makes write and sync operations fail with err until
+// cleared with SetWriteError(nil).
+func (c *CrashFS) SetWriteError(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.writeErr = err
+}
+
+// Trace returns a copy of the operations performed so far.
+func (c *CrashFS) Trace() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.trace...)
+}
+
+// ResetTrace clears the recorded operation trace.
+func (c *CrashFS) ResetTrace() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.trace = nil
+}
+
+// errCrashNow distinguishes "this very call triggered the crash" (the
+// torn-write case acts on it) from calls arriving after death.
+var errCrashNow = errors.New("faultinject: crash point reached")
+
+// step records op and decides its fate: nil to proceed, errCrashNow if
+// this call is the scripted crash, ErrCrashed if the process is already
+// dead.
+func (c *CrashFS) step(op string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	c.trace = append(c.trace, op)
+	if n, ok := c.script[op]; ok {
+		if n <= 1 {
+			c.crashed = true
+			return errCrashNow
+		}
+		c.script[op] = n - 1
+	}
+	return nil
+}
+
+func (c *CrashFS) MkdirAll(path string, perm fs.FileMode) error {
+	if err := c.step("mkdir"); err != nil {
+		return ErrCrashed
+	}
+	return os.MkdirAll(path, perm)
+}
+
+func (c *CrashFS) CreateTemp(dir, pattern string) (vfs.File, error) {
+	if err := c.step("create"); err != nil {
+		return nil, ErrCrashed
+	}
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &crashFile{f: f, fs: c}, nil
+}
+
+func (c *CrashFS) Chmod(name string, mode fs.FileMode) error {
+	if err := c.step("chmod"); err != nil {
+		return ErrCrashed
+	}
+	return os.Chmod(name, mode)
+}
+
+func (c *CrashFS) Rename(oldpath, newpath string) error {
+	if err := c.step("rename"); err != nil {
+		return ErrCrashed
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+func (c *CrashFS) Remove(name string) error {
+	if err := c.step("remove"); err != nil {
+		return ErrCrashed
+	}
+	return os.Remove(name)
+}
+
+func (c *CrashFS) SyncDir(dir string) error {
+	if err := c.step("syncdir"); err != nil {
+		return ErrCrashed
+	}
+	return vfs.SyncDir(dir)
+}
+
+// crashFile is the CrashFS file handle; its write and sync honor both
+// the crash script and the standing write error.
+type crashFile struct {
+	f  *os.File
+	fs *CrashFS
+}
+
+func (cf *crashFile) Name() string { return cf.f.Name() }
+
+func (cf *crashFile) Write(p []byte) (int, error) {
+	cf.fs.mu.Lock()
+	werr := cf.fs.writeErr
+	cf.fs.mu.Unlock()
+	if werr != nil {
+		return 0, werr
+	}
+	switch err := cf.fs.step("write"); err {
+	case nil:
+		return cf.f.Write(p)
+	case errCrashNow:
+		// Torn write: half the buffer lands before the process dies.
+		if len(p) > 1 {
+			cf.f.Write(p[:len(p)/2])
+		}
+		return 0, ErrCrashed
+	default:
+		return 0, ErrCrashed
+	}
+}
+
+func (cf *crashFile) Sync() error {
+	cf.fs.mu.Lock()
+	werr := cf.fs.writeErr
+	cf.fs.mu.Unlock()
+	if werr != nil {
+		return werr
+	}
+	if err := cf.fs.step("sync"); err != nil {
+		return ErrCrashed
+	}
+	return cf.f.Sync()
+}
+
+func (cf *crashFile) Close() error {
+	if err := cf.fs.step("close"); err != nil {
+		// The process died with the descriptor open; release it quietly
+		// so the drill process itself does not leak file handles.
+		cf.f.Close()
+		return ErrCrashed
+	}
+	return cf.f.Close()
+}

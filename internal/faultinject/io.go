@@ -45,7 +45,11 @@ type FailingRoundTripper struct {
 	Next      http.RoundTripper
 	FailFirst int32
 	Status    int
-	attempts  atomic.Int32
+	// RetryAfter, when non-empty, is set as the Retry-After header on
+	// injected HTTP responses — for testing clients that honor the
+	// server's shed/drain backpressure hint.
+	RetryAfter string
+	attempts   atomic.Int32
 }
 
 // Attempts reports how many requests have passed through.
@@ -60,7 +64,7 @@ func (f *FailingRoundTripper) RoundTrip(req *http.Request) (*http.Response, erro
 		if f.Status == 0 {
 			return nil, fmt.Errorf("attempt %d: %w", n, ErrInjected)
 		}
-		return injectedResponse(req, f.Status), nil
+		return injectedResponse(req, f.Status, f.RetryAfter), nil
 	}
 	next := f.Next
 	if next == nil {
@@ -79,15 +83,19 @@ func (f *FailingRoundTripper) RoundTrip(req *http.Request) (*http.Response, erro
 }
 
 // injectedResponse builds a minimal jpackd-style error response.
-func injectedResponse(req *http.Request, status int) *http.Response {
+func injectedResponse(req *http.Request, status int, retryAfter string) *http.Response {
 	body := fmt.Sprintf(`{"error":{"code":"injected","message":"injected %d"}}`, status)
+	h := http.Header{"Content-Type": []string{"application/json; charset=utf-8"}}
+	if retryAfter != "" {
+		h.Set("Retry-After", retryAfter)
+	}
 	return &http.Response{
 		StatusCode: status,
 		Status:     fmt.Sprintf("%d %s", status, http.StatusText(status)),
 		Proto:      "HTTP/1.1",
 		ProtoMajor: 1,
 		ProtoMinor: 1,
-		Header:     http.Header{"Content-Type": []string{"application/json; charset=utf-8"}},
+		Header:     h,
 		Body:       io.NopCloser(strings.NewReader(body)),
 		Request:    req,
 	}

@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// admission is the server's load-shedding front door, replacing the
+// bare job semaphore: a bounded, deadline-aware queue in front of the
+// MaxJobs slots plus a memory-budget gate over admitted request bytes.
+// A request that cannot be queued — the queue is full, the memory
+// budget is exhausted, or its deadline would expire before a slot could
+// plausibly free up — is shed immediately with 429 and a Retry-After
+// hint instead of waiting to fail, so overload degrades into fast,
+// explicit backpressure rather than a pile-up of doomed connections.
+type admission struct {
+	slots      chan struct{} // cap = MaxJobs
+	queueBound int64         // max requests waiting for a slot
+	memBudget  int64         // cap on admitted request bytes; 0 = unlimited
+	retryHint  time.Duration // floor for the Retry-After hint
+
+	waiters     atomic.Int64
+	memInflight atomic.Int64
+	ewmaMicros  atomic.Int64 // smoothed job duration, for wait estimates
+
+	draining  atomic.Bool
+	drainCh   chan struct{}
+	drainOnce sync.Once
+
+	m *Metrics
+}
+
+func newAdmission(maxJobs, queueBound int, memBudget int64, retryHint time.Duration, m *Metrics) *admission {
+	return &admission{
+		slots:      make(chan struct{}, maxJobs),
+		queueBound: int64(queueBound),
+		memBudget:  memBudget,
+		retryHint:  retryHint,
+		drainCh:    make(chan struct{}),
+		m:          m,
+	}
+}
+
+// startDrain flips the gate into shutdown mode: no new request is
+// admitted or queued, and every request already waiting for a slot is
+// woken and shed with 503. Requests that hold a slot are unaffected —
+// they run to completion under the http.Server drain.
+func (a *admission) startDrain() {
+	a.draining.Store(true)
+	a.drainOnce.Do(func() { close(a.drainCh) })
+}
+
+// acquire admits one job of the given request size, blocking in the
+// bounded queue until a slot frees. The returned release must be called
+// exactly once; it is idempotent against double calls. On shed or
+// timeout the release is nil and the apiError carries the HTTP status
+// (429 with Retry-After for shed, 503 for deadline expiry and drain).
+func (a *admission) acquire(ctx context.Context, size int64) (release func(), apiErr *apiError) {
+	if a.draining.Load() {
+		return nil, errf(http.StatusServiceUnavailable, "draining",
+			"server is draining; request not admitted")
+	}
+	memReserved := false
+	if a.memBudget > 0 && size > 0 {
+		for {
+			cur := a.memInflight.Load()
+			// A single request bigger than the whole budget is admitted
+			// when nothing else is in flight — same rule as the castore
+			// cap: the request is serviceable, so serve it.
+			if cur > 0 && cur+size > a.memBudget {
+				return nil, a.shed("memory budget exhausted: %d of %d bytes already admitted", cur, a.memBudget)
+			}
+			if a.memInflight.CompareAndSwap(cur, cur+size) {
+				break
+			}
+		}
+		memReserved = true
+		a.m.MemInflight.Set(a.memInflight.Load())
+	}
+	relMem := func() {
+		if memReserved {
+			a.m.MemInflight.Set(a.memInflight.Add(-size))
+		}
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return a.admitted(size, memReserved), nil
+	default:
+	}
+	w := a.waiters.Add(1)
+	a.m.QueueDepth.Set(w)
+	unqueue := func() { a.m.QueueDepth.Set(a.waiters.Add(-1)) }
+	if w > a.queueBound {
+		unqueue()
+		relMem()
+		return nil, a.shed("job queue full: %d jobs running, %d queued", cap(a.slots), a.queueBound)
+	}
+	// Deadline-aware shedding: a request whose deadline will expire
+	// before the queue can plausibly reach it is refused now — a fast
+	// 429 the client can back off from beats a slow, certain 503.
+	if dl, ok := ctx.Deadline(); ok {
+		if est := a.estimateWait(w); est > 0 && time.Until(dl) < est {
+			unqueue()
+			relMem()
+			return nil, a.shed("deadline %v away but estimated queue wait is %v",
+				time.Until(dl).Round(time.Millisecond), est.Round(time.Millisecond))
+		}
+	}
+	select {
+	case a.slots <- struct{}{}:
+		unqueue()
+		return a.admitted(size, memReserved), nil
+	case <-ctx.Done():
+		unqueue()
+		relMem()
+		return nil, errf(http.StatusServiceUnavailable, "timeout",
+			"request deadline expired while waiting for a job slot (%d jobs max)", cap(a.slots))
+	case <-a.drainCh:
+		unqueue()
+		relMem()
+		return nil, errf(http.StatusServiceUnavailable, "draining",
+			"server is draining; queued request shed")
+	}
+}
+
+// admitted builds the release closure for a request that holds a slot.
+func (a *admission) admitted(size int64, memReserved bool) func() {
+	start := time.Now()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			<-a.slots
+			if memReserved {
+				a.m.MemInflight.Set(a.memInflight.Add(-size))
+			}
+			a.observe(time.Since(start))
+		})
+	}
+}
+
+// shed counts and builds the 429 backpressure error, with a Retry-After
+// derived from the current queue state (floored at the configured hint).
+func (a *admission) shed(format string, args ...any) *apiError {
+	a.m.Shed.Add(1)
+	ra := a.retryHint
+	if est := a.estimateWait(a.waiters.Load()); est > ra {
+		ra = est
+	}
+	e := errf(http.StatusTooManyRequests, "overloaded", format, args...)
+	e.retryAfter = ra
+	return e
+}
+
+// estimateWait guesses how long a request queued behind `queued` others
+// will wait for a slot, from the smoothed job duration. Zero when no
+// job has completed yet — no data, no estimate.
+func (a *admission) estimateWait(queued int64) time.Duration {
+	ew := time.Duration(a.ewmaMicros.Load()) * time.Microsecond
+	if ew <= 0 {
+		return 0
+	}
+	slots := int64(cap(a.slots))
+	if slots < 1 {
+		slots = 1
+	}
+	if queued < 0 {
+		queued = 0
+	}
+	return ew * time.Duration(queued/slots+1)
+}
+
+// observe folds one completed job duration into the EWMA (alpha 1/8).
+func (a *admission) observe(d time.Duration) {
+	us := d.Microseconds()
+	for {
+		old := a.ewmaMicros.Load()
+		nw := us
+		if old != 0 {
+			nw = old + (us-old)/8
+		}
+		if a.ewmaMicros.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}

@@ -2,10 +2,11 @@
 // uploads jars for packing, downloads packed archives back into jars
 // (including salvage mode for damaged archives), runs remote
 // verification, and fetches cached artifacts by digest. Transient
-// failures — connection errors and 5xx responses — are retried with
-// capped, jittered exponential backoff (see RetryPolicy); jpackd
-// requests are idempotent, so replays are safe. The jpack "remote"
-// subcommand is built on it.
+// failures — connection errors, 5xx responses, and 429 load shedding —
+// are retried with capped, jittered exponential backoff (see
+// RetryPolicy), honoring the server's Retry-After hint when it asks for
+// a longer wait; jpackd requests are idempotent, so replays are safe.
+// The jpack "remote" subcommand is built on it.
 package client
 
 import (
@@ -17,6 +18,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -47,6 +49,12 @@ type RetryPolicy struct {
 	BaseDelay time.Duration
 	// MaxDelay caps the backoff growth (0 = 2s).
 	MaxDelay time.Duration
+	// MaxRetryAfter caps how long a server-sent Retry-After header can
+	// stretch one wait beyond the computed backoff (0 = 30s). A shed or
+	// draining server knows its own recovery horizon better than the
+	// client's schedule does, so its hint is honored verbatim up to
+	// this bound — without jitter, which the test pins.
+	MaxRetryAfter time.Duration
 }
 
 // withDefaults fills zero fields.
@@ -59,6 +67,9 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	}
 	if p.MaxDelay <= 0 {
 		p.MaxDelay = 2 * time.Second
+	}
+	if p.MaxRetryAfter <= 0 {
+		p.MaxRetryAfter = 30 * time.Second
 	}
 	return p
 }
@@ -122,22 +133,26 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// do sends req with retries per the client's policy. Transport errors
-// and 5xx responses are retried with capped, jittered exponential
-// backoff; context cancellation and deadline expiry stop retrying
-// immediately, both between attempts and mid-backoff. The final
-// attempt's response or error is returned as-is.
+// do sends req with retries per the client's policy. Transport errors,
+// 5xx responses, and 429 load shedding are retried with capped,
+// jittered exponential backoff; when the server sends Retry-After with
+// a longer wait than the backoff, the server's hint wins (capped at
+// MaxRetryAfter). Context cancellation and deadline expiry stop
+// retrying immediately, both between attempts and mid-backoff. The
+// final attempt's response or error is returned as-is.
 func (c *Client) do(req *http.Request) (*http.Response, error) {
 	for attempt := 1; ; attempt++ {
 		resp, err := c.hc.Do(req)
 		retryable := false
+		retryAfter := time.Duration(0)
 		if err != nil {
 			// A transport failure with a live context (connection refused,
 			// reset, injected fault) is worth retrying; one caused by the
 			// caller's context is not.
 			retryable = req.Context().Err() == nil
-		} else if resp.StatusCode >= 500 {
+		} else if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
 			retryable = true
+			retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 		}
 		if !retryable || attempt >= c.retry.MaxAttempts {
 			return resp, err
@@ -146,7 +161,11 @@ func (c *Client) do(req *http.Request) (*http.Response, error) {
 			io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
 			resp.Body.Close()
 		}
-		if serr := c.sleep(req.Context(), c.retry.delay(attempt, c.intn)); serr != nil {
+		wait := c.retry.delay(attempt, c.intn)
+		if ra := min(retryAfter, c.retry.MaxRetryAfter); ra > wait {
+			wait = ra
+		}
+		if serr := c.sleep(req.Context(), wait); serr != nil {
 			if err == nil {
 				err = fmt.Errorf("jpackd: giving up after HTTP %d: %w", resp.StatusCode, serr)
 			}
@@ -160,6 +179,27 @@ func (c *Client) do(req *http.Request) (*http.Response, error) {
 			req.Body = body
 		}
 	}
+}
+
+// parseRetryAfter reads a Retry-After header value in either RFC 9110
+// form — delay seconds or an HTTP-date — returning 0 for absent,
+// malformed, or already-elapsed values.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // PackResult is what POST /pack returns.

@@ -148,3 +148,93 @@ func TestBackoffGrowthAndCap(t *testing.T) {
 		t.Errorf("delay(200) = %v, want within (0, %v]", d, p.MaxDelay)
 	}
 }
+
+// recordSleeps replaces c.sleep with one that records each wait and
+// returns immediately, so tests pin exact durations without waiting.
+func recordSleeps(c *Client) *[]time.Duration {
+	var waits []time.Duration
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		waits = append(waits, d)
+		return ctx.Err()
+	}
+	return &waits
+}
+
+// TestRetryAfterHonored pins the Retry-After contract: a 429 from a
+// shedding server is retried, and its Retry-After hint replaces the
+// (shorter) jittered backoff as the exact wait.
+func TestRetryAfterHonored(t *testing.T) {
+	srv := echoServer(t)
+	ft := &faultinject.FailingRoundTripper{
+		FailFirst: 1, Status: http.StatusTooManyRequests, RetryAfter: "2",
+	}
+	c := fastClient(srv.URL, ft)
+	waits := recordSleeps(c)
+	payload := []byte("p")
+	got, err := c.Unpack(context.Background(), payload)
+	if err != nil {
+		t.Fatalf("Unpack with 1 injected 429: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("retried request did not replay the body intact")
+	}
+	if ft.Attempts() != 2 {
+		t.Fatalf("made %d attempts, want 2 — 429 must be retryable", ft.Attempts())
+	}
+	if len(*waits) != 1 || (*waits)[0] != 2*time.Second {
+		t.Fatalf("waits = %v, want exactly [2s] from the Retry-After header", *waits)
+	}
+}
+
+// TestRetryAfterCapped pins MaxRetryAfter: a hostile or confused server
+// cannot park the client for an hour.
+func TestRetryAfterCapped(t *testing.T) {
+	srv := echoServer(t)
+	ft := &faultinject.FailingRoundTripper{
+		FailFirst: 1, Status: http.StatusServiceUnavailable, RetryAfter: "3600",
+	}
+	c := NewRetry(srv.URL, &http.Client{Transport: ft}, RetryPolicy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond,
+		MaxDelay: 4 * time.Millisecond, MaxRetryAfter: 250 * time.Millisecond,
+	})
+	waits := recordSleeps(c)
+	if _, err := c.Unpack(context.Background(), []byte("p")); err != nil {
+		t.Fatalf("Unpack with 1 injected 503: %v", err)
+	}
+	if len(*waits) != 1 || (*waits)[0] != 250*time.Millisecond {
+		t.Fatalf("waits = %v, want exactly [250ms] — Retry-After must be capped", *waits)
+	}
+}
+
+// TestRetryAfterNeverShortensBackoff: a tiny or malformed Retry-After
+// must not undercut the client's own jittered schedule.
+func TestRetryAfterNeverShortensBackoff(t *testing.T) {
+	for _, header := range []string{"0", "-5", "soon", ""} {
+		srv := echoServer(t)
+		ft := &faultinject.FailingRoundTripper{
+			FailFirst: 1, Status: http.StatusTooManyRequests, RetryAfter: header,
+		}
+		c := fastClient(srv.URL, ft)
+		c.intn = func(int64) int64 { return 0 } // deterministic jitter floor
+		waits := recordSleeps(c)
+		if _, err := c.Unpack(context.Background(), []byte("p")); err != nil {
+			t.Fatalf("Retry-After %q: Unpack: %v", header, err)
+		}
+		want := 500 * time.Microsecond // half of BaseDelay, zero jitter
+		if len(*waits) != 1 || (*waits)[0] != want {
+			t.Fatalf("Retry-After %q: waits = %v, want [%v] from backoff", header, *waits, want)
+		}
+	}
+}
+
+func TestParseRetryAfterHTTPDate(t *testing.T) {
+	v := time.Now().Add(10 * time.Second).UTC().Format(http.TimeFormat)
+	d := parseRetryAfter(v)
+	if d <= 8*time.Second || d > 10*time.Second {
+		t.Fatalf("parseRetryAfter(%q) = %v, want ~10s", v, d)
+	}
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(past); d != 0 {
+		t.Fatalf("parseRetryAfter(past date) = %v, want 0", d)
+	}
+}

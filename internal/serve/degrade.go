@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"log"
+	"sync/atomic"
+	"time"
+
+	"classpack/internal/castore"
+)
+
+// degrade tracks the cache volume's health. A failing cache write —
+// ENOSPC, EIO, a read-only remount — flips the server into degraded
+// mode: requests keep succeeding (encode and serve, reads still
+// attempted), but cache writes are bypassed instead of retried against
+// a sick disk. While degraded, the volume is re-probed at most once per
+// interval (from the cache-write path and from /healthz, so even an
+// idle server behind a load-balancer health check recovers); the first
+// successful probe restores normal caching. The flag is visible in
+// /healthz and the degraded metric.
+type degrade struct {
+	store      *castore.Store
+	probeEvery time.Duration
+	m          *Metrics
+
+	flag      atomic.Bool
+	probing   atomic.Bool
+	lastProbe atomic.Int64 // UnixNano of the last probe start
+}
+
+func newDegrade(store *castore.Store, probeEvery time.Duration, m *Metrics) *degrade {
+	return &degrade{store: store, probeEvery: probeEvery, m: m}
+}
+
+// active reports whether the server is currently in degraded mode.
+func (d *degrade) active() bool { return d.flag.Load() }
+
+// onPutError records a failed cache write and enters degraded mode.
+// Every Put error is treated as volume sickness: the write path is its
+// own probe, and a healthy disk does not fail castore.Put.
+func (d *degrade) onPutError(err error) {
+	if d.flag.CompareAndSwap(false, true) {
+		d.m.Degraded.Set(1)
+		d.m.DegradedTotal.Add(1)
+		log.Printf("jpackd: cache write failed (%v); entering degraded mode: serving without caching", err)
+	}
+}
+
+// maybeProbe re-probes the volume when degraded, at most once per
+// probeEvery and never concurrently; the probe itself runs in the
+// background so no request waits on a sick disk. A successful probe
+// exits degraded mode.
+func (d *degrade) maybeProbe() {
+	if d.store == nil || !d.flag.Load() {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := d.lastProbe.Load()
+	if now-last < int64(d.probeEvery) || !d.lastProbe.CompareAndSwap(last, now) {
+		return
+	}
+	if !d.probing.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer d.probing.Store(false)
+		if err := d.store.Probe(); err != nil {
+			return // still sick; the next interval re-probes
+		}
+		if d.flag.CompareAndSwap(true, false) {
+			d.m.Degraded.Set(0)
+			log.Print("jpackd: cache volume recovered; degraded mode off, caching resumed")
+		}
+	}()
+}

@@ -41,6 +41,27 @@ type Metrics struct {
 	// the cache volume is sick even though requests still succeed by
 	// re-encoding.
 	CacheErrors expvar.Int
+	// CacheBypass counts cache writes skipped while the server is in
+	// degraded mode — encodes that succeeded but were served uncached.
+	CacheBypass expvar.Int
+
+	// Coalesced counts /pack responses served from another request's
+	// in-flight encode: a herd of N identical packs is 1 encode plus N-1
+	// coalesced responses.
+	Coalesced expvar.Int
+
+	// Shed counts requests refused with 429 by admission control (queue
+	// full, memory budget exhausted, or deadline shorter than the
+	// estimated queue wait). QueueDepth and MemInflight are gauges of
+	// the current queue length and admitted request bytes.
+	Shed        expvar.Int
+	QueueDepth  expvar.Int
+	MemInflight expvar.Int
+
+	// Degraded is a 0/1 gauge of cache-degraded mode; DegradedTotal
+	// counts how many times the server entered it.
+	Degraded      expvar.Int
+	DegradedTotal expvar.Int
 
 	DeltaRequests expvar.Int // GET /delta/{from}/{to}
 	// DeltaBytesSaved accumulates len(new archive) - len(patch) over
@@ -74,6 +95,13 @@ func newMetrics() *Metrics {
 	set("cache_hits", &mt.CacheHits)
 	set("cache_misses", &mt.CacheMisses)
 	set("cache_errors", &mt.CacheErrors)
+	set("cache_bypass_total", &mt.CacheBypass)
+	set("coalesced_total", &mt.Coalesced)
+	set("shed_total", &mt.Shed)
+	set("queue_depth", &mt.QueueDepth)
+	set("mem_inflight_bytes", &mt.MemInflight)
+	set("degraded", &mt.Degraded)
+	set("degraded_total", &mt.DegradedTotal)
 	set("delta_requests", &mt.DeltaRequests)
 	set("delta_bytes_saved", &mt.DeltaBytesSaved)
 	set("encodes_total", &mt.Encodes)

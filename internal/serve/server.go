@@ -10,11 +10,17 @@
 // version-3 archive needs. GET /delta/{from}/{to} computes a CJPD patch
 // between any two cached archives so clients holding the old version
 // download only the changed classes.
-// Concurrent encode jobs are bounded by a semaphore
-// feeding the classpack worker-pool pipeline; request bodies are
-// size-capped, every request carries a deadline, errors are structured
-// JSON, and GET /metrics exports expvar counters including an
-// encode-latency histogram.
+// Concurrent encode jobs are bounded by deadline-aware admission
+// control — a bounded queue with 429 + Retry-After load shedding and a
+// memory-budget gate over admitted request bytes — feeding the
+// classpack worker-pool pipeline; concurrent identical /pack requests
+// are coalesced onto one encode (singleflight by content digest); a
+// failing cache volume flips the server into degraded mode (serve and
+// encode without caching, auto-probed for recovery) instead of failing
+// requests; request bodies are size-capped, every request carries a
+// deadline, errors are structured JSON, and GET /metrics exports expvar
+// counters including an encode-latency histogram. GET /healthz reports
+// {"status":"ok"} or {"status":"degraded"}.
 package serve
 
 import (
@@ -42,6 +48,15 @@ const (
 	DefaultMaxRequestBytes = 64 << 20
 	DefaultRequestTimeout  = 2 * time.Minute
 	DefaultDrainTimeout    = 30 * time.Second
+	// DefaultQueueFactor scales MaxJobs into the default queue bound:
+	// up to 4 requests may wait per job slot before shedding begins.
+	DefaultQueueFactor = 4
+	// DefaultRetryAfterHint floors the Retry-After value on shed (429)
+	// responses when no wait estimate is available yet.
+	DefaultRetryAfterHint = time.Second
+	// DefaultProbeInterval bounds how often a degraded cache volume is
+	// re-probed for recovery.
+	DefaultProbeInterval = 5 * time.Second
 )
 
 // Header names the server sets on pack/archive responses.
@@ -75,6 +90,23 @@ type Config struct {
 	// MaxJobs bounds concurrent encode/decode/verify jobs
 	// (0 = GOMAXPROCS).
 	MaxJobs int
+	// MaxQueue bounds how many requests may wait for a job slot before
+	// admission control sheds new arrivals with 429 + Retry-After
+	// (0 = DefaultQueueFactor*MaxJobs; negative = no queueing, shed
+	// whenever every slot is busy).
+	MaxQueue int
+	// MemoryBudget caps the total request-body bytes admitted to job
+	// slots at once; requests beyond it are shed with 429 (0 =
+	// unlimited). A single request larger than the whole budget is
+	// still admitted when nothing else is in flight.
+	MemoryBudget int64
+	// RetryAfterHint floors the Retry-After value on shed responses
+	// (0 = DefaultRetryAfterHint). When the queue has history, the
+	// estimate from observed job durations is used instead if larger.
+	RetryAfterHint time.Duration
+	// ProbeInterval bounds how often a degraded cache volume is
+	// re-probed for recovery (0 = DefaultProbeInterval).
+	ProbeInterval time.Duration
 	// DrainTimeout bounds how long Serve waits for in-flight requests
 	// after its context is cancelled (0 = DefaultDrainTimeout).
 	DrainTimeout time.Duration
@@ -98,7 +130,9 @@ type Config struct {
 type Server struct {
 	cfg     Config
 	metrics *Metrics
-	jobs    chan struct{}
+	adm     *admission
+	flight  packFlight
+	deg     *degrade
 	handler http.Handler
 }
 
@@ -113,14 +147,27 @@ func New(cfg Config) *Server {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = runtime.GOMAXPROCS(0)
 	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = DefaultQueueFactor * cfg.MaxJobs
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	if cfg.RetryAfterHint <= 0 {
+		cfg.RetryAfterHint = DefaultRetryAfterHint
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = DefaultDrainTimeout
 	}
 	s := &Server{
 		cfg:     cfg,
 		metrics: newMetrics(),
-		jobs:    make(chan struct{}, cfg.MaxJobs),
 	}
+	s.adm = newAdmission(cfg.MaxJobs, cfg.MaxQueue, cfg.MemoryBudget, cfg.RetryAfterHint, s.metrics)
+	s.deg = newDegrade(cfg.Store, cfg.ProbeInterval, s.metrics)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /pack", s.handlePack)
 	mux.HandleFunc("POST /unpack", s.handleUnpack)
@@ -129,9 +176,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /archive/{digest}/class/{name...}", s.handleArchiveClass)
 	mux.HandleFunc("GET /delta/{from}/{to}", s.handleDelta)
 	mux.Handle("GET /metrics", s.metrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		io.WriteString(w, "ok\n")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.handler = s.instrument(mux)
 	if cfg.EnablePprof {
 		// Profiler endpoints mount on a root mux *outside* instrument:
@@ -186,6 +231,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	shutdownErr := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
+		// Shed the job queue first: requests that hold a slot run to
+		// completion under the drain; requests still waiting for one are
+		// woken and answered 503 immediately, so the drain window is
+		// spent finishing admitted work, not starting queued work.
+		s.adm.startDrain()
 		dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 		defer cancel()
 		shutdownErr <- hs.Shutdown(dctx)
@@ -199,11 +249,13 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 }
 
 // apiError is a structured endpoint failure: an HTTP status plus a
-// stable machine-readable code.
+// stable machine-readable code. retryAfter, when set, becomes a
+// Retry-After header so shed clients know when to come back.
 type apiError struct {
-	status  int
-	code    string
-	message string
+	status     int
+	code       string
+	message    string
+	retryAfter time.Duration
 }
 
 func (e *apiError) Error() string { return e.message }
@@ -217,10 +269,27 @@ func errf(status int, code, format string, args ...any) *apiError {
 func (s *Server) writeError(w http.ResponseWriter, err *apiError) {
 	s.metrics.Errors.Add(1)
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if err.retryAfter > 0 {
+		// Whole seconds, rounded up: Retry-After has no finer grain.
+		secs := (err.retryAfter + time.Second - 1) / time.Second
+		w.Header().Set("Retry-After", itoa(int64(secs)))
+	}
 	w.WriteHeader(err.status)
 	json.NewEncoder(w).Encode(map[string]any{
 		"error": map[string]string{"code": err.code, "message": err.message},
 	})
+}
+
+// handleHealthz is the liveness probe; it also reports (and, as a probe
+// visit, helps recover from) cache-degraded mode.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.deg.maybeProbe()
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	status := "ok"
+	if s.deg.active() {
+		status = "degraded"
+	}
+	json.NewEncoder(w).Encode(map[string]string{"status": status})
 }
 
 // readBody drains the (size-capped) request body, translating the cap
@@ -239,17 +308,11 @@ func (s *Server) readBody(r *http.Request) ([]byte, *apiError) {
 	return data, nil
 }
 
-// acquireJob takes one slot of the encode semaphore, or fails with a
-// timeout error when the request deadline expires first. The returned
-// release func must be called exactly once.
+// acquireJob admits one sizeless job through admission control (decode,
+// verify, and extraction jobs whose memory cost the body cap already
+// bounds). The returned release func must be called exactly once.
 func (s *Server) acquireJob(ctx context.Context) (release func(), apiErr *apiError) {
-	select {
-	case s.jobs <- struct{}{}:
-		return func() { <-s.jobs }, nil
-	case <-ctx.Done():
-		return nil, errf(http.StatusServiceUnavailable, "timeout",
-			"request deadline expired while waiting for a job slot (%d jobs max)", s.cfg.MaxJobs)
-	}
+	return s.adm.acquire(ctx, 0)
 }
 
 // writePayload sends a binary response body and counts it.
@@ -272,6 +335,56 @@ func (s *Server) cacheKey(input []byte) string {
 	return castore.Key([]byte(fp), input)
 }
 
+// cacheGet reads one object from the store, translating read failures
+// into a logged, counted miss: the request still succeeds by
+// re-encoding, but the failure stays visible.
+func (s *Server) cacheGet(digest string) ([]byte, bool) {
+	if s.cfg.Store == nil {
+		return nil, false
+	}
+	packed, ok, err := s.cfg.Store.Get(digest)
+	if err != nil {
+		s.metrics.CacheErrors.Add(1)
+		log.Printf("jpackd: cache read for %s failed: %v", digest, err)
+		return nil, false
+	}
+	return packed, ok
+}
+
+// cachePut stores an encode result, best-effort: a full or failing disk
+// must not fail the request — the encoded bytes are already in hand.
+// The first write failure flips the server into degraded mode, after
+// which writes are bypassed (counted, not attempted) until a recovery
+// probe finds the volume healthy again.
+func (s *Server) cachePut(digest string, packed []byte) {
+	if s.cfg.Store == nil {
+		return
+	}
+	if s.deg.active() {
+		s.metrics.CacheBypass.Add(1)
+		s.deg.maybeProbe()
+		return
+	}
+	if err := s.cfg.Store.Put(digest, packed); err != nil {
+		s.metrics.CacheErrors.Add(1)
+		log.Printf("jpackd: cache write for %s failed: %v", digest, err)
+		s.deg.onPutError(err)
+	}
+}
+
+// packResponse writes a successful /pack payload with its headers.
+// skipped is included only when non-nil (misses and coalesced
+// responses; cache hits no longer know it).
+func (s *Server) packResponse(w http.ResponseWriter, digest, cache string, packed []byte, skipped []string) {
+	w.Header().Set(HeaderDigest, digest)
+	w.Header().Set(HeaderCache, cache)
+	if skipped != nil {
+		skippedJSON, _ := json.Marshal(skipped)
+		w.Header().Set(HeaderSkipped, string(skippedJSON))
+	}
+	s.writePayload(w, packed)
+}
+
 func (s *Server) handlePack(w http.ResponseWriter, r *http.Request) {
 	s.metrics.PackRequests.Add(1)
 	input, apiErr := s.readBody(r)
@@ -280,27 +393,55 @@ func (s *Server) handlePack(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	digest := s.cacheKey(input)
-	if s.cfg.Store != nil {
-		packed, ok, err := s.cfg.Store.Get(digest)
-		if err != nil {
-			// A failing store read is not a miss: the request still succeeds
-			// by re-encoding, but the failure must be visible — count it and
-			// log it instead of silently degrading to miss-and-encode.
-			s.metrics.CacheErrors.Add(1)
-			log.Printf("jpackd: cache read for %s failed: %v", digest, err)
-		} else if ok {
-			s.metrics.CacheHits.Add(1)
-			w.Header().Set(HeaderDigest, digest)
-			w.Header().Set(HeaderCache, "hit")
-			s.writePayload(w, packed)
-			return
-		}
+	if packed, ok := s.cacheGet(digest); ok {
+		s.metrics.CacheHits.Add(1)
+		s.packResponse(w, digest, "hit", packed, nil)
+		return
 	}
 	s.metrics.CacheMisses.Add(1)
-	release, apiErr := s.acquireJob(r.Context())
-	if apiErr != nil {
-		s.writeError(w, apiErr)
+	// Singleflight: concurrent identical packs coalesce onto the first
+	// request's encode. Followers wait on the leader's result without
+	// consuming job slots or queue positions.
+	call, leader := s.flight.join(digest)
+	if !leader {
+		select {
+		case <-call.done:
+			res := call.res
+			if res.apiErr != nil {
+				s.writeError(w, res.apiErr)
+				return
+			}
+			s.metrics.Coalesced.Add(1)
+			s.packResponse(w, digest, "coalesced", res.packed, res.skipped)
+		case <-r.Context().Done():
+			s.writeError(w, errf(http.StatusServiceUnavailable, "timeout",
+				"request deadline expired while awaiting the in-flight encode for this digest"))
+		}
 		return
+	}
+	res := s.encodePack(r, input, digest)
+	s.flight.finish(digest, call, res)
+	if res.apiErr != nil {
+		s.writeError(w, res.apiErr)
+		return
+	}
+	s.packResponse(w, digest, res.cache, res.packed, res.skipped)
+}
+
+// encodePack runs the leader's half of a /pack: admission, encode,
+// cache write. Its packResult is shared verbatim with every coalesced
+// follower.
+func (s *Server) encodePack(r *http.Request, input []byte, digest string) packResult {
+	// Double-check the cache after winning the flight: a previous
+	// leader may have finished between this request's miss and its
+	// join, and serving its cached bytes skips a whole encode.
+	if packed, ok := s.cacheGet(digest); ok {
+		s.metrics.CacheHits.Add(1)
+		return packResult{packed: packed, cache: "hit"}
+	}
+	release, apiErr := s.adm.acquire(r.Context(), int64(len(input)))
+	if apiErr != nil {
+		return packResult{apiErr: apiErr}
 	}
 	defer release()
 	if s.cfg.packStarted != nil {
@@ -311,23 +452,14 @@ func (s *Server) handlePack(w http.ResponseWriter, r *http.Request) {
 	packed, skipped, err := classpack.PackJar(input, &opts)
 	s.metrics.observeEncode(time.Since(start))
 	if err != nil {
-		s.writeError(w, errf(http.StatusUnprocessableEntity, "encode_failed", "pack: %v", err))
-		return
+		return packResult{apiErr: errf(http.StatusUnprocessableEntity, "encode_failed", "pack: %v", err)}
 	}
 	s.metrics.Encodes.Add(1)
-	if s.cfg.Store != nil {
-		// Best-effort: a full disk must not fail the request — the
-		// encoded bytes are already in hand.
-		_ = s.cfg.Store.Put(digest, packed)
-	}
+	s.cachePut(digest, packed)
 	if skipped == nil {
 		skipped = []string{}
 	}
-	skippedJSON, _ := json.Marshal(skipped)
-	w.Header().Set(HeaderDigest, digest)
-	w.Header().Set(HeaderCache, "miss")
-	w.Header().Set(HeaderSkipped, string(skippedJSON))
-	s.writePayload(w, packed)
+	return packResult{packed: packed, skipped: skipped, cache: "miss"}
 }
 
 func (s *Server) handleUnpack(w http.ResponseWriter, r *http.Request) {

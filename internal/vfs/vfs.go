@@ -1,0 +1,73 @@
+// Package vfs defines the minimal mutating-filesystem interface behind
+// castore's write path. The production store runs on OS (the real
+// filesystem); the fault drills substitute a crash-point-scriptable
+// implementation (internal/faultinject.CrashFS) to prove that a process
+// death at any write point loses at most the in-flight object. The
+// package sits below both castore and faultinject so either side can
+// depend on it without a cycle.
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// FS abstracts the mutating filesystem operations a content-addressed
+// store performs while writing: directory creation, temp-file creation,
+// permission, rename, removal, and directory fsync. Reads are not part
+// of the interface — after a simulated crash, recovery reopens the
+// directory through the real filesystem, exactly like a restarted
+// daemon.
+type FS interface {
+	MkdirAll(path string, perm fs.FileMode) error
+	CreateTemp(dir, pattern string) (File, error)
+	Chmod(name string, mode fs.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	// SyncDir fsyncs the directory itself, making completed renames
+	// durable across power loss.
+	SyncDir(dir string) error
+}
+
+// File is the writable handle FS.CreateTemp returns.
+type File interface {
+	io.Writer
+	Name() string
+	Sync() error
+	Close() error
+}
+
+// OS returns the real-filesystem implementation of FS.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Chmod(name string, mode fs.FileMode) error { return os.Chmod(name, mode) }
+func (osFS) Rename(oldpath, newpath string) error      { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                  { return os.Remove(name) }
+
+// SyncDir opens dir read-only and fsyncs it.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (osFS) SyncDir(dir string) error { return SyncDir(dir) }
