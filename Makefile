@@ -8,13 +8,18 @@ build:
 test:
 	$(GO) test ./...
 
-# lint runs go vet plus classpack-vet, the custom analyzer suite that
-# proves the decoder-safety invariants (decodebound, nopanic,
-# corrupterr, poolbalance). Any finding fails the build; intentional
-# exceptions carry a //classpack:vet-allow <analyzer> <reason> comment.
+# lint runs go vet plus classpack-vet, the custom nine-analyzer suite:
+# the decoder-safety proofs (decodebound, nopanic, corrupterr,
+# poolbalance) and the daemon-layer concurrency checks (ctxflow,
+# guardedfield, goroutineleak, vfsdirect, balancegen). Any finding
+# fails the build; intentional exceptions carry a
+# //classpack:vet-allow <analyzer> <reason> comment. -timing prints the
+# per-analyzer wall-time table and -budget fails the run if the suite
+# (measured in-tool, so go-run compile time is not charged) exceeds
+# 30s — the lint gate must stay cheap enough for a pre-push hook.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/classpack-vet ./...
+	$(GO) run ./cmd/classpack-vet -timing -budget 30s ./...
 
 # verify is the full hygiene gate: compile everything, lint (go vet +
 # classpack-vet), then run the whole suite under the race detector.

@@ -1,25 +1,35 @@
 // Command classpack-vet runs classpack's custom static-analysis suite
-// over the module: the four analyzers that prove the decoder-safety
-// invariants (decodebound, nopanic, corrupterr, poolbalance). It is
-// wired into `make lint` (and so `make verify` and CI); any finding
-// fails the build.
+// over the module: nine analyzers in two generations — the
+// decoder-safety proofs (decodebound, nopanic, corrupterr, poolbalance)
+// and the daemon-layer concurrency checks (ctxflow, guardedfield,
+// goroutineleak, vfsdirect, balancegen). It is wired into `make lint`
+// (and so `make verify` and CI); any finding fails the build.
 //
 // Usage:
 //
-//	classpack-vet [-list] [./...]
+//	classpack-vet [-list] [-timing] [-budget <duration>] [./...]
+//
+// -timing prints a per-analyzer wall-time table (load+typecheck
+// included) after the scan. -budget fails the run if the suite's total
+// wall time exceeds the given duration — CI pins 30s so the lint gate
+// cannot quietly grow past what a pre-push hook tolerates. The budget
+// is measured inside the tool, so `go run` compilation time is not
+// charged against it.
 //
 // The package pattern is accepted for familiarity with go vet but the
 // suite always scans the whole module containing the working
 // directory. Suppress an intentional finding with a
 // `//classpack:vet-allow <analyzer> <reason>` comment on or above the
 // flagged line (or in the enclosing declaration's doc comment); the
-// reason is mandatory.
+// reason is mandatory, and a directive that no longer suppresses
+// anything is itself a finding.
 package main
 
 import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"classpack/internal/analysis"
 )
@@ -28,24 +38,42 @@ func main() { os.Exit(run(os.Args[1:])) }
 
 func run(args []string) int {
 	list := false
-	for _, arg := range args {
-		switch arg {
+	timing := false
+	var budget time.Duration
+	usage := func() { fmt.Fprintln(os.Stderr, "usage: classpack-vet [-list] [-timing] [-budget <duration>] [./...]") }
+	for i := 0; i < len(args); i++ {
+		switch arg := args[i]; arg {
 		case "-list", "--list":
 			list = true
+		case "-timing", "--timing":
+			timing = true
+		case "-budget", "--budget":
+			if i+1 >= len(args) {
+				fmt.Fprintln(os.Stderr, "classpack-vet: -budget needs a duration (e.g. -budget 30s)")
+				return 2
+			}
+			i++
+			d, err := time.ParseDuration(args[i])
+			if err != nil || d <= 0 {
+				fmt.Fprintf(os.Stderr, "classpack-vet: bad -budget %q: want a positive duration\n", args[i])
+				return 2
+			}
+			budget = d
 		case "./...", ".":
 			// accepted for go-vet muscle memory; the scan is always
 			// module-wide
 		case "-h", "-help", "--help":
-			fmt.Fprintln(os.Stderr, "usage: classpack-vet [-list] [./...]")
+			usage()
 			return 2
 		default:
 			fmt.Fprintf(os.Stderr, "classpack-vet: unknown argument %q\n", arg)
+			usage()
 			return 2
 		}
 	}
 	if list {
 		for _, c := range analysis.Suite() {
-			fmt.Printf("%-12s %s\n", c.Analyzer.Name, c.Analyzer.Doc)
+			fmt.Printf("%-14s %s\n", c.Analyzer.Name, c.Analyzer.Doc)
 		}
 		return 0
 	}
@@ -54,10 +82,20 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "classpack-vet: locating go.mod: %v\n", err)
 		return 1
 	}
-	diags, err := analysis.Vet(root)
+	diags, timings, err := analysis.VetTimed(root)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "classpack-vet: %v\n", err)
 		return 1
+	}
+	var total time.Duration
+	for _, t := range timings {
+		total += t.Elapsed
+	}
+	if timing {
+		for _, t := range timings {
+			fmt.Fprintf(os.Stderr, "%-16s %8.3fs\n", t.Name, t.Elapsed.Seconds())
+		}
+		fmt.Fprintf(os.Stderr, "%-16s %8.3fs\n", "total", total.Seconds())
 	}
 	analysis.TrimDiagnosticPaths(diags, root)
 	for _, d := range diags {
@@ -65,6 +103,11 @@ func run(args []string) int {
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "classpack-vet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	if budget > 0 && total > budget {
+		fmt.Fprintf(os.Stderr, "classpack-vet: suite took %v, over the %v budget — profile with -timing and trim the slow analyzer\n",
+			total.Round(time.Millisecond), budget)
 		return 1
 	}
 	return 0

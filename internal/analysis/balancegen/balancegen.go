@@ -1,0 +1,134 @@
+// Package balancegen implements the balancegen analyzer: the
+// generalized paired-call check for the daemon layer. Where poolbalance
+// pairs sync.Pool.Get with Put, balancegen pairs
+//
+//   - sync.Mutex / sync.RWMutex Lock with Unlock (and RLock with
+//     RUnlock, tracked as a separate discipline on the same mutex), and
+//   - atomic gauge increments with their decrements: an .Add with a
+//     negated argument on a sync/atomic Int32/Int64/Uint32/Uint64
+//     balances an .Add with a positive one (the admission queue's
+//     waiters depth, mem_inflight accounting).
+//
+// Both must balance on every path out of the function — a deferred
+// release anywhere, or a plain release between the acquire and each
+// later return — including early error returns, which is where the real
+// bugs hide. The engine's accessor support means a release routed
+// through a named cleanup closure (`unqueue := func() { ... }`) or a
+// package-level helper still counts on the paths that call it.
+//
+// An atomic with increments but no decrement anywhere in the package is
+// a monotonic counter (par's work-claim index, the metrics counters),
+// not a gauge, and is deliberately not reported; mutexes get no such
+// out — a Lock with no Unlock in sight is a bug wherever it lives.
+package balancegen
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"classpack/internal/analysis/framework"
+	"classpack/internal/analysis/guard"
+	"classpack/internal/analysis/pairs"
+)
+
+// Analyzer flags lock/unlock and gauge inc/dec pairs that miss a
+// release on some return path.
+var Analyzer = &framework.Analyzer{
+	Name: "balancegen",
+	Doc:  "report Lock/Unlock, RLock/RUnlock, and atomic gauge inc/dec pairs unbalanced on some return path",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	pairs.Check(pairs.Config{
+		Info:  pass.Info,
+		Files: pass.Files,
+		Classify: func(call *ast.CallExpr) (pairs.Res, pairs.Kind) {
+			if mu, locking := guard.MutexOp(pass.Info, call); mu != nil {
+				class := "lock"
+				if name := call.Fun.(*ast.SelectorExpr).Sel.Name; name == "RLock" || name == "RUnlock" {
+					class = "rlock"
+				}
+				if locking {
+					return pairs.Res{Obj: mu, Class: class}, pairs.Acquire
+				}
+				return pairs.Res{Obj: mu, Class: class}, pairs.Release
+			}
+			if gauge, dec := gaugeOp(pass.Info, call); gauge != nil {
+				if dec {
+					return pairs.Res{Obj: gauge, Class: "gauge"}, pairs.Release
+				}
+				return pairs.Res{Obj: gauge, Class: "gauge"}, pairs.Acquire
+			}
+			return pairs.Res{}, pairs.None
+		},
+		// Locks and gauge tokens are effects, not values: returning the
+		// new count does not hand the obligation to the caller.
+		TrackEscapes: false,
+		Enforce: func(res pairs.Res, releasedInPackage bool) bool {
+			if res.Class == "gauge" {
+				return releasedInPackage
+			}
+			return true
+		},
+		NeverMsg: func(res pairs.Res) string {
+			switch res.Class {
+			case "rlock":
+				return fmt.Sprintf("%s.RLock is never released in this function (no RUnlock)", res.Obj.Name())
+			case "gauge":
+				return fmt.Sprintf("gauge %s is incremented but never decremented in this function", res.Obj.Name())
+			}
+			return fmt.Sprintf("%s.Lock is never released in this function (no Unlock)", res.Obj.Name())
+		},
+		DropMsg: func(res pairs.Res) string {
+			switch res.Class {
+			case "rlock":
+				return fmt.Sprintf("return path exits with %s still read-locked (no RUnlock before return)", res.Obj.Name())
+			case "gauge":
+				return fmt.Sprintf("return path exits without decrementing gauge %s", res.Obj.Name())
+			}
+			return fmt.Sprintf("return path exits with %s still locked (no Unlock before return)", res.Obj.Name())
+		},
+		Reportf: pass.Reportf,
+	})
+	return nil
+}
+
+// gaugeOp resolves call to an Add on a typed sync/atomic integer,
+// returning the gauge's variable/field object and whether the argument
+// is negated (a decrement).
+func gaugeOp(info *types.Info, call *ast.CallExpr) (gauge types.Object, dec bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Add" || len(call.Args) != 1 {
+		return nil, false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return nil, false
+	}
+	t := tv.Type
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync/atomic" {
+		return nil, false
+	}
+	switch named.Obj().Name() {
+	case "Int32", "Int64", "Uint32", "Uint64":
+	default:
+		return nil, false
+	}
+	if u, isNeg := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); isNeg && u.Op == token.SUB {
+		dec = true
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		return info.Uses[x], dec
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel], dec
+	}
+	return nil, false
+}

@@ -1,0 +1,12 @@
+package balancegen_test
+
+import (
+	"testing"
+
+	"classpack/internal/analysis/analysistest"
+	"classpack/internal/analysis/balancegen"
+)
+
+func TestBalancegen(t *testing.T) {
+	analysistest.Run(t, "testdata", balancegen.Analyzer, "balancegen")
+}

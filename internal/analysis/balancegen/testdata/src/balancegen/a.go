@@ -1,0 +1,103 @@
+// Fixture for the balancegen analyzer: Lock/Unlock, RLock/RUnlock, and
+// atomic gauge inc/dec must balance on every path out of the function.
+package fixture
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+type server struct {
+	mu       sync.Mutex
+	rw       sync.RWMutex
+	waiters  atomic.Int64
+	claimIdx atomic.Int64
+}
+
+// LockDropOnError exits the error path with the mutex held.
+func LockDropOnError(s *server, fail bool) error {
+	s.mu.Lock()
+	if fail {
+		return errors.New("oops") // want `return path exits with mu still locked \(no Unlock before return\)`
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// LockNeverReleased takes the lock and forgets it entirely.
+func LockNeverReleased(s *server) {
+	s.mu.Lock() // want `mu\.Lock is never released in this function \(no Unlock\)`
+}
+
+// DeferredUnlock is balanced on every path; no finding.
+func DeferredUnlock(s *server, fail bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fail {
+		return errors.New("oops")
+	}
+	return nil
+}
+
+// ReadLockDrop exits a path still read-locked; the RLock discipline is
+// tracked separately from Lock on the same mutex.
+func ReadLockDrop(s *server, fail bool) error {
+	s.rw.RLock()
+	if fail {
+		return errors.New("oops") // want `return path exits with rw still read-locked \(no RUnlock before return\)`
+	}
+	s.rw.RUnlock()
+	return nil
+}
+
+// SingleflightShape unlocks on both branches before returning; no
+// finding.
+func SingleflightShape(s *server, hit bool) int {
+	s.mu.Lock()
+	if hit {
+		s.mu.Unlock()
+		return 1
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// GaugeDropOnError leaks a waiter on the error path.
+func GaugeDropOnError(s *server, fail bool) error {
+	s.waiters.Add(1)
+	if fail {
+		return errors.New("oops") // want `return path exits without decrementing gauge waiters`
+	}
+	s.waiters.Add(-1)
+	return nil
+}
+
+// GaugeClosureAccessor routes the decrement through a named cleanup
+// closure; the paths that call it balance. The early return that does
+// not is the finding.
+func GaugeClosureAccessor(s *server, fail bool) error {
+	s.waiters.Add(1)
+	unqueue := func() { s.waiters.Add(-1) }
+	if fail {
+		return errors.New("oops") // want `return path exits without decrementing gauge waiters`
+	}
+	unqueue()
+	return nil
+}
+
+// ClaimCounter increments an atomic that nothing ever decrements: a
+// monotonic counter, not a gauge; no finding.
+func ClaimCounter(s *server) int64 {
+	return s.claimIdx.Add(1)
+}
+
+// AllowedHandoff documents an intentional imbalance: the lock is
+// released by the goroutine the work is handed to.
+func AllowedHandoff(s *server) {
+	//classpack:vet-allow balancegen fixture: unlock happens on the worker goroutine
+	s.mu.Lock()
+	go func() {
+		s.mu.Unlock()
+	}()
+}

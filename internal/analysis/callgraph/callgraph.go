@@ -1,0 +1,120 @@
+// Package callgraph builds the lightweight intra-package call graph the
+// second-generation analyzers (ctxflow in particular) reason over: which
+// package-level functions and methods each function calls
+// *synchronously*. Calls made from a `go` statement — and the bodies of
+// function literals launched by one — are excluded, because work handed
+// to another goroutine no longer blocks the caller; that distinction is
+// exactly what a request-path analysis needs. Deferred calls run on the
+// calling goroutine and are included.
+//
+// The graph is deliberately intra-package and name-resolved (no
+// interface devirtualization, no function-value tracking): the analyzers
+// built on it enforce invariants within one layer (serve, castore), and
+// a missed dynamic edge means a missed finding, never a false one.
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Graph is the synchronous intra-package call graph of one package.
+type Graph struct {
+	// Decls maps each package-level function or method object to its
+	// declaration.
+	Decls map[types.Object]*ast.FuncDecl
+	// callees maps a function object to the package-local functions its
+	// body calls synchronously (deduplicated, order arbitrary).
+	callees map[types.Object][]types.Object
+}
+
+// Build constructs the graph over the package's files.
+func Build(files []*ast.File, info *types.Info) *Graph {
+	g := &Graph{
+		Decls:   make(map[types.Object]*ast.FuncDecl),
+		callees: make(map[types.Object][]types.Object),
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj := info.Defs[fn.Name]; obj != nil {
+				g.Decls[obj] = fn
+			}
+		}
+	}
+	for obj, fn := range g.Decls {
+		seen := make(map[types.Object]bool)
+		walkSync(fn.Body, func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			callee := CalleeOf(info, call)
+			if callee == nil || seen[callee] {
+				return
+			}
+			if _, local := g.Decls[callee]; local {
+				seen[callee] = true
+				g.callees[obj] = append(g.callees[obj], callee)
+			}
+		})
+	}
+	return g
+}
+
+// CalleeOf resolves a call expression to the object of its callee, or
+// nil for calls through function values, builtins, and conversions.
+func CalleeOf(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// walkSync visits every node of body reachable on the calling
+// goroutine: it descends into function literals (they may be invoked or
+// deferred here) but not into `go` statements, whose call and literal
+// body run elsewhere.
+func walkSync(body ast.Node, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		visit(n)
+		return true
+	})
+}
+
+// WalkSync exposes the synchronous walk for analyzers that need the
+// same "skip goroutine bodies" traversal over arbitrary nodes.
+func WalkSync(body ast.Node, visit func(ast.Node)) { walkSync(body, visit) }
+
+// ReachableFrom returns the set of functions reachable from any root by
+// following synchronous intra-package calls, roots included.
+func (g *Graph) ReachableFrom(roots []types.Object) map[types.Object]bool {
+	reach := make(map[types.Object]bool)
+	var stack []types.Object
+	for _, r := range roots {
+		if r != nil && !reach[r] {
+			reach[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, callee := range g.callees[cur] {
+			if !reach[callee] {
+				reach[callee] = true
+				stack = append(stack, callee)
+			}
+		}
+	}
+	return reach
+}

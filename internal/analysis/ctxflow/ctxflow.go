@@ -1,0 +1,182 @@
+// Package ctxflow implements the ctxflow analyzer: code reachable from
+// a request path must observe context cancellation when it blocks. A
+// request path is anything an HTTP handler, a context-taking entry
+// point, or the daemon's Serve loop runs synchronously — computed over
+// the intra-package call graph, goroutine bodies excluded (work handed
+// to another goroutine no longer blocks the request).
+//
+// On those paths the analyzer flags the blocking shapes that cannot be
+// cancelled:
+//
+//   - time.Sleep: sleeps through shutdown; use a ctx-aware wait
+//     (select on ctx.Done and a timer).
+//   - bare channel sends/receives outside a select: block forever if
+//     the peer is gone. Receiving from a Done() channel is exempt — it
+//     *is* the cancellation signal. Operations inside a select's comm
+//     clauses are exempt; pairing them with a ctx.Done or default arm
+//     is the select's business, and the daemon's selects do.
+//   - calls to methods named Acquire, Wait, or Probe without a
+//     context.Context argument: the admission and degrade layers'
+//     blocking entry points, invoked in a form that cannot be
+//     interrupted.
+//
+// Blocking that is provably bounded (a receive the same function just
+// fed, a Serve shutdown handshake) is suppressed case by case with a
+// reasoned //classpack:vet-allow ctxflow directive.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"classpack/internal/analysis/callgraph"
+	"classpack/internal/analysis/framework"
+)
+
+// Analyzer flags uncancellable blocking on request paths.
+var Analyzer = &framework.Analyzer{
+	Name: "ctxflow",
+	Doc:  "report blocking calls on request paths that do not observe context cancellation",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	graph := callgraph.Build(pass.Files, pass.Info)
+	var roots []types.Object
+	for obj, fn := range graph.Decls {
+		if isRequestRoot(pass.Info, fn) {
+			roots = append(roots, obj)
+		}
+	}
+	reach := graph.ReachableFrom(roots)
+	for obj := range reach {
+		checkFunc(pass, graph.Decls[obj])
+	}
+	return nil
+}
+
+// isRequestRoot reports whether fn starts a request path: an HTTP
+// handler shape, a context-taking function, or the Serve loop itself.
+func isRequestRoot(info *types.Info, fn *ast.FuncDecl) bool {
+	if fn.Name.Name == "Serve" {
+		return true
+	}
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if isNamed(tv.Type, "net/http", "Request") || // *http.Request
+			isNamed(tv.Type, "net/http", "ResponseWriter") ||
+			isNamed(tv.Type, "context", "Context") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFunc flags the uncancellable blocking shapes in one reachable
+// function body, goroutine bodies excluded.
+func checkFunc(pass *framework.Pass, fn *ast.FuncDecl) {
+	if fn == nil || fn.Body == nil {
+		return
+	}
+	// Channel operations that are a select's comm clauses are the
+	// select's business, not bare blocking.
+	inComm := make(map[ast.Node]bool)
+	callgraph.WalkSync(fn.Body, func(n ast.Node) {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return
+		}
+		for _, clause := range sel.Body.List {
+			comm, ok := clause.(*ast.CommClause)
+			if !ok || comm.Comm == nil {
+				continue
+			}
+			ast.Inspect(comm.Comm, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.UnaryExpr:
+					inComm[x] = true
+				case *ast.SendStmt:
+					inComm[x] = true
+				}
+				return true
+			})
+		}
+	})
+	callgraph.WalkSync(fn.Body, func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, x)
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !inComm[x] && !isDoneChannel(x.X) {
+				pass.Reportf(x.Pos(),
+					"bare channel receive on a request path blocks without observing cancellation: select on it with ctx.Done")
+			}
+		case *ast.SendStmt:
+			if !inComm[x] {
+				pass.Reportf(x.Pos(),
+					"bare channel send on a request path blocks without observing cancellation: select on it with ctx.Done")
+			}
+		}
+	})
+}
+
+// checkCall flags time.Sleep and context-free blocking entry points.
+func checkCall(pass *framework.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		if pkg, isPkg := pass.Info.Uses[id].(*types.PkgName); isPkg {
+			if pkg.Imported().Path() == "time" && sel.Sel.Name == "Sleep" {
+				pass.Reportf(call.Pos(),
+					"time.Sleep on a request path cannot be cancelled: select on ctx.Done and a timer instead")
+			}
+			return
+		}
+	}
+	switch sel.Sel.Name {
+	case "Acquire", "Wait", "Probe":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if tv, ok := pass.Info.Types[arg]; ok && tv.Type != nil && isNamed(tv.Type, "context", "Context") {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(),
+		"%s call without a context argument on a request path cannot be interrupted once it blocks", sel.Sel.Name)
+}
+
+// isDoneChannel reports whether expr is a call to a method named Done —
+// receiving from ctx.Done() is the cancellation signal itself.
+func isDoneChannel(expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Done"
+}
+
+// isNamed reports whether t (or its pointee) is the named type
+// pkgPath.name — interfaces included.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

@@ -1,0 +1,101 @@
+// Fixture for the ctxflow analyzer: blocking on a request path must
+// observe context cancellation.
+package fixture
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+type limiter struct {
+	slots chan struct{}
+}
+
+// Acquire blocks until a slot frees; the ctx-taking form is the
+// cancellable one.
+func (l *limiter) Acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Wait is the uncancellable form the analyzer exists to keep
+// off request paths. The handler below pulls it onto one, so both the
+// context-free call site and the bare send in its body are findings.
+func (l *limiter) Wait() {
+	l.slots <- struct{}{} // want `bare channel send on a request path blocks without observing cancellation`
+}
+
+// HandleGet is an HTTP-handler root: everything it calls synchronously
+// is a request path.
+func HandleGet(w http.ResponseWriter, r *http.Request, l *limiter) {
+	retryBackoff()
+	l.Wait() // want `Wait call without a context argument on a request path cannot be interrupted once it blocks`
+	waitForResult(r.Context(), l)
+}
+
+// retryBackoff is reachable from the handler; its sleep stalls the
+// request through shutdown.
+func retryBackoff() {
+	time.Sleep(50 * time.Millisecond) // want `time\.Sleep on a request path cannot be cancelled`
+}
+
+// waitForResult blocks on a bare receive instead of selecting with
+// ctx.Done.
+func waitForResult(ctx context.Context, l *limiter) {
+	<-l.slots // want `bare channel receive on a request path blocks without observing cancellation`
+	_ = ctx
+}
+
+// CtxAwareWait is the blessed shape: every blocking op is a select arm
+// next to ctx.Done; no finding.
+func CtxAwareWait(ctx context.Context, l *limiter) error {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	case v := <-l.slots:
+		_ = v
+		return nil
+	}
+}
+
+// DoneReceiveIsFine: receiving from Done *is* observing cancellation;
+// no finding.
+func DoneReceiveIsFine(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// BackgroundLoop hands the blocking to another goroutine; goroutine
+// bodies are not request paths, so no finding.
+func BackgroundLoop(ctx context.Context, l *limiter) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case l.slots <- struct{}{}:
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+}
+
+// unreachableHelper is never called from a root; its sleep is not a
+// request-path finding.
+func unreachableHelper() {
+	time.Sleep(time.Second)
+}
+
+// AllowedHandshake documents a provably bounded receive; no finding.
+func AllowedHandshake(ctx context.Context, done chan error) error {
+	//classpack:vet-allow ctxflow fixture: the peer always sends exactly once before this point
+	return <-done
+}

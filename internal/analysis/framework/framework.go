@@ -14,7 +14,10 @@
 // doc comment of the enclosing top-level declaration (which suppresses
 // the analyzer for that whole declaration). The reason is mandatory: a
 // directive without one is itself reported, so every suppression in the
-// tree documents why the invariant provably holds.
+// tree documents why the invariant provably holds. A directive that no
+// longer suppresses anything is reported too — stale allows rot
+// silently, hiding the moment the code they excused was deleted or the
+// analyzer stopped firing there.
 package framework
 
 import (
@@ -25,6 +28,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer is one named static analysis.
@@ -79,13 +83,15 @@ var directiveRE = regexp.MustCompile(`^//classpack:vet-allow\s+(\S+)(?:\s+(.*))?
 type allowSpan struct {
 	analyzer string
 	from, to int
+	pos      token.Position // the directive comment itself, for staleness reports
+	used     bool           // set once the span suppresses a diagnostic
 }
 
 // collectAllows gathers the directive spans of one file. Directives with
 // a missing reason are reported as findings of the pseudo-analyzer
 // "vetdirective" so suppressions cannot silently lose their rationale.
-func collectAllows(fset *token.FileSet, file *ast.File, report func(Diagnostic)) []allowSpan {
-	var spans []allowSpan
+func collectAllows(fset *token.FileSet, file *ast.File, report func(Diagnostic)) []*allowSpan {
+	var spans []*allowSpan
 	directiveAt := map[int]bool{} // lines holding a directive comment
 
 	addDirective := func(c *ast.Comment, from, to int) {
@@ -103,7 +109,7 @@ func collectAllows(fset *token.FileSet, file *ast.File, report func(Diagnostic))
 			})
 			return
 		}
-		spans = append(spans, allowSpan{analyzer: m[1], from: from, to: to})
+		spans = append(spans, &allowSpan{analyzer: m[1], from: from, to: to, pos: fset.Position(c.Pos())})
 	}
 
 	// Doc-comment directives cover their whole declaration.
@@ -138,24 +144,38 @@ func collectAllows(fset *token.FileSet, file *ast.File, report func(Diagnostic))
 	return spans
 }
 
-// allowed reports whether d falls inside a matching directive span.
-func allowed(spans []allowSpan, d Diagnostic) bool {
+// allowed reports whether d falls inside a matching directive span,
+// marking the span used so staleness can be reported for the rest.
+func allowed(spans []*allowSpan, d Diagnostic) bool {
+	hit := false
 	for _, s := range spans {
 		if s.analyzer == d.Analyzer && d.Pos.Line >= s.from && d.Pos.Line <= s.to {
-			return true
+			s.used = true
+			hit = true
+			// Keep scanning: overlapping spans for the same analyzer
+			// (line directive inside an allowed declaration) are all
+			// exercised by this diagnostic.
 		}
 	}
-	return false
+	return hit
 }
 
 // Run executes the analyzers over pkg and returns the surviving
 // diagnostics, sorted by position. Directive suppression is applied
 // here so every analyzer gets it uniformly.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunTimed(pkg, analyzers, nil)
+}
+
+// RunTimed is Run with per-analyzer wall-time accounting: when timings
+// is non-nil, each analyzer's duration over this package is added to its
+// entry. cmd/classpack-vet sums these across packages for the lint-time
+// budget report.
+func RunTimed(pkg *Package, analyzers []*Analyzer, timings map[string]time.Duration) ([]Diagnostic, error) {
 	var raw []Diagnostic
 	collect := func(d Diagnostic) { raw = append(raw, d) }
 
-	var spans []allowSpan
+	var spans []*allowSpan
 	for _, f := range pkg.Files {
 		spans = append(spans, collectAllows(pkg.Fset, f, collect)...)
 	}
@@ -168,7 +188,12 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Info:     pkg.Info,
 			report:   collect,
 		}
-		if err := a.Run(pass); err != nil {
+		start := time.Now()
+		err := a.Run(pass)
+		if timings != nil {
+			timings[a.Name] += time.Since(start)
+		}
+		if err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 		}
 	}
@@ -176,6 +201,24 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	for _, d := range raw {
 		if !allowed(spans, d) {
 			out = append(out, d)
+		}
+	}
+	// A span no diagnostic landed in is stale: either the code it
+	// excused is gone or the analyzer no longer fires there. Only spans
+	// for analyzers that actually ran are judged — a directive for a
+	// gated-off analyzer is that driver run's business, not this one's.
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for _, s := range spans {
+		if !s.used && ran[s.analyzer] {
+			out = append(out, Diagnostic{
+				Analyzer: "vetdirective",
+				Pos:      s.pos,
+				Message: fmt.Sprintf("unused vet-allow directive for %q: no %s finding here — delete the stale suppression",
+					s.analyzer, s.analyzer),
+			})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -1,0 +1,190 @@
+package framework
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// markerAnalyzer reports every call to a function named "flagme", so
+// tests can place findings precisely.
+var markerAnalyzer = &Analyzer{
+	Name: "marker",
+	Doc:  "test analyzer: flags calls to flagme",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "flagme" {
+					pass.Reportf(call.Pos(), "flagme called")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// loadSrc type-checks one synthetic file as its own package.
+func loadSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	root, err := moduleRootFromWd()
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir, "classpack-vet/framework-test")
+	if err != nil {
+		t.Fatalf("loading synthetic package: %v", err)
+	}
+	return pkg
+}
+
+func moduleRootFromWd() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}
+
+func messages(diags []Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.Analyzer+": "+d.Message)
+	}
+	return out
+}
+
+// TestUsedAllowSuppresses pins the baseline: a directive with a reason
+// on the flagged line suppresses the finding and is not reported stale.
+func TestUsedAllowSuppresses(t *testing.T) {
+	pkg := loadSrc(t, `package p
+func flagme() {}
+func f() {
+	//classpack:vet-allow marker the test wants this one suppressed
+	flagme()
+}
+`)
+	diags, err := Run(pkg, []*Analyzer{markerAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("want no diagnostics, got %q", messages(diags))
+	}
+}
+
+// TestUnusedAllowReported pins the staleness check: a directive that
+// suppresses nothing is itself a finding.
+func TestUnusedAllowReported(t *testing.T) {
+	pkg := loadSrc(t, `package p
+func fine() {}
+func f() {
+	//classpack:vet-allow marker nothing here fires anymore
+	fine()
+}
+`)
+	diags, err := Run(pkg, []*Analyzer{markerAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "vetdirective" ||
+		!strings.Contains(diags[0].Message, `unused vet-allow directive for "marker"`) {
+		t.Errorf("want one unused-directive diagnostic, got %q", messages(diags))
+	}
+	if len(diags) == 1 && diags[0].Pos.Line != 4 {
+		t.Errorf("diagnostic should anchor at the directive (line 4), got line %d", diags[0].Pos.Line)
+	}
+}
+
+// TestUnusedAllowForInactiveAnalyzerIgnored: a directive naming an
+// analyzer that did not run on this package is not judged stale — the
+// driver's package gating decides where each analyzer runs.
+func TestUnusedAllowForInactiveAnalyzerIgnored(t *testing.T) {
+	pkg := loadSrc(t, `package p
+func f() {
+	//classpack:vet-allow someother this analyzer is gated off here
+	_ = 1
+}
+`)
+	diags, err := Run(pkg, []*Analyzer{markerAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("want no diagnostics for inactive-analyzer directive, got %q", messages(diags))
+	}
+}
+
+// TestMissingReasonReported: a directive without a reason is reported
+// and does not suppress (nor count as stale — it never became a span).
+func TestMissingReasonReported(t *testing.T) {
+	pkg := loadSrc(t, `package p
+func flagme() {}
+func f() {
+	//classpack:vet-allow marker
+	flagme()
+}
+`)
+	diags, err := Run(pkg, []*Analyzer{markerAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawMissing, sawFinding bool
+	for _, d := range diags {
+		if d.Analyzer == "vetdirective" && strings.Contains(d.Message, "missing its reason") {
+			sawMissing = true
+		}
+		if d.Analyzer == "marker" {
+			sawFinding = true
+		}
+	}
+	if !sawMissing || !sawFinding || len(diags) != 2 {
+		t.Errorf("want missing-reason + unsuppressed finding, got %q", messages(diags))
+	}
+}
+
+// TestDocCommentAllowCoversDecl: a doc-comment directive spans its whole
+// declaration and is used if the analyzer fires anywhere inside.
+func TestDocCommentAllowCoversDecl(t *testing.T) {
+	pkg := loadSrc(t, `package p
+func flagme() {}
+
+// f exercises the declaration-scoped form.
+//classpack:vet-allow marker the whole function is excused
+func f() {
+	if true {
+		flagme()
+	}
+}
+`)
+	diags, err := Run(pkg, []*Analyzer{markerAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("want no diagnostics, got %q", messages(diags))
+	}
+}

@@ -1,0 +1,105 @@
+// Package goroutineleak implements the goroutineleak analyzer: a
+// goroutine launched in the daemon layer must have a termination path.
+// The daemon runs for weeks; a background loop with no way out survives
+// drain, pins its captures, and turns every config reload into a slow
+// leak.
+//
+// The check is structural, tuned for zero false negatives on the shapes
+// the tree uses: a goroutine body (function literal, or a same-package
+// function the `go` statement names) terminates if every loop in it can
+// exit. `for range ch` exits when the channel closes; a conditioned
+// `for cond {}` exits when the condition falls; an unconditioned
+// `for {}` must contain a return or break on the calling goroutine —
+// typically the `case <-ctx.Done(): return` arm of its select. An
+// unconditioned loop with neither is reported at the `go` statement.
+// Exits inside nested function literals or nested `go` statements do
+// not count: they leave some other frame.
+package goroutineleak
+
+import (
+	"go/ast"
+	"go/token"
+
+	"classpack/internal/analysis/callgraph"
+	"classpack/internal/analysis/framework"
+)
+
+// Analyzer flags go statements whose body can never terminate.
+var Analyzer = &framework.Analyzer{
+	Name: "goroutineleak",
+	Doc:  "report go statements launching loops with no termination path (no return or break)",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	graph := callgraph.Build(pass.Files, pass.Info)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			if lit, isLit := g.Call.Fun.(*ast.FuncLit); isLit {
+				body = lit.Body
+			} else if callee := callgraph.CalleeOf(pass.Info, g.Call); callee != nil {
+				if decl, local := graph.Decls[callee]; local {
+					body = decl.Body
+				}
+			}
+			if body == nil {
+				return true // cross-package target: nothing to inspect
+			}
+			checkBody(pass, g, body)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBody reports every unconditioned loop in a goroutine body that
+// has no return or break of its own.
+func checkBody(pass *framework.Pass, g *ast.GoStmt, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok {
+			// Nested goroutines are their own launch sites; range loops
+			// exit when the range (a closed channel, a slice) ends.
+			_, isGo := n.(*ast.GoStmt)
+			return !isGo
+		}
+		if loop.Cond != nil {
+			return true
+		}
+		if hasExit(loop.Body) {
+			return true
+		}
+		pass.Reportf(g.Pos(),
+			"goroutine runs an unbounded for-loop with no return or break: tie its termination to ctx.Done, drain, or Close")
+		return true
+	})
+}
+
+// hasExit reports whether body contains a return or break that executes
+// on this goroutine's frame (not inside a nested function literal or
+// nested go statement).
+func hasExit(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.BranchStmt:
+			if x.Tok == token.BREAK || x.Tok == token.GOTO {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package goroutineleak_test
+
+import (
+	"testing"
+
+	"classpack/internal/analysis/analysistest"
+	"classpack/internal/analysis/goroutineleak"
+)
+
+func TestGoroutineleak(t *testing.T) {
+	analysistest.Run(t, "testdata", goroutineleak.Analyzer, "goroutineleak")
+}

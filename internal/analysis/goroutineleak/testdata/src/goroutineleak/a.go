@@ -1,0 +1,82 @@
+// Fixture for the goroutineleak analyzer: goroutines launched in the
+// daemon layer must be able to terminate.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+// LeakyTicker spins forever: no return, no break, nothing to stop it.
+func LeakyTicker(interval time.Duration) {
+	go func() { // want `goroutine runs an unbounded for-loop with no return or break`
+		for {
+			time.Sleep(interval)
+		}
+	}()
+}
+
+// CtxBound exits through the ctx.Done arm; no finding.
+func CtxBound(ctx context.Context, interval time.Duration) {
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+// RangeOverChannel drains until close; no finding.
+func RangeOverChannel(work chan int) {
+	go func() {
+		for w := range work {
+			_ = w
+		}
+	}()
+}
+
+// namedWorker loops forever with no exit.
+func namedWorker(ch chan int) {
+	for {
+		ch <- 1
+	}
+}
+
+// LaunchNamed launches a same-package function; the analyzer follows
+// the name to its body.
+func LaunchNamed(ch chan int) {
+	go namedWorker(ch) // want `goroutine runs an unbounded for-loop with no return or break`
+}
+
+// NoLoop runs once and exits; no finding.
+func NoLoop(done chan struct{}) {
+	go func() {
+		done <- struct{}{}
+	}()
+}
+
+// InnerExitDoesNotCount: the return inside the nested literal leaves
+// that literal, not the goroutine's loop.
+func InnerExitDoesNotCount(fns chan func()) {
+	go func() { // want `goroutine runs an unbounded for-loop with no return or break`
+		for {
+			f := func() { return }
+			f()
+		}
+	}()
+}
+
+// AllowedForever documents a deliberately process-lifetime goroutine.
+func AllowedForever() {
+	//classpack:vet-allow goroutineleak fixture: lives for the whole process on purpose
+	go func() {
+		for {
+			time.Sleep(time.Hour)
+		}
+	}()
+}

@@ -1,0 +1,142 @@
+// Package guard is the flow-sensitive "guarded access" lattice layered
+// beside the taint engine: for one function body it computes, per source
+// position, which mutexes are held. The guardedfield analyzer uses it to
+// tell a mutex-protected field access from a bare one.
+//
+// The model matches the tree's locking idiom rather than full dataflow:
+// a mutex is held from a Lock/RLock call to the position of the nearest
+// later Unlock/RUnlock of the same mutex — or to the end of the function
+// when the unlock is deferred (or missing; balancegen owns *that*
+// finding). Mutexes are identified by the variable or field object they
+// live in, so `s.mu` in two methods of the same receiver is one mutex
+// as far as one body's facts are concerned.
+package guard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Facts holds the held-mutex intervals of one function body.
+type Facts struct {
+	spans []lockSpan
+}
+
+type lockSpan struct {
+	mutex    types.Object
+	from, to token.Pos
+}
+
+// Analyze computes lock facts for one function body (nil-safe).
+func Analyze(info *types.Info, body *ast.BlockStmt) *Facts {
+	f := &Facts{}
+	if body == nil {
+		return f
+	}
+	type ev struct {
+		mutex    types.Object
+		pos      token.Pos
+		deferred bool
+	}
+	var locks, unlocks []ev
+	ast.Inspect(body, func(n ast.Node) bool {
+		inDefer := false
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			if d, isDefer := n.(*ast.DeferStmt); isDefer {
+				call, inDefer = d.Call, true
+			} else {
+				return true
+			}
+		}
+		if m, locking := MutexOp(info, call); m != nil {
+			if locking {
+				locks = append(locks, ev{m, call.Pos(), inDefer})
+			} else {
+				unlocks = append(unlocks, ev{m, call.Pos(), inDefer})
+			}
+		}
+		return true
+	})
+	for _, l := range locks {
+		end := body.End()
+		deferredUnlock := false
+		for _, u := range unlocks {
+			if u.mutex == l.mutex && u.deferred {
+				deferredUnlock = true
+				break
+			}
+		}
+		if !deferredUnlock {
+			for _, u := range unlocks {
+				if u.mutex == l.mutex && u.pos > l.pos && u.pos < end {
+					end = u.pos
+				}
+			}
+		}
+		f.spans = append(f.spans, lockSpan{l.mutex, l.pos, end})
+	}
+	return f
+}
+
+// MutexOp resolves call to a sync.Mutex/sync.RWMutex lock or unlock
+// operation, returning the mutex's variable/field object and whether it
+// acquires (Lock/RLock) rather than releases (Unlock/RUnlock).
+func MutexOp(info *types.Info, call *ast.CallExpr) (mutex types.Object, locking bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		locking = true
+	case "Unlock", "RUnlock":
+	default:
+		return nil, false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return nil, false
+	}
+	t := tv.Type
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return nil, false
+	}
+	if name := named.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return nil, false
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		return info.Uses[x], locking
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel], locking
+	}
+	return nil, false
+}
+
+// HeldAt reports the mutexes held at pos (possibly empty, never nil
+// semantics callers depend on — just range over it).
+func (f *Facts) HeldAt(pos token.Pos) []types.Object {
+	var out []types.Object
+	for _, s := range f.spans {
+		if pos > s.from && pos < s.to {
+			out = append(out, s.mutex)
+		}
+	}
+	return out
+}
+
+// AnyHeldAt reports whether any mutex is held at pos.
+func (f *Facts) AnyHeldAt(pos token.Pos) bool {
+	for _, s := range f.spans {
+		if pos > s.from && pos < s.to {
+			return true
+		}
+	}
+	return false
+}

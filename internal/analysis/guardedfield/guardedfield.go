@@ -1,0 +1,132 @@
+// Package guardedfield implements the guardedfield analyzer: a struct
+// field must be accessed under one discipline. A field touched through
+// the raw sync/atomic functions (atomic.LoadInt64(&s.f)) in one place
+// and plainly (s.f) in another is a data race the moment both run; a
+// field accessed atomically in one method and under a mutex in another
+// is two disciplines that do not compose — the mutex holder's
+// read-modify-write is not atomic to the Load/Store side.
+//
+// The typed atomics (atomic.Int64, atomic.Bool) are immune by
+// construction — the type system already forces every access through
+// the atomic API — which is exactly why the daemon layer uses them.
+// This analyzer exists to keep the raw-functions-plus-plain-access
+// hybrid from ever getting back in. The guard package's lock lattice
+// distinguishes the two diagnostics: a plain access under a held mutex
+// gets the mixed-discipline message, a bare one the race message.
+package guardedfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"classpack/internal/analysis/framework"
+	"classpack/internal/analysis/guard"
+)
+
+// Analyzer flags struct fields accessed both atomically and plainly.
+var Analyzer = &framework.Analyzer{
+	Name: "guardedfield",
+	Doc:  "report struct fields accessed both via raw sync/atomic functions and plainly (or under a mutex)",
+	Run:  run,
+}
+
+// atomicPrefixes are the raw sync/atomic function families; the
+// function's first &-argument names the field placed under the atomic
+// discipline.
+var atomicPrefixes = []string{"Load", "Store", "Add", "Swap", "CompareAndSwap"}
+
+func run(pass *framework.Pass) error {
+	// Pass 1: every field object that some raw atomic call addresses,
+	// plus the selector nodes inside those calls (they are the atomic
+	// accesses, not violations).
+	atomicFields := make(map[types.Object]bool)
+	inAtomicCall := make(map[*ast.SelectorExpr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isRawAtomic(pass.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if obj := pass.Info.Uses[sel.Sel]; obj != nil && isField(obj) {
+					atomicFields[obj] = true
+					inAtomicCall[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: plain accesses of those fields, classified by the lock
+	// lattice of their enclosing function.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			facts := guard.Analyze(pass.Info, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || inAtomicCall[sel] {
+					return true
+				}
+				obj := pass.Info.Uses[sel.Sel]
+				if obj == nil || !atomicFields[obj] {
+					return true
+				}
+				if facts.AnyHeldAt(sel.Pos()) {
+					pass.Reportf(sel.Pos(),
+						"field %s is accessed atomically elsewhere but under a mutex here: two disciplines that do not compose — pick one",
+						obj.Name())
+				} else {
+					pass.Reportf(sel.Pos(),
+						"field %s is accessed atomically elsewhere but plainly here: racy unless every access goes through sync/atomic",
+						obj.Name())
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isRawAtomic reports whether call invokes a package-level sync/atomic
+// function of one of the Load/Store/Add/Swap/CompareAndSwap families.
+func isRawAtomic(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "sync/atomic" {
+		return false
+	}
+	for _, p := range atomicPrefixes {
+		if len(sel.Sel.Name) > len(p) && sel.Sel.Name[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}
+
+// isField reports whether obj is a struct field.
+func isField(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.IsField()
+}

@@ -1,0 +1,12 @@
+package guardedfield_test
+
+import (
+	"testing"
+
+	"classpack/internal/analysis/analysistest"
+	"classpack/internal/analysis/guardedfield"
+)
+
+func TestGuardedfield(t *testing.T) {
+	analysistest.Run(t, "testdata", guardedfield.Analyzer, "guardedfield")
+}

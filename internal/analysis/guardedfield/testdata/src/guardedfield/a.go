@@ -1,0 +1,64 @@
+// Fixture for the guardedfield analyzer: a field accessed through the
+// raw sync/atomic functions must not also be accessed plainly or under
+// a mutex.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	mu      sync.Mutex
+	hits    int64
+	misses  int64
+	typed   atomic.Int64
+	plainly int64
+}
+
+// RecordHit uses the raw atomic discipline on hits.
+func RecordHit(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// SnapshotRacy reads hits plainly: racy against RecordHit.
+func SnapshotRacy(c *counters) int64 {
+	return c.hits // want `field hits is accessed atomically elsewhere but plainly here`
+}
+
+// RecordMiss mixes disciplines: misses is written atomically here and
+// read under the mutex in SnapshotGuarded.
+func RecordMiss(c *counters) {
+	atomic.AddInt64(&c.misses, 1)
+}
+
+// SnapshotGuarded holds the mutex while reading misses, but the mutex
+// does not exclude RecordMiss's atomic add.
+func SnapshotGuarded(c *counters) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := c.misses // want `field misses is accessed atomically elsewhere but under a mutex here`
+	return v
+}
+
+// TypedAtomicIsFine: the typed atomic forces every access through the
+// API; no finding.
+func TypedAtomicIsFine(c *counters) int64 {
+	c.typed.Add(1)
+	return c.typed.Load()
+}
+
+// PlainOnlyIsFine: a field never touched atomically has one discipline
+// already; no finding.
+func PlainOnlyIsFine(c *counters) int64 {
+	c.plainly++
+	return c.plainly
+}
+
+// AllowedInit documents a pre-publication plain write; no finding.
+func AllowedInit() *counters {
+	c := &counters{}
+	//classpack:vet-allow guardedfield fixture: no other goroutine can see c before it is returned
+	c.hits = 0
+	return c
+}

@@ -1,0 +1,445 @@
+// Package pairs is the generalized paired-call engine behind the
+// poolbalance and balancegen analyzers: an *acquire* call on a resource
+// (sync.Pool.Get, Mutex.Lock, a gauge's Add(1)) must be matched by a
+// *release* (Put, Unlock, Add(-1)) on every path out of the function —
+// a deferred release anywhere, or a plain release positioned between
+// the acquire and each later return.
+//
+// The engine understands two ownership idioms. Package-level accessor
+// functions whose body performs only acquires (or only releases) of one
+// resource act as that operation at their call sites — the
+// getFlateWriter/putFlateWriter pattern. Local closures do the same
+// within their defining function — the `unqueue := func() { ... }`
+// pattern the admission queue uses — so a release routed through a
+// named cleanup closure still balances the paths that call it. A
+// function whose body is internally balanced (both acquires and
+// releases) is no accessor at all: it manages the resource itself.
+//
+// Resources are identified by the variable or field object they live in
+// plus a class tag from the classifier, so one object used under two
+// disciplines (a RWMutex's Lock and RLock) tracks as two resources.
+package pairs
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Kind classifies one call's effect on a resource.
+type Kind int
+
+const (
+	None Kind = iota
+	Acquire
+	Release
+)
+
+// Res identifies one tracked resource: the object holding it and the
+// classifier's class tag (e.g. "pool", "mutex", "gauge").
+type Res struct {
+	Obj   types.Object
+	Class string
+}
+
+// Config parameterizes one engine run over a package.
+type Config struct {
+	Info  *types.Info
+	Files []*ast.File
+
+	// Classify resolves one call directly (not through accessors) to a
+	// resource and effect; (Res{}, None) for unrelated calls.
+	Classify func(call *ast.CallExpr) (Res, Kind)
+
+	// TrackEscapes recognizes the ownership-transfer idiom: an acquire
+	// whose result value is returned to the caller is balanced there,
+	// not here. True for value-shaped resources (pool objects); false
+	// for effect-shaped ones (locks, gauge increments), whose acquire
+	// result — if any — carries no ownership.
+	TrackEscapes bool
+
+	// Enforce, when non-nil, decides per resource whether unbalanced
+	// acquires are reported at all. releasedInPackage tells whether any
+	// file of the package releases the resource; balancegen uses it to
+	// treat an Add-only atomic as a counter, not a leaking gauge.
+	Enforce func(res Res, releasedInPackage bool) bool
+
+	// NeverMsg and DropMsg build the two diagnostics: an acquire with
+	// no release anywhere in the function, and a return path that exits
+	// between an acquire and its release.
+	NeverMsg func(res Res) string
+	DropMsg  func(res Res) string
+
+	// Reportf emits one finding.
+	Reportf func(pos token.Pos, format string, args ...any)
+}
+
+// event is one acquire or release of a resource within a scope.
+type event struct {
+	res      Res
+	pos      token.Pos
+	call     *ast.CallExpr
+	deferred bool
+}
+
+type engine struct {
+	cfg Config
+	// acquireAcc/releaseAcc: package functions that perform the
+	// operation on their caller's behalf (unbalanced bodies only).
+	acquireAcc map[types.Object]Res
+	releaseAcc map[types.Object]Res
+	// released: resources with at least one direct release in the
+	// package (accessor bodies included).
+	released map[Res]bool
+	// localAcc: closure variables of the function under analysis that
+	// act as accessors (rebuilt per FuncDecl).
+	localAcc map[types.Object]accessor
+}
+
+type accessor struct {
+	res  Res
+	kind Kind
+}
+
+// Check runs the engine over every function of the package.
+func Check(cfg Config) {
+	e := &engine{
+		cfg:        cfg,
+		acquireAcc: make(map[types.Object]Res),
+		releaseAcc: make(map[types.Object]Res),
+		released:   make(map[Res]bool),
+	}
+	e.findAccessors()
+	for _, file := range cfg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			e.localAcc = e.closureAccessors(fn.Body)
+			e.checkScopes(fn)
+		}
+	}
+}
+
+// directOps tallies the direct (classifier-resolved) operations of one
+// body, per resource.
+func (e *engine) directOps(body ast.Node) map[Res][2]int {
+	ops := make(map[Res][2]int)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		res, kind := e.cfg.Classify(call)
+		if kind == None {
+			return true
+		}
+		c := ops[res]
+		if kind == Acquire {
+			c[0]++
+		} else {
+			c[1]++
+		}
+		ops[res] = c
+		return true
+	})
+	return ops
+}
+
+// findAccessors records package functions that acquire or release one
+// resource on their caller's behalf. Only unbalanced bodies qualify: a
+// function performing both operations manages the resource internally,
+// and treating its calls as acquires would flag every caller.
+func (e *engine) findAccessors() {
+	for _, file := range e.cfg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ops := e.directOps(fn.Body)
+			for res, c := range ops {
+				if c[1] > 0 {
+					e.released[res] = true
+				}
+			}
+			obj := e.cfg.Info.Defs[fn.Name]
+			if obj == nil || len(ops) != 1 {
+				continue
+			}
+			for res, c := range ops {
+				switch {
+				case c[0] > 0 && c[1] == 0:
+					e.acquireAcc[obj] = res
+				case c[1] > 0 && c[0] == 0:
+					e.releaseAcc[obj] = res
+				}
+			}
+		}
+	}
+}
+
+// closureAccessors finds `name := func() { ... }` closures of fn whose
+// bodies perform only releases (or only acquires) of one resource, so
+// calls through the variable count as that operation.
+func (e *engine) closureAccessors(body *ast.BlockStmt) map[types.Object]accessor {
+	acc := make(map[types.Object]accessor)
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return true
+		}
+		id, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		lit, ok := assign.Rhs[0].(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		obj := e.objOf(id)
+		if obj == nil {
+			return true
+		}
+		ops := e.directOps(lit.Body)
+		if len(ops) != 1 {
+			return true
+		}
+		for res, c := range ops {
+			switch {
+			case c[1] > 0 && c[0] == 0:
+				acc[obj] = accessor{res, Release}
+			case c[0] > 0 && c[1] == 0:
+				acc[obj] = accessor{res, Acquire}
+			}
+		}
+		return true
+	})
+	return acc
+}
+
+// classify resolves call to a (resource, kind) event, following package
+// accessors and local closure accessors.
+func (e *engine) classify(call *ast.CallExpr) (Res, Kind) {
+	if res, kind := e.cfg.Classify(call); kind != None {
+		return res, kind
+	}
+	var callee types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		callee = e.cfg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		callee = e.cfg.Info.Uses[fun.Sel]
+	}
+	if callee == nil {
+		return Res{}, None
+	}
+	if a, ok := e.localAcc[callee]; ok {
+		return a.res, a.kind
+	}
+	if res, ok := e.acquireAcc[callee]; ok {
+		return res, Acquire
+	}
+	if res, ok := e.releaseAcc[callee]; ok {
+		return res, Release
+	}
+	return Res{}, None
+}
+
+// scope is one function-like body's events.
+type scope struct {
+	acquires []event
+	releases []event
+	returns  []*ast.ReturnStmt
+	// escaped maps acquire calls whose result flows into a return
+	// statement: ownership transfers to the caller.
+	escaped map[*ast.CallExpr]bool
+	nested  []*ast.FuncLit
+}
+
+// checkScopes analyzes fn's body and, recursively, every non-deferred
+// function literal inside it as an independent scope.
+func (e *engine) checkScopes(fn *ast.FuncDecl) {
+	bodies := []ast.Node{fn.Body}
+	for len(bodies) > 0 {
+		body := bodies[0]
+		bodies = bodies[1:]
+		sc := &scope{escaped: make(map[*ast.CallExpr]bool)}
+		e.scan(body, sc, false)
+		if e.cfg.TrackEscapes {
+			e.markEscapes(sc)
+		}
+		e.report(sc)
+		for _, lit := range sc.nested {
+			bodies = append(bodies, lit.Body)
+		}
+	}
+}
+
+// scan walks one scope's statements. Deferred function literals belong
+// to the enclosing scope (their releases run at every return); other
+// literals are queued as independent scopes.
+func (e *engine) scan(n ast.Node, sc *scope, inDefer bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				e.scan(lit.Body, sc, true)
+			} else if res, kind := e.classify(x.Call); kind == Release {
+				sc.releases = append(sc.releases, event{res: res, pos: x.Pos(), deferred: true})
+			}
+			for _, arg := range x.Call.Args {
+				e.scan(arg, sc, inDefer)
+			}
+			return false
+		case *ast.FuncLit:
+			sc.nested = append(sc.nested, x)
+			return false
+		case *ast.ReturnStmt:
+			if !inDefer {
+				sc.returns = append(sc.returns, x)
+			}
+			return true
+		case *ast.CallExpr:
+			res, kind := e.classify(x)
+			switch kind {
+			case Acquire:
+				sc.acquires = append(sc.acquires, event{res: res, pos: x.Pos(), call: x})
+			case Release:
+				sc.releases = append(sc.releases, event{res: res, pos: x.Pos(), deferred: inDefer})
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// markEscapes finds acquires whose object is handed to the caller: the
+// acquire appears inside a return statement, or its assigned variable
+// is mentioned by one. Those transfers are the accessor idiom, balanced
+// at the call site instead.
+func (e *engine) markEscapes(sc *scope) {
+	returned := make(map[types.Object]bool)
+	inReturn := make(map[*ast.CallExpr]bool)
+	for _, ret := range sc.returns {
+		ast.Inspect(ret, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.Ident:
+				if obj := e.cfg.Info.Uses[x]; obj != nil {
+					returned[obj] = true
+				}
+			case *ast.CallExpr:
+				inReturn[x] = true
+			}
+			return true
+		})
+	}
+	for _, g := range sc.acquires {
+		if inReturn[g.call] {
+			sc.escaped[g.call] = true
+			continue
+		}
+		for _, obj := range e.destsOf(g.call) {
+			if returned[obj] {
+				sc.escaped[g.call] = true
+				break
+			}
+		}
+	}
+}
+
+// destsOf finds the variables an expression's value is assigned to by
+// locating the assignment statement containing the call.
+func (e *engine) destsOf(call *ast.CallExpr) []types.Object {
+	var dests []types.Object
+	for _, file := range e.cfg.Files {
+		if call.Pos() < file.Pos() || call.Pos() > file.End() {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || call.Pos() < assign.Pos() || call.Pos() > assign.End() {
+				return true
+			}
+			contained := false
+			for _, rhs := range assign.Rhs {
+				ast.Inspect(rhs, func(n ast.Node) bool {
+					if n == ast.Node(call) {
+						contained = true
+					}
+					return !contained
+				})
+			}
+			if !contained {
+				return true
+			}
+			for _, lhs := range assign.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := e.objOf(id); obj != nil {
+						dests = append(dests, obj)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return dests
+}
+
+func (e *engine) objOf(id *ast.Ident) types.Object {
+	if obj := e.cfg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return e.cfg.Info.Uses[id]
+}
+
+// report flags each acquire that some return path exits without a
+// release.
+func (e *engine) report(sc *scope) {
+	for _, g := range sc.acquires {
+		if sc.escaped[g.call] {
+			continue
+		}
+		if e.cfg.Enforce != nil && !e.cfg.Enforce(g.res, e.released[g.res]) {
+			continue
+		}
+		if e.hasDeferredRelease(sc, g.res) {
+			continue
+		}
+		anyRelease := false
+		for _, p := range sc.releases {
+			if p.res == g.res {
+				anyRelease = true
+			}
+		}
+		if !anyRelease {
+			e.cfg.Reportf(g.pos, "%s", e.cfg.NeverMsg(g.res))
+			continue
+		}
+		for _, ret := range sc.returns {
+			if ret.Pos() < g.pos {
+				continue
+			}
+			covered := false
+			for _, p := range sc.releases {
+				if p.res == g.res && p.pos > g.pos && p.pos < ret.Pos() {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				e.cfg.Reportf(ret.Pos(), "%s", e.cfg.DropMsg(g.res))
+			}
+		}
+	}
+}
+
+func (e *engine) hasDeferredRelease(sc *scope, res Res) bool {
+	for _, p := range sc.releases {
+		if p.deferred && p.res == res {
+			return true
+		}
+	}
+	return false
+}

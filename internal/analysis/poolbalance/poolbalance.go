@@ -12,14 +12,18 @@
 // the Get and each later return. Intentional drops — a reader that saw
 // corrupt input must not be recycled — are suppressed with a
 // //classpack:vet-allow poolbalance <reason> directive.
+//
+// The path machinery lives in internal/analysis/pairs; this package
+// contributes only the sync.Pool classifier and the messages.
 package poolbalance
 
 import (
+	"fmt"
 	"go/ast"
-	"go/token"
 	"go/types"
 
 	"classpack/internal/analysis/framework"
+	"classpack/internal/analysis/pairs"
 )
 
 // Analyzer flags sync.Pool Gets that can escape without a Put.
@@ -29,49 +33,39 @@ var Analyzer = &framework.Analyzer{
 	Run:  run,
 }
 
-// event is one Get or Put of a pool within a function scope.
-type event struct {
-	pool     types.Object
-	pos      token.Pos
-	call     *ast.CallExpr
-	deferred bool
-}
-
-type analysis struct {
-	pass *framework.Pass
-	// Accessor functions: package-level helpers that Get from /
-	// Put to a specific pool on their caller's behalf.
-	getAccessor map[types.Object]types.Object // func -> pool
-	putAccessor map[types.Object]types.Object
-}
-
 func run(pass *framework.Pass) error {
-	a := &analysis{
-		pass:        pass,
-		getAccessor: make(map[types.Object]types.Object),
-		putAccessor: make(map[types.Object]types.Object),
-	}
-	a.findAccessors()
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil {
-				continue
+	pairs.Check(pairs.Config{
+		Info:  pass.Info,
+		Files: pass.Files,
+		Classify: func(call *ast.CallExpr) (pairs.Res, pairs.Kind) {
+			if pool := poolObj(pass.Info, call, "Get"); pool != nil {
+				return pairs.Res{Obj: pool, Class: "pool"}, pairs.Acquire
 			}
-			a.checkScopes(fn)
-		}
-	}
+			if pool := poolObj(pass.Info, call, "Put"); pool != nil {
+				return pairs.Res{Obj: pool, Class: "pool"}, pairs.Release
+			}
+			return pairs.Res{}, pairs.None
+		},
+		TrackEscapes: true,
+		NeverMsg: func(res pairs.Res) string {
+			return fmt.Sprintf("object from %s.Get is never returned to the pool in this function", res.Obj.Name())
+		},
+		DropMsg: func(res pairs.Res) string {
+			return fmt.Sprintf("return path drops the object from %s.Get without a Put", res.Obj.Name())
+		},
+		Reportf: pass.Reportf,
+	})
 	return nil
 }
 
 // poolObj resolves call to a sync.Pool method of the given name and
 // returns the pool variable's object.
-func (a *analysis) poolObj(call *ast.CallExpr, method string) types.Object {
+func poolObj(info *types.Info, call *ast.CallExpr, method string) types.Object {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok || sel.Sel.Name != method {
 		return nil
 	}
-	tv, ok := a.pass.Info.Types[sel.X]
+	tv, ok := info.Types[sel.X]
 	if !ok || tv.Type == nil {
 		return nil
 	}
@@ -88,270 +82,9 @@ func (a *analysis) poolObj(call *ast.CallExpr, method string) types.Object {
 	// stored in; unresolvable receivers are skipped.
 	switch x := sel.X.(type) {
 	case *ast.Ident:
-		return a.pass.Info.Uses[x]
+		return info.Uses[x]
 	case *ast.SelectorExpr:
-		return a.pass.Info.Uses[x.Sel]
+		return info.Uses[x.Sel]
 	}
 	return nil
-}
-
-// findAccessors records package functions that Get from or Put to one
-// pool directly, to treat their call sites as the pool operation.
-func (a *analysis) findAccessors() {
-	for _, file := range a.pass.Files {
-		for _, decl := range file.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil {
-				continue
-			}
-			obj := a.pass.Info.Defs[fn.Name]
-			if obj == nil {
-				continue
-			}
-			ast.Inspect(fn.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				if pool := a.poolObj(call, "Get"); pool != nil {
-					a.getAccessor[obj] = pool
-				}
-				if pool := a.poolObj(call, "Put"); pool != nil {
-					a.putAccessor[obj] = pool
-				}
-				return true
-			})
-		}
-	}
-}
-
-// classify resolves call to a (pool, kind) event, following accessors.
-func (a *analysis) classify(call *ast.CallExpr) (pool types.Object, isGet, isPut bool) {
-	if p := a.poolObj(call, "Get"); p != nil {
-		return p, true, false
-	}
-	if p := a.poolObj(call, "Put"); p != nil {
-		return p, false, true
-	}
-	var callee types.Object
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		callee = a.pass.Info.Uses[fun]
-	case *ast.SelectorExpr:
-		callee = a.pass.Info.Uses[fun.Sel]
-	}
-	if callee == nil {
-		return nil, false, false
-	}
-	if p, ok := a.getAccessor[callee]; ok {
-		return p, true, false
-	}
-	if p, ok := a.putAccessor[callee]; ok {
-		return p, false, true
-	}
-	return nil, false, false
-}
-
-// scope is one function-like body's events.
-type scope struct {
-	gets    []event
-	puts    []event
-	returns []*ast.ReturnStmt
-	// escaped maps Get calls whose result flows into a return
-	// statement: ownership transfers to the caller.
-	escaped map[*ast.CallExpr]bool
-	nested  []*ast.FuncLit
-}
-
-// checkScopes analyzes fn's body and, recursively, every non-deferred
-// function literal inside it as an independent scope.
-func (a *analysis) checkScopes(fn *ast.FuncDecl) {
-	bodies := []ast.Node{fn.Body}
-	for len(bodies) > 0 {
-		body := bodies[0]
-		bodies = bodies[1:]
-		sc := &scope{escaped: make(map[*ast.CallExpr]bool)}
-		a.scan(body, sc, false)
-		a.markEscapes(sc)
-		a.report(sc)
-		for _, lit := range sc.nested {
-			bodies = append(bodies, lit.Body)
-		}
-	}
-}
-
-// scan walks one scope's statements. Deferred function literals belong
-// to the enclosing scope (their Puts run at every return); other
-// literals are queued as independent scopes.
-func (a *analysis) scan(n ast.Node, sc *scope, inDefer bool) {
-	ast.Inspect(n, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.DeferStmt:
-			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
-				a.scan(lit.Body, sc, true)
-			} else if pool, _, isPut := a.classify(x.Call); isPut {
-				sc.puts = append(sc.puts, event{pool: pool, pos: x.Pos(), deferred: true})
-			}
-			for _, arg := range x.Call.Args {
-				a.scan(arg, sc, inDefer)
-			}
-			return false
-		case *ast.FuncLit:
-			sc.nested = append(sc.nested, x)
-			return false
-		case *ast.ReturnStmt:
-			if !inDefer {
-				sc.returns = append(sc.returns, x)
-			}
-			return true
-		case *ast.CallExpr:
-			pool, isGet, isPut := a.classify(x)
-			switch {
-			case isGet:
-				sc.gets = append(sc.gets, event{pool: pool, pos: x.Pos(), call: x})
-			case isPut:
-				sc.puts = append(sc.puts, event{pool: pool, pos: x.Pos(), deferred: inDefer})
-			}
-			return true
-		}
-		return true
-	})
-}
-
-// markEscapes finds Gets whose object is handed to the caller: the Get
-// appears inside a return statement, or its assigned variable is
-// mentioned by one. Those transfers are the accessor idiom, balanced
-// at the call site instead.
-func (a *analysis) markEscapes(sc *scope) {
-	returned := make(map[types.Object]bool)
-	inReturn := make(map[*ast.CallExpr]bool)
-	for _, ret := range sc.returns {
-		ast.Inspect(ret, func(n ast.Node) bool {
-			switch x := n.(type) {
-			case *ast.Ident:
-				if obj := a.pass.Info.Uses[x]; obj != nil {
-					returned[obj] = true
-				}
-			case *ast.CallExpr:
-				inReturn[x] = true
-			}
-			return true
-		})
-	}
-	for _, g := range sc.gets {
-		if inReturn[g.call] {
-			sc.escaped[g.call] = true
-		}
-	}
-	a.assignEscapes(sc, returned)
-}
-
-// assignEscapes marks Gets assigned to variables that some return
-// statement mentions.
-func (a *analysis) assignEscapes(sc *scope, returned map[types.Object]bool) {
-	for _, g := range sc.gets {
-		if sc.escaped[g.call] {
-			continue
-		}
-		for _, obj := range a.destsOf(g.call) {
-			if returned[obj] {
-				sc.escaped[g.call] = true
-				break
-			}
-		}
-	}
-}
-
-// destsOf finds the variables an expression's value is assigned to by
-// locating the assignment statement containing the call.
-func (a *analysis) destsOf(call *ast.CallExpr) []types.Object {
-	var dests []types.Object
-	for _, file := range a.pass.Files {
-		if call.Pos() < file.Pos() || call.Pos() > file.End() {
-			continue
-		}
-		ast.Inspect(file, func(n ast.Node) bool {
-			assign, ok := n.(*ast.AssignStmt)
-			if !ok || call.Pos() < assign.Pos() || call.Pos() > assign.End() {
-				return true
-			}
-			contained := false
-			for _, rhs := range assign.Rhs {
-				ast.Inspect(rhs, func(n ast.Node) bool {
-					if n == ast.Node(call) {
-						contained = true
-					}
-					return !contained
-				})
-			}
-			if !contained {
-				return true
-			}
-			for _, lhs := range assign.Lhs {
-				if id, ok := lhs.(*ast.Ident); ok {
-					if obj := a.objOf(id); obj != nil {
-						dests = append(dests, obj)
-					}
-				}
-			}
-			return true
-		})
-	}
-	return dests
-}
-
-func (a *analysis) objOf(id *ast.Ident) types.Object {
-	if obj := a.pass.Info.Defs[id]; obj != nil {
-		return obj
-	}
-	return a.pass.Info.Uses[id]
-}
-
-// report flags each Get that some return path exits without a Put.
-func (a *analysis) report(sc *scope) {
-	for _, g := range sc.gets {
-		if sc.escaped[g.call] {
-			continue
-		}
-		name := g.pool.Name()
-		if a.hasDeferredPut(sc, g.pool) {
-			continue
-		}
-		anyPut := false
-		for _, p := range sc.puts {
-			if p.pool == g.pool {
-				anyPut = true
-			}
-		}
-		if !anyPut {
-			a.pass.Reportf(g.pos,
-				"object from %s.Get is never returned to the pool in this function", name)
-			continue
-		}
-		for _, ret := range sc.returns {
-			if ret.Pos() < g.pos {
-				continue
-			}
-			covered := false
-			for _, p := range sc.puts {
-				if p.pool == g.pool && p.pos > g.pos && p.pos < ret.Pos() {
-					covered = true
-					break
-				}
-			}
-			if !covered {
-				a.pass.Reportf(ret.Pos(),
-					"return path drops the object from %s.Get without a Put", name)
-			}
-		}
-	}
-}
-
-func (a *analysis) hasDeferredPut(sc *scope, pool types.Object) bool {
-	for _, p := range sc.puts {
-		if p.deferred && p.pool == pool {
-			return true
-		}
-	}
-	return false
 }

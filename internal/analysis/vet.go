@@ -1,19 +1,29 @@
 // Package analysis assembles classpack's custom static-analysis suite:
-// the four analyzers that mechanically prove the decoder-safety
-// invariants the fuzz harnesses can only sample, plus the package
-// gating that scopes each analyzer to the code its invariant governs.
-// cmd/classpack-vet and the clean-tree regression test both drive the
-// suite through Vet.
+// nine analyzers in two generations, plus the package gating that
+// scopes each to the code its invariant governs. The first generation
+// (decodebound, nopanic, corrupterr, poolbalance) mechanically proves
+// the decoder-safety invariants the fuzz harnesses can only sample; the
+// second (ctxflow, guardedfield, goroutineleak, vfsdirect, balancegen)
+// guards the daemon layer's concurrency and resource-safety contracts —
+// the bug classes that surface after a week of uptime, not in a unit
+// test. cmd/classpack-vet and the clean-tree regression test both drive
+// the suite through Vet.
 package analysis
 
 import (
 	"strings"
+	"time"
 
+	"classpack/internal/analysis/balancegen"
 	"classpack/internal/analysis/corrupterr"
+	"classpack/internal/analysis/ctxflow"
 	"classpack/internal/analysis/decodebound"
 	"classpack/internal/analysis/framework"
+	"classpack/internal/analysis/goroutineleak"
+	"classpack/internal/analysis/guardedfield"
 	"classpack/internal/analysis/nopanic"
 	"classpack/internal/analysis/poolbalance"
+	"classpack/internal/analysis/vfsdirect"
 )
 
 // decodePathPackages are the packages on the unpack path: everything
@@ -32,6 +42,20 @@ var decodePathPackages = map[string]bool{
 	"classpack/internal/stackstate": true,
 }
 
+// daemonPackages are the long-running-process layers: the serve stack,
+// the content-addressed store, the worker pool, and the filesystem
+// seam. The second-generation analyzers apply here — their invariants
+// (cancellation, goroutine lifetime, lock/gauge balance, crash-drill
+// coverage) are properties of daemon code, and daemon code only.
+var daemonPackages = map[string]bool{
+	"classpack/internal/serve":        true,
+	"classpack/internal/serve/client": true,
+	"classpack/internal/castore":      true,
+	"classpack/internal/par":          true,
+	"classpack/internal/vfs":          true,
+	"classpack/internal/faultinject":  true,
+}
+
 // Check pairs an analyzer with the packages it governs.
 type Check struct {
 	Analyzer *framework.Analyzer
@@ -44,6 +68,7 @@ type Check struct {
 func Suite() []Check {
 	all := func(string) bool { return true }
 	decodePath := func(path string) bool { return decodePathPackages[path] }
+	daemon := func(path string) bool { return daemonPackages[path] }
 	return []Check{
 		// decodebound and poolbalance self-limit (to decode-reader
 		// calls and sync.Pool usage respectively), so they sweep the
@@ -53,21 +78,55 @@ func Suite() []Check {
 		{Analyzer: nopanic.Analyzer, Applies: decodePath},
 		{Analyzer: corrupterr.Analyzer, Applies: decodePath},
 		{Analyzer: poolbalance.Analyzer, Applies: all},
+		// The concurrency generation runs on the daemon layer. ctxflow
+		// roots at HTTP handlers and ctx-taking entry points, so it only
+		// sees the serve stack; vfsdirect polices the store's write path
+		// and must not run on vfs itself (the seam's os calls are the
+		// point) or faultinject (the drill is the other side of the
+		// seam).
+		{Analyzer: ctxflow.Analyzer, Applies: func(path string) bool {
+			return path == "classpack/internal/serve" || path == "classpack/internal/serve/client"
+		}},
+		{Analyzer: guardedfield.Analyzer, Applies: daemon},
+		{Analyzer: goroutineleak.Analyzer, Applies: daemon},
+		{Analyzer: vfsdirect.Analyzer, Applies: func(path string) bool {
+			return path == "classpack/internal/castore"
+		}},
+		{Analyzer: balancegen.Analyzer, Applies: daemon},
 	}
+}
+
+// Timing is one suite stage's wall time summed across packages. The
+// pseudo-stage "load+typecheck" accounts for parsing and type-checking
+// the module, which dominates the budget.
+type Timing struct {
+	Name    string
+	Elapsed time.Duration
 }
 
 // Vet loads every package of the module rooted at moduleDir and runs
 // the suite, returning all surviving diagnostics sorted by position.
 func Vet(moduleDir string) ([]framework.Diagnostic, error) {
+	diags, _, err := VetTimed(moduleDir)
+	return diags, err
+}
+
+// VetTimed is Vet with per-stage wall-time accounting, in suite order
+// with load+typecheck first. cmd/classpack-vet prints the table under
+// -timing and enforces the lint budget against the total.
+func VetTimed(moduleDir string) ([]framework.Diagnostic, []Timing, error) {
+	loadStart := time.Now()
 	loader, err := framework.NewLoader(moduleDir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	pkgs, err := loader.LoadAll()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	loadElapsed := time.Since(loadStart)
 	suite := Suite()
+	perAnalyzer := make(map[string]time.Duration)
 	var out []framework.Diagnostic
 	for _, pkg := range pkgs {
 		var active []*framework.Analyzer
@@ -79,13 +138,17 @@ func Vet(moduleDir string) ([]framework.Diagnostic, error) {
 		if len(active) == 0 {
 			continue
 		}
-		diags, err := framework.Run(pkg, active)
+		diags, err := framework.RunTimed(pkg, active, perAnalyzer)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		out = append(out, diags...)
 	}
-	return out, nil
+	timings := []Timing{{Name: "load+typecheck", Elapsed: loadElapsed}}
+	for _, c := range suite {
+		timings = append(timings, Timing{Name: c.Analyzer.Name, Elapsed: perAnalyzer[c.Analyzer.Name]})
+	}
+	return out, timings, nil
 }
 
 // TrimDiagnosticPaths rewrites absolute file names in diagnostics to

@@ -1,0 +1,64 @@
+// Fixture for the vfsdirect analyzer: mutation must go through the vfs
+// seam; reads may use the os package directly.
+package fixture
+
+import (
+	"os"
+
+	"classpack/internal/vfs"
+)
+
+type store struct {
+	fs  vfs.FS
+	dir string
+}
+
+// WriteThroughSeam is the blessed shape; no finding.
+func WriteThroughSeam(s *store, final string, data []byte) error {
+	f, err := s.fs.CreateTemp(s.dir, "obj-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return s.fs.Rename(f.Name(), final)
+}
+
+// DirectCreate writes a real file no crash drill can fail.
+func DirectCreate(path string, data []byte) error {
+	f, err := os.Create(path) // want `os\.Create bypasses the vfs seam`
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	f.Close()
+	return err
+}
+
+// DirectRename commits outside the seam.
+func DirectRename(tmp, final string) error {
+	return os.Rename(tmp, final) // want `os\.Rename bypasses the vfs seam`
+}
+
+// ReadsAreFine: the drills model write faults only; no finding.
+func ReadsAreFine(path string) ([]byte, error) {
+	if _, err := os.Stat(path); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(path)
+}
+
+// AllowedBootstrap documents a deliberate bypass; no finding.
+func AllowedBootstrap(dir string) error {
+	//classpack:vet-allow vfsdirect fixture: store root is created before any drill attaches
+	return os.MkdirAll(dir, 0o755)
+}

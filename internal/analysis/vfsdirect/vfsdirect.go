@@ -1,0 +1,72 @@
+// Package vfsdirect implements the vfsdirect analyzer: castore's write
+// path must reach the disk through the internal/vfs seam, never through
+// the os package directly. The seam is what the CrashFS fault drills
+// interpose on — an os.Create or os.Rename snuck into the store writes
+// real files that no drill can truncate, reorder, or fail, so the
+// crash-safety tests silently stop covering that code. Reads are
+// exempt: the drills only model write/rename/sync faults, and the
+// store's read path deliberately goes straight to the os package.
+package vfsdirect
+
+import (
+	"go/ast"
+	"go/types"
+
+	"classpack/internal/analysis/framework"
+)
+
+// Analyzer flags direct os-package mutation calls on the store's write
+// path.
+var Analyzer = &framework.Analyzer{
+	Name: "vfsdirect",
+	Doc:  "report direct os mutation calls in castore that bypass the vfs fault-injection seam",
+	Run:  run,
+}
+
+// mutators are the os functions that change the file system. Anything
+// absent (Open, ReadFile, Stat, WalkDir...) is read-only and allowed.
+var mutators = map[string]bool{
+	"Create":     true,
+	"CreateTemp": true,
+	"OpenFile":   true,
+	"Mkdir":      true,
+	"MkdirAll":   true,
+	"MkdirTemp":  true,
+	"Rename":     true,
+	"Remove":     true,
+	"RemoveAll":  true,
+	"Chmod":      true,
+	"Chtimes":    true,
+	"Truncate":   true,
+	"WriteFile":  true,
+	"Link":       true,
+	"Symlink":    true,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !mutators[sel.Sel.Name] {
+				return true
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "os" {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"os.%s bypasses the vfs seam: route writes through the store's vfs.FS so crash drills cover them",
+				sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

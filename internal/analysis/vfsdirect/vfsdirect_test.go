@@ -1,0 +1,12 @@
+package vfsdirect_test
+
+import (
+	"testing"
+
+	"classpack/internal/analysis/analysistest"
+	"classpack/internal/analysis/vfsdirect"
+)
+
+func TestVfsdirect(t *testing.T) {
+	analysistest.Run(t, "testdata", vfsdirect.Analyzer, "vfsdirect")
+}

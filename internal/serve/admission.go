@@ -132,6 +132,7 @@ func (a *admission) admitted(size int64, memReserved bool) func() {
 	var once sync.Once
 	return func() {
 		once.Do(func() {
+			//classpack:vet-allow ctxflow receives back the slot this request's admit sent, which is still buffered in the channel, so it never blocks
 			<-a.slots
 			if memReserved {
 				a.m.MemInflight.Set(a.memInflight.Add(-size))
@@ -175,6 +176,14 @@ func (a *admission) estimateWait(queued int64) time.Duration {
 // observe folds one completed job duration into the EWMA (alpha 1/8).
 func (a *admission) observe(d time.Duration) {
 	us := d.Microseconds()
+	// Zero is the estimator's "no samples yet" sentinel. A job that
+	// completes inside a microsecond (or a clock hiccup yielding a
+	// negative duration) is still a sample: clamp it to 1µs so the
+	// first such job doesn't leave — or the estimator doesn't start
+	// from — the no-data state it should have exited.
+	if us <= 0 {
+		us = 1
+	}
 	for {
 		old := a.ewmaMicros.Load()
 		nw := us

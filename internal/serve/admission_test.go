@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// newTestAdmission builds an admission gate with innocuous defaults for
+// estimator-focused tests: 2 slots, a deep queue, no memory budget, a
+// 1-second Retry-After floor.
+func newTestAdmission(t *testing.T) *admission {
+	t.Helper()
+	return newAdmission(2, 64, 0, time.Second, newMetrics())
+}
+
+// TestEstimateWaitNoSamples: before any job completes there is no data,
+// and the estimator must say so with zero rather than invent a wait.
+func TestEstimateWaitNoSamples(t *testing.T) {
+	a := newTestAdmission(t)
+	if got := a.estimateWait(10); got != 0 {
+		t.Fatalf("estimateWait with no samples = %v, want 0", got)
+	}
+}
+
+// TestObserveInstantJobIsStillASample: a job that completes inside a
+// microsecond must move the estimator out of its no-data state — zero
+// is the sentinel, not a legal sample value.
+func TestObserveInstantJobIsStillASample(t *testing.T) {
+	a := newTestAdmission(t)
+	a.observe(0)
+	if got := a.estimateWait(0); got <= 0 {
+		t.Fatalf("estimateWait after an instant job = %v, want > 0", got)
+	}
+}
+
+// TestObserveNegativeDurationClamped: a clock hiccup handing observe a
+// negative duration must not poison the estimate or re-arm the no-data
+// sentinel.
+func TestObserveNegativeDurationClamped(t *testing.T) {
+	a := newTestAdmission(t)
+	a.observe(-5 * time.Millisecond)
+	if got := a.estimateWait(0); got <= 0 {
+		t.Fatalf("estimateWait after a negative sample = %v, want > 0", got)
+	}
+	a.observe(80 * time.Millisecond)
+	if got := a.estimateWait(0); got < 0 {
+		t.Fatalf("estimateWait went negative: %v", got)
+	}
+}
+
+// TestObserveEWMASmoothing pins the alpha-1/8 fold: the second sample
+// moves the estimate an eighth of the way toward itself.
+func TestObserveEWMASmoothing(t *testing.T) {
+	a := newTestAdmission(t)
+	a.observe(100 * time.Millisecond)
+	a.observe(200 * time.Millisecond)
+	want := int64(112500) // 100ms + (200ms-100ms)/8, in µs
+	if got := a.ewmaMicros.Load(); got != want {
+		t.Fatalf("ewmaMicros after two samples = %d, want %d", got, want)
+	}
+}
+
+// TestEstimateWaitScalesWithQueueDepth: with 2 slots, a request queued
+// behind 4 others waits about three job durations (two ahead of it per
+// slot, plus its own).
+func TestEstimateWaitScalesWithQueueDepth(t *testing.T) {
+	a := newTestAdmission(t)
+	a.observe(80 * time.Millisecond)
+	base := a.estimateWait(0)
+	if base != 80*time.Millisecond {
+		t.Fatalf("estimateWait(0) = %v, want the single 80ms sample", base)
+	}
+	if got, want := a.estimateWait(4), 3*base; got != want {
+		t.Fatalf("estimateWait(4) = %v, want %v", got, want)
+	}
+}
+
+// TestShedRetryAfterFloor: the Retry-After hint never drops below the
+// configured floor, and rises to the queue estimate once that exceeds
+// it.
+func TestShedRetryAfterFloor(t *testing.T) {
+	a := newTestAdmission(t)
+	if e := a.shed("no samples yet"); e.retryAfter != time.Second {
+		t.Fatalf("retryAfter with no samples = %v, want the %v floor", e.retryAfter, time.Second)
+	}
+	// One slow sample pushes the estimate past the floor: 10 waiters on
+	// 2 slots ≈ 6 jobs ≈ 18s.
+	a.observe(3 * time.Second)
+	a.waiters.Add(10)
+	e := a.shed("deep queue")
+	if e.retryAfter <= time.Second {
+		t.Fatalf("retryAfter with a deep queue = %v, want above the floor", e.retryAfter)
+	}
+}

@@ -245,6 +245,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	}
 	// Serve only returns ErrServerClosed once Shutdown has begun, so
 	// this receive waits exactly for the drain to finish.
+	//classpack:vet-allow ctxflow bounded by DrainTimeout: Shutdown's context expires and its error is sent exactly once
 	return <-shutdownErr
 }
 
